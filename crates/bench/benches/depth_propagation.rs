@@ -1,0 +1,32 @@
+//! Algorithm 1 (`PROPAGATEDEPTHS`) cost vs graph size — the static
+//! analysis behind Fig. 8's `t1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use prov_dataflow::{toposort, DepthInfo};
+use prov_workgen::testbed;
+
+fn bench_depth_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagate_depths");
+    for l in [10usize, 50, 150] {
+        let df = testbed::generate(l);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| DepthInfo::compute(&df).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_toposort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toposort");
+    for l in [10usize, 150] {
+        let df = testbed::generate(l);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| toposort(&df).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth_propagation, bench_toposort);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation #5: the inline index representation. Real workflow indices
+//! stay within the inline capacity (≤8 components); this bench quantifies
+//! what the inline storage buys on the hot operations (clone, concat,
+//! ordering) against deep (heap-spilled) indices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use prov_model::Index;
+
+fn index_of_len(n: usize) -> Index {
+    (0..n as u32).collect()
+}
+
+fn bench_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_clone");
+    for n in [2usize, 8, 9, 16] {
+        let idx = index_of_len(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(idx.clone()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_concat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_concat");
+    for n in [2usize, 4, 8, 12] {
+        let a = index_of_len(n);
+        let b_idx = index_of_len(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| a.concat(std::hint::black_box(&b_idx)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    // Sorting a batch of indices, as the B-tree does on insert.
+    let mut group = c.benchmark_group("index_sort_1000");
+    for n in [2usize, 8, 12] {
+        let items: Vec<Index> = (0..1000u32)
+            .map(|i| {
+                let mut v: Vec<u32> = (0..n as u32).collect();
+                v[n - 1] = i;
+                Index::from(v)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = items.clone();
+                v.sort();
+                v
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clone, bench_concat, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Cost of the iteration machinery itself: building the generalized cross
+//! product (Def. 2) and reassembling nested outputs (Def. 3's `map`
+//! structure), without any behaviour or trace cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use prov_dataflow::IterationStrategy;
+use prov_engine::{assemble_nested, iteration_tuples};
+use prov_model::Value;
+
+fn flat_list(n: usize) -> Value {
+    Value::List((0..n).map(|i| Value::str(&format!("x{i}"))).collect())
+}
+
+fn bench_cross_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_product");
+    for n in [10usize, 50, 100] {
+        let a = flat_list(n);
+        let b = flat_list(n);
+        group.bench_with_input(BenchmarkId::new("n_x_n", n), &n, |bench, _| {
+            bench.iter(|| {
+                iteration_tuples(
+                    "P",
+                    &[a.clone(), b.clone()],
+                    &[1, 1],
+                    IterationStrategy::Cross,
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dot_product(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot_product");
+    for n in [100usize, 1000] {
+        let a = flat_list(n);
+        let b = flat_list(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                iteration_tuples("P", &[a.clone(), b.clone()], &[1, 1], IterationStrategy::Dot)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_assemble(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assemble_nested");
+    for n in [10usize, 50] {
+        let pairs: Vec<_> = (0..n as u32)
+            .flat_map(|i| {
+                (0..n as u32).map(move |j| {
+                    (prov_model::Index::from_slice(&[i, j]), Value::int((i * 100 + j) as i64))
+                })
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("matrix", n), &n, |bench, _| {
+            bench.iter(|| assemble_nested(pairs.clone(), 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross_product, bench_dot_product, bench_assemble);
+criterion_main!(benches);

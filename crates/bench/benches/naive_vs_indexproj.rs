@@ -1,0 +1,55 @@
+//! The headline comparison (ablation #1, #2): NI vs INDEXPROJ (cold and
+//! warm) on focused testbed queries, across chain lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use prov_core::{IndexProj, NaiveLineage, PlanCache};
+use prov_store::TraceStore;
+use prov_workgen::testbed;
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("focused_query");
+    for l in [10usize, 50, 100] {
+        let d = 10usize;
+        let df = testbed::generate(l);
+        let store = TraceStore::in_memory();
+        let run = testbed::run(&df, d, &store).run_id;
+        let query = testbed::focused_query(&[3, 4]);
+
+        group.bench_with_input(BenchmarkId::new("naive", l), &l, |b, _| {
+            let ni = NaiveLineage::new();
+            b.iter(|| ni.run(&store, run, &query).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("indexproj_cold", l), &l, |b, _| {
+            b.iter(|| IndexProj::new(&df).run(&store, run, &query).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("indexproj_warm", l), &l, |b, _| {
+            let cache = PlanCache::new(IndexProj::new(&df));
+            cache.run(&store, run, &query).unwrap();
+            b.iter(|| cache.run(&store, run, &query).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_multirun(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multirun_query");
+    let df = testbed::generate(30);
+    let store = TraceStore::in_memory();
+    let runs: Vec<_> = (0..5).map(|_| testbed::run(&df, 10, &store).run_id).collect();
+    let query = testbed::focused_query(&[1, 2]);
+
+    group.bench_function("naive_5_runs", |b| {
+        let ni = NaiveLineage::new();
+        b.iter(|| ni.run_multi(&store, &runs, &query).unwrap());
+    });
+    group.bench_function("indexproj_5_runs_shared_plan", |b| {
+        let ip = IndexProj::new(&df);
+        let plan = ip.plan(&query).unwrap();
+        b.iter(|| plan.execute_multi(&store, &runs).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_multirun);
+criterion_main!(benches);

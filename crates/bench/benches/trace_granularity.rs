@@ -1,0 +1,32 @@
+//! Ablation #4: per-element (fine) vs whole-value (coarse) xfer recording
+//! — the trade between trace size/recording cost and lineage precision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use prov_engine::{Engine, TraceGranularity};
+use prov_store::TraceStore;
+use prov_workgen::testbed;
+
+fn bench_recording(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record_run");
+    group.sample_size(20);
+    let df = testbed::generate(20);
+    for (name, g) in
+        [("fine", TraceGranularity::Fine), ("coarse", TraceGranularity::Coarse)]
+    {
+        group.bench_with_input(BenchmarkId::new(name, 25), &g, |b, &g| {
+            b.iter(|| {
+                let store = TraceStore::in_memory();
+                let engine = Engine::new(testbed::registry()).with_granularity(g);
+                engine
+                    .execute(&df, vec![("ListSize".into(), prov_model::Value::int(25))], &store)
+                    .unwrap();
+                store.total_record_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recording);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! **Fig. 10** — INDEXPROJ response time for *partially unfocused*
+//! queries: the focus set `𝒫` grows to nearly 50% of the processors.
+//!
+//! Paper: INDEXPROJ's phase s2 is one trace lookup per focused port, so
+//! response time grows roughly linearly in `|𝒫|`, approaching NI as the
+//! query approaches fully unfocused.
+
+use prov_bench::{best_of, cell, cell_ms, quick_mode, Table};
+use prov_core::{IndexProj, NaiveLineage};
+use prov_store::TraceStore;
+use prov_workgen::testbed;
+
+fn main() {
+    let (l, d) = if quick_mode() { (10, 5) } else { (75, 25) };
+
+    println!("Fig. 10: INDEXPROJ response vs focus-set size (l={l}, d={d})\n");
+    let df = testbed::generate(l);
+    let total_procs = df.node_count();
+    let store = TraceStore::in_memory();
+    let run = testbed::run(&df, d, &store).run_id;
+
+    // NI reference (focus size does not change NI's traversal cost).
+    let ni_query = testbed::focused_query(&[d as u32 / 2, d as u32 / 2]);
+    let t_ni = best_of(5, || {
+        NaiveLineage::new().run(&store, run, &ni_query).expect("ni");
+    });
+    println!("NI reference time: {:.3} ms\n", prov_bench::ms(t_ni));
+
+    let mut table =
+        Table::new(&["focus_size", "focus_fraction_pct", "ip_time_ms", "plan_steps"]);
+    let steps_k: Vec<usize> = if quick_mode() {
+        vec![0, 1, 2]
+    } else {
+        vec![0, 2, 5, 9, 14, 18] // k per chain → |𝒫| = 2 + 2k
+    };
+    for &k in &steps_k {
+        let query = testbed::partially_unfocused_query(&df, &[d as u32 / 2, d as u32 / 2], k);
+        let ip = IndexProj::new(&df);
+        let plan = ip.plan(&query).unwrap();
+        let t = best_of(5, || {
+            ip.run(&store, run, &query).expect("ip");
+        });
+        table.row(vec![
+            cell(query.focus.len()),
+            cell(format!("{:.1}", 100.0 * query.focus.len() as f64 / total_procs as f64)),
+            cell_ms(t),
+            cell(plan.steps.len()),
+        ]);
+    }
+
+    table.print();
+    let path = table.write_csv("fig10_unfocused").expect("write results");
+    println!("\ncsv: {}", path.display());
+}

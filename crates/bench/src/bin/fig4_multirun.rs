@@ -1,0 +1,129 @@
+//! **Fig. 4** — query response time for focused and unfocused queries
+//! ranging over multiple runs (1..10) of the two real-life workflows:
+//! **GK** (`genes2Kegg`, short paths) and **PD** (protein discovery, long
+//! paths).
+//!
+//! INDEXPROJ shares the spec-graph traversal (s1) across all runs in the
+//! scope; only the per-run trace lookups (s2) repeat. Paper: GK and
+//! focused-PD scale well over runs; unfocused-PD has a ~10× larger s2 and
+//! so grows fastest. The reproduction should show the same ordering:
+//!
+//! `GK-focused ≈ PD-focused < GK-unfocused < PD-unfocused`, all linear in
+//! the number of runs with slope = its own t2.
+
+use std::sync::Arc;
+
+use prov_bench::{best_of, cell, cell_ms, quick_mode, Table};
+use prov_core::{IndexProj, LineageQuery};
+use prov_model::{Index, PortRef, ProcessorName, RunId};
+use prov_store::TraceStore;
+use prov_workgen::bio;
+
+fn main() {
+    let max_runs = if quick_mode() { 3 } else { 10 };
+    let pd_pad = if quick_mode() { 5 } else { 20 };
+
+    println!("Fig. 4: multi-run focused/unfocused query response (GK, PD)\n");
+
+    // --- GK: 10 runs over different gene inputs -----------------------
+    let gk = bio::genes2kegg_workflow();
+    let db = Arc::new(bio::KeggDb::small(7));
+    let gk_store = TraceStore::in_memory();
+    let gk_runs: Vec<RunId> = (0..max_runs)
+        .map(|i| {
+            bio::run_genes2kegg(
+                &gk,
+                Arc::clone(&db),
+                bio::sample_gene_lists(3, 2, 100 + i as u64),
+                &gk_store,
+            )
+            .run_id
+        })
+        .collect();
+    let gk_focused = LineageQuery::focused(
+        PortRef::new("genes2Kegg", "paths_per_gene"),
+        Index::single(0),
+        [ProcessorName::from("genes2Kegg")],
+    );
+    let gk_unfocused = LineageQuery::unfocused(
+        PortRef::new("genes2Kegg", "paths_per_gene"),
+        Index::single(0),
+        &gk,
+    );
+
+    // --- PD: 10 runs over different query terms -----------------------
+    let pd = bio::protein_discovery_workflow(pd_pad);
+    let corpus = Arc::new(bio::PubMedCorpus::new(11, 60));
+    let pd_store = TraceStore::in_memory();
+    let terms = ["p53", "brca1", "egfr", "tnf", "myc", "kras", "pten", "akt1", "vegfa", "tp63"];
+    let pd_runs: Vec<RunId> = (0..max_runs)
+        .map(|i| {
+            bio::run_protein_discovery(
+                &pd,
+                Arc::clone(&corpus),
+                vec![terms[i % terms.len()], "tumor"],
+                &pd_store,
+            )
+            .run_id
+        })
+        .collect();
+    let pd_focused = LineageQuery::focused(
+        PortRef::new("protein_discovery", "protein_terms"),
+        Index::single(0),
+        [ProcessorName::from("protein_discovery")],
+    );
+    let pd_unfocused = LineageQuery::unfocused(
+        PortRef::new("protein_discovery", "protein_terms"),
+        Index::single(0),
+        &pd,
+    );
+
+    let mut table = Table::new(&[
+        "runs",
+        "gk_focused_ms",
+        "gk_unfocused_ms",
+        "pd_focused_ms",
+        "pd_unfocused_ms",
+    ]);
+
+    let gk_ip = IndexProj::new(&gk);
+    let pd_ip = IndexProj::new(&pd);
+    // Plans compiled ONCE (the shared s1); multi-run cost is s1 + n × s2.
+    let plans = [
+        gk_ip.plan(&gk_focused).unwrap(),
+        gk_ip.plan(&gk_unfocused).unwrap(),
+        pd_ip.plan(&pd_focused).unwrap(),
+        pd_ip.plan(&pd_unfocused).unwrap(),
+    ];
+
+    for n in 1..=max_runs {
+        let cells: Vec<String> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, plan)| {
+                let (store, runs) = if i < 2 {
+                    (&gk_store, &gk_runs[..n])
+                } else {
+                    (&pd_store, &pd_runs[..n])
+                };
+                cell_ms(best_of(5, || {
+                    plan.execute_multi(store, runs).expect("query");
+                }))
+            })
+            .collect();
+        let mut row = vec![cell(n)];
+        row.extend(cells);
+        table.row(row);
+    }
+
+    table.print();
+    println!(
+        "\nplan sizes (s2 lookups/run): gk_focused={} gk_unfocused={} pd_focused={} pd_unfocused={}",
+        plans[0].steps.len(),
+        plans[1].steps.len(),
+        plans[2].steps.len(),
+        plans[3].steps.len(),
+    );
+    let path = table.write_csv("fig4_multirun").expect("write results");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,44 @@
+//! **Fig. 6** — NI lineage query response time as the trace database grows
+//! (traces for 1..10 runs accumulated; the queried run is fixed).
+//!
+//! Paper: for `l = 75, d = 50`, a 10× increase in records (≈15k → ≈150k)
+//! produced only a ≈20% increase in NI response time, because every access
+//! path is indexed. The reproduction should show the same flat-ish curve.
+
+use prov_bench::{best_of, cell, cell_ms, quick_mode, Table};
+use prov_core::NaiveLineage;
+use prov_store::TraceStore;
+use prov_workgen::testbed;
+
+fn main() {
+    let (l, d, max_runs) = if quick_mode() { (20, 10, 4) } else { (75, 50, 10) };
+
+    println!("Fig. 6: NI response time vs accumulated DB size (l={l}, d={d})\n");
+    let df = testbed::generate(l);
+    let store = TraceStore::in_memory();
+    let first = testbed::run(&df, d, &store).run_id;
+    let query = testbed::focused_query(&[d as u32 / 2, d as u32 / 2]);
+    let ni = NaiveLineage::new();
+
+    let mut table = Table::new(&["runs_stored", "total_records", "ni_time_ms", "records_read"]);
+    for n in 1..=max_runs {
+        if n > 1 {
+            testbed::run(&df, d, &store);
+        }
+        let before = store.stats().snapshot();
+        let t = best_of(5, || {
+            ni.run(&store, first, &query).expect("query succeeds");
+        });
+        let work = store.stats().snapshot().since(before);
+        table.row(vec![
+            cell(n),
+            cell(store.total_record_count()),
+            cell_ms(t),
+            cell(work.records_read / 5), // per query (5 reps measured)
+        ]);
+    }
+
+    table.print();
+    let path = table.write_csv("fig6_ni_dbsize").expect("write results");
+    println!("\ncsv: {}", path.display());
+}

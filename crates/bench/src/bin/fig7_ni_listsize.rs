@@ -1,0 +1,48 @@
+//! **Fig. 7** — NI lineage query response times for varying input list
+//! size `d`, at three chain lengths `l ∈ {28, 75, 150}`.
+//!
+//! Paper: response times grow only modestly with `d` (index sizes grow,
+//! query complexity does not), while `l` dominates. The reproduction
+//! should show near-flat lines per `l`, clearly ordered by `l`.
+
+use prov_bench::{best_of, cell, cell_ms, quick_mode, Table};
+use prov_core::NaiveLineage;
+use prov_store::TraceStore;
+use prov_workgen::testbed;
+
+fn main() {
+    let (ls, ds): (Vec<usize>, Vec<usize>) = if quick_mode() {
+        (vec![10, 20], vec![5, 10])
+    } else {
+        (vec![28, 75, 150], testbed::PAPER_D.to_vec())
+    };
+
+    println!("Fig. 7: NI response time vs input list size d\n");
+    let mut table = Table::new(&["l", "d", "trace_records", "ni_time_ms", "records_read"]);
+    let ni = NaiveLineage::new();
+
+    for &l in &ls {
+        let df = testbed::generate(l);
+        for &d in &ds {
+            let store = TraceStore::in_memory();
+            let run = testbed::run(&df, d, &store).run_id;
+            let query = testbed::focused_query(&[d as u32 / 2, d as u32 / 2]);
+            let before = store.stats().snapshot();
+            let t = best_of(5, || {
+                ni.run(&store, run, &query).expect("query succeeds");
+            });
+            let work = store.stats().snapshot().since(before);
+            table.row(vec![
+                cell(l),
+                cell(d),
+                cell(store.trace_record_count(run)),
+                cell_ms(t),
+                cell(work.records_read / 5),
+            ]);
+        }
+    }
+
+    table.print();
+    let path = table.write_csv("fig7_ni_listsize").expect("write results");
+    println!("\ncsv: {}", path.display());
+}

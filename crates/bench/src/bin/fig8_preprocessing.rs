@@ -1,0 +1,49 @@
+//! **Fig. 8** — pre-processing time `t1` (phase s1) as a function of the
+//! workflow graph size, for `l` up to 200.
+//!
+//! `t1` covers the work done once per workflow/query shape before any
+//! trace access: Algorithm 1 (`PROPAGATEDEPTHS`) plus the INDEXPROJ
+//! traversal that compiles the plan. Paper: below one second for graphs of
+//! up to 100 nodes; grows with graph size only.
+
+use prov_bench::{best_of, cell, cell_ms, quick_mode, Table};
+use prov_core::IndexProj;
+use prov_dataflow::DepthInfo;
+use prov_workgen::testbed;
+
+fn main() {
+    let ls: Vec<usize> =
+        if quick_mode() { vec![10, 25] } else { vec![10, 28, 50, 75, 100, 150, 200] };
+
+    println!("Fig. 8: pre-processing time t1 vs chain length l\n");
+    let mut table =
+        Table::new(&["l", "graph_nodes", "depth_prop_ms", "plan_ms", "t1_total_ms", "plan_steps"]);
+
+    for &l in &ls {
+        let df = testbed::generate(l);
+        let query = testbed::focused_query(&[0, 0]);
+
+        let t_depths = best_of(5, || {
+            DepthInfo::compute(&df).expect("valid workflow");
+        });
+        // Fresh IndexProj per rep so the depth memo does not hide the cost.
+        let t_plan = best_of(5, || {
+            let ip = IndexProj::new(&df);
+            ip.plan(&query).expect("plan succeeds");
+        });
+        let steps = IndexProj::new(&df).plan(&query).unwrap().steps.len();
+
+        table.row(vec![
+            cell(l),
+            cell(df.node_count()),
+            cell_ms(t_depths),
+            cell_ms(t_plan),
+            cell_ms(t_depths + t_plan),
+            cell(steps),
+        ]);
+    }
+
+    table.print();
+    let path = table.write_csv("fig8_preprocessing").expect("write results");
+    println!("\ncsv: {}", path.display());
+}

@@ -1,0 +1,80 @@
+//! **Fig. 9** — focused lineage query response time across strategies as a
+//! function of `l`, for `d = 10` and `d = 150`.
+//!
+//! Strategies:
+//!
+//! * **NI** — the naïve provenance-graph traversal;
+//! * **INDEXPROJ (cold)** — spec-graph planning + trace lookups;
+//! * **INDEXPROJ (warm)** — executing a cached plan (the third strategy:
+//!   the traversal is shared across queries on the same workflow).
+//!
+//! Paper: NI grows with `l`; INDEXPROJ is "constantly low" (t2 reduces to
+//! one indexed lookup for the focused query), and largely independent of
+//! `d`. The query is `lin(⟨2TO1_FINAL:Y[p]⟩, {LISTGEN_1})`.
+
+use prov_bench::{best_of, cell, cell_ms, quick_mode, Table};
+use prov_core::{IndexProj, NaiveLineage, PlanCache};
+use prov_store::TraceStore;
+use prov_workgen::testbed;
+
+fn main() {
+    let (ls, ds): (Vec<usize>, Vec<usize>) = if quick_mode() {
+        (vec![10, 20], vec![5])
+    } else {
+        (vec![10, 28, 50, 75, 100, 150], vec![10, 150])
+    };
+
+    println!("Fig. 9: response time by strategy vs l (focused query)\n");
+    let mut table = Table::new(&[
+        "d",
+        "l",
+        "ni_ms",
+        "indexproj_cold_ms",
+        "indexproj_warm_ms",
+        "ni_records",
+        "ip_records",
+    ]);
+
+    for &d in &ds {
+        for &l in &ls {
+            let df = testbed::generate(l);
+            let store = TraceStore::in_memory();
+            let run = testbed::run(&df, d, &store).run_id;
+            let query = testbed::focused_query(&[d as u32 / 2, d as u32 / 2]);
+
+            let ni = NaiveLineage::new();
+            let before = store.stats().snapshot();
+            let t_ni = best_of(5, || {
+                ni.run(&store, run, &query).expect("ni query");
+            });
+            let ni_work = store.stats().snapshot().since(before);
+
+            let t_cold = best_of(5, || {
+                let ip = IndexProj::new(&df);
+                ip.run(&store, run, &query).expect("ip query");
+            });
+
+            let cache = PlanCache::new(IndexProj::new(&df));
+            cache.run(&store, run, &query).expect("warm-up");
+            let before = store.stats().snapshot();
+            let t_warm = best_of(5, || {
+                cache.run(&store, run, &query).expect("warm query");
+            });
+            let ip_work = store.stats().snapshot().since(before);
+
+            table.row(vec![
+                cell(d),
+                cell(l),
+                cell_ms(t_ni),
+                cell_ms(t_cold),
+                cell_ms(t_warm),
+                cell(ni_work.records_read / 5),
+                cell(ip_work.records_read / 5),
+            ]);
+        }
+    }
+
+    table.print();
+    let path = table.write_csv("fig9_strategies").expect("write results");
+    println!("\ncsv: {}", path.display());
+}

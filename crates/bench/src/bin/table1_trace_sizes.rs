@@ -1,0 +1,49 @@
+//! **Table 1** — number of trace database records for one run of the
+//! synthetic testbed, over the configuration space `l × d`.
+//!
+//! Paper reference values (records for one run):
+//!
+//! ```text
+//! d\l    10     28     50     75    100    150
+//! 10    626   1346   2226   3226   4226   6226
+//! 25   2306   4106   6306   8806  11306  16306
+//! 50   7106  11000  15106  20106  25106  35106
+//! 75  14406  15479  26406  33906  41406  49561
+//! ```
+//!
+//! The reproduction should match the same growth law: linear in `l`
+//! (chain records), linear in `d` for the chains plus a `d²` term from the
+//! final cross product.
+
+use prov_bench::{cell, quick_mode, Table};
+use prov_store::TraceStore;
+use prov_workgen::testbed;
+
+fn main() {
+    let (ls, ds): (Vec<usize>, Vec<usize>) = if quick_mode() {
+        (vec![10, 28], vec![10, 25])
+    } else {
+        (testbed::PAPER_L.to_vec(), testbed::PAPER_D.to_vec())
+    };
+
+    println!("Table 1: trace records for one run, by chain length l and list size d\n");
+    let mut headers = vec!["d \\ l".to_string()];
+    headers.extend(ls.iter().map(|l| l.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(&header_refs);
+
+    for &d in &ds {
+        let mut row = vec![cell(d)];
+        for &l in &ls {
+            let df = testbed::generate(l);
+            let store = TraceStore::in_memory();
+            let run = testbed::run(&df, d, &store).run_id;
+            row.push(cell(store.trace_record_count(run)));
+        }
+        table.row(row);
+    }
+
+    table.print();
+    let path = table.write_csv("table1_trace_sizes").expect("write results");
+    println!("\ncsv: {}", path.display());
+}

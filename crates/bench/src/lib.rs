@@ -1,0 +1,168 @@
+//! # prov-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§4). Each experiment is a binary under `src/bin/`
+//! (see DESIGN.md §2 for the per-experiment index); this library holds the
+//! shared measurement and reporting machinery.
+//!
+//! Absolute times are hardware-dependent; every experiment therefore also
+//! reports the store's machine-independent access counters (index lookups
+//! and records read) alongside wall-clock times, and the *shapes* —
+//! who wins, what grows with what — are what reproduce the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Measures the best-of-`reps` wall time of `f`, matching the paper's
+/// method: "the best response times over a sequence of five identical
+/// queries for all strategies, i.e., assuming the best case of a warm
+/// cache".
+pub fn best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+/// Milliseconds with microsecond resolution, for table printing.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// A simple fixed-width table printer for experiment output.
+#[derive(Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV to `results/<name>.csv` (creating the
+    /// directory if missing). Returns the path written.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut w = BufWriter::new(File::create(&path)?);
+        writeln!(w, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(w, "{}", row.join(","))?;
+        }
+        w.flush()?;
+        Ok(path)
+    }
+}
+
+/// The `results/` directory at the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|m| PathBuf::from(m).join("../.."))
+        .unwrap_or_else(|_| PathBuf::from("."));
+    base.join("results")
+}
+
+/// Whether `--quick` was passed: experiments shrink their grids so the
+/// whole suite stays test-friendly.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Formats a cell from any displayable value.
+pub fn cell(v: impl Display) -> String {
+    v.to_string()
+}
+
+/// Formats a milliseconds cell with 3 decimals.
+pub fn cell_ms(d: Duration) -> String {
+    format!("{:.3}", ms(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_returns_a_plausible_minimum() {
+        let d = best_of(3, || std::thread::sleep(Duration::from_millis(1)));
+        assert!(d >= Duration::from_millis(1));
+        assert!(d < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn table_renders_aligned_columns_and_csv() {
+        let mut t = Table::new(&["l", "time_ms"]);
+        t.row(vec![cell(10), cell_ms(Duration::from_micros(1500))]);
+        t.row(vec![cell(150), cell("2.000")]);
+        let s = t.render();
+        assert!(s.contains("l  time_ms"));
+        assert!(s.contains("1.500"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec![cell(1)]);
+    }
+
+    #[test]
+    fn ms_converts() {
+        assert!((ms(Duration::from_millis(2)) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed command-line flags: `--name value` pairs (repeatable) and bare
+/// `--name` boolean flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, Vec<String>>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the token list after the subcommand.
+    pub fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            let name = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
+            // A flag is boolean if it is last or followed by another flag.
+            if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                args.values
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(tokens[i + 1].clone());
+                i += 2;
+            } else {
+                args.flags.push(name.to_string());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// The last value of a flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    /// All values of a repeatable flag.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.values
+            .get(name)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// A required flag value.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    /// A parsed optional flag value.
+    pub fn get_parsed<T: FromStr>(&self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.get(name)
+            .map(|raw| raw.parse::<T>().map_err(|e| format!("--{name} {raw:?}: {e}")))
+            .transpose()
+    }
+
+    /// Whether a bare boolean flag was given.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_values_flags_and_repeats() {
+        let a = Args::parse(&toks("--db t.wal --l 20 --all-runs --input a=1 --input b=2")).unwrap();
+        assert_eq!(a.get("db"), Some("t.wal"));
+        assert_eq!(a.get_parsed::<usize>("l").unwrap(), Some(20));
+        assert!(a.has_flag("all-runs"));
+        assert_eq!(a.get_all("input"), vec!["a=1", "b=2"]);
+        assert_eq!(a.get("missing"), None);
+        assert!(a.required("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_positional_tokens() {
+        assert!(Args::parse(&toks("positional --x 1")).is_err());
+    }
+
+    #[test]
+    fn bad_numbers_error_with_context() {
+        let a = Args::parse(&toks("--l abc")).unwrap();
+        let err = a.get_parsed::<usize>("l").unwrap_err();
+        assert!(err.contains("--l"));
+        assert!(err.contains("abc"));
+    }
+}

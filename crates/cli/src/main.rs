@@ -1,0 +1,468 @@
+//! `tprov` — run collection-oriented workflows with provenance capture and
+//! query lineage from the command line.
+//!
+//! ```text
+//! tprov testbed  --db t.wal --l 20 --d 10 [--runs 3]
+//! tprov gk       --db t.wal [--lists 3] [--genes 2] [--seed 7] [--runs 1]
+//! tprov pd       --db t.wal [--terms p53,tumor] [--pad 20]
+//! tprov run      --db t.wal --workflow wf.json --input name=<json> …
+//! tprov runs     --db t.wal
+//! tprov lineage  --db t.wal --workflow wf.json --target P:Y
+//!                [--index 1,2] [--focus A,B] [--run 0 | --all-runs]
+//!                [--algo indexproj|ni]
+//! tprov impact   --db t.wal --target wf:in [--index 0] [--focus wf] [--run 0]
+//! tprov dot      --workflow wf.json
+//! ```
+//!
+//! Workflows executed through `tprov` have their specification saved next
+//! to the database (`<db>.<workflow>.json`), so later `lineage` calls can
+//! use INDEXPROJ against the right graph. `run` executes any workflow
+//! JSON whose behaviours are all in the builtin registry.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use prov_core::{ImpactQuery, IndexProj, LineageQuery, NaiveImpact, NaiveLineage};
+use prov_dataflow::{to_dot, Dataflow};
+use prov_engine::{BehaviorRegistry, Engine};
+use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
+use prov_store::TraceStore;
+use prov_workgen::{bio, testbed};
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tprov: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        print_usage();
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "testbed" => cmd_testbed(&args),
+        "gk" => cmd_gk(&args),
+        "pd" => cmd_pd(&args),
+        "run" => cmd_run(&args),
+        "runs" => cmd_runs(&args),
+        "lineage" => cmd_lineage(&args),
+        "impact" => cmd_impact(&args),
+        "query" => cmd_query(&args),
+        "audit" => cmd_audit(&args),
+        "trace-dot" => cmd_trace_dot(&args),
+        "diff" => cmd_diff(&args),
+        "find-value" => cmd_find_value(&args),
+        "dot" => cmd_dot(&args),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `tprov help`")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "tprov — workflow provenance capture and lineage querying\n\n\
+         commands:\n\
+         \x20 testbed  --db FILE --l N --d N [--runs N]   run the synthetic testbed\n\
+         \x20 gk       --db FILE [--lists N] [--genes N] [--seed N] [--runs N]\n\
+         \x20 pd       --db FILE [--terms a,b] [--pad N]\n\
+         \x20 run      --db FILE --workflow WF.json --input name=<json> ...\n\
+         \x20 runs     --db FILE                           list stored runs\n\
+         \x20 lineage  --db FILE --workflow WF.json --target P:Y [--index 1,2]\n\
+         \x20          [--focus A,B] [--run N | --all-runs] [--algo indexproj|ni]\n\
+         \x20 impact   --db FILE --target P:X [--index 0] [--focus wf] [--run N]\n\
+         \x20 query    --db FILE --query 'lin(<P:Y[1,2]>, {{A}})' [--algo ni|indexproj]\n\
+         \x20          [--workflow WF.json] [--run N | --all-runs]\n\
+         \x20 audit    --db FILE --workflow WF.json [--run N | --all-runs]\n\
+         \x20 diff     --db FILE --a N --b N --target P:Y [--index ..] [--focus ..]\n\
+         \x20 find-value --db FILE --value <json> [--run N] [--lineage] [--focus ..]\n\
+         \x20 dot      --workflow WF.json                  print spec as Graphviz\n\
+         \x20 trace-dot --db FILE [--run N] [--json]       print a run's provenance graph\n\n\
+         queries use the db-registered workflow spec when --workflow is omitted"
+    );
+}
+
+fn open_db(args: &Args) -> Result<TraceStore, String> {
+    let path = args.required("db")?;
+    TraceStore::open(path).map_err(|e| format!("cannot open {path}: {e}"))
+}
+
+/// Persists the workflow spec both inside the database (self-contained
+/// lineage queries) and as a sidecar JSON file (for editing/`dot`).
+fn save_workflow(args: &Args, store: &TraceStore, df: &Dataflow) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(df).map_err(|e| e.to_string())?;
+    store.register_workflow(&df.name, json.clone());
+    let db = args.required("db")?;
+    let path = format!("{db}.{}.json", df.name);
+    std::fs::write(&path, json).map_err(|e| e.to_string())?;
+    println!("workflow spec saved to {path} (and registered in the db)");
+    Ok(())
+}
+
+fn parse_workflow_json(origin: &str, json: &str) -> Result<Dataflow, String> {
+    let mut df: Dataflow = serde_json::from_str(json).map_err(|e| format!("{origin}: {e}"))?;
+    df.reindex();
+    prov_dataflow::validate(&df).map_err(|e| format!("{origin}: {e}"))?;
+    Ok(df)
+}
+
+/// Loads a workflow spec from `--workflow FILE`.
+fn load_workflow(args: &Args) -> Result<Dataflow, String> {
+    let path = args.required("workflow")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_workflow_json(path, &json)
+}
+
+/// Resolves the workflow spec for a query: `--workflow FILE` wins; else
+/// `--wf NAME` is fetched from the database registry; else, if the
+/// database registers exactly one workflow, that one is used.
+fn resolve_workflow(args: &Args, store: &TraceStore) -> Result<Dataflow, String> {
+    if args.get("workflow").is_some() {
+        return load_workflow(args);
+    }
+    let name = match args.get("wf") {
+        Some(n) => prov_model::ProcessorName::from(n),
+        None => {
+            let names = store.workflow_names();
+            match names.as_slice() {
+                [only] => only.clone(),
+                [] => return Err("no workflow registered in the db; pass --workflow FILE".into()),
+                many => {
+                    return Err(format!(
+                        "db registers {} workflows ({}); pick one with --wf NAME",
+                        many.len(),
+                        many.iter().map(|n| n.as_str()).collect::<Vec<_>>().join(", ")
+                    ))
+                }
+            }
+        }
+    };
+    let json = store
+        .workflow_json(&name)
+        .ok_or_else(|| format!("workflow {name:?} is not registered in the db"))?;
+    parse_workflow_json(name.as_str(), &json)
+}
+
+fn cmd_testbed(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let l: usize = args.get_parsed("l")?.unwrap_or(10);
+    let d: usize = args.get_parsed("d")?.unwrap_or(10);
+    let runs: usize = args.get_parsed("runs")?.unwrap_or(1);
+    let df = testbed::generate(l);
+    for _ in 0..runs {
+        let out = testbed::run(&df, d, &store);
+        println!(
+            "{}: {} records (l={l}, d={d})",
+            out.run_id,
+            store.trace_record_count(out.run_id)
+        );
+    }
+    save_workflow(args, &store, &df)
+}
+
+fn cmd_gk(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let lists: usize = args.get_parsed("lists")?.unwrap_or(2);
+    let genes: usize = args.get_parsed("genes")?.unwrap_or(2);
+    let seed: u64 = args.get_parsed("seed")?.unwrap_or(7);
+    let runs: usize = args.get_parsed("runs")?.unwrap_or(1);
+    let df = bio::genes2kegg_workflow();
+    let db = Arc::new(bio::KeggDb::small(seed));
+    for r in 0..runs {
+        let input = bio::sample_gene_lists(lists, genes, seed + r as u64);
+        let out = bio::run_genes2kegg(&df, Arc::clone(&db), input, &store);
+        println!("{}: genes2Kegg run recorded", out.run_id);
+        for (port, value) in &out.outputs {
+            println!("  {port} = {value}");
+        }
+    }
+    save_workflow(args, &store, &df)
+}
+
+fn cmd_pd(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let terms_raw = args.get("terms").unwrap_or("p53,tumor");
+    let terms: Vec<&str> = terms_raw.split(',').filter(|t| !t.is_empty()).collect();
+    let pad: usize = args.get_parsed("pad")?.unwrap_or(20);
+    let df = bio::protein_discovery_workflow(pad);
+    let corpus = Arc::new(bio::PubMedCorpus::new(11, 60));
+    let out = bio::run_protein_discovery(&df, corpus, terms, &store);
+    println!("{}: protein_discovery run recorded", out.run_id);
+    for (port, value) in &out.outputs {
+        println!("  {port} = {value}");
+    }
+    save_workflow(args, &store, &df)
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let df = load_workflow(args)?;
+    let mut inputs: Vec<(String, Value)> = Vec::new();
+    for spec in args.get_all("input") {
+        let (name, json) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--input expects name=<json>, got {spec:?}"))?;
+        let value: Value = serde_json::from_str(json)
+            .map_err(|e| format!("input {name}: invalid value JSON: {e}"))?;
+        inputs.push((name.to_string(), value));
+    }
+    let registry = BehaviorRegistry::new().with_builtins();
+    let out = Engine::new(registry)
+        .execute(&df, inputs, &store)
+        .map_err(|e| e.to_string())?;
+    println!("{}: {} run recorded", out.run_id, df.name);
+    for (port, value) in &out.outputs {
+        println!("  {port} = {value}");
+    }
+    Ok(())
+}
+
+fn cmd_runs(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    for info in store.runs() {
+        println!(
+            "{}  workflow={}  records={}  {}",
+            info.id,
+            info.workflow,
+            info.xform_count + info.xfer_count,
+            if info.finished { "finished" } else { "UNFINISHED" }
+        );
+    }
+    println!("total: {} records", store.total_record_count());
+    Ok(())
+}
+
+fn parse_port_ref(s: &str) -> Result<PortRef, String> {
+    let (proc, port) = s
+        .split_once(':')
+        .ok_or_else(|| format!("expected PROCESSOR:PORT, got {s:?}"))?;
+    Ok(PortRef::new(proc, port))
+}
+
+fn parse_index(args: &Args) -> Result<Index, String> {
+    match args.get("index") {
+        None | Some("") => Ok(Index::empty()),
+        Some(raw) => raw
+            .split(',')
+            .map(|c| c.trim().parse::<u32>().map_err(|e| format!("index {raw:?}: {e}")))
+            .collect::<Result<Vec<u32>, _>>()
+            .map(Index::from),
+    }
+}
+
+fn parse_focus(args: &Args) -> Vec<ProcessorName> {
+    args.get("focus")
+        .map(|raw| {
+            raw.split(',')
+                .filter(|s| !s.is_empty())
+                .map(ProcessorName::from)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn select_runs(args: &Args, store: &TraceStore) -> Result<Vec<RunId>, String> {
+    if args.has_flag("all-runs") {
+        return Ok(store.runs().iter().map(|i| i.id).collect());
+    }
+    let run: u64 = args.get_parsed("run")?.unwrap_or(0);
+    Ok(vec![RunId(run)])
+}
+
+fn cmd_lineage(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let target = parse_port_ref(args.required("target")?)?;
+    let index = parse_index(args)?;
+    let focus = parse_focus(args);
+    let query = LineageQuery::focused(target, index, focus);
+    let runs = select_runs(args, &store)?;
+    let algo = args.get("algo").unwrap_or("indexproj");
+
+    println!("{query}");
+    match algo {
+        "ni" => {
+            let ni = NaiveLineage::new();
+            for ans in ni.run_multi(&store, &runs, &query).map_err(|e| e.to_string())? {
+                print!("{ans}");
+            }
+        }
+        "indexproj" => {
+            let df = resolve_workflow(args, &store)?;
+            let ip = IndexProj::new(&df);
+            let plan = ip.plan(&query).map_err(|e| e.to_string())?;
+            println!("plan: {} trace lookups", plan.steps.len());
+            for ans in plan.execute_multi(&store, &runs).map_err(|e| e.to_string())? {
+                print!("{ans}");
+            }
+        }
+        other => return Err(format!("unknown --algo {other:?} (ni|indexproj)")),
+    }
+    Ok(())
+}
+
+fn cmd_impact(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let source = parse_port_ref(args.required("target")?)?;
+    let index = parse_index(args)?;
+    let focus = parse_focus(args);
+    let query = ImpactQuery::focused(source, index, focus);
+    let runs = select_runs(args, &store)?;
+    println!("{query}");
+    for ans in NaiveImpact::new().run_multi(&store, &runs, &query).map_err(|e| e.to_string())? {
+        print!("{ans}");
+    }
+    Ok(())
+}
+
+/// Audits stored traces against the workflow specification (Prop. 1,
+/// fragment lengths, dangling transfers).
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let df = resolve_workflow(args, &store)?;
+    let runs = select_runs(args, &store)?;
+    let mut dirty = false;
+    for run in runs {
+        let report = prov_core::audit_run(&df, &store, run).map_err(|e| e.to_string())?;
+        dirty |= !report.is_clean();
+        print!("{report}");
+    }
+    if dirty {
+        Err("audit found violations".into())
+    } else {
+        Ok(())
+    }
+}
+
+/// Queries written in the paper's own notation, e.g.
+/// `tprov query --db t.wal --query 'lin(<2TO1_FINAL:Y[1,2]>, {LISTGEN_1})'`.
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let raw = args.required("query")?;
+    let runs = select_runs(args, &store)?;
+    match prov_core::parse_query(raw).map_err(|e| e.to_string())? {
+        prov_core::ParsedQuery::Lineage(query) => {
+            println!("{query}");
+            match args.get("algo").unwrap_or("ni") {
+                "ni" => {
+                    for ans in NaiveLineage::new()
+                        .run_multi(&store, &runs, &query)
+                        .map_err(|e| e.to_string())?
+                    {
+                        print!("{ans}");
+                    }
+                }
+                "indexproj" => {
+                    let df = resolve_workflow(args, &store)?;
+                    let plan = IndexProj::new(&df).plan(&query).map_err(|e| e.to_string())?;
+                    println!("plan: {} trace lookups", plan.steps.len());
+                    for ans in plan.execute_multi(&store, &runs).map_err(|e| e.to_string())? {
+                        print!("{ans}");
+                    }
+                }
+                other => return Err(format!("unknown --algo {other:?} (ni|indexproj)")),
+            }
+        }
+        prov_core::ParsedQuery::Impact(query) => {
+            println!("{query}");
+            for ans in NaiveImpact::new()
+                .run_multi(&store, &runs, &query)
+                .map_err(|e| e.to_string())?
+            {
+                print!("{ans}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let df = load_workflow(args)?;
+    print!("{}", to_dot(&df));
+    Ok(())
+}
+
+/// Compares a lineage question across two runs (§3.4): shared plan, one
+/// execution per run, set difference of the answers — plus the trace-level
+/// invocation-count diff.
+fn cmd_diff(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let df = resolve_workflow(args, &store)?;
+    let a = RunId(args.get_parsed("a")?.ok_or("missing required --a")?);
+    let b = RunId(args.get_parsed("b")?.ok_or("missing required --b")?);
+    let target = parse_port_ref(args.required("target")?)?;
+    let query = LineageQuery::focused(target, parse_index(args)?, parse_focus(args));
+    println!("{query}");
+    let diff = prov_core::diff_lineage(&df, &store, a, b, &query).map_err(|e| e.to_string())?;
+    print!("{diff}");
+    let tdiff = prov_core::diff_traces(&store, a, b);
+    let divergent = tdiff.divergent();
+    if divergent.is_empty() {
+        println!("trace shapes identical ({} processors)", tdiff.invocations.len());
+    } else {
+        println!("divergent iteration structure:");
+        for (p, x, y) in divergent {
+            println!("  {p}: {x} vs {y} invocations");
+        }
+    }
+    Ok(())
+}
+
+/// Value-predicated search: where did a value appear, and (optionally) what
+/// is its lineage from each of those bindings?
+fn cmd_find_value(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let raw = args.required("value")?;
+    // Accept either full Value JSON or a bare string shorthand.
+    let value: Value = serde_json::from_str(raw).unwrap_or_else(|_| Value::str(raw));
+    let runs = select_runs(args, &store)?;
+    let focus = parse_focus(args);
+    for run in runs {
+        let hits = store.bindings_with_value(run, &value);
+        println!("{run}: value {value} appears in {} binding(s)", hits.len());
+        for b in &hits {
+            let resolved = store.resolve(b).map_err(|e| e.to_string())?;
+            println!("  {resolved}");
+            if args.has_flag("lineage") {
+                let q = LineageQuery::focused(
+                    resolved.port.clone(),
+                    resolved.index.clone(),
+                    focus.iter().cloned(),
+                );
+                let ans = NaiveLineage::new().run(&store, run, &q).map_err(|e| e.to_string())?;
+                for lb in &ans.bindings {
+                    println!("    ⇐ {lb}");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders one run's provenance *graph* (bindings + dependencies), as DOT
+/// or JSON. Useful for small traces only — the point of the paper is that
+/// you rarely want to look at this whole graph.
+fn cmd_trace_dot(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let run: u64 = args.get_parsed("run")?.unwrap_or(0);
+    let graph = prov_store::ProvenanceGraph::of_run(&store, RunId(run));
+    let (nodes, edges) = graph.size();
+    eprintln!("provenance graph of run:{run}: {nodes} nodes, {edges} edges");
+    if args.has_flag("json") {
+        println!("{}", graph.to_json());
+    } else {
+        print!("{}", graph.to_dot(RunId(run)));
+    }
+    Ok(())
+}

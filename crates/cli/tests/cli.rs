@@ -1,0 +1,263 @@
+//! End-to-end tests of the `tprov` binary: each test drives real
+//! subcommands against a temporary durable database.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tprov(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tprov"))
+        .args(args)
+        .output()
+        .expect("tprov runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+struct TempDb {
+    path: PathBuf,
+}
+
+impl TempDb {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join("tprov-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        TempDb { path }
+    }
+
+    fn arg(&self) -> &str {
+        self.path.to_str().unwrap()
+    }
+
+    fn sidecar(&self, workflow: &str) -> String {
+        format!("{}.{workflow}.json", self.arg())
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+        for wf in ["testbed", "genes2Kegg", "protein_discovery"] {
+            let _ = std::fs::remove_file(self.sidecar(wf));
+        }
+    }
+}
+
+#[test]
+fn help_prints_usage_and_unknown_command_fails() {
+    let out = tprov(&["help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("commands:"));
+
+    let out = tprov(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn testbed_runs_lineage_round_trip() {
+    let db = TempDb::new("testbed");
+    let out = tprov(&["testbed", "--db", db.arg(), "--l", "4", "--d", "3", "--runs", "2"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("run:0"));
+    assert!(stdout(&out).contains("run:1"));
+
+    let out = tprov(&["runs", "--db", db.arg()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("workflow=testbed"));
+    assert!(stdout(&out).contains("finished"));
+
+    // INDEXPROJ lineage via the saved workflow spec.
+    let out = tprov(&[
+        "lineage",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &db.sidecar("testbed"),
+        "--target",
+        "2TO1_FINAL:Y",
+        "--index",
+        "1,2",
+        "--focus",
+        "LISTGEN_1",
+        "--all-runs",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("plan: 1 trace lookups"));
+    assert!(text.contains("⟨LISTGEN_1:size[], 3⟩"));
+    assert!(text.matches("1 binding(s)").count() == 2); // both runs
+
+    // NI gives the same binding.
+    let out = tprov(&[
+        "lineage", "--db", db.arg(), "--target", "2TO1_FINAL:Y", "--index", "1,2",
+        "--focus", "LISTGEN_1", "--run", "0", "--algo", "ni",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("⟨LISTGEN_1:size[], 3⟩"));
+}
+
+#[test]
+fn query_command_parses_paper_notation() {
+    let db = TempDb::new("query");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
+    let out = tprov(&[
+        "query",
+        "--db",
+        db.arg(),
+        "--query",
+        "lin(<2TO1_FINAL:Y[0,1]>, {LISTGEN_1})",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("⟨LISTGEN_1:size[], 2⟩"));
+
+    // Impact direction through the same entry point.
+    let out = tprov(&[
+        "query", "--db", db.arg(), "--query", "impact(<testbed:ListSize[]>, {testbed})",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("testbed:product"));
+
+    // Malformed queries fail with a parse error.
+    let out = tprov(&["query", "--db", db.arg(), "--query", "lin(oops"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("parse error"));
+}
+
+#[test]
+fn audit_reports_clean_for_engine_traces() {
+    let db = TempDb::new("audit");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
+    let out = tprov(&[
+        "audit", "--db", db.arg(), "--workflow", &db.sidecar("testbed"), "--all-runs",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("clean"));
+}
+
+#[test]
+fn gk_and_dot_commands_work() {
+    let db = TempDb::new("gk");
+    let out = tprov(&["gk", "--db", db.arg(), "--lists", "2", "--genes", "1"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("commonPathways"));
+
+    let out = tprov(&["dot", "--workflow", &db.sidecar("genes2Kegg")]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("digraph \"genes2Kegg\""));
+
+    let out = tprov(&["trace-dot", "--db", db.arg(), "--run", "0"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("digraph \"run:0\""));
+    assert!(stderr(&out).contains("nodes"));
+}
+
+#[test]
+fn run_command_executes_workflow_json_with_builtins() {
+    let db = TempDb::new("runjson");
+    // Author a workflow JSON via the library, then execute it via the CLI.
+    let mut b = prov_dataflow::DataflowBuilder::new("upper");
+    b.input("xs", prov_dataflow::PortType::list(prov_dataflow::BaseType::String));
+    b.processor_with_behavior("U", "string_upper")
+        .in_port("x", prov_dataflow::PortType::atom(prov_dataflow::BaseType::String))
+        .out_port("y", prov_dataflow::PortType::atom(prov_dataflow::BaseType::String));
+    b.arc_from_input("xs", "U", "x").unwrap();
+    b.output("ys", prov_dataflow::PortType::list(prov_dataflow::BaseType::String));
+    b.arc_to_output("U", "y", "ys").unwrap();
+    let df = b.build().unwrap();
+    let wf_path = format!("{}.authored.json", db.arg());
+    std::fs::write(&wf_path, serde_json::to_string(&df).unwrap()).unwrap();
+
+    let out = tprov(&[
+        "run",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &wf_path,
+        "--input",
+        r#"xs={"List":[{"Atom":{"Str":"ab"}},{"Atom":{"Str":"cd"}}]}"#,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("\"AB\""));
+    assert!(stdout(&out).contains("\"CD\""));
+    let _ = std::fs::remove_file(&wf_path);
+}
+
+#[test]
+fn lineage_uses_db_registered_workflow_when_flag_omitted() {
+    let db = TempDb::new("registry");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
+    // No --workflow: the spec registered in the db is used.
+    let out = tprov(&[
+        "lineage", "--db", db.arg(), "--target", "2TO1_FINAL:Y", "--index", "0,1",
+        "--focus", "LISTGEN_1", "--run", "0",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("⟨LISTGEN_1:size[], 2⟩"));
+
+    // Two registered workflows → ambiguous without --wf.
+    assert!(tprov(&["gk", "--db", db.arg()]).status.success());
+    let out = tprov(&[
+        "lineage", "--db", db.arg(), "--target", "2TO1_FINAL:Y", "--index", "0,0",
+        "--focus", "LISTGEN_1", "--run", "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--wf"));
+    // Disambiguated by --wf.
+    let out = tprov(&[
+        "lineage", "--db", db.arg(), "--wf", "testbed", "--target", "2TO1_FINAL:Y",
+        "--index", "0,0", "--focus", "LISTGEN_1", "--run", "0",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+}
+
+#[test]
+fn diff_command_compares_two_runs() {
+    let db = TempDb::new("diff");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "4"]).status.success());
+    let out = tprov(&[
+        "diff", "--db", db.arg(), "--a", "0", "--b", "1", "--target", "2TO1_FINAL:Y",
+        "--index", "0,1", "--focus", "LISTGEN_1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("1 only in A, 1 only in B"));
+    assert!(text.contains("divergent iteration structure"));
+    assert!(text.contains("2TO1_FINAL: 4 vs 16 invocations"));
+}
+
+#[test]
+fn find_value_locates_bindings_and_lineage() {
+    let db = TempDb::new("findval");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "2", "--d", "3"]).status.success());
+    let out = tprov(&[
+        "find-value", "--db", db.arg(), "--value", "item-1", "--run", "0",
+        "--lineage", "--focus", "LISTGEN_1",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("appears in"));
+    assert!(text.contains("⟨LISTGEN_1:list[1], \"item-1\"⟩"));
+    assert!(text.contains("⇐ ⟨LISTGEN_1:size[], 3⟩"));
+    // An absent value reports zero bindings.
+    let out = tprov(&["find-value", "--db", db.arg(), "--value", "ghost", "--run", "0"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("0 binding(s)"));
+}
+
+#[test]
+fn missing_required_flags_error_cleanly() {
+    let out = tprov(&["lineage", "--db", "/nonexistent/nope.wal"]);
+    assert!(!out.status.success());
+    let out = tprov(&["testbed"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--db"));
+}

@@ -1,0 +1,93 @@
+//! Query answers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use prov_model::{Binding, RunId};
+
+/// The answer to a lineage query over one run: the set of bindings at the
+/// interesting processors, plus the work accounting both algorithms expose
+/// for the evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageAnswer {
+    /// The run the answer pertains to.
+    pub run: RunId,
+    /// The collected bindings, sorted (port, index) and deduplicated, so
+    /// answers from different algorithms compare with `==`.
+    pub bindings: Vec<Binding>,
+    /// Number of trace queries issued (phase *s2* units).
+    pub trace_queries: usize,
+    /// Number of graph nodes visited (provenance-graph nodes for NI,
+    /// spec-graph ports for INDEXPROJ — phase *s1* units).
+    pub nodes_visited: usize,
+}
+
+impl LineageAnswer {
+    /// Builds an answer, normalising the binding order.
+    pub fn new(
+        run: RunId,
+        mut bindings: Vec<Binding>,
+        trace_queries: usize,
+        nodes_visited: usize,
+    ) -> Self {
+        bindings.sort_by(|a, b| (&a.port, &a.index).cmp(&(&b.port, &b.index)));
+        bindings.dedup();
+        LineageAnswer { run, bindings, trace_queries, nodes_visited }
+    }
+
+    /// Whether the two answers agree on the binding set (ignoring the work
+    /// accounting) — the NI ≡ INDEXPROJ equivalence checked by tests.
+    pub fn same_bindings(&self, other: &LineageAnswer) -> bool {
+        self.bindings == other.bindings
+    }
+}
+
+impl fmt::Display for LineageAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — {} binding(s):", self.run, self.bindings.len())?;
+        for b in &self.bindings {
+            writeln!(f, "  {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{Index, PortRef, Value};
+
+    fn b(port: &str, idx: &[u32], v: i64) -> Binding {
+        Binding::new(PortRef::new("P", port), Index::from_slice(idx), Value::int(v))
+    }
+
+    #[test]
+    fn constructor_sorts_and_dedups() {
+        let a = LineageAnswer::new(
+            RunId(0),
+            vec![b("y", &[1], 1), b("x", &[0], 2), b("y", &[1], 1)],
+            3,
+            5,
+        );
+        assert_eq!(a.bindings.len(), 2);
+        assert_eq!(a.bindings[0].port.port_str(), "x");
+    }
+
+    #[test]
+    fn same_bindings_ignores_accounting() {
+        let a = LineageAnswer::new(RunId(0), vec![b("x", &[], 1)], 1, 1);
+        let c = LineageAnswer::new(RunId(0), vec![b("x", &[], 1)], 99, 99);
+        assert!(a.same_bindings(&c));
+        let d = LineageAnswer::new(RunId(0), vec![b("x", &[0], 1)], 1, 1);
+        assert!(!a.same_bindings(&d));
+    }
+
+    #[test]
+    fn display_lists_bindings() {
+        let a = LineageAnswer::new(RunId(2), vec![b("x", &[0], 7)], 1, 1);
+        let s = a.to_string();
+        assert!(s.contains("run:2"));
+        assert!(s.contains("⟨P:x[0], 7⟩"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Lineage query errors.
+
+use std::fmt;
+
+use prov_dataflow::DataflowError;
+use prov_store::StoreError;
+
+/// Errors raised by lineage query processing.
+#[derive(Debug)]
+pub enum CoreError {
+    /// The workflow specification is invalid or lacks the queried port.
+    Dataflow(DataflowError),
+    /// The trace store failed.
+    Store(StoreError),
+    /// The query's target port is not a workflow output or processor output
+    /// of the given dataflow.
+    UnknownTarget {
+        /// Rendered `P:Y` reference.
+        target: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dataflow(e) => write!(f, "{e}"),
+            CoreError::Store(e) => write!(f, "{e}"),
+            CoreError::UnknownTarget { target } => {
+                write!(f, "query target {target} is not a port of this workflow")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<DataflowError> for CoreError {
+    fn from(e: DataflowError) -> Self {
+        CoreError::Dataflow(e)
+    }
+}
+
+impl From<StoreError> for CoreError {
+    fn from(e: StoreError) -> Self {
+        CoreError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let e = CoreError::UnknownTarget { target: "P:Y".into() };
+        assert!(e.to_string().contains("P:Y"));
+        let e: CoreError = DataflowError::UnknownProcessor("Z".into()).into();
+        assert!(matches!(e, CoreError::Dataflow(_)));
+    }
+}

@@ -1,0 +1,259 @@
+//! **NI** — the naïve baseline (§2.4): Def. 1 evaluated by recursive
+//! traversal of the provenance graph.
+//!
+//! Every step retrieves events from the trace store:
+//!
+//! * *xform* case — invert a processor extensionally by finding the xform
+//!   events whose output binding matches the current node; if the
+//!   processor is interesting, collect its input bindings (`In_P`); recurse
+//!   on every input binding;
+//! * *xfer* case — follow arcs backwards (`lin(dst) = lin(src)`).
+//!
+//! The cost is proportional to the number of provenance-graph nodes on all
+//! paths upstream of the query target — including regions that contain no
+//! interesting processors at all, which is exactly the waste INDEXPROJ
+//! avoids.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use prov_model::{Binding, Index, ProcessorName, RunId};
+use prov_store::TraceStore;
+
+use crate::{LineageAnswer, LineageQuery, Result};
+
+/// The naïve lineage query processor.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NaiveLineage;
+
+impl NaiveLineage {
+    /// A query processor (stateless; the struct exists for API symmetry
+    /// with [`crate::IndexProj`]).
+    pub fn new() -> Self {
+        NaiveLineage
+    }
+
+    /// Answers `query` over one run.
+    pub fn run(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &LineageQuery,
+    ) -> Result<LineageAnswer> {
+        let mut visited: HashSet<(ProcessorName, Arc<str>, Index)> = HashSet::new();
+        let mut stack: Vec<(ProcessorName, Arc<str>, Index)> = vec![(
+            query.target.processor.clone(),
+            query.target.port.clone(),
+            query.index.clone(),
+        )];
+        let mut bindings: Vec<Binding> = Vec::new();
+        let mut trace_queries = 0usize;
+
+        while let Some(node) = stack.pop() {
+            if !visited.insert(node.clone()) {
+                continue;
+            }
+            let (processor, port, index) = node;
+
+            // xform case: the node as an invocation output.
+            trace_queries += 1;
+            let producers = store.xforms_producing(run, &processor, &port, &index);
+            let focused = query.focus.contains(&processor);
+            for rec in &producers {
+                for input in rec.inputs() {
+                    if focused {
+                        bindings.push(store.resolve(&prov_store::StoredBinding {
+                            run,
+                            processor: processor.clone(),
+                            port: input.port.clone(),
+                            index: input.index.clone(),
+                            value: input.value,
+                        })?);
+                    }
+                    stack.push((processor.clone(), input.port.clone(), input.index.clone()));
+                }
+            }
+
+            // xfer case: the node as an arc destination.
+            trace_queries += 1;
+            let incoming = store.xfers_into(run, &processor, &port, &index);
+            for rec in &incoming {
+                stack.push((
+                    rec.src_processor.clone(),
+                    rec.src_port.clone(),
+                    rec.src_index.clone(),
+                ));
+            }
+
+            // Workflow-scope input ports exist in the trace only as xfer
+            // *sources*: top-level inputs are true sources (no producers,
+            // no incoming transfers), and a nested scope's inputs forward
+            // into its own inner processors (names under `scope/`).
+            // Collect their bindings when the scope is interesting.
+            if focused && producers.is_empty() {
+                let is_source = incoming.is_empty();
+                let is_scope_input = if is_source {
+                    false // already conclusive
+                } else {
+                    trace_queries += 1;
+                    let scope_prefix = format!("{processor}/");
+                    store
+                        .xfers_from(run, &processor, &port, &index)
+                        .iter()
+                        .any(|r| {
+                            r.dst_processor.as_str().starts_with(&scope_prefix)
+                                || r.dst_processor == processor
+                        })
+                };
+                if is_source || is_scope_input {
+                    trace_queries += 1;
+                    for b in store.xfer_src_bindings(run, &processor, &port, &index) {
+                        bindings.push(store.resolve(&b)?);
+                    }
+                }
+            }
+        }
+
+        Ok(LineageAnswer::new(run, bindings, trace_queries, visited.len()))
+    }
+
+    /// Answers `query` over several runs. NI shares nothing between runs:
+    /// each run costs one full provenance-graph traversal (the behaviour
+    /// Fig. 4 contrasts with INDEXPROJ's shared phase s1).
+    pub fn run_multi(
+        &self,
+        store: &TraceStore,
+        runs: &[RunId],
+        query: &LineageQuery,
+    ) -> Result<Vec<LineageAnswer>> {
+        runs.iter().map(|&r| self.run(store, r, query)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_dataflow::{BaseType, DataflowBuilder, PortType};
+    use prov_engine::{BehaviorRegistry, Engine, TraceSink};
+    use prov_model::{PortRef, Value};
+
+    /// in:list → A → B → out, identity stages.
+    fn chain_setup() -> (TraceStore, RunId) {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        for name in ["A", "B"] {
+            b.processor_with_behavior(name, "identity")
+                .in_port("x", PortType::atom(BaseType::String))
+                .out_port("y", PortType::atom(BaseType::String));
+        }
+        b.arc_from_input("in", "A", "x").unwrap();
+        b.arc("A", "y", "B", "x").unwrap();
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("B", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let store = TraceStore::in_memory();
+        let run = Engine::new(BehaviorRegistry::new().with_builtins())
+            .execute(&df, vec![("in".into(), Value::from(vec!["u", "v", "w"]))], &store)
+            .unwrap()
+            .run_id;
+        (store, run)
+    }
+
+    #[test]
+    fn fine_grained_lineage_reaches_the_right_input_element() {
+        let (store, run) = chain_setup();
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::single(1),
+            [ProcessorName::from("wf")],
+        );
+        let ans = NaiveLineage::new().run(&store, run, &q).unwrap();
+        assert_eq!(ans.bindings.len(), 1);
+        assert_eq!(ans.bindings[0].port, PortRef::new("wf", "in"));
+        assert_eq!(ans.bindings[0].index, Index::single(1));
+        assert_eq!(ans.bindings[0].value, Value::str("v"));
+    }
+
+    #[test]
+    fn focusing_an_intermediate_processor_collects_its_inputs() {
+        let (store, run) = chain_setup();
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::single(2),
+            [ProcessorName::from("B")],
+        );
+        let ans = NaiveLineage::new().run(&store, run, &q).unwrap();
+        assert_eq!(ans.bindings.len(), 1);
+        assert_eq!(ans.bindings[0].port, PortRef::new("B", "x"));
+        assert_eq!(ans.bindings[0].value, Value::str("w"));
+    }
+
+    #[test]
+    fn coarse_query_collects_all_elements() {
+        let (store, run) = chain_setup();
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::empty(),
+            [ProcessorName::from("wf")],
+        );
+        let ans = NaiveLineage::new().run(&store, run, &q).unwrap();
+        // All three input elements are in the lineage of the whole output.
+        assert_eq!(ans.bindings.len(), 3);
+    }
+
+    #[test]
+    fn empty_focus_returns_no_bindings_but_still_traverses() {
+        let (store, run) = chain_setup();
+        let q = LineageQuery::focused(PortRef::new("wf", "out"), Index::single(0), []);
+        let ans = NaiveLineage::new().run(&store, run, &q).unwrap();
+        assert!(ans.bindings.is_empty());
+        assert!(ans.nodes_visited > 1);
+        assert!(ans.trace_queries > 1);
+    }
+
+    #[test]
+    fn multi_run_traverses_each_run_independently() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        b.processor_with_behavior("A", "identity")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "A", "x").unwrap();
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("A", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let store = TraceStore::in_memory();
+        let engine = Engine::new(BehaviorRegistry::new().with_builtins());
+        let mut runs = Vec::new();
+        for tag in ["r0", "r1"] {
+            runs.push(
+                engine
+                    .execute(&df, vec![("in".into(), Value::from(vec![tag]))], &store)
+                    .unwrap()
+                    .run_id,
+            );
+        }
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::single(0),
+            [ProcessorName::from("wf")],
+        );
+        let answers = NaiveLineage::new().run_multi(&store, &runs, &q).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].bindings[0].value, Value::str("r0"));
+        assert_eq!(answers[1].bindings[0].value, Value::str("r1"));
+    }
+
+    #[test]
+    fn querying_a_run_with_no_trace_returns_empty() {
+        let (store, _) = chain_setup();
+        let ghost = store.begin_run(&"wf".into());
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::single(0),
+            [ProcessorName::from("wf")],
+        );
+        let ans = NaiveLineage::new().run(&store, ghost, &q).unwrap();
+        assert!(ans.bindings.is_empty());
+    }
+}

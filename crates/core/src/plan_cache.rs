@@ -1,0 +1,145 @@
+//! Caching of compiled lineage plans.
+//!
+//! "Since the workflow graph is generally much smaller than any provenance
+//! graph, it is feasible to cache the nodes visited in one query to speed
+//! up their access in subsequent queries, as all queries on a provenance
+//! trace share the same workflow structure" (§3). A [`PlanCache`] memoises
+//! whole [`LineagePlan`]s per `(target, index, 𝒫)` — the warm-cache
+//! strategy of Fig. 9.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use prov_model::RunId;
+use prov_store::TraceStore;
+
+use crate::{IndexProj, LineageAnswer, LineagePlan, LineageQuery, Result};
+
+/// A thread-safe cache of compiled plans for one workflow.
+pub struct PlanCache<'a> {
+    index_proj: IndexProj<'a>,
+    plans: Mutex<HashMap<LineageQuery, Arc<LineagePlan>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl<'a> PlanCache<'a> {
+    /// A cache in front of the given INDEXPROJ processor.
+    pub fn new(index_proj: IndexProj<'a>) -> Self {
+        PlanCache {
+            index_proj,
+            plans: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// The plan for `query`, compiled at most once.
+    pub fn plan(&self, query: &LineageQuery) -> Result<Arc<LineagePlan>> {
+        if let Some(p) = self.plans.lock().get(query) {
+            *self.hits.lock() += 1;
+            return Ok(Arc::clone(p));
+        }
+        let plan = Arc::new(self.index_proj.plan(query)?);
+        self.plans.lock().insert(query.clone(), Arc::clone(&plan));
+        *self.misses.lock() += 1;
+        Ok(plan)
+    }
+
+    /// Plans (or reuses) and executes over one run.
+    pub fn run(&self, store: &TraceStore, run: RunId, query: &LineageQuery) -> Result<LineageAnswer> {
+        self.plan(query)?.execute(store, run)
+    }
+
+    /// Plans (or reuses) and executes over several runs.
+    pub fn run_multi(
+        &self,
+        store: &TraceStore,
+        runs: &[RunId],
+        query: &LineageQuery,
+    ) -> Result<Vec<LineageAnswer>> {
+        self.plan(query)?.execute_multi(store, runs)
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.plans.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_dataflow::{BaseType, DataflowBuilder, PortType};
+    use prov_model::{Index, PortRef, ProcessorName};
+
+    fn tiny() -> prov_dataflow::Dataflow {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::Int));
+        b.processor_with_behavior("A", "identity")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.arc_from_input("in", "A", "x").unwrap();
+        b.output("out", PortType::list(BaseType::Int));
+        b.arc_to_output("A", "y", "out").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_queries_hit_the_cache() {
+        let df = tiny();
+        let cache = PlanCache::new(IndexProj::new(&df));
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::single(0),
+            [ProcessorName::from("wf")],
+        );
+        let p1 = cache.plan(&q).unwrap();
+        let p2 = cache.plan(&q).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_indices_are_distinct_entries() {
+        let df = tiny();
+        let cache = PlanCache::new(IndexProj::new(&df));
+        for i in 0..3 {
+            let q = LineageQuery::focused(
+                PortRef::new("wf", "out"),
+                Index::single(i),
+                [ProcessorName::from("wf")],
+            );
+            cache.plan(&q).unwrap();
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), (0, 3));
+    }
+
+    #[test]
+    fn different_focus_sets_are_distinct_entries() {
+        let df = tiny();
+        let cache = PlanCache::new(IndexProj::new(&df));
+        let base = PortRef::new("wf", "out");
+        cache
+            .plan(&LineageQuery::focused(base.clone(), Index::empty(), [ProcessorName::from("wf")]))
+            .unwrap();
+        cache
+            .plan(&LineageQuery::focused(base, Index::empty(), [ProcessorName::from("A")]))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Lineage query descriptions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use prov_model::{Index, PortRef, ProcessorName};
+
+/// The set `𝒫` of "interesting" processors a query is focused on.
+///
+/// Ordered (`BTreeSet`) so that equal focus sets hash and compare equal —
+/// the plan cache keys on it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FocusSet(BTreeSet<ProcessorName>);
+
+impl FocusSet {
+    /// An empty focus set (a query that merely tests reachability).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a focus set from names.
+    pub fn from_names(names: impl IntoIterator<Item = ProcessorName>) -> Self {
+        FocusSet(names.into_iter().collect())
+    }
+
+    /// Whether `processor` is interesting.
+    pub fn contains(&self, processor: &ProcessorName) -> bool {
+        self.0.contains(processor)
+    }
+
+    /// Number of interesting processors.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates the names in order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcessorName> {
+        self.0.iter()
+    }
+
+    /// Adds a processor.
+    pub fn insert(&mut self, processor: ProcessorName) {
+        self.0.insert(processor);
+    }
+}
+
+impl FromIterator<ProcessorName> for FocusSet {
+    fn from_iter<T: IntoIterator<Item = ProcessorName>>(iter: T) -> Self {
+        FocusSet(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for FocusSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A lineage query `lin(⟨P:Y[p], v⟩, 𝒫)` (Def. 1): starting from position
+/// `index` of the value observed on `target`, collect the bindings at the
+/// interesting processors `focus` along every upstream path.
+///
+/// The value `v` itself is *not* part of the query: Prop. 1 shows lineage
+/// is computable from `(P:Y, p)` alone, and both query processors exploit
+/// that.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LineageQuery {
+    /// The port whose value's lineage is asked for (often a workflow
+    /// output, e.g. `workflow:paths_per_gene`).
+    pub target: PortRef,
+    /// Position within the target value; `[]` asks for the lineage of the
+    /// whole value (coarse granularity on demand, §2.4).
+    pub index: Index,
+    /// The interesting processors `𝒫`.
+    pub focus: FocusSet,
+}
+
+impl LineageQuery {
+    /// A focused query on the given processors.
+    pub fn focused(
+        target: PortRef,
+        index: Index,
+        focus: impl IntoIterator<Item = ProcessorName>,
+    ) -> Self {
+        LineageQuery { target, index, focus: FocusSet::from_names(focus) }
+    }
+
+    /// A fully *unfocused* query over the given workflow: every processor
+    /// (and the workflow itself, i.e. its input bindings) is interesting.
+    /// This is the configuration in which INDEXPROJ "only approaches NI"
+    /// (§4).
+    pub fn unfocused(target: PortRef, index: Index, dataflow: &prov_dataflow::Dataflow) -> Self {
+        let mut focus = FocusSet::empty();
+        focus.insert(dataflow.name.clone());
+        for p in &dataflow.processors {
+            focus.insert(p.name.clone());
+        }
+        LineageQuery { target, index, focus }
+    }
+
+    /// The same query with a coarse (whole-value) index.
+    pub fn coarse(&self) -> Self {
+        LineageQuery { target: self.target.clone(), index: Index::empty(), focus: self.focus.clone() }
+    }
+}
+
+impl fmt::Display for LineageQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lin(⟨{}{}⟩, {})", self.target, self.index, self.focus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_dataflow::{BaseType, DataflowBuilder, PortType};
+
+    #[test]
+    fn focus_set_is_order_insensitive() {
+        let a = FocusSet::from_names(["P".into(), "Q".into()]);
+        let b = FocusSet::from_names(["Q".into(), "P".into()]);
+        assert_eq!(a, b);
+        assert!(a.contains(&"P".into()));
+        assert!(!a.contains(&"R".into()));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let q = LineageQuery::focused(
+            PortRef::new("2TO1_FINAL", "Y"),
+            Index::from_slice(&[1, 2]),
+            [ProcessorName::from("LISTGEN_1")],
+        );
+        assert_eq!(q.to_string(), "lin(⟨2TO1_FINAL:Y[1,2]⟩, {LISTGEN_1})");
+    }
+
+    #[test]
+    fn unfocused_covers_all_processors_and_workflow() {
+        let mut b = DataflowBuilder::new("wf");
+        b.processor("P").out_port("y", PortType::atom(BaseType::Int));
+        b.processor("Q").out_port("y", PortType::atom(BaseType::Int));
+        let df = b.build().unwrap();
+        let q = LineageQuery::unfocused(PortRef::new("wf", "out"), Index::empty(), &df);
+        assert_eq!(q.focus.len(), 3);
+        assert!(q.focus.contains(&"wf".into()));
+    }
+
+    #[test]
+    fn coarse_drops_the_index_only() {
+        let q = LineageQuery::focused(
+            PortRef::new("P", "Y"),
+            Index::from_slice(&[3]),
+            [ProcessorName::from("Q")],
+        );
+        let c = q.coarse();
+        assert!(c.index.is_empty());
+        assert_eq!(c.target, q.target);
+        assert_eq!(c.focus, q.focus);
+    }
+}

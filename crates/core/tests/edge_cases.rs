@@ -1,0 +1,163 @@
+//! Edge cases of the query algorithms: fan-out/fan-in graph shapes,
+//! default-valued ports, intermediate-port targets, and degenerate runs.
+
+use prov_core::{IndexProj, LineageQuery, NaiveLineage, StepKind};
+use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
+use prov_engine::{builtin, BehaviorRegistry, Engine};
+use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
+use prov_store::TraceStore;
+
+fn registry() -> BehaviorRegistry {
+    let mut r = BehaviorRegistry::new().with_builtins();
+    r.register("t1", builtin::tagger("-1"));
+    r.register("t2", builtin::tagger("-2"));
+    r.register_fn("pair", |inputs| {
+        let a = builtin::expect_str(&inputs[0])?;
+        let b = builtin::expect_str(&inputs[1])?;
+        Ok(vec![Value::str(&format!("{a}+{b}"))])
+    });
+    r
+}
+
+/// in → S → (L, R) → J: a diamond where both branches share one source.
+fn diamond() -> Dataflow {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("in", PortType::list(BaseType::String));
+    b.processor_with_behavior("S", "identity")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    b.processor_with_behavior("L", "t1")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    b.processor_with_behavior("R", "t2")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    b.processor_with_behavior("J", "pair")
+        .in_port("a", PortType::atom(BaseType::String))
+        .in_port("b", PortType::atom(BaseType::String))
+        .out_port("z", PortType::atom(BaseType::String));
+    b.arc_from_input("in", "S", "x").unwrap();
+    b.arc("S", "y", "L", "x").unwrap();
+    b.arc("S", "y", "R", "x").unwrap();
+    b.arc("L", "y", "J", "a").unwrap();
+    b.arc("R", "y", "J", "b").unwrap();
+    b.output("out", PortType::nested(BaseType::String, 2));
+    b.arc_to_output("J", "z", "out").unwrap();
+    b.build().unwrap()
+}
+
+fn execute(df: &Dataflow, inputs: Vec<(String, Value)>) -> (TraceStore, RunId) {
+    let store = TraceStore::in_memory();
+    let run = Engine::new(registry()).execute(df, inputs, &store).unwrap().run_id;
+    (store, run)
+}
+
+#[test]
+fn diamond_lineage_dedups_the_shared_source() {
+    let df = diamond();
+    let (store, run) = execute(&df, vec![("in".into(), Value::from(vec!["u", "v"]))]);
+    // Focus on S: the traversal reaches S twice (via L and via R) but the
+    // plan must contain each Q lookup once.
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::from_slice(&[1, 1]),
+        [ProcessorName::from("S")],
+    );
+    let plan = IndexProj::new(&df).plan(&q).unwrap();
+    assert_eq!(plan.steps.len(), 1);
+    let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+    let ip = plan.execute(&store, run).unwrap();
+    assert!(ni.same_bindings(&ip));
+    assert_eq!(ip.bindings.len(), 1);
+    assert_eq!(ip.bindings[0].value, Value::str("v"));
+}
+
+#[test]
+fn diamond_join_mixes_indices_from_both_branches() {
+    let df = diamond();
+    let (store, run) = execute(&df, vec![("in".into(), Value::from(vec!["u", "v", "w"]))]);
+    // out[i][j] = L(in[i]) + R(in[j]); focus on the workflow input.
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::from_slice(&[0, 2]),
+        [ProcessorName::from("wf")],
+    );
+    let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+    let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+    assert!(ni.same_bindings(&ip));
+    let mut values: Vec<&Value> = ni.bindings.iter().map(|b| &b.value).collect();
+    values.sort_by_key(|v| v.to_string());
+    assert_eq!(values, vec![&Value::str("u"), &Value::str("w")]);
+}
+
+#[test]
+fn default_valued_port_appears_in_lineage_of_its_processor() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", PortType::list(BaseType::String));
+    b.processor_with_behavior("J", "pair")
+        .in_port("x", PortType::atom(BaseType::String))
+        .in_port_with_default("y", PortType::atom(BaseType::String), Value::str("cfg"))
+        .out_port("z", PortType::atom(BaseType::String));
+    b.arc_from_input("a", "J", "x").unwrap();
+    b.output("out", PortType::list(BaseType::String));
+    b.arc_to_output("J", "z", "out").unwrap();
+    let df = b.build().unwrap();
+    let (store, run) = execute(&df, vec![("a".into(), Value::from(vec!["p", "q"]))]);
+
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::single(0),
+        [ProcessorName::from("J")],
+    );
+    let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+    let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+    assert!(ni.same_bindings(&ip));
+    // Both the consumed element and the design-time default are bindings.
+    assert!(ni.bindings.iter().any(|b| b.value == Value::str("p")));
+    assert!(ni.bindings.iter().any(|b| b.value == Value::str("cfg")));
+}
+
+#[test]
+fn intermediate_processor_output_is_a_valid_target() {
+    let df = diamond();
+    let (store, run) = execute(&df, vec![("in".into(), Value::from(vec!["u", "v"]))]);
+    // Target L:y (not a workflow output).
+    let q = LineageQuery::focused(
+        PortRef::new("L", "y"),
+        Index::single(1),
+        [ProcessorName::from("wf")],
+    );
+    let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+    let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+    assert!(ni.same_bindings(&ip));
+    assert_eq!(ni.bindings.len(), 1);
+    assert_eq!(ni.bindings[0].port, PortRef::new("wf", "in"));
+    assert_eq!(ni.bindings[0].index, Index::single(1));
+}
+
+#[test]
+fn out_of_range_index_yields_empty_answers_from_both() {
+    let df = diamond();
+    let (store, run) = execute(&df, vec![("in".into(), Value::from(vec!["u"]))]);
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::from_slice(&[7, 7]), // nothing was produced there
+        [ProcessorName::from("wf")],
+    );
+    let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+    let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+    assert!(ni.same_bindings(&ip));
+    assert!(ni.bindings.is_empty());
+}
+
+#[test]
+fn plan_steps_expose_their_kinds() {
+    let df = diamond();
+    let q = LineageQuery::unfocused(PortRef::new("wf", "out"), Index::empty(), &df);
+    let plan = IndexProj::new(&df).plan(&q).unwrap();
+    assert!(plan.steps.iter().any(|s| s.kind == StepKind::XformInput));
+    assert!(plan.steps.iter().any(|s| s.kind == StepKind::XferSrc));
+    // Serialisable for tooling.
+    let json = serde_json::to_string(&plan).unwrap();
+    assert!(json.contains("XferSrc"));
+}

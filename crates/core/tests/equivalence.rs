@@ -1,0 +1,420 @@
+//! End-to-end equivalence of the two query processors: for workflows
+//! executed by the real engine into the real store, NI and INDEXPROJ must
+//! return exactly the same binding sets, at every granularity and focus.
+//! This is the correctness statement behind the paper's claim that the
+//! intensional inversion (Prop. 1 / Def. 4) is *accurate*, unlike the
+//! approximate weak inverses of Woodruff & Stonebraker.
+
+use std::sync::Arc;
+
+use prov_core::{IndexProj, LineageQuery, NaiveLineage};
+use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
+use prov_engine::{builtin, BehaviorRegistry, Engine};
+use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
+use prov_store::TraceStore;
+
+fn registry() -> BehaviorRegistry {
+    let mut r = BehaviorRegistry::new().with_builtins();
+    r.register("tag_a", builtin::tagger("-a"));
+    r.register("tag_b", builtin::tagger("-b"));
+    r.register_fn("pair", |inputs| {
+        let a = builtin::expect_str(&inputs[0])?;
+        let b = builtin::expect_str(&inputs[1])?;
+        Ok(vec![Value::str(&format!("{a}+{b}"))])
+    });
+    r.register_fn("pathways", |inputs| {
+        // gene → list of pathway ids (a one-to-many stage, like the GK
+        // workflow's KEGG lookup).
+        let g = builtin::expect_str(&inputs[0])?;
+        Ok(vec![Value::from(vec![format!("{g}/p1"), format!("{g}/p2")])])
+    });
+    r
+}
+
+fn execute(df: &Dataflow, inputs: Vec<(String, Value)>) -> (TraceStore, RunId) {
+    let store = TraceStore::in_memory();
+    let run = Engine::new(registry()).execute(df, inputs, &store).unwrap().run_id;
+    (store, run)
+}
+
+/// Asserts NI and INDEXPROJ agree for the query, and returns the answer.
+fn check(df: &Dataflow, store: &TraceStore, run: RunId, q: &LineageQuery) -> prov_core::LineageAnswer {
+    let ni = NaiveLineage::new().run(store, run, q).unwrap();
+    let ip = IndexProj::new(df).run(store, run, q).unwrap();
+    assert!(
+        ni.same_bindings(&ip),
+        "divergence on {q}:\nNI: {ni}\nIP: {ip}"
+    );
+    ni
+}
+
+#[test]
+fn fig3_worked_example_matches_the_paper() {
+    // lin(⟨P:Y[h,l]⟩, {Q,R}) = {⟨Q:X[h], v⟩, ⟨R:X[], w⟩} (§2.4).
+    let mut b = DataflowBuilder::new("wf");
+    b.input("v", PortType::list(BaseType::String));
+    b.input("w", PortType::atom(BaseType::String));
+    b.input("c", PortType::list(BaseType::String));
+    b.processor_with_behavior("Q", "tag_a")
+        .in_port("X", PortType::atom(BaseType::String))
+        .out_port("Y", PortType::atom(BaseType::String));
+    b.processor_with_behavior("R", "pathways")
+        .in_port("X", PortType::atom(BaseType::String))
+        .out_port("Y", PortType::list(BaseType::String));
+    b.processor_with_behavior("P", "pair")
+        .in_port("X1", PortType::atom(BaseType::String))
+        .in_port("X3", PortType::atom(BaseType::String))
+        .out_port("Y", PortType::atom(BaseType::String));
+    b.arc_from_input("v", "Q", "X").unwrap();
+    b.arc_from_input("w", "R", "X").unwrap();
+    b.arc("Q", "Y", "P", "X1").unwrap();
+    b.arc("R", "Y", "P", "X3").unwrap();
+    b.output("y", PortType::nested(BaseType::String, 2));
+    b.arc_to_output("P", "Y", "y").unwrap();
+    let df = b.build().unwrap();
+
+    let (store, run) = execute(
+        &df,
+        vec![
+            ("v".into(), Value::from(vec!["g1", "g2", "g3"])),
+            ("w".into(), Value::str("seed")),
+            ("c".into(), Value::from(vec!["c1"])),
+        ],
+    );
+
+    // h = 2, l = 1.
+    let q = LineageQuery::focused(
+        PortRef::new("P", "Y"),
+        Index::from_slice(&[2, 1]),
+        [ProcessorName::from("Q"), ProcessorName::from("R")],
+    );
+    let ans = check(&df, &store, run, &q);
+    // ⟨Q:X[2], "g3"⟩ and ⟨R:X[], "seed"⟩.
+    assert_eq!(ans.bindings.len(), 2);
+    let qx = ans.bindings.iter().find(|b| b.port == PortRef::new("Q", "X")).unwrap();
+    assert_eq!(qx.index, Index::single(2));
+    assert_eq!(qx.value, Value::str("g3"));
+    let rx = ans.bindings.iter().find(|b| b.port == PortRef::new("R", "X")).unwrap();
+    assert!(rx.index.is_empty());
+    assert_eq!(rx.value, Value::str("seed"));
+}
+
+#[test]
+fn chain_equivalence_at_all_indices_and_focuses() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("in", PortType::list(BaseType::String));
+    let stages = ["S0", "S1", "S2", "S3"];
+    for (i, name) in stages.iter().enumerate() {
+        b.processor_with_behavior(name, if i % 2 == 0 { "tag_a" } else { "tag_b" })
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+    }
+    b.arc_from_input("in", "S0", "x").unwrap();
+    for w in stages.windows(2) {
+        b.arc(w[0], "y", w[1], "x").unwrap();
+    }
+    b.output("out", PortType::list(BaseType::String));
+    b.arc_to_output("S3", "y", "out").unwrap();
+    let df = b.build().unwrap();
+
+    let items: Vec<Value> = (0..5).map(|i| Value::str(&format!("e{i}"))).collect();
+    let (store, run) = execute(&df, vec![("in".into(), Value::List(items))]);
+
+    for i in 0..5u32 {
+        for focus in [
+            vec![ProcessorName::from("wf")],
+            vec![ProcessorName::from("S2")],
+            vec![ProcessorName::from("wf"), ProcessorName::from("S1"), ProcessorName::from("S3")],
+            vec![],
+        ] {
+            let q = LineageQuery::focused(PortRef::new("wf", "out"), Index::single(i), focus);
+            let ans = check(&df, &store, run, &q);
+            if q.focus.contains(&"wf".into()) {
+                let wf_binding = ans
+                    .bindings
+                    .iter()
+                    .find(|b| b.port == PortRef::new("wf", "in"))
+                    .unwrap();
+                assert_eq!(wf_binding.value, Value::str(&format!("e{i}")));
+            }
+        }
+    }
+    // Coarse query too.
+    let q = LineageQuery::unfocused(PortRef::new("wf", "out"), Index::empty(), &df);
+    check(&df, &store, run, &q);
+}
+
+#[test]
+fn cross_product_equivalence() {
+    // The synthetic-testbed shape: two chains joined by a cross product.
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", PortType::list(BaseType::String));
+    b.input("b", PortType::list(BaseType::String));
+    b.processor_with_behavior("LA", "tag_a")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    b.processor_with_behavior("LB", "tag_b")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    b.processor_with_behavior("J", "pair")
+        .in_port("x", PortType::atom(BaseType::String))
+        .in_port("y", PortType::atom(BaseType::String))
+        .out_port("z", PortType::atom(BaseType::String));
+    b.arc_from_input("a", "LA", "x").unwrap();
+    b.arc_from_input("b", "LB", "x").unwrap();
+    b.arc("LA", "y", "J", "x").unwrap();
+    b.arc("LB", "y", "J", "y").unwrap();
+    b.output("out", PortType::nested(BaseType::String, 2));
+    b.arc_to_output("J", "z", "out").unwrap();
+    let df = b.build().unwrap();
+
+    let (store, run) = execute(
+        &df,
+        vec![
+            ("a".into(), Value::from(vec!["a0", "a1", "a2"])),
+            ("b".into(), Value::from(vec!["b0", "b1"])),
+        ],
+    );
+
+    for i in 0..3u32 {
+        for j in 0..2u32 {
+            let q = LineageQuery::focused(
+                PortRef::new("wf", "out"),
+                Index::from_slice(&[i, j]),
+                [ProcessorName::from("wf")],
+            );
+            let ans = check(&df, &store, run, &q);
+            // Exactly one element from each input list.
+            assert_eq!(ans.bindings.len(), 2, "{q}: {ans}");
+            let a = ans.bindings.iter().find(|b| b.port == PortRef::new("wf", "a")).unwrap();
+            assert_eq!(a.value, Value::str(&format!("a{i}")));
+            let bb = ans.bindings.iter().find(|b| b.port == PortRef::new("wf", "b")).unwrap();
+            assert_eq!(bb.value, Value::str(&format!("b{j}")));
+        }
+    }
+    // Focus on the join processor itself.
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::from_slice(&[1, 0]),
+        [ProcessorName::from("J")],
+    );
+    let ans = check(&df, &store, run, &q);
+    assert_eq!(ans.bindings.len(), 2);
+    assert!(ans.bindings.iter().any(|b| b.value == Value::str("a1-a")));
+    assert!(ans.bindings.iter().any(|b| b.value == Value::str("b0-b")));
+}
+
+#[test]
+fn one_to_many_and_flatten_equivalence() {
+    // genes → pathways (one-to-many) → flatten → dedup: the right branch
+    // of the GK workflow, where granularity is partially destroyed.
+    let mut b = DataflowBuilder::new("wf");
+    b.input("genes", PortType::list(BaseType::String));
+    b.processor_with_behavior("GP", "pathways")
+        .in_port("g", PortType::atom(BaseType::String))
+        .out_port("ps", PortType::list(BaseType::String));
+    b.processor_with_behavior("FL", "flatten")
+        .in_port("xss", PortType::nested(BaseType::String, 2))
+        .out_port("xs", PortType::list(BaseType::String));
+    b.processor_with_behavior("DD", "dedup")
+        .in_port("xs", PortType::list(BaseType::String))
+        .out_port("ys", PortType::list(BaseType::String));
+    b.arc_from_input("genes", "GP", "g").unwrap();
+    b.arc("GP", "ps", "FL", "xss").unwrap();
+    b.arc("FL", "xs", "DD", "xs").unwrap();
+    b.output("out", PortType::list(BaseType::String));
+    b.arc_to_output("DD", "ys", "out").unwrap();
+    let df = b.build().unwrap();
+
+    let (store, run) = execute(&df, vec![("genes".into(), Value::from(vec!["g1", "g2"]))]);
+
+    // FL consumed the whole nested list (δ = 0): lineage through it is
+    // coarse, so any output element depends on all genes — both
+    // algorithms must agree on that coarsening.
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::single(0),
+        [ProcessorName::from("wf")],
+    );
+    let ans = check(&df, &store, run, &q);
+    assert_eq!(ans.bindings.len(), 2); // both genes
+    // And focusing the one-to-many stage still works.
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::single(1),
+        [ProcessorName::from("GP")],
+    );
+    let ans = check(&df, &store, run, &q);
+    assert_eq!(ans.bindings.len(), 2); // GP ran twice; coarse from FL up
+}
+
+#[test]
+fn nested_dataflow_equivalence_without_outer_iteration() {
+    // inner: x → tag_a → tag_b → y, as a nested processor on lists.
+    let mut inner = DataflowBuilder::new("inner");
+    inner.input("a", PortType::list(BaseType::String));
+    inner
+        .processor_with_behavior("T1", "tag_a")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    inner
+        .processor_with_behavior("T2", "tag_b")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    inner.arc_from_input("a", "T1", "x").unwrap();
+    inner.arc("T1", "y", "T2", "x").unwrap();
+    inner.output("b", PortType::list(BaseType::String));
+    inner.arc_to_output("T2", "y", "b").unwrap();
+    let inner = Arc::new(inner.build().unwrap());
+
+    let mut outer = DataflowBuilder::new("outer");
+    outer.input("xs", PortType::list(BaseType::String));
+    outer.nested("sub", inner);
+    outer.arc_from_input("xs", "sub", "a").unwrap();
+    outer.output("ys", PortType::list(BaseType::String));
+    outer.arc_to_output("sub", "b", "ys").unwrap();
+    let df = outer.build().unwrap();
+
+    let (store, run) = execute(&df, vec![("xs".into(), Value::from(vec!["u", "v", "w"]))]);
+
+    // Focus the outer workflow: fine-grained through the nested scope.
+    for i in 0..3u32 {
+        let q = LineageQuery::focused(
+            PortRef::new("outer", "ys"),
+            Index::single(i),
+            [ProcessorName::from("outer")],
+        );
+        let ans = check(&df, &store, run, &q);
+        assert_eq!(ans.bindings.len(), 1, "{ans}");
+        assert_eq!(ans.bindings[0].index, Index::single(i));
+    }
+
+    // Focus an inner processor by its qualified name.
+    let q = LineageQuery::focused(
+        PortRef::new("outer", "ys"),
+        Index::single(2),
+        [ProcessorName::from("sub/T2")],
+    );
+    let ans = check(&df, &store, run, &q);
+    assert_eq!(ans.bindings.len(), 1);
+    assert_eq!(ans.bindings[0].value, Value::str("w-a"));
+
+    // Focus the nested scope itself (its input bindings).
+    let q = LineageQuery::focused(
+        PortRef::new("outer", "ys"),
+        Index::single(0),
+        [ProcessorName::from("sub")],
+    );
+    let ans = check(&df, &store, run, &q);
+    assert_eq!(ans.bindings.len(), 1);
+    assert_eq!(ans.bindings[0].port, PortRef::new("sub", "a"));
+    assert_eq!(ans.bindings[0].value, Value::str("u"));
+}
+
+#[test]
+fn nested_dataflow_equivalence_with_outer_iteration() {
+    // The nested workflow declares an ATOM input, so the outer list drives
+    // implicit iteration OVER the nested processor. Boundary events carry
+    // absolute indices; both algorithms must stay fine-grained.
+    let mut inner = DataflowBuilder::new("inner");
+    inner.input("a", PortType::atom(BaseType::String));
+    inner
+        .processor_with_behavior("T", "tag_a")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    inner.arc_from_input("a", "T", "x").unwrap();
+    inner.output("b", PortType::atom(BaseType::String));
+    inner.arc_to_output("T", "y", "b").unwrap();
+    let inner = Arc::new(inner.build().unwrap());
+
+    let mut outer = DataflowBuilder::new("outer");
+    outer.input("xs", PortType::list(BaseType::String));
+    outer.nested("sub", inner);
+    outer.arc_from_input("xs", "sub", "a").unwrap();
+    outer.output("ys", PortType::list(BaseType::String));
+    outer.arc_to_output("sub", "b", "ys").unwrap();
+    let df = outer.build().unwrap();
+
+    let (store, run) = execute(&df, vec![("xs".into(), Value::from(vec!["u", "v", "w"]))]);
+
+    for i in 0..3u32 {
+        let q = LineageQuery::focused(
+            PortRef::new("outer", "ys"),
+            Index::single(i),
+            [ProcessorName::from("outer")],
+        );
+        let ans = check(&df, &store, run, &q);
+        assert_eq!(ans.bindings.len(), 1, "index [{i}]: {ans}");
+        assert_eq!(ans.bindings[0].index, Index::single(i));
+    }
+}
+
+#[test]
+fn multi_run_answers_are_per_run() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("in", PortType::list(BaseType::String));
+    b.processor_with_behavior("A", "tag_a")
+        .in_port("x", PortType::atom(BaseType::String))
+        .out_port("y", PortType::atom(BaseType::String));
+    b.arc_from_input("in", "A", "x").unwrap();
+    b.output("out", PortType::list(BaseType::String));
+    b.arc_to_output("A", "y", "out").unwrap();
+    let df = b.build().unwrap();
+
+    let store = TraceStore::in_memory();
+    let engine = Engine::new(registry());
+    let mut runs = Vec::new();
+    for r in 0..4 {
+        let inputs = vec![(
+            "in".to_string(),
+            Value::from(vec![format!("r{r}x0"), format!("r{r}x1")]),
+        )];
+        runs.push(engine.execute(&df, inputs, &store).unwrap().run_id);
+    }
+
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::single(1),
+        [ProcessorName::from("wf")],
+    );
+    let ip = IndexProj::new(&df);
+    let ni_answers = NaiveLineage::new().run_multi(&store, &runs, &q).unwrap();
+    let ip_answers = ip.run_multi(&store, &runs, &q).unwrap();
+    for (r, (ni, ip)) in ni_answers.iter().zip(&ip_answers).enumerate() {
+        assert!(ni.same_bindings(ip));
+        assert_eq!(ni.bindings[0].value, Value::str(&format!("r{r}x1")));
+    }
+}
+
+#[test]
+fn indexproj_issues_fewer_trace_queries_on_focused_paths() {
+    // The efficiency claim in miniature: a long chain, focused query on
+    // the far end — NI touches every node, INDEXPROJ only the focus.
+    let mut b = DataflowBuilder::new("wf");
+    b.input("in", PortType::list(BaseType::String));
+    let names: Vec<String> = (0..20).map(|i| format!("P{i}")).collect();
+    for n in &names {
+        b.processor_with_behavior(n, "tag_a")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+    }
+    b.arc_from_input("in", &names[0], "x").unwrap();
+    for w in names.windows(2) {
+        b.arc(&w[0], "y", &w[1], "x").unwrap();
+    }
+    b.output("out", PortType::list(BaseType::String));
+    b.arc_to_output(&names[19], "y", "out").unwrap();
+    let df = b.build().unwrap();
+    let (store, run) = execute(&df, vec![("in".into(), Value::from(vec!["a", "b", "c"]))]);
+
+    let q = LineageQuery::focused(
+        PortRef::new("wf", "out"),
+        Index::single(0),
+        [ProcessorName::from("wf")],
+    );
+    let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+    let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+    assert!(ni.same_bindings(&ip));
+    assert_eq!(ip.trace_queries, 1); // one Q lookup at the focus
+    assert!(ni.trace_queries > 20, "NI did {} queries", ni.trace_queries);
+}

@@ -1,0 +1,157 @@
+//! Randomised NI ≡ INDEXPROJ equivalence over generated workflow shapes.
+//!
+//! The generator builds layered DAGs mixing one-to-one, one-to-many,
+//! many-to-one and two-input join processors, executes them on random flat
+//! list inputs, and compares the two algorithms on random focused queries
+//! at random indices.
+
+use proptest::prelude::*;
+
+use prov_core::{IndexProj, LineageQuery, NaiveLineage};
+use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
+use prov_engine::{builtin, BehaviorRegistry, Engine};
+use prov_model::{Index, PortRef, ProcessorName, Value};
+use prov_store::TraceStore;
+
+#[derive(Debug, Clone, Copy)]
+enum StageKind {
+    /// atom → atom (preserves granularity).
+    OneToOne,
+    /// atom → list (adds a declared level).
+    OneToMany,
+    /// list → atom (destroys granularity: consumes the whole list).
+    ManyToOne,
+}
+
+fn registry() -> BehaviorRegistry {
+    let mut r = BehaviorRegistry::new().with_builtins();
+    r.register("t", builtin::tagger("+"));
+    r.register_fn("fanout", |inputs| {
+        let s = builtin::expect_str(&inputs[0])?;
+        Ok(vec![Value::from(vec![format!("{s}l"), format!("{s}r")])])
+    });
+    r.register_fn("join_str", |inputs| {
+        let mut out = String::new();
+        for v in inputs {
+            if let Some(items) = v.as_list() {
+                for i in items {
+                    out.push_str(i.as_atom().and_then(|a| a.as_str()).unwrap_or("?"));
+                }
+            } else {
+                out.push_str(v.as_atom().and_then(|a| a.as_str()).unwrap_or("?"));
+            }
+        }
+        Ok(vec![Value::from(out)])
+    });
+    r
+}
+
+/// Builds a linear workflow of the given stage kinds over a flat list
+/// input, tracking the declared port types so the pipeline stays well
+/// typed regardless of the kind sequence.
+fn build_chain(kinds: &[StageKind]) -> Dataflow {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("in", PortType::list(BaseType::String));
+    // The declared depth of the value flowing between stages (the actual
+    // depth can be higher due to iteration; declared types matter here).
+    let mut prev: Option<(String, String)> = None; // (proc, out port)
+    let mut prev_declared = 0usize; // declared depth of upstream OUT port
+    for (i, kind) in kinds.iter().enumerate() {
+        let name = format!("P{i}");
+        let (in_depth, out_depth, behavior) = match kind {
+            StageKind::OneToOne => (0, 0, "t"),
+            StageKind::OneToMany => (0, 1, "fanout"),
+            StageKind::ManyToOne => (1, 0, "join_str"),
+        };
+        // A ManyToOne after a depth-0 producer would wrap (δ = −1), which
+        // is fine too — everything stays executable.
+        let _ = prev_declared;
+        b.processor_with_behavior(&name, behavior)
+            .in_port("x", PortType::nested(BaseType::String, in_depth))
+            .out_port("y", PortType::nested(BaseType::String, out_depth));
+        match &prev {
+            None => {
+                b.arc_from_input("in", &name, "x").unwrap();
+            }
+            Some((p, port)) => {
+                b.arc(p, port, &name, "x").unwrap();
+            }
+        }
+        prev = Some((name, "y".into()));
+        prev_declared = out_depth;
+    }
+    let (last, port) = prev.unwrap();
+    // Output declared type: generous nesting, engine tolerates any actual.
+    b.output("out", PortType::nested(BaseType::String, 4));
+    b.arc_to_output(&last, &port, "out").unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ni_equals_indexproj_on_random_chains(
+        kinds in proptest::collection::vec(
+            prop_oneof![
+                Just(StageKind::OneToOne),
+                Just(StageKind::OneToMany),
+                Just(StageKind::ManyToOne),
+            ],
+            1..6,
+        ),
+        n_items in 1usize..4,
+        focus_bits in proptest::collection::vec(any::<bool>(), 7),
+        idx in proptest::collection::vec(0u32..2, 0..3),
+    ) {
+        let df = build_chain(&kinds);
+        let store = TraceStore::in_memory();
+        let items: Vec<Value> = (0..n_items).map(|i| Value::str(&format!("i{i}"))).collect();
+        let run = Engine::new(registry())
+            .execute(&df, vec![("in".into(), Value::List(items))], &store)
+            .unwrap()
+            .run_id;
+
+        // Random focus: workflow + a random subset of processors.
+        let mut focus: Vec<ProcessorName> = Vec::new();
+        if focus_bits[0] {
+            focus.push("wf".into());
+        }
+        for (i, _) in kinds.iter().enumerate() {
+            if focus_bits[(i + 1) % focus_bits.len()] {
+                focus.push(format!("P{i}").into());
+            }
+        }
+
+        let q = LineageQuery::focused(PortRef::new("wf", "out"), Index::from(idx), focus);
+        let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+        let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+        prop_assert!(
+            ni.same_bindings(&ip),
+            "divergence on {} over {:?}:\nNI: {}\nIP: {}",
+            q, kinds, ni, ip
+        );
+    }
+
+    /// INDEXPROJ never issues more trace queries than its plan has steps,
+    /// and the plan is index-value independent (constant in d).
+    #[test]
+    fn plan_shape_is_value_independent(
+        kinds in proptest::collection::vec(
+            prop_oneof![Just(StageKind::OneToOne), Just(StageKind::OneToMany)],
+            1..5,
+        ),
+        i1 in 0u32..3,
+        i2 in 3u32..50,
+    ) {
+        let df = build_chain(&kinds);
+        let ip = IndexProj::new(&df);
+        let focus = [ProcessorName::from("wf"), ProcessorName::from("P0")];
+        let q1 = LineageQuery::focused(PortRef::new("wf", "out"), Index::single(i1), focus.clone());
+        let q2 = LineageQuery::focused(PortRef::new("wf", "out"), Index::single(i2), focus);
+        let p1 = ip.plan(&q1).unwrap();
+        let p2 = ip.plan(&q2).unwrap();
+        prop_assert_eq!(p1.steps.len(), p2.steps.len());
+        prop_assert_eq!(p1.nodes_visited, p2.nodes_visited);
+    }
+}

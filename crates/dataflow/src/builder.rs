@@ -1,0 +1,328 @@
+//! Fluent construction of validated dataflows.
+
+use std::sync::Arc;
+
+use prov_model::{PortType, ProcessorName, Value};
+
+use crate::graph::{
+    ArcDst, ArcSrc, Dataflow, DataflowArc, InputPort, IterationStrategy, OutputPort,
+    ProcessorKind, ProcessorSpec,
+};
+use crate::{validate, DataflowError, Result};
+
+/// Builds a [`Dataflow`], validating the result on [`DataflowBuilder::build`].
+///
+/// ```
+/// use prov_dataflow::{BaseType, DataflowBuilder, PortType};
+///
+/// let mut b = DataflowBuilder::new("wf");
+/// b.input("xs", PortType::list(BaseType::Int));
+/// b.processor("double")
+///     .in_port("x", PortType::atom(BaseType::Int))
+///     .out_port("y", PortType::atom(BaseType::Int));
+/// b.arc_from_input("xs", "double", "x").unwrap();
+/// b.output("ys", PortType::list(BaseType::Int));
+/// b.arc_to_output("double", "y", "ys").unwrap();
+/// let wf = b.build().unwrap();
+/// assert_eq!(wf.node_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct DataflowBuilder {
+    name: ProcessorName,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    processors: Vec<ProcessorSpec>,
+    arcs: Vec<DataflowArc>,
+}
+
+impl DataflowBuilder {
+    /// Starts a new dataflow with the given name.
+    pub fn new(name: &str) -> Self {
+        DataflowBuilder {
+            name: ProcessorName::from(name),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            processors: Vec::new(),
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Declares a top-level workflow input port.
+    pub fn input(&mut self, name: &str, declared: PortType) -> &mut Self {
+        self.inputs.push(InputPort::new(name, declared));
+        self
+    }
+
+    /// Declares a top-level workflow output port.
+    pub fn output(&mut self, name: &str, declared: PortType) -> &mut Self {
+        self.outputs.push(OutputPort::new(name, declared));
+        self
+    }
+
+    /// Adds a task processor whose behaviour registry key equals its name.
+    /// Returns a [`ProcessorBuilder`] for declaring its ports.
+    pub fn processor(&mut self, name: &str) -> ProcessorBuilder<'_> {
+        self.processor_with_behavior(name, name)
+    }
+
+    /// Adds a task processor with an explicit behaviour key (several
+    /// processors may share one behaviour, e.g. the chain stages of the
+    /// synthetic testbed).
+    pub fn processor_with_behavior(&mut self, name: &str, behavior: &str) -> ProcessorBuilder<'_> {
+        self.processors.push(ProcessorSpec {
+            name: ProcessorName::from(name),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            kind: ProcessorKind::Task { behavior: behavior.to_string() },
+            iteration: IterationStrategy::Cross,
+        });
+        let last = self.processors.len() - 1;
+        ProcessorBuilder { spec: &mut self.processors[last] }
+    }
+
+    /// Adds a nested-dataflow processor. Its ports are derived from the
+    /// sub-workflow's interface.
+    pub fn nested(&mut self, name: &str, dataflow: Arc<Dataflow>) -> ProcessorBuilder<'_> {
+        let inputs = dataflow.inputs.clone();
+        let outputs = dataflow.outputs.clone();
+        self.processors.push(ProcessorSpec {
+            name: ProcessorName::from(name),
+            inputs,
+            outputs,
+            kind: ProcessorKind::Nested { dataflow },
+            iteration: IterationStrategy::Cross,
+        });
+        let last = self.processors.len() - 1;
+        ProcessorBuilder { spec: &mut self.processors[last] }
+    }
+
+    /// Adds an arc from one processor's output port to another's input port.
+    pub fn arc(&mut self, src_proc: &str, src_port: &str, dst_proc: &str, dst_port: &str) -> Result<&mut Self> {
+        self.check_output(src_proc, src_port)?;
+        self.check_input(dst_proc, dst_port)?;
+        self.arcs.push(DataflowArc {
+            src: ArcSrc::Processor {
+                processor: ProcessorName::from(src_proc),
+                port: Arc::from(src_port),
+            },
+            dst: ArcDst::Processor {
+                processor: ProcessorName::from(dst_proc),
+                port: Arc::from(dst_port),
+            },
+        });
+        Ok(self)
+    }
+
+    /// Adds an arc from a workflow input to a processor input port.
+    pub fn arc_from_input(&mut self, wf_port: &str, dst_proc: &str, dst_port: &str) -> Result<&mut Self> {
+        if !self.inputs.iter().any(|p| &*p.name == wf_port) {
+            return Err(DataflowError::UnknownPort {
+                processor: self.name.to_string(),
+                port: wf_port.to_string(),
+            });
+        }
+        self.check_input(dst_proc, dst_port)?;
+        self.arcs.push(DataflowArc {
+            src: ArcSrc::WorkflowInput { port: Arc::from(wf_port) },
+            dst: ArcDst::Processor {
+                processor: ProcessorName::from(dst_proc),
+                port: Arc::from(dst_port),
+            },
+        });
+        Ok(self)
+    }
+
+    /// Adds an arc from a processor output port to a workflow output.
+    pub fn arc_to_output(&mut self, src_proc: &str, src_port: &str, wf_port: &str) -> Result<&mut Self> {
+        self.check_output(src_proc, src_port)?;
+        if !self.outputs.iter().any(|p| &*p.name == wf_port) {
+            return Err(DataflowError::UnknownPort {
+                processor: self.name.to_string(),
+                port: wf_port.to_string(),
+            });
+        }
+        self.arcs.push(DataflowArc {
+            src: ArcSrc::Processor {
+                processor: ProcessorName::from(src_proc),
+                port: Arc::from(src_port),
+            },
+            dst: ArcDst::WorkflowOutput { port: Arc::from(wf_port) },
+        });
+        Ok(self)
+    }
+
+    /// Adds a pass-through arc from a workflow input directly to a workflow
+    /// output (occasionally useful in generated workflows).
+    pub fn arc_input_to_output(&mut self, wf_in: &str, wf_out: &str) -> Result<&mut Self> {
+        if !self.inputs.iter().any(|p| &*p.name == wf_in) {
+            return Err(DataflowError::UnknownPort {
+                processor: self.name.to_string(),
+                port: wf_in.to_string(),
+            });
+        }
+        if !self.outputs.iter().any(|p| &*p.name == wf_out) {
+            return Err(DataflowError::UnknownPort {
+                processor: self.name.to_string(),
+                port: wf_out.to_string(),
+            });
+        }
+        self.arcs.push(DataflowArc {
+            src: ArcSrc::WorkflowInput { port: Arc::from(wf_in) },
+            dst: ArcDst::WorkflowOutput { port: Arc::from(wf_out) },
+        });
+        Ok(self)
+    }
+
+    /// Validates and produces the dataflow.
+    pub fn build(self) -> Result<Dataflow> {
+        let df = Dataflow::assemble(self.name, self.inputs, self.outputs, self.processors, self.arcs);
+        validate(&df)?;
+        Ok(df)
+    }
+
+    fn check_input(&self, proc: &str, port: &str) -> Result<()> {
+        let p = self
+            .processors
+            .iter()
+            .find(|p| p.name.as_str() == proc)
+            .ok_or_else(|| DataflowError::UnknownProcessor(proc.to_string()))?;
+        if p.input(port).is_none() {
+            return Err(DataflowError::UnknownPort {
+                processor: proc.to_string(),
+                port: port.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_output(&self, proc: &str, port: &str) -> Result<()> {
+        let p = self
+            .processors
+            .iter()
+            .find(|p| p.name.as_str() == proc)
+            .ok_or_else(|| DataflowError::UnknownProcessor(proc.to_string()))?;
+        if p.output(port).is_none() {
+            return Err(DataflowError::UnknownPort {
+                processor: proc.to_string(),
+                port: port.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Declares the ports of the processor just added to a [`DataflowBuilder`].
+#[derive(Debug)]
+pub struct ProcessorBuilder<'a> {
+    spec: &'a mut ProcessorSpec,
+}
+
+impl ProcessorBuilder<'_> {
+    /// Appends an input port (order is significant: it defines the
+    /// index-projection layout of Def. 4).
+    pub fn in_port(self, name: &str, declared: PortType) -> Self {
+        self.spec.inputs.push(InputPort::new(name, declared));
+        self
+    }
+
+    /// Appends an input port with a design-time default value.
+    pub fn in_port_with_default(self, name: &str, declared: PortType, default: Value) -> Self {
+        self.spec.inputs.push(InputPort::with_default(name, declared, default));
+        self
+    }
+
+    /// Appends an output port.
+    pub fn out_port(self, name: &str, declared: PortType) -> Self {
+        self.spec.outputs.push(OutputPort::new(name, declared));
+        self
+    }
+
+    /// Selects the dot-product (zip) iteration strategy for this processor.
+    pub fn dot_iteration(self) -> Self {
+        self.spec.iteration = IterationStrategy::Dot;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::BaseType;
+
+    #[test]
+    fn builder_rejects_arcs_to_unknown_ports() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        b.processor("P")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        assert!(matches!(
+            b.arc_from_input("nope", "P", "x"),
+            Err(DataflowError::UnknownPort { .. })
+        ));
+        assert!(matches!(
+            b.arc_from_input("in", "P", "nope"),
+            Err(DataflowError::UnknownPort { .. })
+        ));
+        assert!(matches!(
+            b.arc("P", "y", "Q", "x"),
+            Err(DataflowError::UnknownProcessor(_))
+        ));
+    }
+
+    #[test]
+    fn nested_processor_inherits_interface() {
+        let mut inner = DataflowBuilder::new("inner");
+        inner.input("a", PortType::atom(BaseType::Int));
+        inner.processor("id")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        inner.arc_from_input("a", "id", "x").unwrap();
+        inner.output("b", PortType::atom(BaseType::Int));
+        inner.arc_to_output("id", "y", "b").unwrap();
+        let inner = Arc::new(inner.build().unwrap());
+
+        let mut outer = DataflowBuilder::new("outer");
+        outer.input("v", PortType::atom(BaseType::Int));
+        outer.nested("sub", inner);
+        outer.arc_from_input("v", "sub", "a").unwrap();
+        outer.output("w", PortType::atom(BaseType::Int));
+        outer.arc_to_output("sub", "b", "w").unwrap();
+        let wf = outer.build().unwrap();
+        let sub = wf.processor(&"sub".into()).unwrap();
+        assert_eq!(&*sub.inputs[0].name, "a");
+        assert_eq!(&*sub.outputs[0].name, "b");
+        assert!(matches!(sub.kind, ProcessorKind::Nested { .. }));
+    }
+
+    #[test]
+    fn dot_iteration_flag_is_recorded() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::list(BaseType::Int));
+        b.input("b", PortType::list(BaseType::Int));
+        b.processor("zipadd")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .in_port("y", PortType::atom(BaseType::Int))
+            .out_port("z", PortType::atom(BaseType::Int))
+            .dot_iteration();
+        b.arc_from_input("a", "zipadd", "x").unwrap();
+        b.arc_from_input("b", "zipadd", "y").unwrap();
+        b.output("out", PortType::list(BaseType::Int));
+        b.arc_to_output("zipadd", "z", "out").unwrap();
+        let wf = b.build().unwrap();
+        assert_eq!(
+            wf.processor(&"zipadd".into()).unwrap().iteration,
+            IterationStrategy::Dot
+        );
+    }
+
+    #[test]
+    fn input_to_output_passthrough() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::atom(BaseType::Int));
+        b.output("b", PortType::atom(BaseType::Int));
+        b.arc_input_to_output("a", "b").unwrap();
+        let wf = b.build().unwrap();
+        assert_eq!(wf.arcs.len(), 1);
+    }
+}

@@ -1,0 +1,426 @@
+//! **Algorithm 1** (`PROPAGATEDEPTHS`) and the derived index-projection
+//! layout (paper §3.1 and Def. 4).
+//!
+//! Under the paper's two assumptions — (1) processors bind outputs of
+//! exactly their declared type, and (2) top-level inputs are bound to
+//! values of the declared type — the *actual* depth of every port, and
+//! hence the depth mismatch `δ_s(X) = depth(X) − dd(X)`, is a **static**
+//! property of the workflow graph. This module computes those depths once
+//! per workflow, in topological order, and precomputes for each processor
+//! the layout with which an output index `q` is apportioned to the input
+//! ports (`q = p1 · … · pn`, Prop. 1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use prov_model::ProcessorName;
+
+use crate::graph::{ArcSrc, Dataflow, IterationStrategy};
+use crate::toposort::toposort;
+use crate::{DataflowError, Result};
+
+/// Declared and propagated (actual) depth of one port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortDepths {
+    /// The declared depth `dd(X)`.
+    pub declared: usize,
+    /// The statically propagated actual depth `depth(P:X)`.
+    pub actual: usize,
+}
+
+impl PortDepths {
+    /// The static mismatch `δ_s(X) = depth(X) − dd(X)`. Positive mismatch
+    /// triggers implicit iteration; negative mismatch triggers singleton
+    /// wrapping; zero means the value is consumed whole.
+    pub fn mismatch(self) -> i64 {
+        self.actual as i64 - self.declared as i64
+    }
+
+    /// The number of index components this port contributes to the
+    /// iteration index: `max(δ_s, 0)`.
+    pub fn fragment_len(self) -> usize {
+        self.mismatch().max(0) as usize
+    }
+}
+
+/// How an output index of a processor is apportioned to its input ports —
+/// the compiled form of Def. 4's projection `Π_{X_i}(p)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProjectionLayout {
+    /// Per input port, in port order: `(offset, len)` of the fragment of
+    /// the output index belonging to that port. Ports that do not iterate
+    /// have `len == 0` (their lineage index is the empty, whole-value
+    /// index).
+    pub fragments: Vec<(usize, usize)>,
+    /// The total iteration depth `l = Σ max(δ_s(X_i), 0)` (for the cross
+    /// strategy) — also the number of leading components of an output
+    /// index produced by iteration rather than by the value's own
+    /// structure.
+    pub total: usize,
+    /// The iteration strategy the layout was computed for.
+    pub strategy: IterationStrategy,
+}
+
+impl ProjectionLayout {
+    /// Projects output index `q` onto input port `i`, returning the
+    /// fragment `Π_{X_i}(q)` as (start, len) applied to `q`.
+    pub fn fragment_of(&self, port_position: usize) -> (usize, usize) {
+        self.fragments[port_position]
+    }
+}
+
+/// The result of Algorithm 1 over one dataflow: static depths for every
+/// port, plus per-processor projection layouts.
+///
+/// Computed **once per workflow definition** ("the algorithm is executed
+/// only once for every new workflow definition graph") and shared by the
+/// engine (to drive iteration) and by INDEXPROJ (to invert it).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DepthInfo {
+    /// `depth`/`dd` per processor input port, keyed by `(P, X)`.
+    inputs: HashMap<(ProcessorName, Arc<str>), PortDepths>,
+    /// `depth`/`dd` per processor output port.
+    outputs: HashMap<(ProcessorName, Arc<str>), PortDepths>,
+    /// `depth`/`dd` per workflow output port.
+    workflow_outputs: HashMap<Arc<str>, PortDepths>,
+    /// Projection layouts per processor.
+    layouts: HashMap<ProcessorName, ProjectionLayout>,
+    /// The topological order used (cached for reuse by traversals).
+    topo: Vec<ProcessorName>,
+}
+
+impl DepthInfo {
+    /// Runs Algorithm 1 (`PROPAGATEDEPTHS`) on the dataflow.
+    pub fn compute(df: &Dataflow) -> Result<Self> {
+        let topo = toposort(df)?;
+        let mut info = DepthInfo {
+            inputs: HashMap::new(),
+            outputs: HashMap::new(),
+            workflow_outputs: HashMap::new(),
+            layouts: HashMap::new(),
+            topo,
+        };
+
+        for pname in info.topo.clone() {
+            let p = df.processor_required(&pname)?;
+
+            // Rule 1: depth of each input port.
+            let mut port_depths = Vec::with_capacity(p.inputs.len());
+            for port in &p.inputs {
+                let declared = port.declared.depth;
+                let actual = match df.arc_into(&pname, &port.name) {
+                    Some(arc) => info.src_depth(df, &arc.src)?,
+                    // No incoming arc: bound to its default value, which is
+                    // of the declared type.
+                    None => declared,
+                };
+                let d = PortDepths { declared, actual };
+                info.inputs.insert((pname.clone(), port.name.clone()), d);
+                port_depths.push(d);
+            }
+
+            // Projection layout and total iteration depth for this node.
+            let layout = Self::layout(&pname, &port_depths, p.iteration)?;
+            let total = layout.total;
+            info.layouts.insert(pname.clone(), layout);
+
+            // Rule 2: depth of each output port = dd(Y) + Σ max(δ_s, 0).
+            for port in &p.outputs {
+                let declared = port.declared.depth;
+                let d = PortDepths { declared, actual: declared + total };
+                info.outputs.insert((pname.clone(), port.name.clone()), d);
+            }
+        }
+
+        // Workflow outputs take the depth of whatever feeds them.
+        for out in &df.outputs {
+            let declared = out.declared.depth;
+            let actual = match df.arc_into_output(&out.name) {
+                Some(arc) => info.src_depth(df, &arc.src)?,
+                None => declared, // unreachable post-validation; kept total
+            };
+            info.workflow_outputs
+                .insert(out.name.clone(), PortDepths { declared, actual });
+        }
+
+        Ok(info)
+    }
+
+    fn layout(
+        pname: &ProcessorName,
+        port_depths: &[PortDepths],
+        strategy: IterationStrategy,
+    ) -> Result<ProjectionLayout> {
+        match strategy {
+            IterationStrategy::Cross => {
+                let mut fragments = Vec::with_capacity(port_depths.len());
+                let mut offset = 0usize;
+                for d in port_depths {
+                    let len = d.fragment_len();
+                    fragments.push((offset, len));
+                    offset += len;
+                }
+                Ok(ProjectionLayout { fragments, total: offset, strategy })
+            }
+            IterationStrategy::Dot => {
+                // The zip combinator iterates mismatched ports in lockstep:
+                // they share ONE index fragment, so all positive mismatches
+                // must agree.
+                let mut common: Option<usize> = None;
+                for d in port_depths {
+                    let len = d.fragment_len();
+                    if len > 0 {
+                        match common {
+                            None => common = Some(len),
+                            Some(c) if c != len => {
+                                return Err(DataflowError::NestedInterfaceMismatch {
+                                    processor: format!(
+                                        "{pname}: dot iteration requires equal mismatches ({c} vs {len})"
+                                    ),
+                                })
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+                let total = common.unwrap_or(0);
+                let fragments = port_depths
+                    .iter()
+                    .map(|d| if d.fragment_len() > 0 { (0, total) } else { (0, 0) })
+                    .collect();
+                Ok(ProjectionLayout { fragments, total, strategy })
+            }
+        }
+    }
+
+    fn src_depth(&self, df: &Dataflow, src: &ArcSrc) -> Result<usize> {
+        match src {
+            ArcSrc::WorkflowInput { port } => {
+                // Assumption 2: top-level inputs carry values of the
+                // declared type.
+                let p = df.input(port).ok_or_else(|| DataflowError::UnknownPort {
+                    processor: df.name.to_string(),
+                    port: port.to_string(),
+                })?;
+                Ok(p.declared.depth)
+            }
+            ArcSrc::Processor { processor, port } => self
+                .outputs
+                .get(&(processor.clone(), port.clone()))
+                .map(|d| d.actual)
+                .ok_or_else(|| DataflowError::UnknownPort {
+                    processor: processor.to_string(),
+                    port: port.to_string(),
+                }),
+        }
+    }
+
+    /// Depths of a processor input port.
+    pub fn input_depths(&self, processor: &ProcessorName, port: &str) -> Option<PortDepths> {
+        self.inputs.get(&(processor.clone(), Arc::from(port))).copied()
+    }
+
+    /// Depths of a processor output port.
+    pub fn output_depths(&self, processor: &ProcessorName, port: &str) -> Option<PortDepths> {
+        self.outputs.get(&(processor.clone(), Arc::from(port))).copied()
+    }
+
+    /// Depths of a workflow output port.
+    pub fn workflow_output_depths(&self, port: &str) -> Option<PortDepths> {
+        self.workflow_outputs.get(&Arc::from(port) as &Arc<str>).copied()
+    }
+
+    /// The projection layout of a processor.
+    pub fn layout_of(&self, processor: &ProcessorName) -> Option<&ProjectionLayout> {
+        self.layouts.get(processor)
+    }
+
+    /// The cached topological order of the processors.
+    pub fn topo_order(&self) -> &[ProcessorName] {
+        &self.topo
+    }
+
+    /// Static mismatch of a processor input port (`δ_s(X)`), if known.
+    pub fn mismatch(&self, processor: &ProcessorName, port: &str) -> Option<i64> {
+        self.input_depths(processor, port).map(PortDepths::mismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseType, DataflowBuilder, PortType};
+
+    /// The abstract workflow of the paper's Fig. 3:
+    /// Q: X(string)→Y(string); R: X(string)→Y(list);
+    /// P: X1(string), X2(list) [no iteration], X3(string) → Y(string);
+    /// inputs: v = list(string) into Q, w = string into R, c = list(string) into P:X2.
+    fn fig3() -> (Dataflow, DepthInfo) {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("v", PortType::list(BaseType::String));
+        b.input("w", PortType::atom(BaseType::String));
+        b.input("c", PortType::list(BaseType::String));
+        b.processor("Q")
+            .in_port("X", PortType::atom(BaseType::String))
+            .out_port("Y", PortType::atom(BaseType::String));
+        b.processor("R")
+            .in_port("X", PortType::atom(BaseType::String))
+            .out_port("Y", PortType::list(BaseType::String));
+        b.processor("P")
+            .in_port("X1", PortType::atom(BaseType::String))
+            .in_port("X2", PortType::list(BaseType::String))
+            .in_port("X3", PortType::atom(BaseType::String))
+            .out_port("Y", PortType::atom(BaseType::String));
+        b.arc_from_input("v", "Q", "X").unwrap();
+        b.arc_from_input("w", "R", "X").unwrap();
+        b.arc_from_input("c", "P", "X2").unwrap();
+        b.arc("Q", "Y", "P", "X1").unwrap();
+        b.arc("R", "Y", "P", "X3").unwrap();
+        b.output("y", PortType::atom(BaseType::String));
+        b.arc_to_output("P", "Y", "y").unwrap();
+        let df = b.build().unwrap();
+        let info = DepthInfo::compute(&df).unwrap();
+        (df, info)
+    }
+
+    #[test]
+    fn fig3_mismatches_match_paper() {
+        let (_, info) = fig3();
+        // δs(Q:X) = 1 (list into string port)
+        assert_eq!(info.mismatch(&"Q".into(), "X"), Some(1));
+        // δs(R:X) = 0 (string into string port)
+        assert_eq!(info.mismatch(&"R".into(), "X"), Some(0));
+        // P: δs(X1)=1 (Q:Y gains Q's iteration depth 1), δs(X2)=0, δs(X3)=1
+        assert_eq!(info.mismatch(&"P".into(), "X1"), Some(1));
+        assert_eq!(info.mismatch(&"P".into(), "X2"), Some(0));
+        assert_eq!(info.mismatch(&"P".into(), "X3"), Some(1));
+    }
+
+    #[test]
+    fn fig3_output_depths_match_paper() {
+        let (_, info) = fig3();
+        // Q:Y actual = 0 + 1 = 1 (list of results)
+        assert_eq!(info.output_depths(&"Q".into(), "Y").unwrap().actual, 1);
+        // R:Y actual = 1 + 0 = 1 (R itself produces a list)
+        assert_eq!(info.output_depths(&"R".into(), "Y").unwrap().actual, 1);
+        // P:Y actual = 0 + (1 + 0 + 1) = 2: the paper's trace has Y[n,m].
+        assert_eq!(info.output_depths(&"P".into(), "Y").unwrap().actual, 2);
+        // and the workflow output sees that depth too.
+        assert_eq!(info.workflow_output_depths("y").unwrap().actual, 2);
+    }
+
+    #[test]
+    fn fig3_projection_layout_concatenates_in_port_order() {
+        let (_, info) = fig3();
+        let layout = info.layout_of(&"P".into()).unwrap();
+        // q = p1 · p3 with |p1| = 1, |p2| = 0, |p3| = 1 → fragments
+        // (0,1), (1,0) [empty], (1,1); total 2.
+        assert_eq!(layout.total, 2);
+        assert_eq!(layout.fragments, vec![(0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn unconnected_input_uses_declared_depth() {
+        let mut b = DataflowBuilder::new("wf");
+        b.processor("P")
+            .in_port_with_default(
+                "x",
+                PortType::list(BaseType::Int),
+                prov_model::Value::from(vec![1i64, 2]),
+            )
+            .out_port("y", PortType::atom(BaseType::Int));
+        let df = b.build().unwrap();
+        let info = DepthInfo::compute(&df).unwrap();
+        assert_eq!(info.mismatch(&"P".into(), "x"), Some(0));
+        assert_eq!(info.output_depths(&"P".into(), "y").unwrap().actual, 0);
+    }
+
+    #[test]
+    fn negative_mismatch_does_not_iterate() {
+        // An atom flowing into a port that declares list(string): δs = −1.
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::atom(BaseType::String));
+        b.processor("P")
+            .in_port("x", PortType::list(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("a", "P", "x").unwrap();
+        b.output("o", PortType::atom(BaseType::String));
+        b.arc_to_output("P", "y", "o").unwrap();
+        let df = b.build().unwrap();
+        let info = DepthInfo::compute(&df).unwrap();
+        assert_eq!(info.mismatch(&"P".into(), "x"), Some(-1));
+        let layout = info.layout_of(&"P".into()).unwrap();
+        assert_eq!(layout.total, 0);
+        assert_eq!(layout.fragments, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn dot_layout_shares_one_fragment() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::list(BaseType::Int));
+        b.input("b", PortType::list(BaseType::Int));
+        b.processor("zip")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .in_port("y", PortType::atom(BaseType::Int))
+            .out_port("z", PortType::atom(BaseType::Int))
+            .dot_iteration();
+        b.arc_from_input("a", "zip", "x").unwrap();
+        b.arc_from_input("b", "zip", "y").unwrap();
+        b.output("o", PortType::list(BaseType::Int));
+        b.arc_to_output("zip", "z", "o").unwrap();
+        let df = b.build().unwrap();
+        let info = DepthInfo::compute(&df).unwrap();
+        let layout = info.layout_of(&"zip".into()).unwrap();
+        assert_eq!(layout.total, 1);
+        assert_eq!(layout.fragments, vec![(0, 1), (0, 1)]);
+        // Output depth gains only ONE level for a zip.
+        assert_eq!(info.output_depths(&"zip".into(), "z").unwrap().actual, 1);
+    }
+
+    #[test]
+    fn dot_with_unequal_mismatches_is_rejected() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::list(BaseType::Int));
+        b.input("b", PortType::nested(BaseType::Int, 2));
+        b.processor("zip")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .in_port("y", PortType::atom(BaseType::Int))
+            .out_port("z", PortType::atom(BaseType::Int))
+            .dot_iteration();
+        b.arc_from_input("a", "zip", "x").unwrap();
+        b.arc_from_input("b", "zip", "y").unwrap();
+        b.output("o", PortType::list(BaseType::Int));
+        b.arc_to_output("zip", "z", "o").unwrap();
+        let df = b.build().unwrap();
+        assert!(DepthInfo::compute(&df).is_err());
+    }
+
+    #[test]
+    fn depth_accumulates_along_chains() {
+        // A chain of three depth-preserving processors fed by a depth-2
+        // value into depth-0 ports: every stage iterates twice, but since
+        // each stage's output regains the input's actual depth, mismatch
+        // stays 2 at each stage.
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::nested(BaseType::Int, 2));
+        for name in ["A", "B", "C"] {
+            b.processor(name)
+                .in_port("x", PortType::atom(BaseType::Int))
+                .out_port("y", PortType::atom(BaseType::Int));
+        }
+        b.arc_from_input("in", "A", "x").unwrap();
+        b.arc("A", "y", "B", "x").unwrap();
+        b.arc("B", "y", "C", "x").unwrap();
+        b.output("out", PortType::nested(BaseType::Int, 2));
+        b.arc_to_output("C", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let info = DepthInfo::compute(&df).unwrap();
+        for name in ["A", "B", "C"] {
+            assert_eq!(info.mismatch(&name.into(), "x"), Some(2), "{name}");
+            assert_eq!(info.output_depths(&name.into(), "y").unwrap().actual, 2);
+        }
+        assert_eq!(info.workflow_output_depths("out").unwrap().actual, 2);
+    }
+}

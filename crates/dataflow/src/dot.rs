@@ -1,0 +1,86 @@
+//! Graphviz (DOT) rendering of dataflow specifications.
+
+use std::fmt::Write as _;
+
+use crate::graph::{ArcDst, ArcSrc, Dataflow, ProcessorKind};
+
+/// Renders the dataflow as a Graphviz `digraph`, with workflow inputs and
+/// outputs as house/invhouse shapes and processors as boxes (nested
+/// dataflows as double boxes). Arc labels carry the port names.
+pub fn to_dot(df: &Dataflow) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", df.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    for input in &df.inputs {
+        let _ = writeln!(
+            out,
+            "  \"in:{}\" [shape=house, label=\"{}\\n{}\"];",
+            input.name, input.name, input.declared
+        );
+    }
+    for output in &df.outputs {
+        let _ = writeln!(
+            out,
+            "  \"out:{}\" [shape=invhouse, label=\"{}\\n{}\"];",
+            output.name, output.name, output.declared
+        );
+    }
+    for p in &df.processors {
+        let shape = match p.kind {
+            ProcessorKind::Task { .. } => "box",
+            ProcessorKind::Nested { .. } => "box3d",
+        };
+        let _ = writeln!(out, "  \"{}\" [shape={shape}];", p.name);
+    }
+    for arc in &df.arcs {
+        let (src, src_port) = match &arc.src {
+            ArcSrc::WorkflowInput { port } => (format!("in:{port}"), String::new()),
+            ArcSrc::Processor { processor, port } => (processor.to_string(), port.to_string()),
+        };
+        let (dst, dst_port) = match &arc.dst {
+            ArcDst::Processor { processor, port } => (processor.to_string(), port.to_string()),
+            ArcDst::WorkflowOutput { port } => (format!("out:{port}"), String::new()),
+        };
+        let label = match (src_port.is_empty(), dst_port.is_empty()) {
+            (true, true) => String::new(),
+            (true, false) => dst_port,
+            (false, true) => src_port,
+            (false, false) => format!("{src_port}→{dst_port}"),
+        };
+        if label.is_empty() {
+            let _ = writeln!(out, "  \"{src}\" -> \"{dst}\";");
+        } else {
+            let _ = writeln!(out, "  \"{src}\" -> \"{dst}\" [label=\"{label}\"];");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseType, DataflowBuilder, PortType};
+
+    #[test]
+    fn dot_contains_all_nodes_and_arcs() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        b.processor("P")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "P", "x").unwrap();
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("P", "y", "out").unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.starts_with("digraph \"wf\""));
+        assert!(dot.contains("\"in:in\" [shape=house"));
+        assert!(dot.contains("\"P\" [shape=box]"));
+        assert!(dot.contains("\"out:out\" [shape=invhouse"));
+        assert!(dot.contains("\"in:in\" -> \"P\""));
+        assert!(dot.contains("\"P\" -> \"out:out\""));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # prov-dataflow
+//!
+//! The workflow *specification* layer (paper §2.1): a dataflow is a directed
+//! graph `D = (N, E)` whose nodes are processors `⟨P, I_P, O_P⟩` with
+//! **ordered** input and output ports, and whose arcs `P:Y → P′:X` are data
+//! dependencies. Processors may themselves be nested dataflows.
+//!
+//! Beyond the graph representation this crate implements the static
+//! analyses the paper's INDEXPROJ algorithm relies on:
+//!
+//! * topological sorting of the processor graph;
+//! * **Algorithm 1** (`PROPAGATEDEPTHS`): propagating declared depths
+//!   through the graph so that the depth mismatch `δ_s(X)` of every port is
+//!   known *statically*, independent of runtime values (§3.1);
+//! * the per-processor index-projection layout derived from the mismatches
+//!   (offsets and fragment lengths used by Def. 4).
+//!
+//! The distinction matters: lineage queries that only consult this
+//! (small) specification graph scale with the workflow size, not with the
+//! (large) provenance trace — the paper's central claim.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod depths;
+mod dot;
+mod error;
+mod graph;
+mod toposort;
+mod validate;
+mod views;
+
+pub use builder::{DataflowBuilder, ProcessorBuilder};
+pub use depths::{DepthInfo, PortDepths, ProjectionLayout};
+pub use dot::to_dot;
+pub use error::DataflowError;
+pub use graph::{
+    ArcDst, ArcSrc, Dataflow, DataflowArc, InputPort, IterationStrategy, OutputPort,
+    ProcessorKind, ProcessorSpec,
+};
+pub use prov_model::{BaseType, Depth, PortType};
+pub use toposort::toposort;
+pub use validate::validate;
+pub use views::CompositeView;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, DataflowError>;

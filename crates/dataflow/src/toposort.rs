@@ -1,0 +1,137 @@
+//! Topological ordering of the processor graph (Kahn's algorithm).
+
+use std::collections::{HashMap, VecDeque};
+
+use prov_model::ProcessorName;
+
+use crate::graph::{ArcDst, ArcSrc, Dataflow};
+use crate::{DataflowError, Result};
+
+/// Returns the processors of `df` in a topological order of the
+/// data-dependency graph, erroring with [`DataflowError::Cyclic`] if the
+/// graph has a cycle.
+///
+/// Algorithm 1 requires the depths of all of a processor's inputs before
+/// its outputs can be computed; the paper achieves this with exactly such a
+/// sort ("we perform a topological sort of the graph prior to propagating
+/// the depths"). Ties are broken by declaration order, making the result
+/// deterministic.
+pub fn toposort(df: &Dataflow) -> Result<Vec<ProcessorName>> {
+    let n = df.processors.len();
+    let position: HashMap<&ProcessorName, usize> = df
+        .processors
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (&p.name, i))
+        .collect();
+
+    let mut indegree = vec![0usize; n];
+    let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for arc in &df.arcs {
+        if let (ArcSrc::Processor { processor: s, .. }, ArcDst::Processor { processor: d, .. }) =
+            (&arc.src, &arc.dst)
+        {
+            let (si, di) = (position[s], position[d]);
+            successors[si].push(di);
+            indegree[di] += 1;
+        }
+    }
+
+    // Kahn's algorithm; the queue is seeded in declaration order so the
+    // output is stable across runs.
+    let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        order.push(df.processors[i].name.clone());
+        for &j in &successors[i] {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                queue.push_back(j);
+            }
+        }
+    }
+
+    if order.len() != n {
+        // Some processor kept a nonzero indegree: it lies on a cycle.
+        let witness = indegree
+            .iter()
+            .position(|&d| d > 0)
+            .map(|i| df.processors[i].name.to_string())
+            .unwrap_or_default();
+        return Err(DataflowError::Cyclic { witness });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseType, DataflowBuilder, PortType};
+
+    fn chain(names: &[&str]) -> Dataflow {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::Int));
+        for name in names {
+            b.processor(name)
+                .in_port("x", PortType::atom(BaseType::Int))
+                .out_port("y", PortType::atom(BaseType::Int));
+        }
+        b.arc_from_input("in", names[0], "x").unwrap();
+        for w in names.windows(2) {
+            b.arc(w[0], "y", w[1], "x").unwrap();
+        }
+        b.output("out", PortType::atom(BaseType::Int));
+        b.arc_to_output(names[names.len() - 1], "y", "out").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_sorts_in_data_order() {
+        let df = chain(&["C", "A", "B"]); // declaration order ≠ data order
+        let order = toposort(&df).unwrap();
+        let names: Vec<&str> = order.iter().map(|n| n.as_str()).collect();
+        assert_eq!(names, vec!["C", "A", "B"]);
+    }
+
+    #[test]
+    fn independent_processors_keep_declaration_order() {
+        let mut b = DataflowBuilder::new("wf");
+        for name in ["Z", "M", "A"] {
+            b.processor(name).out_port("y", PortType::atom(BaseType::Int));
+        }
+        let df = b.build().unwrap();
+        let order = toposort(&df).unwrap();
+        let names: Vec<&str> = order.iter().map(|n| n.as_str()).collect();
+        assert_eq!(names, vec!["Z", "M", "A"]);
+    }
+
+    #[test]
+    fn diamond_respects_all_dependencies() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::Int));
+        for name in ["S", "L", "R"] {
+            b.processor(name)
+                .in_port("x", PortType::atom(BaseType::Int))
+                .out_port("y", PortType::atom(BaseType::Int));
+        }
+        b.processor("J")
+            .in_port("a", PortType::atom(BaseType::Int))
+            .in_port("b", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.arc_from_input("in", "S", "x").unwrap();
+        b.arc("S", "y", "L", "x").unwrap();
+        b.arc("S", "y", "R", "x").unwrap();
+        b.arc("L", "y", "J", "a").unwrap();
+        b.arc("R", "y", "J", "b").unwrap();
+        b.output("out", PortType::atom(BaseType::Int));
+        b.arc_to_output("J", "y", "out").unwrap();
+        let df = b.build().unwrap();
+
+        let order = toposort(&df).unwrap();
+        let pos = |n: &str| order.iter().position(|x| x.as_str() == n).unwrap();
+        assert!(pos("S") < pos("L"));
+        assert!(pos("S") < pos("R"));
+        assert!(pos("L") < pos("J"));
+        assert!(pos("R") < pos("J"));
+    }
+}

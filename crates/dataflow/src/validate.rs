@@ -1,0 +1,236 @@
+//! Structural validation of dataflow specifications.
+
+use std::collections::HashSet;
+
+use crate::graph::{ArcDst, Dataflow, ProcessorKind};
+use crate::toposort::toposort;
+use crate::{DataflowError, Result};
+
+/// Checks the structural invariants a dataflow must satisfy before it can
+/// be executed or analysed:
+///
+/// 1. processor names are unique, and distinct from the workflow name;
+/// 2. port names are unique per processor side, and workflow I/O port names
+///    are unique per side;
+/// 3. every processor input port and every workflow output port is the
+///    destination of **at most one** arc (workflow outputs: exactly one);
+/// 4. the processor graph is acyclic;
+/// 5. nested processors expose exactly their sub-workflow's interface.
+///
+/// Arcs referencing unknown processors/ports are rejected earlier by the
+/// builder; `validate` re-checks nothing the type system already enforces.
+pub fn validate(df: &Dataflow) -> Result<()> {
+    // (1) unique processor names.
+    let mut names = HashSet::with_capacity(df.processors.len() + 1);
+    names.insert(df.name.as_str());
+    for p in &df.processors {
+        if !names.insert(p.name.as_str()) {
+            return Err(DataflowError::DuplicateName(p.name.to_string()));
+        }
+    }
+
+    // (2) unique port names per side.
+    for p in &df.processors {
+        unique_port_names(p.name.as_str(), p.inputs.iter().map(|x| &*x.name))?;
+        unique_port_names(p.name.as_str(), p.outputs.iter().map(|x| &*x.name))?;
+    }
+    unique_port_names(df.name.as_str(), df.inputs.iter().map(|x| &*x.name))?;
+    unique_port_names(df.name.as_str(), df.outputs.iter().map(|x| &*x.name))?;
+
+    // (3) single writer per destination.
+    let mut destinations = HashSet::with_capacity(df.arcs.len());
+    for arc in &df.arcs {
+        let key = match &arc.dst {
+            ArcDst::Processor { processor, port } => format!("{processor}:{port}"),
+            ArcDst::WorkflowOutput { port } => format!("out:{port}"),
+        };
+        if !destinations.insert(key.clone()) {
+            return Err(DataflowError::MultipleWriters { destination: key });
+        }
+    }
+    for out in &df.outputs {
+        if df.arc_into_output(&out.name).is_none() {
+            return Err(DataflowError::UnboundOutput(out.name.to_string()));
+        }
+    }
+
+    // (4) acyclicity.
+    toposort(df)?;
+
+    // (5) nested interfaces match.
+    for p in &df.processors {
+        if let ProcessorKind::Nested { dataflow } = &p.kind {
+            let ins_match = p.inputs.len() == dataflow.inputs.len()
+                && p.inputs
+                    .iter()
+                    .zip(&dataflow.inputs)
+                    .all(|(a, b)| a.name == b.name && a.declared == b.declared);
+            let outs_match = p.outputs.len() == dataflow.outputs.len()
+                && p.outputs
+                    .iter()
+                    .zip(&dataflow.outputs)
+                    .all(|(a, b)| a.name == b.name && a.declared == b.declared);
+            if !ins_match || !outs_match {
+                return Err(DataflowError::NestedInterfaceMismatch {
+                    processor: p.name.to_string(),
+                });
+            }
+            // Nested dataflows must themselves be valid.
+            validate(dataflow)?;
+        }
+    }
+
+    Ok(())
+}
+
+fn unique_port_names<'a>(owner: &str, names: impl Iterator<Item = &'a str>) -> Result<()> {
+    let mut seen = HashSet::new();
+    for n in names {
+        if !seen.insert(n) {
+            return Err(DataflowError::DuplicateName(format!("{owner}:{n}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::{ArcSrc, DataflowArc, InputPort, OutputPort, ProcessorSpec};
+    use crate::{BaseType, DataflowBuilder, DataflowError, PortType};
+    use prov_model::ProcessorName;
+    use std::sync::Arc;
+
+    #[test]
+    fn duplicate_processor_names_rejected() {
+        let mut b = DataflowBuilder::new("wf");
+        b.processor("P")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.processor("P")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        assert!(matches!(b.build(), Err(DataflowError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn duplicate_port_names_rejected() {
+        let mut b = DataflowBuilder::new("wf");
+        b.processor("P")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        assert!(matches!(b.build(), Err(DataflowError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn processor_named_like_workflow_rejected() {
+        let mut b = DataflowBuilder::new("wf");
+        b.processor("wf").out_port("y", PortType::atom(BaseType::Int));
+        assert!(matches!(b.build(), Err(DataflowError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn two_writers_to_one_port_rejected() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::atom(BaseType::Int));
+        b.input("b", PortType::atom(BaseType::Int));
+        b.processor("P")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.arc_from_input("a", "P", "x").unwrap();
+        b.arc_from_input("b", "P", "x").unwrap();
+        assert!(matches!(b.build(), Err(DataflowError::MultipleWriters { .. })));
+    }
+
+    #[test]
+    fn unbound_workflow_output_rejected() {
+        let mut b = DataflowBuilder::new("wf");
+        b.output("o", PortType::atom(BaseType::Int));
+        assert!(matches!(b.build(), Err(DataflowError::UnboundOutput(_))));
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut b = DataflowBuilder::new("wf");
+        b.processor("P")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.processor("Q")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.arc("P", "y", "Q", "x").unwrap();
+        b.arc("Q", "y", "P", "x").unwrap();
+        assert!(matches!(b.build(), Err(DataflowError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn nested_interface_mismatch_rejected() {
+        // Build a valid inner workflow, then tamper with the outer
+        // processor's ports so they no longer match.
+        let mut inner = DataflowBuilder::new("inner");
+        inner.input("a", PortType::atom(BaseType::Int));
+        inner.output("b", PortType::atom(BaseType::Int));
+        inner.arc_input_to_output("a", "b").unwrap();
+        let inner = Arc::new(inner.build().unwrap());
+
+        let mut outer = DataflowBuilder::new("outer");
+        outer.input("v", PortType::atom(BaseType::Int));
+        outer.nested("sub", inner.clone());
+        outer.arc_from_input("v", "sub", "a").unwrap();
+        outer.output("w", PortType::atom(BaseType::Int));
+        outer.arc_to_output("sub", "b", "w").unwrap();
+        let mut wf = outer.build().unwrap();
+        // Tamper: change the declared type of the nested processor's port.
+        if let Some(p) = wf.processors.iter_mut().find(|p| p.name.as_str() == "sub") {
+            p.inputs[0].declared = PortType::list(BaseType::Int);
+        }
+        assert!(matches!(
+            crate::validate(&wf),
+            Err(DataflowError::NestedInterfaceMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn valid_diamond_passes() {
+        // in → P → (Q, R) → S → out : a diamond with a two-input join.
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::Int));
+        for name in ["P", "Q", "R"] {
+            b.processor(name)
+                .in_port("x", PortType::atom(BaseType::Int))
+                .out_port("y", PortType::atom(BaseType::Int));
+        }
+        b.processor("S")
+            .in_port("x1", PortType::atom(BaseType::Int))
+            .in_port("x2", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.arc_from_input("in", "P", "x").unwrap();
+        b.arc("P", "y", "Q", "x").unwrap();
+        b.arc("P", "y", "R", "x").unwrap();
+        b.arc("Q", "y", "S", "x1").unwrap();
+        b.arc("R", "y", "S", "x2").unwrap();
+        b.output("out", PortType::atom(BaseType::Int));
+        b.arc_to_output("S", "y", "out").unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn validate_rechecks_raw_assembled_graphs() {
+        // Bypass the builder to assemble a malformed graph directly.
+        let p = ProcessorSpec {
+            name: ProcessorName::from("P"),
+            inputs: vec![InputPort::new("x", PortType::atom(BaseType::Int))],
+            outputs: vec![OutputPort::new("y", PortType::atom(BaseType::Int))],
+            kind: crate::ProcessorKind::Task { behavior: "P".into() },
+            iteration: Default::default(),
+        };
+        let arcs = vec![
+            DataflowArc {
+                src: ArcSrc::Processor { processor: "P".into(), port: "y".into() },
+                dst: crate::ArcDst::Processor { processor: "P".into(), port: "x".into() },
+            },
+        ];
+        let df = crate::graph::Dataflow::assemble("wf".into(), vec![], vec![], vec![p], arcs);
+        assert!(matches!(crate::validate(&df), Err(DataflowError::Cyclic { .. })));
+    }
+}

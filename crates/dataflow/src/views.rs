@@ -1,0 +1,275 @@
+//! Zoom-style composite views over a workflow (cf. Biton et al.'s
+//! Zoom\*UserViews, discussed in the paper's related work §1.2).
+//!
+//! A [`CompositeView`] groups adjacent processors into named virtual
+//! processors, producing a coarser picture of the workflow. The paper
+//! positions its focused queries as *complementary* to such user views:
+//! here the bridge is concrete — a view name used in a query's focus set
+//! simply expands to its member processors ([`CompositeView::expand_focus`]),
+//! so `lin(…, {alignment_stage})` asks about every processor inside the
+//! composite.
+//!
+//! Groups must be **convex**: collapsing a group whose members can be
+//! reached from outside via a path that left the group would create a
+//! cycle in the condensed graph, making the view non-executable as a
+//! workflow. Validation rejects that (the standard Zoom well-formedness
+//! condition).
+
+use std::collections::HashMap;
+
+use prov_model::ProcessorName;
+
+use crate::graph::{ArcDst, ArcSrc, Dataflow};
+use crate::{DataflowError, Result};
+
+/// A named grouping of processors into composite virtual processors.
+#[derive(Debug, Clone, Default)]
+pub struct CompositeView {
+    groups: Vec<(String, Vec<ProcessorName>)>,
+}
+
+impl CompositeView {
+    /// An empty view (every processor stays visible).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a composite group.
+    pub fn group(
+        mut self,
+        name: &str,
+        members: impl IntoIterator<Item = ProcessorName>,
+    ) -> Self {
+        self.groups.push((name.to_string(), members.into_iter().collect()));
+        self
+    }
+
+    /// The groups, in declaration order.
+    pub fn groups(&self) -> &[(String, Vec<ProcessorName>)] {
+        &self.groups
+    }
+
+    /// Checks the view against a workflow: members exist, groups are
+    /// disjoint, group names collide with nothing, and the condensed
+    /// graph is acyclic (convexity).
+    pub fn validate(&self, df: &Dataflow) -> Result<()> {
+        let mut owner: HashMap<&ProcessorName, &str> = HashMap::new();
+        for (name, members) in &self.groups {
+            if df.processor(&ProcessorName::from(name.as_str())).is_some()
+                || name == df.name.as_str()
+                || self.groups.iter().filter(|(n, _)| n == name).count() > 1
+            {
+                return Err(DataflowError::DuplicateName(name.clone()));
+            }
+            if members.is_empty() {
+                return Err(DataflowError::UnknownProcessor(format!(
+                    "view group {name:?} is empty"
+                )));
+            }
+            for m in members {
+                if df.processor(m).is_none() {
+                    return Err(DataflowError::UnknownProcessor(m.to_string()));
+                }
+                if owner.insert(m, name).is_some() {
+                    return Err(DataflowError::DuplicateName(format!(
+                        "{m} belongs to two view groups"
+                    )));
+                }
+            }
+        }
+        // Convexity ⟺ the condensed graph is a DAG. Detect cycles with a
+        // colour DFS over condensed nodes.
+        let condensed = self.condense(df);
+        let mut color: HashMap<&str, u8> = HashMap::new(); // 0 white 1 grey 2 black
+        fn dfs<'a>(
+            node: &'a str,
+            edges: &'a HashMap<String, Vec<String>>,
+            color: &mut HashMap<&'a str, u8>,
+        ) -> bool {
+            match color.get(node) {
+                Some(1) => return false, // grey: cycle
+                Some(2) => return true,
+                _ => {}
+            }
+            color.insert(node, 1);
+            if let Some(next) = edges.get(node) {
+                for n in next {
+                    // Resolve &String to a &str living in `edges`.
+                    if !dfs(n.as_str(), edges, color) {
+                        return false;
+                    }
+                }
+            }
+            color.insert(node, 2);
+            true
+        }
+        let nodes: Vec<&String> = condensed.keys().collect();
+        for n in nodes {
+            if !dfs(n.as_str(), &condensed, &mut color) {
+                return Err(DataflowError::Cyclic { witness: n.clone() });
+            }
+        }
+        Ok(())
+    }
+
+    /// The condensed adjacency: every processor is replaced by its group
+    /// name (or kept as itself), self-loops removed.
+    fn condense(&self, df: &Dataflow) -> HashMap<String, Vec<String>> {
+        let owner: HashMap<&ProcessorName, &str> = self
+            .groups
+            .iter()
+            .flat_map(|(name, members)| members.iter().map(move |m| (m, name.as_str())))
+            .collect();
+        let rep = |p: &ProcessorName| -> String {
+            owner.get(p).map(|s| s.to_string()).unwrap_or_else(|| p.to_string())
+        };
+        let mut edges: HashMap<String, Vec<String>> = HashMap::new();
+        for p in &df.processors {
+            edges.entry(rep(&p.name)).or_default();
+        }
+        for arc in &df.arcs {
+            if let (ArcSrc::Processor { processor: s, .. }, ArcDst::Processor { processor: d, .. }) =
+                (&arc.src, &arc.dst)
+            {
+                let (rs, rd) = (rep(s), rep(d));
+                if rs != rd {
+                    let v = edges.entry(rs).or_default();
+                    if !v.contains(&rd) {
+                        v.push(rd);
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Expands focus names: composite names become their members; other
+    /// names pass through unchanged. This is how a view plugs into
+    /// `LineageQuery::focused`.
+    pub fn expand_focus(
+        &self,
+        names: impl IntoIterator<Item = ProcessorName>,
+    ) -> Vec<ProcessorName> {
+        let mut out = Vec::new();
+        for name in names {
+            match self.groups.iter().find(|(n, _)| n == name.as_str()) {
+                Some((_, members)) => out.extend(members.iter().cloned()),
+                None => out.push(name),
+            }
+        }
+        out
+    }
+
+    /// Renders the condensed workflow as Graphviz DOT (composites as
+    /// double octagons).
+    pub fn to_dot(&self, df: &Dataflow) -> String {
+        use std::fmt::Write as _;
+        let condensed = self.condense(df);
+        let composite: Vec<&str> = self.groups.iter().map(|(n, _)| n.as_str()).collect();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}-view\" {{", df.name);
+        let mut nodes: Vec<&String> = condensed.keys().collect();
+        nodes.sort();
+        for n in &nodes {
+            let shape = if composite.contains(&n.as_str()) { "doubleoctagon" } else { "box" };
+            let _ = writeln!(out, "  \"{n}\" [shape={shape}];");
+        }
+        for n in nodes {
+            let mut targets = condensed[n].clone();
+            targets.sort();
+            for t in targets {
+                let _ = writeln!(out, "  \"{n}\" -> \"{t}\";");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseType, DataflowBuilder, PortType};
+
+    /// A → B → C → D chain.
+    fn chain() -> Dataflow {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::Int));
+        for n in ["A", "B", "C", "D"] {
+            b.processor(n)
+                .in_port("x", PortType::atom(BaseType::Int))
+                .out_port("y", PortType::atom(BaseType::Int));
+        }
+        b.arc_from_input("in", "A", "x").unwrap();
+        b.arc("A", "y", "B", "x").unwrap();
+        b.arc("B", "y", "C", "x").unwrap();
+        b.arc("C", "y", "D", "x").unwrap();
+        b.output("out", PortType::atom(BaseType::Int));
+        b.arc_to_output("D", "y", "out").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn contiguous_group_validates() {
+        let df = chain();
+        let view = CompositeView::new().group("middle", ["B".into(), "C".into()]);
+        view.validate(&df).unwrap();
+    }
+
+    #[test]
+    fn non_convex_group_is_rejected() {
+        // Grouping A and C around the un-grouped B: condensed graph has
+        // {A,C} → B → {A,C}, a cycle.
+        let df = chain();
+        let view = CompositeView::new().group("split", ["A".into(), "C".into()]);
+        assert!(matches!(view.validate(&df), Err(DataflowError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn overlapping_groups_are_rejected() {
+        let df = chain();
+        let view = CompositeView::new()
+            .group("g1", ["A".into(), "B".into()])
+            .group("g2", ["B".into(), "C".into()]);
+        assert!(matches!(view.validate(&df), Err(DataflowError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn unknown_member_and_name_collisions_rejected() {
+        let df = chain();
+        let view = CompositeView::new().group("g", ["ghost".into()]);
+        assert!(matches!(view.validate(&df), Err(DataflowError::UnknownProcessor(_))));
+        // A group named like an existing processor.
+        let view = CompositeView::new().group("A", ["B".into()]);
+        assert!(matches!(view.validate(&df), Err(DataflowError::DuplicateName(_))));
+        // An empty group.
+        let view = CompositeView::new().group("g", []);
+        assert!(view.validate(&df).is_err());
+    }
+
+    #[test]
+    fn expand_focus_mixes_composites_and_plain_names() {
+        let view = CompositeView::new().group("mid", ["B".into(), "C".into()]);
+        let expanded = view.expand_focus(["mid".into(), "D".into()]);
+        assert_eq!(
+            expanded,
+            vec![
+                ProcessorName::from("B"),
+                ProcessorName::from("C"),
+                ProcessorName::from("D")
+            ]
+        );
+    }
+
+    #[test]
+    fn condensed_dot_shows_composites() {
+        let df = chain();
+        let view = CompositeView::new().group("mid", ["B".into(), "C".into()]);
+        view.validate(&df).unwrap();
+        let dot = view.to_dot(&df);
+        assert!(dot.contains("\"mid\" [shape=doubleoctagon]"));
+        assert!(dot.contains("\"A\" -> \"mid\""));
+        assert!(dot.contains("\"mid\" -> \"D\""));
+        assert!(!dot.contains("\"B\""));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests over randomly generated layered DAGs: topological-sort
+//! correctness, Algorithm 1 invariants, and validation soundness.
+
+use proptest::prelude::*;
+
+use prov_dataflow::{
+    toposort, BaseType, Dataflow, DataflowBuilder, DepthInfo, PortType,
+};
+use prov_model::ProcessorName;
+
+/// Spec for one random layered DAG: `layers[i]` = number of processors in
+/// layer i; each processor takes one input from a random processor in an
+/// earlier layer (or the workflow input) and declares random small depths.
+#[derive(Debug, Clone)]
+struct DagSpec {
+    layers: Vec<usize>,
+    /// Per processor: (declared input depth, declared output depth, seed
+    /// for choosing its upstream source).
+    decls: Vec<(usize, usize, u64)>,
+}
+
+fn arb_dag() -> impl Strategy<Value = DagSpec> {
+    proptest::collection::vec(1usize..4, 1..5).prop_flat_map(|layers| {
+        let n: usize = layers.iter().sum();
+        proptest::collection::vec((0usize..2, 0usize..2, any::<u64>()), n)
+            .prop_map(move |decls| DagSpec { layers: layers.clone(), decls })
+    })
+}
+
+fn build(spec: &DagSpec) -> Dataflow {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("in", PortType::nested(BaseType::String, 2));
+    let mut names: Vec<Vec<String>> = Vec::new();
+    let mut k = 0usize;
+    for (li, &width) in spec.layers.iter().enumerate() {
+        let mut layer = Vec::new();
+        for w in 0..width {
+            let name = format!("L{li}N{w}");
+            let (din, dout, seed) = spec.decls[k];
+            k += 1;
+            b.processor_with_behavior(&name, "any")
+                .in_port("x", PortType::nested(BaseType::String, din))
+                .out_port("y", PortType::nested(BaseType::String, dout));
+            if li == 0 {
+                b.arc_from_input("in", &name, "x").unwrap();
+            } else {
+                // Pick an upstream processor from any earlier layer.
+                let flat: Vec<&String> = names.iter().flatten().collect();
+                let src = flat[(seed as usize) % flat.len()];
+                b.arc(src, "y", &name, "x").unwrap();
+            }
+            layer.push(name);
+        }
+        names.push(layer);
+    }
+    let last = names.last().unwrap().first().unwrap().clone();
+    b.output("out", PortType::nested(BaseType::String, 4));
+    b.arc_to_output(&last, "y", "out").unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Toposort emits every processor exactly once, respecting all arcs.
+    #[test]
+    fn toposort_is_a_valid_linearisation(spec in arb_dag()) {
+        let df = build(&spec);
+        let order = toposort(&df).unwrap();
+        prop_assert_eq!(order.len(), df.node_count());
+        let pos = |n: &ProcessorName| order.iter().position(|x| x == n).unwrap();
+        for p in &df.processors {
+            for pred in df.predecessors(&p.name) {
+                prop_assert!(pos(pred) < pos(&p.name), "{pred} !< {}", p.name);
+            }
+        }
+    }
+
+    /// Algorithm 1 invariants: (a) input actual depth equals the upstream
+    /// output's actual depth; (b) output actual = declared + Σ max(δ,0);
+    /// (c) fragment offsets are contiguous and total is their sum.
+    #[test]
+    fn depth_propagation_invariants(spec in arb_dag()) {
+        let df = build(&spec);
+        let info = DepthInfo::compute(&df).unwrap();
+        for p in &df.processors {
+            let mut expected_total = 0i64;
+            for port in &p.inputs {
+                let d = info.input_depths(&p.name, &port.name).unwrap();
+                prop_assert_eq!(d.declared, port.declared.depth);
+                expected_total += d.mismatch().max(0);
+                // (a) arc source determines actual depth.
+                if let Some(arc) = df.arc_into(&p.name, &port.name) {
+                    let src_actual = match &arc.src {
+                        prov_dataflow::ArcSrc::WorkflowInput { port } =>
+                            df.input(port).unwrap().declared.depth,
+                        prov_dataflow::ArcSrc::Processor { processor, port } =>
+                            info.output_depths(processor, port).unwrap().actual,
+                    };
+                    prop_assert_eq!(d.actual, src_actual);
+                }
+            }
+            let layout = info.layout_of(&p.name).unwrap();
+            prop_assert_eq!(layout.total as i64, expected_total);
+            // (c) fragments tile [0, total).
+            let mut offset = 0usize;
+            for &(off, len) in &layout.fragments {
+                if len > 0 {
+                    prop_assert_eq!(off, offset);
+                    offset += len;
+                }
+            }
+            prop_assert_eq!(offset, layout.total);
+            for port in &p.outputs {
+                let d = info.output_depths(&p.name, &port.name).unwrap();
+                prop_assert_eq!(d.actual, port.declared.depth + layout.total);
+            }
+        }
+    }
+
+    /// Serde round-trip preserves structure and analyses.
+    #[test]
+    fn serde_round_trip_preserves_analyses(spec in arb_dag()) {
+        let df = build(&spec);
+        let json = serde_json::to_string(&df).unwrap();
+        let mut back: Dataflow = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        prov_dataflow::validate(&back).unwrap();
+        let a = DepthInfo::compute(&df).unwrap();
+        let b = DepthInfo::compute(&back).unwrap();
+        for p in &df.processors {
+            prop_assert_eq!(a.layout_of(&p.name), b.layout_of(&p.name));
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Black-box processor behaviours.
+//!
+//! The paper treats processors as black boxes: the engine observes only
+//! which inputs each elementary invocation consumed and which outputs it
+//! produced. [`Behavior`] is therefore deliberately minimal: values in,
+//! values out, no access to indices or to the trace.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use prov_model::Value;
+
+/// A black-box software component invoked by the engine. One invocation
+/// receives one value per declared input port (already at declared depth —
+/// the engine handles all iteration) and must return one value per
+/// declared output port, each of declared type/depth (assumption 1, §3.1).
+pub trait Behavior: Send + Sync {
+    /// Performs the data transformation.
+    fn invoke(&self, inputs: &[Value]) -> std::result::Result<Vec<Value>, String>;
+}
+
+/// A behaviour backed by a closure.
+pub struct FnBehavior<F>(pub F);
+
+impl<F> Behavior for FnBehavior<F>
+where
+    F: Fn(&[Value]) -> std::result::Result<Vec<Value>, String> + Send + Sync,
+{
+    fn invoke(&self, inputs: &[Value]) -> std::result::Result<Vec<Value>, String> {
+        (self.0)(inputs)
+    }
+}
+
+/// Maps behaviour keys (from `ProcessorKind::Task`) to implementations.
+#[derive(Default, Clone)]
+pub struct BehaviorRegistry {
+    map: HashMap<String, Arc<dyn Behavior>>,
+}
+
+impl BehaviorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a behaviour object under `key`, replacing any previous one.
+    pub fn register(&mut self, key: &str, behavior: Arc<dyn Behavior>) -> &mut Self {
+        self.map.insert(key.to_string(), behavior);
+        self
+    }
+
+    /// Registers a closure behaviour under `key`.
+    pub fn register_fn<F>(&mut self, key: &str, f: F) -> &mut Self
+    where
+        F: Fn(&[Value]) -> std::result::Result<Vec<Value>, String> + Send + Sync + 'static,
+    {
+        self.register(key, Arc::new(FnBehavior(f)))
+    }
+
+    /// Looks up a behaviour.
+    pub fn get(&self, key: &str) -> Option<&Arc<dyn Behavior>> {
+        self.map.get(key)
+    }
+
+    /// Number of registered behaviours.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Registers the [`builtin`] behaviours under their standard keys.
+    pub fn with_builtins(mut self) -> Self {
+        builtin::install(&mut self);
+        self
+    }
+}
+
+impl std::fmt::Debug for BehaviorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut keys: Vec<&str> = self.map.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        f.debug_struct("BehaviorRegistry").field("keys", &keys).finish()
+    }
+}
+
+/// A small standard library of behaviours used by the examples, the
+/// synthetic testbed and the simulated bioinformatics workflows.
+pub mod builtin {
+    use super::*;
+    use prov_model::Atom;
+
+    /// Installs every builtin under its standard key.
+    pub fn install(reg: &mut BehaviorRegistry) {
+        reg.register_fn("identity", |inputs| Ok(vec![inputs[0].clone()]));
+        reg.register_fn("flatten", |inputs| {
+            inputs[0].flatten().map(|v| vec![v]).map_err(|e| e.to_string())
+        });
+        reg.register_fn("concat_lists", |inputs| {
+            let mut out = Vec::new();
+            for v in inputs {
+                match v.as_list() {
+                    Some(items) => out.extend(items.iter().cloned()),
+                    None => return Err("concat_lists requires list inputs".into()),
+                }
+            }
+            Ok(vec![Value::List(out)])
+        });
+        reg.register_fn("string_upper", |inputs| {
+            let s = expect_str(&inputs[0])?;
+            Ok(vec![Value::str(&s.to_uppercase())])
+        });
+        reg.register_fn("string_split_ws", |inputs| {
+            let s = expect_str(&inputs[0])?;
+            Ok(vec![Value::List(s.split_whitespace().map(Value::str).collect())])
+        });
+        reg.register_fn("list_length", |inputs| {
+            let n = inputs[0].as_list().map(<[Value]>::len).unwrap_or(0);
+            Ok(vec![Value::int(n as i64)])
+        });
+        reg.register_fn("intersect", |inputs| {
+            let a = inputs[0].as_list().ok_or("intersect requires lists")?;
+            let b = inputs[1].as_list().ok_or("intersect requires lists")?;
+            let keep: Vec<Value> =
+                a.iter().filter(|x| b.contains(x)).cloned().collect();
+            Ok(vec![Value::List(keep)])
+        });
+        reg.register_fn("dedup", |inputs| {
+            let items = inputs[0].as_list().ok_or("dedup requires a list")?;
+            let mut seen = Vec::new();
+            for v in items {
+                if !seen.contains(v) {
+                    seen.push(v.clone());
+                }
+            }
+            Ok(vec![Value::List(seen)])
+        });
+    }
+
+    /// Extracts a `&str` from an atom value or errors.
+    pub fn expect_str(v: &Value) -> std::result::Result<&str, String> {
+        v.as_atom()
+            .and_then(Atom::as_str)
+            .ok_or_else(|| format!("expected a string atom, got {v}"))
+    }
+
+    /// A behaviour that appends `suffix` to its string input — handy for
+    /// building observable chains in tests and workloads.
+    pub fn tagger(suffix: &str) -> Arc<dyn Behavior> {
+        let suffix = suffix.to_string();
+        Arc::new(FnBehavior(move |inputs: &[Value]| {
+            let s = expect_str(&inputs[0])?;
+            Ok(vec![Value::str(&format!("{s}{suffix}"))])
+        }))
+    }
+
+    /// A behaviour that ignores its inputs and returns a constant.
+    pub fn constant(value: Value) -> Arc<dyn Behavior> {
+        Arc::new(FnBehavior(move |_: &[Value]| Ok(vec![value.clone()])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> BehaviorRegistry {
+        BehaviorRegistry::new().with_builtins()
+    }
+
+    fn call(key: &str, inputs: &[Value]) -> Vec<Value> {
+        reg().get(key).unwrap().invoke(inputs).unwrap()
+    }
+
+    #[test]
+    fn registry_register_and_lookup() {
+        let mut r = BehaviorRegistry::new();
+        assert!(r.is_empty());
+        r.register_fn("x", |_| Ok(vec![]));
+        assert_eq!(r.len(), 1);
+        assert!(r.get("x").is_some());
+        assert!(r.get("y").is_none());
+    }
+
+    #[test]
+    fn identity_returns_input() {
+        let v = Value::from(vec!["a", "b"]);
+        assert_eq!(call("identity", std::slice::from_ref(&v)), vec![v]);
+    }
+
+    #[test]
+    fn flatten_builtin() {
+        let v = Value::from(vec![vec!["a"], vec!["b", "c"]]);
+        assert_eq!(call("flatten", &[v]), vec![Value::from(vec!["a", "b", "c"])]);
+    }
+
+    #[test]
+    fn flatten_propagates_model_errors() {
+        let err = reg().get("flatten").unwrap().invoke(&[Value::str("x")]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn concat_lists_builtin() {
+        let a = Value::from(vec!["a"]);
+        let b = Value::from(vec!["b", "c"]);
+        assert_eq!(call("concat_lists", &[a, b]), vec![Value::from(vec!["a", "b", "c"])]);
+    }
+
+    #[test]
+    fn string_builtins() {
+        assert_eq!(call("string_upper", &[Value::str("kegg")]), vec![Value::str("KEGG")]);
+        assert_eq!(
+            call("string_split_ws", &[Value::str("p53 binds dna")]),
+            vec![Value::from(vec!["p53", "binds", "dna"])]
+        );
+    }
+
+    #[test]
+    fn list_length_builtin() {
+        assert_eq!(call("list_length", &[Value::from(vec![1i64, 2, 3])]), vec![Value::int(3)]);
+        assert_eq!(call("list_length", &[Value::int(5)]), vec![Value::int(0)]);
+    }
+
+    #[test]
+    fn intersect_builtin_preserves_first_order() {
+        let a = Value::from(vec!["x", "y", "z"]);
+        let b = Value::from(vec!["z", "x"]);
+        assert_eq!(call("intersect", &[a, b]), vec![Value::from(vec!["x", "z"])]);
+    }
+
+    #[test]
+    fn dedup_builtin() {
+        let v = Value::from(vec!["a", "b", "a", "c", "b"]);
+        assert_eq!(call("dedup", &[v]), vec![Value::from(vec!["a", "b", "c"])]);
+    }
+
+    #[test]
+    fn tagger_and_constant_helpers() {
+        let t = builtin::tagger("!");
+        assert_eq!(t.invoke(&[Value::str("hi")]).unwrap(), vec![Value::str("hi!")]);
+        let c = builtin::constant(Value::int(9));
+        assert_eq!(c.invoke(&[]).unwrap(), vec![Value::int(9)]);
+    }
+
+    #[test]
+    fn debug_lists_keys_sorted() {
+        let r = reg();
+        let dbg = format!("{r:?}");
+        assert!(dbg.contains("identity"));
+        assert!(dbg.contains("flatten"));
+    }
+}

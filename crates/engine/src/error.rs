@@ -1,0 +1,124 @@
+//! Execution errors.
+
+use std::fmt;
+
+use prov_dataflow::DataflowError;
+use prov_model::ModelError;
+
+/// Errors raised while executing a dataflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The specification itself is invalid (propagated from `prov-dataflow`).
+    Spec(DataflowError),
+    /// A value-level operation failed (propagated from `prov-model`).
+    Model(ModelError),
+    /// No behaviour is registered under the given key.
+    UnknownBehavior(String),
+    /// A required workflow input was not supplied by the caller.
+    MissingWorkflowInput(String),
+    /// A processor input port has neither an incoming arc nor a default.
+    UnboundInput {
+        /// Processor name.
+        processor: String,
+        /// Port name.
+        port: String,
+    },
+    /// A runtime value's depth disagrees with the statically propagated
+    /// depth — assumption 1 or 2 of §3.1 was violated by a behaviour or by
+    /// the caller.
+    DepthMismatch {
+        /// Where the mismatch was observed, e.g. `P:x`.
+        at: String,
+        /// Statically expected depth.
+        expected: usize,
+        /// Observed depth.
+        actual: usize,
+    },
+    /// A behaviour returned the wrong number of outputs.
+    ArityMismatch {
+        /// Processor name.
+        processor: String,
+        /// Number of declared output ports.
+        expected: usize,
+        /// Number of values returned.
+        actual: usize,
+    },
+    /// Dot (zip) iteration was asked to combine lists of unequal length.
+    DotLengthMismatch {
+        /// Processor name.
+        processor: String,
+    },
+    /// A behaviour failed; carries its message.
+    Behavior {
+        /// Processor name.
+        processor: String,
+        /// The behaviour's error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Spec(e) => write!(f, "invalid dataflow: {e}"),
+            EngineError::Model(e) => write!(f, "value error: {e}"),
+            EngineError::UnknownBehavior(k) => write!(f, "no behaviour registered for {k:?}"),
+            EngineError::MissingWorkflowInput(p) => {
+                write!(f, "workflow input {p:?} was not supplied")
+            }
+            EngineError::UnboundInput { processor, port } => {
+                write!(f, "input {processor}:{port} has neither an arc nor a default")
+            }
+            EngineError::DepthMismatch { at, expected, actual } => write!(
+                f,
+                "depth mismatch at {at}: static analysis expected {expected}, value has {actual}"
+            ),
+            EngineError::ArityMismatch { processor, expected, actual } => write!(
+                f,
+                "behaviour of {processor} returned {actual} outputs, {expected} declared"
+            ),
+            EngineError::DotLengthMismatch { processor } => {
+                write!(f, "dot iteration over unequal list lengths at {processor}")
+            }
+            EngineError::Behavior { processor, message } => {
+                write!(f, "behaviour of {processor} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DataflowError> for EngineError {
+    fn from(e: DataflowError) -> Self {
+        EngineError::Spec(e)
+    }
+}
+
+impl From<ModelError> for EngineError {
+    fn from(e: ModelError) -> Self {
+        EngineError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = EngineError::DepthMismatch { at: "P:x".into(), expected: 1, actual: 3 };
+        assert!(e.to_string().contains("P:x"));
+        assert!(e.to_string().contains("expected 1"));
+        let e = EngineError::ArityMismatch { processor: "P".into(), expected: 2, actual: 1 };
+        assert!(e.to_string().contains("returned 1"));
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let e: EngineError = DataflowError::UnknownProcessor("P".into()).into();
+        assert!(matches!(e, EngineError::Spec(_)));
+        let e: EngineError = ModelError::NotAList.into();
+        assert!(matches!(e, EngineError::Model(_)));
+    }
+}

@@ -1,0 +1,1010 @@
+//! The data-driven executor.
+//!
+//! Execution follows the pure dataflow model of §2.1: a processor fires as
+//! soon as all of its connected inputs are bound. Because validated
+//! dataflows are DAGs, firing order is realised here as a topological
+//! sweep, which produces exactly the same bindings and events as an
+//! eager/parallel schedule but deterministically (the provenance *trace* of
+//! a run is schedule-independent in this model — a property the
+//! cross-crate tests rely on).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use prov_dataflow::{
+    ArcSrc, Dataflow, DepthInfo, IterationStrategy, ProcessorKind, ProjectionLayout,
+};
+use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
+
+use crate::behavior::BehaviorRegistry;
+use crate::events::{PortBinding, TraceGranularity, TraceSink, XferEvent, XformEvent};
+use crate::iteration::{assemble_nested, iteration_tuples};
+use crate::{EngineError, Result};
+
+/// How the processors of a scope are scheduled.
+///
+/// The provenance trace of a run is schedule-independent in the pure
+/// dataflow model (events differ at most in interleaving), so the mode is
+/// purely a throughput knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One processor at a time, in topological order (deterministic event
+    /// order; the default).
+    #[default]
+    Sequential,
+    /// Independent processors run concurrently on scoped threads, level by
+    /// level of the longest-path layering.
+    Parallel,
+}
+
+/// Executes dataflows against a behaviour registry, streaming provenance
+/// events into a [`TraceSink`].
+#[derive(Debug)]
+pub struct Engine {
+    registry: BehaviorRegistry,
+    granularity: TraceGranularity,
+    mode: ExecutionMode,
+}
+
+/// The result of one run: its trace id and the workflow's output values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The run (trace) id assigned by the sink.
+    pub run_id: RunId,
+    /// Output port values, in workflow-output declaration order.
+    pub outputs: Vec<(Arc<str>, Value)>,
+}
+
+impl RunOutcome {
+    /// The value of the named workflow output.
+    pub fn output(&self, name: &str) -> Option<&Value> {
+        self.outputs.iter().find(|(n, _)| &**n == name).map(|(_, v)| v)
+    }
+}
+
+impl Engine {
+    /// An engine over the given behaviours, recording fine-grained traces
+    /// with sequential scheduling.
+    pub fn new(registry: BehaviorRegistry) -> Self {
+        Engine {
+            registry,
+            granularity: TraceGranularity::Fine,
+            mode: ExecutionMode::Sequential,
+        }
+    }
+
+    /// Selects the xfer recording granularity (ablation #4 in DESIGN.md).
+    pub fn with_granularity(mut self, granularity: TraceGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Selects the scheduling mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Runs `df` on the given workflow-input bindings, recording the trace
+    /// into `sink` under a fresh run id.
+    pub fn execute(
+        &self,
+        df: &Dataflow,
+        inputs: Vec<(String, Value)>,
+        sink: &dyn TraceSink,
+    ) -> Result<RunOutcome> {
+        let run_id = sink.begin_run(&df.name);
+        let input_map: HashMap<Arc<str>, Value> = inputs
+            .into_iter()
+            .map(|(k, v)| (Arc::from(k.as_str()), v))
+            .collect();
+        let offsets = ScopeOffsets::top_level();
+        let outputs =
+            self.execute_scoped(df, df.name.clone(), "", input_map, &offsets, sink, run_id)?;
+        sink.finish_run(run_id);
+        Ok(RunOutcome { run_id, outputs })
+    }
+
+    /// Executes one (possibly nested) dataflow.
+    ///
+    /// * `scope_name` — the processor name under which this workflow's own
+    ///   I/O bindings are reported (`workflow:paths_per_gene` style); for a
+    ///   nested invocation it is the qualified name of the nested
+    ///   processor.
+    /// * `prefix` — prepended to inner processor names in events, so that
+    ///   nested traces stay addressable (`outer/inner` style).
+    /// * `offsets` — how element-relative indices inside this scope map to
+    ///   absolute indices on the enclosing values. Events on the scope's
+    ///   own I/O ports are emitted with **absolute** indices so that traces
+    ///   chain seamlessly across nesting boundaries even when the nested
+    ///   processor is implicitly iterated.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_scoped(
+        &self,
+        df: &Dataflow,
+        scope_name: ProcessorName,
+        prefix: &str,
+        inputs: HashMap<Arc<str>, Value>,
+        offsets: &ScopeOffsets,
+        sink: &dyn TraceSink,
+        run_id: RunId,
+    ) -> Result<Vec<(Arc<str>, Value)>> {
+        // Assumption 2 (§3.1): workflow inputs carry values of declared type.
+        for port in &df.inputs {
+            let v = inputs
+                .get(&port.name)
+                .ok_or_else(|| EngineError::MissingWorkflowInput(port.name.to_string()))?;
+            check_depth(v, port.declared.depth, &format!("{scope_name}:{}", port.name))?;
+        }
+
+        let depths = DepthInfo::compute(df)?;
+        let mut out_values: HashMap<(ProcessorName, Arc<str>), Value> = HashMap::new();
+
+        match self.mode {
+            ExecutionMode::Sequential => {
+                for pname in depths.topo_order() {
+                    let produced = self.process_one(
+                        df, &depths, pname, &scope_name, prefix, &inputs, offsets, &out_values,
+                        sink, run_id,
+                    )?;
+                    for (port, value) in produced {
+                        out_values.insert((pname.clone(), port), value);
+                    }
+                }
+            }
+            ExecutionMode::Parallel => {
+                // Longest-path layering: processors within a level are
+                // mutually independent and run concurrently; levels form a
+                // barrier, so every upstream value is available.
+                type LevelResult = (ProcessorName, Result<Vec<(Arc<str>, Value)>>);
+                for level in layer_processors(df, &depths) {
+                    let results: Vec<LevelResult> = crossbeam::thread::scope(|s| {
+                        let handles: Vec<_> = level
+                            .iter()
+                            .map(|pname| {
+                                let out_ref = &out_values;
+                                let inputs_ref = &inputs;
+                                let depths_ref = &depths;
+                                let scope_ref = &scope_name;
+                                s.spawn(move |_| {
+                                    (
+                                        pname.clone(),
+                                        self.process_one(
+                                            df, depths_ref, pname, scope_ref, prefix,
+                                            inputs_ref, offsets, out_ref, sink, run_id,
+                                        ),
+                                    )
+                                })
+                            })
+                            .collect();
+                        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+                    })
+                    .expect("crossbeam scope");
+                    for (pname, produced) in results {
+                        for (port, value) in produced? {
+                            out_values.insert((pname.clone(), port), value);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Workflow outputs: transfer from the feeding port. Destination
+        // indices are offset by q so outer consumers see absolute indices.
+        let mut outputs = Vec::with_capacity(df.outputs.len());
+        for port in &df.outputs {
+            let arc = df
+                .arc_into_output(&port.name)
+                .expect("validated workflows bind every output");
+            let (src_ref, src_offset, v) =
+                self.resolve_src(df, &arc.src, &scope_name, prefix, &inputs, offsets, &out_values)?;
+            self.emit_xfer(
+                sink,
+                run_id,
+                src_ref,
+                src_offset,
+                PortRef { processor: scope_name.clone(), port: port.name.clone() },
+                offsets.global.clone(),
+                &v,
+            );
+            outputs.push((port.name.clone(), v));
+        }
+        Ok(outputs)
+    }
+
+    /// Executes one processor of a scope: gathers its inputs (emitting
+    /// xfer events), performs the implicit iteration, invokes the
+    /// behaviour (or recurses into a nested dataflow) per tuple, records
+    /// xform events, and assembles the output port values.
+    #[allow(clippy::too_many_arguments)]
+    fn process_one(
+        &self,
+        df: &Dataflow,
+        depths: &DepthInfo,
+        pname: &ProcessorName,
+        scope_name: &ProcessorName,
+        prefix: &str,
+        inputs: &HashMap<Arc<str>, Value>,
+        offsets: &ScopeOffsets,
+        out_values: &HashMap<(ProcessorName, Arc<str>), Value>,
+        sink: &dyn TraceSink,
+        run_id: RunId,
+    ) -> Result<Vec<(Arc<str>, Value)>> {
+        {
+            let p = df.processor_required(pname)?;
+            let qualified = qualify(prefix, pname.as_str());
+
+            // Gather inputs, emitting xfer events for each arc crossed.
+            let mut values = Vec::with_capacity(p.inputs.len());
+            let mut mismatches = Vec::with_capacity(p.inputs.len());
+            for port in &p.inputs {
+                let info = depths
+                    .input_depths(pname, &port.name)
+                    .expect("depth info covers every port");
+                let value = match df.arc_into(pname, &port.name) {
+                    Some(arc) => {
+                        let (src_ref, src_offset, v) = self.resolve_src(
+                            df,
+                            &arc.src,
+                            scope_name,
+                            prefix,
+                            inputs,
+                            offsets,
+                            out_values,
+                        )?;
+                        self.emit_xfer(
+                            sink,
+                            run_id,
+                            src_ref,
+                            src_offset,
+                            PortRef { processor: qualified.clone(), port: port.name.clone() },
+                            offsets.global.clone(),
+                            &v,
+                        );
+                        v
+                    }
+                    None => port.default.clone().ok_or_else(|| EngineError::UnboundInput {
+                        processor: pname.to_string(),
+                        port: port.name.to_string(),
+                    })?,
+                };
+                check_depth(&value, info.actual, &format!("{pname}:{}", port.name))?;
+                let mismatch = info.mismatch();
+                // Negative mismatch: wrap into a singleton, no iteration.
+                let value = if mismatch < 0 {
+                    value.wrap((-mismatch) as usize)
+                } else {
+                    value
+                };
+                values.push(value);
+                mismatches.push(mismatch.max(0));
+            }
+
+            let layout = depths.layout_of(pname).expect("layout for every processor");
+            let tuples =
+                iteration_tuples(pname.as_str(), &values, &mismatches, p.iteration)?;
+
+            // Invoke once per tuple, recording one xform event each (task
+            // processors only: a nested dataflow's computation is fully
+            // described by its inner events, so no redundant black-box
+            // xform is recorded for it).
+            let mut per_output: Vec<Vec<(Index, Value)>> =
+                vec![Vec::with_capacity(tuples.len()); p.outputs.len()];
+            for (invocation, tuple) in tuples.into_iter().enumerate() {
+                let elements: Vec<Value> =
+                    tuple.inputs.iter().map(|(_, v)| v.clone()).collect();
+                let mut record_event = true;
+                let results = match &p.kind {
+                    ProcessorKind::Task { behavior } => {
+                        let b = self
+                            .registry
+                            .get(behavior)
+                            .ok_or_else(|| EngineError::UnknownBehavior(behavior.clone()))?;
+                        b.invoke(&elements).map_err(|message| EngineError::Behavior {
+                            processor: pname.to_string(),
+                            message,
+                        })?
+                    }
+                    ProcessorKind::Nested { dataflow } => {
+                        record_event = false;
+                        let inner_inputs: HashMap<Arc<str>, Value> = dataflow
+                            .inputs
+                            .iter()
+                            .zip(&elements)
+                            .map(|(port, v)| (port.name.clone(), v.clone()))
+                            .collect();
+                        let inner_prefix = format!("{}{}/", prefix, pname.as_str());
+                        // Inside the nested scope, indices on the scope's
+                        // I/O ports are made absolute: inputs by the
+                        // per-port iteration fragment, outputs by q.
+                        let inner_offsets = ScopeOffsets {
+                            inputs: p
+                                .inputs
+                                .iter()
+                                .zip(&tuple.inputs)
+                                .map(|(port, (idx, _))| {
+                                    (port.name.clone(), offsets.global.concat(idx))
+                                })
+                                .collect(),
+                            global: offsets.global.concat(&tuple.output_index),
+                        };
+                        self.execute_scoped(
+                            dataflow,
+                            qualified.clone(),
+                            &inner_prefix,
+                            inner_inputs,
+                            &inner_offsets,
+                            sink,
+                            run_id,
+                        )?
+                        .into_iter()
+                        .map(|(_, v)| v)
+                        .collect()
+                    }
+                };
+                if results.len() != p.outputs.len() {
+                    return Err(EngineError::ArityMismatch {
+                        processor: pname.to_string(),
+                        expected: p.outputs.len(),
+                        actual: results.len(),
+                    });
+                }
+                let mut out_bindings = Vec::with_capacity(results.len());
+                for (port, value) in p.outputs.iter().zip(&results) {
+                    // Assumption 1: outputs are of declared type.
+                    check_depth(value, port.declared.depth, &format!("{pname}:{}", port.name))?;
+                    out_bindings.push(PortBinding {
+                        port: port.name.clone(),
+                        index: offsets.global.concat(&tuple.output_index),
+                        value: value.clone(),
+                    });
+                }
+                if record_event {
+                    sink.record_xform(
+                        run_id,
+                        XformEvent {
+                            processor: qualified.clone(),
+                            invocation: invocation as u32,
+                            inputs: p
+                                .inputs
+                                .iter()
+                                .zip(&tuple.inputs)
+                                .map(|(port, (idx, v))| PortBinding {
+                                    port: port.name.clone(),
+                                    index: offsets.global.concat(idx),
+                                    value: v.clone(),
+                                })
+                                .collect(),
+                            outputs: out_bindings,
+                        },
+                    );
+                }
+                for (slot, value) in per_output.iter_mut().zip(results) {
+                    slot.push((tuple.output_index.clone(), value));
+                }
+            }
+
+            // Assemble each output port's full value from the invocations.
+            Ok(p
+                .outputs
+                .iter()
+                .zip(per_output)
+                .map(|(port, pairs)| (port.name.clone(), assemble_from(pairs, layout)))
+                .collect())
+        }
+    }
+
+    /// Resolves an arc source to its qualified port reference, the index
+    /// offset its events carry (nonempty only for nested-scope inputs), and
+    /// its value.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_src(
+        &self,
+        df: &Dataflow,
+        src: &ArcSrc,
+        scope_name: &ProcessorName,
+        prefix: &str,
+        inputs: &HashMap<Arc<str>, Value>,
+        offsets: &ScopeOffsets,
+        out_values: &HashMap<(ProcessorName, Arc<str>), Value>,
+    ) -> Result<(PortRef, Index, Value)> {
+        match src {
+            ArcSrc::WorkflowInput { port } => {
+                let v = inputs
+                    .get(port)
+                    .ok_or_else(|| EngineError::MissingWorkflowInput(port.to_string()))?;
+                Ok((
+                    PortRef { processor: scope_name.clone(), port: port.clone() },
+                    offsets.input(port),
+                    v.clone(),
+                ))
+            }
+            ArcSrc::Processor { processor, port } => {
+                let v = out_values
+                    .get(&(processor.clone(), port.clone()))
+                    .unwrap_or_else(|| {
+                        unreachable!(
+                            "toposort guarantees {processor}:{port} is computed before use in {}",
+                            df.name
+                        )
+                    });
+                Ok((
+                    PortRef {
+                        processor: qualify(prefix, processor.as_str()),
+                        port: port.clone(),
+                    },
+                    offsets.global.clone(),
+                    v.clone(),
+                ))
+            }
+        }
+    }
+
+    /// Emits the xfer events for a value crossing an arc, at the configured
+    /// granularity. `src_offset`/`dst_offset` translate element-relative
+    /// indices to absolute ones at nested-scope boundaries.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_xfer(
+        &self,
+        sink: &dyn TraceSink,
+        run_id: RunId,
+        src: PortRef,
+        src_offset: Index,
+        dst: PortRef,
+        dst_offset: Index,
+        value: &Value,
+    ) {
+        match self.granularity {
+            TraceGranularity::Coarse => {
+                sink.record_xfer(
+                    run_id,
+                    XferEvent {
+                        src,
+                        src_index: src_offset,
+                        dst,
+                        dst_index: dst_offset,
+                        value: value.clone(),
+                    },
+                );
+            }
+            TraceGranularity::Fine => {
+                if value.is_atom() {
+                    sink.record_xfer(
+                        run_id,
+                        XferEvent {
+                            src,
+                            src_index: src_offset,
+                            dst,
+                            dst_index: dst_offset,
+                            value: value.clone(),
+                        },
+                    );
+                    return;
+                }
+                for (index, atom) in value.leaves() {
+                    sink.record_xfer(
+                        run_id,
+                        XferEvent {
+                            src: src.clone(),
+                            src_index: src_offset.concat(&index),
+                            dst: dst.clone(),
+                            dst_index: dst_offset.concat(&index),
+                            value: Value::Atom(atom.clone()),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Index offsets translating a nested scope's element-relative indices into
+/// globally unambiguous absolute indices (all empty at top level).
+///
+/// Every event inside a nested scope is prefixed with `global` — the
+/// concatenated iteration indices of the chain of invocations that led to
+/// it. This (a) disambiguates the events of different invocations of the
+/// same nested processor, and (b) makes indices chain correctly across
+/// scope boundaries, so lineage traversals stay fine-grained through
+/// arbitrarily nested, implicitly iterated sub-workflows.
+#[derive(Debug, Clone, Default)]
+struct ScopeOffsets {
+    /// Per workflow-input port: the absolute index of the consumed element
+    /// within the (outer-addressed) value feeding that port.
+    inputs: HashMap<Arc<str>, Index>,
+    /// Prefix applied to every index recorded inside this scope (the outer
+    /// scope's `global` concatenated with this invocation's iteration
+    /// index `q`).
+    global: Index,
+}
+
+impl ScopeOffsets {
+    fn top_level() -> Self {
+        Self::default()
+    }
+
+    fn input(&self, port: &Arc<str>) -> Index {
+        self.inputs.get(port).cloned().unwrap_or_default()
+    }
+}
+
+/// Assembles an output port's full value from per-invocation results.
+fn assemble_from(pairs: Vec<(Index, Value)>, layout: &ProjectionLayout) -> Value {
+    match layout.strategy {
+        IterationStrategy::Cross => assemble_nested(pairs, layout.total),
+        // A dot iteration's indices are a single run of [i] (or deeper)
+        // prefixes — assemble_nested groups them just the same.
+        IterationStrategy::Dot => assemble_nested(pairs, layout.total),
+    }
+}
+
+/// Longest-path layering of a scope's processors: level 0 holds the
+/// sources; every processor sits one past its deepest predecessor. All
+/// processors within a level are mutually independent.
+fn layer_processors(df: &Dataflow, depths: &DepthInfo) -> Vec<Vec<ProcessorName>> {
+    let mut level_of: HashMap<&ProcessorName, usize> = HashMap::new();
+    let mut levels: Vec<Vec<ProcessorName>> = Vec::new();
+    for pname in depths.topo_order() {
+        let level = df
+            .predecessors(pname)
+            .iter()
+            .map(|p| level_of.get(p).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+        // topo_order guarantees predecessors were placed already.
+        let p = df.processor(pname).expect("toposorted processors exist");
+        level_of.insert(&p.name, level);
+        if levels.len() <= level {
+            levels.resize_with(level + 1, Vec::new);
+        }
+        levels[level].push(pname.clone());
+    }
+    levels
+}
+
+/// Qualified processor name for nested scopes (`prefix` already ends in
+/// `/` when nonempty).
+fn qualify(prefix: &str, name: &str) -> ProcessorName {
+    if prefix.is_empty() {
+        ProcessorName::from(name)
+    } else {
+        ProcessorName::from(format!("{prefix}{name}"))
+    }
+}
+
+/// Checks a runtime value depth against the statically computed depth,
+/// tolerating *hollow* values (collections containing no atoms) whose
+/// depth is structurally under-determined — e.g. an empty result list at a
+/// stage where static analysis expects depth 2.
+fn check_depth(value: &Value, expected: usize, at: &str) -> Result<()> {
+    let actual = value.depth()?;
+    if actual != expected && !is_hollow(value) {
+        return Err(EngineError::DepthMismatch {
+            at: at.to_string(),
+            expected,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// True when the value contains no atoms at all.
+fn is_hollow(value: &Value) -> bool {
+    match value {
+        Value::Atom(_) => false,
+        Value::List(items) => items.iter().all(is_hollow),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::builtin;
+    use crate::events::VecSink;
+    use prov_dataflow::{BaseType, DataflowBuilder, PortType};
+
+    fn registry() -> BehaviorRegistry {
+        let mut r = BehaviorRegistry::new().with_builtins();
+        r.register("excl", builtin::tagger("!"));
+        r.register("q", builtin::tagger("-q"));
+        r.register_fn("pair", |inputs: &[Value]| {
+            let a = builtin::expect_str(&inputs[0])?;
+            let b = builtin::expect_str(&inputs[1])?;
+            Ok(vec![Value::str(&format!("{a}+{b}"))])
+        });
+        r.register_fn("listify", |inputs: &[Value]| {
+            let s = builtin::expect_str(&inputs[0])?;
+            Ok(vec![Value::from(vec![format!("{s}.1"), format!("{s}.2")])])
+        });
+        r
+    }
+
+    /// `in:list(string) → excl(atom→atom) → out` — one implicit iteration.
+    fn simple_chain() -> Dataflow {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        b.processor_with_behavior("E", "excl")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "E", "x").unwrap();
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("E", "y", "out").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn iterates_list_through_atom_port() {
+        let engine = Engine::new(registry());
+        let sink = VecSink::new();
+        let run = engine
+            .execute(&simple_chain(), vec![("in".into(), Value::from(vec!["a", "b"]))], &sink)
+            .unwrap();
+        assert_eq!(run.output("out"), Some(&Value::from(vec!["a!", "b!"])));
+        // Two elementary invocations → two xform events.
+        let xforms = sink.xforms_of(run.run_id);
+        assert_eq!(xforms.len(), 2);
+        assert_eq!(xforms[0].inputs[0].index, Index::single(0));
+        assert_eq!(xforms[0].outputs[0].index, Index::single(0));
+        assert_eq!(xforms[1].inputs[0].value, Value::str("b"));
+    }
+
+    #[test]
+    fn fine_granularity_emits_per_element_xfers() {
+        let engine = Engine::new(registry());
+        let sink = VecSink::new();
+        let run = engine
+            .execute(&simple_chain(), vec![("in".into(), Value::from(vec!["a", "b"]))], &sink)
+            .unwrap();
+        let xfers = sink.xfers_of(run.run_id);
+        // arc in→E: 2 elements; arc E→out: 2 elements.
+        assert_eq!(xfers.len(), 4);
+        assert_eq!(xfers[0].src, PortRef::new("wf", "in"));
+        assert_eq!(xfers[0].dst, PortRef::new("E", "x"));
+        assert_eq!(xfers[0].src_index, Index::single(0));
+        let out_xfer = &xfers[3];
+        assert_eq!(out_xfer.dst, PortRef::new("wf", "out"));
+        assert_eq!(out_xfer.value, Value::str("b!"));
+    }
+
+    #[test]
+    fn coarse_granularity_emits_one_xfer_per_arc() {
+        let engine = Engine::new(registry()).with_granularity(TraceGranularity::Coarse);
+        let sink = VecSink::new();
+        let run = engine
+            .execute(&simple_chain(), vec![("in".into(), Value::from(vec!["a", "b"]))], &sink)
+            .unwrap();
+        let xfers = sink.xfers_of(run.run_id);
+        assert_eq!(xfers.len(), 2);
+        assert!(xfers.iter().all(|e| e.src_index.is_empty()));
+    }
+
+    #[test]
+    fn cross_product_join_produces_matrix_and_prop1_indices() {
+        // Two list inputs into a two-atom-port join: |a|·|b| invocations.
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::list(BaseType::String));
+        b.input("b", PortType::list(BaseType::String));
+        b.processor_with_behavior("J", "pair")
+            .in_port("x", PortType::atom(BaseType::String))
+            .in_port("y", PortType::atom(BaseType::String))
+            .out_port("z", PortType::atom(BaseType::String));
+        b.arc_from_input("a", "J", "x").unwrap();
+        b.arc_from_input("b", "J", "y").unwrap();
+        b.output("out", PortType::nested(BaseType::String, 2));
+        b.arc_to_output("J", "z", "out").unwrap();
+        let df = b.build().unwrap();
+
+        let engine = Engine::new(registry());
+        let sink = VecSink::new();
+        let run = engine
+            .execute(
+                &df,
+                vec![
+                    ("a".into(), Value::from(vec!["a1", "a2"])),
+                    ("b".into(), Value::from(vec!["b1", "b2", "b3"])),
+                ],
+                &sink,
+            )
+            .unwrap();
+        let out = run.output("out").unwrap();
+        assert_eq!(out.depth().unwrap(), 2);
+        assert_eq!(out.at(&Index::from_slice(&[1, 2])), Some(&Value::str("a2+b3")));
+        let xforms = sink.xforms_of(run.run_id);
+        assert_eq!(xforms.len(), 6);
+        for e in &xforms {
+            // Prop. 1: q = p_x · p_y.
+            let q = e.inputs[0].index.concat(&e.inputs[1].index);
+            assert_eq!(q, e.outputs[0].index);
+        }
+    }
+
+    #[test]
+    fn many_to_one_list_port_consumes_whole_value() {
+        // list_length has a list input port; a flat list arrives → δ = 0,
+        // single invocation, coarse lineage (paper's R-style processor).
+        let mut b = DataflowBuilder::new("wf");
+        b.input("xs", PortType::list(BaseType::Int));
+        b.processor_with_behavior("len", "list_length")
+            .in_port("xs", PortType::list(BaseType::Int))
+            .out_port("n", PortType::atom(BaseType::Int));
+        b.arc_from_input("xs", "len", "xs").unwrap();
+        b.output("n", PortType::atom(BaseType::Int));
+        b.arc_to_output("len", "n", "n").unwrap();
+        let df = b.build().unwrap();
+        let sink = VecSink::new();
+        let run = Engine::new(registry())
+            .execute(&df, vec![("xs".into(), Value::from(vec![1i64, 2, 3]))], &sink)
+            .unwrap();
+        assert_eq!(run.output("n"), Some(&Value::int(3)));
+        let xforms = sink.xforms_of(run.run_id);
+        assert_eq!(xforms.len(), 1);
+        assert!(xforms[0].inputs[0].index.is_empty());
+    }
+
+    #[test]
+    fn one_to_many_listify_gains_depth() {
+        // An atom→list processor fed a list: output actual depth 2.
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        b.processor_with_behavior("L", "listify")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("ys", PortType::list(BaseType::String));
+        b.arc_from_input("in", "L", "x").unwrap();
+        b.output("out", PortType::nested(BaseType::String, 2));
+        b.arc_to_output("L", "ys", "out").unwrap();
+        let df = b.build().unwrap();
+        let sink = VecSink::new();
+        let run = Engine::new(registry())
+            .execute(&df, vec![("in".into(), Value::from(vec!["g1", "g2"]))], &sink)
+            .unwrap();
+        let out = run.output("out").unwrap();
+        assert_eq!(
+            out,
+            &Value::from(vec![vec!["g1.1", "g1.2"], vec!["g2.1", "g2.2"]])
+        );
+        // The xform records carry iteration index q of length 1 (not 2):
+        // the inner level belongs to the declared output structure.
+        let xforms = sink.xforms_of(run.run_id);
+        assert_eq!(xforms[0].outputs[0].index, Index::single(0));
+    }
+
+    #[test]
+    fn negative_mismatch_wraps_into_singleton() {
+        // An atom arrives at a list(string) port: wrapped, no iteration.
+        let mut b = DataflowBuilder::new("wf");
+        b.input("x", PortType::atom(BaseType::String));
+        b.processor_with_behavior("len", "list_length")
+            .in_port("xs", PortType::list(BaseType::String))
+            .out_port("n", PortType::atom(BaseType::Int));
+        b.arc_from_input("x", "len", "xs").unwrap();
+        b.output("n", PortType::atom(BaseType::Int));
+        b.arc_to_output("len", "n", "n").unwrap();
+        let df = b.build().unwrap();
+        let sink = VecSink::new();
+        let run = Engine::new(registry())
+            .execute(&df, vec![("x".into(), Value::str("only"))], &sink)
+            .unwrap();
+        assert_eq!(run.output("n"), Some(&Value::int(1)));
+    }
+
+    #[test]
+    fn default_values_feed_unconnected_ports() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::list(BaseType::String));
+        b.processor_with_behavior("J", "pair")
+            .in_port("x", PortType::atom(BaseType::String))
+            .in_port_with_default("y", PortType::atom(BaseType::String), Value::str("dflt"))
+            .out_port("z", PortType::atom(BaseType::String));
+        b.arc_from_input("a", "J", "x").unwrap();
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("J", "z", "out").unwrap();
+        let df = b.build().unwrap();
+        let sink = VecSink::new();
+        let run = Engine::new(registry())
+            .execute(&df, vec![("a".into(), Value::from(vec!["p"]))], &sink)
+            .unwrap();
+        assert_eq!(run.output("out"), Some(&Value::from(vec!["p+dflt"])));
+    }
+
+    #[test]
+    fn missing_input_and_unknown_behavior_error() {
+        let df = simple_chain();
+        let sink = VecSink::new();
+        let err = Engine::new(registry()).execute(&df, vec![], &sink);
+        assert!(matches!(err, Err(EngineError::MissingWorkflowInput(_))));
+
+        let err = Engine::new(BehaviorRegistry::new()).execute(
+            &df,
+            vec![("in".into(), Value::from(vec!["a"]))],
+            &sink,
+        );
+        assert!(matches!(err, Err(EngineError::UnknownBehavior(_))));
+    }
+
+    #[test]
+    fn wrong_input_depth_is_rejected() {
+        let df = simple_chain();
+        let sink = VecSink::new();
+        let err = Engine::new(registry()).execute(
+            &df,
+            vec![("in".into(), Value::str("flat-atom"))],
+            &sink,
+        );
+        assert!(matches!(err, Err(EngineError::DepthMismatch { .. })));
+    }
+
+    #[test]
+    fn behavior_breaking_assumption1_is_rejected() {
+        // Behaviour declares atom output but returns a list.
+        let mut r = registry();
+        r.register_fn("liar", |_| Ok(vec![Value::from(vec!["x"])]));
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::String));
+        b.processor_with_behavior("L", "liar")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "L", "x").unwrap();
+        b.output("out", PortType::atom(BaseType::String));
+        b.arc_to_output("L", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let err = Engine::new(r).execute(&df, vec![("in".into(), Value::str("a"))], &VecSink::new());
+        assert!(matches!(err, Err(EngineError::DepthMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_input_list_produces_empty_output() {
+        let df = simple_chain();
+        let sink = VecSink::new();
+        let run = Engine::new(registry())
+            .execute(&df, vec![("in".into(), Value::empty_list())], &sink)
+            .unwrap();
+        assert_eq!(run.output("out"), Some(&Value::empty_list()));
+        assert_eq!(sink.xforms_of(run.run_id).len(), 0);
+    }
+
+    #[test]
+    fn nested_dataflow_executes_with_qualified_names() {
+        // inner: tag with "-q"; outer: iterate inner over a list.
+        let mut inner = DataflowBuilder::new("inner");
+        inner.input("a", PortType::atom(BaseType::String));
+        inner
+            .processor_with_behavior("Q", "q")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        inner.arc_from_input("a", "Q", "x").unwrap();
+        inner.output("b", PortType::atom(BaseType::String));
+        inner.arc_to_output("Q", "y", "b").unwrap();
+        let inner = Arc::new(inner.build().unwrap());
+
+        let mut outer = DataflowBuilder::new("outer");
+        outer.input("xs", PortType::list(BaseType::String));
+        outer.nested("sub", inner);
+        outer.arc_from_input("xs", "sub", "a").unwrap();
+        outer.output("ys", PortType::list(BaseType::String));
+        outer.arc_to_output("sub", "b", "ys").unwrap();
+        let df = outer.build().unwrap();
+
+        let sink = VecSink::new();
+        let run = Engine::new(registry())
+            .execute(&df, vec![("xs".into(), Value::from(vec!["u", "v"]))], &sink)
+            .unwrap();
+        assert_eq!(run.output("ys"), Some(&Value::from(vec!["u-q", "v-q"])));
+        // Inner invocations recorded under the qualified name sub/Q; the
+        // nested workflow's own I/O under "sub".
+        let xforms = sink.xforms_of(run.run_id);
+        let names: Vec<&str> = xforms.iter().map(|e| e.processor.as_str()).collect();
+        assert_eq!(names.iter().filter(|n| **n == "sub/Q").count(), 2);
+        let xfers = sink.xfers_of(run.run_id);
+        assert!(xfers
+            .iter()
+            .any(|e| e.src.processor.as_str() == "sub" && e.dst.processor.as_str() == "sub/Q"));
+    }
+
+    #[test]
+    fn parallel_mode_produces_identical_outputs_and_trace_multiset() {
+        // A diamond with independent branches: in → (L, R) → join.
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        b.processor_with_behavior("L", "excl")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.processor_with_behavior("R", "q")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.processor_with_behavior("J", "pair")
+            .in_port("a", PortType::atom(BaseType::String))
+            .in_port("b", PortType::atom(BaseType::String))
+            .out_port("z", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "L", "x").unwrap();
+        b.arc_from_input("in", "R", "x").unwrap();
+        b.arc("L", "y", "J", "a").unwrap();
+        b.arc("R", "y", "J", "b").unwrap();
+        b.output("out", PortType::nested(BaseType::String, 2));
+        b.arc_to_output("J", "z", "out").unwrap();
+        let df = b.build().unwrap();
+        let inputs = vec![("in".to_string(), Value::from(vec!["u", "v", "w"]))];
+
+        let seq_sink = VecSink::new();
+        let seq = Engine::new(registry())
+            .execute(&df, inputs.clone(), &seq_sink)
+            .unwrap();
+
+        let par_sink = VecSink::new();
+        let par = Engine::new(registry())
+            .with_mode(ExecutionMode::Parallel)
+            .execute(&df, inputs, &par_sink)
+            .unwrap();
+
+        assert_eq!(seq.outputs, par.outputs);
+        // Same event multisets (order may differ across threads).
+        let norm = |sink: &VecSink, run| {
+            let mut xf: Vec<String> =
+                sink.xforms_of(run).iter().map(|e| e.to_string()).collect();
+            xf.sort();
+            let mut xr: Vec<String> =
+                sink.xfers_of(run).iter().map(|e| e.to_string()).collect();
+            xr.sort();
+            (xf, xr)
+        };
+        assert_eq!(norm(&seq_sink, seq.run_id), norm(&par_sink, par.run_id));
+    }
+
+    #[test]
+    fn parallel_mode_surfaces_behavior_errors() {
+        let mut r = registry();
+        r.register_fn("boom", |_| Err("kaput".into()));
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::String));
+        b.processor_with_behavior("B", "boom")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "B", "x").unwrap();
+        b.output("out", PortType::atom(BaseType::String));
+        b.arc_to_output("B", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let err = Engine::new(r)
+            .with_mode(ExecutionMode::Parallel)
+            .execute(&df, vec![("in".into(), Value::str("x"))], &VecSink::new());
+        assert!(matches!(err, Err(EngineError::Behavior { .. })));
+    }
+
+    #[test]
+    fn layering_groups_independent_processors() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::Int));
+        for n in ["A", "B"] {
+            b.processor_with_behavior(n, "identity")
+                .in_port("x", PortType::atom(BaseType::Int))
+                .out_port("y", PortType::atom(BaseType::Int));
+        }
+        b.processor_with_behavior("C", "identity")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.arc_from_input("in", "A", "x").unwrap();
+        b.arc_from_input("in", "B", "x").unwrap();
+        b.arc("A", "y", "C", "x").unwrap();
+        b.output("out", PortType::atom(BaseType::Int));
+        b.arc_to_output("C", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let depths = prov_dataflow::DepthInfo::compute(&df).unwrap();
+        let levels = layer_processors(&df, &depths);
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 2); // A and B together
+        assert_eq!(levels[1], vec![ProcessorName::from("C")]);
+    }
+
+    #[test]
+    fn source_processor_with_no_inputs_runs_once() {
+        let mut r = registry();
+        r.register("five", builtin::constant(Value::int(5)));
+        let mut b = DataflowBuilder::new("wf");
+        b.processor_with_behavior("C", "five").out_port("y", PortType::atom(BaseType::Int));
+        b.output("out", PortType::atom(BaseType::Int));
+        b.arc_to_output("C", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let sink = VecSink::new();
+        let run = Engine::new(r).execute(&df, vec![], &sink).unwrap();
+        assert_eq!(run.output("out"), Some(&Value::int(5)));
+        assert_eq!(sink.xforms_of(run.run_id).len(), 1);
+    }
+}

@@ -1,0 +1,390 @@
+//! The iteration semantics: Def. 2 (generalized cross product), Def. 3
+//! (`eval_l`), and the dot-product combinator of footnote 7.
+//!
+//! Rather than literally building the nested tuple structure of Def. 2 and
+//! recursing through `eval_l`, [`iteration_tuples`] enumerates the
+//! *flattened* result: one [`IterationTuple`] per elementary invocation,
+//! carrying the iteration index `q` and, per input port, the element value
+//! and its source index `p_i`. This is provably the same set of
+//! invocations (the property tests in this module check Prop. 1 directly:
+//! `q = p1 · … · pn` with `|p_i| = max(δ_s(X_i), 0)`), and it is the form
+//! both the executor and the provenance records need.
+
+use prov_dataflow::IterationStrategy;
+use prov_model::{Index, Value};
+
+use crate::{EngineError, Result};
+
+/// One elementary invocation of a processor: the combination of input
+/// elements selected by the iteration structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationTuple {
+    /// The iteration index `q` under which this invocation's outputs are
+    /// placed (empty when no iteration occurs).
+    pub output_index: Index,
+    /// Per input port, in port order: the index `p_i` of the consumed
+    /// element within the port's value (empty = whole value) and the
+    /// element itself.
+    pub inputs: Vec<(Index, Value)>,
+}
+
+/// Enumerates the elementary invocations for a processor whose input ports
+/// are bound to `values` with static mismatches `mismatches` (`δ_s(X_i)`),
+/// under the given iteration strategy.
+///
+/// Negative mismatches must be resolved by the caller (by wrapping the
+/// value; see `Engine`): this function treats `δ < 0` as `δ = 0`.
+///
+/// For the cross strategy, tuples are produced in lexicographic order of
+/// `q`, which is the row-major order of Def. 2's nested comprehension. For
+/// the dot strategy, mismatched ports are iterated in lockstep and must
+/// yield equally many elements.
+///
+/// An empty list on an iterated port yields **no** invocations (the map
+/// over an empty list is empty) — downstream values are then empty lists.
+pub fn iteration_tuples(
+    processor: &str,
+    values: &[Value],
+    mismatches: &[i64],
+    strategy: IterationStrategy,
+) -> Result<Vec<IterationTuple>> {
+    assert_eq!(values.len(), mismatches.len(), "one mismatch per port");
+
+    // Per port: the list of (index, element) pairs it contributes.
+    // Ports with δ ≤ 0 contribute the single pair ([], whole value).
+    let per_port: Vec<Vec<(Index, &Value)>> = values
+        .iter()
+        .zip(mismatches)
+        .map(|(v, &d)| {
+            if d <= 0 {
+                vec![(Index::empty(), v)]
+            } else {
+                v.enumerate_at(d as usize)
+            }
+        })
+        .collect();
+
+    match strategy {
+        IterationStrategy::Cross => Ok(cross(&per_port)),
+        IterationStrategy::Dot => dot(processor, &per_port, mismatches),
+    }
+}
+
+/// Row-major cross product of the per-port element enumerations; the
+/// output index is the concatenation of the per-port indices (Prop. 1).
+fn cross(per_port: &[Vec<(Index, &Value)>]) -> Vec<IterationTuple> {
+    let total: usize = per_port.iter().map(Vec::len).product();
+    let mut out = Vec::with_capacity(total);
+    if total == 0 {
+        return out;
+    }
+    // Odometer over the per-port positions.
+    let mut cursor = vec![0usize; per_port.len()];
+    loop {
+        let mut output_index = Index::empty();
+        let mut inputs = Vec::with_capacity(per_port.len());
+        for (port, &c) in per_port.iter().zip(&cursor) {
+            let (idx, v) = &port[c];
+            output_index = output_index.concat(idx);
+            inputs.push((idx.clone(), (*v).clone()));
+        }
+        out.push(IterationTuple { output_index, inputs });
+
+        // Advance the odometer, least-significant (last port) first.
+        let mut k = per_port.len();
+        loop {
+            if k == 0 {
+                return out;
+            }
+            k -= 1;
+            cursor[k] += 1;
+            if cursor[k] < per_port[k].len() {
+                break;
+            }
+            cursor[k] = 0;
+        }
+    }
+}
+
+/// Lockstep ("zip") combination: all iterated ports advance together and
+/// share the index of the iteration; non-iterated ports repeat their whole
+/// value.
+fn dot(
+    processor: &str,
+    per_port: &[Vec<(Index, &Value)>],
+    mismatches: &[i64],
+) -> Result<Vec<IterationTuple>> {
+    let mut steps: Option<usize> = None;
+    for (port, &d) in per_port.iter().zip(mismatches) {
+        if d > 0 {
+            match steps {
+                None => steps = Some(port.len()),
+                Some(n) if n != port.len() => {
+                    return Err(EngineError::DotLengthMismatch { processor: processor.into() })
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    let steps = steps.unwrap_or(1);
+    let mut out = Vec::with_capacity(steps);
+    for s in 0..steps {
+        let mut output_index = Index::empty();
+        let mut inputs = Vec::with_capacity(per_port.len());
+        for (port, &d) in per_port.iter().zip(mismatches) {
+            if d > 0 {
+                let (idx, v) = &port[s];
+                if output_index.is_empty() {
+                    output_index = idx.clone();
+                } else if &output_index != idx {
+                    // Lockstep over uniform values always agrees; disagreement
+                    // means ragged input shapes.
+                    return Err(EngineError::DotLengthMismatch { processor: processor.into() });
+                }
+                inputs.push((idx.clone(), (*v).clone()));
+            } else {
+                let (_, v) = &port[0];
+                inputs.push((Index::empty(), (*v).clone()));
+            }
+        }
+        out.push(IterationTuple { output_index, inputs });
+    }
+    Ok(out)
+}
+
+/// Rebuilds the nested output value from per-invocation results.
+///
+/// `pairs` holds `(q, value)` for every elementary invocation, in any
+/// order; `levels` is the total iteration depth (every `q` has exactly
+/// `levels` components). The result wraps the invocation outputs in
+/// `levels` list layers according to the indices — the structure `eval_l`
+/// builds via nested `map`s.
+///
+/// With `levels == 0` there is exactly one pair and its value is returned
+/// as-is. Missing indices are impossible when pairs come from
+/// [`iteration_tuples`] (the cross product is dense); the function is
+/// nevertheless total and fills nothing in: it groups whatever it is given.
+pub fn assemble_nested(mut pairs: Vec<(Index, Value)>, levels: usize) -> Value {
+    if levels == 0 {
+        debug_assert!(pairs.len() <= 1);
+        return pairs.pop().map(|(_, v)| v).unwrap_or_else(Value::empty_list);
+    }
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    build_level(&pairs, 0, levels)
+}
+
+fn build_level(pairs: &[(Index, Value)], depth: usize, levels: usize) -> Value {
+    if depth == levels {
+        debug_assert_eq!(pairs.len(), 1);
+        return pairs[0].1.clone();
+    }
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    while start < pairs.len() {
+        let head = pairs[start].0.as_slice()[depth];
+        let mut end = start + 1;
+        while end < pairs.len() && pairs[end].0.as_slice()[depth] == head {
+            end += 1;
+        }
+        items.push(build_level(&pairs[start..end], depth + 1, levels));
+        start = end;
+    }
+    Value::List(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(items: &[&str]) -> Value {
+        Value::from(items.to_vec())
+    }
+
+    #[test]
+    fn no_mismatch_is_single_invocation() {
+        let tuples = iteration_tuples(
+            "P",
+            &[strs(&["a", "b"])],
+            &[0],
+            IterationStrategy::Cross,
+        )
+        .unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].output_index, Index::empty());
+        assert_eq!(tuples[0].inputs[0], (Index::empty(), strs(&["a", "b"])));
+    }
+
+    #[test]
+    fn single_port_mismatch_one_iterates_elements() {
+        // (eval_1 P [a,b]) = [P a, P b]
+        let tuples =
+            iteration_tuples("P", &[strs(&["a", "b"])], &[1], IterationStrategy::Cross).unwrap();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].output_index, Index::single(0));
+        assert_eq!(tuples[0].inputs[0], (Index::single(0), Value::str("a")));
+        assert_eq!(tuples[1].inputs[0], (Index::single(1), Value::str("b")));
+    }
+
+    #[test]
+    fn paper_eval2_example_shape() {
+        // (eval_2 P [[a,b]]) touches a then b, with 2-component indices.
+        let v = Value::from(vec![vec!["a", "b"]]);
+        let tuples = iteration_tuples("P", &[v], &[2], IterationStrategy::Cross).unwrap();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].output_index, Index::from_slice(&[0, 0]));
+        assert_eq!(tuples[1].output_index, Index::from_slice(&[0, 1]));
+        assert_eq!(tuples[1].inputs[0].1, Value::str("b"));
+    }
+
+    #[test]
+    fn fig3_cross_product_indices() {
+        // P⟨a, c, b⟩ with δ = (1, 0, 1): n·m invocations, q = [i] · [j],
+        // X2 consumed whole — the paper's Fig. 3 trace.
+        let a = strs(&["a1", "a2"]);
+        let c = strs(&["c1", "c2", "c3"]);
+        let b = strs(&["b1", "b2", "b3"]);
+        let tuples = iteration_tuples(
+            "P",
+            &[a.clone(), c.clone(), b.clone()],
+            &[1, 0, 1],
+            IterationStrategy::Cross,
+        )
+        .unwrap();
+        assert_eq!(tuples.len(), 6);
+        // Row-major: last port varies fastest.
+        assert_eq!(tuples[0].output_index, Index::from_slice(&[0, 0]));
+        assert_eq!(tuples[1].output_index, Index::from_slice(&[0, 1]));
+        assert_eq!(tuples[3].output_index, Index::from_slice(&[1, 0]));
+        for t in &tuples {
+            // Prop. 1: q = p1 · p2 · p3 with |p1|=1, |p2|=0, |p3|=1.
+            let q = t.inputs[0].0.concat(&t.inputs[1].0).concat(&t.inputs[2].0);
+            assert_eq!(q, t.output_index);
+            assert_eq!(t.inputs[1].0, Index::empty());
+            assert_eq!(t.inputs[1].1, c);
+        }
+        // Elements line up with their indices.
+        assert_eq!(tuples[5].inputs[0].1, Value::str("a2"));
+        assert_eq!(tuples[5].inputs[2].1, Value::str("b3"));
+    }
+
+    #[test]
+    fn negative_mismatch_treated_as_whole_value() {
+        let tuples = iteration_tuples(
+            "P",
+            &[Value::str("x")],
+            &[-2],
+            IterationStrategy::Cross,
+        )
+        .unwrap();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(tuples[0].inputs[0].0, Index::empty());
+    }
+
+    #[test]
+    fn empty_iterated_list_yields_no_invocations() {
+        let tuples = iteration_tuples(
+            "P",
+            &[Value::empty_list(), strs(&["c"])],
+            &[1, 0],
+            IterationStrategy::Cross,
+        )
+        .unwrap();
+        assert!(tuples.is_empty());
+    }
+
+    #[test]
+    fn dot_iterates_in_lockstep() {
+        let a = strs(&["a1", "a2", "a3"]);
+        let b = strs(&["b1", "b2", "b3"]);
+        let tuples = iteration_tuples("P", &[a, b], &[1, 1], IterationStrategy::Dot).unwrap();
+        assert_eq!(tuples.len(), 3);
+        assert_eq!(tuples[1].output_index, Index::single(1));
+        assert_eq!(tuples[1].inputs[0].1, Value::str("a2"));
+        assert_eq!(tuples[1].inputs[1].1, Value::str("b2"));
+    }
+
+    #[test]
+    fn dot_rejects_unequal_lengths() {
+        let a = strs(&["a1", "a2"]);
+        let b = strs(&["b1", "b2", "b3"]);
+        assert!(matches!(
+            iteration_tuples("P", &[a, b], &[1, 1], IterationStrategy::Dot),
+            Err(EngineError::DotLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dot_passes_unmismatched_ports_whole() {
+        let a = strs(&["a1", "a2"]);
+        let c = Value::str("c");
+        let tuples =
+            iteration_tuples("P", &[a, c.clone()], &[1, 0], IterationStrategy::Dot).unwrap();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[0].inputs[1], (Index::empty(), c));
+    }
+
+    #[test]
+    fn assemble_zero_levels_returns_single_value() {
+        let v = assemble_nested(vec![(Index::empty(), Value::int(7))], 0);
+        assert_eq!(v, Value::int(7));
+    }
+
+    #[test]
+    fn assemble_one_level_builds_flat_list() {
+        let pairs = vec![
+            (Index::single(1), Value::str("b")),
+            (Index::single(0), Value::str("a")),
+            (Index::single(2), Value::str("c")),
+        ];
+        assert_eq!(assemble_nested(pairs, 1), strs(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn assemble_two_levels_builds_matrix() {
+        let mut pairs = Vec::new();
+        for i in 0..2u32 {
+            for j in 0..3u32 {
+                pairs.push((
+                    Index::from_slice(&[i, j]),
+                    Value::str(&format!("y{i}{j}")),
+                ));
+            }
+        }
+        let v = assemble_nested(pairs, 2);
+        assert_eq!(v.depth().unwrap(), 1 + 1); // two list levels over atoms
+        assert_eq!(
+            v.at(&Index::from_slice(&[1, 2])),
+            Some(&Value::str("y12"))
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.as_list().unwrap()[0].len(), 3);
+    }
+
+    #[test]
+    fn assemble_handles_ragged_group_sizes() {
+        // Iteration over values whose sublists differ in length produces
+        // ragged (but depth-uniform) outputs.
+        let pairs = vec![
+            (Index::from_slice(&[0, 0]), Value::int(1)),
+            (Index::from_slice(&[1, 0]), Value::int(2)),
+            (Index::from_slice(&[1, 1]), Value::int(3)),
+        ];
+        let v = assemble_nested(pairs, 2);
+        assert_eq!(v.as_list().unwrap()[0].len(), 1);
+        assert_eq!(v.as_list().unwrap()[1].len(), 2);
+    }
+
+    #[test]
+    fn round_trip_iterate_then_assemble_preserves_value() {
+        // Identity processor over any iterated value reassembles to the
+        // original value.
+        let v = Value::from(vec![vec!["x", "y"], vec!["z", "w"]]);
+        let tuples =
+            iteration_tuples("P", std::slice::from_ref(&v), &[2], IterationStrategy::Cross).unwrap();
+        let pairs: Vec<(Index, Value)> = tuples
+            .into_iter()
+            .map(|t| (t.output_index, t.inputs[0].1.clone()))
+            .collect();
+        assert_eq!(assemble_nested(pairs, 2), v);
+    }
+}

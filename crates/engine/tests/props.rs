@@ -1,0 +1,122 @@
+//! Property tests for the iteration semantics and Prop. 1 (index
+//! projection): for arbitrary values and mismatch vectors, every emitted
+//! xform index satisfies `q = p1 · … · pn` with `|p_i| = max(δ_i, 0)`, and
+//! executing any generated chain workflow preserves the invariants the
+//! INDEXPROJ algorithm relies on.
+
+use proptest::prelude::*;
+
+use prov_dataflow::{BaseType, DataflowBuilder, IterationStrategy, PortType};
+use prov_engine::{iteration_tuples, BehaviorRegistry, Engine, VecSink};
+use prov_model::{Index, Value};
+
+/// A uniform value of the given depth with 1..=3 fanout per level.
+fn value_of_depth(depth: usize) -> impl Strategy<Value = Value> {
+    proptest::collection::vec(1usize..=3, depth).prop_map(|lengths| {
+        let mut n = 0i64;
+        Value::uniform(&lengths, || {
+            n += 1;
+            n
+        })
+    })
+}
+
+/// A vector of (value, mismatch) pairs where 0 <= mismatch <= depth(value).
+fn ports() -> impl Strategy<Value = Vec<(Value, i64)>> {
+    proptest::collection::vec(
+        (0usize..=2).prop_flat_map(|d| {
+            (value_of_depth(d), 0i64..=(d as i64))
+        }),
+        1..=3,
+    )
+}
+
+proptest! {
+    /// Prop. 1 for the cross strategy: output index concatenates per-port
+    /// fragments whose lengths equal the mismatches.
+    #[test]
+    fn prop1_cross_indices_concatenate(ports in ports()) {
+        let values: Vec<Value> = ports.iter().map(|(v, _)| v.clone()).collect();
+        let mismatches: Vec<i64> = ports.iter().map(|(_, d)| *d).collect();
+        let tuples = iteration_tuples("P", &values, &mismatches, IterationStrategy::Cross).unwrap();
+
+        // Invocation count = product of per-port element counts.
+        let expected: usize = ports
+            .iter()
+            .map(|(v, d)| if *d == 0 { 1 } else { v.enumerate_at(*d as usize).len() })
+            .product();
+        prop_assert_eq!(tuples.len(), expected);
+
+        for t in &tuples {
+            let mut q = Index::empty();
+            for ((idx, elem), (value, d)) in t.inputs.iter().zip(&ports) {
+                prop_assert_eq!(idx.len(), (*d).max(0) as usize);
+                // The element really is value[idx].
+                prop_assert_eq!(value.at(idx), Some(elem));
+                q = q.concat(idx);
+            }
+            prop_assert_eq!(&q, &t.output_index);
+        }
+    }
+
+    /// All cross-product output indices are distinct and lexicographically
+    /// sorted (row-major order).
+    #[test]
+    fn cross_indices_are_sorted_and_unique(ports in ports()) {
+        let values: Vec<Value> = ports.iter().map(|(v, _)| v.clone()).collect();
+        let mismatches: Vec<i64> = ports.iter().map(|(_, d)| *d).collect();
+        let tuples = iteration_tuples("P", &values, &mismatches, IterationStrategy::Cross).unwrap();
+        let indices: Vec<&Index> = tuples.iter().map(|t| &t.output_index).collect();
+        for w in indices.windows(2) {
+            prop_assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    /// Executing an identity chain of arbitrary length over an arbitrary
+    /// flat list reproduces the input at the output, with one xform event
+    /// per element per stage.
+    #[test]
+    fn identity_chain_roundtrip(len in 1usize..6, items in proptest::collection::vec("[a-z]{1,4}", 1..6)) {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        let names: Vec<String> = (0..len).map(|i| format!("P{i}")).collect();
+        for name in &names {
+            b.processor_with_behavior(name, "identity")
+                .in_port("x", PortType::atom(BaseType::String))
+                .out_port("y", PortType::atom(BaseType::String));
+        }
+        b.arc_from_input("in", &names[0], "x").unwrap();
+        for w in names.windows(2) {
+            b.arc(&w[0], "y", &w[1], "x").unwrap();
+        }
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output(&names[len - 1], "y", "out").unwrap();
+        let df = b.build().unwrap();
+
+        let value = Value::from(items.iter().map(String::as_str).collect::<Vec<_>>());
+        let sink = VecSink::new();
+        let engine = Engine::new(BehaviorRegistry::new().with_builtins());
+        let run = engine.execute(&df, vec![("in".into(), value.clone())], &sink).unwrap();
+        prop_assert_eq!(run.output("out"), Some(&value));
+        prop_assert_eq!(sink.xforms_of(run.run_id).len(), len * items.len());
+        // Fine xfer: (len + 1) arcs × |items| element transfers.
+        prop_assert_eq!(sink.xfers_of(run.run_id).len(), (len + 1) * items.len());
+    }
+
+    /// Dot vs cross on equal-length lists: dot produces exactly the
+    /// diagonal of the cross product.
+    #[test]
+    fn dot_is_diagonal_of_cross(n in 1usize..5) {
+        let a = Value::from((0..n as i64).map(Value::int).collect::<Vec<_>>());
+        let b = Value::from((10..10 + n as i64).map(Value::int).collect::<Vec<_>>());
+        let dot = iteration_tuples("P", &[a.clone(), b.clone()], &[1, 1], IterationStrategy::Dot).unwrap();
+        let cross = iteration_tuples("P", &[a, b], &[1, 1], IterationStrategy::Cross).unwrap();
+        prop_assert_eq!(dot.len(), n);
+        prop_assert_eq!(cross.len(), n * n);
+        for t in &dot {
+            let i = t.inputs[0].0.clone();
+            let diag = cross.iter().find(|c| c.inputs[0].0 == i && c.inputs[1].0 == i).unwrap();
+            prop_assert_eq!(&t.inputs, &diag.inputs);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Atomic (non-list) values flowing through a workflow.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// An `f64` wrapper with total equality and hashing by bit pattern.
+///
+/// Provenance traces must be able to key values by content (the store
+/// deduplicates identical values), so atoms need `Eq + Hash`. Scientific
+/// workflows do carry floating-point data; bit-pattern equality is the
+/// standard compromise: it distinguishes `0.0` from `-0.0` and treats any
+/// given NaN bit pattern as equal to itself, which is exactly what a
+/// content-addressed store needs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct F64(pub f64);
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+
+impl Eq for F64 {}
+
+impl std::hash::Hash for F64 {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Total order: IEEE total ordering via `total_cmp`.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64(v)
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An atomic workflow value: the leaves of nested collections.
+///
+/// The paper's set `S` of basic types is left open; these variants cover the
+/// data flowing through Taverna-style bioinformatics workflows (strings such
+/// as gene and pathway identifiers, numbers, flags, raw payloads).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Atom {
+    /// A UTF-8 string. `Arc<str>` keeps clones cheap: the same identifiers
+    /// are copied along every arc of a trace.
+    Str(Arc<str>),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float with bitwise equality (see [`F64`]).
+    Float(F64),
+    /// A boolean flag.
+    Bool(bool),
+    /// An opaque binary payload (e.g. an image produced by a processor).
+    Bytes(bytes::Bytes),
+}
+
+impl Atom {
+    /// Returns the string content if this atom is a [`Atom::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Atom::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer content if this atom is an [`Atom::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Atom::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float content if this atom is an [`Atom::Float`].
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Atom::Float(F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content if this atom is an [`Atom::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Atom::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A short lowercase name for the atom's base type, matching
+    /// [`crate::BaseType`] rendering.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Atom::Str(_) => "string",
+            Atom::Int(_) => "int",
+            Atom::Float(_) => "float",
+            Atom::Bool(_) => "bool",
+            Atom::Bytes(_) => "bytes",
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Str(s) => write!(f, "{s:?}"),
+            Atom::Int(i) => write!(f, "{i}"),
+            Atom::Float(v) => write!(f, "{v}"),
+            Atom::Bool(b) => write!(f, "{b}"),
+            Atom::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+        }
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Self {
+        Atom::Str(Arc::from(s))
+    }
+}
+
+impl From<String> for Atom {
+    fn from(s: String) -> Self {
+        Atom::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Atom {
+    fn from(i: i64) -> Self {
+        Atom::Int(i)
+    }
+}
+
+impl From<i32> for Atom {
+    fn from(i: i32) -> Self {
+        Atom::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Atom {
+    fn from(v: f64) -> Self {
+        Atom::Float(F64(v))
+    }
+}
+
+impl From<bool> for Atom {
+    fn from(b: bool) -> Self {
+        Atom::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn f64_nan_is_self_equal() {
+        let nan = F64(f64::NAN);
+        assert_eq!(nan, nan);
+        assert_eq!(hash_of(&nan), hash_of(&nan));
+    }
+
+    #[test]
+    fn f64_distinguishes_signed_zero() {
+        assert_ne!(F64(0.0), F64(-0.0));
+    }
+
+    #[test]
+    fn f64_total_order_sorts_normally() {
+        let mut v = vec![F64(3.0), F64(-1.0), F64(2.5)];
+        v.sort();
+        assert_eq!(v, vec![F64(-1.0), F64(2.5), F64(3.0)]);
+    }
+
+    #[test]
+    fn atom_conversions() {
+        assert_eq!(Atom::from("x").as_str(), Some("x"));
+        assert_eq!(Atom::from(7i64).as_int(), Some(7));
+        assert_eq!(Atom::from(2.5f64).as_float(), Some(2.5));
+        assert_eq!(Atom::from(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn atom_accessors_reject_other_variants() {
+        assert_eq!(Atom::from(7i64).as_str(), None);
+        assert_eq!(Atom::from("x").as_int(), None);
+        assert_eq!(Atom::from(true).as_float(), None);
+        assert_eq!(Atom::from(1.0f64).as_bool(), None);
+    }
+
+    #[test]
+    fn atom_display_is_compact() {
+        assert_eq!(Atom::from("foo").to_string(), "\"foo\"");
+        assert_eq!(Atom::from(42i64).to_string(), "42");
+        assert_eq!(Atom::Bytes(bytes::Bytes::from_static(b"abc")).to_string(), "bytes[3]");
+    }
+
+    #[test]
+    fn atom_type_names() {
+        assert_eq!(Atom::from("x").type_name(), "string");
+        assert_eq!(Atom::from(1i64).type_name(), "int");
+        assert_eq!(Atom::from(1.0f64).type_name(), "float");
+        assert_eq!(Atom::from(false).type_name(), "bool");
+        assert_eq!(Atom::Bytes(bytes::Bytes::new()).type_name(), "bytes");
+    }
+
+    #[test]
+    fn atom_serde_round_trip() {
+        let atoms = vec![
+            Atom::from("gene"),
+            Atom::from(-3i64),
+            Atom::from(1.25f64),
+            Atom::from(true),
+            Atom::Bytes(bytes::Bytes::from_static(&[1, 2, 3])),
+        ];
+        for a in atoms {
+            let json = serde_json::to_string(&a).unwrap();
+            let back: Atom = serde_json::from_str(&json).unwrap();
+            assert_eq!(a, back);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Port references and bindings — the nodes of the provenance graph.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Index, ProcessorName, Value};
+
+/// A reference to a port of a processor, written `P:X` in the paper.
+///
+/// Top-level workflow inputs and outputs are modelled as ports of the
+/// distinguished processor named by the dataflow itself (the paper writes
+/// e.g. `workflow:paths_per_gene`), so `PortRef` covers those uniformly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortRef {
+    /// The processor.
+    pub processor: ProcessorName,
+    /// The port name on that processor.
+    pub port: Arc<str>,
+}
+
+impl PortRef {
+    /// Builds a `P:X` reference.
+    pub fn new(processor: impl Into<ProcessorName>, port: &str) -> Self {
+        PortRef { processor: processor.into(), port: Arc::from(port) }
+    }
+
+    /// The port name as a string slice.
+    pub fn port_str(&self) -> &str {
+        &self.port
+    }
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.processor, self.port)
+    }
+}
+
+/// A binding `⟨P:X[p], v⟩`: the value element `v[p]` observed at port `P:X`.
+///
+/// In trace records the value is referenced by id (see `prov-store`);
+/// `Binding` carries the resolved [`Value`] element and is what lineage
+/// queries return to users.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Binding {
+    /// Which port.
+    pub port: PortRef,
+    /// Position within the port's (possibly nested) value; empty = whole.
+    pub index: Index,
+    /// The value element at that position.
+    pub value: Value,
+}
+
+impl Binding {
+    /// Builds a binding.
+    pub fn new(port: PortRef, index: Index, value: Value) -> Self {
+        Binding { port, index, value }
+    }
+
+    /// A whole-value (coarse-grained) binding.
+    pub fn whole(port: PortRef, value: Value) -> Self {
+        Binding { port, index: Index::empty(), value }
+    }
+
+    /// Whether this binding is fine-grained (addresses a strict part of the
+    /// port's value).
+    pub fn is_fine_grained(&self) -> bool {
+        !self.index.is_empty()
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}{}, {}⟩", self.port, self.index, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_ref_displays_paper_notation() {
+        let p = PortRef::new("get_pathways_by_genes", "genes_id_list");
+        assert_eq!(p.to_string(), "get_pathways_by_genes:genes_id_list");
+    }
+
+    #[test]
+    fn binding_displays_paper_notation() {
+        let b = Binding::new(
+            PortRef::new("P", "Y"),
+            Index::from_slice(&[1, 2]),
+            Value::str("bar"),
+        );
+        assert_eq!(b.to_string(), "⟨P:Y[1,2], \"bar\"⟩");
+    }
+
+    #[test]
+    fn whole_binding_is_coarse() {
+        let b = Binding::whole(PortRef::new("P", "X"), Value::int(1));
+        assert!(!b.is_fine_grained());
+        assert!(b.index.is_empty());
+        let f = Binding::new(PortRef::new("P", "X"), Index::single(0), Value::int(1));
+        assert!(f.is_fine_grained());
+    }
+
+    #[test]
+    fn port_ref_ordering_groups_by_processor() {
+        let mut v = vec![
+            PortRef::new("B", "x"),
+            PortRef::new("A", "z"),
+            PortRef::new("A", "a"),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                PortRef::new("A", "a"),
+                PortRef::new("A", "z"),
+                PortRef::new("B", "x"),
+            ]
+        );
+    }
+
+    #[test]
+    fn binding_serde_round_trip() {
+        let b = Binding::new(
+            PortRef::new("P", "Y"),
+            Index::single(3),
+            Value::from(vec!["a", "b"]),
+        );
+        let json = serde_json::to_string(&b).unwrap();
+        assert_eq!(serde_json::from_str::<Binding>(&json).unwrap(), b);
+    }
+}

@@ -1,0 +1,58 @@
+//! Model-level errors.
+
+use std::fmt;
+
+/// Errors raised by data-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Sibling elements of a list disagree on nesting depth; the uniform
+    /// model (§2.1) has no defined depth for such a value.
+    RaggedValue {
+        /// Depth of an earlier sibling.
+        left: usize,
+        /// Depth of the conflicting sibling.
+        right: usize,
+    },
+    /// A list operation was applied to a value without the required level of
+    /// nesting.
+    NotAList,
+    /// An index path does not address an element of the given value.
+    BadIndex {
+        /// The offending index, rendered as `[p1,p2,…]`.
+        index: String,
+    },
+    /// A port-type string could not be parsed.
+    TypeParse(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::RaggedValue { left, right } => write!(
+                f,
+                "ragged value: sibling elements have depths {left} and {right}"
+            ),
+            ModelError::NotAList => write!(f, "operation requires a list value"),
+            ModelError::BadIndex { index } => {
+                write!(f, "index {index} does not address an element of the value")
+            }
+            ModelError::TypeParse(s) => write!(f, "cannot parse port type {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        assert!(ModelError::RaggedValue { left: 1, right: 2 }
+            .to_string()
+            .contains("depths 1 and 2"));
+        assert!(ModelError::TypeParse("xs".into()).to_string().contains("\"xs\""));
+        assert!(ModelError::BadIndex { index: "[1]".into() }.to_string().contains("[1]"));
+    }
+}

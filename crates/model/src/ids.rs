@@ -1,0 +1,108 @@
+//! Identifier newtypes shared across the stack.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// The name of a processor in a dataflow specification (e.g.
+/// `get_pathways_by_genes`). Interned via `Arc<str>`: processor names appear
+/// in every trace record and are cloned constantly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ProcessorName(pub Arc<str>);
+
+impl ProcessorName {
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for ProcessorName {
+    fn from(s: &str) -> Self {
+        ProcessorName(Arc::from(s))
+    }
+}
+
+impl From<String> for ProcessorName {
+    fn from(s: String) -> Self {
+        ProcessorName(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for ProcessorName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifies one workflow *run* (one execution `E` of a dataflow `D`, whose
+/// trace is `T_{E_D}`). Trace IDs are key attributes in the relational trace
+/// store, which is what makes multi-run queries cheap (paper §3.4).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct RunId(pub u64);
+
+impl RunId {
+    /// The next run id (used by the store when registering runs).
+    pub fn next(self) -> RunId {
+        RunId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run:{}", self.0)
+    }
+}
+
+/// Content-addressed identifier of a stored value. The store deduplicates
+/// identical values (the same gene list is transferred along many arcs), so
+/// trace records reference values by id rather than embedding them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ValueId(pub u64);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "val:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_name_interns_and_compares() {
+        let a = ProcessorName::from("ListGen");
+        let b = ProcessorName::from("ListGen");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "ListGen");
+        assert_eq!(a.to_string(), "ListGen");
+    }
+
+    #[test]
+    fn run_id_next_increments() {
+        assert_eq!(RunId(0).next(), RunId(1));
+        assert_eq!(RunId(41).next(), RunId(42));
+    }
+
+    #[test]
+    fn ids_serialize_transparently() {
+        assert_eq!(serde_json::to_string(&RunId(7)).unwrap(), "7");
+        assert_eq!(serde_json::to_string(&ValueId(9)).unwrap(), "9");
+        assert_eq!(serde_json::to_string(&ProcessorName::from("P")).unwrap(), "\"P\"");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RunId(3).to_string(), "run:3");
+        assert_eq!(ValueId(5).to_string(), "val:5");
+    }
+}

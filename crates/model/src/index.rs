@@ -1,0 +1,390 @@
+//! Element accessor indices `p = [p1 … pk]` into nested list values.
+//!
+//! The paper writes `v[p1 … pk]` for the element of a nested list reached by
+//! descending through positions `p1, …, pk`, and `[]` for the whole value.
+//! Indices are the currency of fine-grained provenance: every *xform* and
+//! *xfer* event carries one, and the index projection rule (Def. 4)
+//! manipulates them by concatenation and slicing.
+//!
+//! Real workflows rarely nest deeper than 3; [`Index`] therefore stores up
+//! to [`Index::INLINE`] components inline and only heap-allocates beyond
+//! that (ablation #5 in DESIGN.md).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of components stored without heap allocation.
+const INLINE_CAP: usize = 8;
+
+/// A position path into a nested list value.
+///
+/// The empty index denotes the entire value. Components are 0-based here
+/// (the paper's prose examples are 1-based; the arithmetic is identical).
+///
+/// ```
+/// use prov_model::Index;
+/// let p = Index::from_slice(&[1, 2]);
+/// let q = Index::from_slice(&[0]);
+/// assert_eq!(p.concat(&q), Index::from_slice(&[1, 2, 0]));
+/// assert_eq!(p.concat(&q).project(1, 2), Index::from_slice(&[2, 0]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(from = "Vec<u32>", into = "Vec<u32>")]
+pub enum Index {
+    /// At most `INLINE_CAP` components, stored inline.
+    #[doc(hidden)]
+    Inline {
+        /// Number of valid components in `buf`.
+        len: u8,
+        /// Component storage; entries past `len` are zero.
+        buf: [u32; INLINE_CAP],
+    },
+    /// More than `INLINE_CAP` components.
+    #[doc(hidden)]
+    Heap(Vec<u32>),
+}
+
+impl Index {
+    /// Number of components that fit without heap allocation.
+    pub const INLINE: usize = INLINE_CAP;
+
+    /// The empty index `[]`, denoting a whole value.
+    pub const fn empty() -> Self {
+        Index::Inline { len: 0, buf: [0; INLINE_CAP] }
+    }
+
+    /// Builds an index from a slice of components.
+    pub fn from_slice(components: &[u32]) -> Self {
+        if components.len() <= INLINE_CAP {
+            let mut buf = [0u32; INLINE_CAP];
+            buf[..components.len()].copy_from_slice(components);
+            Index::Inline { len: components.len() as u8, buf }
+        } else {
+            Index::Heap(components.to_vec())
+        }
+    }
+
+    /// A single-component index `[i]`.
+    pub fn single(i: u32) -> Self {
+        let mut buf = [0u32; INLINE_CAP];
+        buf[0] = i;
+        Index::Inline { len: 1, buf }
+    }
+
+    /// The components as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        match self {
+            Index::Inline { len, buf } => &buf[..*len as usize],
+            Index::Heap(v) => v,
+        }
+    }
+
+    /// Number of components `k` in `[p1 … pk]`.
+    pub fn len(&self) -> usize {
+        match self {
+            Index::Inline { len, .. } => *len as usize,
+            Index::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether this is the empty index (whole-value granularity).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a new index with `i` appended: `[p1 … pk, i]`.
+    pub fn child(&self, i: u32) -> Self {
+        let s = self.as_slice();
+        if s.len() < INLINE_CAP {
+            let mut buf = [0u32; INLINE_CAP];
+            buf[..s.len()].copy_from_slice(s);
+            buf[s.len()] = i;
+            Index::Inline { len: (s.len() + 1) as u8, buf }
+        } else {
+            let mut v = Vec::with_capacity(s.len() + 1);
+            v.extend_from_slice(s);
+            v.push(i);
+            Index::Heap(v)
+        }
+    }
+
+    /// Concatenation `p · q` (Prop. 1: an output index is the concatenation
+    /// of the per-port input indices).
+    pub fn concat(&self, other: &Index) -> Self {
+        let (a, b) = (self.as_slice(), other.as_slice());
+        if a.is_empty() {
+            return other.clone();
+        }
+        if b.is_empty() {
+            return self.clone();
+        }
+        let total = a.len() + b.len();
+        if total <= INLINE_CAP {
+            let mut buf = [0u32; INLINE_CAP];
+            buf[..a.len()].copy_from_slice(a);
+            buf[a.len()..total].copy_from_slice(b);
+            Index::Inline { len: total as u8, buf }
+        } else {
+            let mut v = Vec::with_capacity(total);
+            v.extend_from_slice(a);
+            v.extend_from_slice(b);
+            Index::Heap(v)
+        }
+    }
+
+    /// The projection `p(start : start+len-1)`: the contiguous fragment of
+    /// `len` components beginning at 0-based position `start` (Def. 4).
+    ///
+    /// Requesting a fragment that extends past the end of the index returns
+    /// the available suffix (this arises when a *coarse* query index is
+    /// shorter than the full fine-grained index; the remaining components
+    /// are simply "whole value" on the corresponding ports).
+    pub fn project(&self, start: usize, len: usize) -> Self {
+        let s = self.as_slice();
+        if start >= s.len() || len == 0 {
+            return Index::empty();
+        }
+        let end = (start + len).min(s.len());
+        Index::from_slice(&s[start..end])
+    }
+
+    /// The first `n` components (or the whole index if shorter).
+    pub fn prefix(&self, n: usize) -> Self {
+        let s = self.as_slice();
+        Index::from_slice(&s[..n.min(s.len())])
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`: the element at
+    /// `other` lies inside the sub-collection at `self`.
+    pub fn is_prefix_of(&self, other: &Index) -> bool {
+        other.as_slice().starts_with(self.as_slice())
+    }
+
+    /// Iterator over the components.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl PartialOrd for Index {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Index {
+    /// Lexicographic order on the components, regardless of the inline/heap
+    /// representation. This is load-bearing: the trace store's B-tree
+    /// indexes rely on all extensions of a prefix being contiguous.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Default for Index {
+    fn default() -> Self {
+        Index::empty()
+    }
+}
+
+impl From<Vec<u32>> for Index {
+    fn from(v: Vec<u32>) -> Self {
+        if v.len() > INLINE_CAP {
+            Index::Heap(v)
+        } else {
+            Index::from_slice(&v)
+        }
+    }
+}
+
+impl From<Index> for Vec<u32> {
+    fn from(i: Index) -> Self {
+        match i {
+            Index::Heap(v) => v,
+            inline => inline.as_slice().to_vec(),
+        }
+    }
+}
+
+impl From<&[u32]> for Index {
+    fn from(s: &[u32]) -> Self {
+        Index::from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for Index {
+    fn from(s: [u32; N]) -> Self {
+        Index::from_slice(&s)
+    }
+}
+
+impl FromIterator<u32> for Index {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let v: Vec<u32> = iter.into_iter().collect();
+        Index::from(v)
+    }
+}
+
+impl fmt::Display for Index {
+    /// The paper's `[p1,p2,…]` notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_index_is_whole_value() {
+        let e = Index::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.to_string(), "[]");
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        for n in [0usize, 1, 7, 8, 9, 20] {
+            let comps: Vec<u32> = (0..n as u32).collect();
+            let idx = Index::from_slice(&comps);
+            assert_eq!(idx.as_slice(), comps.as_slice());
+            assert_eq!(idx.len(), n);
+        }
+    }
+
+    #[test]
+    fn inline_to_heap_transition_preserves_equality() {
+        // Equality must hold across representations; `child` on a full
+        // inline index must spill to heap correctly.
+        let mut idx = Index::empty();
+        for i in 0..9 {
+            idx = idx.child(i);
+        }
+        assert_eq!(idx, Index::from_slice(&[0, 1, 2, 3, 4, 5, 6, 7, 8]));
+        assert_eq!(idx.len(), 9);
+    }
+
+    #[test]
+    fn concat_matches_paper_prop1_example() {
+        // q = p1 · p2 for [i]·[j] = [i,j]
+        let p1 = Index::single(3);
+        let p2 = Index::single(5);
+        assert_eq!(p1.concat(&p2), Index::from_slice(&[3, 5]));
+    }
+
+    #[test]
+    fn concat_with_empty_is_identity() {
+        let p = Index::from_slice(&[1, 2, 3]);
+        assert_eq!(p.concat(&Index::empty()), p);
+        assert_eq!(Index::empty().concat(&p), p);
+    }
+
+    #[test]
+    fn concat_spills_to_heap() {
+        let a = Index::from_slice(&[0; 6]);
+        let b = Index::from_slice(&[1; 6]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 12);
+        assert_eq!(&c.as_slice()[..6], &[0; 6]);
+        assert_eq!(&c.as_slice()[6..], &[1; 6]);
+    }
+
+    #[test]
+    fn project_extracts_fragments() {
+        let p = Index::from_slice(&[9, 8, 7, 6]);
+        assert_eq!(p.project(0, 2), Index::from_slice(&[9, 8]));
+        assert_eq!(p.project(2, 2), Index::from_slice(&[7, 6]));
+        assert_eq!(p.project(1, 1), Index::single(8));
+    }
+
+    #[test]
+    fn project_clamps_to_available_suffix() {
+        let p = Index::from_slice(&[1, 2]);
+        assert_eq!(p.project(1, 5), Index::single(2));
+        assert_eq!(p.project(4, 2), Index::empty());
+        assert_eq!(p.project(0, 0), Index::empty());
+    }
+
+    #[test]
+    fn prefix_and_is_prefix_of() {
+        let p = Index::from_slice(&[1, 2, 3]);
+        assert_eq!(p.prefix(2), Index::from_slice(&[1, 2]));
+        assert_eq!(p.prefix(9), p);
+        assert!(Index::from_slice(&[1, 2]).is_prefix_of(&p));
+        assert!(Index::empty().is_prefix_of(&p));
+        assert!(!Index::from_slice(&[2]).is_prefix_of(&p));
+        assert!(p.is_prefix_of(&p));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Index::from_slice(&[1, 2]).to_string(), "[1,2]");
+        assert_eq!(format!("{:?}", Index::single(4)), "[4]");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_components() {
+        let mut v = vec![
+            Index::from_slice(&[1, 0]),
+            Index::from_slice(&[0, 5]),
+            Index::empty(),
+            Index::single(0),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Index::empty(),
+                Index::single(0),
+                Index::from_slice(&[0, 5]),
+                Index::from_slice(&[1, 0]),
+            ]
+        );
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_across_representations() {
+        // An inline [5] must sort AFTER a heap-backed 9-component index
+        // starting with 0, and extensions of a prefix must be contiguous.
+        let long_small = Index::from_slice(&[0, 0, 0, 0, 0, 0, 0, 0, 1]); // heap
+        let short_big = Index::single(5); // inline
+        assert!(long_small < short_big);
+        // [1] < [1,0] < [1,0,…(9 comps)…] < [2]
+        let a = Index::single(1);
+        let b = Index::from_slice(&[1, 0]);
+        let c = Index::from_slice(&[1, 0, 0, 0, 0, 0, 0, 0, 0]); // heap
+        let d = Index::single(2);
+        assert!(a < b && b < c && c < d);
+    }
+
+    #[test]
+    fn serde_round_trip_via_vec() {
+        for idx in [Index::empty(), Index::from_slice(&[1, 2, 3]), Index::from_slice(&[0; 12])] {
+            let json = serde_json::to_string(&idx).unwrap();
+            let back: Index = serde_json::from_str(&json).unwrap();
+            assert_eq!(idx, back);
+        }
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let idx: Index = (0u32..4).collect();
+        assert_eq!(idx, Index::from_slice(&[0, 1, 2, 3]));
+    }
+}

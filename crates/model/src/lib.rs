@@ -1,0 +1,45 @@
+//! # prov-model
+//!
+//! The nested-collection data model underpinning collection-based workflow
+//! provenance, after Missier, Paton & Belhajjame, *"Fine-grained and
+//! efficient lineage querying of collection-based workflow provenance"*
+//! (EDBT 2010), Section 2.
+//!
+//! The model has four ingredients:
+//!
+//! * [`Value`] — an arbitrarily nested list of [`Atom`]s, e.g.
+//!   `[["foo","bar"],["red","fox"]]`, with `type(v) = list(list(string))`.
+//! * [`Index`] — an element accessor `p = [p1..pk]` into a nested value,
+//!   following the paper's `v[p1 … pk]` notation. The empty index `[]`
+//!   denotes the whole value.
+//! * [`PortType`] / [`Depth`] — declared port types `list^d(base)`; the
+//!   *declared depth* `dd(X)` drives Taverna's implicit iteration.
+//! * [`Binding`] — `⟨P:X[p], v⟩`: a (possibly fine-grained) association of a
+//!   value element with a processor port, the node type of the provenance
+//!   graph.
+//!
+//! Everything here is deliberately independent of how workflows are
+//! specified (`prov-dataflow`), executed (`prov-engine`) or traced
+//! (`prov-store`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod atom;
+mod binding;
+mod error;
+mod ids;
+mod index;
+mod types;
+mod value;
+
+pub use atom::{Atom, F64};
+pub use binding::{Binding, PortRef};
+pub use error::ModelError;
+pub use ids::{ProcessorName, RunId, ValueId};
+pub use index::Index;
+pub use types::{BaseType, Depth, PortType};
+pub use value::{Shape, Value};
+
+/// Convenience result alias for model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,182 @@
+//! Declared port types: `list^d(base)`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ModelError;
+
+/// A nesting depth. The paper's `dd(X)` (declared depth) and `depth(P:X)`
+/// (propagated actual depth) are both `Depth`s; the *mismatch*
+/// `δ(X) = depth − dd` is a signed quantity and is kept as `i32`.
+pub type Depth = usize;
+
+/// Basic (atomic) value types — the paper's set `S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum BaseType {
+    /// UTF-8 text.
+    String,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Boolean.
+    Bool,
+    /// Opaque binary payload.
+    Bytes,
+}
+
+impl BaseType {
+    /// Lowercase name, as used in the `list(list(string))` rendering.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseType::String => "string",
+            BaseType::Int => "int",
+            BaseType::Float => "float",
+            BaseType::Bool => "bool",
+            BaseType::Bytes => "bytes",
+        }
+    }
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declared port type: a base type wrapped in `depth` list constructors.
+///
+/// `PortType { base: String, depth: 2 }` is the paper's
+/// `list(list(string))`. The declared depth `dd(X)` of a port is
+/// `port_type.depth`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortType {
+    /// The atomic element type.
+    pub base: BaseType,
+    /// Number of `list(·)` wrappers; `0` means a plain atom.
+    pub depth: Depth,
+}
+
+impl PortType {
+    /// A plain atomic type (depth 0).
+    pub const fn atom(base: BaseType) -> Self {
+        PortType { base, depth: 0 }
+    }
+
+    /// A flat list of `base` (depth 1).
+    pub const fn list(base: BaseType) -> Self {
+        PortType { base, depth: 1 }
+    }
+
+    /// A type nested to the given depth.
+    pub const fn nested(base: BaseType, depth: Depth) -> Self {
+        PortType { base, depth }
+    }
+
+    /// The type of the elements of this (list) type; `None` for atoms.
+    pub fn element(self) -> Option<PortType> {
+        if self.depth == 0 {
+            None
+        } else {
+            Some(PortType { base: self.base, depth: self.depth - 1 })
+        }
+    }
+
+    /// Wraps this type in one more list constructor.
+    pub fn wrapped(self) -> PortType {
+        PortType { base: self.base, depth: self.depth + 1 }
+    }
+}
+
+impl fmt::Display for PortType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for _ in 0..self.depth {
+            write!(f, "list(")?;
+        }
+        write!(f, "{}", self.base)?;
+        for _ in 0..self.depth {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for PortType {
+    type Err = ModelError;
+
+    /// Parses the `list(list(string))` notation used throughout the paper.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut depth = 0usize;
+        let mut rest = s.trim();
+        while let Some(inner) = rest.strip_prefix("list(") {
+            let inner = inner
+                .strip_suffix(')')
+                .ok_or_else(|| ModelError::TypeParse(s.to_string()))?;
+            depth += 1;
+            rest = inner.trim();
+        }
+        let base = match rest {
+            "string" => BaseType::String,
+            "int" => BaseType::Int,
+            "float" => BaseType::Float,
+            "bool" => BaseType::Bool,
+            "bytes" => BaseType::Bytes,
+            _ => return Err(ModelError::TypeParse(s.to_string())),
+        };
+        Ok(PortType { base, depth })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(PortType::atom(BaseType::String).to_string(), "string");
+        assert_eq!(PortType::list(BaseType::String).to_string(), "list(string)");
+        assert_eq!(
+            PortType::nested(BaseType::String, 2).to_string(),
+            "list(list(string))"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for t in [
+            PortType::atom(BaseType::Int),
+            PortType::list(BaseType::Float),
+            PortType::nested(BaseType::Bool, 3),
+            PortType::nested(BaseType::Bytes, 1),
+        ] {
+            let s = t.to_string();
+            assert_eq!(s.parse::<PortType>().unwrap(), t, "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        assert_eq!(
+            " list( list( string ) ) ".parse::<PortType>().unwrap(),
+            PortType::nested(BaseType::String, 2)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!("list(string".parse::<PortType>().is_err());
+        assert!("array(string)".parse::<PortType>().is_err());
+        assert!("list(strings)".parse::<PortType>().is_err());
+        assert!("".parse::<PortType>().is_err());
+    }
+
+    #[test]
+    fn element_and_wrapped_are_inverses() {
+        let t = PortType::nested(BaseType::String, 2);
+        assert_eq!(t.element().unwrap().wrapped(), t);
+        assert_eq!(PortType::atom(BaseType::Int).element(), None);
+    }
+}

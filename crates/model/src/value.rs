@@ -1,0 +1,456 @@
+//! Arbitrarily nested list values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Atom, Index, ModelError, Result};
+
+/// A workflow value: an atom or an arbitrarily nested list.
+///
+/// The paper's model assumes *uniform* nesting: all elements of a list sit
+/// at the same depth (`type([["foo","bar"],["red","fox"]]) =
+/// list(list(string))`). [`Value::depth`] enforces that assumption; values
+/// with ragged nesting are representable (they can arise transiently inside
+/// a black-box processor) but are rejected where the iteration semantics
+/// needs a well-defined depth.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// A leaf value.
+    Atom(Atom),
+    /// A (possibly empty) ordered collection.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a string atom value.
+    pub fn str(s: &str) -> Self {
+        Value::Atom(Atom::from(s))
+    }
+
+    /// Builds an integer atom value.
+    pub fn int(i: i64) -> Self {
+        Value::Atom(Atom::from(i))
+    }
+
+    /// Builds a float atom value.
+    pub fn float(v: f64) -> Self {
+        Value::Atom(Atom::from(v))
+    }
+
+    /// Builds a boolean atom value.
+    pub fn bool(b: bool) -> Self {
+        Value::Atom(Atom::from(b))
+    }
+
+    /// Builds a list value.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// An empty list.
+    pub fn empty_list() -> Self {
+        Value::List(Vec::new())
+    }
+
+    /// Whether this value is an atom.
+    pub fn is_atom(&self) -> bool {
+        matches!(self, Value::Atom(_))
+    }
+
+    /// Returns the atom if this value is one.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Value::Atom(a) => Some(a),
+            Value::List(_) => None,
+        }
+    }
+
+    /// Returns the list elements if this value is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::Atom(_) => None,
+            Value::List(items) => Some(items),
+        }
+    }
+
+    /// Number of direct elements (0 for an atom).
+    pub fn len(&self) -> usize {
+        match self {
+            Value::Atom(_) => 0,
+            Value::List(items) => items.len(),
+        }
+    }
+
+    /// True for an empty list; false for atoms and non-empty lists.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Value::List(items) if items.is_empty())
+    }
+
+    /// The uniform nesting depth of this value: `0` for atoms, `1 + depth of
+    /// elements` for lists.
+    ///
+    /// Errors with [`ModelError::RaggedValue`] if sibling elements disagree
+    /// on depth. An empty list has no intrinsic element depth; by convention
+    /// it reports depth `1` (a flat empty list) — when a deeper empty
+    /// collection is required the engine consults the *declared* port depth
+    /// instead (see `prov-dataflow`).
+    pub fn depth(&self) -> Result<usize> {
+        match self {
+            Value::Atom(_) => Ok(0),
+            Value::List(items) => {
+                let mut element_depth: Option<usize> = None;
+                for item in items {
+                    let d = item.depth()?;
+                    match element_depth {
+                        None => element_depth = Some(d),
+                        Some(prev) if prev != d => {
+                            return Err(ModelError::RaggedValue { left: prev, right: d });
+                        }
+                        Some(_) => {}
+                    }
+                }
+                Ok(1 + element_depth.unwrap_or(0))
+            }
+        }
+    }
+
+    /// The element at index `p`, i.e. the paper's `v[p1 … pk]`.
+    ///
+    /// The empty index returns the whole value. Returns `None` if the path
+    /// leaves the value (descending into an atom or out-of-range position).
+    pub fn at(&self, index: &Index) -> Option<&Value> {
+        let mut cur = self;
+        for p in index.iter() {
+            match cur {
+                Value::List(items) => cur = items.get(p as usize)?,
+                Value::Atom(_) => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Wraps this value in `n` singleton lists, producing an `n`-deeper
+    /// value. This implements the paper's handling of *negative* depth
+    /// mismatches (`d_i < 0`): "the mismatch is dealt with by nesting a
+    /// value v within |d_i| new lists, creating a |d_i|-deep singleton."
+    pub fn wrap(self, n: usize) -> Self {
+        let mut v = self;
+        for _ in 0..n {
+            v = Value::List(vec![v]);
+        }
+        v
+    }
+
+    /// Removes one level of nesting: `[[a,b],[c]] → [a,b,c]` (the `flatten`
+    /// processor used in the right branch of the paper's Fig. 1 workflow).
+    ///
+    /// Errors if the value is an atom or a list whose direct elements are
+    /// atoms (there is no level to remove).
+    pub fn flatten(&self) -> Result<Value> {
+        let items = self.as_list().ok_or(ModelError::NotAList)?;
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                Value::List(inner) => out.extend(inner.iter().cloned()),
+                Value::Atom(_) => return Err(ModelError::NotAList),
+            }
+        }
+        Ok(Value::List(out))
+    }
+
+    /// Enumerates `(index, element)` pairs for all elements lying exactly
+    /// `levels` deep, in lexicographic index order.
+    ///
+    /// With `levels == 0` this yields the single pair `([], self)`. This is
+    /// the iteration pattern of the engine: a depth mismatch of `δ` on a
+    /// port iterates over the elements `levels = δ` deep.
+    pub fn enumerate_at(&self, levels: usize) -> Vec<(Index, &Value)> {
+        let mut out = Vec::new();
+        self.enumerate_at_inner(levels, Index::empty(), &mut out);
+        out
+    }
+
+    fn enumerate_at_inner<'a>(
+        &'a self,
+        levels: usize,
+        prefix: Index,
+        out: &mut Vec<(Index, &'a Value)>,
+    ) {
+        if levels == 0 {
+            out.push((prefix, self));
+            return;
+        }
+        if let Value::List(items) = self {
+            for (i, item) in items.iter().enumerate() {
+                item.enumerate_at_inner(levels - 1, prefix.child(i as u32), out);
+            }
+        }
+        // Descending `levels` into an atom yields nothing: there are no
+        // elements that deep. (Callers validate depths beforehand; this
+        // keeps enumeration total.)
+    }
+
+    /// Enumerates `(index, atom)` pairs for every leaf of the value, in
+    /// lexicographic index order.
+    pub fn leaves(&self) -> Vec<(Index, &Atom)> {
+        let mut out = Vec::new();
+        fn walk<'a>(v: &'a Value, prefix: Index, out: &mut Vec<(Index, &'a Atom)>) {
+            match v {
+                Value::Atom(a) => out.push((prefix, a)),
+                Value::List(items) => {
+                    for (i, item) in items.iter().enumerate() {
+                        walk(item, prefix.child(i as u32), out);
+                    }
+                }
+            }
+        }
+        walk(self, Index::empty(), &mut out);
+        out
+    }
+
+    /// Total number of atoms in the value.
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Value::Atom(_) => 1,
+            Value::List(items) => items.iter().map(Value::atom_count).sum(),
+        }
+    }
+
+    /// The *shape* of the value: its per-level branching as nested lengths.
+    /// Two values with equal shape have identical sets of valid indices.
+    pub fn shape(&self) -> Shape {
+        match self {
+            Value::Atom(_) => Shape::Atom,
+            Value::List(items) => Shape::List(items.iter().map(Value::shape).collect()),
+        }
+    }
+
+    /// Builds a nested value from leaf content at the given `depth`, taking
+    /// the elements from `leaves` in order with the given per-level
+    /// `lengths` (all levels uniform). Utility for tests and generators.
+    pub fn uniform<T: Into<Atom>>(lengths: &[usize], mut make_leaf: impl FnMut() -> T) -> Value {
+        fn build<T: Into<Atom>>(lengths: &[usize], make_leaf: &mut impl FnMut() -> T) -> Value {
+            match lengths.split_first() {
+                None => Value::Atom(make_leaf().into()),
+                Some((n, rest)) => {
+                    Value::List((0..*n).map(|_| build(rest, make_leaf)).collect())
+                }
+            }
+        }
+        build(lengths, &mut make_leaf)
+    }
+}
+
+/// The branching structure of a [`Value`], without leaf content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// A leaf.
+    Atom,
+    /// A list of element shapes.
+    List(Vec<Shape>),
+}
+
+impl From<Atom> for Value {
+    fn from(a: Atom) -> Self {
+        Value::Atom(a)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Atom(Atom::from(s))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::bool(b)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested() -> Value {
+        // [["foo","bar"],["red","fox"]] — the paper's running example.
+        Value::from(vec![vec!["foo", "bar"], vec!["red", "fox"]])
+    }
+
+    #[test]
+    fn depth_of_paper_example_is_two() {
+        assert_eq!(nested().depth().unwrap(), 2);
+        assert_eq!(Value::str("x").depth().unwrap(), 0);
+        assert_eq!(Value::from(vec!["a", "b"]).depth().unwrap(), 1);
+    }
+
+    #[test]
+    fn depth_of_empty_list_is_one_by_convention() {
+        assert_eq!(Value::empty_list().depth().unwrap(), 1);
+    }
+
+    #[test]
+    fn ragged_value_is_rejected() {
+        let ragged = Value::List(vec![Value::str("a"), Value::from(vec!["b"])]);
+        assert!(matches!(ragged.depth(), Err(ModelError::RaggedValue { .. })));
+    }
+
+    #[test]
+    fn at_matches_paper_accessor_example() {
+        // ⟨P:X[1,2], [["foo","bar"],["red","fox"]]⟩ = "bar" in the paper's
+        // 1-based notation; 0-based that is index [0,1].
+        let v = nested();
+        assert_eq!(v.at(&Index::from_slice(&[0, 1])), Some(&Value::str("bar")));
+        assert_eq!(v.at(&Index::from_slice(&[1, 0])), Some(&Value::str("red")));
+        assert_eq!(v.at(&Index::empty()), Some(&v));
+    }
+
+    #[test]
+    fn at_rejects_invalid_paths() {
+        let v = nested();
+        assert_eq!(v.at(&Index::from_slice(&[2])), None); // out of range
+        assert_eq!(v.at(&Index::from_slice(&[0, 0, 0])), None); // through an atom
+    }
+
+    #[test]
+    fn wrap_builds_singletons() {
+        let v = Value::str("x").wrap(2);
+        assert_eq!(v, Value::List(vec![Value::List(vec![Value::str("x")])]));
+        assert_eq!(v.depth().unwrap(), 2);
+        assert_eq!(Value::int(1).wrap(0), Value::int(1));
+    }
+
+    #[test]
+    fn flatten_removes_one_level() {
+        let v = nested().flatten().unwrap();
+        assert_eq!(v, Value::from(vec!["foo", "bar", "red", "fox"]));
+        assert!(Value::str("x").flatten().is_err());
+        assert!(Value::from(vec!["a"]).flatten().is_err());
+    }
+
+    #[test]
+    fn flatten_of_empty_outer_list_is_empty() {
+        assert_eq!(Value::empty_list().flatten().unwrap(), Value::empty_list());
+    }
+
+    #[test]
+    fn enumerate_at_zero_yields_whole_value() {
+        let v = nested();
+        let pairs = v.enumerate_at(0);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, Index::empty());
+        assert_eq!(pairs[0].1, &v);
+    }
+
+    #[test]
+    fn enumerate_at_one_yields_sublists() {
+        let v = nested();
+        let pairs = v.enumerate_at(1);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, Index::single(0));
+        assert_eq!(pairs[1].1, &Value::from(vec!["red", "fox"]));
+    }
+
+    #[test]
+    fn enumerate_at_two_yields_atoms_in_order() {
+        let v = nested();
+        let pairs = v.enumerate_at(2);
+        let indices: Vec<String> = pairs.iter().map(|(i, _)| i.to_string()).collect();
+        assert_eq!(indices, vec!["[0,0]", "[0,1]", "[1,0]", "[1,1]"]);
+    }
+
+    #[test]
+    fn enumerate_past_atoms_is_empty() {
+        assert!(Value::str("x").enumerate_at(1).is_empty());
+        assert_eq!(nested().enumerate_at(3).len(), 0);
+    }
+
+    #[test]
+    fn leaves_and_atom_count_agree() {
+        let v = nested();
+        assert_eq!(v.leaves().len(), v.atom_count());
+        assert_eq!(v.atom_count(), 4);
+        assert_eq!(Value::str("x").atom_count(), 1);
+        assert_eq!(Value::empty_list().atom_count(), 0);
+    }
+
+    #[test]
+    fn uniform_builder_produces_uniform_depth() {
+        let mut n = 0i64;
+        let v = Value::uniform(&[2, 3], || {
+            n += 1;
+            n
+        });
+        assert_eq!(v.depth().unwrap(), 2);
+        assert_eq!(v.atom_count(), 6);
+        assert_eq!(v.at(&Index::from_slice(&[1, 0])), Some(&Value::int(4)));
+    }
+
+    #[test]
+    fn shape_equality_tracks_structure_not_content() {
+        let a = Value::from(vec![vec![1i64, 2], vec![3]]);
+        let b = Value::from(vec![vec![9i64, 9], vec![9]]);
+        let c = Value::from(vec![vec![1i64], vec![2, 3]]);
+        assert_eq!(a.shape(), b.shape());
+        assert_ne!(a.shape(), c.shape());
+    }
+
+    #[test]
+    fn display_renders_nested_lists() {
+        assert_eq!(
+            Value::from(vec![vec!["a"], vec!["b", "c"]]).to_string(),
+            "[[\"a\"], [\"b\", \"c\"]]"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = nested();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

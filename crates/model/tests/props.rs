@@ -1,0 +1,110 @@
+//! Property-based tests for the data model invariants.
+
+use proptest::prelude::*;
+use prov_model::{Index, Value};
+
+/// Strategy for uniform-depth values with bounded fanout.
+fn uniform_value() -> impl Strategy<Value = Value> {
+    // depth 0..=3, per-level lengths 1..=4
+    (0usize..=3).prop_flat_map(|depth| {
+        proptest::collection::vec(1usize..=4, depth).prop_map(|lengths| {
+            let mut n = 0i64;
+            Value::uniform(&lengths, || {
+                n += 1;
+                n
+            })
+        })
+    })
+}
+
+fn arb_index() -> impl Strategy<Value = Index> {
+    proptest::collection::vec(0u32..64, 0..12).prop_map(Index::from)
+}
+
+proptest! {
+    /// depth() of a uniform value equals the number of levels it was built with.
+    #[test]
+    fn uniform_values_have_uniform_depth(lengths in proptest::collection::vec(1usize..=4, 0..4)) {
+        let v = Value::uniform(&lengths, || 0i64);
+        prop_assert_eq!(v.depth().unwrap(), lengths.len());
+    }
+
+    /// Accessor law: v.at(p.concat(q)) == v.at(p).and_then(|w| w.at(q)).
+    #[test]
+    fn accessor_composes_over_concat(v in uniform_value(), p in arb_index(), q in arb_index()) {
+        let direct = v.at(&p.concat(&q));
+        let staged = v.at(&p).and_then(|w| w.at(&q));
+        prop_assert_eq!(direct, staged);
+    }
+
+    /// Every index yielded by enumerate_at(k) has length k and resolves to
+    /// the same element via at().
+    #[test]
+    fn enumerate_at_is_consistent_with_at(v in uniform_value(), k in 0usize..=3) {
+        for (idx, elem) in v.enumerate_at(k) {
+            prop_assert_eq!(idx.len(), k);
+            prop_assert_eq!(v.at(&idx), Some(elem));
+        }
+    }
+
+    /// enumerate_at(depth) yields exactly the leaves, in the same order.
+    #[test]
+    fn enumerate_at_full_depth_equals_leaves(v in uniform_value()) {
+        let d = v.depth().unwrap();
+        let at_depth = v.enumerate_at(d);
+        let leaves = v.leaves();
+        prop_assert_eq!(at_depth.len(), leaves.len());
+        for ((i1, v1), (i2, a2)) in at_depth.iter().zip(leaves.iter()) {
+            prop_assert_eq!(i1, i2);
+            prop_assert_eq!(v1.as_atom(), Some(*a2));
+        }
+    }
+
+    /// Index concat is associative with empty as identity.
+    #[test]
+    fn index_concat_monoid(a in arb_index(), b in arb_index(), c in arb_index()) {
+        prop_assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+        prop_assert_eq!(a.concat(&Index::empty()), a.clone());
+        prop_assert_eq!(Index::empty().concat(&a), a);
+    }
+
+    /// Splitting an index with project() at any point reassembles to the original.
+    #[test]
+    fn project_partitions_reassemble(idx in arb_index(), cut in 0usize..12) {
+        let cut = cut.min(idx.len());
+        let head = idx.project(0, cut);
+        let tail = idx.project(cut, idx.len() - cut);
+        prop_assert_eq!(head.concat(&tail), idx);
+    }
+
+    /// wrap(n) adds exactly n to the depth and the inner value is reachable
+    /// at index [0; n].
+    #[test]
+    fn wrap_depth_law(v in uniform_value(), n in 0usize..4) {
+        let d = v.depth().unwrap();
+        let w = v.clone().wrap(n);
+        prop_assert_eq!(w.depth().unwrap(), d + n);
+        let zeros: Index = std::iter::repeat_n(0u32, n).collect();
+        prop_assert_eq!(w.at(&zeros), Some(&v));
+    }
+
+    /// Serde round-trip through JSON preserves values exactly.
+    #[test]
+    fn value_serde_round_trip(v in uniform_value()) {
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    /// flatten reduces depth by one and preserves leaf order.
+    #[test]
+    fn flatten_preserves_leaf_order(lengths in proptest::collection::vec(1usize..=4, 2..4)) {
+        let mut n = 0i64;
+        let v = Value::uniform(&lengths, || { n += 1; n });
+        let f = v.flatten().unwrap();
+        prop_assert_eq!(f.depth().unwrap(), v.depth().unwrap() - 1);
+        let a: Vec<_> = v.leaves().into_iter().map(|(_, a)| a.clone()).collect();
+        let b: Vec<_> = f.leaves().into_iter().map(|(_, a)| a.clone()).collect();
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3 polynomial), implemented in-crate to keep the WAL
+//! dependency-free. Table-driven, one byte at a time — plenty for log
+//! framing.
+
+/// The reflected polynomial for CRC-32/ISO-HDLC (the zlib/PNG CRC).
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Computes the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the provenance of a workflow is a trace";
+        let base = crc32(data);
+        let mut corrupted = data.to_vec();
+        for byte in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "flip at {byte}:{bit} undetected");
+                corrupted[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn is_order_sensitive() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Composite ordered secondary indexes over the trace tables.
+//!
+//! Keys are `(run, processor, port, index)`; payloads are row ids into the
+//! heap vectors. A `BTreeMap` gives the two access paths lineage queries
+//! need:
+//!
+//! * **point lookup** — the exact key (used by INDEXPROJ's `Q(P, Xi, pi)`
+//!   when the projected fragment has the stored length);
+//! * **prefix scan** — all rows whose element index *extends* a given
+//!   index (used when a query addresses a sub-collection: its elements'
+//!   rows are exactly the keys with that prefix, which are contiguous in
+//!   lexicographic order).
+//!
+//! Ancestor lookups ("rows whose index is a prefix of the query index", for
+//! coarse rows such as whole-value transfers) are answered by at most
+//! `|p|+1` point lookups, one per prefix of `p`.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::Arc;
+
+use prov_model::{Index, ProcessorName, RunId};
+
+use crate::stats::QueryStats;
+
+/// Composite key: `(run, processor, port, element index)`.
+pub type Key = (RunId, ProcessorName, Arc<str>, Index);
+
+/// A secondary index mapping composite keys to row ids. Multiple rows may
+/// share one key (e.g. several invocations consuming the same whole-value
+/// input), hence the `Vec<u64>` payload.
+#[derive(Debug, Default)]
+pub struct CompositeIndex {
+    map: BTreeMap<Key, Vec<u64>>,
+}
+
+impl CompositeIndex {
+    /// Inserts a row id under the key.
+    pub fn insert(&mut self, key: Key, row: u64) {
+        self.map.entry(key).or_default().push(row);
+    }
+
+    /// Exact-match lookup. Counts one index lookup plus one record read per
+    /// returned row in `stats`.
+    pub fn get_exact(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        stats: &QueryStats,
+    ) -> Vec<u64> {
+        stats.count_index_lookup();
+        let key: Key = (run, processor.clone(), Arc::from(port), index.clone());
+        let rows = self.map.get(&key).cloned().unwrap_or_default();
+        stats.count_records(rows.len());
+        rows
+    }
+
+    /// Prefix scan: all rows whose index has `prefix` as a (non-strict)
+    /// prefix. The matching keys are contiguous, so this is one B-tree
+    /// descent plus a bounded walk.
+    pub fn scan_prefix(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        prefix: &Index,
+        stats: &QueryStats,
+    ) -> Vec<u64> {
+        stats.count_index_lookup();
+        let port: Arc<str> = Arc::from(port);
+        let start: Key = (run, processor.clone(), port.clone(), prefix.clone());
+        let mut out = Vec::new();
+        for ((r, p, q, idx), rows) in
+            self.map.range((Bound::Included(start), Bound::Unbounded))
+        {
+            if *r != run || p != processor || *q != port || !prefix.is_prefix_of(idx) {
+                break;
+            }
+            out.extend_from_slice(rows);
+        }
+        stats.count_records(out.len());
+        out
+    }
+
+    /// Ancestor lookup: all rows whose index is a (non-strict) prefix of
+    /// `index` — at most `|index| + 1` point lookups.
+    pub fn get_ancestors(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        stats: &QueryStats,
+    ) -> Vec<u64> {
+        let mut out = Vec::new();
+        for k in 0..=index.len() {
+            out.extend(self.get_exact(run, processor, port, &index.prefix(k), stats));
+        }
+        out
+    }
+
+    /// Rows related to `index` in either direction: ancestors (coarser
+    /// rows covering it) plus strict descendants (finer rows inside it).
+    /// This is the general element-addressing lookup of the provenance
+    /// graph: a binding `P:X[p]` is connected to stored rows at any
+    /// granularity that overlaps `p`.
+    pub fn get_overlapping(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        stats: &QueryStats,
+    ) -> Vec<u64> {
+        let mut out = self.get_ancestors(run, processor, port, index, stats);
+        // Descendants, excluding the exact match already counted.
+        let descendants = self.scan_prefix(run, processor, port, index, stats);
+        let exact = self.get_exact(run, processor, port, index, stats);
+        out.extend(descendants.into_iter().filter(|r| !exact.contains(r)));
+        out
+    }
+
+    /// Total number of keys (distinct composite keys) in the index.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Removes every key belonging to `run` (they are contiguous: the run
+    /// id is the leading key component).
+    pub fn remove_run(&mut self, run: RunId) {
+        let keys: Vec<Key> = self
+            .map
+            .range((
+                Bound::Included((run, ProcessorName::from(""), Arc::from(""), Index::empty())),
+                Bound::Unbounded,
+            ))
+            .take_while(|((r, _, _, _), _)| *r == run)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in keys {
+            self.map.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(run: u64, proc: &str, port: &str, idx: &[u32]) -> Key {
+        (RunId(run), ProcessorName::from(proc), Arc::from(port), Index::from_slice(idx))
+    }
+
+    fn sample() -> CompositeIndex {
+        let mut ix = CompositeIndex::default();
+        ix.insert(key(0, "P", "y", &[]), 1);
+        ix.insert(key(0, "P", "y", &[0]), 2);
+        ix.insert(key(0, "P", "y", &[0, 0]), 3);
+        ix.insert(key(0, "P", "y", &[0, 1]), 4);
+        ix.insert(key(0, "P", "y", &[1]), 5);
+        ix.insert(key(0, "P", "z", &[0]), 6); // other port
+        ix.insert(key(0, "Q", "y", &[0]), 7); // other processor
+        ix.insert(key(1, "P", "y", &[0]), 8); // other run
+        ix
+    }
+
+    #[test]
+    fn exact_lookup_hits_only_its_key() {
+        let ix = sample();
+        let stats = QueryStats::new();
+        let p = ProcessorName::from("P");
+        assert_eq!(ix.get_exact(RunId(0), &p, "y", &Index::single(0), &stats), vec![2]);
+        assert_eq!(ix.get_exact(RunId(0), &p, "y", &Index::single(9), &stats), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn prefix_scan_returns_contiguous_extensions() {
+        let ix = sample();
+        let stats = QueryStats::new();
+        let p = ProcessorName::from("P");
+        let mut rows = ix.scan_prefix(RunId(0), &p, "y", &Index::single(0), &stats);
+        rows.sort_unstable();
+        assert_eq!(rows, vec![2, 3, 4]);
+        // Empty prefix matches everything on that (run, proc, port).
+        let mut all = ix.scan_prefix(RunId(0), &p, "y", &Index::empty(), &stats);
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn prefix_scan_respects_run_processor_port_boundaries() {
+        let ix = sample();
+        let stats = QueryStats::new();
+        let rows = ix.scan_prefix(RunId(0), &ProcessorName::from("Q"), "y", &Index::empty(), &stats);
+        assert_eq!(rows, vec![7]);
+        let rows = ix.scan_prefix(RunId(1), &ProcessorName::from("P"), "y", &Index::empty(), &stats);
+        assert_eq!(rows, vec![8]);
+    }
+
+    #[test]
+    fn ancestors_walk_the_prefix_chain() {
+        let ix = sample();
+        let stats = QueryStats::new();
+        let p = ProcessorName::from("P");
+        let mut rows = ix.get_ancestors(RunId(0), &p, "y", &Index::from_slice(&[0, 1]), &stats);
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 2, 4]); // [], [0], [0,1]
+    }
+
+    #[test]
+    fn overlapping_combines_both_directions_without_duplicates() {
+        let ix = sample();
+        let stats = QueryStats::new();
+        let p = ProcessorName::from("P");
+        let mut rows = ix.get_overlapping(RunId(0), &p, "y", &Index::single(0), &stats);
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 2, 3, 4]); // [], [0] (ancestors+exact), [0,0], [0,1]
+    }
+
+    #[test]
+    fn stats_count_lookups_and_records() {
+        let ix = sample();
+        let stats = QueryStats::new();
+        let p = ProcessorName::from("P");
+        ix.get_exact(RunId(0), &p, "y", &Index::single(0), &stats);
+        ix.scan_prefix(RunId(0), &p, "y", &Index::empty(), &stats);
+        let snap = stats.snapshot();
+        assert_eq!(snap.index_lookups, 2);
+        assert_eq!(snap.records_read, 1 + 5);
+    }
+}

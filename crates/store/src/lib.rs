@@ -1,0 +1,47 @@
+//! # prov-store
+//!
+//! An embedded relational store for provenance traces — the role played by
+//! a local MySQL 5.1 instance in the paper's evaluation (§4). The paper's
+//! implementation is "based on a standard RDBMS, with no need for auxiliary
+//! data structures"; this crate reproduces the parts of that substrate the
+//! evaluation actually depends on:
+//!
+//! * relational tables for *xform* events (one row per elementary
+//!   invocation, with per-port input/output rows) and *xfer* events (one
+//!   row per transferred element), keyed by **trace (run) id** — the
+//!   attribute that makes multi-run queries cheap (§3.4);
+//! * composite ordered (B-tree) secondary indexes on
+//!   `(run, processor, port, index)` giving the point lookups and prefix
+//!   scans both query algorithms issue ("all of the queries on the traces
+//!   involve the use of indexes, with none requiring full table scans");
+//! * a content-addressed value table (identical collections recur along
+//!   every arc of a trace);
+//! * per-query access statistics ([`QueryStats`]) so benchmarks can report
+//!   machine-independent record-access counts next to wall-clock times;
+//! * durability via an append-only, CRC-framed write-ahead log with crash
+//!   recovery and checkpoint compaction.
+//!
+//! [`TraceStore`] implements `prov_engine::TraceSink`, so an engine can
+//! stream events straight into it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod crc;
+mod export;
+mod indexes;
+mod rows;
+mod stats;
+mod store;
+mod values;
+mod wal;
+
+pub use crc::crc32;
+pub use export::{GraphEdge, GraphNode, ProvenanceGraph};
+pub use rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
+pub use stats::QueryStats;
+pub use store::{RunInfo, StoreError, TraceStore};
+pub use wal::{LogRecord, WalError, WalReader, WalWriter};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,116 @@
+//! Query access statistics.
+//!
+//! Wall-clock comparisons depend on hardware; record-access counts do not.
+//! Every index lookup and record read performed by the store is counted
+//! here, so benches can report both (the paper's §4 analysis of `t1` vs
+//! `t2` is exactly an accounting of graph-traversal work vs trace access
+//! work).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters of store access work. Cheap to share (`&QueryStats`),
+/// safe to bump from multiple threads.
+#[derive(Debug, Default)]
+pub struct QueryStats {
+    index_lookups: AtomicU64,
+    records_read: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Number of B-tree descents (point lookups and scans).
+    pub index_lookups: u64,
+    /// Number of rows materialised out of the tables.
+    pub records_read: u64,
+}
+
+impl QueryStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one index descent.
+    pub fn count_index_lookup(&self) {
+        self.index_lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` record reads.
+    pub fn count_records(&self, n: usize) {
+        self.records_read.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            index_lookups: self.index_lookups.load(Ordering::Relaxed),
+            records_read: self.records_read.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets both counters to zero.
+    pub fn reset(&self) {
+        self.index_lookups.store(0, Ordering::Relaxed);
+        self.records_read.store(0, Ordering::Relaxed);
+    }
+}
+
+impl StatsSnapshot {
+    /// Work performed between `earlier` and `self`.
+    pub fn since(self, earlier: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            index_lookups: self.index_lookups - earlier.index_lookups,
+            records_read: self.records_read - earlier.records_read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = QueryStats::new();
+        s.count_index_lookup();
+        s.count_index_lookup();
+        s.count_records(5);
+        let snap = s.snapshot();
+        assert_eq!(snap.index_lookups, 2);
+        assert_eq!(snap.records_read, 5);
+        s.reset();
+        assert_eq!(s.snapshot().index_lookups, 0);
+        assert_eq!(s.snapshot().records_read, 0);
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        let s = QueryStats::new();
+        s.count_records(3);
+        let a = s.snapshot();
+        s.count_records(4);
+        s.count_index_lookup();
+        let d = s.snapshot().since(a);
+        assert_eq!(d.records_read, 4);
+        assert_eq!(d.index_lookups, 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let s = QueryStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        s.count_index_lookup();
+                        s.count_records(2);
+                    }
+                });
+            }
+        });
+        let snap = s.snapshot();
+        assert_eq!(snap.index_lookups, 4000);
+        assert_eq!(snap.records_read, 8000);
+    }
+}

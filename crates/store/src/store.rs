@@ -1,0 +1,1079 @@
+//! The trace store: tables + indexes + optional WAL, behind one handle.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use prov_engine::{TraceSink, XferEvent, XformEvent};
+use prov_model::{Binding, Index, PortRef, ProcessorName, RunId, Value, ValueId};
+
+use crate::indexes::CompositeIndex;
+use crate::rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
+use crate::stats::QueryStats;
+use crate::values::ValueTable;
+use crate::wal::{LogRecord, WalError, WalReader, WalWriter};
+
+/// Store-level errors.
+#[derive(Debug)]
+pub enum StoreError {
+    /// WAL failure.
+    Wal(WalError),
+    /// A referenced run does not exist.
+    UnknownRun(RunId),
+    /// A referenced value id does not exist (dangling reference — indicates
+    /// corruption).
+    DanglingValue(ValueId),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Wal(e) => write!(f, "{e}"),
+            StoreError::UnknownRun(r) => write!(f, "unknown run {r}"),
+            StoreError::DanglingValue(v) => write!(f, "dangling value reference {v}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<WalError> for StoreError {
+    fn from(e: WalError) -> Self {
+        StoreError::Wal(e)
+    }
+}
+
+/// Metadata of one stored run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunInfo {
+    /// The run id.
+    pub id: RunId,
+    /// The workflow that produced the trace.
+    pub workflow: ProcessorName,
+    /// Whether `finish_run` was observed.
+    pub finished: bool,
+    /// Number of xform rows in the run.
+    pub xform_count: u64,
+    /// Number of xfer rows in the run.
+    pub xfer_count: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    runs: BTreeMap<RunId, RunInfo>,
+    /// Runs removed by `drop_run`: their heap rows are tombstoned until
+    /// the next checkpoint, their index entries are purged immediately.
+    dropped: std::collections::HashSet<RunId>,
+    /// Registered workflow specifications, by name (serialised JSON; the
+    /// store stays ignorant of the dataflow crate).
+    workflows: BTreeMap<ProcessorName, String>,
+    /// Reverse value index: every (xform id | xfer id) whose binding
+    /// carries the value — the access path for *value-predicated* queries
+    /// (the paper's non-structural case, §1.1).
+    idx_by_value: HashMap<ValueId, Vec<RowRef>>,
+    next_run: u64,
+    values: ValueTable,
+    xforms: Vec<XformRecord>,
+    xfers: Vec<XferRecord>,
+    /// (run, processor, output port, q) → xform ids.
+    idx_xform_out: CompositeIndex,
+    /// (run, processor, input port, p_i) → xform ids.
+    idx_xform_in: CompositeIndex,
+    /// (run, dst processor, dst port, p') → xfer ids.
+    idx_xfer_dst: CompositeIndex,
+    /// (run, src processor, src port, p) → xfer ids.
+    idx_xfer_src: CompositeIndex,
+}
+
+/// A reference into one of the two row heaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowRef {
+    Xform(u64),
+    Xfer(u64),
+}
+
+/// The embedded relational trace store. Cheap to share (`Arc` inside); all
+/// methods take `&self`.
+pub struct TraceStore {
+    inner: RwLock<Inner>,
+    wal: Mutex<Option<WalWriter>>,
+    path: Option<PathBuf>,
+    stats: QueryStats,
+}
+
+impl std::fmt::Debug for TraceStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.read();
+        f.debug_struct("TraceStore")
+            .field("runs", &inner.runs.len())
+            .field("xforms", &inner.xforms.len())
+            .field("xfers", &inner.xfers.len())
+            .field("values", &inner.values.len())
+            .field("durable", &self.path.is_some())
+            .finish()
+    }
+}
+
+impl TraceStore {
+    /// A purely in-memory store (the benchmark configuration).
+    pub fn in_memory() -> Self {
+        TraceStore {
+            inner: RwLock::new(Inner::default()),
+            wal: Mutex::new(None),
+            path: None,
+            stats: QueryStats::new(),
+        }
+    }
+
+    /// Opens (or creates) a durable store backed by a WAL at `path`,
+    /// replaying any existing log. A torn or corrupt tail is truncated
+    /// away, exactly once, before appending resumes.
+    pub fn open(path: impl AsRef<Path>) -> crate::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let (records, clean_len) = WalReader::read_all(&path)?;
+        let store = TraceStore {
+            inner: RwLock::new(Inner::default()),
+            wal: Mutex::new(None),
+            path: Some(path.clone()),
+            stats: QueryStats::new(),
+        };
+        {
+            let mut inner = store.inner.write();
+            for record in records {
+                inner.apply(record);
+            }
+        }
+        *store.wal.lock() = Some(WalWriter::open_truncated(&path, clean_len)?);
+        Ok(store)
+    }
+
+    /// Rewrites the WAL from current state (checkpoint compaction): the log
+    /// shrinks to exactly the live records, dropping any overwritten tail
+    /// garbage. A no-op for in-memory stores.
+    pub fn checkpoint(&self) -> crate::Result<()> {
+        let Some(path) = &self.path else { return Ok(()) };
+        let tmp = path.with_extension("wal.tmp");
+        {
+            let inner = self.inner.read();
+            let _ = std::fs::remove_file(&tmp);
+            let mut w = WalWriter::open(&tmp)?;
+            for (name, json) in &inner.workflows {
+                w.append(&LogRecord::Workflow { name: name.clone(), json: json.clone() })?;
+            }
+            for info in inner.runs.values() {
+                w.append(&LogRecord::BeginRun {
+                    run: info.id,
+                    workflow: info.workflow.clone(),
+                })?;
+            }
+            for row in inner.xforms.iter().filter(|r| !inner.dropped.contains(&r.run)) {
+                w.append(&LogRecord::Xform {
+                    run: row.run,
+                    event: inner.xform_to_event(row),
+                })?;
+            }
+            for row in inner.xfers.iter().filter(|r| !inner.dropped.contains(&r.run)) {
+                w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row) })?;
+            }
+            for info in inner.runs.values().filter(|i| i.finished) {
+                w.append(&LogRecord::FinishRun { run: info.id })?;
+            }
+            w.sync()?;
+        }
+        std::fs::rename(&tmp, path).map_err(WalError::from)?;
+        *self.wal.lock() = Some(WalWriter::open(path)?);
+        Ok(())
+    }
+
+    fn log(&self, record: &LogRecord) {
+        if let Some(w) = self.wal.lock().as_mut() {
+            // Durability failures must not silently drop provenance.
+            w.append(record).expect("wal append failed");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Query surface
+    // ------------------------------------------------------------------
+
+    /// Access statistics (shared counters, never reset by the store).
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// All stored runs, in id order.
+    pub fn runs(&self) -> Vec<RunInfo> {
+        self.inner.read().runs.values().cloned().collect()
+    }
+
+    /// Ids of the runs of one workflow, in id order (the scope set `𝒯` of
+    /// multi-run queries, §3.4).
+    pub fn runs_of(&self, workflow: &ProcessorName) -> Vec<RunId> {
+        self.inner
+            .read()
+            .runs
+            .values()
+            .filter(|i| &i.workflow == workflow)
+            .map(|i| i.id)
+            .collect()
+    }
+
+    /// Resolves a value id.
+    pub fn value(&self, id: ValueId) -> Option<Value> {
+        self.inner.read().values.get(id).cloned()
+    }
+
+    /// Total number of trace records of one run (xform rows + xfer rows) —
+    /// the measure reported in the paper's Table 1.
+    pub fn trace_record_count(&self, run: RunId) -> u64 {
+        self.inner
+            .read()
+            .runs
+            .get(&run)
+            .map(|i| i.xform_count + i.xfer_count)
+            .unwrap_or(0)
+    }
+
+    /// Total records across all runs (the x-axis of Fig. 6).
+    pub fn total_record_count(&self) -> u64 {
+        self.inner
+            .read()
+            .runs
+            .values()
+            .map(|i| i.xform_count + i.xfer_count)
+            .sum()
+    }
+
+    /// The xform events whose **output** binding on `processor:port`
+    /// overlaps `index` (stored `q` is a prefix of `index`, or extends it).
+    /// This is the inversion lookup of the naïve algorithm: "finding a
+    /// matching xform event in the provenance trace".
+    pub fn xforms_producing(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+    ) -> Vec<XformRecord> {
+        let inner = self.inner.read();
+        let ids = inner
+            .idx_xform_out
+            .get_overlapping(run, processor, port, index, &self.stats);
+        dedup_ids(ids)
+            .into_iter()
+            .map(|id| inner.xforms[id as usize].clone())
+            .collect()
+    }
+
+    /// The xform events whose **input** binding on `processor:port`
+    /// overlaps `index` — the forward (impact) counterpart of
+    /// [`TraceStore::xforms_producing`].
+    pub fn xforms_consuming(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+    ) -> Vec<XformRecord> {
+        let inner = self.inner.read();
+        let ids = inner
+            .idx_xform_in
+            .get_overlapping(run, processor, port, index, &self.stats);
+        dedup_ids(ids)
+            .into_iter()
+            .map(|id| inner.xforms[id as usize].clone())
+            .collect()
+    }
+
+    /// The xfer events whose **destination** binding on `processor:port`
+    /// overlaps `index` — the arc-traversal step of the naïve algorithm.
+    pub fn xfers_into(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+    ) -> Vec<XferRecord> {
+        let inner = self.inner.read();
+        let ids = inner
+            .idx_xfer_dst
+            .get_overlapping(run, processor, port, index, &self.stats);
+        dedup_ids(ids)
+            .into_iter()
+            .map(|id| inner.xfers[id as usize].clone())
+            .collect()
+    }
+
+    /// The xfer events leaving `processor:port` at an index overlapping
+    /// `index` (forward navigation; used by impact/downstream queries).
+    pub fn xfers_from(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+    ) -> Vec<XferRecord> {
+        let inner = self.inner.read();
+        let ids = inner
+            .idx_xfer_src
+            .get_overlapping(run, processor, port, index, &self.stats);
+        dedup_ids(ids)
+            .into_iter()
+            .map(|id| inner.xfers[id as usize].clone())
+            .collect()
+    }
+
+    /// `Q(P, X_i, p_i)` of Algorithm 2: the stored **input** bindings of
+    /// `processor:port` whose index overlaps `p_i`, resolved to values.
+    ///
+    /// The overlap handles both directions of granularity mismatch: a
+    /// projected fragment shorter than the stored indices (coarse query →
+    /// prefix scan over the finer rows) and coarse stored rows (`[]` on
+    /// non-iterated ports) under a fine query.
+    pub fn input_bindings(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+    ) -> Vec<StoredBinding> {
+        let inner = self.inner.read();
+        let ids = inner
+            .idx_xform_in
+            .get_overlapping(run, processor, port, index, &self.stats);
+        let mut out = Vec::new();
+        let mut seen: Vec<(u64, Index)> = Vec::new();
+        for id in dedup_ids(ids) {
+            let row = &inner.xforms[id as usize];
+            for p in row.inputs().filter(|p| &*p.port == port) {
+                if !(p.index.is_prefix_of(index) || index.is_prefix_of(&p.index)) {
+                    continue;
+                }
+                let key = (p.value.0, p.index.clone());
+                if seen.contains(&key) {
+                    continue; // many invocations share whole-value inputs
+                }
+                seen.push(key);
+                out.push(StoredBinding {
+                    run,
+                    processor: processor.clone(),
+                    port: p.port.clone(),
+                    index: p.index.clone(),
+                    value: p.value,
+                });
+            }
+        }
+        out
+    }
+
+    /// The stored **source-side** bindings of xfer rows leaving
+    /// `processor:port` at indices overlapping `index` — how lineage
+    /// queries materialise bindings for ports that never appear in xform
+    /// rows (top-level workflow inputs exist in the trace only as xfer
+    /// sources).
+    pub fn xfer_src_bindings(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+    ) -> Vec<StoredBinding> {
+        let inner = self.inner.read();
+        let ids = inner
+            .idx_xfer_src
+            .get_overlapping(run, processor, port, index, &self.stats);
+        let mut out: Vec<StoredBinding> = Vec::new();
+        for id in dedup_ids(ids) {
+            let row = &inner.xfers[id as usize];
+            if out
+                .iter()
+                .any(|b| b.index == row.src_index && b.value == row.value)
+            {
+                continue; // the same element fans out along several arcs
+            }
+            out.push(StoredBinding {
+                run,
+                processor: processor.clone(),
+                port: row.src_port.clone(),
+                index: row.src_index.clone(),
+                value: row.value,
+            });
+        }
+        out
+    }
+
+    /// All xform rows of one run, in insertion order — a **table scan**,
+    /// intended for offline audit/export, not for query processing (it
+    /// bypasses the indexes; the row count is charged to the stats).
+    pub fn xforms_of_run(&self, run: RunId) -> Vec<XformRecord> {
+        let inner = self.inner.read();
+        if inner.dropped.contains(&run) {
+            return Vec::new();
+        }
+        let rows: Vec<XformRecord> =
+            inner.xforms.iter().filter(|r| r.run == run).cloned().collect();
+        self.stats.count_records(rows.len());
+        rows
+    }
+
+    /// All xfer rows of one run, in insertion order (table scan; see
+    /// [`TraceStore::xforms_of_run`]).
+    pub fn xfers_of_run(&self, run: RunId) -> Vec<XferRecord> {
+        let inner = self.inner.read();
+        if inner.dropped.contains(&run) {
+            return Vec::new();
+        }
+        let rows: Vec<XferRecord> =
+            inner.xfers.iter().filter(|r| r.run == run).cloned().collect();
+        self.stats.count_records(rows.len());
+        rows
+    }
+
+    /// Drops a run: its metadata and index entries go immediately; its
+    /// heap rows are tombstoned and reclaimed by the next
+    /// [`TraceStore::checkpoint`]. Dropping an unknown run errors.
+    pub fn drop_run(&self, run: RunId) -> crate::Result<()> {
+        {
+            let inner = self.inner.read();
+            if !inner.runs.contains_key(&run) {
+                return Err(StoreError::UnknownRun(run));
+            }
+        }
+        self.log(&LogRecord::DropRun { run });
+        self.inner.write().apply(LogRecord::DropRun { run });
+        if let Some(w) = self.wal.lock().as_mut() {
+            w.sync().map_err(StoreError::Wal)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves a stored binding into a user-facing [`Binding`].
+    pub fn resolve(&self, b: &StoredBinding) -> crate::Result<Binding> {
+        let value = self.value(b.value).ok_or(StoreError::DanglingValue(b.value))?;
+        Ok(Binding {
+            port: PortRef { processor: b.processor.clone(), port: b.port.clone() },
+            index: b.index.clone(),
+            value,
+        })
+    }
+
+    /// All bindings (across every port role) of one run that carry exactly
+    /// the given value — the access path for *value-predicated* queries,
+    /// which the paper notes fall outside INDEXPROJ ("a query that
+    /// explicitly predicates on the presence of a specific value … can
+    /// still be answered using a standard graph traversal"). Combine with
+    /// `NaiveLineage`/`NaiveImpact` from the returned bindings.
+    pub fn bindings_with_value(&self, run: RunId, value: &Value) -> Vec<StoredBinding> {
+        let inner = self.inner.read();
+        let Some(&vid) = inner.values.lookup(value) else { return Vec::new() };
+        let Some(rows) = inner.idx_by_value.get(&vid) else { return Vec::new() };
+        self.stats.count_index_lookup();
+        let mut out: Vec<StoredBinding> = Vec::new();
+        let mut push = |b: StoredBinding| {
+            if !out.contains(&b) {
+                out.push(b);
+            }
+        };
+        for row in rows {
+            match row {
+                RowRef::Xform(id) => {
+                    let rec = &inner.xforms[*id as usize];
+                    if rec.run != run {
+                        continue;
+                    }
+                    self.stats.count_records(1);
+                    for p in &rec.ports {
+                        if p.value == vid {
+                            push(StoredBinding {
+                                run,
+                                processor: rec.processor.clone(),
+                                port: p.port.clone(),
+                                index: p.index.clone(),
+                                value: vid,
+                            });
+                        }
+                    }
+                }
+                RowRef::Xfer(id) => {
+                    let rec = &inner.xfers[*id as usize];
+                    if rec.run != run {
+                        continue;
+                    }
+                    self.stats.count_records(1);
+                    push(StoredBinding {
+                        run,
+                        processor: rec.src_processor.clone(),
+                        port: rec.src_port.clone(),
+                        index: rec.src_index.clone(),
+                        value: vid,
+                    });
+                    push(StoredBinding {
+                        run,
+                        processor: rec.dst_processor.clone(),
+                        port: rec.dst_port.clone(),
+                        index: rec.dst_index.clone(),
+                        value: vid,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Registers (or overwrites) a workflow specification, making the
+    /// database self-contained: INDEXPROJ consumers can fetch the spec of
+    /// any recorded workflow by name. The payload is opaque JSON (the
+    /// store does not depend on the dataflow crate).
+    pub fn register_workflow(&self, name: &ProcessorName, json: String) {
+        let record = LogRecord::Workflow { name: name.clone(), json };
+        self.log(&record);
+        self.inner.write().apply(record);
+        if let Some(w) = self.wal.lock().as_mut() {
+            let _ = w.sync();
+        }
+    }
+
+    /// The registered specification JSON of a workflow, if any.
+    pub fn workflow_json(&self, name: &ProcessorName) -> Option<String> {
+        self.inner.read().workflows.get(name).cloned()
+    }
+
+    /// Names of all registered workflows.
+    pub fn workflow_names(&self) -> Vec<ProcessorName> {
+        self.inner.read().workflows.keys().cloned().collect()
+    }
+
+    /// Number of distinct interned values (diagnostics).
+    pub fn value_count(&self) -> usize {
+        let inner = self.inner.read();
+        if inner.values.is_empty() {
+            return 0;
+        }
+        inner.values.len()
+    }
+
+    /// Distinct composite keys in each secondary index, in the order
+    /// `(xform_out, xform_in, xfer_dst, xfer_src)` (diagnostics: shows how
+    /// index size tracks trace size).
+    pub fn index_key_counts(&self) -> (usize, usize, usize, usize) {
+        let inner = self.inner.read();
+        (
+            inner.idx_xform_out.key_count(),
+            inner.idx_xform_in.key_count(),
+            inner.idx_xfer_dst.key_count(),
+            inner.idx_xfer_src.key_count(),
+        )
+    }
+}
+
+/// Sorts and deduplicates row ids from multi-path index lookups.
+fn dedup_ids(mut ids: Vec<u64>) -> Vec<u64> {
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+impl Inner {
+    fn apply(&mut self, record: LogRecord) {
+        match record {
+            LogRecord::BeginRun { run, workflow } => {
+                self.runs.insert(
+                    run,
+                    RunInfo { id: run, workflow, finished: false, xform_count: 0, xfer_count: 0 },
+                );
+                self.next_run = self.next_run.max(run.0 + 1);
+            }
+            LogRecord::Xform { run, event } => self.insert_xform(run, &event),
+            LogRecord::Xfer { run, event } => self.insert_xfer(run, &event),
+            LogRecord::FinishRun { run } => {
+                if let Some(info) = self.runs.get_mut(&run) {
+                    info.finished = true;
+                }
+            }
+            LogRecord::DropRun { run } => {
+                self.runs.remove(&run);
+                self.dropped.insert(run);
+                self.idx_xform_out.remove_run(run);
+                self.idx_xform_in.remove_run(run);
+                self.idx_xfer_dst.remove_run(run);
+                self.idx_xfer_src.remove_run(run);
+            }
+            LogRecord::Workflow { name, json } => {
+                self.workflows.insert(name, json);
+            }
+        }
+    }
+
+    fn index_value(&mut self, value: ValueId, row: RowRef) {
+        let rows = self.idx_by_value.entry(value).or_default();
+        if rows.last() != Some(&row) {
+            rows.push(row);
+        }
+    }
+
+    fn insert_xform(&mut self, run: RunId, event: &XformEvent) {
+        let id = self.xforms.len() as u64;
+        let mut ports = Vec::with_capacity(event.inputs.len() + event.outputs.len());
+        for b in &event.inputs {
+            let value = self.values.intern(&b.value);
+            self.index_value(value, RowRef::Xform(id));
+            ports.push(XformPortRecord {
+                direction: PortDirection::In,
+                port: b.port.clone(),
+                index: b.index.clone(),
+                value,
+            });
+            self.idx_xform_in.insert(
+                (run, event.processor.clone(), b.port.clone(), b.index.clone()),
+                id,
+            );
+        }
+        for b in &event.outputs {
+            let value = self.values.intern(&b.value);
+            self.index_value(value, RowRef::Xform(id));
+            ports.push(XformPortRecord {
+                direction: PortDirection::Out,
+                port: b.port.clone(),
+                index: b.index.clone(),
+                value,
+            });
+            self.idx_xform_out.insert(
+                (run, event.processor.clone(), b.port.clone(), b.index.clone()),
+                id,
+            );
+        }
+        self.xforms.push(XformRecord {
+            id,
+            run,
+            processor: event.processor.clone(),
+            invocation: event.invocation,
+            ports,
+        });
+        if let Some(info) = self.runs.get_mut(&run) {
+            info.xform_count += 1;
+        }
+    }
+
+    fn insert_xfer(&mut self, run: RunId, event: &XferEvent) {
+        let id = self.xfers.len() as u64;
+        let value = self.values.intern(&event.value);
+        self.index_value(value, RowRef::Xfer(id));
+        self.idx_xfer_dst.insert(
+            (
+                run,
+                event.dst.processor.clone(),
+                event.dst.port.clone(),
+                event.dst_index.clone(),
+            ),
+            id,
+        );
+        self.idx_xfer_src.insert(
+            (
+                run,
+                event.src.processor.clone(),
+                event.src.port.clone(),
+                event.src_index.clone(),
+            ),
+            id,
+        );
+        self.xfers.push(XferRecord {
+            id,
+            run,
+            src_processor: event.src.processor.clone(),
+            src_port: event.src.port.clone(),
+            src_index: event.src_index.clone(),
+            dst_processor: event.dst.processor.clone(),
+            dst_port: event.dst.port.clone(),
+            dst_index: event.dst_index.clone(),
+            value,
+        });
+        if let Some(info) = self.runs.get_mut(&run) {
+            info.xfer_count += 1;
+        }
+    }
+
+    fn xform_to_event(&self, row: &XformRecord) -> XformEvent {
+        XformEvent {
+            processor: row.processor.clone(),
+            invocation: row.invocation,
+            inputs: row
+                .inputs()
+                .map(|p| prov_engine::PortBinding {
+                    port: p.port.clone(),
+                    index: p.index.clone(),
+                    value: self.values.get(p.value).cloned().expect("interned"),
+                })
+                .collect(),
+            outputs: row
+                .outputs()
+                .map(|p| prov_engine::PortBinding {
+                    port: p.port.clone(),
+                    index: p.index.clone(),
+                    value: self.values.get(p.value).cloned().expect("interned"),
+                })
+                .collect(),
+        }
+    }
+
+    fn xfer_to_event(&self, row: &XferRecord) -> XferEvent {
+        XferEvent {
+            src: PortRef { processor: row.src_processor.clone(), port: row.src_port.clone() },
+            src_index: row.src_index.clone(),
+            dst: PortRef { processor: row.dst_processor.clone(), port: row.dst_port.clone() },
+            dst_index: row.dst_index.clone(),
+            value: self.values.get(row.value).cloned().expect("interned"),
+        }
+    }
+}
+
+impl TraceSink for TraceStore {
+    fn begin_run(&self, workflow: &ProcessorName) -> RunId {
+        let mut inner = self.inner.write();
+        let run = RunId(inner.next_run);
+        inner.apply(LogRecord::BeginRun { run, workflow: clone_name(workflow) });
+        drop(inner);
+        self.log(&LogRecord::BeginRun { run, workflow: clone_name(workflow) });
+        run
+    }
+
+    fn record_xform(&self, run: RunId, event: XformEvent) {
+        self.log(&LogRecord::Xform { run, event: event.clone() });
+        self.inner.write().insert_xform(run, &event);
+    }
+
+    fn record_xfer(&self, run: RunId, event: XferEvent) {
+        self.log(&LogRecord::Xfer { run, event: event.clone() });
+        self.inner.write().insert_xfer(run, &event);
+    }
+
+    fn finish_run(&self, run: RunId) {
+        self.inner.write().apply(LogRecord::FinishRun { run });
+        self.log(&LogRecord::FinishRun { run });
+        if let Some(w) = self.wal.lock().as_mut() {
+            w.sync().expect("wal sync failed");
+        }
+    }
+}
+
+fn clone_name(n: &ProcessorName) -> ProcessorName {
+    n.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_engine::PortBinding;
+
+    fn xform(proc: &str, inv: u32, q: &[u32], in_idx: &[u32]) -> XformEvent {
+        XformEvent {
+            processor: ProcessorName::from(proc),
+            invocation: inv,
+            inputs: vec![PortBinding::new("x", Index::from_slice(in_idx), Value::str("in"))],
+            outputs: vec![PortBinding::new("y", Index::from_slice(q), Value::str("out"))],
+        }
+    }
+
+    fn xfer(src: (&str, &str), dst: (&str, &str), idx: &[u32], v: &str) -> XferEvent {
+        XferEvent {
+            src: PortRef::new(src.0, src.1),
+            src_index: Index::from_slice(idx),
+            dst: PortRef::new(dst.0, dst.1),
+            dst_index: Index::from_slice(idx),
+            value: Value::str(v),
+        }
+    }
+
+    #[test]
+    fn begin_run_assigns_monotone_ids() {
+        let s = TraceStore::in_memory();
+        let a = s.begin_run(&"wf".into());
+        let b = s.begin_run(&"wf".into());
+        assert_eq!(a, RunId(0));
+        assert_eq!(b, RunId(1));
+        assert_eq!(s.runs().len(), 2);
+        assert!(!s.runs()[0].finished);
+        s.finish_run(a);
+        assert!(s.runs()[0].finished);
+    }
+
+    #[test]
+    fn runs_of_filters_by_workflow() {
+        let s = TraceStore::in_memory();
+        let a = s.begin_run(&"gk".into());
+        let _b = s.begin_run(&"pd".into());
+        let c = s.begin_run(&"gk".into());
+        assert_eq!(s.runs_of(&"gk".into()), vec![a, c]);
+    }
+
+    #[test]
+    fn xform_lookup_by_output_overlap() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xform(r, xform("P", 0, &[0], &[0]));
+        s.record_xform(r, xform("P", 1, &[1], &[1]));
+        // Exact index.
+        let hits = s.xforms_producing(r, &"P".into(), "y", &Index::single(1));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].invocation, 1);
+        // Finer query index [1,2]: the producing invocation has prefix [1].
+        let hits = s.xforms_producing(r, &"P".into(), "y", &Index::from_slice(&[1, 2]));
+        assert_eq!(hits.len(), 1);
+        // Coarse query []: both invocations overlap.
+        let hits = s.xforms_producing(r, &"P".into(), "y", &Index::empty());
+        assert_eq!(hits.len(), 2);
+        // Wrong port or run: nothing.
+        assert!(s.xforms_producing(r, &"P".into(), "z", &Index::empty()).is_empty());
+        assert!(s
+            .xforms_producing(RunId(99), &"P".into(), "y", &Index::empty())
+            .is_empty());
+    }
+
+    #[test]
+    fn xfer_lookup_by_destination() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xfer(r, xfer(("A", "y"), ("B", "x"), &[0], "v0"));
+        s.record_xfer(r, xfer(("A", "y"), ("B", "x"), &[1], "v1"));
+        let hits = s.xfers_into(r, &"B".into(), "x", &Index::single(0));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(s.value(hits[0].value), Some(Value::str("v0")));
+        assert_eq!(hits[0].src_processor, ProcessorName::from("A"));
+        // Forward direction.
+        let hits = s.xfers_from(r, &"A".into(), "y", &Index::empty());
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn input_bindings_is_the_q_lookup() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xform(r, xform("P", 0, &[0], &[0]));
+        s.record_xform(r, xform("P", 1, &[1], &[1]));
+        let bs = s.input_bindings(r, &"P".into(), "x", &Index::single(1));
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].index, Index::single(1));
+        let resolved = s.resolve(&bs[0]).unwrap();
+        assert_eq!(resolved.value, Value::str("in"));
+        assert_eq!(resolved.port, PortRef::new("P", "x"));
+        // Coarse query returns both, deduplicated by (value, index).
+        let bs = s.input_bindings(r, &"P".into(), "x", &Index::empty());
+        assert_eq!(bs.len(), 2);
+    }
+
+    #[test]
+    fn input_bindings_dedups_shared_whole_values() {
+        // Two invocations consuming the same whole-value port produce ONE
+        // binding (the paper's X2[]-style port).
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        for inv in 0..2 {
+            s.record_xform(r, xform("P", inv, &[inv], &[]));
+        }
+        let bs = s.input_bindings(r, &"P".into(), "x", &Index::empty());
+        assert_eq!(bs.len(), 1);
+        assert!(bs[0].index.is_empty());
+    }
+
+    #[test]
+    fn record_counts_track_table1_measure() {
+        let s = TraceStore::in_memory();
+        let r1 = s.begin_run(&"wf".into());
+        s.record_xform(r1, xform("P", 0, &[0], &[0]));
+        s.record_xfer(r1, xfer(("A", "y"), ("B", "x"), &[0], "v"));
+        s.record_xfer(r1, xfer(("A", "y"), ("B", "x"), &[1], "v"));
+        let r2 = s.begin_run(&"wf".into());
+        s.record_xform(r2, xform("P", 0, &[0], &[0]));
+        assert_eq!(s.trace_record_count(r1), 3);
+        assert_eq!(s.trace_record_count(r2), 1);
+        assert_eq!(s.total_record_count(), 4);
+    }
+
+    #[test]
+    fn values_are_interned_across_events() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        for i in 0..10 {
+            s.record_xfer(r, xfer(("A", "y"), ("B", "x"), &[i], "same"));
+        }
+        assert_eq!(s.value_count(), 1);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("prov-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let path = tmp("reopen");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            let r = s.begin_run(&"wf".into());
+            s.record_xform(r, xform("P", 0, &[0], &[0]));
+            s.record_xfer(r, xfer(("A", "y"), ("P", "x"), &[0], "v"));
+            s.finish_run(r);
+        }
+        let s = TraceStore::open(&path).unwrap();
+        assert_eq!(s.runs().len(), 1);
+        assert!(s.runs()[0].finished);
+        assert_eq!(s.trace_record_count(RunId(0)), 2);
+        let hits = s.xforms_producing(RunId(0), &"P".into(), "y", &Index::single(0));
+        assert_eq!(hits.len(), 1);
+        // New runs continue after the replayed id space.
+        let r2 = s.begin_run(&"wf".into());
+        assert_eq!(r2, RunId(1));
+    }
+
+    #[test]
+    fn reopen_after_torn_tail_truncates_and_continues() {
+        let path = tmp("torn");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            let r = s.begin_run(&"wf".into());
+            s.record_xform(r, xform("P", 0, &[0], &[0]));
+            s.finish_run(r);
+        }
+        // Tear the tail.
+        let len = std::fs::metadata(&path).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 2)
+            .unwrap();
+        let s = TraceStore::open(&path).unwrap();
+        // FinishRun frame was torn: run exists, unfinished, xform intact.
+        assert_eq!(s.runs().len(), 1);
+        assert!(!s.runs()[0].finished);
+        assert_eq!(s.trace_record_count(RunId(0)), 1);
+        // Appending after truncation keeps the log clean.
+        let r2 = s.begin_run(&"wf".into());
+        s.finish_run(r2);
+        let s2 = TraceStore::open(&path).unwrap();
+        assert_eq!(s2.runs().len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_state() {
+        let path = tmp("checkpoint");
+        let s = TraceStore::open(&path).unwrap();
+        let r = s.begin_run(&"wf".into());
+        for i in 0..20 {
+            s.record_xfer(r, xfer(("A", "y"), ("B", "x"), &[i], "v"));
+        }
+        s.finish_run(r);
+        s.checkpoint().unwrap();
+        let s2 = TraceStore::open(&path).unwrap();
+        assert_eq!(s2.trace_record_count(RunId(0)), 20);
+        assert!(s2.runs()[0].finished);
+    }
+
+    #[test]
+    fn drop_run_removes_queryability_and_survives_checkpoint() {
+        let path = tmp("drop");
+        let s = TraceStore::open(&path).unwrap();
+        let keep = s.begin_run(&"wf".into());
+        s.record_xform(keep, xform("P", 0, &[0], &[0]));
+        let gone = s.begin_run(&"wf".into());
+        s.record_xform(gone, xform("P", 0, &[1], &[1]));
+        s.record_xfer(gone, xfer(("A", "y"), ("B", "x"), &[0], "v"));
+        s.finish_run(keep);
+        s.finish_run(gone);
+
+        s.drop_run(gone).unwrap();
+        assert_eq!(s.runs().len(), 1);
+        assert!(s.xforms_producing(gone, &"P".into(), "y", &Index::empty()).is_empty());
+        assert!(s.xforms_of_run(gone).is_empty());
+        assert_eq!(s.trace_record_count(gone), 0);
+        // The kept run is untouched.
+        assert_eq!(s.xforms_producing(keep, &"P".into(), "y", &Index::empty()).len(), 1);
+
+        // Durability: the drop replays…
+        let s2 = TraceStore::open(&path).unwrap();
+        assert_eq!(s2.runs().len(), 1);
+        assert!(s2.xforms_of_run(gone).is_empty());
+
+        // …and checkpointing reclaims the space.
+        s2.checkpoint().unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        let s3 = TraceStore::open(&path).unwrap();
+        assert_eq!(s3.runs().len(), 1);
+        assert_eq!(s3.xforms_producing(keep, &"P".into(), "y", &Index::empty()).len(), 1);
+        assert!(before > 0);
+    }
+
+    #[test]
+    fn bindings_with_value_finds_all_roles() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xform(r, xform("P", 0, &[0], &[0])); // in "in", out "out"
+        s.record_xfer(r, xfer(("P", "y"), ("Q", "x"), &[0], "out"));
+        // "out" appears as P's output AND as the transferred element.
+        let hits = s.bindings_with_value(r, &Value::str("out"));
+        assert!(hits.iter().any(|b| b.processor == ProcessorName::from("P") && &*b.port == "y"));
+        assert!(hits.iter().any(|b| b.processor == ProcessorName::from("Q") && &*b.port == "x"));
+        // Misses return empty; other runs are isolated.
+        assert!(s.bindings_with_value(r, &Value::str("nope")).is_empty());
+        let r2 = s.begin_run(&"wf".into());
+        assert!(s.bindings_with_value(r2, &Value::str("out")).is_empty());
+    }
+
+    #[test]
+    fn workflow_registry_survives_reopen_and_checkpoint() {
+        let path = tmp("wfreg");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            s.register_workflow(&"wf".into(), "{\"fake\":1}".to_string());
+            assert_eq!(s.workflow_json(&"wf".into()).unwrap(), "{\"fake\":1}");
+        }
+        let s = TraceStore::open(&path).unwrap();
+        assert_eq!(s.workflow_names(), vec![ProcessorName::from("wf")]);
+        s.checkpoint().unwrap();
+        let s = TraceStore::open(&path).unwrap();
+        assert_eq!(s.workflow_json(&"wf".into()).unwrap(), "{\"fake\":1}");
+        // Re-registration overwrites.
+        s.register_workflow(&"wf".into(), "{\"fake\":2}".to_string());
+        assert_eq!(s.workflow_json(&"wf".into()).unwrap(), "{\"fake\":2}");
+    }
+
+    #[test]
+    fn drop_unknown_run_errors() {
+        let s = TraceStore::in_memory();
+        assert!(matches!(s.drop_run(RunId(9)), Err(StoreError::UnknownRun(_))));
+    }
+
+    #[test]
+    fn index_key_counts_track_inserts() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xform(r, xform("P", 0, &[0], &[0]));
+        s.record_xfer(r, xfer(("A", "y"), ("B", "x"), &[0], "v"));
+        let (xo, xi, xd, xs) = s.index_key_counts();
+        assert_eq!((xo, xi, xd, xs), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_recording_from_multiple_threads() {
+        let s = std::sync::Arc::new(TraceStore::in_memory());
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    let r = s.begin_run(&"wf".into());
+                    for i in 0..50 {
+                        s.record_xform(r, xform("P", i, &[i], &[i]));
+                    }
+                    s.finish_run(r);
+                });
+                let _ = t;
+            }
+        });
+        assert_eq!(s.runs().len(), 4);
+        assert_eq!(s.total_record_count(), 200);
+    }
+}

@@ -1,0 +1,327 @@
+//! The write-ahead log: an append-only file of CRC-framed records.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! ┌──────────┬──────────┬────────────────┐
+//! │ len: u32 │ crc: u32 │ payload [len]  │
+//! └──────────┴──────────┴────────────────┘
+//! ```
+//!
+//! The payload is the JSON serialisation of one [`LogRecord`] — the framing
+//! and checksumming are binary and hand-rolled; JSON payloads keep the log
+//! debuggable with standard tools (and `serde_json` is the one permitted
+//! extra dependency, see DESIGN.md §6).
+//!
+//! Recovery ([`WalReader::read_all`]) replays frames until EOF or the first
+//! corrupt/truncated frame, and reports how many clean bytes precede the
+//! damage so the writer can truncate the tail and continue appending — the
+//! standard "torn tail" discipline.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use prov_engine::{XferEvent, XformEvent};
+use prov_model::{ProcessorName, RunId};
+
+/// One durable event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A run was registered.
+    BeginRun {
+        /// The assigned run id.
+        run: RunId,
+        /// Workflow name.
+        workflow: ProcessorName,
+    },
+    /// An xform event (values inline; the store re-interns on replay).
+    Xform {
+        /// Owning run.
+        run: RunId,
+        /// The event.
+        event: XformEvent,
+    },
+    /// An xfer event.
+    Xfer {
+        /// Owning run.
+        run: RunId,
+        /// The event.
+        event: XferEvent,
+    },
+    /// A run completed.
+    FinishRun {
+        /// The completed run.
+        run: RunId,
+    },
+    /// A run was dropped (its records become unreachable; space is
+    /// reclaimed at the next checkpoint).
+    DropRun {
+        /// The dropped run.
+        run: RunId,
+    },
+    /// A workflow specification was registered, so the database is
+    /// self-contained for INDEXPROJ queries (the spec travels with the
+    /// traces). The payload is the `prov-dataflow` JSON serialisation.
+    Workflow {
+        /// Workflow name (also the key; re-registration overwrites).
+        name: ProcessorName,
+        /// Serialised `Dataflow`.
+        json: String,
+    },
+}
+
+/// WAL-specific errors.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A frame failed its checksum or could not be decoded; carries the
+    /// clean length of the file before the damage.
+    Corrupt {
+        /// Offset of the first bad byte.
+        clean_len: u64,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt { clean_len } => {
+                write!(f, "wal corrupt after {clean_len} clean bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Appends framed records to a log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    out: BufWriter<File>,
+}
+
+impl WalWriter {
+    /// Opens (creating if needed) the log for appending.
+    pub fn open(path: &Path) -> Result<Self, WalError> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(WalWriter { out: BufWriter::new(file) })
+    }
+
+    /// Opens the log for appending after truncating it to `len` bytes —
+    /// used to drop a torn tail detected during recovery.
+    pub fn open_truncated(path: &Path, len: u64) -> Result<Self, WalError> {
+        // Deliberately NOT `truncate(true)`: the file is cut to `len` via
+        // `set_len`, preserving the clean prefix.
+        #[allow(clippy::suspicious_open_options)]
+        let file = OpenOptions::new().create(true).write(true).open(path)?;
+        file.set_len(len)?;
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter { out: BufWriter::new(file) })
+    }
+
+    /// Appends one record (buffered; call [`WalWriter::sync`] to flush).
+    pub fn append(&mut self, record: &LogRecord) -> Result<(), WalError> {
+        let payload = serde_json::to_vec(record).expect("log records serialise");
+        let mut frame = BytesMut::with_capacity(8 + payload.len());
+        frame.put_u32_le(payload.len() as u32);
+        frame.put_u32_le(crate::crc32(&payload));
+        frame.put_slice(&payload);
+        self.out.write_all(&frame)?;
+        Ok(())
+    }
+
+    /// Flushes buffered frames to the OS and fsyncs the file.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        Ok(())
+    }
+}
+
+/// Reads framed records back.
+#[derive(Debug)]
+pub struct WalReader;
+
+impl WalReader {
+    /// Replays every clean record in the log. Returns the records and the
+    /// number of clean bytes consumed; a torn or corrupt tail stops the
+    /// replay without erroring (that is the expected crash shape), but the
+    /// returned `clean_len` will be shorter than the file.
+    pub fn read_all(path: &Path) -> Result<(Vec<LogRecord>, u64), WalError> {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) => return Err(e.into()),
+        };
+        let mut reader = BufReader::new(file);
+        let mut records = Vec::new();
+        let mut clean_len = 0u64;
+        let mut header = [0u8; 8];
+        loop {
+            match read_exact_or_eof(&mut reader, &mut header) {
+                ReadOutcome::Eof => break,
+                ReadOutcome::Partial | ReadOutcome::Err => break,
+                ReadOutcome::Full => {}
+            }
+            let mut buf = &header[..];
+            let len = buf.get_u32_le() as usize;
+            let crc = buf.get_u32_le();
+            let mut payload = vec![0u8; len];
+            match read_exact_or_eof(&mut reader, &mut payload) {
+                ReadOutcome::Full => {}
+                _ => break, // torn frame
+            }
+            if crate::crc32(&payload) != crc {
+                break; // corrupt frame
+            }
+            match serde_json::from_slice::<LogRecord>(&payload) {
+                Ok(r) => records.push(r),
+                Err(_) => break,
+            }
+            clean_len += 8 + len as u64;
+        }
+        Ok((records, clean_len))
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+    Err,
+}
+
+fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial },
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Err,
+        }
+    }
+    ReadOutcome::Full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{Index, PortRef, Value};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("prov-store-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::BeginRun { run: RunId(0), workflow: ProcessorName::from("wf") },
+            LogRecord::Xfer {
+                run: RunId(0),
+                event: XferEvent {
+                    src: PortRef::new("A", "y"),
+                    src_index: Index::single(0),
+                    dst: PortRef::new("B", "x"),
+                    dst_index: Index::single(0),
+                    value: Value::str("v"),
+                },
+            },
+            LogRecord::FinishRun { run: RunId(0) },
+        ]
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let path = tmp("roundtrip");
+        let mut w = WalWriter::open(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        let (records, clean) = WalReader::read_all(&path).unwrap();
+        assert_eq!(records, sample_records());
+        assert_eq!(clean, std::fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn missing_file_reads_empty() {
+        let path = tmp("missing");
+        let (records, clean) = WalReader::read_all(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(clean, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = tmp("torn");
+        let mut w = WalWriter::open(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Chop the last 3 bytes: the final frame is torn.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        let (records, clean) = WalReader::read_all(&path).unwrap();
+        assert_eq!(records.len(), sample_records().len() - 1);
+        assert!(clean < full - 3 || records.len() == 2);
+    }
+
+    #[test]
+    fn corrupt_payload_stops_replay_at_damage() {
+        let path = tmp("corrupt");
+        let mut w = WalWriter::open(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        // Flip a byte inside the SECOND frame's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let second_payload_at = 8 + first_len + 8;
+        bytes[second_payload_at + 2] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (records, clean) = WalReader::read_all(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(clean, (8 + first_len) as u64);
+    }
+
+    #[test]
+    fn open_truncated_resumes_after_damage() {
+        let path = tmp("resume");
+        let mut w = WalWriter::open(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        // Corrupt the tail, recover, truncate, append a fresh record.
+        let full = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(full - 1).unwrap();
+        let (records, clean) = WalReader::read_all(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        let mut w = WalWriter::open_truncated(&path, clean).unwrap();
+        w.append(&LogRecord::FinishRun { run: RunId(9) }).unwrap();
+        w.sync().unwrap();
+        let (records, _) = WalReader::read_all(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2], LogRecord::FinishRun { run: RunId(9) });
+    }
+}

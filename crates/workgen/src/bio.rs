@@ -1,0 +1,589 @@
+//! The two real-life workflows of the evaluation, on synthetic substrates.
+//!
+//! * **GK** — `genes2Kegg` (Fig. 1): maps nested lists of gene IDs to
+//!   metabolic pathways. A short, wide workflow ("typical short-paths
+//!   design"). The KEGG web services are replaced by [`KeggDb`], a
+//!   deterministic synthetic gene→pathway mapping with realistic ID
+//!   formats.
+//! * **PD** — the BioAid protein discovery workflow: finds protein terms
+//!   in PubMed abstracts. A long chain of processors ("longer workflow").
+//!   PubMed is replaced by [`PubMedCorpus`].
+//!
+//! Both substitutions preserve what the evaluation depends on — workflow
+//! *shape*, collection structure, and depth mismatches — because the
+//! services are black boxes to the provenance machinery (DESIGN.md §3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
+use prov_engine::{builtin, BehaviorRegistry, Engine, RunOutcome, TraceSink};
+use prov_model::Value;
+
+// ---------------------------------------------------------------------
+// KEGG substitute
+// ---------------------------------------------------------------------
+
+/// A deterministic synthetic KEGG: every gene maps to a set of pathways
+/// drawn from a fixed pool. Pathway 0 is universal, so intersections over
+/// gene lists are never empty (the GK workflow's `commonPathways` output
+/// stays non-trivial).
+#[derive(Debug)]
+pub struct KeggDb {
+    pathways: Vec<(String, String)>, // (id, human-readable name)
+    per_gene: usize,
+    seed: u64,
+}
+
+const PATHWAY_NAMES: [&str; 12] = [
+    "MAPK signaling",
+    "VEGF signaling",
+    "Apoptosis",
+    "Toll-like receptor",
+    "Cell cycle",
+    "p53 signaling",
+    "Wnt signaling",
+    "mTOR signaling",
+    "Notch signaling",
+    "Calcium signaling",
+    "JAK-STAT signaling",
+    "Insulin signaling",
+];
+
+impl KeggDb {
+    /// A database with `n_pathways` pathways (≥ 1), seeded deterministic.
+    pub fn new(seed: u64, n_pathways: usize, per_gene: usize) -> Self {
+        let n = n_pathways.max(1);
+        let pathways = (0..n)
+            .map(|i| {
+                (
+                    format!("path:{:05}", 4010 + i * 10),
+                    PATHWAY_NAMES[i % PATHWAY_NAMES.len()].to_string(),
+                )
+            })
+            .collect();
+        KeggDb { pathways, per_gene: per_gene.max(1), seed }
+    }
+
+    /// A small default instance.
+    pub fn small(seed: u64) -> Self {
+        KeggDb::new(seed, 8, 3)
+    }
+
+    /// The pathway IDs a gene participates in (always includes pathway 0).
+    pub fn pathways_of(&self, gene: &str) -> Vec<String> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ fxhash(gene));
+        let mut out = vec![self.pathways[0].0.clone()];
+        for _ in 1..self.per_gene {
+            let k = rng.gen_range(1..self.pathways.len().max(2));
+            let id = self.pathways[k % self.pathways.len()].0.clone();
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Pathways in which **all** the given genes are involved — the per-
+    /// list retrieval of Fig. 1 ("pathways in which all of the genes in
+    /// each of the lists are involved").
+    pub fn pathways_common_to(&self, genes: &[&str]) -> Vec<String> {
+        let mut iter = genes.iter();
+        let Some(first) = iter.next() else { return Vec::new() };
+        let mut acc = self.pathways_of(first);
+        for g in iter {
+            let ps = self.pathways_of(g);
+            acc.retain(|p| ps.contains(p));
+        }
+        acc
+    }
+
+    /// Human-readable description, e.g. `path:04010 MAPK signaling`.
+    pub fn description(&self, pathway_id: &str) -> String {
+        let name = self
+            .pathways
+            .iter()
+            .find(|(id, _)| id == pathway_id)
+            .map(|(_, n)| n.as_str())
+            .unwrap_or("unknown pathway");
+        format!("{pathway_id} {name}")
+    }
+}
+
+/// A tiny deterministic string hash (FNV-1a) for seeding per-key RNGs.
+fn fxhash(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// GK — genes2Kegg (Fig. 1)
+// ---------------------------------------------------------------------
+
+/// Builds the GK workflow. Shape, port names, and collection structure
+/// follow Fig. 1:
+///
+/// * input `list_of_geneIDList : list(list(string))`;
+/// * left branch — `get_pathways_by_genes` (declared `list(string)` input,
+///   so the nested input iterates **per sub-list**) then
+///   `getPathwayDescriptions`; output `paths_per_gene`;
+/// * right branch — `merge_gene_lists` (flatten, consumes the whole nested
+///   list), `get_pathways_by_genes_2`, `getPathwayDescriptions_2`; output
+///   `commonPathways`.
+pub fn genes2kegg_workflow() -> Dataflow {
+    let mut b = DataflowBuilder::new("genes2Kegg");
+    b.input("list_of_geneIDList", PortType::nested(BaseType::String, 2));
+
+    // Left branch: per-sublist pathways.
+    b.processor_with_behavior("get_pathways_by_genes", "kegg_pathways_by_genes")
+        .in_port("genes_id_list", PortType::list(BaseType::String))
+        .out_port("return", PortType::list(BaseType::String));
+    b.arc_from_input("list_of_geneIDList", "get_pathways_by_genes", "genes_id_list")
+        .unwrap();
+    b.processor_with_behavior("getPathwayDescriptions", "kegg_describe")
+        .in_port("string", PortType::list(BaseType::String))
+        .out_port("return", PortType::list(BaseType::String));
+    b.arc("get_pathways_by_genes", "return", "getPathwayDescriptions", "string")
+        .unwrap();
+    b.output("paths_per_gene", PortType::nested(BaseType::String, 2));
+    b.arc_to_output("getPathwayDescriptions", "return", "paths_per_gene").unwrap();
+
+    // Right branch: flatten, then pathways common to ALL genes.
+    b.processor_with_behavior("merge_gene_lists", "flatten")
+        .in_port("lists", PortType::nested(BaseType::String, 2))
+        .out_port("merged", PortType::list(BaseType::String));
+    b.arc_from_input("list_of_geneIDList", "merge_gene_lists", "lists").unwrap();
+    b.processor_with_behavior("get_pathways_by_genes_2", "kegg_pathways_by_genes")
+        .in_port("genes_id_list", PortType::list(BaseType::String))
+        .out_port("return", PortType::list(BaseType::String));
+    b.arc("merge_gene_lists", "merged", "get_pathways_by_genes_2", "genes_id_list")
+        .unwrap();
+    b.processor_with_behavior("getPathwayDescriptions_2", "kegg_describe")
+        .in_port("string", PortType::list(BaseType::String))
+        .out_port("return", PortType::list(BaseType::String));
+    b.arc("get_pathways_by_genes_2", "return", "getPathwayDescriptions_2", "string")
+        .unwrap();
+    b.output("commonPathways", PortType::list(BaseType::String));
+    b.arc_to_output("getPathwayDescriptions_2", "return", "commonPathways").unwrap();
+
+    b.build().expect("GK is a valid workflow")
+}
+
+/// The behaviours GK needs, bound to a [`KeggDb`].
+pub fn genes2kegg_registry(db: Arc<KeggDb>) -> BehaviorRegistry {
+    let mut r = BehaviorRegistry::new().with_builtins();
+    let db2 = Arc::clone(&db);
+    r.register_fn("kegg_pathways_by_genes", move |inputs| {
+        let genes: Vec<&str> = inputs[0]
+            .as_list()
+            .ok_or("expected a gene list")?
+            .iter()
+            .map(|v| v.as_atom().and_then(prov_model::Atom::as_str).ok_or("gene ids are strings"))
+            .collect::<std::result::Result<_, _>>()?;
+        Ok(vec![Value::List(
+            db.pathways_common_to(&genes).into_iter().map(Value::from).collect(),
+        )])
+    });
+    r.register_fn("kegg_describe", move |inputs| {
+        let ids = inputs[0].as_list().ok_or("expected a pathway id list")?;
+        let described: Vec<Value> = ids
+            .iter()
+            .map(|v| {
+                let id = v.as_atom().and_then(prov_model::Atom::as_str).unwrap_or("?");
+                Value::from(db2.description(id))
+            })
+            .collect();
+        Ok(vec![Value::List(described)])
+    });
+    r
+}
+
+/// A deterministic nested gene-ID input: `n_lists` sub-lists of
+/// `genes_per_list` mouse-style gene IDs.
+pub fn sample_gene_lists(n_lists: usize, genes_per_list: usize, seed: u64) -> Value {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Value::List(
+        (0..n_lists)
+            .map(|_| {
+                Value::List(
+                    (0..genes_per_list)
+                        .map(|_| Value::from(format!("mmu:{}", rng.gen_range(10_000..99_999))))
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Runs GK once on the given input.
+pub fn run_genes2kegg(
+    df: &Dataflow,
+    db: Arc<KeggDb>,
+    input: Value,
+    sink: &dyn TraceSink,
+) -> RunOutcome {
+    Engine::new(genes2kegg_registry(db))
+        .execute(df, vec![("list_of_geneIDList".into(), input)], sink)
+        .expect("GK runs are valid")
+}
+
+// ---------------------------------------------------------------------
+// PubMed substitute
+// ---------------------------------------------------------------------
+
+/// A deterministic synthetic PubMed: abstracts with IDs `PMID:n`, each a
+/// bag of filler words plus a few protein mentions from a fixed lexicon.
+#[derive(Debug)]
+pub struct PubMedCorpus {
+    abstracts: Vec<(String, String)>, // (id, text)
+    index: HashMap<String, Vec<String>>, // term → abstract ids
+}
+
+const PROTEINS: [&str; 10] =
+    ["p53", "BRCA1", "EGFR", "AKT1", "TNF", "VEGFA", "MYC", "KRAS", "TP63", "PTEN"];
+const FILLER: [&str; 12] = [
+    "study", "cells", "binding", "expression", "analysis", "pathway", "tumor", "signal",
+    "response", "levels", "patients", "assay",
+];
+
+impl PubMedCorpus {
+    /// A corpus of `n_abstracts` abstracts, seeded deterministic.
+    pub fn new(seed: u64, n_abstracts: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut abstracts = Vec::with_capacity(n_abstracts);
+        let mut index: HashMap<String, Vec<String>> = HashMap::new();
+        for n in 0..n_abstracts {
+            let id = format!("PMID:{}", 100_000 + n);
+            let mut words = Vec::new();
+            for _ in 0..rng.gen_range(8..16) {
+                words.push(FILLER[rng.gen_range(0..FILLER.len())]);
+            }
+            let mentions = rng.gen_range(1..4);
+            for _ in 0..mentions {
+                let p = PROTEINS[rng.gen_range(0..PROTEINS.len())];
+                words.push(p);
+                index.entry(p.to_lowercase()).or_default().push(id.clone());
+            }
+            // Index every filler word too, so term search is meaningful.
+            for w in &words {
+                let key = w.to_lowercase();
+                let entry = index.entry(key).or_default();
+                if entry.last() != Some(&id) {
+                    entry.push(id.clone());
+                }
+            }
+            abstracts.push((id, words.join(" ")));
+        }
+        PubMedCorpus { abstracts, index }
+    }
+
+    /// IDs of abstracts mentioning `term` (case-insensitive), capped.
+    pub fn search(&self, term: &str, cap: usize) -> Vec<String> {
+        self.index
+            .get(&term.to_lowercase())
+            .map(|ids| ids.iter().take(cap).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// The text of an abstract.
+    pub fn fetch(&self, id: &str) -> Option<&str> {
+        self.abstracts.iter().find(|(i, _)| i == id).map(|(_, t)| t.as_str())
+    }
+
+    /// The protein lexicon the PD workflow matches against.
+    pub fn protein_lexicon() -> Vec<&'static str> {
+        PROTEINS.to_vec()
+    }
+
+    /// Number of abstracts.
+    pub fn len(&self) -> usize {
+        self.abstracts.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.abstracts.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// PD — protein discovery
+// ---------------------------------------------------------------------
+
+/// Builds the PD workflow: a long pipeline (the paper's "longer
+/// workflow"). `pad` extra one-to-one text-processing stages stretch the
+/// provenance paths (default used in the experiments: 20, for ~28 nodes).
+///
+/// ```text
+/// query_terms ─ expand ─ search ─ flatten ─ dedup ─ fetch ─ [pad stages]
+///   ─ extract_terms ─ flatten ─ dedup ─ filter_proteins → protein_terms
+/// ```
+pub fn protein_discovery_workflow(pad: usize) -> Dataflow {
+    let mut b = DataflowBuilder::new("protein_discovery");
+    b.input("query_terms", PortType::list(BaseType::String));
+
+    b.processor_with_behavior("expand_query", "pd_expand")
+        .in_port("term", PortType::atom(BaseType::String))
+        .out_port("expanded", PortType::atom(BaseType::String));
+    b.arc_from_input("query_terms", "expand_query", "term").unwrap();
+
+    b.processor_with_behavior("search_pubmed", "pd_search")
+        .in_port("term", PortType::atom(BaseType::String))
+        .out_port("ids", PortType::list(BaseType::String));
+    b.arc("expand_query", "expanded", "search_pubmed", "term").unwrap();
+
+    b.processor_with_behavior("flatten_ids", "flatten")
+        .in_port("xss", PortType::nested(BaseType::String, 2))
+        .out_port("xs", PortType::list(BaseType::String));
+    b.arc("search_pubmed", "ids", "flatten_ids", "xss").unwrap();
+
+    b.processor_with_behavior("dedup_ids", "dedup")
+        .in_port("xs", PortType::list(BaseType::String))
+        .out_port("ys", PortType::list(BaseType::String));
+    b.arc("flatten_ids", "xs", "dedup_ids", "xs").unwrap();
+
+    b.processor_with_behavior("fetch_abstract", "pd_fetch")
+        .in_port("id", PortType::atom(BaseType::String))
+        .out_port("text", PortType::atom(BaseType::String));
+    b.arc("dedup_ids", "ys", "fetch_abstract", "id").unwrap();
+
+    let mut prev = ("fetch_abstract".to_string(), "text");
+    for i in 0..pad {
+        let name = format!("text_stage_{i}");
+        b.processor_with_behavior(&name, "pd_text_stage")
+            .in_port("t", PortType::atom(BaseType::String))
+            .out_port("t", PortType::atom(BaseType::String));
+        b.arc(&prev.0, prev.1, &name, "t").unwrap();
+        prev = (name, "t");
+    }
+
+    b.processor_with_behavior("extract_terms", "pd_extract")
+        .in_port("text", PortType::atom(BaseType::String))
+        .out_port("terms", PortType::list(BaseType::String));
+    b.arc(&prev.0, prev.1, "extract_terms", "text").unwrap();
+
+    b.processor_with_behavior("flatten_terms", "flatten")
+        .in_port("xss", PortType::nested(BaseType::String, 2))
+        .out_port("xs", PortType::list(BaseType::String));
+    b.arc("extract_terms", "terms", "flatten_terms", "xss").unwrap();
+
+    b.processor_with_behavior("dedup_terms", "dedup")
+        .in_port("xs", PortType::list(BaseType::String))
+        .out_port("ys", PortType::list(BaseType::String));
+    b.arc("flatten_terms", "xs", "dedup_terms", "xs").unwrap();
+
+    b.processor_with_behavior("filter_proteins", "pd_filter")
+        .in_port("terms", PortType::list(BaseType::String))
+        .out_port("proteins", PortType::list(BaseType::String));
+    b.arc("dedup_terms", "ys", "filter_proteins", "terms").unwrap();
+
+    b.output("protein_terms", PortType::list(BaseType::String));
+    b.arc_to_output("filter_proteins", "proteins", "protein_terms").unwrap();
+
+    b.build().expect("PD is a valid workflow")
+}
+
+/// The behaviours PD needs, bound to a [`PubMedCorpus`].
+pub fn protein_discovery_registry(corpus: Arc<PubMedCorpus>) -> BehaviorRegistry {
+    let mut r = BehaviorRegistry::new().with_builtins();
+    r.register_fn("pd_expand", |inputs| {
+        let t = builtin::expect_str(&inputs[0])?;
+        Ok(vec![Value::from(t.trim().to_lowercase())])
+    });
+    let c1 = Arc::clone(&corpus);
+    r.register_fn("pd_search", move |inputs| {
+        let t = builtin::expect_str(&inputs[0])?;
+        Ok(vec![Value::List(c1.search(t, 5).into_iter().map(Value::from).collect())])
+    });
+    let c2 = Arc::clone(&corpus);
+    r.register_fn("pd_fetch", move |inputs| {
+        let id = builtin::expect_str(&inputs[0])?;
+        Ok(vec![Value::from(c2.fetch(id).unwrap_or("").to_string())])
+    });
+    r.register_fn("pd_text_stage", |inputs| {
+        // Cheap, lossless text normalisation: collapse whitespace.
+        let t = builtin::expect_str(&inputs[0])?;
+        Ok(vec![Value::from(t.split_whitespace().collect::<Vec<_>>().join(" "))])
+    });
+    r.register_fn("pd_extract", |inputs| {
+        let t = builtin::expect_str(&inputs[0])?;
+        Ok(vec![Value::List(t.split_whitespace().map(Value::str).collect())])
+    });
+    r.register_fn("pd_filter", |inputs| {
+        let lexicon: Vec<String> =
+            PubMedCorpus::protein_lexicon().iter().map(|p| p.to_lowercase()).collect();
+        let terms = inputs[0].as_list().ok_or("expected a term list")?;
+        let kept: Vec<Value> = terms
+            .iter()
+            .filter(|v| {
+                v.as_atom()
+                    .and_then(prov_model::Atom::as_str)
+                    .map(|s| lexicon.contains(&s.to_lowercase()))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect();
+        Ok(vec![Value::List(kept)])
+    });
+    r
+}
+
+/// Runs PD once on the given query terms.
+pub fn run_protein_discovery(
+    df: &Dataflow,
+    corpus: Arc<PubMedCorpus>,
+    terms: Vec<&str>,
+    sink: &dyn TraceSink,
+) -> RunOutcome {
+    Engine::new(protein_discovery_registry(corpus))
+        .execute(
+            df,
+            vec![(
+                "query_terms".into(),
+                Value::List(terms.into_iter().map(Value::str).collect()),
+            )],
+            sink,
+        )
+        .expect("PD runs are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::{IndexProj, LineageQuery, NaiveLineage};
+    use prov_model::{Index, PortRef, ProcessorName};
+    use prov_store::TraceStore;
+
+    #[test]
+    fn kegg_is_deterministic_and_universal_pathway_holds() {
+        let db = KeggDb::small(7);
+        let a = db.pathways_of("mmu:20816");
+        let b = db.pathways_of("mmu:20816");
+        assert_eq!(a, b);
+        assert!(a.contains(&"path:04010".to_string()));
+        let common = db.pathways_common_to(&["mmu:20816", "mmu:26416", "mmu:328788"]);
+        assert!(common.contains(&"path:04010".to_string()));
+    }
+
+    #[test]
+    fn kegg_description_has_paper_format() {
+        let db = KeggDb::small(7);
+        assert_eq!(db.description("path:04010"), "path:04010 MAPK signaling");
+        assert!(db.description("path:99999").contains("unknown"));
+    }
+
+    #[test]
+    fn gk_produces_per_sublist_and_common_outputs() {
+        let df = genes2kegg_workflow();
+        let db = Arc::new(KeggDb::small(7));
+        let store = TraceStore::in_memory();
+        let input = sample_gene_lists(2, 2, 3);
+        let out = run_genes2kegg(&df, db, input, &store);
+        let per = out.output("paths_per_gene").unwrap();
+        assert_eq!(per.depth().unwrap(), 2);
+        assert_eq!(per.len(), 2); // one sub-list per input gene list
+        let common = out.output("commonPathways").unwrap();
+        assert_eq!(common.depth().unwrap(), 1);
+        assert!(!common.is_empty()); // the universal pathway at least
+        // Descriptions look like "path:04010 MAPK signaling".
+        let first = common.as_list().unwrap()[0].as_atom().unwrap().as_str().unwrap();
+        assert!(first.starts_with("path:0"));
+        assert!(first.contains(' '));
+    }
+
+    #[test]
+    fn gk_fine_grained_lineage_matches_paper_claim() {
+        // "the pathways in sub-list i in paths_per_gene depend only on the
+        // genes in the corresponding sub-list i" — and both algorithms
+        // agree on it.
+        let df = genes2kegg_workflow();
+        let db = Arc::new(KeggDb::small(7));
+        let store = TraceStore::in_memory();
+        let input = sample_gene_lists(3, 2, 3);
+        let run = run_genes2kegg(&df, db, input.clone(), &store).run_id;
+
+        for i in 0..3u32 {
+            let q = LineageQuery::focused(
+                PortRef::new("genes2Kegg", "paths_per_gene"),
+                Index::single(i),
+                [ProcessorName::from("genes2Kegg")],
+            );
+            let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+            let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+            assert!(ni.same_bindings(&ip));
+            // Exactly the genes of sub-list i (2 atoms).
+            assert_eq!(ni.bindings.len(), 2, "{ni}");
+            for b in &ni.bindings {
+                assert!(Index::single(i).is_prefix_of(&b.index));
+            }
+        }
+
+        // While commonPathways depends on ALL input genes.
+        let q = LineageQuery::focused(
+            PortRef::new("genes2Kegg", "commonPathways"),
+            Index::single(0),
+            [ProcessorName::from("genes2Kegg")],
+        );
+        let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+        let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+        assert!(ni.same_bindings(&ip));
+        assert_eq!(ni.bindings.len(), 6); // 3 lists × 2 genes
+    }
+
+    #[test]
+    fn corpus_search_and_fetch_are_consistent() {
+        let c = PubMedCorpus::new(11, 40);
+        assert_eq!(c.len(), 40);
+        let hits = c.search("p53", 5);
+        assert!(hits.len() <= 5);
+        for id in &hits {
+            let text = c.fetch(id).unwrap();
+            assert!(text.to_lowercase().contains("p53"), "{id}: {text}");
+        }
+        assert!(c.search("no-such-term", 5).is_empty());
+        assert!(c.fetch("PMID:1").is_none());
+    }
+
+    #[test]
+    fn pd_finds_proteins_and_algorithms_agree() {
+        let df = protein_discovery_workflow(6);
+        let corpus = Arc::new(PubMedCorpus::new(11, 40));
+        let store = TraceStore::in_memory();
+        let out = run_protein_discovery(&df, corpus, vec!["p53", "tumor"], &store);
+        let proteins = out.output("protein_terms").unwrap();
+        assert!(!proteins.is_empty());
+
+        let q = LineageQuery::focused(
+            PortRef::new("protein_discovery", "protein_terms"),
+            Index::single(0),
+            [ProcessorName::from("protein_discovery")],
+        );
+        let ni = NaiveLineage::new().run(&store, out.run_id, &q).unwrap();
+        let ip = IndexProj::new(&df).run(&store, out.run_id, &q).unwrap();
+        assert!(ni.same_bindings(&ip));
+        assert!(!ni.bindings.is_empty());
+    }
+
+    #[test]
+    fn pd_is_much_longer_than_gk() {
+        let gk = genes2kegg_workflow();
+        let pd = protein_discovery_workflow(20);
+        assert!(pd.node_count() > 4 * gk.node_count());
+    }
+
+    #[test]
+    fn sample_gene_lists_is_deterministic() {
+        assert_eq!(sample_gene_lists(2, 3, 5), sample_gene_lists(2, 3, 5));
+        let v = sample_gene_lists(2, 3, 5);
+        assert_eq!(v.depth().unwrap(), 2);
+        assert_eq!(v.atom_count(), 6);
+    }
+}

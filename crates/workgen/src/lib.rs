@@ -1,0 +1,22 @@
+//! # prov-workgen
+//!
+//! Workload generation for the experimental evaluation:
+//!
+//! * [`testbed`] — the synthetic dataflow family of §4.1 / Fig. 5
+//!   (`ListGen` → two linear chains of length `l` → binary cross product),
+//!   parameterised by chain length `l` and input list size `d`;
+//! * [`bio`] — faithful re-creations of the two real-life workflows used
+//!   in §4: **GK** (`genes2Kegg`, Fig. 1) and **PD** (BioAid protein
+//!   discovery), running against deterministic synthetic substitutes for
+//!   KEGG and PubMed (see DESIGN.md §3 for the substitution rationale);
+//! * [`imaging`] — a synthetic tiled-image pipeline (the Woodruff &
+//!   Stonebraker motivating domain from §1.2), exercising byte payloads;
+//! * [`sweep`] — batch-run helpers for multi-run experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bio;
+pub mod imaging;
+pub mod sweep;
+pub mod testbed;

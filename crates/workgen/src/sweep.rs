@@ -1,0 +1,62 @@
+//! Batch-run helpers for multi-run experiments (§3.4, Fig. 4, Fig. 6).
+
+use prov_dataflow::Dataflow;
+use prov_engine::{BehaviorRegistry, Engine, TraceSink};
+use prov_model::{RunId, Value};
+
+/// Runs `df` once per input set in `inputs_per_run`, returning the run
+/// ids in order — a parameter sweep, "a standard technique in scientific
+/// applications".
+pub fn record_runs(
+    registry: BehaviorRegistry,
+    df: &Dataflow,
+    inputs_per_run: Vec<Vec<(String, Value)>>,
+    sink: &dyn TraceSink,
+) -> Vec<RunId> {
+    let engine = Engine::new(registry);
+    inputs_per_run
+        .into_iter()
+        .map(|inputs| {
+            engine
+                .execute(df, inputs, sink)
+                .expect("sweep runs are valid")
+                .run_id
+        })
+        .collect()
+}
+
+/// Convenience: `n` runs of the synthetic testbed at list size `d`.
+pub fn testbed_runs(df: &Dataflow, d: usize, n: usize, sink: &dyn TraceSink) -> Vec<RunId> {
+    (0..n).map(|_| crate::testbed::run(df, d, sink).run_id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed;
+    use prov_store::TraceStore;
+
+    #[test]
+    fn testbed_runs_accumulate_traces() {
+        let df = testbed::generate(2);
+        let store = TraceStore::in_memory();
+        let runs = testbed_runs(&df, 3, 4, &store);
+        assert_eq!(runs.len(), 4);
+        assert_eq!(store.runs().len(), 4);
+        let per_run = store.trace_record_count(runs[0]);
+        assert_eq!(store.total_record_count(), 4 * per_run);
+    }
+
+    #[test]
+    fn record_runs_varies_inputs() {
+        let df = testbed::generate(1);
+        let store = TraceStore::in_memory();
+        let inputs: Vec<Vec<(String, Value)>> = (1..=3)
+            .map(|d| vec![("ListSize".to_string(), Value::int(d))])
+            .collect();
+        let runs = record_runs(testbed::registry(), &df, inputs, &store);
+        assert_eq!(runs.len(), 3);
+        // Trace size grows with d across the sweep.
+        assert!(store.trace_record_count(runs[2]) > store.trace_record_count(runs[0]));
+    }
+}

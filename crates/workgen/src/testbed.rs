@@ -1,0 +1,227 @@
+//! The synthetic experimental testbed of §4.1 (Fig. 5).
+//!
+//! Each generated dataflow consists of:
+//!
+//! 1. `LISTGEN_1` — reads the `ListSize` input and produces a flat list of
+//!    `d` elements;
+//! 2. two linear chains `CHAIN_A_1 … CHAIN_A_l` and `CHAIN_B_1 … CHAIN_B_l`
+//!    of one-to-one (atom → atom) processors, so lineage precision is
+//!    maintained throughout;
+//! 3. `2TO1_FINAL` — a binary cross product joining the two chains.
+//!
+//! `l` is fixed at generation time; `d` is controlled at run time through
+//! the `ListSize` input port, exactly as in the paper. The canonical query
+//! of the evaluation is `lin(⟨2TO1_FINAL:Y[p]⟩, {LISTGEN_1})`.
+
+use prov_core::LineageQuery;
+use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
+use prov_engine::{BehaviorRegistry, Engine, RunOutcome, TraceSink};
+use prov_model::{Index, PortRef, ProcessorName, Value};
+
+/// One point of the experiment configuration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestbedConfig {
+    /// Chain length `l`.
+    pub l: usize,
+    /// Input list size `d`.
+    pub d: usize,
+}
+
+/// The `l` values of the paper's configuration space (Table 1 columns).
+pub const PAPER_L: [usize; 6] = [10, 28, 50, 75, 100, 150];
+
+/// The `d` values of the paper's configuration space (Table 1 rows).
+pub const PAPER_D: [usize; 4] = [10, 25, 50, 75];
+
+/// The full Table 1 grid in row-major order.
+pub fn paper_grid() -> Vec<TestbedConfig> {
+    let mut out = Vec::with_capacity(PAPER_L.len() * PAPER_D.len());
+    for &d in &PAPER_D {
+        for &l in &PAPER_L {
+            out.push(TestbedConfig { l, d });
+        }
+    }
+    out
+}
+
+/// Generates the testbed dataflow with chains of length `l`.
+pub fn generate(l: usize) -> Dataflow {
+    assert!(l >= 1, "chains need at least one processor");
+    let mut b = DataflowBuilder::new("testbed");
+    b.input("ListSize", PortType::atom(BaseType::Int));
+
+    b.processor_with_behavior("LISTGEN_1", "testbed_listgen")
+        .in_port("size", PortType::atom(BaseType::Int))
+        .out_port("list", PortType::list(BaseType::String));
+    b.arc_from_input("ListSize", "LISTGEN_1", "size").unwrap();
+
+    for chain in ["A", "B"] {
+        for i in 1..=l {
+            let name = format!("CHAIN_{chain}_{i}");
+            b.processor_with_behavior(&name, "testbed_step")
+                .in_port("x", PortType::atom(BaseType::String))
+                .out_port("y", PortType::atom(BaseType::String));
+            if i == 1 {
+                b.arc("LISTGEN_1", "list", &name, "x").unwrap();
+            } else {
+                b.arc(&format!("CHAIN_{chain}_{}", i - 1), "y", &name, "x").unwrap();
+            }
+        }
+    }
+
+    b.processor_with_behavior("2TO1_FINAL", "testbed_combine")
+        .in_port("a", PortType::atom(BaseType::String))
+        .in_port("b", PortType::atom(BaseType::String))
+        .out_port("Y", PortType::atom(BaseType::String));
+    b.arc(&format!("CHAIN_A_{l}"), "y", "2TO1_FINAL", "a").unwrap();
+    b.arc(&format!("CHAIN_B_{l}"), "y", "2TO1_FINAL", "b").unwrap();
+
+    b.output("product", PortType::nested(BaseType::String, 2));
+    b.arc_to_output("2TO1_FINAL", "Y", "product").unwrap();
+    b.build().expect("generated testbed dataflows are valid")
+}
+
+/// The behaviours the testbed dataflows need.
+pub fn registry() -> BehaviorRegistry {
+    let mut r = BehaviorRegistry::new();
+    r.register_fn("testbed_listgen", |inputs| {
+        let d = inputs[0]
+            .as_atom()
+            .and_then(prov_model::Atom::as_int)
+            .ok_or("ListSize must be an integer")?;
+        if d < 0 {
+            return Err(format!("ListSize must be non-negative, got {d}"));
+        }
+        Ok(vec![Value::List(
+            (0..d).map(|i| Value::str(&format!("item-{i}"))).collect(),
+        )])
+    });
+    // One-to-one chain steps: identity keeps values small, so chain length
+    // (not payload growth) dominates trace size, as in the paper.
+    r.register_fn("testbed_step", |inputs| Ok(vec![inputs[0].clone()]));
+    r.register_fn("testbed_combine", |inputs| {
+        let a = inputs[0].as_atom().and_then(prov_model::Atom::as_str).ok_or("atom expected")?;
+        let b = inputs[1].as_atom().and_then(prov_model::Atom::as_str).ok_or("atom expected")?;
+        Ok(vec![Value::str(&format!("{a}*{b}"))])
+    });
+    r
+}
+
+/// Executes one run of `df` with list size `d`, recording into `sink`.
+pub fn run(df: &Dataflow, d: usize, sink: &dyn TraceSink) -> RunOutcome {
+    Engine::new(registry())
+        .execute(df, vec![("ListSize".into(), Value::int(d as i64))], sink)
+        .expect("testbed runs are valid")
+}
+
+/// The canonical focused lineage query of the evaluation:
+/// `lin(⟨2TO1_FINAL:Y[p]⟩, {LISTGEN_1})`.
+pub fn focused_query(p: &[u32]) -> LineageQuery {
+    LineageQuery::focused(
+        PortRef::new("2TO1_FINAL", "Y"),
+        Index::from_slice(p),
+        [ProcessorName::from("LISTGEN_1")],
+    )
+}
+
+/// A *partially unfocused* query whose focus set contains `LISTGEN_1`, the
+/// final join, and the first `k` processors of each chain — used to grow
+/// `|𝒫|` toward ~50% of the graph (Fig. 10).
+pub fn partially_unfocused_query(df: &Dataflow, p: &[u32], k: usize) -> LineageQuery {
+    let mut focus = vec![ProcessorName::from("LISTGEN_1"), ProcessorName::from("2TO1_FINAL")];
+    for chain in ["A", "B"] {
+        for i in 1..=k {
+            let name = format!("CHAIN_{chain}_{i}");
+            if df.processor(&ProcessorName::from(name.as_str())).is_some() {
+                focus.push(ProcessorName::from(name.as_str()));
+            }
+        }
+    }
+    LineageQuery::focused(PortRef::new("2TO1_FINAL", "Y"), Index::from_slice(p), focus)
+}
+
+/// A fully unfocused query over the whole testbed graph.
+pub fn unfocused_query(df: &Dataflow, p: &[u32]) -> LineageQuery {
+    LineageQuery::unfocused(PortRef::new("2TO1_FINAL", "Y"), Index::from_slice(p), df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_core::{IndexProj, NaiveLineage};
+    use prov_store::TraceStore;
+
+    #[test]
+    fn generated_graph_has_expected_size() {
+        let df = generate(5);
+        // 1 ListGen + 2×5 chain + 1 final.
+        assert_eq!(df.node_count(), 12);
+        assert_eq!(df.arcs.len(), 1 + 2 + 2 * 4 + 2 + 1);
+    }
+
+    #[test]
+    fn run_produces_d_squared_products() {
+        let df = generate(3);
+        let store = TraceStore::in_memory();
+        let out = run(&df, 4, &store);
+        let product = out.output("product").unwrap();
+        assert_eq!(product.len(), 4);
+        assert_eq!(product.atom_count(), 16);
+        assert_eq!(
+            product.at(&Index::from_slice(&[1, 2])),
+            Some(&Value::str("item-1*item-2"))
+        );
+    }
+
+    #[test]
+    fn trace_size_grows_with_l_and_d() {
+        let store = TraceStore::in_memory();
+        let mut counts = Vec::new();
+        for (l, d) in [(2usize, 3usize), (4, 3), (2, 6)] {
+            let df = generate(l);
+            let r = run(&df, d, &store).run_id;
+            counts.push(store.trace_record_count(r));
+        }
+        assert!(counts[1] > counts[0], "longer chains → more records");
+        assert!(counts[2] > counts[0], "bigger lists → more records");
+    }
+
+    #[test]
+    fn canonical_query_finds_listgen_inputs_both_ways() {
+        let df = generate(4);
+        let store = TraceStore::in_memory();
+        let r = run(&df, 5, &store).run_id;
+        let q = focused_query(&[2, 3]);
+        let ni = NaiveLineage::new().run(&store, r, &q).unwrap();
+        let ip = IndexProj::new(&df).run(&store, r, &q).unwrap();
+        assert!(ni.same_bindings(&ip));
+        // LISTGEN_1 consumed its size input whole: one binding.
+        assert_eq!(ni.bindings.len(), 1);
+        assert_eq!(ni.bindings[0].port, PortRef::new("LISTGEN_1", "size"));
+        assert_eq!(ni.bindings[0].value, Value::int(5));
+    }
+
+    #[test]
+    fn partially_unfocused_focus_grows_with_k() {
+        let df = generate(10);
+        let q1 = partially_unfocused_query(&df, &[0, 0], 1);
+        let q5 = partially_unfocused_query(&df, &[0, 0], 5);
+        assert_eq!(q1.focus.len(), 2 + 2);
+        assert_eq!(q5.focus.len(), 2 + 10);
+    }
+
+    #[test]
+    fn paper_grid_covers_all_cells() {
+        let grid = paper_grid();
+        assert_eq!(grid.len(), 24);
+        assert!(grid.contains(&TestbedConfig { l: 150, d: 75 }));
+    }
+
+    #[test]
+    fn zero_size_list_runs_cleanly() {
+        let df = generate(2);
+        let store = TraceStore::in_memory();
+        let out = run(&df, 0, &store);
+        assert_eq!(out.output("product"), Some(&Value::empty_list()));
+    }
+}

@@ -1,0 +1,147 @@
+//! Cross-crate integration tests exercising the full pipeline through the
+//! `taverna-prov` facade: specify → execute → store → query.
+
+use taverna_prov::prelude::*;
+
+fn pipeline() -> (prov_dataflow::Dataflow, BehaviorRegistry) {
+    let mut b = DataflowBuilder::new("etl");
+    b.input("records", PortType::list(BaseType::String));
+    b.processor("parse")
+        .in_port("raw", PortType::atom(BaseType::String))
+        .out_port("fields", PortType::list(BaseType::String));
+    b.arc_from_input("records", "parse", "raw").unwrap();
+    b.processor("validate")
+        .in_port("fields", PortType::list(BaseType::String))
+        .out_port("ok", PortType::atom(BaseType::String));
+    b.arc("parse", "fields", "validate", "fields").unwrap();
+    b.output("loaded", PortType::list(BaseType::String));
+    b.arc_to_output("validate", "ok", "loaded").unwrap();
+    let wf = b.build().unwrap();
+
+    let mut reg = BehaviorRegistry::new();
+    reg.register_fn("parse", |inputs| {
+        let raw = inputs[0].as_atom().and_then(Atom::as_str).ok_or("string")?;
+        Ok(vec![Value::List(raw.split(',').map(Value::str).collect())])
+    });
+    reg.register_fn("validate", |inputs| {
+        let n = inputs[0].as_list().map_or(0, <[Value]>::len);
+        Ok(vec![Value::str(&format!("ok:{n}"))])
+    });
+    (wf, reg)
+}
+
+#[test]
+fn specify_execute_store_query_round_trip() {
+    let (wf, reg) = pipeline();
+    let store = TraceStore::in_memory();
+    let outcome = Engine::new(reg)
+        .execute(
+            &wf,
+            vec![("records".into(), Value::from(vec!["a,b", "c,d,e"]))],
+            &store,
+        )
+        .unwrap();
+    assert_eq!(
+        outcome.output("loaded"),
+        Some(&Value::from(vec!["ok:2", "ok:3"]))
+    );
+
+    // The provenance-challenge question shape: which input file loaded
+    // element 1, and what did the checks say?
+    let q = LineageQuery::focused(
+        PortRef::new("etl", "loaded"),
+        Index::single(1),
+        [ProcessorName::from("etl"), ProcessorName::from("validate")],
+    );
+    let ni = NaiveLineage::new().run(&store, outcome.run_id, &q).unwrap();
+    let ip = IndexProj::new(&wf).run(&store, outcome.run_id, &q).unwrap();
+    assert!(ni.same_bindings(&ip));
+
+    let input = ip.bindings.iter().find(|b| b.port == PortRef::new("etl", "records")).unwrap();
+    assert_eq!(input.value, Value::str("c,d,e"));
+    let checked =
+        ip.bindings.iter().find(|b| b.port == PortRef::new("validate", "fields")).unwrap();
+    assert_eq!(checked.value, Value::from(vec!["c", "d", "e"]));
+}
+
+#[test]
+fn plan_cache_serves_repeated_queries_across_runs() {
+    let (wf, reg) = pipeline();
+    let store = TraceStore::in_memory();
+    let engine = Engine::new(reg);
+    let mut runs = Vec::new();
+    for i in 0..5 {
+        let input = Value::from(vec![format!("x{i},y{i}")]);
+        runs.push(
+            engine
+                .execute(&wf, vec![("records".into(), input)], &store)
+                .unwrap()
+                .run_id,
+        );
+    }
+    let cache = PlanCache::new(IndexProj::new(&wf));
+    let q = LineageQuery::focused(
+        PortRef::new("etl", "loaded"),
+        Index::single(0),
+        [ProcessorName::from("etl")],
+    );
+    let answers = cache.run_multi(&store, &runs, &q).unwrap();
+    assert_eq!(answers.len(), 5);
+    for (i, a) in answers.iter().enumerate() {
+        assert_eq!(a.bindings[0].value, Value::str(&format!("x{i},y{i}")));
+    }
+    // Ask again: the plan is reused.
+    cache.run_multi(&store, &runs, &q).unwrap();
+    let (hits, misses) = cache.stats();
+    assert_eq!((hits, misses), (1, 1));
+}
+
+#[test]
+fn store_runs_of_scopes_multi_workflow_databases() {
+    // Two different workflows share one store; multi-run scopes stay per
+    // workflow.
+    let (wf, reg) = pipeline();
+    let store = TraceStore::in_memory();
+    let engine = Engine::new(reg);
+    engine
+        .execute(&wf, vec![("records".into(), Value::from(vec!["a,b"]))], &store)
+        .unwrap();
+
+    let testbed = prov_workgen::testbed::generate(3);
+    prov_workgen::testbed::run(&testbed, 4, &store);
+
+    assert_eq!(store.runs().len(), 2);
+    assert_eq!(store.runs_of(&ProcessorName::from("etl")).len(), 1);
+    assert_eq!(store.runs_of(&ProcessorName::from("testbed")).len(), 1);
+}
+
+#[test]
+fn dataflow_serializes_and_queries_after_deserialize() {
+    let (wf, reg) = pipeline();
+    let json = serde_json::to_string(&wf).unwrap();
+    let mut back: prov_dataflow::Dataflow = serde_json::from_str(&json).unwrap();
+    back.reindex();
+    prov_dataflow::validate(&back).unwrap();
+
+    let store = TraceStore::in_memory();
+    let run = Engine::new(reg)
+        .execute(&back, vec![("records".into(), Value::from(vec!["p,q"]))], &store)
+        .unwrap()
+        .run_id;
+    let q = LineageQuery::focused(
+        PortRef::new("etl", "loaded"),
+        Index::single(0),
+        [ProcessorName::from("etl")],
+    );
+    let ans = IndexProj::new(&back).run(&store, run, &q).unwrap();
+    assert_eq!(ans.bindings[0].value, Value::str("p,q"));
+}
+
+#[test]
+fn dot_export_renders_the_workflow() {
+    let (wf, _) = pipeline();
+    let dot = prov_dataflow::to_dot(&wf);
+    assert!(dot.contains("digraph \"etl\""));
+    assert!(dot.contains("\"parse\""));
+    assert!(dot.contains("\"validate\""));
+}

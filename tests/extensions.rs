@@ -1,0 +1,220 @@
+//! Integration tests for the extensions: dot-product iteration in full
+//! pipelines, composite views feeding focus sets, execution reports,
+//! trace audit over the workload families, and provenance-graph export.
+
+use std::sync::Arc;
+
+use prov_dataflow::CompositeView;
+use prov_engine::ReportingSink;
+use prov_store::ProvenanceGraph;
+use prov_workgen::{bio, testbed};
+use taverna_prov::prelude::*;
+
+fn zip_workflow() -> (prov_dataflow::Dataflow, BehaviorRegistry) {
+    // Two equal-length lists zipped pairwise, then tagged.
+    let mut b = DataflowBuilder::new("zipwf");
+    b.input("a", PortType::list(BaseType::String));
+    b.input("b", PortType::list(BaseType::String));
+    b.processor("zip")
+        .in_port("x", PortType::atom(BaseType::String))
+        .in_port("y", PortType::atom(BaseType::String))
+        .out_port("z", PortType::atom(BaseType::String))
+        .dot_iteration();
+    b.arc_from_input("a", "zip", "x").unwrap();
+    b.arc_from_input("b", "zip", "y").unwrap();
+    b.processor("tag")
+        .in_port("w", PortType::atom(BaseType::String))
+        .out_port("t", PortType::atom(BaseType::String));
+    b.arc("zip", "z", "tag", "w").unwrap();
+    b.output("pairs", PortType::list(BaseType::String));
+    b.arc_to_output("tag", "t", "pairs").unwrap();
+    let df = b.build().unwrap();
+
+    let mut reg = BehaviorRegistry::new();
+    reg.register_fn("zip", |inputs| {
+        let x = inputs[0].as_atom().and_then(Atom::as_str).ok_or("str")?;
+        let y = inputs[1].as_atom().and_then(Atom::as_str).ok_or("str")?;
+        Ok(vec![Value::str(&format!("{x}~{y}"))])
+    });
+    reg.register_fn("tag", |inputs| {
+        let w = inputs[0].as_atom().and_then(Atom::as_str).ok_or("str")?;
+        Ok(vec![Value::str(&format!("[{w}]"))])
+    });
+    (df, reg)
+}
+
+#[test]
+fn dot_iteration_lineage_is_pairwise_and_algorithms_agree() {
+    let (df, reg) = zip_workflow();
+    let store = TraceStore::in_memory();
+    let run = Engine::new(reg)
+        .execute(
+            &df,
+            vec![
+                ("a".into(), Value::from(vec!["a0", "a1", "a2"])),
+                ("b".into(), Value::from(vec!["b0", "b1", "b2"])),
+            ],
+            &store,
+        )
+        .unwrap();
+    assert_eq!(
+        run.output("pairs"),
+        Some(&Value::from(vec!["[a0~b0]", "[a1~b1]", "[a2~b2]"]))
+    );
+
+    // Zip lineage: pairs[i] depends on a[i] AND b[i] — not the cross.
+    for i in 0..3u32 {
+        let q = LineageQuery::focused(
+            PortRef::new("zipwf", "pairs"),
+            Index::single(i),
+            [ProcessorName::from("zipwf")],
+        );
+        let ni = NaiveLineage::new().run(&store, run.run_id, &q).unwrap();
+        let ip = IndexProj::new(&df).run(&store, run.run_id, &q).unwrap();
+        assert!(ni.same_bindings(&ip), "divergence at [{i}]:\nNI {ni}\nIP {ip}");
+        assert_eq!(ni.bindings.len(), 2);
+        for b in &ni.bindings {
+            assert_eq!(b.index, Index::single(i));
+        }
+    }
+}
+
+#[test]
+fn composite_view_names_expand_into_focus_sets() {
+    // Group the two GK description stages into one composite and ask a
+    // lineage question "at the composite".
+    let df = bio::genes2kegg_workflow();
+    let view = CompositeView::new().group(
+        "kegg_lookup",
+        [
+            ProcessorName::from("get_pathways_by_genes"),
+            ProcessorName::from("get_pathways_by_genes_2"),
+        ],
+    );
+    view.validate(&df).unwrap();
+
+    let db = Arc::new(bio::KeggDb::small(7));
+    let store = TraceStore::in_memory();
+    let run = bio::run_genes2kegg(&df, db, bio::sample_gene_lists(2, 2, 3), &store).run_id;
+
+    let focus = view.expand_focus([ProcessorName::from("kegg_lookup")]);
+    assert_eq!(focus.len(), 2);
+    let q = LineageQuery::focused(
+        PortRef::new("genes2Kegg", "paths_per_gene"),
+        Index::single(0),
+        focus,
+    );
+    let ni = NaiveLineage::new().run(&store, run, &q).unwrap();
+    let ip = IndexProj::new(&df).run(&store, run, &q).unwrap();
+    assert!(ni.same_bindings(&ip));
+    // Only the left-branch lookup is upstream of paths_per_gene…
+    assert!(ni
+        .bindings
+        .iter()
+        .all(|b| b.port == PortRef::new("get_pathways_by_genes", "genes_id_list")));
+    assert!(!ni.bindings.is_empty());
+    // …while commonPathways goes through the right-branch member of the
+    // same composite.
+    let q2 = LineageQuery::focused(
+        PortRef::new("genes2Kegg", "commonPathways"),
+        Index::single(0),
+        view.expand_focus([ProcessorName::from("kegg_lookup")]),
+    );
+    let ans2 = IndexProj::new(&df).run(&store, run, &q2).unwrap();
+    assert!(ans2
+        .bindings
+        .iter()
+        .any(|b| b.port == PortRef::new("get_pathways_by_genes_2", "genes_id_list")));
+
+    // The condensed DOT hides the grouped processors.
+    let dot = view.to_dot(&df);
+    assert!(dot.contains("kegg_lookup"));
+    assert!(!dot.contains("\"get_pathways_by_genes\""));
+}
+
+#[test]
+fn reporting_sink_counts_iteration_work() {
+    let df = testbed::generate(3);
+    let store = TraceStore::in_memory();
+    let reporting = ReportingSink::new(&store);
+    let engine = Engine::new(testbed::registry());
+    engine
+        .execute(&df, vec![("ListSize".into(), Value::int(4))], &reporting)
+        .unwrap();
+    let report = reporting.report();
+    let get = |name: &str| {
+        report
+            .invocations
+            .iter()
+            .find(|(p, _)| p.as_str() == name)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    assert_eq!(get("LISTGEN_1"), 1);
+    assert_eq!(get("CHAIN_A_1"), 4); // one per element
+    assert_eq!(get("2TO1_FINAL"), 16); // d²
+    assert!(report.xfer_elements > 0);
+    // Events also reached the store through the decorator.
+    assert!(store.total_record_count() > 0);
+}
+
+#[test]
+fn audit_is_clean_for_all_workload_families() {
+    // testbed
+    let df = testbed::generate(4);
+    let store = TraceStore::in_memory();
+    let run = testbed::run(&df, 3, &store).run_id;
+    assert!(prov_core::audit_run(&df, &store, run).unwrap().is_clean());
+
+    // GK
+    let gk = bio::genes2kegg_workflow();
+    let store = TraceStore::in_memory();
+    let run = bio::run_genes2kegg(
+        &gk,
+        Arc::new(bio::KeggDb::small(5)),
+        bio::sample_gene_lists(2, 2, 9),
+        &store,
+    )
+    .run_id;
+    assert!(prov_core::audit_run(&gk, &store, run).unwrap().is_clean());
+
+    // PD
+    let pd = bio::protein_discovery_workflow(8);
+    let store = TraceStore::in_memory();
+    let run = bio::run_protein_discovery(
+        &pd,
+        Arc::new(bio::PubMedCorpus::new(11, 30)),
+        vec!["p53"],
+        &store,
+    )
+    .run_id;
+    assert!(prov_core::audit_run(&pd, &store, run).unwrap().is_clean());
+}
+
+#[test]
+fn provenance_graph_export_matches_trace_contents() {
+    let df = testbed::generate(2);
+    let store = TraceStore::in_memory();
+    let run = testbed::run(&df, 3, &store).run_id;
+    let graph = ProvenanceGraph::of_run(&store, run);
+    let (nodes, edges) = graph.size();
+    assert!(nodes > 0);
+    // Every xfer contributes exactly one edge; xforms one edge per
+    // (input, output) pair.
+    let xfer_edges = graph.edges.iter().filter(|e| e.kind == "xfer").count();
+    assert_eq!(xfer_edges as u64, store.runs()[0].xfer_count);
+    assert!(edges >= xfer_edges);
+    // DOT renders and mentions the final join.
+    assert!(graph.to_dot(run).contains("2TO1_FINAL"));
+}
+
+#[test]
+fn parsed_queries_run_end_to_end() {
+    let df = testbed::generate(3);
+    let store = TraceStore::in_memory();
+    let run = testbed::run(&df, 4, &store).run_id;
+    let q = prov_core::parse_lineage("lin(⟨2TO1_FINAL:Y[1,2]⟩, {LISTGEN_1})").unwrap();
+    let ans = IndexProj::new(&df).run(&store, run, &q).unwrap();
+    assert_eq!(ans.bindings.len(), 1);
+    assert_eq!(ans.bindings[0].value, Value::int(4));
+}
