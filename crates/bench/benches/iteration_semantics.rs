@@ -19,13 +19,8 @@ fn bench_cross_product(c: &mut Criterion) {
         let b = flat_list(n);
         group.bench_with_input(BenchmarkId::new("n_x_n", n), &n, |bench, _| {
             bench.iter(|| {
-                iteration_tuples(
-                    "P",
-                    &[a.clone(), b.clone()],
-                    &[1, 1],
-                    IterationStrategy::Cross,
-                )
-                .unwrap()
+                iteration_tuples("P", &[a.clone(), b.clone()], &[1, 1], IterationStrategy::Cross)
+                    .unwrap()
             });
         });
     }

@@ -11,9 +11,7 @@ fn bench_recording(c: &mut Criterion) {
     let mut group = c.benchmark_group("record_run");
     group.sample_size(20);
     let df = testbed::generate(20);
-    for (name, g) in
-        [("fine", TraceGranularity::Fine), ("coarse", TraceGranularity::Coarse)]
-    {
+    for (name, g) in [("fine", TraceGranularity::Fine), ("coarse", TraceGranularity::Coarse)] {
         group.bench_with_input(BenchmarkId::new(name, 25), &g, |b, &g| {
             b.iter(|| {
                 let store = TraceStore::in_memory();

@@ -26,8 +26,7 @@ fn main() {
     });
     println!("NI reference time: {:.3} ms\n", prov_bench::ms(t_ni));
 
-    let mut table =
-        Table::new(&["focus_size", "focus_fraction_pct", "ip_time_ms", "plan_steps"]);
+    let mut table = Table::new(&["focus_size", "focus_fraction_pct", "ip_time_ms", "plan_steps"]);
     let steps_k: Vec<usize> = if quick_mode() {
         vec![0, 1, 2]
     } else {

@@ -101,11 +101,8 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, plan)| {
-                let (store, runs) = if i < 2 {
-                    (&gk_store, &gk_runs[..n])
-                } else {
-                    (&pd_store, &pd_runs[..n])
-                };
+                let (store, runs) =
+                    if i < 2 { (&gk_store, &gk_runs[..n]) } else { (&pd_store, &pd_runs[..n]) };
                 cell_ms(best_of(5, || {
                     plan.execute_multi(store, runs).expect("query");
                 }))

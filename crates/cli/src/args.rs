@@ -18,15 +18,11 @@ impl Args {
         let mut i = 0;
         while i < tokens.len() {
             let tok = &tokens[i];
-            let name = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
+            let name =
+                tok.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
             // A flag is boolean if it is last or followed by another flag.
             if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
-                args.values
-                    .entry(name.to_string())
-                    .or_default()
-                    .push(tokens[i + 1].clone());
+                args.values.entry(name.to_string()).or_default().push(tokens[i + 1].clone());
                 i += 2;
             } else {
                 args.flags.push(name.to_string());
@@ -43,10 +39,7 @@ impl Args {
 
     /// All values of a repeatable flag.
     pub fn get_all(&self, name: &str) -> Vec<&str> {
-        self.values
-            .get(name)
-            .map(|v| v.iter().map(String::as_str).collect())
-            .unwrap_or_default()
+        self.values.get(name).map(|v| v.iter().map(String::as_str).collect()).unwrap_or_default()
     }
 
     /// A required flag value.

@@ -11,7 +11,8 @@
 //!                [--index 1,2] [--focus A,B] [--run 0 | --all-runs]
 //!                [--algo indexproj|ni]
 //! tprov impact   --db t.wal --target wf:in [--index 0] [--focus wf] [--run 0]
-//! tprov dot      --workflow wf.json
+//! tprov lint     --workflow wf.json [--format json] [--iteration-threshold 3]
+//! tprov dot      --workflow wf.json [--lint]
 //! ```
 //!
 //! Workflows executed through `tprov` have their specification saved next
@@ -23,7 +24,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use prov_core::{ImpactQuery, IndexProj, LineageQuery, NaiveImpact, NaiveLineage};
-use prov_dataflow::{to_dot, Dataflow};
+use prov_dataflow::{to_dot, to_dot_with_diagnostics, AnalyzeConfig, Dataflow};
 use prov_engine::{BehaviorRegistry, Engine};
 use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
 use prov_store::TraceStore;
@@ -62,6 +63,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "trace-dot" => cmd_trace_dot(&args),
         "diff" => cmd_diff(&args),
         "find-value" => cmd_find_value(&args),
+        "lint" => cmd_lint(&args),
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -88,7 +90,9 @@ fn print_usage() {
          \x20 audit    --db FILE --workflow WF.json [--run N | --all-runs]\n\
          \x20 diff     --db FILE --a N --b N --target P:Y [--index ..] [--focus ..]\n\
          \x20 find-value --db FILE --value <json> [--run N] [--lineage] [--focus ..]\n\
-         \x20 dot      --workflow WF.json                  print spec as Graphviz\n\
+         \x20 lint     --workflow WF.json [--format json] [--iteration-threshold N]\n\
+         \x20          static diagnostics (exit 1 on error-level findings)\n\
+         \x20 dot      --workflow WF.json [--lint]         print spec as Graphviz\n\
          \x20 trace-dot --db FILE [--run N] [--json]       print a run's provenance graph\n\n\
          queries use the db-registered workflow spec when --workflow is omitted"
     );
@@ -163,11 +167,7 @@ fn cmd_testbed(args: &Args) -> Result<(), String> {
     let df = testbed::generate(l);
     for _ in 0..runs {
         let out = testbed::run(&df, d, &store);
-        println!(
-            "{}: {} records (l={l}, d={d})",
-            out.run_id,
-            store.trace_record_count(out.run_id)
-        );
+        println!("{}: {} records (l={l}, d={d})", out.run_id, store.trace_record_count(out.run_id));
     }
     save_workflow(args, &store, &df)
 }
@@ -219,9 +219,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         inputs.push((name.to_string(), value));
     }
     let registry = BehaviorRegistry::new().with_builtins();
-    let out = Engine::new(registry)
-        .execute(&df, inputs, &store)
-        .map_err(|e| e.to_string())?;
+    let out = Engine::new(registry).execute(&df, inputs, &store).map_err(|e| e.to_string())?;
     println!("{}: {} run recorded", out.run_id, df.name);
     for (port, value) in &out.outputs {
         println!("  {port} = {value}");
@@ -245,9 +243,8 @@ fn cmd_runs(args: &Args) -> Result<(), String> {
 }
 
 fn parse_port_ref(s: &str) -> Result<PortRef, String> {
-    let (proc, port) = s
-        .split_once(':')
-        .ok_or_else(|| format!("expected PROCESSOR:PORT, got {s:?}"))?;
+    let (proc, port) =
+        s.split_once(':').ok_or_else(|| format!("expected PROCESSOR:PORT, got {s:?}"))?;
     Ok(PortRef::new(proc, port))
 }
 
@@ -264,12 +261,7 @@ fn parse_index(args: &Args) -> Result<Index, String> {
 
 fn parse_focus(args: &Args) -> Vec<ProcessorName> {
     args.get("focus")
-        .map(|raw| {
-            raw.split(',')
-                .filter(|s| !s.is_empty())
-                .map(ProcessorName::from)
-                .collect()
-        })
+        .map(|raw| raw.split(',').filter(|s| !s.is_empty()).map(ProcessorName::from).collect())
         .unwrap_or_default()
 }
 
@@ -376,9 +368,8 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         }
         prov_core::ParsedQuery::Impact(query) => {
             println!("{query}");
-            for ans in NaiveImpact::new()
-                .run_multi(&store, &runs, &query)
-                .map_err(|e| e.to_string())?
+            for ans in
+                NaiveImpact::new().run_multi(&store, &runs, &query).map_err(|e| e.to_string())?
             {
                 print!("{ans}");
             }
@@ -387,9 +378,37 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the static diagnostics pass (`prov_dataflow::analyze`) over a
+/// workflow specification and reports rustc-style findings. Error-level
+/// diagnostics make the command exit nonzero, so `lint` slots into CI.
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let df = load_workflow(args)?;
+    let mut config = AnalyzeConfig::default();
+    if let Some(t) = args.get_parsed("iteration-threshold")? {
+        config.iteration_depth_threshold = t;
+    }
+    let diagnostics = prov_dataflow::analyze_with(&df, &config);
+    match args.get("format").unwrap_or("text") {
+        "text" => print!("{}", prov_dataflow::render_text(&diagnostics)),
+        "json" => println!("{}", prov_dataflow::render_json(&diagnostics)),
+        other => return Err(format!("unknown --format {other:?} (text|json)")),
+    }
+    let errors = prov_dataflow::error_count(&diagnostics);
+    if errors > 0 {
+        Err(format!("lint: {errors} error(s) in {}", df.name))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_dot(args: &Args) -> Result<(), String> {
     let df = load_workflow(args)?;
-    print!("{}", to_dot(&df));
+    if args.has_flag("lint") {
+        let diagnostics = prov_dataflow::analyze(&df);
+        print!("{}", to_dot_with_diagnostics(&df, &diagnostics));
+    } else {
+        print!("{}", to_dot(&df));
+    }
     Ok(())
 }
 

@@ -5,10 +5,7 @@ use std::path::PathBuf;
 use std::process::{Command, Output};
 
 fn tprov(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_tprov"))
-        .args(args)
-        .output()
-        .expect("tprov runs")
+    Command::new(env!("CARGO_BIN_EXE_tprov")).args(args).output().expect("tprov runs")
 }
 
 fn stdout(out: &Output) -> String {
@@ -97,8 +94,19 @@ fn testbed_runs_lineage_round_trip() {
 
     // NI gives the same binding.
     let out = tprov(&[
-        "lineage", "--db", db.arg(), "--target", "2TO1_FINAL:Y", "--index", "1,2",
-        "--focus", "LISTGEN_1", "--run", "0", "--algo", "ni",
+        "lineage",
+        "--db",
+        db.arg(),
+        "--target",
+        "2TO1_FINAL:Y",
+        "--index",
+        "1,2",
+        "--focus",
+        "LISTGEN_1",
+        "--run",
+        "0",
+        "--algo",
+        "ni",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("⟨LISTGEN_1:size[], 3⟩"));
@@ -108,20 +116,14 @@ fn testbed_runs_lineage_round_trip() {
 fn query_command_parses_paper_notation() {
     let db = TempDb::new("query");
     assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
-    let out = tprov(&[
-        "query",
-        "--db",
-        db.arg(),
-        "--query",
-        "lin(<2TO1_FINAL:Y[0,1]>, {LISTGEN_1})",
-    ]);
+    let out =
+        tprov(&["query", "--db", db.arg(), "--query", "lin(<2TO1_FINAL:Y[0,1]>, {LISTGEN_1})"]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("⟨LISTGEN_1:size[], 2⟩"));
 
     // Impact direction through the same entry point.
-    let out = tprov(&[
-        "query", "--db", db.arg(), "--query", "impact(<testbed:ListSize[]>, {testbed})",
-    ]);
+    let out =
+        tprov(&["query", "--db", db.arg(), "--query", "impact(<testbed:ListSize[]>, {testbed})"]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("testbed:product"));
 
@@ -135,9 +137,8 @@ fn query_command_parses_paper_notation() {
 fn audit_reports_clean_for_engine_traces() {
     let db = TempDb::new("audit");
     assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
-    let out = tprov(&[
-        "audit", "--db", db.arg(), "--workflow", &db.sidecar("testbed"), "--all-runs",
-    ]);
+    let out =
+        tprov(&["audit", "--db", db.arg(), "--workflow", &db.sidecar("testbed"), "--all-runs"]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("clean"));
 }
@@ -196,8 +197,17 @@ fn lineage_uses_db_registered_workflow_when_flag_omitted() {
     assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
     // No --workflow: the spec registered in the db is used.
     let out = tprov(&[
-        "lineage", "--db", db.arg(), "--target", "2TO1_FINAL:Y", "--index", "0,1",
-        "--focus", "LISTGEN_1", "--run", "0",
+        "lineage",
+        "--db",
+        db.arg(),
+        "--target",
+        "2TO1_FINAL:Y",
+        "--index",
+        "0,1",
+        "--focus",
+        "LISTGEN_1",
+        "--run",
+        "0",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("⟨LISTGEN_1:size[], 2⟩"));
@@ -205,15 +215,35 @@ fn lineage_uses_db_registered_workflow_when_flag_omitted() {
     // Two registered workflows → ambiguous without --wf.
     assert!(tprov(&["gk", "--db", db.arg()]).status.success());
     let out = tprov(&[
-        "lineage", "--db", db.arg(), "--target", "2TO1_FINAL:Y", "--index", "0,0",
-        "--focus", "LISTGEN_1", "--run", "0",
+        "lineage",
+        "--db",
+        db.arg(),
+        "--target",
+        "2TO1_FINAL:Y",
+        "--index",
+        "0,0",
+        "--focus",
+        "LISTGEN_1",
+        "--run",
+        "0",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("--wf"));
     // Disambiguated by --wf.
     let out = tprov(&[
-        "lineage", "--db", db.arg(), "--wf", "testbed", "--target", "2TO1_FINAL:Y",
-        "--index", "0,0", "--focus", "LISTGEN_1", "--run", "0",
+        "lineage",
+        "--db",
+        db.arg(),
+        "--wf",
+        "testbed",
+        "--target",
+        "2TO1_FINAL:Y",
+        "--index",
+        "0,0",
+        "--focus",
+        "LISTGEN_1",
+        "--run",
+        "0",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
 }
@@ -224,8 +254,19 @@ fn diff_command_compares_two_runs() {
     assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
     assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "4"]).status.success());
     let out = tprov(&[
-        "diff", "--db", db.arg(), "--a", "0", "--b", "1", "--target", "2TO1_FINAL:Y",
-        "--index", "0,1", "--focus", "LISTGEN_1",
+        "diff",
+        "--db",
+        db.arg(),
+        "--a",
+        "0",
+        "--b",
+        "1",
+        "--target",
+        "2TO1_FINAL:Y",
+        "--index",
+        "0,1",
+        "--focus",
+        "LISTGEN_1",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -239,8 +280,16 @@ fn find_value_locates_bindings_and_lineage() {
     let db = TempDb::new("findval");
     assert!(tprov(&["testbed", "--db", db.arg(), "--l", "2", "--d", "3"]).status.success());
     let out = tprov(&[
-        "find-value", "--db", db.arg(), "--value", "item-1", "--run", "0",
-        "--lineage", "--focus", "LISTGEN_1",
+        "find-value",
+        "--db",
+        db.arg(),
+        "--value",
+        "item-1",
+        "--run",
+        "0",
+        "--lineage",
+        "--focus",
+        "LISTGEN_1",
     ]);
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
@@ -251,6 +300,70 @@ fn find_value_locates_bindings_and_lineage() {
     let out = tprov(&["find-value", "--db", db.arg(), "--value", "ghost", "--run", "0"]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("0 binding(s)"));
+}
+
+/// The ISSUE acceptance workflow: one base-type-mismatched arc, one dead
+/// processor, one shadowed default — three findings, three distinct codes.
+fn smelly_workflow_json() -> String {
+    use prov_dataflow::{BaseType, DataflowBuilder, PortType};
+    let mut b = DataflowBuilder::new("smelly");
+    b.input("a", PortType::atom(BaseType::Int));
+    b.processor_with_behavior("Q", "identity")
+        .in_port("x", PortType::atom(BaseType::String))
+        .in_port_with_default("z", PortType::atom(BaseType::Int), prov_model::Value::int(7))
+        .out_port("y", PortType::atom(BaseType::String));
+    b.processor_with_behavior("D", "identity")
+        .in_port("x", PortType::atom(BaseType::Int))
+        .out_port("y", PortType::atom(BaseType::Int));
+    b.arc_from_input("a", "Q", "x").unwrap(); // Int -> String: E001
+    b.arc_from_input("a", "Q", "z").unwrap(); // shadows default: W004
+    b.arc_from_input("a", "D", "x").unwrap(); // D reaches no output: W001
+    b.output("ys", PortType::atom(BaseType::String));
+    b.arc_to_output("Q", "y", "ys").unwrap();
+    serde_json::to_string(&b.build().unwrap()).unwrap()
+}
+
+#[test]
+fn lint_reports_distinct_codes_and_exits_nonzero() {
+    let db = TempDb::new("lint");
+    let wf_path = format!("{}.smelly.json", db.arg());
+    std::fs::write(&wf_path, smelly_workflow_json()).unwrap();
+
+    let out = tprov(&["lint", "--workflow", &wf_path]);
+    assert!(!out.status.success(), "error-level findings must exit nonzero");
+    let text = stdout(&out);
+    for code in ["E001", "W001", "W004"] {
+        assert!(text.contains(code), "missing {code} in:\n{text}");
+    }
+    assert!(text.contains("1 error(s)"), "{text}");
+    assert!(stderr(&out).contains("lint: 1 error(s)"));
+
+    // JSON format carries the same codes, machine-readably.
+    let out = tprov(&["lint", "--workflow", &wf_path, "--format", "json"]);
+    assert!(!out.status.success());
+    let parsed: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    let codes: Vec<&str> =
+        parsed.as_array().unwrap().iter().map(|d| d["code"].as_str().unwrap()).collect();
+    assert!(codes.contains(&"E001") && codes.contains(&"W001") && codes.contains(&"W004"));
+
+    // Diagnostics overlay on the DOT export colors the offending nodes.
+    let out = tprov(&["dot", "--workflow", &wf_path, "--lint"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let dot = stdout(&out);
+    assert!(dot.contains("color=red"), "{dot}");
+    assert!(dot.contains("color=orange"), "{dot}");
+
+    let _ = std::fs::remove_file(&wf_path);
+}
+
+#[test]
+fn lint_clean_workflow_exits_zero() {
+    let db = TempDb::new("lintclean");
+    // The genes2Kegg sidecar spec is a real, clean workflow.
+    assert!(tprov(&["gk", "--db", db.arg()]).status.success());
+    let out = tprov(&["lint", "--workflow", &db.sidecar("genes2Kegg")]);
+    assert!(out.status.success(), "{}{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("0 error(s)") || stdout(&out).contains("no diagnostics"));
 }
 
 #[test]

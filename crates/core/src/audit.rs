@@ -22,7 +22,7 @@ use prov_dataflow::{Dataflow, DepthInfo};
 use prov_model::{Index, ProcessorName, RunId};
 use prov_store::TraceStore;
 
-use crate::Result;
+use crate::{CoreError, Result};
 
 /// One inconsistency found in a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,7 +140,11 @@ fn collect_contracts(
         };
         match &p.kind {
             prov_dataflow::ProcessorKind::Task { .. } => {
-                let layout = depths.layout_of(&p.name).expect("layout per processor");
+                let layout = depths.layout_of(&p.name).ok_or_else(|| {
+                    CoreError::Dataflow(prov_dataflow::DataflowError::UnknownProcessor(
+                        p.name.to_string(),
+                    ))
+                })?;
                 out.insert(
                     qualified,
                     IndexContract {
@@ -220,11 +224,8 @@ pub fn audit_run(df: &Dataflow, store: &TraceStore, run: RunId) -> Result<AuditR
         // G · (its fragment of q_rel) — Prop. 1 with the nesting offset.
         for (port, off, len) in &contract.ports {
             let Some(input) = rec.input(port) else { continue };
-            let expected = if *len == 0 {
-                global.clone()
-            } else {
-                global.concat(&q_rel.project(*off, *len))
-            };
+            let expected =
+                if *len == 0 { global.clone() } else { global.concat(&q_rel.project(*off, *len)) };
             if input.index != expected {
                 if input.index.len() != expected.len() {
                     report.violations.push(AuditViolation::FragmentLength {
@@ -251,7 +252,11 @@ pub fn audit_run(df: &Dataflow, store: &TraceStore, run: RunId) -> Result<AuditR
     // sources (the workflow name or nested scope names, which never have
     // xform events) are exempt.
     let workflow_scope = |p: &ProcessorName| {
-        p == &df.name || df.processor(p).map(|s| matches!(s.kind, prov_dataflow::ProcessorKind::Nested { .. })).unwrap_or(true)
+        p == &df.name
+            || df
+                .processor(p)
+                .map(|s| matches!(s.kind, prov_dataflow::ProcessorKind::Nested { .. }))
+                .unwrap_or(true)
     };
     for rec in store.xfers_of_run(run) {
         report.xfers_checked += 1;
@@ -399,18 +404,15 @@ mod tests {
                     PortBinding::new("x", Index::from_slice(&[0, 0]), Value::str("a0")),
                     PortBinding::new("y", Index::single(0), Value::str("b0")),
                 ],
-                outputs: vec![PortBinding::new(
-                    "z",
-                    Index::from_slice(&[0, 0]),
-                    Value::str("v"),
-                )],
+                outputs: vec![PortBinding::new("z", Index::from_slice(&[0, 0]), Value::str("v"))],
             },
         );
         let report = audit_run(&df, &store, run).unwrap();
         assert!(
-            report.violations.iter().any(
-                |v| matches!(v, AuditViolation::FragmentLength { found: 2, expected: 1, .. })
-            ),
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v, AuditViolation::FragmentLength { found: 2, expected: 1, .. })),
             "{report}"
         );
     }

@@ -64,13 +64,15 @@ impl NaiveImpact {
     }
 
     /// Answers `query` over one run.
-    pub fn run(&self, store: &TraceStore, run: RunId, query: &ImpactQuery) -> Result<LineageAnswer> {
+    pub fn run(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &ImpactQuery,
+    ) -> Result<LineageAnswer> {
         let mut visited: HashSet<(ProcessorName, Arc<str>, Index)> = HashSet::new();
-        let mut stack = vec![(
-            query.source.processor.clone(),
-            query.source.port.clone(),
-            query.index.clone(),
-        )];
+        let mut stack =
+            vec![(query.source.processor.clone(), query.source.port.clone(), query.index.clone())];
         let mut bindings: Vec<Binding> = Vec::new();
         let mut trace_queries = 0usize;
 
@@ -188,11 +190,7 @@ mod tests {
             [ProcessorName::from("wf")],
         );
         let ans = NaiveImpact::new().run(&store, run, &q).unwrap();
-        let upper = ans
-            .bindings
-            .iter()
-            .find(|b| b.port == PortRef::new("wf", "upper"))
-            .unwrap();
+        let upper = ans.bindings.iter().find(|b| b.port == PortRef::new("wf", "upper")).unwrap();
         assert_eq!(upper.index, Index::single(1));
         assert_eq!(upper.value, Value::str("B"));
         assert!(ans.bindings.iter().any(|b| b.port == PortRef::new("wf", "count")));
@@ -208,11 +206,8 @@ mod tests {
         );
         let ans = NaiveImpact::new().run(&store, run, &q).unwrap();
         // Only A's invocation 0 output is collected for A.
-        let a_outputs: Vec<&Binding> = ans
-            .bindings
-            .iter()
-            .filter(|b| b.port == PortRef::new("A", "y"))
-            .collect();
+        let a_outputs: Vec<&Binding> =
+            ans.bindings.iter().filter(|b| b.port == PortRef::new("A", "y")).collect();
         assert_eq!(a_outputs.len(), 1);
         assert_eq!(a_outputs[0].value, Value::str("A"));
         assert_eq!(a_outputs[0].index, Index::single(0));
@@ -232,11 +227,8 @@ mod tests {
         let src = &lin.bindings[0];
         assert_eq!(src.port, PortRef::new("wf", "in"));
 
-        let impact_q = ImpactQuery::focused(
-            src.port.clone(),
-            src.index.clone(),
-            [ProcessorName::from("wf")],
-        );
+        let impact_q =
+            ImpactQuery::focused(src.port.clone(), src.index.clone(), [ProcessorName::from("wf")]);
         let imp = NaiveImpact::new().run(&store, run, &impact_q).unwrap();
         assert!(
             imp.bindings

@@ -153,14 +153,24 @@ impl<'a> IndexProj<'a> {
             if p.output(&query.target.port).is_none() {
                 return Err(CoreError::UnknownTarget { target: query.target.to_string() });
             }
-            builder.visit_output(&scope, &query.target.processor, &query.target.port, &query.index)?;
+            builder.visit_output(
+                &scope,
+                &query.target.processor,
+                &query.target.port,
+                &query.index,
+            )?;
         }
 
         Ok(LineagePlan { steps: builder.steps, nodes_visited: builder.visited.len() })
     }
 
     /// Plans and executes in one call.
-    pub fn run(&self, store: &TraceStore, run: RunId, query: &LineageQuery) -> Result<LineageAnswer> {
+    pub fn run(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &LineageQuery,
+    ) -> Result<LineageAnswer> {
         self.plan(query)?.execute(store, run)
     }
 
@@ -256,17 +266,18 @@ impl PlanBuilder<'_> {
         index: &Index,
     ) -> Result<()> {
         let qualified = Self::qualify(&scope.prefix, local.as_str());
-        if !self
-            .visited
-            .insert((qualified.clone(), std::sync::Arc::from(port), index.clone()))
-        {
+        if !self.visited.insert((qualified.clone(), std::sync::Arc::from(port), index.clone())) {
             return Ok(());
         }
         let p = scope.df.processor_required(local).map_err(CoreError::Dataflow)?;
         let layout = scope
             .depths
             .layout_of(local)
-            .expect("depth info covers every processor")
+            .ok_or_else(|| {
+                CoreError::Dataflow(prov_dataflow::DataflowError::UnknownProcessor(
+                    local.to_string(),
+                ))
+            })?
             .clone();
         // Only the first `total` components (past the scope's global
         // prefix) of the output index come from iteration; anything deeper
@@ -331,12 +342,10 @@ impl PlanBuilder<'_> {
     ) -> Result<()> {
         // Also continue through any arc that feeds a *workflow output*
         // from this processor? No: lineage walks upstream only.
-        let arc = scope
-            .df
-            .arcs
-            .iter()
-            .find(|a| matches!(&a.dst, ArcDst::Processor { processor, port: q }
-                if processor == local && &**q == port));
+        let arc = scope.df.arcs.iter().find(|a| {
+            matches!(&a.dst, ArcDst::Processor { processor, port: q }
+                if processor == local && &**q == port)
+        });
         let Some(arc) = arc else {
             return Ok(()); // default-valued port: nothing upstream
         };
@@ -488,7 +497,9 @@ mod tests {
     fn unknown_target_is_rejected() {
         let df = fig3();
         let ip = IndexProj::new(&df);
-        for target in [PortRef::new("nope", "Y"), PortRef::new("P", "nope"), PortRef::new("wf", "nope")] {
+        for target in
+            [PortRef::new("nope", "Y"), PortRef::new("P", "nope"), PortRef::new("wf", "nope")]
+        {
             let q = LineageQuery::focused(target, Index::empty(), []);
             assert!(matches!(ip.plan(&q), Err(CoreError::UnknownTarget { .. })));
         }

@@ -41,11 +41,8 @@ impl NaiveLineage {
         query: &LineageQuery,
     ) -> Result<LineageAnswer> {
         let mut visited: HashSet<(ProcessorName, Arc<str>, Index)> = HashSet::new();
-        let mut stack: Vec<(ProcessorName, Arc<str>, Index)> = vec![(
-            query.target.processor.clone(),
-            query.target.port.clone(),
-            query.index.clone(),
-        )];
+        let mut stack: Vec<(ProcessorName, Arc<str>, Index)> =
+            vec![(query.target.processor.clone(), query.target.port.clone(), query.index.clone())];
         let mut bindings: Vec<Binding> = Vec::new();
         let mut trace_queries = 0usize;
 
@@ -97,13 +94,10 @@ impl NaiveLineage {
                 } else {
                     trace_queries += 1;
                     let scope_prefix = format!("{processor}/");
-                    store
-                        .xfers_from(run, &processor, &port, &index)
-                        .iter()
-                        .any(|r| {
-                            r.dst_processor.as_str().starts_with(&scope_prefix)
-                                || r.dst_processor == processor
-                        })
+                    store.xfers_from(run, &processor, &port, &index).iter().any(|r| {
+                        r.dst_processor.as_str().starts_with(&scope_prefix)
+                            || r.dst_processor == processor
+                    })
                 };
                 if is_source || is_scope_input {
                     trace_queries += 1;

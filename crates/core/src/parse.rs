@@ -85,10 +85,9 @@ pub fn parse_query(input: &str) -> Result<ParsedQuery, ParseError> {
 pub fn parse_lineage(input: &str) -> Result<LineageQuery, ParseError> {
     match parse_query(input)? {
         ParsedQuery::Lineage(q) => Ok(q),
-        ParsedQuery::Impact(_) => Err(ParseError {
-            message: "expected a lin(...) query, got impact(...)".into(),
-            at: 0,
-        }),
+        ParsedQuery::Impact(_) => {
+            Err(ParseError { message: "expected a lin(...) query, got impact(...)".into(), at: 0 })
+        }
     }
 }
 
@@ -278,13 +277,13 @@ mod tests {
     #[test]
     fn rejects_malformed_input_with_positions() {
         for bad in [
-            "lin(P:Y[1])",           // missing binding brackets
-            "lin(<P Y[1]>)",         // missing colon
-            "lin(<P:Y[1)>",          // unclosed index
-            "lin(<P:Y[x]>)",         // non-numeric component
-            "lineage(<P:Y[]>)",      // unknown kind
-            "lin(<P:Y[]>) extra",    // trailing input
-            "lin(<P:Y[]>, {A)",      // unclosed focus
+            "lin(P:Y[1])",        // missing binding brackets
+            "lin(<P Y[1]>)",      // missing colon
+            "lin(<P:Y[1)>",       // unclosed index
+            "lin(<P:Y[x]>)",      // non-numeric component
+            "lineage(<P:Y[]>)",   // unknown kind
+            "lin(<P:Y[]>) extra", // trailing input
+            "lin(<P:Y[]>, {A)",   // unclosed focus
         ] {
             let err = parse_query(bad);
             assert!(err.is_err(), "should reject {bad:?}");

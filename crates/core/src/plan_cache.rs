@@ -49,7 +49,12 @@ impl<'a> PlanCache<'a> {
     }
 
     /// Plans (or reuses) and executes over one run.
-    pub fn run(&self, store: &TraceStore, run: RunId, query: &LineageQuery) -> Result<LineageAnswer> {
+    pub fn run(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &LineageQuery,
+    ) -> Result<LineageAnswer> {
         self.plan(query)?.execute(store, run)
     }
 

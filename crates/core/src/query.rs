@@ -114,7 +114,11 @@ impl LineageQuery {
 
     /// The same query with a coarse (whole-value) index.
     pub fn coarse(&self) -> Self {
-        LineageQuery { target: self.target.clone(), index: Index::empty(), focus: self.focus.clone() }
+        LineageQuery {
+            target: self.target.clone(),
+            index: Index::empty(),
+            focus: self.focus.clone(),
+        }
     }
 }
 

@@ -38,13 +38,15 @@ fn execute(df: &Dataflow, inputs: Vec<(String, Value)>) -> (TraceStore, RunId) {
 }
 
 /// Asserts NI and INDEXPROJ agree for the query, and returns the answer.
-fn check(df: &Dataflow, store: &TraceStore, run: RunId, q: &LineageQuery) -> prov_core::LineageAnswer {
+fn check(
+    df: &Dataflow,
+    store: &TraceStore,
+    run: RunId,
+    q: &LineageQuery,
+) -> prov_core::LineageAnswer {
     let ni = NaiveLineage::new().run(store, run, q).unwrap();
     let ip = IndexProj::new(df).run(store, run, q).unwrap();
-    assert!(
-        ni.same_bindings(&ip),
-        "divergence on {q}:\nNI: {ni}\nIP: {ip}"
-    );
+    assert!(ni.same_bindings(&ip), "divergence on {q}:\nNI: {ni}\nIP: {ip}");
     ni
 }
 
@@ -130,11 +132,8 @@ fn chain_equivalence_at_all_indices_and_focuses() {
             let q = LineageQuery::focused(PortRef::new("wf", "out"), Index::single(i), focus);
             let ans = check(&df, &store, run, &q);
             if q.focus.contains(&"wf".into()) {
-                let wf_binding = ans
-                    .bindings
-                    .iter()
-                    .find(|b| b.port == PortRef::new("wf", "in"))
-                    .unwrap();
+                let wf_binding =
+                    ans.bindings.iter().find(|b| b.port == PortRef::new("wf", "in")).unwrap();
                 assert_eq!(wf_binding.value, Value::str(&format!("e{i}")));
             }
         }
@@ -238,7 +237,7 @@ fn one_to_many_and_flatten_equivalence() {
     );
     let ans = check(&df, &store, run, &q);
     assert_eq!(ans.bindings.len(), 2); // both genes
-    // And focusing the one-to-many stage still works.
+                                       // And focusing the one-to-many stage still works.
     let q = LineageQuery::focused(
         PortRef::new("wf", "out"),
         Index::single(1),
@@ -365,10 +364,8 @@ fn multi_run_answers_are_per_run() {
     let engine = Engine::new(registry());
     let mut runs = Vec::new();
     for r in 0..4 {
-        let inputs = vec![(
-            "in".to_string(),
-            Value::from(vec![format!("r{r}x0"), format!("r{r}x1")]),
-        )];
+        let inputs =
+            vec![("in".to_string(), Value::from(vec![format!("r{r}x0"), format!("r{r}x1")]))];
         runs.push(engine.execute(&df, inputs, &store).unwrap().run_id);
     }
 

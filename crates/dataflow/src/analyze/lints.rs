@@ -1,0 +1,350 @@
+//! The individual lint passes, each over one (possibly nested) scope.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use prov_model::{BaseType, ProcessorName};
+
+use crate::graph::{ArcDst, ArcSrc, Dataflow, IterationStrategy};
+use crate::toposort::toposort;
+
+use super::{AnalyzeConfig, DiagCode, Diagnostic, Location, NodeRef};
+
+/// Runs every lint over one scope, appending findings to `out`.
+pub(super) fn check_scope(
+    df: &Dataflow,
+    scope: &str,
+    config: &AnalyzeConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    check_arc_base_types(df, scope, out);
+    check_binding(df, scope, out);
+    check_dead_processors(df, scope, out);
+    check_unused_inputs(df, scope, out);
+    check_shadowed_defaults(df, scope, out);
+    check_depth_mismatches(df, scope, config, out);
+}
+
+fn diag(
+    scope: &str,
+    node: NodeRef,
+    code: DiagCode,
+    message: String,
+    help: Option<String>,
+) -> Diagnostic {
+    Diagnostic { code, location: Location { scope: scope.to_string(), node }, message, help }
+}
+
+/// E001: every arc must connect ports of the same base type. Depth
+/// mismatches are the paper's iteration mechanism; *base*-type mismatches
+/// are just bugs — the engine moves values along arcs unconverted, so a
+/// string flowing into an int port stays a string forever.
+fn check_arc_base_types(df: &Dataflow, scope: &str, out: &mut Vec<Diagnostic>) {
+    for arc in &df.arcs {
+        let src = src_base(df, &arc.src);
+        let dst = dst_base(df, &arc.dst);
+        if let (Some(s), Some(d)) = (src, dst) {
+            if s != d {
+                out.push(diag(
+                    scope,
+                    NodeRef::Arc(arc.to_string()),
+                    DiagCode::ArcBaseTypeMismatch,
+                    format!("arc carries {s} values into a {d} port"),
+                    Some(
+                        "align the declared base types of the two ports, or insert a \
+                         converting processor between them"
+                            .into(),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn src_base(df: &Dataflow, src: &ArcSrc) -> Option<BaseType> {
+    match src {
+        ArcSrc::WorkflowInput { port } => df.input(port).map(|p| p.declared.base),
+        ArcSrc::Processor { processor, port } => {
+            df.processor(processor).and_then(|p| p.output(port)).map(|o| o.declared.base)
+        }
+    }
+}
+
+fn dst_base(df: &Dataflow, dst: &ArcDst) -> Option<BaseType> {
+    match dst {
+        ArcDst::Processor { processor, port } => {
+            df.processor(processor).and_then(|p| p.input(port)).map(|i| i.declared.base)
+        }
+        ArcDst::WorkflowOutput { port } => df.output(port).map(|o| o.declared.base),
+    }
+}
+
+/// E003 + W002: a readiness fixpoint over the firing rule of §2.1 ("a
+/// processor fires as soon as all of its connected inputs are bound").
+///
+/// A port is *satisfiable* when it has an arc from a workflow input, an arc
+/// from a processor that can itself fire, or no arc but a default. A port
+/// with no arc and no default is a **hole** (E003: binding is impossible);
+/// every processor downstream of a hole can never fire (W002), even though
+/// `validate` accepts the graph.
+fn check_binding(df: &Dataflow, scope: &str, out: &mut Vec<Diagnostic>) {
+    let mut holes: HashSet<&ProcessorName> = HashSet::new();
+    for p in &df.processors {
+        for port in &p.inputs {
+            if df.arc_into(&p.name, &port.name).is_none() && port.default.is_none() {
+                holes.insert(&p.name);
+                out.push(diag(
+                    scope,
+                    NodeRef::InputPort {
+                        processor: p.name.to_string(),
+                        port: port.name.to_string(),
+                    },
+                    DiagCode::UnboundInput,
+                    "input port has neither an incoming arc nor a default value".into(),
+                    Some("connect an arc to this port or give it a design-time default".into()),
+                ));
+            }
+        }
+    }
+
+    // Fixpoint: which processors can ever fire?
+    let mut ready: HashSet<&ProcessorName> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for p in &df.processors {
+            if ready.contains(&p.name) {
+                continue;
+            }
+            let all_satisfied =
+                p.inputs.iter().all(|port| match df.arc_into(&p.name, &port.name) {
+                    Some(arc) => match &arc.src {
+                        ArcSrc::WorkflowInput { .. } => true,
+                        ArcSrc::Processor { processor, .. } => ready.contains(processor),
+                    },
+                    None => port.default.is_some(),
+                });
+            if all_satisfied {
+                ready.insert(&p.name);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for p in &df.processors {
+        // The hole itself already carries an E003; W002 marks the blast
+        // radius: processors starved *transitively*.
+        if !ready.contains(&p.name) && !holes.contains(&p.name) {
+            let starving =
+                p.inputs.iter().find_map(|port| match df.arc_into(&p.name, &port.name)?.src {
+                    ArcSrc::Processor { ref processor, .. } if !ready.contains(processor) => {
+                        Some((port.name.to_string(), processor.to_string()))
+                    }
+                    _ => None,
+                });
+            let message = match &starving {
+                Some((port, upstream)) => format!(
+                    "processor can never fire: input {port:?} is fed by {upstream:?}, \
+                     which can never fire"
+                ),
+                None => "processor can never fire".to_string(),
+            };
+            out.push(diag(
+                scope,
+                NodeRef::Processor(p.name.to_string()),
+                DiagCode::StarvedProcessor,
+                message,
+                Some("fix the unbound input ports upstream (see the E003 diagnostics)".into()),
+            ));
+        }
+    }
+}
+
+/// W001: reverse reachability from the workflow outputs. A processor whose
+/// results can never reach an output is computed (and traced!) for
+/// nothing — in a provenance system that is rarely intentional.
+fn check_dead_processors(df: &Dataflow, scope: &str, out: &mut Vec<Diagnostic>) {
+    let mut live: HashSet<&ProcessorName> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for arc in &df.arcs {
+            let ArcSrc::Processor { processor, .. } = &arc.src else { continue };
+            if live.contains(processor) {
+                continue;
+            }
+            let reaches = match &arc.dst {
+                ArcDst::WorkflowOutput { .. } => true,
+                ArcDst::Processor { processor: dst, .. } => live.contains(dst),
+            };
+            if reaches {
+                live.insert(processor);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for p in &df.processors {
+        if !live.contains(&p.name) {
+            out.push(diag(
+                scope,
+                NodeRef::Processor(p.name.to_string()),
+                DiagCode::DeadProcessor,
+                "no path from this processor to any workflow output".into(),
+                Some(
+                    "its results are computed and traced but never observable; \
+                     connect them to an output or remove the processor"
+                        .into(),
+                ),
+            ));
+        }
+    }
+}
+
+/// W003: a workflow input nothing reads.
+fn check_unused_inputs(df: &Dataflow, scope: &str, out: &mut Vec<Diagnostic>) {
+    for port in &df.inputs {
+        if df.arcs_from_input(&port.name).is_empty() {
+            out.push(diag(
+                scope,
+                NodeRef::WorkflowInput(port.name.to_string()),
+                DiagCode::UnusedWorkflowInput,
+                "workflow input is not connected to any processor or output".into(),
+                Some("remove the input port, or connect it".into()),
+            ));
+        }
+    }
+}
+
+/// W004: a design-time default that an incoming arc always overrides.
+fn check_shadowed_defaults(df: &Dataflow, scope: &str, out: &mut Vec<Diagnostic>) {
+    for p in &df.processors {
+        for port in &p.inputs {
+            if port.default.is_none() {
+                continue;
+            }
+            if let Some(arc) = df.arc_into(&p.name, &port.name) {
+                out.push(diag(
+                    scope,
+                    NodeRef::InputPort {
+                        processor: p.name.to_string(),
+                        port: port.name.to_string(),
+                    },
+                    DiagCode::ShadowedDefault,
+                    format!("design-time default is shadowed by arc {arc}"),
+                    Some("remove the default or the arc to make the intent explicit".into()),
+                ));
+            }
+        }
+    }
+}
+
+/// E002 + W005 + I001: a *tolerant* re-run of Algorithm 1
+/// (`PROPAGATEDEPTHS`). Where [`crate::DepthInfo::compute`] aborts on a
+/// dot-strategy conflict, this version records an E002 and keeps
+/// propagating with the widest fragment, so one defect does not mask
+/// diagnostics further downstream.
+fn check_depth_mismatches(
+    df: &Dataflow,
+    scope: &str,
+    config: &AnalyzeConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Depth propagation needs an evaluation order; a cyclic graph has
+    // already been rejected by `validate`, so just skip these lints there.
+    let Ok(topo) = toposort(df) else { return };
+
+    let mut out_depth: HashMap<(ProcessorName, Arc<str>), usize> = HashMap::new();
+    for pname in topo {
+        let Some(p) = df.processor(&pname) else { continue };
+
+        // Rule 1: actual depth of each input port.
+        let mut deltas: Vec<(Arc<str>, i64)> = Vec::with_capacity(p.inputs.len());
+        for port in &p.inputs {
+            let declared = port.declared.depth;
+            let actual = match df.arc_into(&pname, &port.name).map(|a| &a.src) {
+                Some(ArcSrc::WorkflowInput { port: w }) => {
+                    df.input(w).map(|i| i.declared.depth).unwrap_or(declared)
+                }
+                Some(ArcSrc::Processor { processor, port: q }) => {
+                    out_depth.get(&(processor.clone(), q.clone())).copied().unwrap_or(declared)
+                }
+                None => declared, // bound to its default, which has the declared type
+            };
+            let delta = actual as i64 - declared as i64;
+            if delta < 0 {
+                out.push(diag(
+                    scope,
+                    NodeRef::InputPort {
+                        processor: pname.to_string(),
+                        port: port.name.to_string(),
+                    },
+                    DiagCode::NegativeMismatch,
+                    format!(
+                        "value of depth {actual} is wrapped up to the declared depth \
+                         {declared} (δ = {delta})"
+                    ),
+                    Some(
+                        "singleton wrapping (§3.1) is usually intentional; widen the \
+                         declared type if the port should iterate instead"
+                            .into(),
+                    ),
+                ));
+            }
+            deltas.push((port.name.clone(), delta));
+        }
+
+        // Positive mismatches drive the implicit iteration.
+        let positive: Vec<(&Arc<str>, usize)> =
+            deltas.iter().filter(|(_, d)| *d > 0).map(|(n, d)| (n, *d as usize)).collect();
+        let describe = |ports: &[(&Arc<str>, usize)]| {
+            ports.iter().map(|(n, d)| format!("{n} (δ=+{d})")).collect::<Vec<_>>().join(", ")
+        };
+
+        let total = match p.iteration {
+            IterationStrategy::Cross => positive.iter().map(|(_, d)| d).sum(),
+            IterationStrategy::Dot => {
+                let max = positive.iter().map(|(_, d)| *d).max().unwrap_or(0);
+                if positive.iter().any(|(_, d)| *d != max) {
+                    out.push(diag(
+                        scope,
+                        NodeRef::Processor(pname.to_string()),
+                        DiagCode::DotUnequalMismatch,
+                        format!(
+                            "dot iteration requires equal positive mismatches, found {}",
+                            describe(&positive)
+                        ),
+                        Some(
+                            "make the mismatched depths agree, or switch the processor \
+                             to cross iteration"
+                                .into(),
+                        ),
+                    ));
+                }
+                max
+            }
+        };
+
+        if total > 0 && total >= config.iteration_depth_threshold {
+            out.push(diag(
+                scope,
+                NodeRef::Processor(pname.to_string()),
+                DiagCode::IterationExplosion,
+                format!(
+                    "implicit iteration of depth {total} reaches the threshold {}; \
+                     every level multiplies the invocation count by a list length",
+                    config.iteration_depth_threshold
+                ),
+                Some(format!("mismatched ports: {}", describe(&positive))),
+            ));
+        }
+
+        // Rule 2: output depths gain the iteration depth.
+        for port in &p.outputs {
+            out_depth.insert((pname.clone(), port.name.clone()), port.declared.depth + total);
+        }
+    }
+}

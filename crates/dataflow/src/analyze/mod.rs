@@ -1,0 +1,272 @@
+//! Static diagnostics over dataflow specifications (`prov-analyze`).
+//!
+//! [`crate::validate`] rejects specifications that are *structurally*
+//! broken — duplicate names, cycles, multiple writers. This module is the
+//! complementary **advisory** pass: a rustc-style diagnostics engine built
+//! on top of Algorithm 1 (`PROPAGATEDEPTHS`, §3.1) that reports properties
+//! `validate` cannot express, because they make a workflow *wrong* or
+//! *surprising* rather than unbuildable:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | E001 | error    | an arc connects ports of different base types |
+//! | E002 | error    | dot-iteration ports with unequal positive mismatches |
+//! | E003 | error    | input port with neither an incoming arc nor a default |
+//! | W001 | warning  | dead processor: no path to any workflow output |
+//! | W002 | warning  | processor can never fire (starved by an E003 upstream) |
+//! | W003 | warning  | workflow input connected to nothing |
+//! | W004 | warning  | design-time default shadowed by an incoming arc |
+//! | W005 | warning  | implicit iteration depth reaches the configured threshold |
+//! | I001 | info     | negative mismatch: the value will be singleton-wrapped |
+//!
+//! Unlike [`crate::DepthInfo::compute`], the depth propagation used here is
+//! *tolerant*: a dot-strategy conflict becomes an E002 diagnostic and the
+//! analysis keeps going with the widest fragment, so one defect does not
+//! hide the others. Nested dataflows are analysed recursively; their
+//! diagnostics carry path-qualified locations (`outer/sub :: Q:X`).
+
+mod lints;
+mod render;
+
+pub use render::{render_json, render_text};
+
+use std::fmt;
+
+use crate::graph::{Dataflow, ProcessorKind};
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// The workflow will fail or produce meaningless results at runtime.
+    Error,
+    /// The workflow runs, but something is almost certainly not intended.
+    Warning,
+    /// Informational: a paper-defined behaviour worth knowing about.
+    Info,
+}
+
+impl Severity {
+    /// Lowercase label used in rendered output (`error`, `warning`, `note`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "note",
+        }
+    }
+
+    /// Sort rank: errors first.
+    pub(crate) fn rank(self) -> u8 {
+        match self {
+            Severity::Error => 0,
+            Severity::Warning => 1,
+            Severity::Info => 2,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stable diagnostic codes. The numeric string (`E001`, …) is the public
+/// contract: tools may match on it, so codes are never renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagCode {
+    /// E001: an arc connects ports whose declared base types differ.
+    ArcBaseTypeMismatch,
+    /// E002: a dot-iteration processor whose positive depth mismatches are
+    /// unequal — lockstep iteration is undefined.
+    DotUnequalMismatch,
+    /// E003: a processor input port with neither an incoming arc nor a
+    /// design-time default; execution is guaranteed to fail.
+    UnboundInput,
+    /// W001: a processor with no path to any workflow output.
+    DeadProcessor,
+    /// W002: a processor that can never fire because an upstream input can
+    /// never be bound.
+    StarvedProcessor,
+    /// W003: a workflow input port connected to nothing.
+    UnusedWorkflowInput,
+    /// W004: a design-time default shadowed by an incoming arc.
+    ShadowedDefault,
+    /// W005: total implicit-iteration depth at or above the configured
+    /// threshold — invocation counts multiply per level.
+    IterationExplosion,
+    /// I001: negative depth mismatch; the value is singleton-wrapped.
+    NegativeMismatch,
+}
+
+impl DiagCode {
+    /// The stable code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::ArcBaseTypeMismatch => "E001",
+            DiagCode::DotUnequalMismatch => "E002",
+            DiagCode::UnboundInput => "E003",
+            DiagCode::DeadProcessor => "W001",
+            DiagCode::StarvedProcessor => "W002",
+            DiagCode::UnusedWorkflowInput => "W003",
+            DiagCode::ShadowedDefault => "W004",
+            DiagCode::IterationExplosion => "W005",
+            DiagCode::NegativeMismatch => "I001",
+        }
+    }
+
+    /// The severity a code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::ArcBaseTypeMismatch
+            | DiagCode::DotUnequalMismatch
+            | DiagCode::UnboundInput => Severity::Error,
+            DiagCode::DeadProcessor
+            | DiagCode::StarvedProcessor
+            | DiagCode::UnusedWorkflowInput
+            | DiagCode::ShadowedDefault
+            | DiagCode::IterationExplosion => Severity::Warning,
+            DiagCode::NegativeMismatch => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The specification element a diagnostic is anchored to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRef {
+    /// A processor node.
+    Processor(String),
+    /// An input port of a processor.
+    InputPort {
+        /// Owning processor.
+        processor: String,
+        /// Port name.
+        port: String,
+    },
+    /// A workflow input port.
+    WorkflowInput(String),
+    /// A workflow output port.
+    WorkflowOutput(String),
+    /// An arc, in its `src -> dst` rendering.
+    Arc(String),
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Processor(p) => write!(f, "{p}"),
+            NodeRef::InputPort { processor, port } => write!(f, "{processor}:{port}"),
+            NodeRef::WorkflowInput(p) => write!(f, "in:{p}"),
+            NodeRef::WorkflowOutput(p) => write!(f, "out:{p}"),
+            NodeRef::Arc(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// Where a diagnostic points: a nesting path of dataflow scopes plus the
+/// offending element within the innermost scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    /// Slash-separated scope path: the top-level workflow name, extended by
+    /// one nested-processor name per nesting level (`wf/sub`).
+    pub scope: String,
+    /// The element within that scope.
+    pub node: NodeRef,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :: {}", self.scope, self.node)
+    }
+}
+
+/// One finding of the static analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (determines the severity).
+    pub code: DiagCode,
+    /// Where in the specification the problem sits.
+    pub location: Location,
+    /// One-line description of the problem.
+    pub message: String,
+    /// Optional suggestion for fixing it.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// The severity of this diagnostic (derived from the code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Whether this diagnostic is error-level.
+    pub fn is_error(&self) -> bool {
+        self.severity() == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {} ({})", self.severity(), self.code, self.message, self.location)
+    }
+}
+
+/// Tunables of the analysis.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// W005 fires when a processor's total implicit-iteration depth
+    /// `Σ max(δ_s, 0)` reaches this value. Each level multiplies the
+    /// invocation count by a list length, so even small thresholds flag
+    /// real blow-ups. Default: 3.
+    pub iteration_depth_threshold: usize,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig { iteration_depth_threshold: 3 }
+    }
+}
+
+/// Analyses a dataflow with the default configuration.
+pub fn analyze(df: &Dataflow) -> Vec<Diagnostic> {
+    analyze_with(df, &AnalyzeConfig::default())
+}
+
+/// Analyses a dataflow (and, recursively, every nested dataflow) and
+/// returns all diagnostics, errors first, in a deterministic order.
+///
+/// The dataflow should already pass [`crate::validate`]; on graphs that do
+/// not (e.g. cyclic ones), the depth-based lints degrade gracefully by
+/// skipping themselves rather than panicking.
+pub fn analyze_with(df: &Dataflow, config: &AnalyzeConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    analyze_scope(df, df.name.to_string(), config, &mut out);
+    out.sort_by(|a, b| {
+        (a.severity().rank(), a.code.as_str(), a.location.to_string()).cmp(&(
+            b.severity().rank(),
+            b.code.as_str(),
+            b.location.to_string(),
+        ))
+    });
+    out
+}
+
+/// Number of error-level diagnostics in a report.
+pub fn error_count(diagnostics: &[Diagnostic]) -> usize {
+    diagnostics.iter().filter(|d| d.is_error()).count()
+}
+
+fn analyze_scope(df: &Dataflow, scope: String, config: &AnalyzeConfig, out: &mut Vec<Diagnostic>) {
+    lints::check_scope(df, &scope, config, out);
+    for p in &df.processors {
+        if let ProcessorKind::Nested { dataflow } = &p.kind {
+            analyze_scope(dataflow, format!("{scope}/{}", p.name), config, out);
+        }
+    }
+}

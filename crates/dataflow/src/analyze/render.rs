@@ -1,0 +1,118 @@
+//! Text and JSON rendering of diagnostics.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use super::{Diagnostic, Severity};
+
+/// Renders diagnostics in the rustc style:
+///
+/// ```text
+/// error[E001]: arc carries string values into a int port
+///   --> wf :: in:a -> P:x
+///   = help: align the declared base types of the two ports, ...
+///
+/// 1 error(s), 0 warning(s), 0 note(s)
+/// ```
+pub fn render_text(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity(), d.code, d.message);
+        let _ = writeln!(out, "  --> {}", d.location);
+        if let Some(help) = &d.help {
+            let _ = writeln!(out, "  = help: {help}");
+        }
+        out.push('\n');
+    }
+    let count = |s: Severity| diagnostics.iter().filter(|d| d.severity() == s).count();
+    if diagnostics.is_empty() {
+        out.push_str("no diagnostics\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "{} error(s), {} warning(s), {} note(s)",
+            count(Severity::Error),
+            count(Severity::Warning),
+            count(Severity::Info)
+        );
+    }
+    out
+}
+
+/// Flat, serialization-friendly form of one diagnostic.
+#[derive(Serialize)]
+struct DiagnosticJson {
+    code: String,
+    severity: String,
+    scope: String,
+    location: String,
+    message: String,
+    help: Option<String>,
+}
+
+/// Renders diagnostics as a JSON array of
+/// `{code, severity, scope, location, message, help}` records.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    let records: Vec<DiagnosticJson> = diagnostics
+        .iter()
+        .map(|d| DiagnosticJson {
+            code: d.code.as_str().to_string(),
+            severity: d.severity().label().to_string(),
+            scope: d.location.scope.clone(),
+            location: d.location.node.to_string(),
+            message: d.message.clone(),
+            help: d.help.clone(),
+        })
+        .collect();
+    serde_json::to_string_pretty(&records).unwrap_or_else(|_| "[]".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{DiagCode, Location, NodeRef};
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                code: DiagCode::ArcBaseTypeMismatch,
+                location: Location { scope: "wf".into(), node: NodeRef::Arc("in:a -> P:x".into()) },
+                message: "arc carries string values into a int port".into(),
+                help: Some("align the declared base types".into()),
+            },
+            Diagnostic {
+                code: DiagCode::DeadProcessor,
+                location: Location { scope: "wf".into(), node: NodeRef::Processor("Q".into()) },
+                message: "no path from this processor to any workflow output".into(),
+                help: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn text_is_rustc_shaped() {
+        let text = render_text(&sample());
+        assert!(text.contains("error[E001]: arc carries string values into a int port"));
+        assert!(text.contains("  --> wf :: in:a -> P:x"));
+        assert!(text.contains("  = help: align the declared base types"));
+        assert!(text.contains("warning[W001]:"));
+        assert!(text.ends_with("1 error(s), 1 warning(s), 0 note(s)\n"));
+    }
+
+    #[test]
+    fn empty_report_says_so() {
+        assert_eq!(render_text(&[]), "no diagnostics\n");
+    }
+
+    #[test]
+    fn json_carries_all_fields() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"code\": \"E001\""));
+        assert!(json.contains("\"severity\": \"error\""));
+        assert!(json.contains("\"scope\": \"wf\""));
+        assert!(json.contains("\"location\": \"Q\""));
+        // A missing help serialises as null.
+        assert!(json.contains("null"));
+    }
+}

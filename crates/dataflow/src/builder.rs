@@ -5,8 +5,8 @@ use std::sync::Arc;
 use prov_model::{PortType, ProcessorName, Value};
 
 use crate::graph::{
-    ArcDst, ArcSrc, Dataflow, DataflowArc, InputPort, IterationStrategy, OutputPort,
-    ProcessorKind, ProcessorSpec,
+    ArcDst, ArcSrc, Dataflow, DataflowArc, InputPort, IterationStrategy, OutputPort, ProcessorKind,
+    ProcessorSpec,
 };
 use crate::{validate, DataflowError, Result};
 
@@ -97,7 +97,13 @@ impl DataflowBuilder {
     }
 
     /// Adds an arc from one processor's output port to another's input port.
-    pub fn arc(&mut self, src_proc: &str, src_port: &str, dst_proc: &str, dst_port: &str) -> Result<&mut Self> {
+    pub fn arc(
+        &mut self,
+        src_proc: &str,
+        src_port: &str,
+        dst_proc: &str,
+        dst_port: &str,
+    ) -> Result<&mut Self> {
         self.check_output(src_proc, src_port)?;
         self.check_input(dst_proc, dst_port)?;
         self.arcs.push(DataflowArc {
@@ -114,7 +120,12 @@ impl DataflowBuilder {
     }
 
     /// Adds an arc from a workflow input to a processor input port.
-    pub fn arc_from_input(&mut self, wf_port: &str, dst_proc: &str, dst_port: &str) -> Result<&mut Self> {
+    pub fn arc_from_input(
+        &mut self,
+        wf_port: &str,
+        dst_proc: &str,
+        dst_port: &str,
+    ) -> Result<&mut Self> {
         if !self.inputs.iter().any(|p| &*p.name == wf_port) {
             return Err(DataflowError::UnknownPort {
                 processor: self.name.to_string(),
@@ -133,7 +144,12 @@ impl DataflowBuilder {
     }
 
     /// Adds an arc from a processor output port to a workflow output.
-    pub fn arc_to_output(&mut self, src_proc: &str, src_port: &str, wf_port: &str) -> Result<&mut Self> {
+    pub fn arc_to_output(
+        &mut self,
+        src_proc: &str,
+        src_port: &str,
+        wf_port: &str,
+    ) -> Result<&mut Self> {
         self.check_output(src_proc, src_port)?;
         if !self.outputs.iter().any(|p| &*p.name == wf_port) {
             return Err(DataflowError::UnknownPort {
@@ -175,7 +191,8 @@ impl DataflowBuilder {
 
     /// Validates and produces the dataflow.
     pub fn build(self) -> Result<Dataflow> {
-        let df = Dataflow::assemble(self.name, self.inputs, self.outputs, self.processors, self.arcs);
+        let df =
+            Dataflow::assemble(self.name, self.inputs, self.outputs, self.processors, self.arcs);
         validate(&df)?;
         Ok(df)
     }
@@ -264,17 +281,15 @@ mod tests {
             b.arc_from_input("in", "P", "nope"),
             Err(DataflowError::UnknownPort { .. })
         ));
-        assert!(matches!(
-            b.arc("P", "y", "Q", "x"),
-            Err(DataflowError::UnknownProcessor(_))
-        ));
+        assert!(matches!(b.arc("P", "y", "Q", "x"), Err(DataflowError::UnknownProcessor(_))));
     }
 
     #[test]
     fn nested_processor_inherits_interface() {
         let mut inner = DataflowBuilder::new("inner");
         inner.input("a", PortType::atom(BaseType::Int));
-        inner.processor("id")
+        inner
+            .processor("id")
             .in_port("x", PortType::atom(BaseType::Int))
             .out_port("y", PortType::atom(BaseType::Int));
         inner.arc_from_input("a", "id", "x").unwrap();
@@ -310,10 +325,7 @@ mod tests {
         b.output("out", PortType::list(BaseType::Int));
         b.arc_to_output("zipadd", "z", "out").unwrap();
         let wf = b.build().unwrap();
-        assert_eq!(
-            wf.processor(&"zipadd".into()).unwrap().iteration,
-            IterationStrategy::Dot
-        );
+        assert_eq!(wf.processor(&"zipadd".into()).unwrap().iteration, IterationStrategy::Dot);
     }
 
     #[test]

@@ -141,8 +141,7 @@ impl DepthInfo {
                 Some(arc) => info.src_depth(df, &arc.src)?,
                 None => declared, // unreachable post-validation; kept total
             };
-            info.workflow_outputs
-                .insert(out.name.clone(), PortDepths { declared, actual });
+            info.workflow_outputs.insert(out.name.clone(), PortDepths { declared, actual });
         }
 
         Ok(info)
@@ -168,24 +167,12 @@ impl DepthInfo {
                 // The zip combinator iterates mismatched ports in lockstep:
                 // they share ONE index fragment, so all positive mismatches
                 // must agree.
-                let mut common: Option<usize> = None;
-                for d in port_depths {
-                    let len = d.fragment_len();
-                    if len > 0 {
-                        match common {
-                            None => common = Some(len),
-                            Some(c) if c != len => {
-                                return Err(DataflowError::NestedInterfaceMismatch {
-                                    processor: format!(
-                                        "{pname}: dot iteration requires equal mismatches ({c} vs {len})"
-                                    ),
-                                })
-                            }
-                            Some(_) => {}
-                        }
-                    }
+                let lens: Vec<usize> =
+                    port_depths.iter().map(|d| d.fragment_len()).filter(|&len| len > 0).collect();
+                if lens.windows(2).any(|w| w[0] != w[1]) {
+                    return Err(DataflowError::DotMismatch { processor: pname.to_string(), lens });
                 }
-                let total = common.unwrap_or(0);
+                let total = lens.first().copied().unwrap_or(0);
                 let fragments = port_depths
                     .iter()
                     .map(|d| if d.fragment_len() > 0 { (0, total) } else { (0, 0) })
@@ -206,14 +193,14 @@ impl DepthInfo {
                 })?;
                 Ok(p.declared.depth)
             }
-            ArcSrc::Processor { processor, port } => self
-                .outputs
-                .get(&(processor.clone(), port.clone()))
-                .map(|d| d.actual)
-                .ok_or_else(|| DataflowError::UnknownPort {
-                    processor: processor.to_string(),
-                    port: port.to_string(),
-                }),
+            ArcSrc::Processor { processor, port } => {
+                self.outputs.get(&(processor.clone(), port.clone())).map(|d| d.actual).ok_or_else(
+                    || DataflowError::UnknownPort {
+                        processor: processor.to_string(),
+                        port: port.to_string(),
+                    },
+                )
+            }
         }
     }
 
@@ -394,7 +381,13 @@ mod tests {
         b.output("o", PortType::list(BaseType::Int));
         b.arc_to_output("zip", "z", "o").unwrap();
         let df = b.build().unwrap();
-        assert!(DepthInfo::compute(&df).is_err());
+        match DepthInfo::compute(&df) {
+            Err(DataflowError::DotMismatch { processor, lens }) => {
+                assert_eq!(processor, "zip");
+                assert_eq!(lens, vec![1, 2]);
+            }
+            other => panic!("expected DotMismatch, got {other:?}"),
+        }
     }
 
     #[test]

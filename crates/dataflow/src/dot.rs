@@ -1,30 +1,114 @@
 //! Graphviz (DOT) rendering of dataflow specifications.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::analyze::{Diagnostic, NodeRef, Severity};
 use crate::graph::{ArcDst, ArcSrc, Dataflow, ProcessorKind};
 
 /// Renders the dataflow as a Graphviz `digraph`, with workflow inputs and
 /// outputs as house/invhouse shapes and processors as boxes (nested
 /// dataflows as double boxes). Arc labels carry the port names.
 pub fn to_dot(df: &Dataflow) -> String {
+    render(df, &[])
+}
+
+/// Like [`to_dot`], but colors the nodes and arcs that carry diagnostics:
+/// red for errors, orange for warnings, blue for infos. Diagnostics inside
+/// nested dataflows color the nested processor node that contains them.
+pub fn to_dot_with_diagnostics(df: &Dataflow, diagnostics: &[Diagnostic]) -> String {
+    render(df, diagnostics)
+}
+
+enum Target {
+    Node(String),
+    Edge(String),
+}
+
+/// Maps a diagnostic to the top-level graph element it colors: a direct
+/// element for top-scope diagnostics, the containing nested processor for
+/// nested-scope ones.
+fn target_of(df: &Dataflow, d: &Diagnostic) -> Option<Target> {
+    if d.location.scope == df.name.as_str() {
+        Some(match &d.location.node {
+            NodeRef::Processor(p) => Target::Node(p.clone()),
+            NodeRef::InputPort { processor, .. } => Target::Node(processor.clone()),
+            NodeRef::WorkflowInput(p) => Target::Node(format!("in:{p}")),
+            NodeRef::WorkflowOutput(p) => Target::Node(format!("out:{p}")),
+            NodeRef::Arc(a) => Target::Edge(a.clone()),
+        })
+    } else {
+        let rest = d.location.scope.strip_prefix(&format!("{}/", df.name))?;
+        let nested = rest.split('/').next()?;
+        Some(Target::Node(nested.to_string()))
+    }
+}
+
+fn worst(a: Severity, b: Severity) -> Severity {
+    if b.rank() < a.rank() {
+        b
+    } else {
+        a
+    }
+}
+
+fn node_attrs(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => ", color=red, penwidth=2, style=filled, fillcolor=mistyrose",
+        Severity::Warning => ", color=orange, penwidth=2, style=filled, fillcolor=cornsilk",
+        Severity::Info => ", color=blue",
+    }
+}
+
+fn edge_color(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "red",
+        Severity::Warning => "orange",
+        Severity::Info => "blue",
+    }
+}
+
+fn render(df: &Dataflow, diagnostics: &[Diagnostic]) -> String {
+    let mut node_sev: HashMap<String, Severity> = HashMap::new();
+    let mut edge_sev: HashMap<String, Severity> = HashMap::new();
+    for d in diagnostics {
+        match target_of(df, d) {
+            Some(Target::Node(id)) => {
+                let entry = node_sev.entry(id).or_insert_with(|| d.severity());
+                *entry = worst(*entry, d.severity());
+            }
+            Some(Target::Edge(id)) => {
+                let entry = edge_sev.entry(id).or_insert_with(|| d.severity());
+                *entry = worst(*entry, d.severity());
+            }
+            None => {}
+        }
+    }
+    let extra = |id: &str| node_sev.get(id).map(|&s| node_attrs(s)).unwrap_or("");
+
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}\" {{", df.name);
     let _ = writeln!(out, "  rankdir=TB;");
     let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
 
     for input in &df.inputs {
+        let id = format!("in:{}", input.name);
         let _ = writeln!(
             out,
-            "  \"in:{}\" [shape=house, label=\"{}\\n{}\"];",
-            input.name, input.name, input.declared
+            "  \"{id}\" [shape=house, label=\"{}\\n{}\"{}];",
+            input.name,
+            input.declared,
+            extra(&id)
         );
     }
     for output in &df.outputs {
+        let id = format!("out:{}", output.name);
         let _ = writeln!(
             out,
-            "  \"out:{}\" [shape=invhouse, label=\"{}\\n{}\"];",
-            output.name, output.name, output.declared
+            "  \"{id}\" [shape=invhouse, label=\"{}\\n{}\"{}];",
+            output.name,
+            output.declared,
+            extra(&id)
         );
     }
     for p in &df.processors {
@@ -32,7 +116,7 @@ pub fn to_dot(df: &Dataflow) -> String {
             ProcessorKind::Task { .. } => "box",
             ProcessorKind::Nested { .. } => "box3d",
         };
-        let _ = writeln!(out, "  \"{}\" [shape={shape}];", p.name);
+        let _ = writeln!(out, "  \"{}\" [shape={shape}{}];", p.name, extra(p.name.as_str()));
     }
     for arc in &df.arcs {
         let (src, src_port) = match &arc.src {
@@ -49,10 +133,17 @@ pub fn to_dot(df: &Dataflow) -> String {
             (false, true) => src_port,
             (false, false) => format!("{src_port}→{dst_port}"),
         };
-        if label.is_empty() {
+        let mut attrs: Vec<String> = Vec::new();
+        if !label.is_empty() {
+            attrs.push(format!("label=\"{label}\""));
+        }
+        if let Some(&sev) = edge_sev.get(&arc.to_string()) {
+            attrs.push(format!("color={}, penwidth=2", edge_color(sev)));
+        }
+        if attrs.is_empty() {
             let _ = writeln!(out, "  \"{src}\" -> \"{dst}\";");
         } else {
-            let _ = writeln!(out, "  \"{src}\" -> \"{dst}\" [label=\"{label}\"];");
+            let _ = writeln!(out, "  \"{src}\" -> \"{dst}\" [{}];", attrs.join(", "));
         }
     }
     out.push_str("}\n");
@@ -62,7 +153,7 @@ pub fn to_dot(df: &Dataflow) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{BaseType, DataflowBuilder, PortType};
+    use crate::{analyze, BaseType, DataflowBuilder, PortType};
 
     #[test]
     fn dot_contains_all_nodes_and_arcs() {
@@ -82,5 +173,28 @@ mod tests {
         assert!(dot.contains("\"in:in\" -> \"P\""));
         assert!(dot.contains("\"P\" -> \"out:out\""));
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn diagnostics_color_nodes_and_edges() {
+        // `unused` gets W003 (warning, node), the int→string arc gets E001
+        // (error, edge), and Q — fed by it — stays a plain box.
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::atom(BaseType::Int));
+        b.input("unused", PortType::atom(BaseType::Int));
+        b.processor("Q")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("a", "Q", "x").unwrap();
+        b.output("o", PortType::atom(BaseType::String));
+        b.arc_to_output("Q", "y", "o").unwrap();
+        let df = b.build().unwrap();
+        let diags = analyze(&df);
+        let dot = to_dot_with_diagnostics(&df, &diags);
+        assert!(dot.contains("\"in:unused\" [shape=house, label=\"unused\\nint\", color=orange"));
+        assert!(dot.contains("\"in:a\" -> \"Q\" [label=\"x\", color=red, penwidth=2];"));
+        assert!(dot.contains("\"Q\" [shape=box];"));
+        // Without diagnostics, nothing is colored.
+        assert!(!to_dot(&df).contains("color="));
     }
 }

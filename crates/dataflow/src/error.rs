@@ -35,6 +35,14 @@ pub enum DataflowError {
         /// The nested processor name.
         processor: String,
     },
+    /// A dot-iteration (zip) processor whose ports carry unequal positive
+    /// depth mismatches — lockstep iteration is undefined for them.
+    DotMismatch {
+        /// The processor name.
+        processor: String,
+        /// The positive fragment lengths found, in input-port order.
+        lens: Vec<usize>,
+    },
 }
 
 impl fmt::Display for DataflowError {
@@ -55,7 +63,16 @@ impl fmt::Display for DataflowError {
                 write!(f, "workflow output {p:?} has no incoming arc")
             }
             DataflowError::NestedInterfaceMismatch { processor } => {
-                write!(f, "nested processor {processor:?} does not match its sub-workflow interface")
+                write!(
+                    f,
+                    "nested processor {processor:?} does not match its sub-workflow interface"
+                )
+            }
+            DataflowError::DotMismatch { processor, lens } => {
+                write!(
+                    f,
+                    "processor {processor:?}: dot iteration requires equal positive mismatches, found {lens:?}"
+                )
             }
         }
     }

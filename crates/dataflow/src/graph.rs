@@ -203,22 +203,13 @@ impl Dataflow {
         processors: Vec<ProcessorSpec>,
         arcs: Vec<DataflowArc>,
     ) -> Self {
-        let index = processors
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.name.clone(), i))
-            .collect();
+        let index = processors.iter().enumerate().map(|(i, p)| (p.name.clone(), i)).collect();
         Dataflow { name, inputs, outputs, processors, arcs, index }
     }
 
     /// Rebuilds the name index (needed after deserialization).
     pub fn reindex(&mut self) {
-        self.index = self
-            .processors
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.name.clone(), i))
-            .collect();
+        self.index = self.processors.iter().enumerate().map(|(i, p)| (p.name.clone(), i)).collect();
     }
 
     /// Looks up a processor by name.
@@ -233,8 +224,7 @@ impl Dataflow {
 
     /// Looks up a processor, erroring if absent.
     pub fn processor_required(&self, name: &ProcessorName) -> Result<&ProcessorSpec> {
-        self.processor(name)
-            .ok_or_else(|| DataflowError::UnknownProcessor(name.to_string()))
+        self.processor(name).ok_or_else(|| DataflowError::UnknownProcessor(name.to_string()))
     }
 
     /// Number of processor nodes.
@@ -271,9 +261,9 @@ impl Dataflow {
 
     /// All arcs whose destination is the given workflow output port.
     pub fn arc_into_output(&self, port: &str) -> Option<&DataflowArc> {
-        self.arcs.iter().find(|a| {
-            matches!(&a.dst, ArcDst::WorkflowOutput { port: q } if &**q == port)
-        })
+        self.arcs
+            .iter()
+            .find(|a| matches!(&a.dst, ArcDst::WorkflowOutput { port: q } if &**q == port))
     }
 
     /// All arcs leaving the given processor output port.
@@ -335,11 +325,7 @@ impl Dataflow {
     pub fn port_count(&self) -> usize {
         self.inputs.len()
             + self.outputs.len()
-            + self
-                .processors
-                .iter()
-                .map(|p| p.inputs.len() + p.outputs.len())
-                .sum::<usize>()
+            + self.processors.iter().map(|p| p.inputs.len() + p.outputs.len()).sum::<usize>()
     }
 }
 

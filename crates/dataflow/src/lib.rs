@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod analyze;
 mod builder;
 mod depths;
 mod dot;
@@ -31,13 +32,17 @@ mod toposort;
 mod validate;
 mod views;
 
+pub use analyze::{
+    analyze, analyze_with, error_count, render_json, render_text, AnalyzeConfig, DiagCode,
+    Diagnostic, Location, NodeRef, Severity,
+};
 pub use builder::{DataflowBuilder, ProcessorBuilder};
 pub use depths::{DepthInfo, PortDepths, ProjectionLayout};
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_with_diagnostics};
 pub use error::DataflowError;
 pub use graph::{
-    ArcDst, ArcSrc, Dataflow, DataflowArc, InputPort, IterationStrategy, OutputPort,
-    ProcessorKind, ProcessorSpec,
+    ArcDst, ArcSrc, Dataflow, DataflowArc, InputPort, IterationStrategy, OutputPort, ProcessorKind,
+    ProcessorSpec,
 };
 pub use prov_model::{BaseType, Depth, PortType};
 pub use toposort::toposort;

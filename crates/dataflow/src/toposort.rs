@@ -18,12 +18,8 @@ use crate::{DataflowError, Result};
 /// deterministic.
 pub fn toposort(df: &Dataflow) -> Result<Vec<ProcessorName>> {
     let n = df.processors.len();
-    let position: HashMap<&ProcessorName, usize> = df
-        .processors
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (&p.name, i))
-        .collect();
+    let position: HashMap<&ProcessorName, usize> =
+        df.processors.iter().enumerate().map(|(i, p)| (&p.name, i)).collect();
 
     let mut indegree = vec![0usize; n];
     let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];

@@ -184,10 +184,7 @@ mod tests {
         if let Some(p) = wf.processors.iter_mut().find(|p| p.name.as_str() == "sub") {
             p.inputs[0].declared = PortType::list(BaseType::Int);
         }
-        assert!(matches!(
-            crate::validate(&wf),
-            Err(DataflowError::NestedInterfaceMismatch { .. })
-        ));
+        assert!(matches!(crate::validate(&wf), Err(DataflowError::NestedInterfaceMismatch { .. })));
     }
 
     #[test]
@@ -224,12 +221,10 @@ mod tests {
             kind: crate::ProcessorKind::Task { behavior: "P".into() },
             iteration: Default::default(),
         };
-        let arcs = vec![
-            DataflowArc {
-                src: ArcSrc::Processor { processor: "P".into(), port: "y".into() },
-                dst: crate::ArcDst::Processor { processor: "P".into(), port: "x".into() },
-            },
-        ];
+        let arcs = vec![DataflowArc {
+            src: ArcSrc::Processor { processor: "P".into(), port: "y".into() },
+            dst: crate::ArcDst::Processor { processor: "P".into(), port: "x".into() },
+        }];
         let df = crate::graph::Dataflow::assemble("wf".into(), vec![], vec![], vec![p], arcs);
         assert!(matches!(crate::validate(&df), Err(DataflowError::Cyclic { .. })));
     }

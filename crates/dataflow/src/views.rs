@@ -35,11 +35,7 @@ impl CompositeView {
     }
 
     /// Adds a composite group.
-    pub fn group(
-        mut self,
-        name: &str,
-        members: impl IntoIterator<Item = ProcessorName>,
-    ) -> Self {
+    pub fn group(mut self, name: &str, members: impl IntoIterator<Item = ProcessorName>) -> Self {
         self.groups.push((name.to_string(), members.into_iter().collect()));
         self
     }
@@ -128,8 +124,10 @@ impl CompositeView {
             edges.entry(rep(&p.name)).or_default();
         }
         for arc in &df.arcs {
-            if let (ArcSrc::Processor { processor: s, .. }, ArcDst::Processor { processor: d, .. }) =
-                (&arc.src, &arc.dst)
+            if let (
+                ArcSrc::Processor { processor: s, .. },
+                ArcDst::Processor { processor: d, .. },
+            ) = (&arc.src, &arc.dst)
             {
                 let (rs, rd) = (rep(s), rep(d));
                 if rs != rd {
@@ -253,11 +251,7 @@ mod tests {
         let expanded = view.expand_focus(["mid".into(), "D".into()]);
         assert_eq!(
             expanded,
-            vec![
-                ProcessorName::from("B"),
-                ProcessorName::from("C"),
-                ProcessorName::from("D")
-            ]
+            vec![ProcessorName::from("B"), ProcessorName::from("C"), ProcessorName::from("D")]
         );
     }
 

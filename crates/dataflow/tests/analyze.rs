@@ -1,0 +1,289 @@
+//! One fixture workflow per diagnostic code: each test builds the smallest
+//! specification that trips exactly the lint under test and asserts the
+//! analyzer reports it — and nothing unexpected — at the right location.
+
+use prov_dataflow::{
+    analyze, analyze_with, error_count, AnalyzeConfig, BaseType, Dataflow, DataflowBuilder,
+    DataflowError, DepthInfo, PortType,
+};
+use prov_model::Value;
+use std::sync::Arc;
+
+/// Diagnostic codes fired by `analyze`, in report order.
+fn codes(df: &Dataflow) -> Vec<String> {
+    analyze(df).into_iter().map(|d| d.code.as_str().to_string()).collect()
+}
+
+fn atom(b: BaseType) -> PortType {
+    PortType::atom(b)
+}
+
+fn list(b: BaseType) -> PortType {
+    PortType::list(b)
+}
+
+/// A minimal clean chain: in → P(identity-shaped ports) → out.
+fn clean_chain() -> Dataflow {
+    let mut b = DataflowBuilder::new("clean");
+    b.input("a", atom(BaseType::Int));
+    b.processor("P").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.arc_from_input("a", "P", "x").unwrap();
+    b.output("o", atom(BaseType::Int));
+    b.arc_to_output("P", "y", "o").unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn clean_workflow_yields_no_diagnostics() {
+    assert_eq!(codes(&clean_chain()), Vec::<String>::new());
+}
+
+#[test]
+fn e001_arc_base_type_mismatch() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", atom(BaseType::Int));
+    b.processor("P").in_port("x", atom(BaseType::String)).out_port("y", atom(BaseType::String));
+    b.arc_from_input("a", "P", "x").unwrap();
+    b.output("o", atom(BaseType::String));
+    b.arc_to_output("P", "y", "o").unwrap();
+    let df = b.build().unwrap();
+
+    assert_eq!(codes(&df), vec!["E001"]);
+    let d = &analyze(&df)[0];
+    assert!(d.is_error());
+    assert_eq!(d.location.to_string(), "wf :: in:a -> P:x");
+    assert!(d.message.contains("int") && d.message.contains("string"), "{}", d.message);
+}
+
+#[test]
+fn e002_dot_iteration_with_unequal_mismatches() {
+    // δ(x) = 1, δ(y) = 2 under Dot: DepthInfo refuses, the analyzer reports.
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", list(BaseType::Int));
+    b.input("b", PortType::nested(BaseType::Int, 2));
+    b.processor("zip")
+        .in_port("x", atom(BaseType::Int))
+        .in_port("y", atom(BaseType::Int))
+        .out_port("z", atom(BaseType::Int))
+        .dot_iteration();
+    b.arc_from_input("a", "zip", "x").unwrap();
+    b.arc_from_input("b", "zip", "y").unwrap();
+    b.output("o", list(BaseType::Int));
+    b.arc_to_output("zip", "z", "o").unwrap();
+    let df = b.build().unwrap();
+
+    // The strict depth pass rejects this workflow outright…
+    assert!(matches!(DepthInfo::compute(&df), Err(DataflowError::DotMismatch { .. })));
+    // …while the tolerant analyzer pinpoints the processor and keeps going.
+    let diags = analyze(&df);
+    assert!(diags.iter().any(|d| d.code.as_str() == "E002"), "{diags:?}");
+    let e = diags.iter().find(|d| d.code.as_str() == "E002").unwrap();
+    assert_eq!(e.location.to_string(), "wf :: zip");
+}
+
+#[test]
+fn e003_unbound_input_port() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", atom(BaseType::Int));
+    b.processor("P")
+        .in_port("x", atom(BaseType::Int))
+        .in_port("hole", atom(BaseType::Int)) // no arc, no default
+        .out_port("y", atom(BaseType::Int));
+    b.arc_from_input("a", "P", "x").unwrap();
+    b.output("o", atom(BaseType::Int));
+    b.arc_to_output("P", "y", "o").unwrap();
+    let df = b.build().unwrap();
+
+    assert_eq!(codes(&df), vec!["E003"]);
+    assert_eq!(analyze(&df)[0].location.to_string(), "wf :: P:hole");
+}
+
+#[test]
+fn w001_dead_processor() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", atom(BaseType::Int));
+    b.processor("P").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.processor("D").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.arc_from_input("a", "P", "x").unwrap();
+    b.arc_from_input("a", "D", "x").unwrap(); // D's output goes nowhere
+    b.output("o", atom(BaseType::Int));
+    b.arc_to_output("P", "y", "o").unwrap();
+    let df = b.build().unwrap();
+
+    assert_eq!(codes(&df), vec!["W001"]);
+    assert_eq!(analyze(&df)[0].location.to_string(), "wf :: D");
+}
+
+#[test]
+fn w002_starved_processor_downstream_of_a_hole() {
+    // A has an unbound port (E003); B consumes A's output, so B can never
+    // fire — but B's own wiring is fine, so it gets W002, not E003.
+    let mut b = DataflowBuilder::new("wf");
+    b.processor("A").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.processor("B").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.arc("A", "y", "B", "x").unwrap();
+    b.output("o", atom(BaseType::Int));
+    b.arc_to_output("B", "y", "o").unwrap();
+    let df = b.build().unwrap();
+
+    let diags = analyze(&df);
+    let got: Vec<(String, String)> =
+        diags.iter().map(|d| (d.code.as_str().to_string(), d.location.to_string())).collect();
+    assert!(got.contains(&("E003".to_string(), "wf :: A:x".to_string())), "{got:?}");
+    assert!(got.contains(&("W002".to_string(), "wf :: B".to_string())), "{got:?}");
+    // B's port is starved, not unbound — no second E003.
+    assert_eq!(diags.iter().filter(|d| d.code.as_str() == "E003").count(), 1);
+}
+
+#[test]
+fn w003_unused_workflow_input() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", atom(BaseType::Int));
+    b.input("spare", atom(BaseType::Int));
+    b.processor("P").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.arc_from_input("a", "P", "x").unwrap();
+    b.output("o", atom(BaseType::Int));
+    b.arc_to_output("P", "y", "o").unwrap();
+    let df = b.build().unwrap();
+
+    assert_eq!(codes(&df), vec!["W003"]);
+    assert_eq!(analyze(&df)[0].location.to_string(), "wf :: in:spare");
+}
+
+#[test]
+fn w004_shadowed_default() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", atom(BaseType::Int));
+    b.processor("P")
+        .in_port_with_default("x", atom(BaseType::Int), Value::int(7))
+        .out_port("y", atom(BaseType::Int));
+    b.arc_from_input("a", "P", "x").unwrap(); // arc wins; default is dead
+    b.output("o", atom(BaseType::Int));
+    b.arc_to_output("P", "y", "o").unwrap();
+    let df = b.build().unwrap();
+
+    assert_eq!(codes(&df), vec!["W004"]);
+    assert_eq!(analyze(&df)[0].location.to_string(), "wf :: P:x");
+}
+
+#[test]
+fn w005_iteration_explosion_respects_threshold() {
+    // depth-3 collection into an atom port: δ = 3 ≥ default threshold 3.
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", PortType::nested(BaseType::Int, 3));
+    b.processor("P").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.arc_from_input("a", "P", "x").unwrap();
+    b.output("o", PortType::nested(BaseType::Int, 3));
+    b.arc_to_output("P", "y", "o").unwrap();
+    let df = b.build().unwrap();
+
+    assert_eq!(codes(&df), vec!["W005"]);
+    let d = &analyze(&df)[0];
+    assert_eq!(d.location.to_string(), "wf :: P");
+    assert!(d.help.as_deref().unwrap_or("").contains("δ=+3"), "{:?}", d.help);
+
+    // Raising the threshold silences the lint.
+    let lax = AnalyzeConfig { iteration_depth_threshold: 4 };
+    assert!(analyze_with(&df, &lax).is_empty());
+}
+
+#[test]
+fn i001_negative_mismatch_notes_singleton_wrapping() {
+    // atom into a list port: δ = −1 (§2.2: the value is wrapped up).
+    let mut b = DataflowBuilder::new("wf");
+    b.input("a", atom(BaseType::Int));
+    b.processor("P").in_port("x", list(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.arc_from_input("a", "P", "x").unwrap();
+    b.output("o", atom(BaseType::Int));
+    b.arc_to_output("P", "y", "o").unwrap();
+    let df = b.build().unwrap();
+
+    assert_eq!(codes(&df), vec!["I001"]);
+    let d = &analyze(&df)[0];
+    assert!(!d.is_error());
+    assert_eq!(d.location.to_string(), "wf :: P:x");
+}
+
+#[test]
+fn nested_dataflow_diagnostics_carry_path_qualified_scope() {
+    // The dead processor lives inside the nested dataflow; the diagnostic
+    // must name the path outer/sub, not just the inner workflow.
+    let mut inner = DataflowBuilder::new("sub");
+    inner.input("a", atom(BaseType::Int));
+    inner.processor("id").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    inner.processor("dead").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    inner.arc_from_input("a", "id", "x").unwrap();
+    inner.arc_from_input("a", "dead", "x").unwrap();
+    inner.output("b", atom(BaseType::Int));
+    inner.arc_to_output("id", "y", "b").unwrap();
+    let inner = Arc::new(inner.build().unwrap());
+
+    let mut outer = DataflowBuilder::new("outer");
+    outer.input("v", atom(BaseType::Int));
+    outer.nested("sub", inner);
+    outer.arc_from_input("v", "sub", "a").unwrap();
+    outer.output("w", atom(BaseType::Int));
+    outer.arc_to_output("sub", "b", "w").unwrap();
+    let df = outer.build().unwrap();
+
+    let diags = analyze(&df);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].code.as_str(), "W001");
+    assert_eq!(diags[0].location.to_string(), "outer/sub :: dead");
+}
+
+/// The ISSUE acceptance scenario: a workflow with a base-type-mismatched
+/// arc, a dead processor, and a shadowed default reports all three with
+/// distinct codes.
+#[test]
+fn acceptance_three_smells_three_distinct_codes() {
+    let mut b = DataflowBuilder::new("smelly");
+    b.input("a", atom(BaseType::Int));
+    b.processor("Q")
+        .in_port("x", atom(BaseType::String))
+        .in_port_with_default("z", atom(BaseType::Int), Value::int(7))
+        .out_port("y", atom(BaseType::String));
+    b.processor("D").in_port("x", atom(BaseType::Int)).out_port("y", atom(BaseType::Int));
+    b.arc_from_input("a", "Q", "x").unwrap(); // Int → String: E001
+    b.arc_from_input("a", "Q", "z").unwrap(); // shadows default: W004
+    b.arc_from_input("a", "D", "x").unwrap(); // never reaches an output: W001
+    b.output("ys", atom(BaseType::String));
+    b.arc_to_output("Q", "y", "ys").unwrap();
+    let df = b.build().unwrap();
+
+    let diags = analyze(&df);
+    let mut got: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+    got.sort_unstable();
+    assert_eq!(got, vec!["E001", "W001", "W004"]);
+    assert_eq!(error_count(&diags), 1);
+    // Errors sort first.
+    assert_eq!(diags[0].code.as_str(), "E001");
+}
+
+/// The paper's Fig. 3 workflow — positive mismatches on Q:X, P:X1, P:X3
+/// driving real iteration — lints clean: mismatch is a feature of the
+/// model (§2.2), not a defect.
+#[test]
+fn fig3_workflow_lints_clean() {
+    let mut b = DataflowBuilder::new("wf");
+    b.input("v", list(BaseType::String));
+    b.input("w", atom(BaseType::String));
+    b.input("c", list(BaseType::String));
+    b.processor("Q").in_port("X", atom(BaseType::String)).out_port("Y", atom(BaseType::String));
+    b.processor("R").in_port("X", atom(BaseType::String)).out_port("Y", list(BaseType::String));
+    b.processor("P")
+        .in_port("X1", atom(BaseType::String))
+        .in_port("X2", list(BaseType::String))
+        .in_port("X3", atom(BaseType::String))
+        .out_port("Y", atom(BaseType::String));
+    b.arc_from_input("v", "Q", "X").unwrap();
+    b.arc_from_input("w", "R", "X").unwrap();
+    b.arc_from_input("c", "P", "X2").unwrap();
+    b.arc("Q", "Y", "P", "X1").unwrap();
+    b.arc("R", "Y", "P", "X3").unwrap();
+    b.output("y", atom(BaseType::String));
+    b.arc_to_output("P", "Y", "y").unwrap();
+    let df = b.build().unwrap();
+
+    assert_eq!(analyze(&df), Vec::new());
+}

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use prov_dataflow::{
-    toposort, BaseType, Dataflow, DataflowBuilder, DepthInfo, PortType,
-};
+use prov_dataflow::{toposort, BaseType, Dataflow, DataflowBuilder, DepthInfo, PortType};
 use prov_model::ProcessorName;
 
 /// Spec for one random layered DAG: `layers[i]` = number of processors in

@@ -124,8 +124,7 @@ pub mod builtin {
         reg.register_fn("intersect", |inputs| {
             let a = inputs[0].as_list().ok_or("intersect requires lists")?;
             let b = inputs[1].as_list().ok_or("intersect requires lists")?;
-            let keep: Vec<Value> =
-                a.iter().filter(|x| b.contains(x)).cloned().collect();
+            let keep: Vec<Value> = a.iter().filter(|x| b.contains(x)).cloned().collect();
             Ok(vec![Value::List(keep)])
         });
         reg.register_fn("dedup", |inputs| {
@@ -142,9 +141,7 @@ pub mod builtin {
 
     /// Extracts a `&str` from an atom value or errors.
     pub fn expect_str(v: &Value) -> std::result::Result<&str, String> {
-        v.as_atom()
-            .and_then(Atom::as_str)
-            .ok_or_else(|| format!("expected a string atom, got {v}"))
+        v.as_atom().and_then(Atom::as_str).ok_or_else(|| format!("expected a string atom, got {v}"))
     }
 
     /// A behaviour that appends `suffix` to its string input — handy for

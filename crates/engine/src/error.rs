@@ -55,6 +55,13 @@ pub enum EngineError {
         /// The behaviour's error message.
         message: String,
     },
+    /// The static pre-flight analysis found error-level diagnostics, so the
+    /// run was refused before any event was recorded. Disable with
+    /// [`crate::Engine::without_preflight`].
+    Preflight {
+        /// Rendered error-level diagnostics, one per entry.
+        errors: Vec<String>,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -73,15 +80,17 @@ impl fmt::Display for EngineError {
                 f,
                 "depth mismatch at {at}: static analysis expected {expected}, value has {actual}"
             ),
-            EngineError::ArityMismatch { processor, expected, actual } => write!(
-                f,
-                "behaviour of {processor} returned {actual} outputs, {expected} declared"
-            ),
+            EngineError::ArityMismatch { processor, expected, actual } => {
+                write!(f, "behaviour of {processor} returned {actual} outputs, {expected} declared")
+            }
             EngineError::DotLengthMismatch { processor } => {
                 write!(f, "dot iteration over unequal list lengths at {processor}")
             }
             EngineError::Behavior { processor, message } => {
                 write!(f, "behaviour of {processor} failed: {message}")
+            }
+            EngineError::Preflight { errors } => {
+                write!(f, "pre-flight analysis rejected the workflow: {}", errors.join("; "))
             }
         }
     }

@@ -165,22 +165,12 @@ impl VecSink {
 
     /// All xform events of a run, in recording order.
     pub fn xforms_of(&self, run: RunId) -> Vec<XformEvent> {
-        self.xforms
-            .lock()
-            .iter()
-            .filter(|(r, _)| *r == run)
-            .map(|(_, e)| e.clone())
-            .collect()
+        self.xforms.lock().iter().filter(|(r, _)| *r == run).map(|(_, e)| e.clone()).collect()
     }
 
     /// All xfer events of a run, in recording order.
     pub fn xfers_of(&self, run: RunId) -> Vec<XferEvent> {
-        self.xfers
-            .lock()
-            .iter()
-            .filter(|(r, _)| *r == run)
-            .map(|(_, e)| e.clone())
-            .collect()
+        self.xfers.lock().iter().filter(|(r, _)| *r == run).map(|(_, e)| e.clone()).collect()
     }
 }
 
@@ -243,12 +233,7 @@ impl<'a> ReportingSink<'a> {
     /// wrapper).
     pub fn report(&self) -> RunReport {
         RunReport {
-            invocations: self
-                .invocations
-                .lock()
-                .iter()
-                .map(|(p, n)| (p.clone(), *n))
-                .collect(),
+            invocations: self.invocations.lock().iter().map(|(p, n)| (p.clone(), *n)).collect(),
             xfer_elements: *self.xfer_elements.lock(),
         }
     }

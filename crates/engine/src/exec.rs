@@ -44,6 +44,7 @@ pub struct Engine {
     registry: BehaviorRegistry,
     granularity: TraceGranularity,
     mode: ExecutionMode,
+    preflight: bool,
 }
 
 /// The result of one run: its trace id and the workflow's output values.
@@ -70,6 +71,7 @@ impl Engine {
             registry,
             granularity: TraceGranularity::Fine,
             mode: ExecutionMode::Sequential,
+            preflight: true,
         }
     }
 
@@ -85,6 +87,19 @@ impl Engine {
         self
     }
 
+    /// Disables the static pre-flight analysis.
+    ///
+    /// By default [`Engine::execute`] refuses workflows on which
+    /// `prov_dataflow::analyze` reports error-level diagnostics (unbound
+    /// inputs, base-type-mismatched arcs, unequal dot mismatches) — all of
+    /// them guaranteed runtime failures or silent nonsense. Opt out to
+    /// reproduce the unchecked behaviour, e.g. when experimenting with
+    /// deliberately broken specifications.
+    pub fn without_preflight(mut self) -> Self {
+        self.preflight = false;
+        self
+    }
+
     /// Runs `df` on the given workflow-input bindings, recording the trace
     /// into `sink` under a fresh run id.
     pub fn execute(
@@ -93,11 +108,19 @@ impl Engine {
         inputs: Vec<(String, Value)>,
         sink: &dyn TraceSink,
     ) -> Result<RunOutcome> {
+        if self.preflight {
+            let errors: Vec<String> = prov_dataflow::analyze(df)
+                .into_iter()
+                .filter(prov_dataflow::Diagnostic::is_error)
+                .map(|d| d.to_string())
+                .collect();
+            if !errors.is_empty() {
+                return Err(EngineError::Preflight { errors });
+            }
+        }
         let run_id = sink.begin_run(&df.name);
-        let input_map: HashMap<Arc<str>, Value> = inputs
-            .into_iter()
-            .map(|(k, v)| (Arc::from(k.as_str()), v))
-            .collect();
+        let input_map: HashMap<Arc<str>, Value> =
+            inputs.into_iter().map(|(k, v)| (Arc::from(k.as_str()), v)).collect();
         let offsets = ScopeOffsets::top_level();
         let outputs =
             self.execute_scoped(df, df.name.clone(), "", input_map, &offsets, sink, run_id)?;
@@ -144,8 +167,16 @@ impl Engine {
             ExecutionMode::Sequential => {
                 for pname in depths.topo_order() {
                     let produced = self.process_one(
-                        df, &depths, pname, &scope_name, prefix, &inputs, offsets, &out_values,
-                        sink, run_id,
+                        df,
+                        &depths,
+                        pname,
+                        &scope_name,
+                        prefix,
+                        &inputs,
+                        offsets,
+                        &out_values,
+                        sink,
+                        run_id,
                     )?;
                     for (port, value) in produced {
                         out_values.insert((pname.clone(), port), value);
@@ -170,16 +201,19 @@ impl Engine {
                                     (
                                         pname.clone(),
                                         self.process_one(
-                                            df, depths_ref, pname, scope_ref, prefix,
-                                            inputs_ref, offsets, out_ref, sink, run_id,
+                                            df, depths_ref, pname, scope_ref, prefix, inputs_ref,
+                                            offsets, out_ref, sink, run_id,
                                         ),
                                     )
                                 })
                             })
                             .collect();
-                        handles.into_iter().map(|h| h.join().expect("no panics")).collect()
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                            .collect()
                     })
-                    .expect("crossbeam scope");
+                    .unwrap_or_else(|p| std::panic::resume_unwind(p));
                     for (pname, produced) in results {
                         for (port, value) in produced? {
                             out_values.insert((pname.clone(), port), value);
@@ -193,9 +227,11 @@ impl Engine {
         // indices are offset by q so outer consumers see absolute indices.
         let mut outputs = Vec::with_capacity(df.outputs.len());
         for port in &df.outputs {
-            let arc = df
-                .arc_into_output(&port.name)
-                .expect("validated workflows bind every output");
+            let arc = df.arc_into_output(&port.name).ok_or_else(|| {
+                EngineError::Spec(prov_dataflow::DataflowError::UnboundOutput(
+                    port.name.to_string(),
+                ))
+            })?;
             let (src_ref, src_offset, v) =
                 self.resolve_src(df, &arc.src, &scope_name, prefix, &inputs, offsets, &out_values)?;
             self.emit_xfer(
@@ -238,19 +274,16 @@ impl Engine {
             let mut values = Vec::with_capacity(p.inputs.len());
             let mut mismatches = Vec::with_capacity(p.inputs.len());
             for port in &p.inputs {
-                let info = depths
-                    .input_depths(pname, &port.name)
-                    .expect("depth info covers every port");
+                let info = depths.input_depths(pname, &port.name).ok_or_else(|| {
+                    EngineError::Spec(prov_dataflow::DataflowError::UnknownPort {
+                        processor: pname.to_string(),
+                        port: port.name.to_string(),
+                    })
+                })?;
                 let value = match df.arc_into(pname, &port.name) {
                     Some(arc) => {
                         let (src_ref, src_offset, v) = self.resolve_src(
-                            df,
-                            &arc.src,
-                            scope_name,
-                            prefix,
-                            inputs,
-                            offsets,
-                            out_values,
+                            df, &arc.src, scope_name, prefix, inputs, offsets, out_values,
                         )?;
                         self.emit_xfer(
                             sink,
@@ -271,18 +304,15 @@ impl Engine {
                 check_depth(&value, info.actual, &format!("{pname}:{}", port.name))?;
                 let mismatch = info.mismatch();
                 // Negative mismatch: wrap into a singleton, no iteration.
-                let value = if mismatch < 0 {
-                    value.wrap((-mismatch) as usize)
-                } else {
-                    value
-                };
+                let value = if mismatch < 0 { value.wrap((-mismatch) as usize) } else { value };
                 values.push(value);
                 mismatches.push(mismatch.max(0));
             }
 
-            let layout = depths.layout_of(pname).expect("layout for every processor");
-            let tuples =
-                iteration_tuples(pname.as_str(), &values, &mismatches, p.iteration)?;
+            let layout = depths.layout_of(pname).ok_or_else(|| {
+                EngineError::Spec(prov_dataflow::DataflowError::UnknownProcessor(pname.to_string()))
+            })?;
+            let tuples = iteration_tuples(pname.as_str(), &values, &mismatches, p.iteration)?;
 
             // Invoke once per tuple, recording one xform event each (task
             // processors only: a nested dataflow's computation is fully
@@ -291,8 +321,7 @@ impl Engine {
             let mut per_output: Vec<Vec<(Index, Value)>> =
                 vec![Vec::with_capacity(tuples.len()); p.outputs.len()];
             for (invocation, tuple) in tuples.into_iter().enumerate() {
-                let elements: Vec<Value> =
-                    tuple.inputs.iter().map(|(_, v)| v.clone()).collect();
+                let elements: Vec<Value> = tuple.inputs.iter().map(|(_, v)| v.clone()).collect();
                 let mut record_event = true;
                 let results = match &p.kind {
                     ProcessorKind::Task { behavior } => {
@@ -385,8 +414,7 @@ impl Engine {
             }
 
             // Assemble each output port's full value from the invocations.
-            Ok(p
-                .outputs
+            Ok(p.outputs
                 .iter()
                 .zip(per_output)
                 .map(|(port, pairs)| (port.name.clone(), assemble_from(pairs, layout)))
@@ -420,19 +448,14 @@ impl Engine {
                 ))
             }
             ArcSrc::Processor { processor, port } => {
-                let v = out_values
-                    .get(&(processor.clone(), port.clone()))
-                    .unwrap_or_else(|| {
-                        unreachable!(
-                            "toposort guarantees {processor}:{port} is computed before use in {}",
-                            df.name
-                        )
-                    });
+                let v = out_values.get(&(processor.clone(), port.clone())).unwrap_or_else(|| {
+                    unreachable!(
+                        "toposort guarantees {processor}:{port} is computed before use in {}",
+                        df.name
+                    )
+                });
                 Ok((
-                    PortRef {
-                        processor: qualify(prefix, processor.as_str()),
-                        port: port.clone(),
-                    },
+                    PortRef { processor: qualify(prefix, processor.as_str()), port: port.clone() },
                     offsets.global.clone(),
                     v.clone(),
                 ))
@@ -552,8 +575,7 @@ fn layer_processors(df: &Dataflow, depths: &DepthInfo) -> Vec<Vec<ProcessorName>
             .max()
             .unwrap_or(0);
         // topo_order guarantees predecessors were placed already.
-        let p = df.processor(pname).expect("toposorted processors exist");
-        level_of.insert(&p.name, level);
+        level_of.insert(pname, level);
         if levels.len() <= level {
             levels.resize_with(level + 1, Vec::new);
         }
@@ -579,11 +601,7 @@ fn qualify(prefix: &str, name: &str) -> ProcessorName {
 fn check_depth(value: &Value, expected: usize, at: &str) -> Result<()> {
     let actual = value.depth()?;
     if actual != expected && !is_hollow(value) {
-        return Err(EngineError::DepthMismatch {
-            at: at.to_string(),
-            expected,
-            actual,
-        });
+        return Err(EngineError::DepthMismatch { at: at.to_string(), expected, actual });
     }
     Ok(())
 }
@@ -630,6 +648,50 @@ mod tests {
         b.output("out", PortType::list(BaseType::String));
         b.arc_to_output("E", "y", "out").unwrap();
         b.build().unwrap()
+    }
+
+    /// A workflow with a base-type-mismatched arc: structurally valid
+    /// (passes `validate`), but the analyzer flags E001.
+    fn mistyped_chain() -> Dataflow {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::Int));
+        b.processor_with_behavior("E", "identity")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "E", "x").unwrap();
+        b.output("out", PortType::atom(BaseType::String));
+        b.arc_to_output("E", "y", "out").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn preflight_refuses_error_level_diagnostics() {
+        let sink = VecSink::new();
+        let err = Engine::new(registry())
+            .execute(&mistyped_chain(), vec![("in".into(), Value::int(1))], &sink)
+            .unwrap_err();
+        match err {
+            EngineError::Preflight { errors } => {
+                assert_eq!(errors.len(), 1);
+                assert!(errors[0].contains("E001"), "{errors:?}");
+            }
+            other => panic!("expected Preflight, got {other:?}"),
+        }
+        // Refused before any event was recorded.
+        assert!(sink.xforms_of(RunId(0)).is_empty());
+    }
+
+    #[test]
+    fn preflight_opt_out_restores_unchecked_execution() {
+        let sink = VecSink::new();
+        // The engine never checks base types at runtime, so with the
+        // pre-flight disabled the mistyped workflow "works": the int value
+        // flows through the string-typed port unconverted.
+        let run = Engine::new(registry())
+            .without_preflight()
+            .execute(&mistyped_chain(), vec![("in".into(), Value::int(1))], &sink)
+            .unwrap();
+        assert_eq!(run.output("out"), Some(&Value::int(1)));
     }
 
     #[test]
@@ -758,10 +820,7 @@ mod tests {
             .execute(&df, vec![("in".into(), Value::from(vec!["g1", "g2"]))], &sink)
             .unwrap();
         let out = run.output("out").unwrap();
-        assert_eq!(
-            out,
-            &Value::from(vec![vec!["g1.1", "g1.2"], vec!["g2.1", "g2.2"]])
-        );
+        assert_eq!(out, &Value::from(vec![vec!["g1.1", "g1.2"], vec!["g2.1", "g2.2"]]));
         // The xform records carry iteration index q of length 1 (not 2):
         // the inner level belongs to the declared output structure.
         let xforms = sink.xforms_of(run.run_id);
@@ -847,7 +906,8 @@ mod tests {
         b.output("out", PortType::atom(BaseType::String));
         b.arc_to_output("L", "y", "out").unwrap();
         let df = b.build().unwrap();
-        let err = Engine::new(r).execute(&df, vec![("in".into(), Value::str("a"))], &VecSink::new());
+        let err =
+            Engine::new(r).execute(&df, vec![("in".into(), Value::str("a"))], &VecSink::new());
         assert!(matches!(err, Err(EngineError::DepthMismatch { .. })));
     }
 
@@ -925,9 +985,7 @@ mod tests {
         let inputs = vec![("in".to_string(), Value::from(vec!["u", "v", "w"]))];
 
         let seq_sink = VecSink::new();
-        let seq = Engine::new(registry())
-            .execute(&df, inputs.clone(), &seq_sink)
-            .unwrap();
+        let seq = Engine::new(registry()).execute(&df, inputs.clone(), &seq_sink).unwrap();
 
         let par_sink = VecSink::new();
         let par = Engine::new(registry())
@@ -938,11 +996,9 @@ mod tests {
         assert_eq!(seq.outputs, par.outputs);
         // Same event multisets (order may differ across threads).
         let norm = |sink: &VecSink, run| {
-            let mut xf: Vec<String> =
-                sink.xforms_of(run).iter().map(|e| e.to_string()).collect();
+            let mut xf: Vec<String> = sink.xforms_of(run).iter().map(|e| e.to_string()).collect();
             xf.sort();
-            let mut xr: Vec<String> =
-                sink.xfers_of(run).iter().map(|e| e.to_string()).collect();
+            let mut xr: Vec<String> = sink.xfers_of(run).iter().map(|e| e.to_string()).collect();
             xr.sort();
             (xf, xr)
         };
@@ -962,9 +1018,11 @@ mod tests {
         b.output("out", PortType::atom(BaseType::String));
         b.arc_to_output("B", "y", "out").unwrap();
         let df = b.build().unwrap();
-        let err = Engine::new(r)
-            .with_mode(ExecutionMode::Parallel)
-            .execute(&df, vec![("in".into(), Value::str("x"))], &VecSink::new());
+        let err = Engine::new(r).with_mode(ExecutionMode::Parallel).execute(
+            &df,
+            vec![("in".into(), Value::str("x"))],
+            &VecSink::new(),
+        );
         assert!(matches!(err, Err(EngineError::Behavior { .. })));
     }
 

@@ -55,13 +55,7 @@ pub fn iteration_tuples(
     let per_port: Vec<Vec<(Index, &Value)>> = values
         .iter()
         .zip(mismatches)
-        .map(|(v, &d)| {
-            if d <= 0 {
-                vec![(Index::empty(), v)]
-            } else {
-                v.enumerate_at(d as usize)
-            }
-        })
+        .map(|(v, &d)| if d <= 0 { vec![(Index::empty(), v)] } else { v.enumerate_at(d as usize) })
         .collect();
 
     match strategy {
@@ -202,13 +196,8 @@ mod tests {
 
     #[test]
     fn no_mismatch_is_single_invocation() {
-        let tuples = iteration_tuples(
-            "P",
-            &[strs(&["a", "b"])],
-            &[0],
-            IterationStrategy::Cross,
-        )
-        .unwrap();
+        let tuples =
+            iteration_tuples("P", &[strs(&["a", "b"])], &[0], IterationStrategy::Cross).unwrap();
         assert_eq!(tuples.len(), 1);
         assert_eq!(tuples[0].output_index, Index::empty());
         assert_eq!(tuples[0].inputs[0], (Index::empty(), strs(&["a", "b"])));
@@ -269,13 +258,8 @@ mod tests {
 
     #[test]
     fn negative_mismatch_treated_as_whole_value() {
-        let tuples = iteration_tuples(
-            "P",
-            &[Value::str("x")],
-            &[-2],
-            IterationStrategy::Cross,
-        )
-        .unwrap();
+        let tuples =
+            iteration_tuples("P", &[Value::str("x")], &[-2], IterationStrategy::Cross).unwrap();
         assert_eq!(tuples.len(), 1);
         assert_eq!(tuples[0].inputs[0].0, Index::empty());
     }
@@ -344,18 +328,12 @@ mod tests {
         let mut pairs = Vec::new();
         for i in 0..2u32 {
             for j in 0..3u32 {
-                pairs.push((
-                    Index::from_slice(&[i, j]),
-                    Value::str(&format!("y{i}{j}")),
-                ));
+                pairs.push((Index::from_slice(&[i, j]), Value::str(&format!("y{i}{j}"))));
             }
         }
         let v = assemble_nested(pairs, 2);
         assert_eq!(v.depth().unwrap(), 1 + 1); // two list levels over atoms
-        assert_eq!(
-            v.at(&Index::from_slice(&[1, 2])),
-            Some(&Value::str("y12"))
-        );
+        assert_eq!(v.at(&Index::from_slice(&[1, 2])), Some(&Value::str("y12")));
         assert_eq!(v.len(), 2);
         assert_eq!(v.as_list().unwrap()[0].len(), 3);
     }
@@ -380,11 +358,10 @@ mod tests {
         // original value.
         let v = Value::from(vec![vec!["x", "y"], vec!["z", "w"]]);
         let tuples =
-            iteration_tuples("P", std::slice::from_ref(&v), &[2], IterationStrategy::Cross).unwrap();
-        let pairs: Vec<(Index, Value)> = tuples
-            .into_iter()
-            .map(|t| (t.output_index, t.inputs[0].1.clone()))
-            .collect();
+            iteration_tuples("P", std::slice::from_ref(&v), &[2], IterationStrategy::Cross)
+                .unwrap();
+        let pairs: Vec<(Index, Value)> =
+            tuples.into_iter().map(|t| (t.output_index, t.inputs[0].1.clone())).collect();
         assert_eq!(assemble_nested(pairs, 2), v);
     }
 }

@@ -24,9 +24,7 @@ fn value_of_depth(depth: usize) -> impl Strategy<Value = Value> {
 /// A vector of (value, mismatch) pairs where 0 <= mismatch <= depth(value).
 fn ports() -> impl Strategy<Value = Vec<(Value, i64)>> {
     proptest::collection::vec(
-        (0usize..=2).prop_flat_map(|d| {
-            (value_of_depth(d), 0i64..=(d as i64))
-        }),
+        (0usize..=2).prop_flat_map(|d| (value_of_depth(d), 0i64..=(d as i64))),
         1..=3,
     )
 }

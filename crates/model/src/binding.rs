@@ -89,11 +89,7 @@ mod tests {
 
     #[test]
     fn binding_displays_paper_notation() {
-        let b = Binding::new(
-            PortRef::new("P", "Y"),
-            Index::from_slice(&[1, 2]),
-            Value::str("bar"),
-        );
+        let b = Binding::new(PortRef::new("P", "Y"), Index::from_slice(&[1, 2]), Value::str("bar"));
         assert_eq!(b.to_string(), "⟨P:Y[1,2], \"bar\"⟩");
     }
 
@@ -108,29 +104,17 @@ mod tests {
 
     #[test]
     fn port_ref_ordering_groups_by_processor() {
-        let mut v = vec![
-            PortRef::new("B", "x"),
-            PortRef::new("A", "z"),
-            PortRef::new("A", "a"),
-        ];
+        let mut v = vec![PortRef::new("B", "x"), PortRef::new("A", "z"), PortRef::new("A", "a")];
         v.sort();
         assert_eq!(
             v,
-            vec![
-                PortRef::new("A", "a"),
-                PortRef::new("A", "z"),
-                PortRef::new("B", "x"),
-            ]
+            vec![PortRef::new("A", "a"), PortRef::new("A", "z"), PortRef::new("B", "x"),]
         );
     }
 
     #[test]
     fn binding_serde_round_trip() {
-        let b = Binding::new(
-            PortRef::new("P", "Y"),
-            Index::single(3),
-            Value::from(vec!["a", "b"]),
-        );
+        let b = Binding::new(PortRef::new("P", "Y"), Index::single(3), Value::from(vec!["a", "b"]));
         let json = serde_json::to_string(&b).unwrap();
         assert_eq!(serde_json::from_str::<Binding>(&json).unwrap(), b);
     }

@@ -28,10 +28,9 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::RaggedValue { left, right } => write!(
-                f,
-                "ragged value: sibling elements have depths {left} and {right}"
-            ),
+            ModelError::RaggedValue { left, right } => {
+                write!(f, "ragged value: sibling elements have depths {left} and {right}")
+            }
             ModelError::NotAList => write!(f, "operation requires a list value"),
             ModelError::BadIndex { index } => {
                 write!(f, "index {index} does not address an element of the value")

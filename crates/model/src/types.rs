@@ -112,9 +112,8 @@ impl FromStr for PortType {
         let mut depth = 0usize;
         let mut rest = s.trim();
         while let Some(inner) = rest.strip_prefix("list(") {
-            let inner = inner
-                .strip_suffix(')')
-                .ok_or_else(|| ModelError::TypeParse(s.to_string()))?;
+            let inner =
+                inner.strip_suffix(')').ok_or_else(|| ModelError::TypeParse(s.to_string()))?;
             depth += 1;
             rest = inner.trim();
         }
@@ -138,10 +137,7 @@ mod tests {
     fn display_matches_paper_notation() {
         assert_eq!(PortType::atom(BaseType::String).to_string(), "string");
         assert_eq!(PortType::list(BaseType::String).to_string(), "list(string)");
-        assert_eq!(
-            PortType::nested(BaseType::String, 2).to_string(),
-            "list(list(string))"
-        );
+        assert_eq!(PortType::nested(BaseType::String, 2).to_string(), "list(list(string))");
     }
 
     #[test]

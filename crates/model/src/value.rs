@@ -233,9 +233,7 @@ impl Value {
         fn build<T: Into<Atom>>(lengths: &[usize], make_leaf: &mut impl FnMut() -> T) -> Value {
             match lengths.split_first() {
                 None => Value::Atom(make_leaf().into()),
-                Some((n, rest)) => {
-                    Value::List((0..*n).map(|_| build(rest, make_leaf)).collect())
-                }
+                Some((n, rest)) => Value::List((0..*n).map(|_| build(rest, make_leaf)).collect()),
             }
         }
         build(lengths, &mut make_leaf)

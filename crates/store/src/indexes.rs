@@ -72,9 +72,7 @@ impl CompositeIndex {
         let port: Arc<str> = Arc::from(port);
         let start: Key = (run, processor.clone(), port.clone(), prefix.clone());
         let mut out = Vec::new();
-        for ((r, p, q, idx), rows) in
-            self.map.range((Bound::Included(start), Bound::Unbounded))
-        {
+        for ((r, p, q, idx), rows) in self.map.range((Bound::Included(start), Bound::Unbounded)) {
             if *r != run || p != processor || *q != port || !prefix.is_prefix_of(idx) {
                 break;
             }
@@ -193,9 +191,11 @@ mod tests {
     fn prefix_scan_respects_run_processor_port_boundaries() {
         let ix = sample();
         let stats = QueryStats::new();
-        let rows = ix.scan_prefix(RunId(0), &ProcessorName::from("Q"), "y", &Index::empty(), &stats);
+        let rows =
+            ix.scan_prefix(RunId(0), &ProcessorName::from("Q"), "y", &Index::empty(), &stats);
         assert_eq!(rows, vec![7]);
-        let rows = ix.scan_prefix(RunId(1), &ProcessorName::from("P"), "y", &Index::empty(), &stats);
+        let rows =
+            ix.scan_prefix(RunId(1), &ProcessorName::from("P"), "y", &Index::empty(), &stats);
         assert_eq!(rows, vec![8]);
     }
 

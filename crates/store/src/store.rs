@@ -163,16 +163,10 @@ impl TraceStore {
                 w.append(&LogRecord::Workflow { name: name.clone(), json: json.clone() })?;
             }
             for info in inner.runs.values() {
-                w.append(&LogRecord::BeginRun {
-                    run: info.id,
-                    workflow: info.workflow.clone(),
-                })?;
+                w.append(&LogRecord::BeginRun { run: info.id, workflow: info.workflow.clone() })?;
             }
             for row in inner.xforms.iter().filter(|r| !inner.dropped.contains(&r.run)) {
-                w.append(&LogRecord::Xform {
-                    run: row.run,
-                    event: inner.xform_to_event(row),
-                })?;
+                w.append(&LogRecord::Xform { run: row.run, event: inner.xform_to_event(row) })?;
             }
             for row in inner.xfers.iter().filter(|r| !inner.dropped.contains(&r.run)) {
                 w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row) })?;
@@ -211,13 +205,7 @@ impl TraceStore {
     /// Ids of the runs of one workflow, in id order (the scope set `𝒯` of
     /// multi-run queries, §3.4).
     pub fn runs_of(&self, workflow: &ProcessorName) -> Vec<RunId> {
-        self.inner
-            .read()
-            .runs
-            .values()
-            .filter(|i| &i.workflow == workflow)
-            .map(|i| i.id)
-            .collect()
+        self.inner.read().runs.values().filter(|i| &i.workflow == workflow).map(|i| i.id).collect()
     }
 
     /// Resolves a value id.
@@ -228,22 +216,12 @@ impl TraceStore {
     /// Total number of trace records of one run (xform rows + xfer rows) —
     /// the measure reported in the paper's Table 1.
     pub fn trace_record_count(&self, run: RunId) -> u64 {
-        self.inner
-            .read()
-            .runs
-            .get(&run)
-            .map(|i| i.xform_count + i.xfer_count)
-            .unwrap_or(0)
+        self.inner.read().runs.get(&run).map(|i| i.xform_count + i.xfer_count).unwrap_or(0)
     }
 
     /// Total records across all runs (the x-axis of Fig. 6).
     pub fn total_record_count(&self) -> u64 {
-        self.inner
-            .read()
-            .runs
-            .values()
-            .map(|i| i.xform_count + i.xfer_count)
-            .sum()
+        self.inner.read().runs.values().map(|i| i.xform_count + i.xfer_count).sum()
     }
 
     /// The xform events whose **output** binding on `processor:port`
@@ -258,13 +236,8 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<XformRecord> {
         let inner = self.inner.read();
-        let ids = inner
-            .idx_xform_out
-            .get_overlapping(run, processor, port, index, &self.stats);
-        dedup_ids(ids)
-            .into_iter()
-            .map(|id| inner.xforms[id as usize].clone())
-            .collect()
+        let ids = inner.idx_xform_out.get_overlapping(run, processor, port, index, &self.stats);
+        dedup_ids(ids).into_iter().map(|id| inner.xforms[id as usize].clone()).collect()
     }
 
     /// The xform events whose **input** binding on `processor:port`
@@ -278,13 +251,8 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<XformRecord> {
         let inner = self.inner.read();
-        let ids = inner
-            .idx_xform_in
-            .get_overlapping(run, processor, port, index, &self.stats);
-        dedup_ids(ids)
-            .into_iter()
-            .map(|id| inner.xforms[id as usize].clone())
-            .collect()
+        let ids = inner.idx_xform_in.get_overlapping(run, processor, port, index, &self.stats);
+        dedup_ids(ids).into_iter().map(|id| inner.xforms[id as usize].clone()).collect()
     }
 
     /// The xfer events whose **destination** binding on `processor:port`
@@ -297,13 +265,8 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<XferRecord> {
         let inner = self.inner.read();
-        let ids = inner
-            .idx_xfer_dst
-            .get_overlapping(run, processor, port, index, &self.stats);
-        dedup_ids(ids)
-            .into_iter()
-            .map(|id| inner.xfers[id as usize].clone())
-            .collect()
+        let ids = inner.idx_xfer_dst.get_overlapping(run, processor, port, index, &self.stats);
+        dedup_ids(ids).into_iter().map(|id| inner.xfers[id as usize].clone()).collect()
     }
 
     /// The xfer events leaving `processor:port` at an index overlapping
@@ -316,13 +279,8 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<XferRecord> {
         let inner = self.inner.read();
-        let ids = inner
-            .idx_xfer_src
-            .get_overlapping(run, processor, port, index, &self.stats);
-        dedup_ids(ids)
-            .into_iter()
-            .map(|id| inner.xfers[id as usize].clone())
-            .collect()
+        let ids = inner.idx_xfer_src.get_overlapping(run, processor, port, index, &self.stats);
+        dedup_ids(ids).into_iter().map(|id| inner.xfers[id as usize].clone()).collect()
     }
 
     /// `Q(P, X_i, p_i)` of Algorithm 2: the stored **input** bindings of
@@ -340,9 +298,7 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<StoredBinding> {
         let inner = self.inner.read();
-        let ids = inner
-            .idx_xform_in
-            .get_overlapping(run, processor, port, index, &self.stats);
+        let ids = inner.idx_xform_in.get_overlapping(run, processor, port, index, &self.stats);
         let mut out = Vec::new();
         let mut seen: Vec<(u64, Index)> = Vec::new();
         for id in dedup_ids(ids) {
@@ -381,16 +337,11 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<StoredBinding> {
         let inner = self.inner.read();
-        let ids = inner
-            .idx_xfer_src
-            .get_overlapping(run, processor, port, index, &self.stats);
+        let ids = inner.idx_xfer_src.get_overlapping(run, processor, port, index, &self.stats);
         let mut out: Vec<StoredBinding> = Vec::new();
         for id in dedup_ids(ids) {
             let row = &inner.xfers[id as usize];
-            if out
-                .iter()
-                .any(|b| b.index == row.src_index && b.value == row.value)
-            {
+            if out.iter().any(|b| b.index == row.src_index && b.value == row.value) {
                 continue; // the same element fans out along several arcs
             }
             out.push(StoredBinding {
@@ -425,8 +376,7 @@ impl TraceStore {
         if inner.dropped.contains(&run) {
             return Vec::new();
         }
-        let rows: Vec<XferRecord> =
-            inner.xfers.iter().filter(|r| r.run == run).cloned().collect();
+        let rows: Vec<XferRecord> = inner.xfers.iter().filter(|r| r.run == run).cloned().collect();
         self.stats.count_records(rows.len());
         rows
     }
@@ -625,10 +575,8 @@ impl Inner {
                 index: b.index.clone(),
                 value,
             });
-            self.idx_xform_in.insert(
-                (run, event.processor.clone(), b.port.clone(), b.index.clone()),
-                id,
-            );
+            self.idx_xform_in
+                .insert((run, event.processor.clone(), b.port.clone(), b.index.clone()), id);
         }
         for b in &event.outputs {
             let value = self.values.intern(&b.value);
@@ -639,10 +587,8 @@ impl Inner {
                 index: b.index.clone(),
                 value,
             });
-            self.idx_xform_out.insert(
-                (run, event.processor.clone(), b.port.clone(), b.index.clone()),
-                id,
-            );
+            self.idx_xform_out
+                .insert((run, event.processor.clone(), b.port.clone(), b.index.clone()), id);
         }
         self.xforms.push(XformRecord {
             id,
@@ -661,21 +607,11 @@ impl Inner {
         let value = self.values.intern(&event.value);
         self.index_value(value, RowRef::Xfer(id));
         self.idx_xfer_dst.insert(
-            (
-                run,
-                event.dst.processor.clone(),
-                event.dst.port.clone(),
-                event.dst_index.clone(),
-            ),
+            (run, event.dst.processor.clone(), event.dst.port.clone(), event.dst_index.clone()),
             id,
         );
         self.idx_xfer_src.insert(
-            (
-                run,
-                event.src.processor.clone(),
-                event.src.port.clone(),
-                event.src_index.clone(),
-            ),
+            (run, event.src.processor.clone(), event.src.port.clone(), event.src_index.clone()),
             id,
         );
         self.xfers.push(XferRecord {
@@ -825,9 +761,7 @@ mod tests {
         assert_eq!(hits.len(), 2);
         // Wrong port or run: nothing.
         assert!(s.xforms_producing(r, &"P".into(), "z", &Index::empty()).is_empty());
-        assert!(s
-            .xforms_producing(RunId(99), &"P".into(), "y", &Index::empty())
-            .is_empty());
+        assert!(s.xforms_producing(RunId(99), &"P".into(), "y", &Index::empty()).is_empty());
     }
 
     #[test]
@@ -940,12 +874,7 @@ mod tests {
         }
         // Tear the tail.
         let len = std::fs::metadata(&path).unwrap().len();
-        std::fs::OpenOptions::new()
-            .write(true)
-            .open(&path)
-            .unwrap()
-            .set_len(len - 2)
-            .unwrap();
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 2).unwrap();
         let s = TraceStore::open(&path).unwrap();
         // FinishRun frame was torn: run exists, unfinished, xform intact.
         assert_eq!(s.runs().len(), 1);

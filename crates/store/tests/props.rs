@@ -26,8 +26,12 @@ fn arb_event() -> impl Strategy<Value = Ev> {
             pi,
             val
         }),
-        (0u8..3, 0u8..3, arb_index(), 0i64..5)
-            .prop_map(|(src, dst, idx, val)| Ev::Xfer { src, dst, idx, val }),
+        (0u8..3, 0u8..3, arb_index(), 0i64..5).prop_map(|(src, dst, idx, val)| Ev::Xfer {
+            src,
+            dst,
+            idx,
+            val
+        }),
     ]
 }
 

@@ -146,13 +146,11 @@ pub fn genes2kegg_workflow() -> Dataflow {
     b.processor_with_behavior("get_pathways_by_genes", "kegg_pathways_by_genes")
         .in_port("genes_id_list", PortType::list(BaseType::String))
         .out_port("return", PortType::list(BaseType::String));
-    b.arc_from_input("list_of_geneIDList", "get_pathways_by_genes", "genes_id_list")
-        .unwrap();
+    b.arc_from_input("list_of_geneIDList", "get_pathways_by_genes", "genes_id_list").unwrap();
     b.processor_with_behavior("getPathwayDescriptions", "kegg_describe")
         .in_port("string", PortType::list(BaseType::String))
         .out_port("return", PortType::list(BaseType::String));
-    b.arc("get_pathways_by_genes", "return", "getPathwayDescriptions", "string")
-        .unwrap();
+    b.arc("get_pathways_by_genes", "return", "getPathwayDescriptions", "string").unwrap();
     b.output("paths_per_gene", PortType::nested(BaseType::String, 2));
     b.arc_to_output("getPathwayDescriptions", "return", "paths_per_gene").unwrap();
 
@@ -164,13 +162,11 @@ pub fn genes2kegg_workflow() -> Dataflow {
     b.processor_with_behavior("get_pathways_by_genes_2", "kegg_pathways_by_genes")
         .in_port("genes_id_list", PortType::list(BaseType::String))
         .out_port("return", PortType::list(BaseType::String));
-    b.arc("merge_gene_lists", "merged", "get_pathways_by_genes_2", "genes_id_list")
-        .unwrap();
+    b.arc("merge_gene_lists", "merged", "get_pathways_by_genes_2", "genes_id_list").unwrap();
     b.processor_with_behavior("getPathwayDescriptions_2", "kegg_describe")
         .in_port("string", PortType::list(BaseType::String))
         .out_port("return", PortType::list(BaseType::String));
-    b.arc("get_pathways_by_genes_2", "return", "getPathwayDescriptions_2", "string")
-        .unwrap();
+    b.arc("get_pathways_by_genes_2", "return", "getPathwayDescriptions_2", "string").unwrap();
     b.output("commonPathways", PortType::list(BaseType::String));
     b.arc_to_output("getPathwayDescriptions_2", "return", "commonPathways").unwrap();
 
@@ -188,9 +184,7 @@ pub fn genes2kegg_registry(db: Arc<KeggDb>) -> BehaviorRegistry {
             .iter()
             .map(|v| v.as_atom().and_then(prov_model::Atom::as_str).ok_or("gene ids are strings"))
             .collect::<std::result::Result<_, _>>()?;
-        Ok(vec![Value::List(
-            db.pathways_common_to(&genes).into_iter().map(Value::from).collect(),
-        )])
+        Ok(vec![Value::List(db.pathways_common_to(&genes).into_iter().map(Value::from).collect())])
     });
     r.register_fn("kegg_describe", move |inputs| {
         let ids = inputs[0].as_list().ok_or("expected a pathway id list")?;
@@ -243,15 +237,25 @@ pub fn run_genes2kegg(
 /// bag of filler words plus a few protein mentions from a fixed lexicon.
 #[derive(Debug)]
 pub struct PubMedCorpus {
-    abstracts: Vec<(String, String)>, // (id, text)
+    abstracts: Vec<(String, String)>,    // (id, text)
     index: HashMap<String, Vec<String>>, // term → abstract ids
 }
 
 const PROTEINS: [&str; 10] =
     ["p53", "BRCA1", "EGFR", "AKT1", "TNF", "VEGFA", "MYC", "KRAS", "TP63", "PTEN"];
 const FILLER: [&str; 12] = [
-    "study", "cells", "binding", "expression", "analysis", "pathway", "tumor", "signal",
-    "response", "levels", "patients", "assay",
+    "study",
+    "cells",
+    "binding",
+    "expression",
+    "analysis",
+    "pathway",
+    "tumor",
+    "signal",
+    "response",
+    "levels",
+    "patients",
+    "assay",
 ];
 
 impl PubMedCorpus {
@@ -446,10 +450,7 @@ pub fn run_protein_discovery(
     Engine::new(protein_discovery_registry(corpus))
         .execute(
             df,
-            vec![(
-                "query_terms".into(),
-                Value::List(terms.into_iter().map(Value::str).collect()),
-            )],
+            vec![("query_terms".into(), Value::List(terms.into_iter().map(Value::str).collect()))],
             sink,
         )
         .expect("PD runs are valid")
@@ -493,7 +494,7 @@ mod tests {
         let common = out.output("commonPathways").unwrap();
         assert_eq!(common.depth().unwrap(), 1);
         assert!(!common.is_empty()); // the universal pathway at least
-        // Descriptions look like "path:04010 MAPK signaling".
+                                     // Descriptions look like "path:04010 MAPK signaling".
         let first = common.as_list().unwrap()[0].as_atom().unwrap().as_str().unwrap();
         assert!(first.starts_with("path:0"));
         assert!(first.contains(' '));

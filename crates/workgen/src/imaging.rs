@@ -117,12 +117,7 @@ pub fn sample_image(len: usize, seed: u64) -> Value {
 }
 
 /// Runs the pipeline once.
-pub fn run_imaging(
-    df: &Dataflow,
-    image: Value,
-    tiles: usize,
-    sink: &dyn TraceSink,
-) -> RunOutcome {
+pub fn run_imaging(df: &Dataflow, image: Value, tiles: usize, sink: &dyn TraceSink) -> RunOutcome {
     Engine::new(imaging_registry())
         .execute(
             df,

@@ -16,12 +16,7 @@ pub fn record_runs(
     let engine = Engine::new(registry);
     inputs_per_run
         .into_iter()
-        .map(|inputs| {
-            engine
-                .execute(df, inputs, sink)
-                .expect("sweep runs are valid")
-                .run_id
-        })
+        .map(|inputs| engine.execute(df, inputs, sink).expect("sweep runs are valid").run_id)
         .collect()
 }
 
@@ -51,9 +46,8 @@ mod tests {
     fn record_runs_varies_inputs() {
         let df = testbed::generate(1);
         let store = TraceStore::in_memory();
-        let inputs: Vec<Vec<(String, Value)>> = (1..=3)
-            .map(|d| vec![("ListSize".to_string(), Value::int(d))])
-            .collect();
+        let inputs: Vec<Vec<(String, Value)>> =
+            (1..=3).map(|d| vec![("ListSize".to_string(), Value::int(d))]).collect();
         let runs = record_runs(testbed::registry(), &df, inputs, &store);
         assert_eq!(runs.len(), 3);
         // Trace size grows with d across the sweep.

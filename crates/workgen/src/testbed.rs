@@ -92,9 +92,7 @@ pub fn registry() -> BehaviorRegistry {
         if d < 0 {
             return Err(format!("ListSize must be non-negative, got {d}"));
         }
-        Ok(vec![Value::List(
-            (0..d).map(|i| Value::str(&format!("item-{i}"))).collect(),
-        )])
+        Ok(vec![Value::List((0..d).map(|i| Value::str(&format!("item-{i}"))).collect())])
     });
     // One-to-one chain steps: identity keeps values small, so chain length
     // (not payload growth) dominates trace size, as in the paper.
@@ -167,10 +165,7 @@ mod tests {
         let product = out.output("product").unwrap();
         assert_eq!(product.len(), 4);
         assert_eq!(product.atom_count(), 16);
-        assert_eq!(
-            product.at(&Index::from_slice(&[1, 2])),
-            Some(&Value::str("item-1*item-2"))
-        );
+        assert_eq!(product.at(&Index::from_slice(&[1, 2])), Some(&Value::str("item-1*item-2")));
     }
 
     #[test]

@@ -18,14 +18,10 @@ fn main() {
     // Run twice with different list sizes, reporting execution work.
     let reporting = ReportingSink::new(&store);
     let engine = Engine::new(testbed::registry());
-    let run_a = engine
-        .execute(&wf, vec![("ListSize".into(), Value::int(3))], &reporting)
-        .unwrap()
-        .run_id;
-    let run_b = engine
-        .execute(&wf, vec![("ListSize".into(), Value::int(5))], &reporting)
-        .unwrap()
-        .run_id;
+    let run_a =
+        engine.execute(&wf, vec![("ListSize".into(), Value::int(3))], &reporting).unwrap().run_id;
+    let run_b =
+        engine.execute(&wf, vec![("ListSize".into(), Value::int(5))], &reporting).unwrap().run_id;
     println!("execution report (both runs):\n{}", reporting.report());
 
     // Audit both traces against the specification (Prop. 1 et al.).

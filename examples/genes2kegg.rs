@@ -21,10 +21,7 @@ fn main() {
     let store = TraceStore::in_memory();
 
     // The paper's example input shape: v = [[20816, 26416], [328788]].
-    let input = Value::from(vec![
-        vec!["mmu:20816", "mmu:26416"],
-        vec!["mmu:328788"],
-    ]);
+    let input = Value::from(vec![vec!["mmu:20816", "mmu:26416"], vec!["mmu:328788"]]);
     println!("input  list_of_geneIDList = {input}");
 
     let outcome = bio::run_genes2kegg(&wf, Arc::clone(&db), input, &store);

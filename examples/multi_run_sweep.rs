@@ -18,15 +18,10 @@ fn main() {
     let store = TraceStore::in_memory();
 
     // Sweep the ListSize parameter over ten runs.
-    let inputs: Vec<Vec<(String, Value)>> = (5..15)
-        .map(|d| vec![("ListSize".to_string(), Value::int(d))])
-        .collect();
+    let inputs: Vec<Vec<(String, Value)>> =
+        (5..15).map(|d| vec![("ListSize".to_string(), Value::int(d))]).collect();
     let runs = sweep::record_runs(testbed::registry(), &wf, inputs, &store);
-    println!(
-        "{} runs recorded, {} trace records total",
-        runs.len(),
-        store.total_record_count()
-    );
+    println!("{} runs recorded, {} trace records total", runs.len(), store.total_record_count());
 
     // "Report the lineage of 2TO1_FINAL:Y[2,3] at LISTGEN_1, across the
     // whole sweep."
@@ -47,10 +42,7 @@ fn main() {
         println!("  {} -> {}", ans.run, ans.bindings[0]);
     }
     println!("  … ({} answers)", answers.len());
-    println!(
-        "\nINDEXPROJ: s1 (shared) = {s1:?}, s2 total over {} runs = {s2_total:?}",
-        runs.len()
-    );
+    println!("\nINDEXPROJ: s1 (shared) = {s1:?}, s2 total over {} runs = {s2_total:?}", runs.len());
 
     // Contrast: NI re-traverses the provenance graph for every run.
     let t = Instant::now();

@@ -14,11 +14,7 @@ use taverna_prov::prelude::*;
 
 fn main() {
     let wf = bio::protein_discovery_workflow(20);
-    println!(
-        "protein_discovery workflow: {} processors, {} arcs",
-        wf.node_count(),
-        wf.arcs.len()
-    );
+    println!("protein_discovery workflow: {} processors, {} arcs", wf.node_count(), wf.arcs.len());
 
     let corpus = Arc::new(PubMedCorpus::new(11, 60));
     let store = TraceStore::in_memory();

@@ -41,21 +41,13 @@ fn main() {
     let store = TraceStore::in_memory();
     let engine = Engine::new(reg);
     let outcome = engine
-        .execute(
-            &wf,
-            vec![("words".into(), Value::from(vec!["so", "much", "provenance"]))],
-            &store,
-        )
+        .execute(&wf, vec![("words".into(), Value::from(vec!["so", "much", "provenance"]))], &store)
         .unwrap();
     println!("outputs:");
     for (port, value) in &outcome.outputs {
         println!("  {port} = {value}");
     }
-    println!(
-        "trace: {} records in {}",
-        store.trace_record_count(outcome.run_id),
-        outcome.run_id
-    );
+    println!("trace: {} records in {}", store.trace_record_count(outcome.run_id), outcome.run_id);
 
     // 4. Fine-grained lineage: which input produced shouted[1]?
     let query = LineageQuery::focused(

@@ -74,8 +74,6 @@ pub mod prelude {
     };
     pub use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
     pub use prov_engine::{Behavior, BehaviorRegistry, Engine, ExecutionMode, RunOutcome};
-    pub use prov_model::{
-        Atom, Binding, Index, PortRef, ProcessorName, RunId, Value, ValueId,
-    };
+    pub use prov_model::{Atom, Binding, Index, PortRef, ProcessorName, RunId, Value, ValueId};
     pub use prov_store::TraceStore;
 }

@@ -35,16 +35,9 @@ fn specify_execute_store_query_round_trip() {
     let (wf, reg) = pipeline();
     let store = TraceStore::in_memory();
     let outcome = Engine::new(reg)
-        .execute(
-            &wf,
-            vec![("records".into(), Value::from(vec!["a,b", "c,d,e"]))],
-            &store,
-        )
+        .execute(&wf, vec![("records".into(), Value::from(vec!["a,b", "c,d,e"]))], &store)
         .unwrap();
-    assert_eq!(
-        outcome.output("loaded"),
-        Some(&Value::from(vec!["ok:2", "ok:3"]))
-    );
+    assert_eq!(outcome.output("loaded"), Some(&Value::from(vec!["ok:2", "ok:3"])));
 
     // The provenance-challenge question shape: which input file loaded
     // element 1, and what did the checks say?
@@ -72,12 +65,7 @@ fn plan_cache_serves_repeated_queries_across_runs() {
     let mut runs = Vec::new();
     for i in 0..5 {
         let input = Value::from(vec![format!("x{i},y{i}")]);
-        runs.push(
-            engine
-                .execute(&wf, vec![("records".into(), input)], &store)
-                .unwrap()
-                .run_id,
-        );
+        runs.push(engine.execute(&wf, vec![("records".into(), input)], &store).unwrap().run_id);
     }
     let cache = PlanCache::new(IndexProj::new(&wf));
     let q = LineageQuery::focused(
@@ -103,9 +91,7 @@ fn store_runs_of_scopes_multi_workflow_databases() {
     let (wf, reg) = pipeline();
     let store = TraceStore::in_memory();
     let engine = Engine::new(reg);
-    engine
-        .execute(&wf, vec![("records".into(), Value::from(vec!["a,b"]))], &store)
-        .unwrap();
+    engine.execute(&wf, vec![("records".into(), Value::from(vec!["a,b"]))], &store).unwrap();
 
     let testbed = prov_workgen::testbed::generate(3);
     prov_workgen::testbed::run(&testbed, 4, &store);

@@ -57,10 +57,7 @@ fn dot_iteration_lineage_is_pairwise_and_algorithms_agree() {
             &store,
         )
         .unwrap();
-    assert_eq!(
-        run.output("pairs"),
-        Some(&Value::from(vec!["[a0~b0]", "[a1~b1]", "[a2~b2]"]))
-    );
+    assert_eq!(run.output("pairs"), Some(&Value::from(vec!["[a0~b0]", "[a1~b1]", "[a2~b2]"])));
 
     // Zip lineage: pairs[i] depends on a[i] AND b[i] — not the cross.
     for i in 0..3u32 {
@@ -138,17 +135,10 @@ fn reporting_sink_counts_iteration_work() {
     let store = TraceStore::in_memory();
     let reporting = ReportingSink::new(&store);
     let engine = Engine::new(testbed::registry());
-    engine
-        .execute(&df, vec![("ListSize".into(), Value::int(4))], &reporting)
-        .unwrap();
+    engine.execute(&df, vec![("ListSize".into(), Value::int(4))], &reporting).unwrap();
     let report = reporting.report();
     let get = |name: &str| {
-        report
-            .invocations
-            .iter()
-            .find(|(p, _)| p.as_str() == name)
-            .map(|(_, n)| *n)
-            .unwrap_or(0)
+        report.invocations.iter().find(|(p, _)| p.as_str() == name).map(|(_, n)| *n).unwrap_or(0)
     };
     assert_eq!(get("LISTGEN_1"), 1);
     assert_eq!(get("CHAIN_A_1"), 4); // one per element

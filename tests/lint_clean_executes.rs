@@ -1,0 +1,94 @@
+//! Property: the static analyzer's bill of health is worth something.
+//! Any generated chain workflow with **zero error-level diagnostics**
+//! executes in prov-engine without type or iteration errors — the
+//! pre-flight contract, tested from the outside.
+
+use proptest::prelude::*;
+
+use taverna_prov::dataflow::{analyze, BaseType, DataflowBuilder, PortType};
+use taverna_prov::prelude::*;
+
+/// One stage of an identity chain: the port depth of its `x`/`y` ports,
+/// the base type coin (false = Int, true = String), and whether it also
+/// carries a defaulted auxiliary port.
+type Stage = (usize, bool, bool);
+
+fn base_of(coin: bool) -> BaseType {
+    if coin {
+        BaseType::String
+    } else {
+        BaseType::Int
+    }
+}
+
+/// A uniform value of the given depth and base (fanout 2 per level).
+fn make_value(depth: usize, base: BaseType) -> Value {
+    let lengths = vec![2usize; depth];
+    match base {
+        BaseType::String => Value::uniform(&lengths, || "v"),
+        _ => Value::uniform(&lengths, || 7i64),
+    }
+}
+
+/// Builds `in → S0 → S1 → … → out` where every stage runs the builtin
+/// `identity` behavior. Stages with a different base type than their
+/// upstream produce E001 diagnostics; everything else stays lintable
+/// but executable.
+fn chain(input_depth: usize, stages: &[Stage], spare_input: bool) -> prov_dataflow::Dataflow {
+    let mut b = DataflowBuilder::new("chain");
+    let input_base = base_of(stages[0].1);
+    b.input("in", PortType::nested(input_base, input_depth));
+    if spare_input {
+        b.input("spare", PortType::atom(BaseType::Int));
+    }
+    let mut out_depth = input_depth;
+    for (i, &(depth, coin, aux)) in stages.iter().enumerate() {
+        let name = format!("S{i}");
+        let t = PortType::nested(base_of(coin), depth);
+        let p = b.processor_with_behavior(&name, "identity").in_port("x", t).out_port("y", t);
+        if aux {
+            p.in_port_with_default("aux", PortType::atom(BaseType::Int), Value::int(9));
+        }
+        if i == 0 {
+            b.arc_from_input("in", &name, "x").unwrap();
+        } else {
+            b.arc(&format!("S{}", i - 1), "y", &name, "x").unwrap();
+        }
+        // Identity propagation: a_{i+1} = p_i + max(a_i − p_i, 0) = max(a_i, p_i).
+        out_depth = out_depth.max(depth);
+    }
+    let last = format!("S{}", stages.len() - 1);
+    let out_base = base_of(stages.last().unwrap().1);
+    b.output("out", PortType::nested(out_base, out_depth));
+    b.arc_to_output(&last, "y", "out").unwrap();
+    b.build().unwrap()
+}
+
+proptest! {
+    /// Lint-clean ⇒ executes. (The converse is not claimed: the engine
+    /// never checks base types at runtime, so an E001 chain may well run.)
+    #[test]
+    fn chains_without_analysis_errors_execute(
+        input_depth in 0usize..=2,
+        stages in proptest::collection::vec((0usize..=1, any::<bool>(), any::<bool>()), 1..=4),
+        spare_input in any::<bool>(),
+    ) {
+        let df = chain(input_depth, &stages, spare_input);
+        let diags = analyze(&df);
+        if diags.iter().any(prov_dataflow::Diagnostic::is_error) {
+            // Deliberately smelly chain (base-type flip): out of scope here.
+            return Ok(());
+        }
+
+        let mut inputs =
+            vec![("in".to_string(), make_value(input_depth, base_of(stages[0].1)))];
+        if spare_input {
+            inputs.push(("spare".to_string(), Value::int(0)));
+        }
+        let store = TraceStore::in_memory();
+        let run = Engine::new(BehaviorRegistry::new().with_builtins())
+            .execute(&df, inputs, &store);
+        prop_assert!(run.is_ok(), "lint-clean chain failed to execute: {:?}", run.err());
+        prop_assert!(run.unwrap().output("out").is_some());
+    }
+}

@@ -57,7 +57,8 @@ fn fig2_trace_events_have_matching_indices_per_branch_stage() {
     let run = bio::run_genes2kegg(&wf, db, input, &store).run_id;
 
     for proc in ["get_pathways_by_genes", "getPathwayDescriptions"] {
-        let recs = store.xforms_producing(run, &ProcessorName::from(proc), "return", &Index::empty());
+        let recs =
+            store.xforms_producing(run, &ProcessorName::from(proc), "return", &Index::empty());
         assert_eq!(recs.len(), 2, "{proc} iterates once per sub-list");
         for rec in recs {
             let input_idx = &rec.inputs().next().unwrap().index;
@@ -134,8 +135,7 @@ fn fig3_trace_has_n_by_m_events_for_the_cross_product() {
         .unwrap()
         .run_id;
 
-    let p_events =
-        store.xforms_producing(run, &ProcessorName::from("P"), "Y", &Index::empty());
+    let p_events = store.xforms_producing(run, &ProcessorName::from("P"), "Y", &Index::empty());
     assert_eq!(p_events.len(), 2 * 3); // n · m
     for rec in &p_events {
         let x1 = rec.input("X1").unwrap();
@@ -149,8 +149,7 @@ fn fig3_trace_has_n_by_m_events_for_the_cross_product() {
     }
 
     // R's single event consumed w whole: ⟨R:X[], w⟩ → ⟨R:Y[], b⟩.
-    let r_events =
-        store.xforms_producing(run, &ProcessorName::from("R"), "Y", &Index::empty());
+    let r_events = store.xforms_producing(run, &ProcessorName::from("R"), "Y", &Index::empty());
     assert_eq!(r_events.len(), 1);
     assert!(r_events[0].inputs().next().unwrap().index.is_empty());
 }

@@ -22,10 +22,7 @@ fn parallel_testbed_run_supports_identical_lineage_answers() {
         .unwrap();
 
     assert_eq!(seq.outputs, par.outputs);
-    assert_eq!(
-        seq_store.trace_record_count(seq.run_id),
-        par_store.trace_record_count(par.run_id)
-    );
+    assert_eq!(seq_store.trace_record_count(seq.run_id), par_store.trace_record_count(par.run_id));
 
     // Same lineage answers from both traces, via both algorithms.
     for idx in [[0u32, 0], [3, 5], [5, 2]] {

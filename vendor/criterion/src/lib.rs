@@ -1,0 +1,188 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `sample_size`, the
+//! `criterion_group!`/`criterion_main!` macros) over a plain wall-clock
+//! timing loop: each benchmark is calibrated briefly, then timed over
+//! `sample_size` batches, and the per-iteration median is printed. No
+//! statistical analysis, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Drives timing loops inside a benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `inner`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut inner: R) {
+        // Calibrate: find an iteration count that takes ~1ms per sample.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(inner());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(inner());
+            }
+            samples.push(start.elapsed() / iters.max(1) as u32);
+        }
+        samples.sort_unstable();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.criterion.sample_size, last: None };
+        f(&mut b);
+        self.report(&id.into_benchmark_id().name, b.last);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.criterion.sample_size, last: None };
+        f(&mut b, input);
+        self.report(&id.name, b.last);
+        self
+    }
+
+    /// Ends the group (restores the default sample count).
+    pub fn finish(self) {
+        self.criterion.sample_size = Criterion::DEFAULT_SAMPLES;
+    }
+
+    fn report(&self, bench: &str, time: Option<Duration>) {
+        match time {
+            Some(t) => println!("{}/{bench}: median {t:?}/iter", self.name),
+            None => println!("{}/{bench}: no measurement", self.name),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    const DEFAULT_SAMPLES: usize = 10;
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, last: None };
+        f(&mut b);
+        match b.last {
+            Some(t) => println!("{name}: median {t:?}/iter"),
+            None => println!("{name}: no measurement"),
+        }
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: Criterion::DEFAULT_SAMPLES }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`], so `bench_function` accepts both ids
+/// and plain strings.
+pub trait IntoBenchmarkId {
+    /// Converts.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { name: self.to_string() }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,73 @@
+//! Offline vendored stand-in for `crossbeam`, covering `thread::scope`.
+//!
+//! Built on `std::thread::scope` (stable since 1.63), which provides the same
+//! borrow-the-stack guarantee crossbeam pioneered. The API shims crossbeam's
+//! shapes: spawn closures take the scope as an argument, `join` returns
+//! `Result`, and `scope` itself returns `Result` (always `Ok` here — std
+//! propagates child panics by panicking at scope exit instead).
+
+/// Scoped thread spawning.
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// A scope handle passed to [`scope`] closures and re-passed to each
+    /// spawned closure (crossbeam's signature; std's spawn closures take no
+    /// argument).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        _marker: PhantomData<&'env ()>,
+    }
+
+    /// A handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further threads, matching crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope
+                    .spawn(move || f(&Scope { inner: inner_scope, _marker: PhantomData })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all threads are joined before this returns. Always `Ok`: std's scope
+    /// propagates child panics by panicking, so the `Err` arm (crossbeam's
+    /// collected-panics case) is unreachable.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s, _marker: PhantomData })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1, 2, 3];
+        let sums = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&n| s.spawn(move |_| n * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        })
+        .unwrap();
+        assert_eq!(sums, vec![10, 20, 30]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline vendored stand-in for `rand`.
+//!
+//! Provides [`rngs::SmallRng`] (a splitmix64-seeded xorshift64* generator —
+//! deterministic and fast, which is all the workload generators need) plus
+//! the [`Rng`]/[`SeedableRng`] trait subset the workspace calls. Streams
+//! differ from the real crate's, which only affects generated test data, not
+//! semantics.
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next pseudo-random word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly over their whole domain (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample(word: u64) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample(word: u64) -> Self {
+        (word >> 56) as u8
+    }
+}
+
+impl Standard for u16 {
+    fn sample(word: u64) -> Self {
+        (word >> 48) as u16
+    }
+}
+
+impl Standard for u32 {
+    fn sample(word: u64) -> Self {
+        (word >> 32) as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample(word: u64) -> Self {
+        word
+    }
+}
+
+impl Standard for usize {
+    fn sample(word: u64) -> Self {
+        word as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait UniformInt: Copy {
+    /// Picks uniformly in `[lo, hi)` given a random word. (Modulo sampling:
+    /// the bias is negligible for the small spans used in test-data
+    /// generation.)
+    fn pick(lo: Self, hi: Self, word: u64) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn pick(lo: Self, hi: Self, word: u64) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                lo + (word % span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn pick(lo: Self, hi: Self, word: u64) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add((word % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Draws a uniformly-distributed value.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self.next_u64())
+    }
+
+    /// Draws uniformly from a half-open range.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::pick(range.start, range.end, self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xorshift64* over a
+    /// splitmix64-expanded seed).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 finalizer: decorrelates adjacent seeds and maps the
+            // all-zero seed away from xorshift's absorbing zero state.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            SmallRng { state: z | 1 }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: usize = a.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            assert_eq!(x, b.gen_range(3..17));
+        }
+        let neg: i32 = a.gen_range(-5..5);
+        assert!((-5..5).contains(&neg));
+        let _byte: u8 = a.gen();
+    }
+}

@@ -1,0 +1,439 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! handful of external crates the seed depended on are vendored as minimal
+//! stand-ins under `vendor/`. This one keeps serde's *surface* — `Serialize`
+//! and `Deserialize` as derivable traits, re-exported derive macros, an `rc`
+//! feature — but swaps the streaming serializer architecture for a simple
+//! tree model ([`json::Json`]): every consumer in the workspace round-trips
+//! through `serde_json`, so the tree model is sufficient and much smaller.
+//!
+//! Deliberate deviations from real serde (documented, all invisible to the
+//! workspace's usage):
+//! * maps with non-string keys serialize as arrays of `[key, value]` pairs
+//!   instead of erroring;
+//! * `Option<T>` fields tolerate being absent from objects (treated as
+//!   `null`) without needing `#[serde(default)]`.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use json::{Error, Json};
+
+/// Types that can render themselves into the [`Json`] tree model.
+pub trait Serialize {
+    /// Serializes `self` into a JSON tree.
+    fn to_json_value(&self) -> Json;
+}
+
+/// Types that can reconstruct themselves from the [`Json`] tree model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value from a JSON tree.
+    fn from_json_value(v: &Json) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Json {
+                let v = *self as i128;
+                if let Ok(i) = i64::try_from(v) {
+                    Json::Int(i)
+                } else {
+                    Json::Uint(*self as u64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Json) -> Result<Self, Error> {
+                match v {
+                    Json::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::custom(format!("{i} out of range for {}", stringify!($t)))),
+                    Json::Uint(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::custom(format!("{u} out of range for {}", stringify!($t)))),
+                    other => Err(Error::expected("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Float(f) => Ok(*f),
+            Json::Int(i) => Ok(*i as f64),
+            Json::Uint(u) => Ok(*u as f64),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        f64::from_json_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(Error::expected("boolean", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Json {
+        Json::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Null => Ok(()),
+            other => Err(Error::expected("null", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("single-character string", other)),
+        }
+    }
+}
+
+// ------------------------------------------------------- pointers/references
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Json {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Json {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json_value(&self) -> Json {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        T::from_json_value(v).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Str(s) => Ok(Arc::from(s.as_str())),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_json_value(&self) -> Json {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        T::from_json_value(v).map(Rc::new)
+    }
+}
+
+impl Deserialize for Rc<str> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Str(s) => Ok(Rc::from(s.as_str())),
+            other => Err(Error::expected("string", other)),
+        }
+    }
+}
+
+// ------------------------------------------------------------------- options
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Json {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+// --------------------------------------------------------------- collections
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_json_value(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(Error::expected("fixed-size array", other)),
+        }
+    }
+}
+
+/// Serializes a map: objects when every key renders as a string, arrays of
+/// `[key, value]` pairs otherwise (a deviation from real serde, which errors
+/// on non-string keys in JSON).
+fn map_to_json<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    entries: impl Iterator<Item = (&'a K, &'a V)> + Clone,
+) -> Json {
+    let all_str = entries.clone().all(|(k, _)| matches!(k.to_json_value(), Json::Str(_)));
+    if all_str {
+        Json::Object(
+            entries
+                .map(|(k, v)| {
+                    let key = match k.to_json_value() {
+                        Json::Str(s) => s,
+                        _ => unreachable!("checked above"),
+                    };
+                    (key, v.to_json_value())
+                })
+                .collect(),
+        )
+    } else {
+        Json::Array(
+            entries.map(|(k, v)| Json::Array(vec![k.to_json_value(), v.to_json_value()])).collect(),
+        )
+    }
+}
+
+fn map_entries_from_json<K: Deserialize, V: Deserialize>(v: &Json) -> Result<Vec<(K, V)>, Error> {
+    match v {
+        Json::Object(fields) => fields
+            .iter()
+            .map(|(k, val)| {
+                Ok((K::from_json_value(&Json::Str(k.clone()))?, V::from_json_value(val)?))
+            })
+            .collect(),
+        Json::Array(items) => items
+            .iter()
+            .map(|item| match item {
+                Json::Array(pair) if pair.len() == 2 => {
+                    Ok((K::from_json_value(&pair[0])?, V::from_json_value(&pair[1])?))
+                }
+                other => Err(Error::expected("[key, value] pair", other)),
+            })
+            .collect(),
+        other => Err(Error::expected("map", other)),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json_value(&self) -> Json {
+        map_to_json(self.iter())
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        Ok(map_entries_from_json::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Json {
+        map_to_json(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        Ok(map_entries_from_json::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_json_value(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: std::hash::BuildHasher + Default> Deserialize
+    for HashSet<T, S>
+{
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+// -------------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Json) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Json::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::expected("tuple array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for Json {
+    fn to_json_value(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json_value(v: &Json) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,534 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! stand-in.
+//!
+//! `syn`/`quote` are not available offline, so this parses the item's token
+//! stream by hand. Supported shapes are exactly what the workspace uses:
+//! non-generic structs with named fields, newtype (single-field tuple)
+//! structs, and enums with unit/newtype/tuple/struct variants. Supported
+//! attributes: `#[serde(transparent)]`, `#[serde(skip)]` (fields),
+//! `#[serde(rename_all = "lowercase")]`, `#[serde(from = "T", into = "T")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default)]
+struct ContainerAttrs {
+    transparent: bool,
+    rename_all_lowercase: bool,
+    /// Proxy type from `#[serde(from = "T", into = "T")]` (both assumed equal).
+    proxy: Option<String>,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` (tree-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (item, attrs) = parse_item(input);
+    gen_serialize(&item, &attrs).parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (tree-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (item, attrs) = parse_item(input);
+    gen_deserialize(&item, &attrs).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> (Item, ContainerAttrs) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    let mut attrs = ContainerAttrs::default();
+    collect_attrs(&tokens, &mut pos, |flag, value| match (flag, value) {
+        ("transparent", _) => attrs.transparent = true,
+        ("rename_all", Some(v)) => attrs.rename_all_lowercase = v == "lowercase",
+        ("from", Some(v)) | ("into", Some(v)) => attrs.proxy = Some(v.to_string()),
+        other => panic!("serde_derive: unsupported container attribute {other:?}"),
+    });
+    skip_visibility(&tokens, &mut pos);
+    let kw = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving {name})");
+    }
+    let item = match kw.as_str() {
+        "struct" => Item::Struct { name, shape: parse_struct_shape(&tokens, &mut pos) },
+        "enum" => {
+            let body = expect_group(&tokens, &mut pos, Delimiter::Brace);
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: expected struct or enum, found {other:?}"),
+    };
+    (item, attrs)
+}
+
+fn parse_struct_shape(tokens: &[TokenTree], pos: &mut usize) -> Shape {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = parse_named_fields(g.stream());
+            *pos += 1;
+            Shape::Named(fields)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_tuple_fields(g.stream());
+            *pos += 1;
+            Shape::Tuple(arity)
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde_derive: unsupported struct body {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let mut skip = false;
+        collect_attrs(&tokens, &mut pos, |flag, _| {
+            if flag == "skip" {
+                skip = true;
+            }
+        });
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        expect_punct(&tokens, &mut pos, ':');
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, skip });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        collect_attrs(&tokens, &mut pos, |_, _| {});
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                pos += 1;
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                pos += 1;
+                Shape::Tuple(arity)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    variants
+}
+
+/// Consumes leading `#[...]` attributes, reporting `#[serde(...)]` contents
+/// to `on_serde` as `(flag, value)` pairs.
+fn collect_attrs(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    mut on_serde: impl FnMut(&str, Option<&str>),
+) {
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) else {
+            panic!("serde_derive: malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(head)) = inner.first() {
+            if head.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_args(args.stream(), &mut on_serde);
+                }
+            }
+        }
+        *pos += 2;
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, on_serde: &mut impl FnMut(&str, Option<&str>)) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let flag = expect_ident(&tokens, &mut pos);
+        let value = if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            pos += 1;
+            let TokenTree::Literal(lit) = &tokens[pos] else {
+                panic!("serde_derive: expected string literal after {flag} =");
+            };
+            pos += 1;
+            Some(lit.to_string().trim_matches('"').to_string())
+        } else {
+            None
+        };
+        on_serde(&flag, value.as_deref());
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        // pub(crate) / pub(super) / pub(in ...)
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Skips one type, i.e. tokens until a `,` at angle-bracket depth 0.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*pos) {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos < tokens.len() {
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn expect_punct(tokens: &[TokenTree], pos: &mut usize, c: char) {
+    match tokens.get(*pos) {
+        Some(TokenTree::Punct(p)) if p.as_char() == c => *pos += 1,
+        other => panic!("serde_derive: expected {c:?}, found {other:?}"),
+    }
+}
+
+fn expect_group(tokens: &[TokenTree], pos: &mut usize, delim: Delimiter) -> TokenStream {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *pos += 1;
+            g.stream()
+        }
+        other => panic!("serde_derive: expected group {delim:?}, found {other:?}"),
+    }
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn variant_tag(name: &str, attrs: &ContainerAttrs) -> String {
+    if attrs.rename_all_lowercase {
+        name.to_lowercase()
+    } else {
+        name.to_string()
+    }
+}
+
+fn gen_serialize(item: &Item, attrs: &ContainerAttrs) -> String {
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    let body = if let Some(proxy) = &attrs.proxy {
+        format!(
+            "let proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_json_value(&proxy)"
+        )
+    } else {
+        match item {
+            Item::Struct { shape: Shape::Named(fields), .. } if !attrs.transparent => {
+                let mut pushes = String::new();
+                for f in fields.iter().filter(|f| !f.skip) {
+                    pushes.push_str(&format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_json_value(&self.{0})),\n",
+                        f.name
+                    ));
+                }
+                format!("::serde::json::Json::Object(vec![\n{pushes}])")
+            }
+            Item::Struct { shape: Shape::Named(fields), .. } => {
+                // transparent named struct: exactly one serialized field.
+                let f = fields.iter().find(|f| !f.skip).expect("transparent struct needs a field");
+                format!("::serde::Serialize::to_json_value(&self.{})", f.name)
+            }
+            Item::Struct { shape: Shape::Tuple(1), .. } => {
+                // Newtype structs delegate (matches serde with or without
+                // `transparent`).
+                "::serde::Serialize::to_json_value(&self.0)".to_string()
+            }
+            Item::Struct { shape: Shape::Tuple(n), .. } => {
+                let items = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("::serde::json::Json::Array(vec![{items}])")
+            }
+            Item::Struct { shape: Shape::Unit, .. } => "::serde::json::Json::Null".to_string(),
+            Item::Enum { name, variants } => {
+                let mut arms = String::new();
+                for v in variants {
+                    let tag = variant_tag(&v.name, attrs);
+                    match &v.shape {
+                        Shape::Unit => arms.push_str(&format!(
+                            "{name}::{0} => ::serde::json::Json::Str(\"{tag}\".to_string()),\n",
+                            v.name
+                        )),
+                        Shape::Tuple(1) => arms.push_str(&format!(
+                            "{name}::{0}(x0) => ::serde::json::Json::Object(vec![(\"{tag}\".to_string(), ::serde::Serialize::to_json_value(x0))]),\n",
+                            v.name
+                        )),
+                        Shape::Tuple(n) => {
+                            let binds = (0..*n).map(|i| format!("x{i}")).collect::<Vec<_>>().join(", ");
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_json_value(x{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            arms.push_str(&format!(
+                                "{name}::{0}({binds}) => ::serde::json::Json::Object(vec![(\"{tag}\".to_string(), ::serde::json::Json::Array(vec![{items}]))]),\n",
+                                v.name
+                            ));
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "(\"{0}\".to_string(), ::serde::Serialize::to_json_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            arms.push_str(&format!(
+                                "{name}::{0} {{ {binds} }} => ::serde::json::Json::Object(vec![(\"{tag}\".to_string(), ::serde::json::Json::Object(vec![{items}]))]),\n",
+                                v.name
+                            ));
+                        }
+                    }
+                }
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::json::Json {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Expression deserializing field `fname` of object expression `obj` (missing
+/// fields fall back to `Null`, so `Option` fields tolerate absence).
+fn field_expr(obj: &str, fname: &str) -> String {
+    format!(
+        "match {obj}.get(\"{fname}\") {{\n\
+             Some(x) => ::serde::Deserialize::from_json_value(x)?,\n\
+             None => ::serde::Deserialize::from_json_value(&::serde::json::Json::Null)\n\
+                 .map_err(|_| ::serde::json::Error::missing_field(\"{fname}\"))?,\n\
+         }}"
+    )
+}
+
+fn named_ctor(path: &str, fields: &[Field], obj: &str) -> String {
+    let inits = fields
+        .iter()
+        .map(|f| {
+            if f.skip {
+                format!("{}: ::std::default::Default::default(),\n", f.name)
+            } else {
+                format!("{}: {},\n", f.name, field_expr(obj, &f.name))
+            }
+        })
+        .collect::<String>();
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item, attrs: &ContainerAttrs) -> String {
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    let body = if let Some(proxy) = &attrs.proxy {
+        format!(
+            "let proxy: {proxy} = ::serde::Deserialize::from_json_value(v)?;\n\
+             Ok(::std::convert::From::from(proxy))"
+        )
+    } else {
+        match item {
+            Item::Struct { shape: Shape::Named(fields), .. } if !attrs.transparent => {
+                format!(
+                    "match v {{\n\
+                         ::serde::json::Json::Object(_) => Ok({}),\n\
+                         other => Err(::serde::json::Error::expected(\"object\", other)),\n\
+                     }}",
+                    named_ctor(name, fields, "v")
+                )
+            }
+            Item::Struct { shape: Shape::Named(fields), .. } => {
+                let f = fields.iter().find(|f| !f.skip).expect("transparent struct needs a field");
+                let others = fields
+                    .iter()
+                    .filter(|g| g.name != f.name)
+                    .map(|g| format!("{}: ::std::default::Default::default(),\n", g.name))
+                    .collect::<String>();
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_json_value(v)?,\n{others} }})",
+                    f.name
+                )
+            }
+            Item::Struct { shape: Shape::Tuple(1), .. } => {
+                format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))")
+            }
+            Item::Struct { shape: Shape::Tuple(n), .. } => {
+                let items = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "match v {{\n\
+                         ::serde::json::Json::Array(items) if items.len() == {n} => Ok({name}({items})),\n\
+                         other => Err(::serde::json::Error::expected(\"array of {n}\", other)),\n\
+                     }}"
+                )
+            }
+            Item::Struct { shape: Shape::Unit, .. } => format!("Ok({name})"),
+            Item::Enum { name, variants } => {
+                let unit_arms = variants
+                    .iter()
+                    .filter(|v| matches!(v.shape, Shape::Unit))
+                    .map(|v| {
+                        format!("\"{}\" => Ok({name}::{}),\n", variant_tag(&v.name, attrs), v.name)
+                    })
+                    .collect::<String>();
+                let mut tagged_arms = String::new();
+                for v in variants {
+                    let tag = variant_tag(&v.name, attrs);
+                    match &v.shape {
+                        Shape::Unit => {}
+                        Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                            "\"{tag}\" => Ok({name}::{}(::serde::Deserialize::from_json_value(inner)?)),\n",
+                            v.name
+                        )),
+                        Shape::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_json_value(&items[{i}])?")
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            tagged_arms.push_str(&format!(
+                                "\"{tag}\" => match inner {{\n\
+                                     ::serde::json::Json::Array(items) if items.len() == {n} => Ok({name}::{0}({items})),\n\
+                                     other => Err(::serde::json::Error::expected(\"array of {n}\", other)),\n\
+                                 }},\n",
+                                v.name
+                            ));
+                        }
+                        Shape::Named(fields) => tagged_arms.push_str(&format!(
+                            "\"{tag}\" => Ok({}),\n",
+                            named_ctor(&format!("{name}::{}", v.name), fields, "inner")
+                        )),
+                    }
+                }
+                let str_arm = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "::serde::json::Json::Str(s) => match s.as_str() {{\n\
+                             {unit_arms}\
+                             other => Err(::serde::json::Error::custom(format!(\"unknown variant `{{other}}`\"))),\n\
+                         }},\n"
+                    )
+                };
+                let obj_arm = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "::serde::json::Json::Object(fields) if fields.len() == 1 => {{\n\
+                             let (tag, inner) = &fields[0];\n\
+                             match tag.as_str() {{\n\
+                                 {tagged_arms}\
+                                 other => Err(::serde::json::Error::custom(format!(\"unknown variant `{{other}}`\"))),\n\
+                             }}\n\
+                         }}\n"
+                    )
+                };
+                format!(
+                    "match v {{\n\
+                         {str_arm}\
+                         {obj_arm}\
+                         other => Err(::serde::json::Error::expected(\"enum\", other)),\n\
+                     }}"
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &::serde::json::Json) -> ::std::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
