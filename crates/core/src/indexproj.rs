@@ -67,30 +67,50 @@ pub struct LineagePlan {
 }
 
 impl LineagePlan {
-    /// Executes the plan against one run (phase *s2*): one indexed trace
-    /// query per step.
-    pub fn execute(&self, store: &TraceStore, run: RunId) -> Result<LineageAnswer> {
-        let mut bindings: Vec<Binding> = Vec::new();
-        for step in &self.steps {
-            let stored = match step.kind {
-                StepKind::XformInput => {
-                    store.input_bindings(run, &step.processor, &step.port, &step.index)
-                }
-                StepKind::XferSrc => {
-                    store.xfer_src_bindings(run, &step.processor, &step.port, &step.index)
-                }
-            };
-            for b in stored {
-                bindings.push(store.resolve(&b).map_err(CoreError::Store)?);
+    /// One step's resolved bindings — independent of every other step, so
+    /// steps can execute in any order or concurrently.
+    fn step_bindings(store: &TraceStore, run: RunId, step: &PlanStep) -> Result<Vec<Binding>> {
+        let stored = match step.kind {
+            StepKind::XformInput => {
+                store.input_bindings(run, &step.processor, &step.port, &step.index)
             }
+            StepKind::XferSrc => {
+                store.xfer_src_bindings(run, &step.processor, &step.port, &step.index)
+            }
+        };
+        stored.iter().map(|b| store.resolve(b).map_err(CoreError::Store)).collect()
+    }
+
+    /// Executes the plan against one run (phase *s2*): one indexed trace
+    /// query per step. Large plans fan their (mutually independent) steps
+    /// out across scoped threads; results are recombined in step order, so
+    /// the answer — and which error surfaces, if any — is identical to the
+    /// sequential loop's.
+    pub fn execute(&self, store: &TraceStore, run: RunId) -> Result<LineageAnswer> {
+        let per_step: Vec<Result<Vec<Binding>>> = if self.steps.len() >= crate::par::STEP_FANOUT_MIN
+        {
+            crate::par::parallel_map(&self.steps, |step| Self::step_bindings(store, run, step))
+        } else {
+            self.steps.iter().map(|step| Self::step_bindings(store, run, step)).collect()
+        };
+        let mut bindings: Vec<Binding> = Vec::new();
+        for step_result in per_step {
+            bindings.extend(step_result?);
         }
         Ok(LineageAnswer::new(run, bindings, self.steps.len(), self.nodes_visited))
     }
 
     /// Executes the plan against several runs, sharing the (already paid)
-    /// planning phase — the multi-run scenario of §3.4 and Fig. 4.
+    /// planning phase — the multi-run scenario of §3.4 and Fig. 4. Enough
+    /// runs are executed concurrently, one plan shared by all workers;
+    /// answers come back in run order and any error is reported for the
+    /// lowest failing run index, exactly as sequentially.
     pub fn execute_multi(&self, store: &TraceStore, runs: &[RunId]) -> Result<Vec<LineageAnswer>> {
-        runs.iter().map(|&r| self.execute(store, r)).collect()
+        if runs.len() >= crate::par::RUN_FANOUT_MIN {
+            crate::par::parallel_map(runs, |&r| self.execute(store, r)).into_iter().collect()
+        } else {
+            runs.iter().map(|&r| self.execute(store, r)).collect()
+        }
     }
 }
 

@@ -35,6 +35,7 @@ mod error;
 mod impact;
 mod indexproj;
 mod naive;
+mod par;
 mod parse;
 mod plan_cache;
 mod query;

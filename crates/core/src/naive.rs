@@ -113,14 +113,20 @@ impl NaiveLineage {
 
     /// Answers `query` over several runs. NI shares nothing between runs:
     /// each run costs one full provenance-graph traversal (the behaviour
-    /// Fig. 4 contrasts with INDEXPROJ's shared phase s1).
+    /// Fig. 4 contrasts with INDEXPROJ's shared phase s1). The traversals
+    /// are independent, so enough runs are fanned out across threads;
+    /// answers come back in run order.
     pub fn run_multi(
         &self,
         store: &TraceStore,
         runs: &[RunId],
         query: &LineageQuery,
     ) -> Result<Vec<LineageAnswer>> {
-        runs.iter().map(|&r| self.run(store, r, query)).collect()
+        if runs.len() >= crate::par::RUN_FANOUT_MIN {
+            crate::par::parallel_map(runs, |&r| self.run(store, r, query)).into_iter().collect()
+        } else {
+            runs.iter().map(|&r| self.run(store, r, query)).collect()
+        }
     }
 }
 

@@ -1,0 +1,105 @@
+//! Scoped-thread fan-out for plan execution.
+//!
+//! The lookups of a compiled [`crate::LineagePlan`] are independent of one
+//! another — each reads its own `(processor, port, index)` region of the
+//! trace — and so are the per-run executions of a multi-run query (§3.4):
+//! the plan is shared, the runs are not. Both therefore parallelise
+//! embarrassingly. This module provides the one primitive both paths use:
+//! an order-preserving parallel map over a slice, built on
+//! [`std::thread::scope`] so borrowed stores and plans cross into workers
+//! without `'static` gymnastics.
+//!
+//! Fan-out only pays for itself above a minimum amount of work; callers
+//! gate on [`STEP_FANOUT_MIN`] / [`RUN_FANOUT_MIN`] and fall back to the
+//! sequential loop below them. Answers stay bit-identical either way:
+//! results are reassembled in input order, and
+//! [`crate::LineageAnswer::new`] normalises binding order regardless.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Minimum number of plan steps before [`crate::LineagePlan::execute`]
+/// fans lookups out across threads.
+pub(crate) const STEP_FANOUT_MIN: usize = 16;
+
+/// Minimum number of runs before the multi-run paths execute runs
+/// concurrently.
+pub(crate) const RUN_FANOUT_MIN: usize = 4;
+
+/// Number of worker threads for `items` units of work: the machine's
+/// available parallelism, but at least 2 (so the concurrent path is
+/// genuinely exercised even on single-core hosts) and at most 8 (trace
+/// lookups are short; more threads only add contention), never more than
+/// there are items.
+fn worker_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.clamp(2, 8).min(items.max(1))
+}
+
+/// Applies `f` to every item on scoped worker threads and returns the
+/// results in input order. Work is distributed by an atomic cursor, so
+/// uneven item costs balance across workers.
+pub(crate) fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let out: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..worker_count(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                out.lock().push((i, r));
+            });
+        }
+    });
+    let mut pairs = out.into_inner();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single_item() {
+        let none: Vec<u32> = Vec::new();
+        assert!(parallel_map(&none, |&i| i).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::thread::ThreadId;
+        // With enough slow items, at least two workers must participate.
+        let items: Vec<u32> = (0..64).collect();
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        parallel_map(&items, |_| {
+            seen.lock().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(seen.lock().len() >= 2, "fan-out used a single thread");
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(100) >= 2);
+        assert!(worker_count(100) <= 8);
+    }
+}

@@ -8,6 +8,8 @@
 //! strategy of Fig. 9.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -17,12 +19,24 @@ use prov_store::TraceStore;
 
 use crate::{IndexProj, LineageAnswer, LineagePlan, LineageQuery, Result};
 
+/// Entries sharing one pre-computed query hash; disambiguated by full
+/// query equality.
+type Bucket = Vec<(LineageQuery, Arc<LineagePlan>)>;
+
 /// A thread-safe cache of compiled plans for one workflow.
+///
+/// Lookup cost is kept off the query hot path: the full query (target,
+/// index and the whole focus set) is hashed **once** per lookup into a
+/// `u64` bucket key; within a bucket only that cheap pre-computed key's
+/// collisions are compared with full equality. Hit/miss counters are
+/// lock-free atomics, so concurrent query threads never serialise on
+/// bookkeeping.
 pub struct PlanCache<'a> {
     index_proj: IndexProj<'a>,
-    plans: Mutex<HashMap<LineageQuery, Arc<LineagePlan>>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    /// Pre-computed query hash → entries whose query has that hash.
+    buckets: Mutex<HashMap<u64, Bucket>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<'a> PlanCache<'a> {
@@ -30,21 +44,42 @@ impl<'a> PlanCache<'a> {
     pub fn new(index_proj: IndexProj<'a>) -> Self {
         PlanCache {
             index_proj,
-            plans: Mutex::new(HashMap::new()),
-            hits: Mutex::new(0),
-            misses: Mutex::new(0),
+            buckets: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
+    }
+
+    /// The query's bucket key: one hash over the whole query, computed
+    /// once per lookup.
+    fn query_hash(query: &LineageQuery) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        query.hash(&mut h);
+        h.finish()
     }
 
     /// The plan for `query`, compiled at most once.
     pub fn plan(&self, query: &LineageQuery) -> Result<Arc<LineagePlan>> {
-        if let Some(p) = self.plans.lock().get(query) {
-            *self.hits.lock() += 1;
+        let key = Self::query_hash(query);
+        if let Some(bucket) = self.buckets.lock().get(&key) {
+            if let Some((_, p)) = bucket.iter().find(|(q, _)| q == query) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(p));
+            }
+        }
+        // Compile outside the lock: planning is pure graph work and may be
+        // slow; concurrent misses on the same query both compile, but only
+        // one entry survives.
+        let plan = Arc::new(self.index_proj.plan(query)?);
+        let mut buckets = self.buckets.lock();
+        let bucket = buckets.entry(key).or_default();
+        if let Some((_, p)) = bucket.iter().find(|(q, _)| q == query) {
+            // Another thread inserted while we compiled.
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(p));
         }
-        let plan = Arc::new(self.index_proj.plan(query)?);
-        self.plans.lock().insert(query.clone(), Arc::clone(&plan));
-        *self.misses.lock() += 1;
+        bucket.push((query.clone(), Arc::clone(&plan)));
+        self.misses.fetch_add(1, Ordering::Relaxed);
         Ok(plan)
     }
 
@@ -70,17 +105,17 @@ impl<'a> PlanCache<'a> {
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.plans.lock().len()
+        self.buckets.lock().values().map(Vec::len).sum()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.plans.lock().is_empty()
+        self.len() == 0
     }
 }
 
@@ -132,6 +167,31 @@ mod tests {
         }
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.stats(), (0, 3));
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_on_one_entry() {
+        let df = tiny();
+        let cache = PlanCache::new(IndexProj::new(&df));
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::single(0),
+            [ProcessorName::from("wf")],
+        );
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..25 {
+                        cache.plan(&q).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        let (hits, misses) = cache.stats();
+        // Every lookup is accounted exactly once, however the races fall.
+        assert_eq!(hits + misses, 200);
+        assert!(misses >= 1);
     }
 
     #[test]

@@ -96,6 +96,16 @@ impl fmt::Display for XferEvent {
     }
 }
 
+/// One recorded event of either kind, in recording order — the unit of
+/// batched ingest ([`TraceSink::record_batch`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An elementary invocation.
+    Xform(XformEvent),
+    /// An element transfer.
+    Xfer(XferEvent),
+}
+
 /// How finely the engine records *xfer* events (ablation #4, DESIGN.md).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TraceGranularity {
@@ -119,6 +129,20 @@ pub trait TraceSink: Send + Sync {
     fn record_xform(&self, run: RunId, event: XformEvent);
     /// Records one xfer event.
     fn record_xfer(&self, run: RunId, event: XferEvent);
+    /// Records a batch of events in order. The engine accumulates the
+    /// events of one processor (or one scope's output transfers) and hands
+    /// them over in a single call, so sinks that serialise ingest through a
+    /// lock or a log can amortise the acquisition across the whole batch.
+    /// The default forwards event-at-a-time, so existing sinks observe the
+    /// exact per-event sequence they always did.
+    fn record_batch(&self, run: RunId, events: Vec<TraceEvent>) {
+        for event in events {
+            match event {
+                TraceEvent::Xform(e) => self.record_xform(run, e),
+                TraceEvent::Xfer(e) => self.record_xfer(run, e),
+            }
+        }
+    }
     /// Marks a run complete. Sinks may flush here.
     fn finish_run(&self, run: RunId);
 }
@@ -251,6 +275,23 @@ impl TraceSink for ReportingSink<'_> {
         *self.xfer_elements.lock() += 1;
         self.inner.record_xfer(run, event);
     }
+    fn record_batch(&self, run: RunId, events: Vec<TraceEvent>) {
+        // Tally here, then hand the whole batch through so the inner sink
+        // keeps its single-lock ingest.
+        {
+            let mut invocations = self.invocations.lock();
+            let mut xfers = self.xfer_elements.lock();
+            for event in &events {
+                match event {
+                    TraceEvent::Xform(e) => {
+                        *invocations.entry(e.processor.clone()).or_insert(0) += 1;
+                    }
+                    TraceEvent::Xfer(_) => *xfers += 1,
+                }
+            }
+        }
+        self.inner.record_batch(run, events);
+    }
     fn finish_run(&self, run: RunId) {
         self.inner.finish_run(run);
     }
@@ -324,6 +365,55 @@ mod tests {
         assert!(report.to_string().contains("P: 3"));
         // Everything reached the inner sink too.
         assert_eq!(base.record_count(), 4);
+    }
+
+    #[test]
+    fn default_record_batch_preserves_per_event_order() {
+        let s = VecSink::new();
+        let run = s.begin_run(&"wf".into());
+        let xf = XformEvent {
+            processor: ProcessorName::from("P"),
+            invocation: 0,
+            inputs: vec![],
+            outputs: vec![PortBinding::new("y", Index::single(0), Value::int(1))],
+        };
+        let tr = XferEvent {
+            src: PortRef::new("P", "y"),
+            src_index: Index::single(0),
+            dst: PortRef::new("wf", "out"),
+            dst_index: Index::single(0),
+            value: Value::int(1),
+        };
+        s.record_batch(run, vec![TraceEvent::Xfer(tr.clone()), TraceEvent::Xform(xf.clone())]);
+        assert_eq!(s.xforms_of(run), vec![xf]);
+        assert_eq!(s.xfers_of(run), vec![tr]);
+    }
+
+    #[test]
+    fn reporting_sink_tallies_batches() {
+        let base = VecSink::new();
+        let reporting = ReportingSink::new(&base);
+        let run = reporting.begin_run(&"wf".into());
+        let xf = |i| {
+            TraceEvent::Xform(XformEvent {
+                processor: ProcessorName::from("P"),
+                invocation: i,
+                inputs: vec![],
+                outputs: vec![PortBinding::new("y", Index::single(i), Value::int(1))],
+            })
+        };
+        let tr = TraceEvent::Xfer(XferEvent {
+            src: PortRef::new("P", "y"),
+            src_index: Index::empty(),
+            dst: PortRef::new("wf", "out"),
+            dst_index: Index::empty(),
+            value: Value::int(1),
+        });
+        reporting.record_batch(run, vec![xf(0), xf(1), tr]);
+        let report = reporting.report();
+        assert_eq!(report.invocations, vec![(ProcessorName::from("P"), 2)]);
+        assert_eq!(report.xfer_elements, 1);
+        assert_eq!(base.record_count(), 3);
     }
 
     #[test]

@@ -17,9 +17,19 @@ use prov_dataflow::{
 use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
 
 use crate::behavior::BehaviorRegistry;
-use crate::events::{PortBinding, TraceGranularity, TraceSink, XferEvent, XformEvent};
+use crate::events::{PortBinding, TraceEvent, TraceGranularity, TraceSink, XferEvent, XformEvent};
 use crate::iteration::{assemble_nested, iteration_tuples};
 use crate::{EngineError, Result};
+
+/// Hands accumulated events to the sink as one batch. Batches are flushed
+/// at processor boundaries and before recursing into a nested scope, so the
+/// per-event order a sink observes is identical to event-at-a-time
+/// recording — batching only changes how many events arrive per call.
+fn flush_batch(sink: &dyn TraceSink, run_id: RunId, batch: &mut Vec<TraceEvent>) {
+    if !batch.is_empty() {
+        sink.record_batch(run_id, std::mem::take(batch));
+    }
+}
 
 /// How the processors of a scope are scheduled.
 ///
@@ -225,7 +235,9 @@ impl Engine {
 
         // Workflow outputs: transfer from the feeding port. Destination
         // indices are offset by q so outer consumers see absolute indices.
+        // All output transfers of the scope go to the sink as one batch.
         let mut outputs = Vec::with_capacity(df.outputs.len());
+        let mut batch: Vec<TraceEvent> = Vec::new();
         for port in &df.outputs {
             let arc = df.arc_into_output(&port.name).ok_or_else(|| {
                 EngineError::Spec(prov_dataflow::DataflowError::UnboundOutput(
@@ -235,8 +247,7 @@ impl Engine {
             let (src_ref, src_offset, v) =
                 self.resolve_src(df, &arc.src, &scope_name, prefix, &inputs, offsets, &out_values)?;
             self.emit_xfer(
-                sink,
-                run_id,
+                &mut batch,
                 src_ref,
                 src_offset,
                 PortRef { processor: scope_name.clone(), port: port.name.clone() },
@@ -245,6 +256,7 @@ impl Engine {
             );
             outputs.push((port.name.clone(), v));
         }
+        flush_batch(sink, run_id, &mut batch);
         Ok(outputs)
     }
 
@@ -270,6 +282,13 @@ impl Engine {
             let p = df.processor_required(pname)?;
             let qualified = qualify(prefix, pname.as_str());
 
+            // Events of this processor accumulate here and reach the sink
+            // in batches: the gathered input transfers plus the xform
+            // events of all elementary invocations. Flushed before any
+            // recursion into a nested scope, so the overall event sequence
+            // is the exact per-event order.
+            let mut batch: Vec<TraceEvent> = Vec::new();
+
             // Gather inputs, emitting xfer events for each arc crossed.
             let mut values = Vec::with_capacity(p.inputs.len());
             let mut mismatches = Vec::with_capacity(p.inputs.len());
@@ -286,8 +305,7 @@ impl Engine {
                             df, &arc.src, scope_name, prefix, inputs, offsets, out_values,
                         )?;
                         self.emit_xfer(
-                            sink,
-                            run_id,
+                            &mut batch,
                             src_ref,
                             src_offset,
                             PortRef { processor: qualified.clone(), port: port.name.clone() },
@@ -336,6 +354,9 @@ impl Engine {
                     }
                     ProcessorKind::Nested { dataflow } => {
                         record_event = false;
+                        // The nested scope's events must follow everything
+                        // recorded so far — flush before recursing.
+                        flush_batch(sink, run_id, &mut batch);
                         let inner_inputs: HashMap<Arc<str>, Value> = dataflow
                             .inputs
                             .iter()
@@ -389,29 +410,27 @@ impl Engine {
                     });
                 }
                 if record_event {
-                    sink.record_xform(
-                        run_id,
-                        XformEvent {
-                            processor: qualified.clone(),
-                            invocation: invocation as u32,
-                            inputs: p
-                                .inputs
-                                .iter()
-                                .zip(&tuple.inputs)
-                                .map(|(port, (idx, v))| PortBinding {
-                                    port: port.name.clone(),
-                                    index: offsets.global.concat(idx),
-                                    value: v.clone(),
-                                })
-                                .collect(),
-                            outputs: out_bindings,
-                        },
-                    );
+                    batch.push(TraceEvent::Xform(XformEvent {
+                        processor: qualified.clone(),
+                        invocation: invocation as u32,
+                        inputs: p
+                            .inputs
+                            .iter()
+                            .zip(&tuple.inputs)
+                            .map(|(port, (idx, v))| PortBinding {
+                                port: port.name.clone(),
+                                index: offsets.global.concat(idx),
+                                value: v.clone(),
+                            })
+                            .collect(),
+                        outputs: out_bindings,
+                    }));
                 }
                 for (slot, value) in per_output.iter_mut().zip(results) {
                     slot.push((tuple.output_index.clone(), value));
                 }
             }
+            flush_batch(sink, run_id, &mut batch);
 
             // Assemble each output port's full value from the invocations.
             Ok(p.outputs
@@ -464,13 +483,12 @@ impl Engine {
     }
 
     /// Emits the xfer events for a value crossing an arc, at the configured
-    /// granularity. `src_offset`/`dst_offset` translate element-relative
-    /// indices to absolute ones at nested-scope boundaries.
-    #[allow(clippy::too_many_arguments)]
+    /// granularity, into the caller's event batch. `src_offset`/`dst_offset`
+    /// translate element-relative indices to absolute ones at nested-scope
+    /// boundaries.
     fn emit_xfer(
         &self,
-        sink: &dyn TraceSink,
-        run_id: RunId,
+        batch: &mut Vec<TraceEvent>,
         src: PortRef,
         src_offset: Index,
         dst: PortRef,
@@ -479,42 +497,33 @@ impl Engine {
     ) {
         match self.granularity {
             TraceGranularity::Coarse => {
-                sink.record_xfer(
-                    run_id,
-                    XferEvent {
+                batch.push(TraceEvent::Xfer(XferEvent {
+                    src,
+                    src_index: src_offset,
+                    dst,
+                    dst_index: dst_offset,
+                    value: value.clone(),
+                }));
+            }
+            TraceGranularity::Fine => {
+                if value.is_atom() {
+                    batch.push(TraceEvent::Xfer(XferEvent {
                         src,
                         src_index: src_offset,
                         dst,
                         dst_index: dst_offset,
                         value: value.clone(),
-                    },
-                );
-            }
-            TraceGranularity::Fine => {
-                if value.is_atom() {
-                    sink.record_xfer(
-                        run_id,
-                        XferEvent {
-                            src,
-                            src_index: src_offset,
-                            dst,
-                            dst_index: dst_offset,
-                            value: value.clone(),
-                        },
-                    );
+                    }));
                     return;
                 }
                 for (index, atom) in value.leaves() {
-                    sink.record_xfer(
-                        run_id,
-                        XferEvent {
-                            src: src.clone(),
-                            src_index: src_offset.concat(&index),
-                            dst: dst.clone(),
-                            dst_index: dst_offset.concat(&index),
-                            value: Value::Atom(atom.clone()),
-                        },
-                    );
+                    batch.push(TraceEvent::Xfer(XferEvent {
+                        src: src.clone(),
+                        src_index: src_offset.concat(&index),
+                        dst: dst.clone(),
+                        dst_index: dst_offset.concat(&index),
+                        value: Value::Atom(atom.clone()),
+                    }));
                 }
             }
         }

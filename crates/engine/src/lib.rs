@@ -32,8 +32,8 @@ mod iteration;
 pub use behavior::{builtin, Behavior, BehaviorRegistry, FnBehavior};
 pub use error::EngineError;
 pub use events::{
-    NullSink, PortBinding, ReportingSink, RunReport, TraceGranularity, TraceSink, VecSink,
-    XferEvent, XformEvent,
+    NullSink, PortBinding, ReportingSink, RunReport, TraceEvent, TraceGranularity, TraceSink,
+    VecSink, XferEvent, XformEvent,
 };
 pub use exec::{Engine, ExecutionMode, RunOutcome};
 pub use iteration::{assemble_nested, iteration_tuples, IterationTuple};

@@ -147,6 +147,7 @@ impl ProvenanceGraph {
     }
 
     /// Serialises the graph to JSON.
+    #[allow(clippy::expect_used)] // plain-data struct; serialisation is infallible
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("graph serialises")
     }

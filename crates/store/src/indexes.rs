@@ -1,57 +1,75 @@
 //! Composite ordered secondary indexes over the trace tables.
 //!
-//! Keys are `(run, processor, port, index)`; payloads are row ids into the
-//! heap vectors. A `BTreeMap` gives the two access paths lineage queries
-//! need:
+//! Keys are `(run, processor, port, index)` — all interned: processor and
+//! port are [`Sym`]s, the element index a packed [`IndexKey`] — so a key is
+//! a small value type and a B-tree comparison costs a handful of integer
+//! compares with no pointer chasing and no allocation. A `BTreeMap` gives
+//! the two access paths lineage queries need:
 //!
 //! * **point lookup** — the exact key (used by INDEXPROJ's `Q(P, Xi, pi)`
 //!   when the projected fragment has the stored length);
 //! * **prefix scan** — all rows whose element index *extends* a given
 //!   index (used when a query addresses a sub-collection: its elements'
 //!   rows are exactly the keys with that prefix, which are contiguous in
-//!   lexicographic order).
+//!   lexicographic order — the packed encoding preserves that order).
 //!
 //! Ancestor lookups ("rows whose index is a prefix of the query index", for
 //! coarse rows such as whole-value transfers) are answered by at most
-//! `|p|+1` point lookups, one per prefix of `p`.
+//! `|p|+1` point lookups, one per prefix of `p` — each a bit-mask on the
+//! packed key.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
-use std::sync::Arc;
 
-use prov_model::{Index, ProcessorName, RunId};
+use prov_model::RunId;
 
 use crate::stats::QueryStats;
+use crate::symbols::{IndexKey, Sym};
 
-/// Composite key: `(run, processor, port, element index)`.
-pub type Key = (RunId, ProcessorName, Arc<str>, Index);
+/// Composite key: `(run, processor, port, element index)`, fully interned.
+/// The derived order is lexicographic over the fields, so one run's keys —
+/// and within them one port's — are contiguous.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SymKey {
+    /// Owning run.
+    pub run: RunId,
+    /// Interned processor name.
+    pub processor: Sym,
+    /// Interned port name.
+    pub port: Sym,
+    /// Packed element index.
+    pub index: IndexKey,
+}
 
 /// A secondary index mapping composite keys to row ids. Multiple rows may
 /// share one key (e.g. several invocations consuming the same whole-value
 /// input), hence the `Vec<u64>` payload.
 #[derive(Debug, Default)]
 pub struct CompositeIndex {
-    map: BTreeMap<Key, Vec<u64>>,
+    map: BTreeMap<SymKey, Vec<u64>>,
 }
 
 impl CompositeIndex {
     /// Inserts a row id under the key.
-    pub fn insert(&mut self, key: Key, row: u64) {
+    pub fn insert(&mut self, key: SymKey, row: u64) {
         self.map.entry(key).or_default().push(row);
     }
 
     /// Exact-match lookup. Counts one index lookup plus one record read per
-    /// returned row in `stats`.
+    /// returned row in `stats`. (The store's query paths all go through
+    /// [`CompositeIndex::get_overlapping`]; the narrower access paths stay
+    /// as the index's unit-tested building blocks.)
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn get_exact(
         &self,
         run: RunId,
-        processor: &ProcessorName,
-        port: &str,
-        index: &Index,
+        processor: Sym,
+        port: Sym,
+        index: &IndexKey,
         stats: &QueryStats,
     ) -> Vec<u64> {
         stats.count_index_lookup();
-        let key: Key = (run, processor.clone(), Arc::from(port), index.clone());
+        let key = SymKey { run, processor, port, index: index.clone() };
         let rows = self.map.get(&key).cloned().unwrap_or_default();
         stats.count_records(rows.len());
         rows
@@ -60,20 +78,24 @@ impl CompositeIndex {
     /// Prefix scan: all rows whose index has `prefix` as a (non-strict)
     /// prefix. The matching keys are contiguous, so this is one B-tree
     /// descent plus a bounded walk.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn scan_prefix(
         &self,
         run: RunId,
-        processor: &ProcessorName,
-        port: &str,
-        prefix: &Index,
+        processor: Sym,
+        port: Sym,
+        prefix: &IndexKey,
         stats: &QueryStats,
     ) -> Vec<u64> {
         stats.count_index_lookup();
-        let port: Arc<str> = Arc::from(port);
-        let start: Key = (run, processor.clone(), port.clone(), prefix.clone());
+        let start = SymKey { run, processor, port, index: prefix.clone() };
         let mut out = Vec::new();
-        for ((r, p, q, idx), rows) in self.map.range((Bound::Included(start), Bound::Unbounded)) {
-            if *r != run || p != processor || *q != port || !prefix.is_prefix_of(idx) {
+        for (k, rows) in self.map.range((Bound::Included(start), Bound::Unbounded)) {
+            if k.run != run
+                || k.processor != processor
+                || k.port != port
+                || !prefix.is_prefix_of(&k.index)
+            {
                 break;
             }
             out.extend_from_slice(rows);
@@ -83,20 +105,46 @@ impl CompositeIndex {
     }
 
     /// Ancestor lookup: all rows whose index is a (non-strict) prefix of
-    /// `index` — at most `|index| + 1` point lookups.
+    /// `index` — at most `|index| + 1` point lookups, accumulated straight
+    /// into one output vector (no per-hit payload clone).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn get_ancestors(
         &self,
         run: RunId,
-        processor: &ProcessorName,
-        port: &str,
-        index: &Index,
+        processor: Sym,
+        port: Sym,
+        index: &IndexKey,
         stats: &QueryStats,
     ) -> Vec<u64> {
         let mut out = Vec::new();
-        for k in 0..=index.len() {
-            out.extend(self.get_exact(run, processor, port, &index.prefix(k), stats));
-        }
+        self.ancestors_into(run, processor, port, index, stats, &mut out);
         out
+    }
+
+    /// Walks the prefix chain into `out`; returns how many of the trailing
+    /// entries came from the exact key (callers that also scan descendants
+    /// reuse them instead of probing the exact key again).
+    fn ancestors_into(
+        &self,
+        run: RunId,
+        processor: Sym,
+        port: Sym,
+        index: &IndexKey,
+        stats: &QueryStats,
+        out: &mut Vec<u64>,
+    ) -> usize {
+        let mut exact_len = 0;
+        for k in 0..=index.len() {
+            stats.count_index_lookup();
+            let key = SymKey { run, processor, port, index: index.prefix(k) };
+            let rows = self.map.get(&key).map(Vec::as_slice).unwrap_or_default();
+            stats.count_records(rows.len());
+            out.extend_from_slice(rows);
+            if k == index.len() {
+                exact_len = rows.len();
+            }
+        }
+        exact_len
     }
 
     /// Rows related to `index` in either direction: ancestors (coarser
@@ -104,19 +152,37 @@ impl CompositeIndex {
     /// This is the general element-addressing lookup of the provenance
     /// graph: a binding `P:X[p]` is connected to stored rows at any
     /// granularity that overlaps `p`.
+    ///
+    /// Costs `|index| + 2` index lookups: the prefix chain (whose last
+    /// probe is the exact key — its rows are remembered rather than
+    /// re-fetched) plus one descendant scan.
     pub fn get_overlapping(
         &self,
         run: RunId,
-        processor: &ProcessorName,
-        port: &str,
-        index: &Index,
+        processor: Sym,
+        port: Sym,
+        index: &IndexKey,
         stats: &QueryStats,
     ) -> Vec<u64> {
-        let mut out = self.get_ancestors(run, processor, port, index, stats);
-        // Descendants, excluding the exact match already counted.
-        let descendants = self.scan_prefix(run, processor, port, index, stats);
-        let exact = self.get_exact(run, processor, port, index, stats);
-        out.extend(descendants.into_iter().filter(|r| !exact.contains(r)));
+        let mut out = Vec::new();
+        let exact_len = self.ancestors_into(run, processor, port, index, stats, &mut out);
+        let exact: Vec<u64> = out[out.len() - exact_len..].to_vec();
+        // Descendants, excluding the exact matches already collected.
+        stats.count_index_lookup();
+        let start = SymKey { run, processor, port, index: index.clone() };
+        let mut scanned = 0;
+        for (k, rows) in self.map.range((Bound::Included(start), Bound::Unbounded)) {
+            if k.run != run
+                || k.processor != processor
+                || k.port != port
+                || !index.is_prefix_of(&k.index)
+            {
+                break;
+            }
+            scanned += rows.len();
+            out.extend(rows.iter().filter(|r| !exact.contains(r)));
+        }
+        stats.count_records(scanned);
         out
     }
 
@@ -128,13 +194,18 @@ impl CompositeIndex {
     /// Removes every key belonging to `run` (they are contiguous: the run
     /// id is the leading key component).
     pub fn remove_run(&mut self, run: RunId) {
-        let keys: Vec<Key> = self
+        let keys: Vec<SymKey> = self
             .map
             .range((
-                Bound::Included((run, ProcessorName::from(""), Arc::from(""), Index::empty())),
+                Bound::Included(SymKey {
+                    run,
+                    processor: Sym(0),
+                    port: Sym(0),
+                    index: IndexKey::empty(),
+                }),
                 Bound::Unbounded,
             ))
-            .take_while(|((r, _, _, _), _)| *r == run)
+            .take_while(|(k, _)| k.run == run)
             .map(|(k, _)| k.clone())
             .collect();
         for k in keys {
@@ -146,21 +217,32 @@ impl CompositeIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prov_model::Index;
 
-    fn key(run: u64, proc: &str, port: &str, idx: &[u32]) -> Key {
-        (RunId(run), ProcessorName::from(proc), Arc::from(port), Index::from_slice(idx))
+    fn key(run: u64, proc: u32, port: u32, idx: &[u32]) -> SymKey {
+        SymKey {
+            run: RunId(run),
+            processor: Sym(proc),
+            port: Sym(port),
+            index: IndexKey::from_index(&Index::from_slice(idx)),
+        }
     }
 
+    fn ik(idx: &[u32]) -> IndexKey {
+        IndexKey::from_components(idx)
+    }
+
+    // Symbol layout used by the samples: P=0, Q=1; ports y=0, z=1.
     fn sample() -> CompositeIndex {
         let mut ix = CompositeIndex::default();
-        ix.insert(key(0, "P", "y", &[]), 1);
-        ix.insert(key(0, "P", "y", &[0]), 2);
-        ix.insert(key(0, "P", "y", &[0, 0]), 3);
-        ix.insert(key(0, "P", "y", &[0, 1]), 4);
-        ix.insert(key(0, "P", "y", &[1]), 5);
-        ix.insert(key(0, "P", "z", &[0]), 6); // other port
-        ix.insert(key(0, "Q", "y", &[0]), 7); // other processor
-        ix.insert(key(1, "P", "y", &[0]), 8); // other run
+        ix.insert(key(0, 0, 0, &[]), 1);
+        ix.insert(key(0, 0, 0, &[0]), 2);
+        ix.insert(key(0, 0, 0, &[0, 0]), 3);
+        ix.insert(key(0, 0, 0, &[0, 1]), 4);
+        ix.insert(key(0, 0, 0, &[1]), 5);
+        ix.insert(key(0, 0, 1, &[0]), 6); // other port
+        ix.insert(key(0, 1, 0, &[0]), 7); // other processor
+        ix.insert(key(1, 0, 0, &[0]), 8); // other run
         ix
     }
 
@@ -168,21 +250,21 @@ mod tests {
     fn exact_lookup_hits_only_its_key() {
         let ix = sample();
         let stats = QueryStats::new();
-        let p = ProcessorName::from("P");
-        assert_eq!(ix.get_exact(RunId(0), &p, "y", &Index::single(0), &stats), vec![2]);
-        assert_eq!(ix.get_exact(RunId(0), &p, "y", &Index::single(9), &stats), Vec::<u64>::new());
+        assert_eq!(ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats), vec![2]);
+        assert_eq!(ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[9]), &stats), Vec::<u64>::new());
+        // A MISSING symbol probes and finds nothing.
+        assert!(ix.get_exact(RunId(0), Sym::MISSING, Sym(0), &ik(&[0]), &stats).is_empty());
     }
 
     #[test]
     fn prefix_scan_returns_contiguous_extensions() {
         let ix = sample();
         let stats = QueryStats::new();
-        let p = ProcessorName::from("P");
-        let mut rows = ix.scan_prefix(RunId(0), &p, "y", &Index::single(0), &stats);
+        let mut rows = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats);
         rows.sort_unstable();
         assert_eq!(rows, vec![2, 3, 4]);
         // Empty prefix matches everything on that (run, proc, port).
-        let mut all = ix.scan_prefix(RunId(0), &p, "y", &Index::empty(), &stats);
+        let mut all = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[]), &stats);
         all.sort_unstable();
         assert_eq!(all, vec![1, 2, 3, 4, 5]);
     }
@@ -191,11 +273,9 @@ mod tests {
     fn prefix_scan_respects_run_processor_port_boundaries() {
         let ix = sample();
         let stats = QueryStats::new();
-        let rows =
-            ix.scan_prefix(RunId(0), &ProcessorName::from("Q"), "y", &Index::empty(), &stats);
+        let rows = ix.scan_prefix(RunId(0), Sym(1), Sym(0), &ik(&[]), &stats);
         assert_eq!(rows, vec![7]);
-        let rows =
-            ix.scan_prefix(RunId(1), &ProcessorName::from("P"), "y", &Index::empty(), &stats);
+        let rows = ix.scan_prefix(RunId(1), Sym(0), Sym(0), &ik(&[]), &stats);
         assert_eq!(rows, vec![8]);
     }
 
@@ -203,8 +283,7 @@ mod tests {
     fn ancestors_walk_the_prefix_chain() {
         let ix = sample();
         let stats = QueryStats::new();
-        let p = ProcessorName::from("P");
-        let mut rows = ix.get_ancestors(RunId(0), &p, "y", &Index::from_slice(&[0, 1]), &stats);
+        let mut rows = ix.get_ancestors(RunId(0), Sym(0), Sym(0), &ik(&[0, 1]), &stats);
         rows.sort_unstable();
         assert_eq!(rows, vec![1, 2, 4]); // [], [0], [0,1]
     }
@@ -213,8 +292,7 @@ mod tests {
     fn overlapping_combines_both_directions_without_duplicates() {
         let ix = sample();
         let stats = QueryStats::new();
-        let p = ProcessorName::from("P");
-        let mut rows = ix.get_overlapping(RunId(0), &p, "y", &Index::single(0), &stats);
+        let mut rows = ix.get_overlapping(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats);
         rows.sort_unstable();
         assert_eq!(rows, vec![1, 2, 3, 4]); // [], [0] (ancestors+exact), [0,0], [0,1]
     }
@@ -223,11 +301,34 @@ mod tests {
     fn stats_count_lookups_and_records() {
         let ix = sample();
         let stats = QueryStats::new();
-        let p = ProcessorName::from("P");
-        ix.get_exact(RunId(0), &p, "y", &Index::single(0), &stats);
-        ix.scan_prefix(RunId(0), &p, "y", &Index::empty(), &stats);
+        ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats);
+        ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[]), &stats);
         let snap = stats.snapshot();
         assert_eq!(snap.index_lookups, 2);
         assert_eq!(snap.records_read, 1 + 5);
+    }
+
+    #[test]
+    fn remove_run_purges_only_that_run() {
+        let mut ix = sample();
+        ix.remove_run(RunId(0));
+        let stats = QueryStats::new();
+        assert!(ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats).is_empty());
+        assert_eq!(ix.get_exact(RunId(1), Sym(0), Sym(0), &ik(&[0]), &stats), vec![8]);
+        assert_eq!(ix.key_count(), 1);
+    }
+
+    #[test]
+    fn spilled_indices_keep_prefix_contiguity() {
+        // Deep (spilled) element indices must interleave correctly with
+        // packed ones under one (run, proc, port).
+        let mut ix = CompositeIndex::default();
+        ix.insert(key(0, 0, 0, &[1]), 1);
+        ix.insert(key(0, 0, 0, &[1, 0, 0, 0, 0, 0, 0, 0, 0]), 2); // spilled
+        ix.insert(key(0, 0, 0, &[2]), 3);
+        let stats = QueryStats::new();
+        let mut rows = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[1]), &stats);
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 2]);
     }
 }

@@ -26,13 +26,17 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod crc;
+mod encode;
 mod export;
 mod indexes;
 mod rows;
 mod stats;
 mod store;
+mod symbols;
 mod values;
 mod wal;
 

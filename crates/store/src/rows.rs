@@ -114,6 +114,62 @@ pub struct StoredBinding {
     pub value: ValueId,
 }
 
+// ---------------------------------------------------------------------
+// Internal interned rows
+// ---------------------------------------------------------------------
+//
+// The heap stores names as symbols (and values by id) so rows are compact
+// and insertion never clones strings. The public record types above are
+// materialised from these at the API boundary by resolving symbols through
+// the store's symbol table.
+
+use crate::symbols::Sym;
+
+/// Internal form of [`XformRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct XformRow {
+    pub id: u64,
+    pub run: RunId,
+    pub processor: Sym,
+    pub invocation: u32,
+    pub ports: Vec<XformPortRow>,
+}
+
+impl XformRow {
+    /// Iterator over the input-side port rows.
+    pub fn inputs(&self) -> impl Iterator<Item = &XformPortRow> {
+        self.ports.iter().filter(|p| p.direction == PortDirection::In)
+    }
+
+    /// Iterator over the output-side port rows.
+    pub fn outputs(&self) -> impl Iterator<Item = &XformPortRow> {
+        self.ports.iter().filter(|p| p.direction == PortDirection::Out)
+    }
+}
+
+/// Internal form of [`XformPortRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct XformPortRow {
+    pub direction: PortDirection,
+    pub port: Sym,
+    pub index: Index,
+    pub value: ValueId,
+}
+
+/// Internal form of [`XferRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct XferRow {
+    pub id: u64,
+    pub run: RunId,
+    pub src_processor: Sym,
+    pub src_port: Sym,
+    pub src_index: Index,
+    pub dst_processor: Sym,
+    pub dst_port: Sym,
+    pub dst_index: Index,
+    pub value: ValueId,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

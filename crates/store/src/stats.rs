@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct QueryStats {
     index_lookups: AtomicU64,
     records_read: AtomicU64,
+    rows_scanned: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -23,6 +24,11 @@ pub struct StatsSnapshot {
     pub index_lookups: u64,
     /// Number of rows materialised out of the tables.
     pub records_read: u64,
+    /// Number of heap rows physically examined by table-order access paths
+    /// (`xforms_of_run`/`xfers_of_run`). With per-run row spans this equals
+    /// the rows returned; a table scan would charge the whole heap — the
+    /// regression the counter exists to catch.
+    pub rows_scanned: u64,
 }
 
 impl QueryStats {
@@ -41,18 +47,25 @@ impl QueryStats {
         self.records_read.fetch_add(n as u64, Ordering::Relaxed);
     }
 
+    /// Counts `n` heap rows examined by a table-order access path.
+    pub fn count_rows_scanned(&self, n: usize) {
+        self.rows_scanned.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             index_lookups: self.index_lookups.load(Ordering::Relaxed),
             records_read: self.records_read.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
         }
     }
 
-    /// Resets both counters to zero.
+    /// Resets all counters to zero.
     pub fn reset(&self) {
         self.index_lookups.store(0, Ordering::Relaxed);
         self.records_read.store(0, Ordering::Relaxed);
+        self.rows_scanned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -62,6 +75,7 @@ impl StatsSnapshot {
         StatsSnapshot {
             index_lookups: self.index_lookups - earlier.index_lookups,
             records_read: self.records_read - earlier.records_read,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
         }
     }
 }

@@ -1,4 +1,12 @@
 //! The trace store: tables + indexes + optional WAL, behind one handle.
+//!
+//! Internally everything is interned: processor and port names become
+//! [`Sym`]s, element indices become packed [`IndexKey`]s, and the row heaps
+//! hold compact symbol-typed rows. Strings exist only at the API boundary —
+//! interned on the write path, resolved back when records are materialised
+//! for callers. Query answers are bit-identical to the string-keyed layout
+//! (probing with an unknown name degenerates to a [`Sym::MISSING`] probe
+//! that finds nothing, with the same stats accounting).
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
@@ -6,12 +14,16 @@ use std::path::{Path, PathBuf};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
-use prov_engine::{TraceSink, XferEvent, XformEvent};
+use prov_engine::{TraceEvent, TraceSink, XferEvent, XformEvent};
 use prov_model::{Binding, Index, PortRef, ProcessorName, RunId, Value, ValueId};
 
-use crate::indexes::CompositeIndex;
-use crate::rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
+use crate::indexes::{CompositeIndex, SymKey};
+use crate::rows::{
+    PortDirection, StoredBinding, XferRecord, XferRow, XformPortRecord, XformPortRow, XformRecord,
+    XformRow,
+};
 use crate::stats::QueryStats;
+use crate::symbols::{IndexKey, Sym, SymbolTable};
 use crate::values::ValueTable;
 use crate::wal::{LogRecord, WalError, WalReader, WalWriter};
 
@@ -60,6 +72,25 @@ pub struct RunInfo {
     pub xfer_count: u64,
 }
 
+/// The contiguous row-id spans of one run in each heap (half-open). Runs
+/// recorded concurrently interleave, so a run owns a *list* of spans; a run
+/// recorded alone owns exactly one. `xforms_of_run` / `xfers_of_run` walk
+/// these instead of scanning the whole heap.
+#[derive(Debug, Default, Clone)]
+struct RowSpans {
+    xforms: Vec<(u64, u64)>,
+    xfers: Vec<(u64, u64)>,
+}
+
+impl RowSpans {
+    fn push(spans: &mut Vec<(u64, u64)>, id: u64) {
+        match spans.last_mut() {
+            Some(last) if last.1 == id => last.1 = id + 1,
+            _ => spans.push((id, id + 1)),
+        }
+    }
+}
+
 #[derive(Default)]
 struct Inner {
     runs: BTreeMap<RunId, RunInfo>,
@@ -75,8 +106,12 @@ struct Inner {
     idx_by_value: HashMap<ValueId, Vec<RowRef>>,
     next_run: u64,
     values: ValueTable,
-    xforms: Vec<XformRecord>,
-    xfers: Vec<XferRecord>,
+    /// Processor/port name interner; rows and index keys hold symbols.
+    symbols: SymbolTable,
+    /// Per-run row-id spans into the heaps.
+    spans: HashMap<RunId, RowSpans>,
+    xforms: Vec<XformRow>,
+    xfers: Vec<XferRow>,
     /// (run, processor, output port, q) → xform ids.
     idx_xform_out: CompositeIndex,
     /// (run, processor, input port, p_i) → xform ids.
@@ -111,6 +146,7 @@ impl std::fmt::Debug for TraceStore {
             .field("xforms", &inner.xforms.len())
             .field("xfers", &inner.xfers.len())
             .field("values", &inner.values.len())
+            .field("symbols", &inner.symbols.len())
             .field("durable", &self.path.is_some())
             .finish()
     }
@@ -166,10 +202,10 @@ impl TraceStore {
                 w.append(&LogRecord::BeginRun { run: info.id, workflow: info.workflow.clone() })?;
             }
             for row in inner.xforms.iter().filter(|r| !inner.dropped.contains(&r.run)) {
-                w.append(&LogRecord::Xform { run: row.run, event: inner.xform_to_event(row) })?;
+                w.append(&LogRecord::Xform { run: row.run, event: inner.xform_to_event(row)? })?;
             }
             for row in inner.xfers.iter().filter(|r| !inner.dropped.contains(&r.run)) {
-                w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row) })?;
+                w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row)? })?;
             }
             for info in inner.runs.values().filter(|i| i.finished) {
                 w.append(&LogRecord::FinishRun { run: info.id })?;
@@ -181,10 +217,21 @@ impl TraceStore {
         Ok(())
     }
 
+    // Durability failures must not silently drop provenance, and the
+    // `TraceSink` recording methods cannot return errors — panicking is the
+    // only honest response.
+    #[allow(clippy::expect_used)]
     fn log(&self, record: &LogRecord) {
         if let Some(w) = self.wal.lock().as_mut() {
-            // Durability failures must not silently drop provenance.
             w.append(record).expect("wal append failed");
+        }
+    }
+
+    /// Group commit: one WAL frame for a whole event batch.
+    #[allow(clippy::expect_used)]
+    fn log_batch(&self, run: RunId, events: &[TraceEvent]) {
+        if let Some(w) = self.wal.lock().as_mut() {
+            w.append_batch(run, events).expect("wal append failed");
         }
     }
 
@@ -236,8 +283,12 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<XformRecord> {
         let inner = self.inner.read();
-        let ids = inner.idx_xform_out.get_overlapping(run, processor, port, index, &self.stats);
-        dedup_ids(ids).into_iter().map(|id| inner.xforms[id as usize].clone()).collect()
+        let (p, x, key) = inner.probe(processor, port, index);
+        let ids = inner.idx_xform_out.get_overlapping(run, p, x, &key, &self.stats);
+        dedup_ids(ids)
+            .into_iter()
+            .map(|id| inner.xform_record(&inner.xforms[id as usize]))
+            .collect()
     }
 
     /// The xform events whose **input** binding on `processor:port`
@@ -251,8 +302,12 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<XformRecord> {
         let inner = self.inner.read();
-        let ids = inner.idx_xform_in.get_overlapping(run, processor, port, index, &self.stats);
-        dedup_ids(ids).into_iter().map(|id| inner.xforms[id as usize].clone()).collect()
+        let (p, x, key) = inner.probe(processor, port, index);
+        let ids = inner.idx_xform_in.get_overlapping(run, p, x, &key, &self.stats);
+        dedup_ids(ids)
+            .into_iter()
+            .map(|id| inner.xform_record(&inner.xforms[id as usize]))
+            .collect()
     }
 
     /// The xfer events whose **destination** binding on `processor:port`
@@ -265,8 +320,9 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<XferRecord> {
         let inner = self.inner.read();
-        let ids = inner.idx_xfer_dst.get_overlapping(run, processor, port, index, &self.stats);
-        dedup_ids(ids).into_iter().map(|id| inner.xfers[id as usize].clone()).collect()
+        let (p, x, key) = inner.probe(processor, port, index);
+        let ids = inner.idx_xfer_dst.get_overlapping(run, p, x, &key, &self.stats);
+        dedup_ids(ids).into_iter().map(|id| inner.xfer_record(&inner.xfers[id as usize])).collect()
     }
 
     /// The xfer events leaving `processor:port` at an index overlapping
@@ -279,8 +335,9 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<XferRecord> {
         let inner = self.inner.read();
-        let ids = inner.idx_xfer_src.get_overlapping(run, processor, port, index, &self.stats);
-        dedup_ids(ids).into_iter().map(|id| inner.xfers[id as usize].clone()).collect()
+        let (p, x, key) = inner.probe(processor, port, index);
+        let ids = inner.idx_xfer_src.get_overlapping(run, p, x, &key, &self.stats);
+        dedup_ids(ids).into_iter().map(|id| inner.xfer_record(&inner.xfers[id as usize])).collect()
     }
 
     /// `Q(P, X_i, p_i)` of Algorithm 2: the stored **input** bindings of
@@ -298,26 +355,27 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<StoredBinding> {
         let inner = self.inner.read();
-        let ids = inner.idx_xform_in.get_overlapping(run, processor, port, index, &self.stats);
+        let (p, x, key) = inner.probe(processor, port, index);
+        let ids = inner.idx_xform_in.get_overlapping(run, p, x, &key, &self.stats);
         let mut out = Vec::new();
         let mut seen: Vec<(u64, Index)> = Vec::new();
         for id in dedup_ids(ids) {
             let row = &inner.xforms[id as usize];
-            for p in row.inputs().filter(|p| &*p.port == port) {
-                if !(p.index.is_prefix_of(index) || index.is_prefix_of(&p.index)) {
+            for pr in row.inputs().filter(|pr| pr.port == x) {
+                if !(pr.index.is_prefix_of(index) || index.is_prefix_of(&pr.index)) {
                     continue;
                 }
-                let key = (p.value.0, p.index.clone());
-                if seen.contains(&key) {
+                let k = (pr.value.0, pr.index.clone());
+                if seen.contains(&k) {
                     continue; // many invocations share whole-value inputs
                 }
-                seen.push(key);
+                seen.push(k);
                 out.push(StoredBinding {
                     run,
                     processor: processor.clone(),
-                    port: p.port.clone(),
-                    index: p.index.clone(),
-                    value: p.value,
+                    port: inner.symbols.resolve(pr.port),
+                    index: pr.index.clone(),
+                    value: pr.value,
                 });
             }
         }
@@ -337,7 +395,8 @@ impl TraceStore {
         index: &Index,
     ) -> Vec<StoredBinding> {
         let inner = self.inner.read();
-        let ids = inner.idx_xfer_src.get_overlapping(run, processor, port, index, &self.stats);
+        let (p, x, key) = inner.probe(processor, port, index);
+        let ids = inner.idx_xfer_src.get_overlapping(run, p, x, &key, &self.stats);
         let mut out: Vec<StoredBinding> = Vec::new();
         for id in dedup_ids(ids) {
             let row = &inner.xfers[id as usize];
@@ -347,7 +406,7 @@ impl TraceStore {
             out.push(StoredBinding {
                 run,
                 processor: processor.clone(),
-                port: row.src_port.clone(),
+                port: inner.symbols.resolve(row.src_port),
                 index: row.src_index.clone(),
                 value: row.value,
             });
@@ -355,28 +414,45 @@ impl TraceStore {
         out
     }
 
-    /// All xform rows of one run, in insertion order — a **table scan**,
-    /// intended for offline audit/export, not for query processing (it
-    /// bypasses the indexes; the row count is charged to the stats).
+    /// All xform rows of one run, in insertion order — served from the
+    /// run's recorded row-id spans, so only that run's rows are touched (a
+    /// run interleaved with a much larger one no longer pays for its
+    /// neighbour). The rows physically examined are charged to the stats as
+    /// both records read and rows scanned.
     pub fn xforms_of_run(&self, run: RunId) -> Vec<XformRecord> {
         let inner = self.inner.read();
         if inner.dropped.contains(&run) {
             return Vec::new();
         }
-        let rows: Vec<XformRecord> =
-            inner.xforms.iter().filter(|r| r.run == run).cloned().collect();
+        let mut rows = Vec::new();
+        if let Some(spans) = inner.spans.get(&run) {
+            for &(start, end) in &spans.xforms {
+                for row in &inner.xforms[start as usize..end as usize] {
+                    rows.push(inner.xform_record(row));
+                }
+            }
+        }
+        self.stats.count_rows_scanned(rows.len());
         self.stats.count_records(rows.len());
         rows
     }
 
-    /// All xfer rows of one run, in insertion order (table scan; see
+    /// All xfer rows of one run, in insertion order (span walk; see
     /// [`TraceStore::xforms_of_run`]).
     pub fn xfers_of_run(&self, run: RunId) -> Vec<XferRecord> {
         let inner = self.inner.read();
         if inner.dropped.contains(&run) {
             return Vec::new();
         }
-        let rows: Vec<XferRecord> = inner.xfers.iter().filter(|r| r.run == run).cloned().collect();
+        let mut rows = Vec::new();
+        if let Some(spans) = inner.spans.get(&run) {
+            for &(start, end) in &spans.xfers {
+                for row in &inner.xfers[start as usize..end as usize] {
+                    rows.push(inner.xfer_record(row));
+                }
+            }
+        }
+        self.stats.count_rows_scanned(rows.len());
         self.stats.count_records(rows.len());
         rows
     }
@@ -438,8 +514,8 @@ impl TraceStore {
                         if p.value == vid {
                             push(StoredBinding {
                                 run,
-                                processor: rec.processor.clone(),
-                                port: p.port.clone(),
+                                processor: ProcessorName(inner.symbols.resolve(rec.processor)),
+                                port: inner.symbols.resolve(p.port),
                                 index: p.index.clone(),
                                 value: vid,
                             });
@@ -454,15 +530,15 @@ impl TraceStore {
                     self.stats.count_records(1);
                     push(StoredBinding {
                         run,
-                        processor: rec.src_processor.clone(),
-                        port: rec.src_port.clone(),
+                        processor: ProcessorName(inner.symbols.resolve(rec.src_processor)),
+                        port: inner.symbols.resolve(rec.src_port),
                         index: rec.src_index.clone(),
                         value: vid,
                     });
                     push(StoredBinding {
                         run,
-                        processor: rec.dst_processor.clone(),
-                        port: rec.dst_port.clone(),
+                        processor: ProcessorName(inner.symbols.resolve(rec.dst_processor)),
+                        port: inner.symbols.resolve(rec.dst_port),
                         index: rec.dst_index.clone(),
                         value: vid,
                     });
@@ -504,6 +580,13 @@ impl TraceStore {
         inner.values.len()
     }
 
+    /// Number of distinct interned processor/port names (diagnostics: the
+    /// symbol table is tiny even for huge traces, which is why interning
+    /// pays for itself).
+    pub fn symbol_count(&self) -> usize {
+        self.inner.read().symbols.len()
+    }
+
     /// Distinct composite keys in each secondary index, in the order
     /// `(xform_out, xform_in, xfer_dst, xfer_src)` (diagnostics: shows how
     /// index size tracks trace size).
@@ -526,6 +609,49 @@ fn dedup_ids(mut ids: Vec<u64>) -> Vec<u64> {
 }
 
 impl Inner {
+    /// Translates an API-boundary `(processor, port, index)` triple into
+    /// interned probe keys. Unknown names map to [`Sym::MISSING`], which
+    /// probes the indexes and finds nothing — same answers, same stats, no
+    /// allocation.
+    fn probe(&self, processor: &ProcessorName, port: &str, index: &Index) -> (Sym, Sym, IndexKey) {
+        (self.symbols.lookup(processor.as_str()), self.symbols.lookup(port), IndexKey::from(index))
+    }
+
+    /// Materialises a public record from an interned xform row.
+    fn xform_record(&self, row: &XformRow) -> XformRecord {
+        XformRecord {
+            id: row.id,
+            run: row.run,
+            processor: ProcessorName(self.symbols.resolve(row.processor)),
+            invocation: row.invocation,
+            ports: row
+                .ports
+                .iter()
+                .map(|p| XformPortRecord {
+                    direction: p.direction,
+                    port: self.symbols.resolve(p.port),
+                    index: p.index.clone(),
+                    value: p.value,
+                })
+                .collect(),
+        }
+    }
+
+    /// Materialises a public record from an interned xfer row.
+    fn xfer_record(&self, row: &XferRow) -> XferRecord {
+        XferRecord {
+            id: row.id,
+            run: row.run,
+            src_processor: ProcessorName(self.symbols.resolve(row.src_processor)),
+            src_port: self.symbols.resolve(row.src_port),
+            src_index: row.src_index.clone(),
+            dst_processor: ProcessorName(self.symbols.resolve(row.dst_processor)),
+            dst_port: self.symbols.resolve(row.dst_port),
+            dst_index: row.dst_index.clone(),
+            value: row.value,
+        }
+    }
+
     fn apply(&mut self, record: LogRecord) {
         match record {
             LogRecord::BeginRun { run, workflow } => {
@@ -537,6 +663,14 @@ impl Inner {
             }
             LogRecord::Xform { run, event } => self.insert_xform(run, &event),
             LogRecord::Xfer { run, event } => self.insert_xfer(run, &event),
+            LogRecord::Batch { run, events } => {
+                for event in &events {
+                    match event {
+                        TraceEvent::Xform(e) => self.insert_xform(run, e),
+                        TraceEvent::Xfer(e) => self.insert_xfer(run, e),
+                    }
+                }
+            }
             LogRecord::FinishRun { run } => {
                 if let Some(info) = self.runs.get_mut(&run) {
                     info.finished = true;
@@ -545,6 +679,7 @@ impl Inner {
             LogRecord::DropRun { run } => {
                 self.runs.remove(&run);
                 self.dropped.insert(run);
+                self.spans.remove(&run);
                 self.idx_xform_out.remove_run(run);
                 self.idx_xform_in.remove_run(run);
                 self.idx_xfer_dst.remove_run(run);
@@ -565,38 +700,36 @@ impl Inner {
 
     fn insert_xform(&mut self, run: RunId, event: &XformEvent) {
         let id = self.xforms.len() as u64;
+        let processor = self.symbols.intern(&event.processor.0);
         let mut ports = Vec::with_capacity(event.inputs.len() + event.outputs.len());
         for b in &event.inputs {
             let value = self.values.intern(&b.value);
             self.index_value(value, RowRef::Xform(id));
-            ports.push(XformPortRecord {
+            let port = self.symbols.intern(&b.port);
+            let index = IndexKey::from(&b.index);
+            ports.push(XformPortRow {
                 direction: PortDirection::In,
-                port: b.port.clone(),
+                port,
                 index: b.index.clone(),
                 value,
             });
-            self.idx_xform_in
-                .insert((run, event.processor.clone(), b.port.clone(), b.index.clone()), id);
+            self.idx_xform_in.insert(SymKey { run, processor, port, index }, id);
         }
         for b in &event.outputs {
             let value = self.values.intern(&b.value);
             self.index_value(value, RowRef::Xform(id));
-            ports.push(XformPortRecord {
+            let port = self.symbols.intern(&b.port);
+            let index = IndexKey::from(&b.index);
+            ports.push(XformPortRow {
                 direction: PortDirection::Out,
-                port: b.port.clone(),
+                port,
                 index: b.index.clone(),
                 value,
             });
-            self.idx_xform_out
-                .insert((run, event.processor.clone(), b.port.clone(), b.index.clone()), id);
+            self.idx_xform_out.insert(SymKey { run, processor, port, index }, id);
         }
-        self.xforms.push(XformRecord {
-            id,
-            run,
-            processor: event.processor.clone(),
-            invocation: event.invocation,
-            ports,
-        });
+        self.xforms.push(XformRow { id, run, processor, invocation: event.invocation, ports });
+        RowSpans::push(&mut self.spans.entry(run).or_default().xforms, id);
         if let Some(info) = self.runs.get_mut(&run) {
             info.xform_count += 1;
         }
@@ -606,61 +739,83 @@ impl Inner {
         let id = self.xfers.len() as u64;
         let value = self.values.intern(&event.value);
         self.index_value(value, RowRef::Xfer(id));
+        let src_processor = self.symbols.intern(&event.src.processor.0);
+        let src_port = self.symbols.intern(&event.src.port);
+        let dst_processor = self.symbols.intern(&event.dst.processor.0);
+        let dst_port = self.symbols.intern(&event.dst.port);
         self.idx_xfer_dst.insert(
-            (run, event.dst.processor.clone(), event.dst.port.clone(), event.dst_index.clone()),
+            SymKey {
+                run,
+                processor: dst_processor,
+                port: dst_port,
+                index: IndexKey::from(&event.dst_index),
+            },
             id,
         );
         self.idx_xfer_src.insert(
-            (run, event.src.processor.clone(), event.src.port.clone(), event.src_index.clone()),
+            SymKey {
+                run,
+                processor: src_processor,
+                port: src_port,
+                index: IndexKey::from(&event.src_index),
+            },
             id,
         );
-        self.xfers.push(XferRecord {
+        self.xfers.push(XferRow {
             id,
             run,
-            src_processor: event.src.processor.clone(),
-            src_port: event.src.port.clone(),
+            src_processor,
+            src_port,
             src_index: event.src_index.clone(),
-            dst_processor: event.dst.processor.clone(),
-            dst_port: event.dst.port.clone(),
+            dst_processor,
+            dst_port,
             dst_index: event.dst_index.clone(),
             value,
         });
+        RowSpans::push(&mut self.spans.entry(run).or_default().xfers, id);
         if let Some(info) = self.runs.get_mut(&run) {
             info.xfer_count += 1;
         }
     }
 
-    fn xform_to_event(&self, row: &XformRecord) -> XformEvent {
-        XformEvent {
-            processor: row.processor.clone(),
+    fn xform_to_event(&self, row: &XformRow) -> Result<XformEvent, StoreError> {
+        let binding = |p: &XformPortRow| -> Result<prov_engine::PortBinding, StoreError> {
+            Ok(prov_engine::PortBinding {
+                port: self.symbols.resolve(p.port),
+                index: p.index.clone(),
+                value: self
+                    .values
+                    .get(p.value)
+                    .cloned()
+                    .ok_or(StoreError::DanglingValue(p.value))?,
+            })
+        };
+        Ok(XformEvent {
+            processor: ProcessorName(self.symbols.resolve(row.processor)),
             invocation: row.invocation,
-            inputs: row
-                .inputs()
-                .map(|p| prov_engine::PortBinding {
-                    port: p.port.clone(),
-                    index: p.index.clone(),
-                    value: self.values.get(p.value).cloned().expect("interned"),
-                })
-                .collect(),
-            outputs: row
-                .outputs()
-                .map(|p| prov_engine::PortBinding {
-                    port: p.port.clone(),
-                    index: p.index.clone(),
-                    value: self.values.get(p.value).cloned().expect("interned"),
-                })
-                .collect(),
-        }
+            inputs: row.inputs().map(binding).collect::<Result<_, _>>()?,
+            outputs: row.outputs().map(binding).collect::<Result<_, _>>()?,
+        })
     }
 
-    fn xfer_to_event(&self, row: &XferRecord) -> XferEvent {
-        XferEvent {
-            src: PortRef { processor: row.src_processor.clone(), port: row.src_port.clone() },
+    fn xfer_to_event(&self, row: &XferRow) -> Result<XferEvent, StoreError> {
+        Ok(XferEvent {
+            src: PortRef {
+                processor: ProcessorName(self.symbols.resolve(row.src_processor)),
+                port: self.symbols.resolve(row.src_port),
+            },
             src_index: row.src_index.clone(),
-            dst: PortRef { processor: row.dst_processor.clone(), port: row.dst_port.clone() },
+            dst: PortRef {
+                processor: ProcessorName(self.symbols.resolve(row.dst_processor)),
+                port: self.symbols.resolve(row.dst_port),
+            },
             dst_index: row.dst_index.clone(),
-            value: self.values.get(row.value).cloned().expect("interned"),
-        }
+            value: self
+                .values
+                .get(row.value)
+                .cloned()
+                .ok_or(StoreError::DanglingValue(row.value))?,
+        })
     }
 }
 
@@ -684,6 +839,23 @@ impl TraceSink for TraceStore {
         self.inner.write().insert_xfer(run, &event);
     }
 
+    fn record_batch(&self, run: RunId, events: Vec<TraceEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        // One WAL frame, then one write-lock acquisition for the whole
+        // batch — the group commit the per-event path can't amortise.
+        self.log_batch(run, &events);
+        let mut inner = self.inner.write();
+        for event in &events {
+            match event {
+                TraceEvent::Xform(e) => inner.insert_xform(run, e),
+                TraceEvent::Xfer(e) => inner.insert_xfer(run, e),
+            }
+        }
+    }
+
+    #[allow(clippy::expect_used)] // durability failure must not pass silently
     fn finish_run(&self, run: RunId) {
         self.inner.write().apply(LogRecord::FinishRun { run });
         self.log(&LogRecord::FinishRun { run });
@@ -834,6 +1006,18 @@ mod tests {
         assert_eq!(s.value_count(), 1);
     }
 
+    #[test]
+    fn names_are_interned_across_events() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        for i in 0..10 {
+            s.record_xform(r, xform("P", i, &[i], &[i]));
+            s.record_xfer(r, xfer(("P", "y"), ("Q", "x"), &[i], "v"));
+        }
+        // P, Q, x, y — regardless of row count.
+        assert_eq!(s.symbol_count(), 4);
+    }
+
     fn tmp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("prov-store-tests");
         std::fs::create_dir_all(&dir).unwrap();
@@ -861,6 +1045,33 @@ mod tests {
         // New runs continue after the replayed id space.
         let r2 = s.begin_run(&"wf".into());
         assert_eq!(r2, RunId(1));
+    }
+
+    #[test]
+    fn batched_recording_is_equivalent_and_durable() {
+        let path = tmp("batch-equiv");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            let r = s.begin_run(&"wf".into());
+            s.record_batch(
+                r,
+                vec![
+                    TraceEvent::Xform(xform("P", 0, &[0], &[0])),
+                    TraceEvent::Xfer(xfer(("P", "y"), ("Q", "x"), &[0], "out")),
+                    TraceEvent::Xform(xform("P", 1, &[1], &[1])),
+                ],
+            );
+            s.record_batch(r, Vec::new()); // empty batches are no-ops
+            s.finish_run(r);
+        }
+        // Batched WAL frames replay to the same queryable state.
+        let s = TraceStore::open(&path).unwrap();
+        assert_eq!(s.trace_record_count(RunId(0)), 3);
+        assert_eq!(s.xforms_producing(RunId(0), &"P".into(), "y", &Index::empty()).len(), 2);
+        assert_eq!(s.xfers_into(RunId(0), &"Q".into(), "x", &Index::single(0)).len(), 1);
+        // Rows kept recording order within the run.
+        let rows = s.xforms_of_run(RunId(0));
+        assert_eq!(rows.iter().map(|r| r.invocation).collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]
@@ -987,6 +1198,44 @@ mod tests {
     }
 
     #[test]
+    fn of_run_scans_charge_only_that_runs_rows() {
+        // Regression: with per-run row spans, reading a small run that is
+        // co-resident with a much larger one must touch only the small
+        // run's rows — the old implementation scanned the whole heap.
+        let s = TraceStore::in_memory();
+        let big = s.begin_run(&"wf".into());
+        for i in 0..100 {
+            s.record_xform(big, xform("P", i, &[i], &[i]));
+            s.record_xfer(big, xfer(("P", "y"), ("Q", "x"), &[i], "v"));
+        }
+        let small = s.begin_run(&"wf".into());
+        s.record_xform(small, xform("P", 0, &[0], &[0]));
+        s.record_xfer(small, xfer(("P", "y"), ("Q", "x"), &[0], "v"));
+
+        let before = s.stats().snapshot();
+        assert_eq!(s.xforms_of_run(small).len(), 1);
+        assert_eq!(s.xfers_of_run(small).len(), 1);
+        let after = s.stats().snapshot();
+        assert_eq!(after.rows_scanned - before.rows_scanned, 2);
+        assert_eq!(after.records_read - before.records_read, 2);
+    }
+
+    #[test]
+    fn interleaved_runs_keep_their_own_spans() {
+        let s = TraceStore::in_memory();
+        let a = s.begin_run(&"wf".into());
+        let b = s.begin_run(&"wf".into());
+        for i in 0..5 {
+            s.record_xform(a, xform("P", 2 * i, &[2 * i], &[2 * i]));
+            s.record_xform(b, xform("P", 2 * i + 1, &[2 * i + 1], &[2 * i + 1]));
+        }
+        let rows_a: Vec<u32> = s.xforms_of_run(a).iter().map(|r| r.invocation).collect();
+        let rows_b: Vec<u32> = s.xforms_of_run(b).iter().map(|r| r.invocation).collect();
+        assert_eq!(rows_a, vec![0, 2, 4, 6, 8]);
+        assert_eq!(rows_b, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
     fn concurrent_recording_from_multiple_threads() {
         let s = std::sync::Arc::new(TraceStore::in_memory());
         std::thread::scope(|scope| {
@@ -1004,5 +1253,9 @@ mod tests {
         });
         assert_eq!(s.runs().len(), 4);
         assert_eq!(s.total_record_count(), 200);
+        // Every run sees exactly its own 50 rows via its spans.
+        for info in s.runs() {
+            assert_eq!(s.xforms_of_run(info.id).len(), 50);
+        }
     }
 }

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use prov_engine::{PortBinding, TraceSink, XferEvent, XformEvent};
+use prov_engine::{PortBinding, TraceEvent, TraceSink, XferEvent, XformEvent};
 use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
 use prov_store::TraceStore;
 
@@ -62,6 +62,26 @@ fn apply(store: &TraceStore, run: RunId, events: &[Ev]) {
                 },
             ),
         }
+    }
+}
+
+/// The same event construction as [`apply`], as an owned [`TraceEvent`]
+/// (the shape `record_batch` ingests).
+fn to_trace_event(n: usize, ev: &Ev) -> TraceEvent {
+    match ev {
+        Ev::Xform { proc, q, pi, val } => TraceEvent::Xform(XformEvent {
+            processor: proc_name(*proc),
+            invocation: n as u32,
+            inputs: vec![PortBinding::new("x", Index::from_slice(pi), Value::int(*val))],
+            outputs: vec![PortBinding::new("y", Index::from_slice(q), Value::int(*val))],
+        }),
+        Ev::Xfer { src, dst, idx, val } => TraceEvent::Xfer(XferEvent {
+            src: PortRef { processor: proc_name(*src), port: "y".into() },
+            src_index: Index::from_slice(idx),
+            dst: PortRef { processor: proc_name(*dst), port: "x".into() },
+            dst_index: Index::from_slice(idx),
+            value: Value::int(*val),
+        }),
     }
 }
 
@@ -180,5 +200,80 @@ proptest! {
             store.trace_record_count(r1) + store.trace_record_count(r2),
             store.total_record_count()
         );
+    }
+
+    /// Batched ingest is observationally identical to event-at-a-time
+    /// ingest: same rows (ids included), same value table, same query
+    /// answers and the same access-statistics deltas for those queries —
+    /// however the stream is cut into batches.
+    #[test]
+    fn batched_ingest_equals_event_at_a_time(events in proptest::collection::vec(arb_event(), 1..40),
+                                             chunk in 1usize..9,
+                                             probe_proc in 0u8..3,
+                                             probe_idx in arb_index()) {
+        let one_by_one = TraceStore::in_memory();
+        let r1 = one_by_one.begin_run(&"wf".into());
+        apply(&one_by_one, r1, &events);
+
+        let batched = TraceStore::in_memory();
+        let r2 = batched.begin_run(&"wf".into());
+        let stream: Vec<_> = events.iter().enumerate().map(|(n, e)| to_trace_event(n, e)).collect();
+        for batch in stream.chunks(chunk) {
+            batched.record_batch(r2, batch.to_vec());
+        }
+
+        prop_assert_eq!(one_by_one.xforms_of_run(r1), batched.xforms_of_run(r2));
+        prop_assert_eq!(one_by_one.xfers_of_run(r1), batched.xfers_of_run(r2));
+        prop_assert_eq!(one_by_one.value_count(), batched.value_count());
+        prop_assert_eq!(one_by_one.index_key_counts(), batched.index_key_counts());
+
+        let probe = Index::from_slice(&probe_idx);
+        let before1 = one_by_one.stats().snapshot();
+        let a1 = one_by_one.xforms_producing(r1, &proc_name(probe_proc), "y", &probe);
+        let w1 = one_by_one.stats().snapshot().since(before1);
+        let before2 = batched.stats().snapshot();
+        let a2 = batched.xforms_producing(r2, &proc_name(probe_proc), "y", &probe);
+        let w2 = batched.stats().snapshot().since(before2);
+        prop_assert_eq!(a1, a2);
+        prop_assert_eq!(w1.index_lookups, w2.index_lookups);
+        prop_assert_eq!(w1.records_read, w2.records_read);
+    }
+
+    /// A WAL written with group-committed batch frames replays to exactly
+    /// the contents produced by event-at-a-time ingest of the same stream.
+    #[test]
+    fn wal_batch_replay_reproduces_exact_contents(events in proptest::collection::vec(arb_event(), 1..30),
+                                                  chunk in 1usize..9) {
+        let dir = std::env::temp_dir().join("prov-store-props");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!(
+            "batch-replay-{}-{:x}.wal",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let run;
+        {
+            let durable = TraceStore::open(&path).unwrap();
+            run = durable.begin_run(&"wf".into());
+            let stream: Vec<_> =
+                events.iter().enumerate().map(|(n, e)| to_trace_event(n, e)).collect();
+            for batch in stream.chunks(chunk) {
+                durable.record_batch(run, batch.to_vec());
+            }
+            durable.finish_run(run);
+        }
+
+        let replayed = TraceStore::open(&path).unwrap();
+        let fresh = TraceStore::in_memory();
+        let r2 = fresh.begin_run(&"wf".into());
+        apply(&fresh, r2, &events);
+
+        prop_assert_eq!(replayed.xforms_of_run(run), fresh.xforms_of_run(r2));
+        prop_assert_eq!(replayed.xfers_of_run(run), fresh.xfers_of_run(r2));
+        prop_assert_eq!(replayed.value_count(), fresh.value_count());
+        prop_assert_eq!(replayed.index_key_counts(), fresh.index_key_counts());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,131 @@
+//! Hot-path overhaul, end to end: batched ingest must be observationally
+//! equivalent to event-at-a-time ingest through the whole pipeline, run
+//! scans must stay proportional to the run (not the heap), plan caching
+//! must absorb repeated queries, and multi-run fan-out must answer
+//! exactly like a sequential sweep.
+
+use prov_engine::{TraceEvent, TraceSink, XferEvent, XformEvent};
+use prov_workgen::testbed;
+use taverna_prov::prelude::*;
+
+/// Forwards every event of a batch individually — the pre-overhaul ingest
+/// shape, used as the reference side of the equivalence tests.
+struct Unbatched<'a>(&'a TraceStore);
+
+impl TraceSink for Unbatched<'_> {
+    fn begin_run(&self, workflow: &ProcessorName) -> RunId {
+        self.0.begin_run(workflow)
+    }
+    fn record_xform(&self, run: RunId, event: XformEvent) {
+        self.0.record_xform(run, event);
+    }
+    fn record_xfer(&self, run: RunId, event: XferEvent) {
+        self.0.record_xfer(run, event);
+    }
+    fn record_batch(&self, run: RunId, events: Vec<TraceEvent>) {
+        for event in events {
+            match event {
+                TraceEvent::Xform(e) => self.0.record_xform(run, e),
+                TraceEvent::Xfer(e) => self.0.record_xfer(run, e),
+            }
+        }
+    }
+    fn finish_run(&self, run: RunId) {
+        self.0.finish_run(run);
+    }
+}
+
+#[test]
+fn batched_ingest_answers_queries_identically_to_event_at_a_time() {
+    let df = testbed::generate(6);
+
+    // Same testbed run, once with the engine's natural batches going
+    // straight into the store, once unbatched event by event.
+    let batched_store = TraceStore::in_memory();
+    let batched_run = testbed::run(&df, 4, &batched_store).run_id;
+    let unbatched_store = TraceStore::in_memory();
+    let unbatched_run = testbed::run(&df, 4, &Unbatched(&unbatched_store)).run_id;
+
+    assert_eq!(
+        batched_store.trace_record_count(batched_run),
+        unbatched_store.trace_record_count(unbatched_run)
+    );
+
+    for idx in [[0u32, 0], [1, 3], [3, 2]] {
+        let q = testbed::focused_query(&idx);
+
+        let ni_b = NaiveLineage::new().run(&batched_store, batched_run, &q).unwrap();
+        let ni_u = NaiveLineage::new().run(&unbatched_store, unbatched_run, &q).unwrap();
+        assert!(ni_b.same_bindings(&ni_u), "NI answers diverge at {idx:?}");
+
+        let before_b = batched_store.stats().snapshot();
+        let ip_b = IndexProj::new(&df).run(&batched_store, batched_run, &q).unwrap();
+        let work_b = batched_store.stats().snapshot().since(before_b);
+        let before_u = unbatched_store.stats().snapshot();
+        let ip_u = IndexProj::new(&df).run(&unbatched_store, unbatched_run, &q).unwrap();
+        let work_u = unbatched_store.stats().snapshot().since(before_u);
+
+        assert!(ip_b.same_bindings(&ip_u), "INDEXPROJ answers diverge at {idx:?}");
+        assert!(ni_b.same_bindings(&ip_b), "NI and INDEXPROJ diverge at {idx:?}");
+        // Identical contents must cost identical trace access work.
+        assert_eq!(work_b, work_u, "stats diverge at {idx:?}");
+    }
+}
+
+#[test]
+fn run_scans_touch_only_the_requested_runs_rows() {
+    // A small run interleaved (in store insertion order) with a much
+    // larger one: scanning the small run must not pay for the big one.
+    let df = testbed::generate(2);
+    let store = TraceStore::in_memory();
+    let small = testbed::run(&df, 2, &store).run_id;
+    let big = testbed::run(&df, 12, &store).run_id;
+
+    store.stats().reset();
+    let small_rows = store.xforms_of_run(small).len() + store.xfers_of_run(small).len();
+    let work = store.stats().snapshot();
+    assert_eq!(small_rows as u64, store.trace_record_count(small));
+    assert_eq!(
+        work.rows_scanned, small_rows as u64,
+        "scan of the small run examined rows outside its spans"
+    );
+    assert!(store.trace_record_count(big) > 4 * small_rows as u64);
+}
+
+#[test]
+fn plan_cache_absorbs_repeated_fig4_queries() {
+    let df = testbed::generate(4);
+    let store = TraceStore::in_memory();
+    let run = testbed::run(&df, 3, &store).run_id;
+
+    let cache = PlanCache::new(IndexProj::new(&df));
+    let q = testbed::focused_query(&[1, 2]);
+    let first = cache.run(&store, run, &q).unwrap();
+    for _ in 0..9 {
+        let again = cache.run(&store, run, &q).unwrap();
+        assert!(again.same_bindings(&first));
+    }
+    let (hits, misses) = cache.stats();
+    assert_eq!((hits, misses), (9, 1));
+    assert_eq!(cache.len(), 1);
+}
+
+#[test]
+fn multi_run_fanout_matches_sequential_execution() {
+    let df = testbed::generate(4);
+    let store = TraceStore::in_memory();
+    // Enough runs to cross the parallel fan-out threshold.
+    let runs: Vec<RunId> = (0..6).map(|_| testbed::run(&df, 3, &store).run_id).collect();
+
+    let q = testbed::focused_query(&[1, 1]);
+    let plan = IndexProj::new(&df).plan(&q).unwrap();
+
+    let sequential: Vec<LineageAnswer> =
+        runs.iter().map(|&r| plan.execute(&store, r).unwrap()).collect();
+    let fanned = plan.execute_multi(&store, &runs).unwrap();
+
+    assert_eq!(sequential.len(), fanned.len());
+    for (s, f) in sequential.iter().zip(&fanned) {
+        assert!(s.same_bindings(f), "parallel multi-run answer diverges");
+    }
+}
