@@ -399,6 +399,17 @@ struct MultiRunReport {
 }
 
 #[derive(Serialize)]
+struct ReportMetrics {
+    /// Read-path store counters (index lookups, records read, rows
+    /// scanned) accumulated across the probe/scan/query sections, plus
+    /// the size gauges of the populated store.
+    query_store: prov_obs::MetricsSnapshot,
+    /// WAL work accounting (frames, bytes, group commits, fsyncs) for one
+    /// untimed durable ingest of the full event stream.
+    durable_ingest: prov_obs::MetricsSnapshot,
+}
+
+#[derive(Serialize)]
 struct Report {
     quick: bool,
     l: usize,
@@ -408,6 +419,7 @@ struct Report {
     lookups: LookupReport,
     fig9_query: QueryReport,
     multi_run: MultiRunReport,
+    metrics: ReportMetrics,
 }
 
 fn workspace_root() -> PathBuf {
@@ -547,7 +559,8 @@ fn main() {
     let t_warm = best_of(reps, || {
         cache.run(&store, run, &query).expect("warm query");
     });
-    let (cache_hits, cache_misses) = cache.stats();
+    let cache_stats = cache.stats();
+    let (cache_hits, cache_misses) = (cache_stats.hits, cache_stats.misses);
 
     // ---- Multi-run: shared plan, sequential vs fanned-out (§3.4). ----
     // The unfocused query gives the plan one step per spec-graph port, so
@@ -564,6 +577,20 @@ fn main() {
     let t_par = best_of(reps, || {
         plan.execute_multi(&multi_store, &runs).expect("par execute");
     });
+
+    // ---- Metrics block: machine-independent work accounting. ---------
+    let query_metrics = prov_bench::snapshot_store_metrics(&store);
+    let wal_metrics = {
+        // One untimed durable ingest, so WAL frame/byte/commit counts for
+        // the canonical stream ride along with the wall-clock numbers.
+        let metrics_wal = tmp.join("metrics.wal");
+        let store = TraceStore::open(&metrics_wal).expect("open store");
+        let run = store.begin_run(&df.name);
+        for batch in batches.clone() {
+            store.record_batch(run, batch);
+        }
+        prov_bench::snapshot_store_metrics(&store)
+    };
 
     let _ = std::fs::remove_dir_all(&tmp);
 
@@ -608,6 +635,7 @@ fn main() {
             parallel_ms: ms(t_par),
             speedup: t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
         },
+        metrics: ReportMetrics { query_store: query_metrics, durable_ingest: wal_metrics },
     };
 
     let mut table = Table::new(&["section", "metric", "legacy", "new", "speedup"]);

@@ -50,4 +50,8 @@ fn main() {
     table.print();
     let path = table.write_csv("fig10_unfocused").expect("write results");
     println!("\ncsv: {}", path.display());
+    let metrics = prov_bench::snapshot_store_metrics(&store);
+    let jpath =
+        prov_bench::write_bench_json("fig10_unfocused", &table, &metrics).expect("write json");
+    println!("json: {}", jpath.display());
 }

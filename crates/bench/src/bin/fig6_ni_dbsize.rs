@@ -41,4 +41,8 @@ fn main() {
     table.print();
     let path = table.write_csv("fig6_ni_dbsize").expect("write results");
     println!("\ncsv: {}", path.display());
+    let metrics = prov_bench::snapshot_store_metrics(&store);
+    let jpath =
+        prov_bench::write_bench_json("fig6_ni_dbsize", &table, &metrics).expect("write json");
+    println!("json: {}", jpath.display());
 }

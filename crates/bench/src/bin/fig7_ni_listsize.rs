@@ -21,6 +21,7 @@ fn main() {
     let mut table = Table::new(&["l", "d", "trace_records", "ni_time_ms", "records_read"]);
     let ni = NaiveLineage::new();
 
+    let mut metrics = prov_obs::MetricsSnapshot::default();
     for &l in &ls {
         let df = testbed::generate(l);
         for &d in &ds {
@@ -39,10 +40,15 @@ fn main() {
                 cell_ms(t),
                 cell(work.records_read / 5),
             ]);
+            // The embedded snapshot reflects the largest (last) grid cell.
+            metrics = prov_bench::snapshot_store_metrics(&store);
         }
     }
 
     table.print();
     let path = table.write_csv("fig7_ni_listsize").expect("write results");
     println!("\ncsv: {}", path.display());
+    let jpath =
+        prov_bench::write_bench_json("fig7_ni_listsize", &table, &metrics).expect("write json");
+    println!("json: {}", jpath.display());
 }

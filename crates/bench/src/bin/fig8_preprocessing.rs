@@ -46,4 +46,10 @@ fn main() {
     table.print();
     let path = table.write_csv("fig8_preprocessing").expect("write results");
     println!("\ncsv: {}", path.display());
+    // Pure pre-processing: no trace store is touched, so the embedded
+    // metrics block is empty — kept for a uniform BENCH_*.json shape.
+    let metrics = prov_obs::MetricsSnapshot::default();
+    let jpath =
+        prov_bench::write_bench_json("fig8_preprocessing", &table, &metrics).expect("write json");
+    println!("json: {}", jpath.display());
 }

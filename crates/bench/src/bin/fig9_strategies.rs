@@ -35,6 +35,7 @@ fn main() {
         "ip_records",
     ]);
 
+    let mut metrics = prov_obs::MetricsSnapshot::default();
     for &d in &ds {
         for &l in &ls {
             let df = testbed::generate(l);
@@ -71,10 +72,15 @@ fn main() {
                 cell(ni_work.records_read / 5),
                 cell(ip_work.records_read / 5),
             ]);
+            // The embedded snapshot reflects the largest (last) grid cell.
+            metrics = prov_bench::snapshot_store_metrics(&store);
         }
     }
 
     table.print();
     let path = table.write_csv("fig9_strategies").expect("write results");
     println!("\ncsv: {}", path.display());
+    let jpath =
+        prov_bench::write_bench_json("fig9_strategies", &table, &metrics).expect("write json");
+    println!("json: {}", jpath.display());
 }

@@ -99,6 +99,55 @@ impl Table {
         w.flush()?;
         Ok(path)
     }
+
+    /// The table as a serializable `{headers, rows}` pair.
+    pub fn to_json(&self) -> TableJson {
+        TableJson { headers: self.headers.clone(), rows: self.rows.clone() }
+    }
+}
+
+/// Serializable form of a [`Table`].
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct TableJson {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, as rendered strings.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// The document written by [`write_bench_json`].
+#[derive(serde::Serialize)]
+struct BenchDoc {
+    name: String,
+    table: TableJson,
+    metrics: prov_obs::MetricsSnapshot,
+}
+
+/// A registry snapshot of `store`'s counters (index lookups, records read,
+/// rows scanned, WAL frames/bytes) and size gauges — the
+/// machine-independent work accounting every experiment embeds next to its
+/// wall-clock numbers.
+pub fn snapshot_store_metrics(store: &prov_store::TraceStore) -> prov_obs::MetricsSnapshot {
+    let registry = prov_obs::Registry::new();
+    store.register_metrics(&registry);
+    registry.snapshot()
+}
+
+/// Writes `results/BENCH_<name>.json`: the experiment's table plus a
+/// metrics snapshot, so access counters ride along with every emitted
+/// figure. Returns the path written.
+pub fn write_bench_json(
+    name: &str,
+    table: &Table,
+    metrics: &prov_obs::MetricsSnapshot,
+) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let doc = BenchDoc { name: name.to_string(), table: table.to_json(), metrics: metrics.clone() };
+    let rendered = serde_json::to_string_pretty(&doc).map_err(std::io::Error::other)?;
+    std::fs::write(&path, rendered)?;
+    Ok(path)
 }
 
 /// The `results/` directory at the workspace root (falls back to CWD).

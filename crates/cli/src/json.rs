@@ -1,0 +1,24 @@
+//! The single JSON renderer behind every `--format json` surface.
+//!
+//! `lint --format json`, `metrics --format json` and `profile
+//! --chrome-trace` all funnel through [`render`], so the CLI has exactly
+//! one opinion about JSON encoding (pretty-printed, stable field order
+//! from the serialized types themselves).
+
+/// Pretty-prints any serializable value.
+pub fn render<T: serde::Serialize>(value: &T) -> Result<String, String> {
+    serde_json::to_string_pretty(value).map_err(|e| format!("json encoding failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_maps_and_sequences() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("a", 1);
+        assert_eq!(render(&map).unwrap(), "{\n  \"a\": 1\n}");
+        assert_eq!(render(&vec![1, 2]).unwrap(), "[\n  1,\n  2\n]");
+    }
+}

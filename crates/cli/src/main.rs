@@ -27,10 +27,12 @@ use prov_core::{ImpactQuery, IndexProj, LineageQuery, NaiveImpact, NaiveLineage}
 use prov_dataflow::{to_dot, to_dot_with_diagnostics, AnalyzeConfig, Dataflow};
 use prov_engine::{BehaviorRegistry, Engine};
 use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
+use prov_obs::{Obs, Registry};
 use prov_store::TraceStore;
 use prov_workgen::{bio, testbed};
 
 mod args;
+mod json;
 use args::Args;
 
 fn main() -> ExitCode {
@@ -49,7 +51,17 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         print_usage();
         return Ok(());
     };
-    let args = Args::parse(rest)?;
+    // `profile` accepts its query as the first positional token
+    // (`tprov profile 'lin(...)' --db t.wal`); normalise before parsing.
+    let mut rest: Vec<String> = rest.to_vec();
+    if cmd == "profile" {
+        if let Some(first) = rest.first() {
+            if !first.starts_with("--") {
+                rest.insert(0, "--query".to_string());
+            }
+        }
+    }
+    let args = Args::parse(&rest)?;
     match cmd.as_str() {
         "testbed" => cmd_testbed(&args),
         "gk" => cmd_gk(&args),
@@ -63,6 +75,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "trace-dot" => cmd_trace_dot(&args),
         "diff" => cmd_diff(&args),
         "find-value" => cmd_find_value(&args),
+        "metrics" => cmd_metrics(&args),
+        "profile" => cmd_profile(&args),
         "lint" => cmd_lint(&args),
         "dot" => cmd_dot(&args),
         "help" | "--help" | "-h" => {
@@ -90,6 +104,10 @@ fn print_usage() {
          \x20 audit    --db FILE --workflow WF.json [--run N | --all-runs]\n\
          \x20 diff     --db FILE --a N --b N --target P:Y [--index ..] [--focus ..]\n\
          \x20 find-value --db FILE --value <json> [--run N] [--lineage] [--focus ..]\n\
+         \x20 metrics  --db FILE [--format json]           store/WAL metric snapshot\n\
+         \x20 profile  QUERY --db FILE [--algo ni|indexproj|both] [--run N | --all-runs]\n\
+         \x20          [--workflow WF.json] [--chrome-trace OUT.json]\n\
+         \x20          per-stage timings with the paper's t1/t2 split\n\
          \x20 lint     --workflow WF.json [--format json] [--iteration-threshold N]\n\
          \x20          static diagnostics (exit 1 on error-level findings)\n\
          \x20 dot      --workflow WF.json [--lint]         print spec as Graphviz\n\
@@ -378,6 +396,136 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Snapshots the store's metrics: size gauges (runs, rows, dictionary and
+/// index cardinalities) reflect the database as opened; counters reflect
+/// work done by *this* process, so right after `open` they show the WAL
+/// recovery cost and nothing else.
+fn cmd_metrics(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let registry = Registry::new();
+    store.register_metrics(&registry);
+    let snapshot = registry.snapshot();
+    match args.get("format").unwrap_or("text") {
+        "text" => print!("{}", snapshot.render_text()),
+        "json" => println!("{}", json::render(&snapshot)?),
+        other => return Err(format!("unknown --format {other:?} (text|json)")),
+    }
+    Ok(())
+}
+
+/// Formats nanoseconds for the profile table.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}us", ns as f64 / 1e3)
+    }
+}
+
+/// Profiles a lineage query: runs it under an enabled [`Obs`], prints a
+/// per-stage timing table and the paper's t1 (graph traversal) vs t2
+/// (trace access) decomposition, and optionally writes the span timeline
+/// as Chrome/Perfetto trace-event JSON.
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let raw = args.required("query")?;
+    let query = match prov_core::parse_query(raw).map_err(|e| e.to_string())? {
+        prov_core::ParsedQuery::Lineage(q) => q,
+        prov_core::ParsedQuery::Impact(_) => {
+            return Err("profile supports lineage queries only (lin(<P:Y[i]>, {focus}))".into())
+        }
+    };
+    let runs = select_runs(args, &store)?;
+    let algo = args.get("algo").unwrap_or("both");
+    if !matches!(algo, "ni" | "indexproj" | "both") {
+        return Err(format!("unknown --algo {algo:?} (ni|indexproj|both)"));
+    }
+
+    let obs = Obs::enabled();
+    store.register_metrics(&obs.metrics);
+    let before = obs.metrics.snapshot();
+    println!("{query}");
+
+    let mut ran_ni = false;
+    let mut ran_ip = false;
+    if algo != "indexproj" {
+        let answers = NaiveLineage::new()
+            .run_multi_with(&store, &runs, &query, &obs)
+            .map_err(|e| e.to_string())?;
+        let bindings: usize = answers.iter().map(|a| a.bindings.len()).sum();
+        println!("NI: {} run(s), {bindings} lineage binding(s)", answers.len());
+        ran_ni = true;
+    }
+    if algo != "ni" {
+        let df = resolve_workflow(args, &store)?;
+        let answers = IndexProj::new(&df)
+            .run_multi_with(&store, &runs, &query, &obs)
+            .map_err(|e| e.to_string())?;
+        let bindings: usize = answers.iter().map(|a| a.bindings.len()).sum();
+        println!("INDEXPROJ: {} run(s), {bindings} lineage binding(s)", answers.len());
+        ran_ip = true;
+    }
+
+    let aggs = obs.profiler.aggregate();
+    println!();
+    println!("{:<32} {:<7} {:>6} {:>10} {:>10}", "stage", "cat", "count", "total", "max");
+    for a in &aggs {
+        println!(
+            "{:<32} {:<7} {:>6} {:>10} {:>10}",
+            a.name,
+            a.cat,
+            a.count,
+            fmt_ns(a.total_ns),
+            fmt_ns(a.max_ns)
+        );
+    }
+
+    // The paper's decomposition (§4): t1 = graph/spec traversal work,
+    // t2 = trace (store) access work.
+    let total =
+        |name: &str| -> u64 { aggs.iter().filter(|a| a.name == name).map(|a| a.total_ns).sum() };
+    println!();
+    if ran_ni {
+        let traverse = total("ni.traverse");
+        let t2 = total("ni.hop");
+        println!(
+            "NI:        t1 (graph traversal) = {:>10}   t2 (trace access) = {:>10}",
+            fmt_ns(traverse.saturating_sub(t2)),
+            fmt_ns(t2)
+        );
+    }
+    if ran_ip {
+        let t1 = total("indexproj.plan") + total("indexproj.assemble");
+        let t2 = total("indexproj.step");
+        println!(
+            "INDEXPROJ: t1 (plan + assemble) = {:>10}   t2 (trace access) = {:>10}",
+            fmt_ns(t1),
+            fmt_ns(t2)
+        );
+    }
+
+    let delta = obs.metrics.snapshot().counters_since(&before);
+    let touched: Vec<(&String, &u64)> = delta.iter().filter(|(_, v)| **v > 0).collect();
+    if !touched.is_empty() {
+        println!();
+        println!("store counters for this profile run:");
+        for (k, v) in touched {
+            println!("  {k}: {v}");
+        }
+    }
+
+    if let Some(path) = args.get("chrome-trace") {
+        let events = obs.profiler.chrome_trace_events();
+        std::fs::write(path, json::render(&events)?).map_err(|e| e.to_string())?;
+        println!();
+        println!(
+            "chrome trace written to {path} ({} events); load it in ui.perfetto.dev",
+            events.len()
+        );
+    }
+    Ok(())
+}
+
 /// Runs the static diagnostics pass (`prov_dataflow::analyze`) over a
 /// workflow specification and reports rustc-style findings. Error-level
 /// diagnostics make the command exit nonzero, so `lint` slots into CI.
@@ -390,7 +538,7 @@ fn cmd_lint(args: &Args) -> Result<(), String> {
     let diagnostics = prov_dataflow::analyze_with(&df, &config);
     match args.get("format").unwrap_or("text") {
         "text" => print!("{}", prov_dataflow::render_text(&diagnostics)),
-        "json" => println!("{}", prov_dataflow::render_json(&diagnostics)),
+        "json" => println!("{}", json::render(&prov_dataflow::json_records(&diagnostics))?),
         other => return Err(format!("unknown --format {other:?} (text|json)")),
     }
     let errors = prov_dataflow::error_count(&diagnostics);

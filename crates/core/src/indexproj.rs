@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 
 use prov_dataflow::{ArcDst, ArcSrc, Dataflow, DepthInfo, ProcessorKind};
 use prov_model::{Binding, Index, ProcessorName, RunId};
+use prov_obs::Obs;
 use prov_store::TraceStore;
 
 use crate::{CoreError, FocusSet, LineageAnswer, LineageQuery, Result};
@@ -87,16 +88,50 @@ impl LineagePlan {
     /// the answer — and which error surfaces, if any — is identical to the
     /// sequential loop's.
     pub fn execute(&self, store: &TraceStore, run: RunId) -> Result<LineageAnswer> {
-        let per_step: Vec<Result<Vec<Binding>>> = if self.steps.len() >= crate::par::STEP_FANOUT_MIN
-        {
-            crate::par::parallel_map(&self.steps, |step| Self::step_bindings(store, run, step))
-        } else {
-            self.steps.iter().map(|step| Self::step_bindings(store, run, step)).collect()
+        self.execute_with(store, run, &Obs::disabled())
+    }
+
+    /// [`LineagePlan::execute`] with observability: each step records an
+    /// `indexproj.step` span charging the paper's `t2` account, and answer
+    /// assembly records an `indexproj.assemble` span charging `t1`.
+    ///
+    /// Per-step `index_lookups`/`records_read` arguments are deltas of the
+    /// store's shared counters, so they are attached only when steps run
+    /// sequentially (small plans — the common focused-query case); under
+    /// the scoped-thread fan-out concurrent steps would interleave in the
+    /// shared counters, so fanned steps carry only their exact `rows`.
+    pub fn execute_with(&self, store: &TraceStore, run: RunId, obs: &Obs) -> Result<LineageAnswer> {
+        let fanned = self.steps.len() >= crate::par::STEP_FANOUT_MIN;
+        let profiling = obs.profiler.is_enabled();
+        let timed_step = |step: &PlanStep| -> Result<Vec<Binding>> {
+            if !profiling {
+                return Self::step_bindings(store, run, step);
+            }
+            let before = store.stats().snapshot();
+            let mut span = obs.span("indexproj.step", "t2");
+            let out = Self::step_bindings(store, run, step);
+            if !fanned {
+                let delta = store.stats().snapshot().since(before);
+                span.arg("index_lookups", delta.index_lookups);
+                span.arg("records_read", delta.records_read);
+            }
+            if let Ok(rows) = &out {
+                span.arg("rows", rows.len() as u64);
+            }
+            out
         };
+        let per_step: Vec<Result<Vec<Binding>>> = if fanned {
+            crate::par::parallel_map(&self.steps, timed_step)
+        } else {
+            self.steps.iter().map(timed_step).collect()
+        };
+        let mut assemble = obs.span("indexproj.assemble", "t1");
         let mut bindings: Vec<Binding> = Vec::new();
         for step_result in per_step {
             bindings.extend(step_result?);
         }
+        assemble.arg("bindings", bindings.len() as u64);
+        assemble.stop();
         Ok(LineageAnswer::new(run, bindings, self.steps.len(), self.nodes_visited))
     }
 
@@ -106,10 +141,24 @@ impl LineagePlan {
     /// answers come back in run order and any error is reported for the
     /// lowest failing run index, exactly as sequentially.
     pub fn execute_multi(&self, store: &TraceStore, runs: &[RunId]) -> Result<Vec<LineageAnswer>> {
+        self.execute_multi_with(store, runs, &Obs::disabled())
+    }
+
+    /// [`LineagePlan::execute_multi`] with observability. The `Obs` handle
+    /// is shared by every worker thread; spans land on one timeline with
+    /// per-worker `tid`s, so aggregated totals equal the sequential run's.
+    pub fn execute_multi_with(
+        &self,
+        store: &TraceStore,
+        runs: &[RunId],
+        obs: &Obs,
+    ) -> Result<Vec<LineageAnswer>> {
         if runs.len() >= crate::par::RUN_FANOUT_MIN {
-            crate::par::parallel_map(runs, |&r| self.execute(store, r)).into_iter().collect()
+            crate::par::parallel_map(runs, |&r| self.execute_with(store, r, obs))
+                .into_iter()
+                .collect()
         } else {
-            runs.iter().map(|&r| self.execute(store, r)).collect()
+            runs.iter().map(|&r| self.execute_with(store, r, obs)).collect()
         }
     }
 }
@@ -139,6 +188,23 @@ impl<'a> IndexProj<'a> {
 
     /// Compiles `query` into a [`LineagePlan`] (phase *s1*).
     pub fn plan(&self, query: &LineageQuery) -> Result<LineagePlan> {
+        self.plan_with(query, &Obs::disabled())
+    }
+
+    /// [`IndexProj::plan`] with observability: records one
+    /// `indexproj.plan` span charging the paper's `t1` account (pure
+    /// graph work, no trace access), with the compiled plan's size as
+    /// arguments.
+    pub fn plan_with(&self, query: &LineageQuery, obs: &Obs) -> Result<LineagePlan> {
+        let mut span = obs.span("indexproj.plan", "t1");
+        let plan = self.plan_inner(query)?;
+        span.arg("steps", plan.steps.len() as u64);
+        span.arg("nodes_visited", plan.nodes_visited as u64);
+        span.stop();
+        Ok(plan)
+    }
+
+    fn plan_inner(&self, query: &LineageQuery) -> Result<LineagePlan> {
         let depths = self.depth_info()?;
         let mut builder = PlanBuilder {
             focus: &query.focus,
@@ -194,6 +260,18 @@ impl<'a> IndexProj<'a> {
         self.plan(query)?.execute(store, run)
     }
 
+    /// Plans and executes in one call, with observability (spans for the
+    /// *s1* planning phase and each *s2* step).
+    pub fn run_with(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &LineageQuery,
+        obs: &Obs,
+    ) -> Result<LineageAnswer> {
+        self.plan_with(query, obs)?.execute_with(store, run, obs)
+    }
+
     /// Plans once and executes over several runs.
     pub fn run_multi(
         &self,
@@ -202,6 +280,17 @@ impl<'a> IndexProj<'a> {
         query: &LineageQuery,
     ) -> Result<Vec<LineageAnswer>> {
         self.plan(query)?.execute_multi(store, runs)
+    }
+
+    /// Plans once and executes over several runs, with observability.
+    pub fn run_multi_with(
+        &self,
+        store: &TraceStore,
+        runs: &[RunId],
+        query: &LineageQuery,
+        obs: &Obs,
+    ) -> Result<Vec<LineageAnswer>> {
+        self.plan_with(query, obs)?.execute_multi_with(store, runs, obs)
     }
 }
 
@@ -538,6 +627,31 @@ mod tests {
         assert_eq!(plan.steps.len(), 1);
         assert_eq!(plan.steps[0].kind, StepKind::XferSrc);
         assert_eq!(plan.steps[0].index, Index::single(1));
+    }
+
+    #[test]
+    fn profiled_plan_and_execute_record_phase_spans() {
+        let df = fig3();
+        let ip = IndexProj::new(&df);
+        let q = LineageQuery::focused(
+            PortRef::new("P", "Y"),
+            Index::from_slice(&[3, 5]),
+            [ProcessorName::from("Q"), ProcessorName::from("R")],
+        );
+        use prov_engine::TraceSink as _;
+        let store = TraceStore::in_memory();
+        let run = store.begin_run(&ProcessorName::from("wf"));
+        let obs = prov_obs::Obs::enabled();
+        let answer = ip.run_with(&store, run, &q, &obs).unwrap();
+        let spans = obs.profiler.spans();
+        let count = |name: &str| spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count("indexproj.plan"), 1);
+        assert_eq!(count("indexproj.assemble"), 1);
+        // One t2 span per plan step, even against an empty trace.
+        assert_eq!(count("indexproj.step"), answer.trace_queries);
+        // The plan span charges t1, the steps charge t2.
+        assert!(spans.iter().any(|s| s.name == "indexproj.plan" && s.cat == "t1"));
+        assert!(spans.iter().all(|s| s.name != "indexproj.step" || s.cat == "t2"));
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub use impact::{ImpactQuery, NaiveImpact};
 pub use indexproj::{IndexProj, LineagePlan, PlanStep, StepKind};
 pub use naive::NaiveLineage;
 pub use parse::{parse_lineage, parse_query, ParseError, ParsedQuery};
-pub use plan_cache::PlanCache;
+pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use query::{FocusSet, LineageQuery};
 
 /// Convenience result alias.

@@ -18,6 +18,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use prov_model::{Binding, Index, ProcessorName, RunId};
+use prov_obs::Obs;
 use prov_store::TraceStore;
 
 use crate::{LineageAnswer, LineageQuery, Result};
@@ -40,17 +41,41 @@ impl NaiveLineage {
         run: RunId,
         query: &LineageQuery,
     ) -> Result<LineageAnswer> {
+        self.run_with(store, run, query, &Obs::disabled())
+    }
+
+    /// [`NaiveLineage::run`] with observability: one `ni.traverse` span
+    /// covers the whole traversal, and every popped node records an
+    /// `ni.hop` span charging the paper's `t2` account — the trace
+    /// accesses that invert one provenance-graph node — tagged with its
+    /// distance from the query target (`depth`). `t1` (pure traversal
+    /// bookkeeping) is the traverse span minus the sum of its hops.
+    pub fn run_with(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &LineageQuery,
+        obs: &Obs,
+    ) -> Result<LineageAnswer> {
+        let mut traverse = obs.span("ni.traverse", "query");
         let mut visited: HashSet<(ProcessorName, Arc<str>, Index)> = HashSet::new();
-        let mut stack: Vec<(ProcessorName, Arc<str>, Index)> =
-            vec![(query.target.processor.clone(), query.target.port.clone(), query.index.clone())];
+        let mut stack: Vec<(ProcessorName, Arc<str>, Index, u64)> = vec![(
+            query.target.processor.clone(),
+            query.target.port.clone(),
+            query.index.clone(),
+            0,
+        )];
         let mut bindings: Vec<Binding> = Vec::new();
         let mut trace_queries = 0usize;
+        let mut max_depth = 0u64;
 
-        while let Some(node) = stack.pop() {
-            if !visited.insert(node.clone()) {
+        while let Some((processor, port, index, depth)) = stack.pop() {
+            if !visited.insert((processor.clone(), port.clone(), index.clone())) {
                 continue;
             }
-            let (processor, port, index) = node;
+            max_depth = max_depth.max(depth);
+            let mut hop = obs.span("ni.hop", "t2");
+            hop.arg("depth", depth);
 
             // xform case: the node as an invocation output.
             trace_queries += 1;
@@ -67,7 +92,12 @@ impl NaiveLineage {
                             value: input.value,
                         })?);
                     }
-                    stack.push((processor.clone(), input.port.clone(), input.index.clone()));
+                    stack.push((
+                        processor.clone(),
+                        input.port.clone(),
+                        input.index.clone(),
+                        depth + 1,
+                    ));
                 }
             }
 
@@ -79,6 +109,7 @@ impl NaiveLineage {
                     rec.src_processor.clone(),
                     rec.src_port.clone(),
                     rec.src_index.clone(),
+                    depth + 1,
                 ));
             }
 
@@ -106,8 +137,12 @@ impl NaiveLineage {
                     }
                 }
             }
+            hop.stop();
         }
 
+        traverse.arg("nodes", visited.len() as u64);
+        traverse.arg("max_depth", max_depth);
+        traverse.stop();
         Ok(LineageAnswer::new(run, bindings, trace_queries, visited.len()))
     }
 
@@ -122,10 +157,24 @@ impl NaiveLineage {
         runs: &[RunId],
         query: &LineageQuery,
     ) -> Result<Vec<LineageAnswer>> {
+        self.run_multi_with(store, runs, query, &Obs::disabled())
+    }
+
+    /// [`NaiveLineage::run_multi`] with observability; the shared `Obs`
+    /// collects every worker's spans on one timeline.
+    pub fn run_multi_with(
+        &self,
+        store: &TraceStore,
+        runs: &[RunId],
+        query: &LineageQuery,
+        obs: &Obs,
+    ) -> Result<Vec<LineageAnswer>> {
         if runs.len() >= crate::par::RUN_FANOUT_MIN {
-            crate::par::parallel_map(runs, |&r| self.run(store, r, query)).into_iter().collect()
+            crate::par::parallel_map(runs, |&r| self.run_with(store, r, query, obs))
+                .into_iter()
+                .collect()
         } else {
-            runs.iter().map(|&r| self.run(store, r, query)).collect()
+            runs.iter().map(|&r| self.run_with(store, r, query, obs)).collect()
         }
     }
 }
@@ -242,6 +291,34 @@ mod tests {
         assert_eq!(answers.len(), 2);
         assert_eq!(answers[0].bindings[0].value, Value::str("r0"));
         assert_eq!(answers[1].bindings[0].value, Value::str("r1"));
+    }
+
+    #[test]
+    fn profiled_run_records_traverse_and_hop_spans() {
+        let (store, run) = chain_setup();
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::single(1),
+            [ProcessorName::from("wf")],
+        );
+        let obs = prov_obs::Obs::enabled();
+        let plain = NaiveLineage::new().run(&store, run, &q).unwrap();
+        let profiled = NaiveLineage::new().run_with(&store, run, &q, &obs).unwrap();
+        assert_eq!(plain.bindings, profiled.bindings);
+        let spans = obs.profiler.spans();
+        let traverses = spans.iter().filter(|s| s.name == "ni.traverse").count();
+        let hops: Vec<_> = spans.iter().filter(|s| s.name == "ni.hop").collect();
+        assert_eq!(traverses, 1);
+        // One hop per visited provenance-graph node.
+        assert_eq!(hops.len(), profiled.nodes_visited);
+        // Depth args grow from the target (0) along the upstream path.
+        let depths: Vec<u64> = hops
+            .iter()
+            .filter_map(|s| s.args.iter().find(|(k, _)| *k == "depth").map(|(_, v)| *v))
+            .collect();
+        assert_eq!(depths.len(), hops.len());
+        assert!(depths.contains(&0));
+        assert!(depths.iter().max().unwrap() >= &2, "chain is at least 3 nodes deep");
     }
 
     #[test]

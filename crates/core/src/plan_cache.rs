@@ -9,12 +9,12 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use prov_model::RunId;
+use prov_obs::{Counter, Registry};
 use prov_store::TraceStore;
 
 use crate::{IndexProj, LineageAnswer, LineagePlan, LineageQuery, Result};
@@ -35,8 +35,17 @@ pub struct PlanCache<'a> {
     index_proj: IndexProj<'a>,
     /// Pre-computed query hash → entries whose query has that hash.
     buckets: Mutex<HashMap<u64, Bucket>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+}
+
+/// Point-in-time hit/miss counters of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that compiled a new plan.
+    pub misses: u64,
 }
 
 impl<'a> PlanCache<'a> {
@@ -45,9 +54,16 @@ impl<'a> PlanCache<'a> {
         PlanCache {
             index_proj,
             buckets: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::standalone(),
+            misses: Counter::standalone(),
         }
+    }
+
+    /// Adopts the hit/miss counters into `registry` as `plan_cache.hits`
+    /// / `plan_cache.misses` (shared storage, no extra lookup-path cost).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.adopt_counter("plan_cache.hits", &self.hits);
+        registry.adopt_counter("plan_cache.misses", &self.misses);
     }
 
     /// The query's bucket key: one hash over the whole query, computed
@@ -63,7 +79,7 @@ impl<'a> PlanCache<'a> {
         let key = Self::query_hash(query);
         if let Some(bucket) = self.buckets.lock().get(&key) {
             if let Some((_, p)) = bucket.iter().find(|(q, _)| q == query) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 return Ok(Arc::clone(p));
             }
         }
@@ -75,11 +91,11 @@ impl<'a> PlanCache<'a> {
         let bucket = buckets.entry(key).or_default();
         if let Some((_, p)) = bucket.iter().find(|(q, _)| q == query) {
             // Another thread inserted while we compiled.
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(Arc::clone(p));
         }
         bucket.push((query.clone(), Arc::clone(&plan)));
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         Ok(plan)
     }
 
@@ -103,9 +119,9 @@ impl<'a> PlanCache<'a> {
         self.plan(query)?.execute_multi(store, runs)
     }
 
-    /// `(hits, misses)` counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    /// Hit/miss counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats { hits: self.hits.get(), misses: self.misses.get() }
     }
 
     /// Number of cached plans.
@@ -149,7 +165,7 @@ mod tests {
         let p1 = cache.plan(&q).unwrap();
         let p2 = cache.plan(&q).unwrap();
         assert!(Arc::ptr_eq(&p1, &p2));
-        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 1, misses: 1 });
         assert_eq!(cache.len(), 1);
     }
 
@@ -166,7 +182,7 @@ mod tests {
             cache.plan(&q).unwrap();
         }
         assert_eq!(cache.len(), 3);
-        assert_eq!(cache.stats(), (0, 3));
+        assert_eq!(cache.stats(), PlanCacheStats { hits: 0, misses: 3 });
     }
 
     #[test]
@@ -188,10 +204,29 @@ mod tests {
             }
         });
         assert_eq!(cache.len(), 1);
-        let (hits, misses) = cache.stats();
+        let PlanCacheStats { hits, misses } = cache.stats();
         // Every lookup is accounted exactly once, however the races fall.
         assert_eq!(hits + misses, 200);
         assert!(misses >= 1);
+    }
+
+    #[test]
+    fn registered_counters_mirror_stats() {
+        let df = tiny();
+        let cache = PlanCache::new(IndexProj::new(&df));
+        let registry = prov_obs::Registry::new();
+        cache.register_metrics(&registry);
+        let q = LineageQuery::focused(
+            PortRef::new("wf", "out"),
+            Index::single(0),
+            [ProcessorName::from("wf")],
+        );
+        cache.plan(&q).unwrap();
+        cache.plan(&q).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("plan_cache.hits"), cache.stats().hits);
+        assert_eq!(snap.counter("plan_cache.misses"), cache.stats().misses);
+        assert_eq!(snap.counter("plan_cache.hits"), 1);
     }
 
     #[test]

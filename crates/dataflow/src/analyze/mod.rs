@@ -28,7 +28,7 @@
 mod lints;
 mod render;
 
-pub use render::{render_json, render_text};
+pub use render::{json_records, render_json, render_text, DiagnosticJson};
 
 use std::fmt;
 

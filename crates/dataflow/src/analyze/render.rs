@@ -40,21 +40,28 @@ pub fn render_text(diagnostics: &[Diagnostic]) -> String {
     out
 }
 
-/// Flat, serialization-friendly form of one diagnostic.
-#[derive(Serialize)]
-struct DiagnosticJson {
-    code: String,
-    severity: String,
-    scope: String,
-    location: String,
-    message: String,
-    help: Option<String>,
+/// Flat, serialization-friendly form of one diagnostic — what the CLI's
+/// `--format json` emits, one record per diagnostic.
+#[derive(Debug, Clone, Serialize)]
+pub struct DiagnosticJson {
+    /// Stable diagnostic code (`E001`, `W003`, …).
+    pub code: String,
+    /// Severity label: `error`, `warning` or `note`.
+    pub severity: String,
+    /// The (possibly nested) workflow scope the finding is in.
+    pub scope: String,
+    /// The node (processor, port or arc) the finding points at.
+    pub location: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Optional remediation hint.
+    pub help: Option<String>,
 }
 
-/// Renders diagnostics as a JSON array of
-/// `{code, severity, scope, location, message, help}` records.
-pub fn render_json(diagnostics: &[Diagnostic]) -> String {
-    let records: Vec<DiagnosticJson> = diagnostics
+/// Diagnostics as flat serializable records, for callers that own the JSON
+/// encoding (e.g. the CLI's shared `--format json` renderer).
+pub fn json_records(diagnostics: &[Diagnostic]) -> Vec<DiagnosticJson> {
+    diagnostics
         .iter()
         .map(|d| DiagnosticJson {
             code: d.code.as_str().to_string(),
@@ -64,8 +71,13 @@ pub fn render_json(diagnostics: &[Diagnostic]) -> String {
             message: d.message.clone(),
             help: d.help.clone(),
         })
-        .collect();
-    serde_json::to_string_pretty(&records).unwrap_or_else(|_| "[]".to_string())
+        .collect()
+}
+
+/// Renders diagnostics as a JSON array of
+/// `{code, severity, scope, location, message, help}` records.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    serde_json::to_string_pretty(&json_records(diagnostics)).unwrap_or_else(|_| "[]".to_string())
 }
 
 #[cfg(test)]

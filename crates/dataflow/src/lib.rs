@@ -33,8 +33,8 @@ mod validate;
 mod views;
 
 pub use analyze::{
-    analyze, analyze_with, error_count, render_json, render_text, AnalyzeConfig, DiagCode,
-    Diagnostic, Location, NodeRef, Severity,
+    analyze, analyze_with, error_count, json_records, render_json, render_text, AnalyzeConfig,
+    DiagCode, Diagnostic, DiagnosticJson, Location, NodeRef, Severity,
 };
 pub use builder::{DataflowBuilder, ProcessorBuilder};
 pub use depths::{DepthInfo, PortDepths, ProjectionLayout};

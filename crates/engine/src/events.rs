@@ -220,7 +220,8 @@ impl TraceSink for VecSink {
 pub struct ReportingSink<'a> {
     inner: &'a dyn TraceSink,
     invocations: Mutex<std::collections::BTreeMap<ProcessorName, u64>>,
-    xfer_elements: Mutex<u64>,
+    xform_events: prov_obs::Counter,
+    xfer_elements: prov_obs::Counter,
 }
 
 /// Per-run execution summary assembled by [`ReportingSink`].
@@ -249,8 +250,16 @@ impl<'a> ReportingSink<'a> {
         ReportingSink {
             inner,
             invocations: Mutex::new(Default::default()),
-            xfer_elements: Mutex::new(0),
+            xform_events: prov_obs::Counter::standalone(),
+            xfer_elements: prov_obs::Counter::standalone(),
         }
+    }
+
+    /// Exposes this sink's tallies in `registry` as `engine.sink.xforms`
+    /// and `engine.sink.xfer_elements` (shared storage, not copies).
+    pub fn register_metrics(&self, registry: &prov_obs::Registry) {
+        registry.adopt_counter("engine.sink.xforms", &self.xform_events);
+        registry.adopt_counter("engine.sink.xfer_elements", &self.xfer_elements);
     }
 
     /// The accumulated report (across all runs recorded through this
@@ -258,7 +267,7 @@ impl<'a> ReportingSink<'a> {
     pub fn report(&self) -> RunReport {
         RunReport {
             invocations: self.invocations.lock().iter().map(|(p, n)| (p.clone(), *n)).collect(),
-            xfer_elements: *self.xfer_elements.lock(),
+            xfer_elements: self.xfer_elements.get(),
         }
     }
 }
@@ -269,10 +278,11 @@ impl TraceSink for ReportingSink<'_> {
     }
     fn record_xform(&self, run: RunId, event: XformEvent) {
         *self.invocations.lock().entry(event.processor.clone()).or_insert(0) += 1;
+        self.xform_events.inc();
         self.inner.record_xform(run, event);
     }
     fn record_xfer(&self, run: RunId, event: XferEvent) {
-        *self.xfer_elements.lock() += 1;
+        self.xfer_elements.inc();
         self.inner.record_xfer(run, event);
     }
     fn record_batch(&self, run: RunId, events: Vec<TraceEvent>) {
@@ -280,13 +290,13 @@ impl TraceSink for ReportingSink<'_> {
         // keeps its single-lock ingest.
         {
             let mut invocations = self.invocations.lock();
-            let mut xfers = self.xfer_elements.lock();
             for event in &events {
                 match event {
                     TraceEvent::Xform(e) => {
                         *invocations.entry(e.processor.clone()).or_insert(0) += 1;
+                        self.xform_events.inc();
                     }
-                    TraceEvent::Xfer(_) => *xfers += 1,
+                    TraceEvent::Xfer(_) => self.xfer_elements.inc(),
                 }
             }
         }

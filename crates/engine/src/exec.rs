@@ -15,18 +15,52 @@ use prov_dataflow::{
     ArcSrc, Dataflow, DepthInfo, IterationStrategy, ProcessorKind, ProjectionLayout,
 };
 use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
+use prov_obs::{Counter, Histogram, Obs, SpanGuard};
 
 use crate::behavior::BehaviorRegistry;
 use crate::events::{PortBinding, TraceEvent, TraceGranularity, TraceSink, XferEvent, XformEvent};
 use crate::iteration::{assemble_nested, iteration_tuples};
 use crate::{EngineError, Result};
 
+/// The engine's own counters, behind `engine.*` names in the registry the
+/// engine was built with ([`Engine::with_obs`]). Disabled-obs engines hold
+/// no-op handles, so the default construction costs nothing at runtime.
+#[derive(Debug, Clone)]
+struct EngineMetrics {
+    /// Processor firings (one per `process_one`, including nested scopes).
+    firings: Counter,
+    /// Elementary invocations (iteration tuples evaluated).
+    invocations: Counter,
+    /// Event batches handed to the sink.
+    batches: Counter,
+    /// Events per non-empty batch.
+    batch_size: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(obs: &Obs) -> Self {
+        EngineMetrics {
+            firings: obs.metrics.counter("engine.firings"),
+            invocations: obs.metrics.counter("engine.invocations"),
+            batches: obs.metrics.counter("engine.batches"),
+            batch_size: obs.metrics.histogram("engine.batch_size"),
+        }
+    }
+}
+
 /// Hands accumulated events to the sink as one batch. Batches are flushed
 /// at processor boundaries and before recursing into a nested scope, so the
 /// per-event order a sink observes is identical to event-at-a-time
 /// recording — batching only changes how many events arrive per call.
-fn flush_batch(sink: &dyn TraceSink, run_id: RunId, batch: &mut Vec<TraceEvent>) {
+fn flush_batch(
+    sink: &dyn TraceSink,
+    run_id: RunId,
+    batch: &mut Vec<TraceEvent>,
+    metrics: &EngineMetrics,
+) {
     if !batch.is_empty() {
+        metrics.batches.inc();
+        metrics.batch_size.record(batch.len() as u64);
         sink.record_batch(run_id, std::mem::take(batch));
     }
 }
@@ -55,6 +89,8 @@ pub struct Engine {
     granularity: TraceGranularity,
     mode: ExecutionMode,
     preflight: bool,
+    obs: Obs,
+    metrics: EngineMetrics,
 }
 
 /// The result of one run: its trace id and the workflow's output values.
@@ -77,12 +113,26 @@ impl Engine {
     /// An engine over the given behaviours, recording fine-grained traces
     /// with sequential scheduling.
     pub fn new(registry: BehaviorRegistry) -> Self {
+        let obs = Obs::disabled();
+        let metrics = EngineMetrics::new(&obs);
         Engine {
             registry,
             granularity: TraceGranularity::Fine,
             mode: ExecutionMode::Sequential,
             preflight: true,
+            obs,
+            metrics,
         }
+    }
+
+    /// Attaches observability: counters under `engine.*` in the registry
+    /// and per-processor firing spans on the profiler. The default is
+    /// [`Obs::disabled`], which keeps every instrumented operation a
+    /// single branch.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.metrics = EngineMetrics::new(&obs);
+        self.obs = obs;
+        self
     }
 
     /// Selects the xfer recording granularity (ablation #4 in DESIGN.md).
@@ -256,7 +306,7 @@ impl Engine {
             );
             outputs.push((port.name.clone(), v));
         }
-        flush_batch(sink, run_id, &mut batch);
+        flush_batch(sink, run_id, &mut batch, &self.metrics);
         Ok(outputs)
     }
 
@@ -281,6 +331,13 @@ impl Engine {
         {
             let p = df.processor_required(pname)?;
             let qualified = qualify(prefix, pname.as_str());
+            self.metrics.firings.inc();
+            // Dynamic span name: only pay the `format!` when profiling.
+            let mut span = if self.obs.profiler.is_enabled() {
+                self.obs.profiler.span(format!("engine.process {}", qualified.as_str()), "engine")
+            } else {
+                SpanGuard::inert()
+            };
 
             // Events of this processor accumulate here and reach the sink
             // in batches: the gathered input transfers plus the xform
@@ -330,7 +387,14 @@ impl Engine {
             let layout = depths.layout_of(pname).ok_or_else(|| {
                 EngineError::Spec(prov_dataflow::DataflowError::UnknownProcessor(pname.to_string()))
             })?;
-            let tuples = iteration_tuples(pname.as_str(), &values, &mismatches, p.iteration)?;
+            let tuples = {
+                let mut iter_span = self.obs.span("engine.iterate", "engine");
+                let tuples = iteration_tuples(pname.as_str(), &values, &mismatches, p.iteration)?;
+                iter_span.arg("tuples", tuples.len() as u64);
+                tuples
+            };
+            self.metrics.invocations.add(tuples.len() as u64);
+            span.arg("invocations", tuples.len() as u64);
 
             // Invoke once per tuple, recording one xform event each (task
             // processors only: a nested dataflow's computation is fully
@@ -356,7 +420,7 @@ impl Engine {
                         record_event = false;
                         // The nested scope's events must follow everything
                         // recorded so far — flush before recursing.
-                        flush_batch(sink, run_id, &mut batch);
+                        flush_batch(sink, run_id, &mut batch, &self.metrics);
                         let inner_inputs: HashMap<Arc<str>, Value> = dataflow
                             .inputs
                             .iter()
@@ -430,7 +494,8 @@ impl Engine {
                     slot.push((tuple.output_index.clone(), value));
                 }
             }
-            flush_batch(sink, run_id, &mut batch);
+            flush_batch(sink, run_id, &mut batch, &self.metrics);
+            span.stop();
 
             // Assemble each output port's full value from the invocations.
             Ok(p.outputs
@@ -1058,6 +1123,87 @@ mod tests {
         assert_eq!(levels.len(), 2);
         assert_eq!(levels[0].len(), 2); // A and B together
         assert_eq!(levels[1], vec![ProcessorName::from("C")]);
+    }
+
+    #[test]
+    fn observed_run_records_firing_spans_and_engine_counters() {
+        let obs = Obs::enabled();
+        let sink = VecSink::new();
+        let run = Engine::new(registry())
+            .with_obs(obs.clone())
+            .execute(&simple_chain(), vec![("in".into(), Value::from(vec!["a", "b"]))], &sink)
+            .unwrap();
+        assert_eq!(run.output("out"), Some(&Value::from(vec!["a!", "b!"])));
+
+        let spans = obs.profiler.spans();
+        let firings: Vec<_> =
+            spans.iter().filter(|s| s.name.starts_with("engine.process ")).collect();
+        assert_eq!(firings.len(), 1);
+        assert_eq!(firings[0].name, "engine.process E");
+        assert_eq!(firings[0].cat, "engine");
+        assert_eq!(firings[0].args, vec![("invocations", 2)]);
+        assert_eq!(spans.iter().filter(|s| s.name == "engine.iterate").count(), 1);
+
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("engine.firings"), 1);
+        assert_eq!(snap.counter("engine.invocations"), 2);
+        // 1 input-xfer batch per processor firing + 1 output batch; batch
+        // sizes cover all 6 events (2 in-xfers, 2 xforms, 2 out-xfers).
+        assert!(snap.counter("engine.batches") >= 2);
+        assert_eq!(snap.histograms.get("engine.batch_size").map(|h| h.sum), Some(6));
+    }
+
+    #[test]
+    fn disabled_obs_engine_behaves_identically() {
+        let sink_a = VecSink::new();
+        let sink_b = VecSink::new();
+        let inputs = vec![("in".to_string(), Value::from(vec!["a", "b"]))];
+        let plain = Engine::new(registry()).execute(&simple_chain(), inputs.clone(), &sink_a);
+        let observed = Engine::new(registry()).with_obs(Obs::disabled()).execute(
+            &simple_chain(),
+            inputs,
+            &sink_b,
+        );
+        assert_eq!(plain.unwrap().outputs, observed.unwrap().outputs);
+        assert_eq!(sink_a.xforms_of(RunId(0)).len(), sink_b.xforms_of(RunId(0)).len());
+    }
+
+    #[test]
+    fn parallel_mode_aggregates_spans_across_threads() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        for n in ["A", "B", "C"] {
+            b.processor_with_behavior(n, "excl")
+                .in_port("x", PortType::atom(BaseType::String))
+                .out_port("y", PortType::atom(BaseType::String));
+            b.arc_from_input("in", n, "x").unwrap();
+        }
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("A", "y", "out").unwrap();
+        let df = b.build().unwrap();
+
+        let obs = Obs::enabled();
+        let sink = VecSink::new();
+        Engine::new(registry())
+            .with_obs(obs.clone())
+            .with_mode(ExecutionMode::Parallel)
+            .execute(&df, vec![("in".into(), Value::from(vec!["u", "v"]))], &sink)
+            .unwrap();
+        let spans = obs.profiler.spans();
+        let firing_names: std::collections::BTreeSet<String> = spans
+            .iter()
+            .filter(|s| s.name.starts_with("engine.process "))
+            .map(|s| s.name.to_string())
+            .collect();
+        assert_eq!(
+            firing_names,
+            ["engine.process A", "engine.process B", "engine.process C"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        );
+        assert_eq!(obs.metrics.snapshot().counter("engine.firings"), 3);
+        assert_eq!(obs.metrics.snapshot().counter("engine.invocations"), 6);
     }
 
     #[test]

@@ -1,0 +1,545 @@
+//! Lock-light metrics: counters, gauges, and log-scale histograms behind
+//! a named registry.
+//!
+//! The design goal is that *instrumented* code never pays for
+//! observability it did not ask for:
+//!
+//! * every handle ([`Counter`], [`Gauge`], [`Histogram`]) is an
+//!   `Option<Arc<…>>`; a disabled handle is `None` and every operation on
+//!   it is a single branch — no allocation, no clock read, no lock;
+//! * enabled counters are plain relaxed atomics, exactly the cost of the
+//!   hand-rolled `AtomicU64`s they replace;
+//! * the registry's interior lock is touched only at registration and
+//!   snapshot time, never on the increment path.
+//!
+//! Existing component-owned counters are unified via [`Registry::adopt_counter`]:
+//! the registry clones the *same* `Arc<AtomicU64>` under a stable dotted
+//! name, so there is one storage location and zero double counting.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+/// Number of log2 buckets in a [`Histogram`]: bucket `i` holds values
+/// whose bit length is `i` (bucket 0 holds only zero), i.e. value `v`
+/// lands in bucket `64 - v.leading_zeros()`, clamped to the last bucket.
+const BUCKETS: usize = 40;
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, used for quantile estimates.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i).saturating_sub(1)
+    }
+}
+
+/// A monotonically increasing event counter.
+///
+/// Cloning shares the underlying cell; a clone handed to another thread
+/// or adopted by a [`Registry`] observes the same value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// An always-recording counter not (yet) attached to any registry.
+    pub fn standalone() -> Self {
+        Counter { cell: Some(Arc::new(AtomicU64::new(0))) }
+    }
+
+    /// A no-op counter: every operation is a single `None` branch.
+    pub fn disabled() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.cell {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Overwrites the value; used by `reset()`-style maintenance APIs.
+    pub fn set(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    fn arc(&self) -> Option<&Arc<AtomicU64>> {
+        self.cell.as_ref()
+    }
+}
+
+/// A point-in-time value (set, not accumulated).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// An always-recording gauge not attached to any registry.
+    pub fn standalone() -> Self {
+        Gauge { cell: Some(Arc::new(AtomicU64::new(0))) }
+    }
+
+    /// A no-op gauge.
+    pub fn disabled() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (q * count as f64).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+        }
+    }
+}
+
+/// A fixed log2-bucket latency/size histogram.
+///
+/// Buckets are powers of two, so recording is branch-free arithmetic on
+/// relaxed atomics; quantiles reported by [`HistogramSnapshot`] are the
+/// upper bound of the bucket containing the rank (≤ 2× overestimate).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// An always-recording histogram not attached to any registry.
+    pub fn standalone() -> Self {
+        Histogram { cell: Some(Arc::new(HistogramCell::new())) }
+    }
+
+    /// A no-op histogram.
+    pub fn disabled() -> Self {
+        Histogram { cell: None }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(c) = &self.cell {
+            c.record(v);
+        }
+    }
+
+    /// Number of recorded observations (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+}
+
+/// A named collection of metrics.
+///
+/// `Registry::new()` is enabled; [`Registry::disabled`] hands out no-op
+/// handles and snapshots empty, making instrumented code free when
+/// observability is off. Cloning shares the same underlying store.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry { inner: Some(Arc::new(RegistryInner::default())) }
+    }
+
+    /// A registry that records nothing and hands out no-op handles.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether metrics are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The counter registered under `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::disabled(),
+            Some(inner) => {
+                let mut map = inner.counters.lock().unwrap_or_else(|e| e.into_inner());
+                let arc = map.entry(name.to_string()).or_default();
+                Counter { cell: Some(Arc::clone(arc)) }
+            }
+        }
+    }
+
+    /// The gauge registered under `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::disabled(),
+            Some(inner) => {
+                let mut map = inner.gauges.lock().unwrap_or_else(|e| e.into_inner());
+                let arc = map.entry(name.to_string()).or_default();
+                Gauge { cell: Some(Arc::clone(arc)) }
+            }
+        }
+    }
+
+    /// The histogram registered under `name`, creating it if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            None => Histogram::disabled(),
+            Some(inner) => {
+                let mut map = inner.histograms.lock().unwrap_or_else(|e| e.into_inner());
+                let arc =
+                    map.entry(name.to_string()).or_insert_with(|| Arc::new(HistogramCell::new()));
+                Histogram { cell: Some(Arc::clone(arc)) }
+            }
+        }
+    }
+
+    /// Registers an existing component-owned counter under `name`.
+    ///
+    /// The registry clones the counter's own `Arc`, so subsequent
+    /// increments through either handle show up in snapshots — one
+    /// storage location, no double counting, no extra hot-path cost.
+    /// No-op when either side is disabled.
+    pub fn adopt_counter(&self, name: &str, counter: &Counter) {
+        if let (Some(inner), Some(arc)) = (&self.inner, counter.arc()) {
+            inner
+                .counters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(name.to_string(), Arc::clone(arc));
+        }
+    }
+
+    /// Registers an existing component-owned histogram under `name`.
+    /// Same sharing semantics as [`Registry::adopt_counter`].
+    pub fn adopt_histogram(&self, name: &str, histogram: &Histogram) {
+        if let (Some(inner), Some(arc)) = (&self.inner, histogram.cell.as_ref()) {
+            inner
+                .histograms
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(name.to_string(), Arc::clone(arc));
+        }
+    }
+
+    /// Sets the gauge `name` to `v` (registering it if absent).
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        self.gauge(name).set(v);
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot { counters, gauges, histograms }
+    }
+}
+
+/// Summary of one histogram at snapshot time. Quantiles are log2-bucket
+/// upper bounds, not exact order statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Exact maximum observed value.
+    pub max: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 95th-percentile estimate.
+    pub p95: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+}
+
+/// A point-in-time copy of a [`Registry`], ready for text or JSON output.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by dotted name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by dotted name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram summaries by dotted name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The counter `name`'s value, or 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-counter difference vs. an earlier snapshot (used for
+    /// per-query deltas against process-lifetime totals).
+    pub fn counters_since(&self, earlier: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.saturating_sub(earlier.counter(k))))
+            .collect()
+    }
+
+    /// Plain-text rendering, one metric per line, grouped by kind.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k:<width$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k:<width$}  {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (k, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {k:<width$}  count={} sum={} max={} p50={} p95={} p99={}\n",
+                    h.count, h.sum, h.max, h.p50, h.p95, h.p99
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics registered)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_no_ops() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let h = Histogram::disabled();
+        h.record(42);
+        assert_eq!(h.count(), 0);
+        let r = Registry::disabled();
+        r.counter("x").add(3);
+        r.set_gauge("g", 7);
+        r.histogram("h").record(1);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn registry_counters_accumulate_and_snapshot() {
+        let r = Registry::new();
+        let a = r.counter("a.events");
+        a.inc();
+        r.counter("a.events").add(2); // same cell via name
+        r.set_gauge("a.size", 9);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a.events"), 3);
+        assert_eq!(snap.gauges.get("a.size"), Some(&9));
+    }
+
+    #[test]
+    fn adopt_counter_shares_storage() {
+        let owned = Counter::standalone();
+        owned.add(2);
+        let r = Registry::new();
+        r.adopt_counter("comp.owned", &owned);
+        owned.add(3);
+        assert_eq!(r.snapshot().counter("comp.owned"), 5);
+        // And through the registry handle too.
+        r.counter("comp.owned").inc();
+        assert_eq!(owned.get(), 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::standalone();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        let r = Registry::new();
+        r.adopt_histogram("lat", &h);
+        let snap = r.snapshot();
+        let hs = snap.histograms["lat"];
+        assert_eq!(hs.count, 6);
+        assert_eq!(hs.sum, 1106);
+        assert_eq!(hs.max, 1000);
+        assert!(hs.p50 >= 2, "median bucket upper bound covers 2..3");
+        assert!(hs.p99 >= 1000 && hs.p99 < 2048);
+    }
+
+    #[test]
+    fn bucket_of_is_monotone_and_clamped() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let mut prev = 0;
+        for shift in 0..64 {
+            let b = bucket_of(1u64 << shift);
+            assert!(b >= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn text_rendering_lists_every_kind() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.set_gauge("g", 2);
+        r.histogram("h").record(3);
+        let text = r.snapshot().render_text();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("count=1"));
+    }
+
+    #[test]
+    fn counters_since_subtracts_earlier_snapshot() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        c.add(10);
+        let before = r.snapshot();
+        c.add(7);
+        let delta = r.snapshot().counters_since(&before);
+        assert_eq!(delta["n"], 7);
+    }
+}

@@ -45,7 +45,7 @@ pub use export::{GraphEdge, GraphNode, ProvenanceGraph};
 pub use rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
 pub use stats::QueryStats;
 pub use store::{RunInfo, StoreError, TraceStore};
-pub use wal::{LogRecord, WalError, WalReader, WalWriter};
+pub use wal::{LogRecord, WalError, WalMetrics, WalReader, WalWriter};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, StoreError>;

@@ -5,16 +5,29 @@
 //! here, so benches can report both (the paper's §4 analysis of `t1` vs
 //! `t2` is exactly an accounting of graph-traversal work vs trace access
 //! work).
+//!
+//! The counters are `prov-obs` [`Counter`]s in standalone mode — the same
+//! relaxed atomics as before, but adoptable by a metrics
+//! [`Registry`](prov_obs::Registry) under the stable names
+//! `store.index_lookups` / `store.records_read` / `store.rows_scanned`
+//! (see [`QueryStats::register`]): one storage location, no double
+//! counting, no extra hot-path cost.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use prov_obs::{Counter, Registry};
 
 /// Monotone counters of store access work. Cheap to share (`&QueryStats`),
 /// safe to bump from multiple threads.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QueryStats {
-    index_lookups: AtomicU64,
-    records_read: AtomicU64,
-    rows_scanned: AtomicU64,
+    index_lookups: Counter,
+    records_read: Counter,
+    rows_scanned: Counter,
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A point-in-time copy of the counters.
@@ -34,38 +47,51 @@ pub struct StatsSnapshot {
 impl QueryStats {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
-        Self::default()
+        QueryStats {
+            index_lookups: Counter::standalone(),
+            records_read: Counter::standalone(),
+            rows_scanned: Counter::standalone(),
+        }
     }
 
     /// Counts one index descent.
     pub fn count_index_lookup(&self) {
-        self.index_lookups.fetch_add(1, Ordering::Relaxed);
+        self.index_lookups.inc();
     }
 
     /// Counts `n` record reads.
     pub fn count_records(&self, n: usize) {
-        self.records_read.fetch_add(n as u64, Ordering::Relaxed);
+        self.records_read.add(n as u64);
     }
 
     /// Counts `n` heap rows examined by a table-order access path.
     pub fn count_rows_scanned(&self, n: usize) {
-        self.rows_scanned.fetch_add(n as u64, Ordering::Relaxed);
+        self.rows_scanned.add(n as u64);
     }
 
     /// Current counter values.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            index_lookups: self.index_lookups.load(Ordering::Relaxed),
-            records_read: self.records_read.load(Ordering::Relaxed),
-            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            index_lookups: self.index_lookups.get(),
+            records_read: self.records_read.get(),
+            rows_scanned: self.rows_scanned.get(),
         }
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.index_lookups.store(0, Ordering::Relaxed);
-        self.records_read.store(0, Ordering::Relaxed);
-        self.rows_scanned.store(0, Ordering::Relaxed);
+        self.index_lookups.set(0);
+        self.records_read.set(0);
+        self.rows_scanned.set(0);
+    }
+
+    /// Adopts the counters into `registry` under `store.*` names: the
+    /// registry shares the same atomics, so later increments show up in
+    /// snapshots without any extra bookkeeping on the query path.
+    pub fn register(&self, registry: &Registry) {
+        registry.adopt_counter("store.index_lookups", &self.index_lookups);
+        registry.adopt_counter("store.records_read", &self.records_read);
+        registry.adopt_counter("store.rows_scanned", &self.rows_scanned);
     }
 }
 
@@ -126,5 +152,19 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.index_lookups, 4000);
         assert_eq!(snap.records_read, 8000);
+    }
+
+    #[test]
+    fn registered_counters_share_storage_with_the_registry() {
+        let s = QueryStats::new();
+        let registry = Registry::new();
+        s.register(&registry);
+        s.count_index_lookup();
+        s.count_records(3);
+        s.count_rows_scanned(7);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store.index_lookups"), 1);
+        assert_eq!(snap.counter("store.records_read"), 3);
+        assert_eq!(snap.counter("store.rows_scanned"), 7);
     }
 }

@@ -25,7 +25,7 @@ use crate::rows::{
 use crate::stats::QueryStats;
 use crate::symbols::{IndexKey, Sym, SymbolTable};
 use crate::values::ValueTable;
-use crate::wal::{LogRecord, WalError, WalReader, WalWriter};
+use crate::wal::{LogRecord, WalError, WalMetrics, WalReader, WalWriter};
 
 /// Store-level errors.
 #[derive(Debug)]
@@ -136,6 +136,7 @@ pub struct TraceStore {
     wal: Mutex<Option<WalWriter>>,
     path: Option<PathBuf>,
     stats: QueryStats,
+    wal_metrics: WalMetrics,
 }
 
 impl std::fmt::Debug for TraceStore {
@@ -160,6 +161,7 @@ impl TraceStore {
             wal: Mutex::new(None),
             path: None,
             stats: QueryStats::new(),
+            wal_metrics: WalMetrics::new(),
         }
     }
 
@@ -174,6 +176,7 @@ impl TraceStore {
             wal: Mutex::new(None),
             path: Some(path.clone()),
             stats: QueryStats::new(),
+            wal_metrics: WalMetrics::new(),
         };
         {
             let mut inner = store.inner.write();
@@ -181,7 +184,9 @@ impl TraceStore {
                 inner.apply(record);
             }
         }
-        *store.wal.lock() = Some(WalWriter::open_truncated(&path, clean_len)?);
+        *store.wal.lock() = Some(
+            WalWriter::open_truncated(&path, clean_len)?.with_metrics(store.wal_metrics.clone()),
+        );
         Ok(store)
     }
 
@@ -194,7 +199,7 @@ impl TraceStore {
         {
             let inner = self.inner.read();
             let _ = std::fs::remove_file(&tmp);
-            let mut w = WalWriter::open(&tmp)?;
+            let mut w = WalWriter::open(&tmp)?.with_metrics(self.wal_metrics.clone());
             for (name, json) in &inner.workflows {
                 w.append(&LogRecord::Workflow { name: name.clone(), json: json.clone() })?;
             }
@@ -213,7 +218,7 @@ impl TraceStore {
             w.sync()?;
         }
         std::fs::rename(&tmp, path).map_err(WalError::from)?;
-        *self.wal.lock() = Some(WalWriter::open(path)?);
+        *self.wal.lock() = Some(WalWriter::open(path)?.with_metrics(self.wal_metrics.clone()));
         Ok(())
     }
 
@@ -242,6 +247,43 @@ impl TraceStore {
     /// Access statistics (shared counters, never reset by the store).
     pub fn stats(&self) -> &QueryStats {
         &self.stats
+    }
+
+    /// WAL throughput and fsync-latency metrics (zero for in-memory
+    /// stores; shared across writer re-creations).
+    pub fn wal_metrics(&self) -> &WalMetrics {
+        &self.wal_metrics
+    }
+
+    /// Adopts this store's counters into `registry` under stable dotted
+    /// names (`store.*`, `wal.*`). The registry shares the same atomics,
+    /// so registration costs nothing on the hot path. Also records the
+    /// current table sizes as `store.*` gauges (refresh with
+    /// [`TraceStore::record_gauges`]).
+    pub fn register_metrics(&self, registry: &prov_obs::Registry) {
+        self.stats.register(registry);
+        self.wal_metrics.register(registry);
+        self.record_gauges(registry);
+    }
+
+    /// Sets point-in-time size gauges (`store.runs`, `store.xform_rows`,
+    /// `store.xfer_rows`, `store.values`, `store.symbols`,
+    /// `store.index_keys`) from current table state.
+    pub fn record_gauges(&self, registry: &prov_obs::Registry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        let (runs, xforms, xfers) = {
+            let inner = self.inner.read();
+            (inner.runs.len(), inner.xforms.len(), inner.xfers.len())
+        };
+        registry.set_gauge("store.runs", runs as u64);
+        registry.set_gauge("store.xform_rows", xforms as u64);
+        registry.set_gauge("store.xfer_rows", xfers as u64);
+        registry.set_gauge("store.values", self.value_count() as u64);
+        registry.set_gauge("store.symbols", self.symbol_count() as u64);
+        let (a, b, c, d) = self.index_key_counts();
+        registry.set_gauge("store.index_keys", (a + b + c + d) as u64);
     }
 
     /// All stored runs, in id order.

@@ -27,6 +27,58 @@ use serde::{Deserialize, Serialize};
 
 use prov_engine::{TraceEvent, XferEvent, XformEvent};
 use prov_model::{ProcessorName, RunId};
+use prov_obs::{Counter, Histogram, Registry};
+
+/// Shared WAL throughput and durability-latency metrics.
+///
+/// One instance lives in the owning store and is cloned (`Arc`-shared)
+/// into every [`WalWriter`] the store creates — writers are recreated at
+/// open and checkpoint time, but the metrics survive. Counters are
+/// always-on standalone atomics (negligible next to a buffered write,
+/// let alone an fsync); [`WalMetrics::register`] adopts them into a
+/// metrics registry under stable `wal.*` names.
+#[derive(Debug, Clone)]
+pub struct WalMetrics {
+    /// Frames appended (one per record or group-committed batch).
+    pub frames: Counter,
+    /// Bytes appended, including the 8-byte frame header.
+    pub bytes_written: Counter,
+    /// Batch frames appended (group commits).
+    pub group_commits: Counter,
+    /// Number of [`WalWriter::sync`] calls.
+    pub syncs: Counter,
+    /// fsync latency in microseconds.
+    pub sync_micros: Histogram,
+}
+
+impl Default for WalMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WalMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        WalMetrics {
+            frames: Counter::standalone(),
+            bytes_written: Counter::standalone(),
+            group_commits: Counter::standalone(),
+            syncs: Counter::standalone(),
+            sync_micros: Histogram::standalone(),
+        }
+    }
+
+    /// Adopts the metrics into `registry` under `wal.*` names (shared
+    /// storage; see [`prov_obs::Registry::adopt_counter`]).
+    pub fn register(&self, registry: &Registry) {
+        registry.adopt_counter("wal.frames", &self.frames);
+        registry.adopt_counter("wal.bytes_written", &self.bytes_written);
+        registry.adopt_counter("wal.group_commits", &self.group_commits);
+        registry.adopt_counter("wal.syncs", &self.syncs);
+        registry.adopt_histogram("wal.sync_micros", &self.sync_micros);
+    }
+}
 
 /// One durable event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,13 +172,14 @@ impl From<std::io::Error> for WalError {
 #[derive(Debug)]
 pub struct WalWriter {
     out: BufWriter<File>,
+    metrics: WalMetrics,
 }
 
 impl WalWriter {
     /// Opens (creating if needed) the log for appending.
     pub fn open(path: &Path) -> Result<Self, WalError> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(WalWriter { out: BufWriter::new(file) })
+        Ok(WalWriter { out: BufWriter::new(file), metrics: WalMetrics::new() })
     }
 
     /// Opens the log for appending after truncating it to `len` bytes —
@@ -139,7 +192,14 @@ impl WalWriter {
         file.set_len(len)?;
         let mut file = OpenOptions::new().append(true).open(path)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(WalWriter { out: BufWriter::new(file) })
+        Ok(WalWriter { out: BufWriter::new(file), metrics: WalMetrics::new() })
+    }
+
+    /// Replaces this writer's metrics with a shared instance, so totals
+    /// survive writer re-creation (recovery truncation, checkpointing).
+    pub fn with_metrics(mut self, metrics: WalMetrics) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     /// Appends one record (buffered; call [`WalWriter::sync`] to flush).
@@ -156,6 +216,7 @@ impl WalWriter {
     /// events are borrowed; nothing is cloned to build the frame.
     pub fn append_batch(&mut self, run: RunId, events: &[TraceEvent]) -> Result<(), WalError> {
         let payload = crate::encode::encode_batch(run, events);
+        self.metrics.group_commits.inc();
         self.append_payload(&payload)
     }
 
@@ -165,13 +226,18 @@ impl WalWriter {
         frame.put_u32_le(crate::crc32(payload));
         frame.put_slice(payload);
         self.out.write_all(&frame)?;
+        self.metrics.frames.inc();
+        self.metrics.bytes_written.add(frame.len() as u64);
         Ok(())
     }
 
     /// Flushes buffered frames to the OS and fsyncs the file.
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.out.flush()?;
+        let start = std::time::Instant::now();
         self.out.get_ref().sync_data()?;
+        self.metrics.syncs.inc();
+        self.metrics.sync_micros.record(start.elapsed().as_micros() as u64);
         Ok(())
     }
 }
@@ -313,6 +379,29 @@ mod tests {
         assert_eq!(records.len(), 2);
         assert_eq!(records[0], records[1]);
         assert_eq!(records[0], LogRecord::Batch { run: RunId(3), events });
+    }
+
+    #[test]
+    fn metrics_count_frames_bytes_and_syncs() {
+        let path = tmp("metrics");
+        let metrics = WalMetrics::new();
+        let mut w = WalWriter::open(&path).unwrap().with_metrics(metrics.clone());
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.append_batch(RunId(1), &[]).unwrap();
+        w.sync().unwrap();
+        assert_eq!(metrics.frames.get(), 4);
+        assert_eq!(metrics.group_commits.get(), 1);
+        assert_eq!(metrics.syncs.get(), 1);
+        assert_eq!(metrics.sync_micros.count(), 1);
+        assert_eq!(metrics.bytes_written.get(), std::fs::metadata(&path).unwrap().len());
+        // A registry adopting the metrics sees the same totals.
+        let registry = Registry::new();
+        metrics.register(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("wal.frames"), 4);
+        assert_eq!(snap.histograms["wal.sync_micros"].count, 1);
     }
 
     #[test]

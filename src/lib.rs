@@ -63,6 +63,7 @@ pub use prov_core as lineage;
 pub use prov_dataflow as dataflow;
 pub use prov_engine as engine;
 pub use prov_model as model;
+pub use prov_obs as obs;
 pub use prov_store as store;
 pub use prov_workgen as workgen;
 
@@ -70,10 +71,11 @@ pub use prov_workgen as workgen;
 pub mod prelude {
     pub use prov_core::{
         ImpactQuery, IndexProj, LineageAnswer, LineagePlan, LineageQuery, NaiveImpact,
-        NaiveLineage, PlanCache,
+        NaiveLineage, PlanCache, PlanCacheStats,
     };
     pub use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
     pub use prov_engine::{Behavior, BehaviorRegistry, Engine, ExecutionMode, RunOutcome};
     pub use prov_model::{Atom, Binding, Index, PortRef, ProcessorName, RunId, Value, ValueId};
+    pub use prov_obs::{Obs, Profiler, Registry};
     pub use prov_store::TraceStore;
 }

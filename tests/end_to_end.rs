@@ -80,7 +80,7 @@ fn plan_cache_serves_repeated_queries_across_runs() {
     }
     // Ask again: the plan is reused.
     cache.run_multi(&store, &runs, &q).unwrap();
-    let (hits, misses) = cache.stats();
+    let PlanCacheStats { hits, misses } = cache.stats();
     assert_eq!((hits, misses), (1, 1));
 }
 

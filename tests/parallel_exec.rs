@@ -1,7 +1,13 @@
 //! Parallel execution end-to-end: the trace recorded under the parallel
 //! scheduler must answer lineage queries identically to the sequential
 //! one (schedule independence of provenance, §2.1's pure dataflow model).
+//! Plus: observability is fan-out-invariant — metrics and span totals
+//! aggregated across `par.rs` scoped-thread fan-out equal the sequential
+//! totals.
 
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
 use prov_engine::ExecutionMode;
 use prov_workgen::testbed;
 use taverna_prov::prelude::*;
@@ -78,4 +84,91 @@ fn parallel_mode_handles_nested_workflows() {
     assert!(ni.same_bindings(&ip));
     assert_eq!(ni.bindings.len(), 1);
     assert_eq!(ni.bindings[0].value, Value::str("c"));
+}
+
+/// Per-span-name `(count, Σ rows-arg)` totals of a profiler — the
+/// fan-out-invariant view of a recorded timeline (start order and thread
+/// assignment legitimately differ across schedules).
+fn span_totals(profiler: &Profiler) -> BTreeMap<String, (u64, u64)> {
+    let mut totals: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    for s in profiler.spans() {
+        let rows: u64 = s.args.iter().filter(|(k, _)| *k == "rows").map(|(_, v)| *v).sum();
+        let e = totals.entry(s.name.to_string()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += rows;
+    }
+    totals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Multi-run fan-out (≥ 4 runs crosses `RUN_FANOUT_MIN`): executing a
+    /// shared plan run-by-run under one profiler and fanned-out under
+    /// another yields identical answers, identical store-counter deltas,
+    /// and identical per-span-name totals — observability does not leak
+    /// or lose work across scoped threads.
+    #[test]
+    fn fanned_multi_run_observability_matches_sequential(
+        l in 1usize..6, d in 2usize..5, n in 4usize..8,
+    ) {
+        let df = testbed::generate(l);
+        let store = TraceStore::in_memory();
+        let runs: Vec<RunId> = (0..n).map(|_| testbed::run(&df, d, &store).run_id).collect();
+        let query = testbed::focused_query(&[0, d as u32 - 1]);
+        let plan = IndexProj::new(&df).plan(&query).unwrap();
+
+        let seq_obs = Obs::enabled();
+        let before = store.stats().snapshot();
+        let seq_answers: Vec<_> = runs
+            .iter()
+            .map(|&r| plan.execute_with(&store, r, &seq_obs).unwrap())
+            .collect();
+        let seq_work = store.stats().snapshot().since(before);
+
+        let par_obs = Obs::enabled();
+        let before = store.stats().snapshot();
+        let par_answers = plan.execute_multi_with(&store, &runs, &par_obs).unwrap();
+        let par_work = store.stats().snapshot().since(before);
+
+        prop_assert_eq!(seq_answers.len(), par_answers.len());
+        for (a, b) in seq_answers.iter().zip(&par_answers) {
+            prop_assert!(a.same_bindings(b));
+        }
+        prop_assert_eq!(seq_work, par_work);
+        prop_assert_eq!(span_totals(&seq_obs.profiler), span_totals(&par_obs.profiler));
+
+        // NI's traversal spans are fan-out-invariant the same way.
+        let seq_ni = Obs::enabled();
+        for &r in &runs {
+            NaiveLineage::new().run_with(&store, r, &query, &seq_ni).unwrap();
+        }
+        let par_ni = Obs::enabled();
+        NaiveLineage::new().run_multi_with(&store, &runs, &query, &par_ni).unwrap();
+        prop_assert_eq!(span_totals(&seq_ni.profiler), span_totals(&par_ni.profiler));
+    }
+
+    /// Step fan-out (an unfocused plan has ≥ 2l steps, crossing
+    /// `STEP_FANOUT_MIN` at l ≥ 8): one `indexproj.step` span is recorded
+    /// per plan step and their `rows` arguments account for every
+    /// returned binding exactly once.
+    #[test]
+    fn fanned_plan_steps_account_all_rows(l in 8usize..12, d in 2usize..4) {
+        let df = testbed::generate(l);
+        let store = TraceStore::in_memory();
+        let run = testbed::run(&df, d, &store).run_id;
+        let query = testbed::unfocused_query(&df, &[0, d as u32 - 1]);
+
+        let obs = Obs::enabled();
+        let plan = IndexProj::new(&df).plan_with(&query, &obs).unwrap();
+        prop_assert!(plan.steps.len() >= 16, "plan too small to fan out: {}", plan.steps.len());
+        let answer = plan.execute_with(&store, run, &obs).unwrap();
+
+        let totals = span_totals(&obs.profiler);
+        let (step_count, step_rows) = totals["indexproj.step"];
+        prop_assert_eq!(step_count, plan.steps.len() as u64);
+        prop_assert_eq!(step_rows, answer.bindings.len() as u64);
+        prop_assert_eq!(totals["indexproj.plan"].0, 1);
+        prop_assert_eq!(totals["indexproj.assemble"].0, 1);
+    }
 }

@@ -105,7 +105,7 @@ fn plan_cache_absorbs_repeated_fig4_queries() {
         let again = cache.run(&store, run, &q).unwrap();
         assert!(again.same_bindings(&first));
     }
-    let (hits, misses) = cache.stats();
+    let PlanCacheStats { hits, misses } = cache.stats();
     assert_eq!((hits, misses), (9, 1));
     assert_eq!(cache.len(), 1);
 }
