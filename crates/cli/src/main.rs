@@ -6,6 +6,7 @@
 //! tprov gk       --db t.wal [--lists 3] [--genes 2] [--seed 7] [--runs 1]
 //! tprov pd       --db t.wal [--terms p53,tumor] [--pad 20]
 //! tprov run      --db t.wal --workflow wf.json --input name=<json> …
+//!                [--max-attempts N] [--fail-fast] [--json]
 //! tprov runs     --db t.wal
 //! tprov lineage  --db t.wal --workflow wf.json --target P:Y
 //!                [--index 1,2] [--focus A,B] [--run 0 | --all-runs]
@@ -18,14 +19,16 @@
 //! Workflows executed through `tprov` have their specification saved next
 //! to the database (`<db>.<workflow>.json`), so later `lineage` calls can
 //! use INDEXPROJ against the right graph. `run` executes any workflow
-//! JSON whose behaviours are all in the builtin registry.
+//! JSON whose behaviours are all in the builtin registry; it exits 0 when
+//! the run completed and 3 when it finished with error tokens (partial
+//! failure), so scripts can tell the two apart from plain usage errors.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use prov_core::{ImpactQuery, IndexProj, LineageQuery, NaiveImpact, NaiveLineage};
 use prov_dataflow::{to_dot, to_dot_with_diagnostics, AnalyzeConfig, Dataflow};
-use prov_engine::{BehaviorRegistry, Engine};
+use prov_engine::{BehaviorRegistry, Engine, FailedInvocation, RetryPolicy};
 use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
 use prov_obs::{Obs, Registry};
 use prov_store::TraceStore;
@@ -38,7 +41,7 @@ use args::Args;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("tprov: {e}");
             ExitCode::FAILURE
@@ -46,10 +49,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(argv: Vec<String>) -> Result<(), String> {
+fn run(argv: Vec<String>) -> Result<ExitCode, String> {
     let Some((cmd, rest)) = argv.split_first() else {
         print_usage();
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     };
     // `profile` accepts its query as the first positional token
     // (`tprov profile 'lin(...)' --db t.wal`); normalise before parsing.
@@ -62,26 +65,29 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         }
     }
     let args = Args::parse(&rest)?;
+    // Only `run` distinguishes exit codes beyond success/failure (0
+    // completed, 3 partial failure); everything else maps Ok to 0.
+    let done = |r: Result<(), String>| r.map(|()| ExitCode::SUCCESS);
     match cmd.as_str() {
-        "testbed" => cmd_testbed(&args),
-        "gk" => cmd_gk(&args),
-        "pd" => cmd_pd(&args),
+        "testbed" => done(cmd_testbed(&args)),
+        "gk" => done(cmd_gk(&args)),
+        "pd" => done(cmd_pd(&args)),
         "run" => cmd_run(&args),
-        "runs" => cmd_runs(&args),
-        "lineage" => cmd_lineage(&args),
-        "impact" => cmd_impact(&args),
-        "query" => cmd_query(&args),
-        "audit" => cmd_audit(&args),
-        "trace-dot" => cmd_trace_dot(&args),
-        "diff" => cmd_diff(&args),
-        "find-value" => cmd_find_value(&args),
-        "metrics" => cmd_metrics(&args),
-        "profile" => cmd_profile(&args),
-        "lint" => cmd_lint(&args),
-        "dot" => cmd_dot(&args),
+        "runs" => done(cmd_runs(&args)),
+        "lineage" => done(cmd_lineage(&args)),
+        "impact" => done(cmd_impact(&args)),
+        "query" => done(cmd_query(&args)),
+        "audit" => done(cmd_audit(&args)),
+        "trace-dot" => done(cmd_trace_dot(&args)),
+        "diff" => done(cmd_diff(&args)),
+        "find-value" => done(cmd_find_value(&args)),
+        "metrics" => done(cmd_metrics(&args)),
+        "profile" => done(cmd_profile(&args)),
+        "lint" => done(cmd_lint(&args)),
+        "dot" => done(cmd_dot(&args)),
         "help" | "--help" | "-h" => {
             print_usage();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}; try `tprov help`")),
     }
@@ -95,6 +101,8 @@ fn print_usage() {
          \x20 gk       --db FILE [--lists N] [--genes N] [--seed N] [--runs N]\n\
          \x20 pd       --db FILE [--terms a,b] [--pad N]\n\
          \x20 run      --db FILE --workflow WF.json --input name=<json> ...\n\
+         \x20          [--max-attempts N] [--fail-fast] [--json]\n\
+         \x20          exit 0 = completed, 3 = partial failure (error tokens)\n\
          \x20 runs     --db FILE                           list stored runs\n\
          \x20 lineage  --db FILE --workflow WF.json --target P:Y [--index 1,2]\n\
          \x20          [--focus A,B] [--run N | --all-runs] [--algo indexproj|ni]\n\
@@ -224,7 +232,18 @@ fn cmd_pd(args: &Args) -> Result<(), String> {
     save_workflow(args, &store, &df)
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+/// What `tprov run --json` prints: enough to script against partial runs
+/// without parsing human output.
+#[derive(serde::Serialize)]
+struct RunReport {
+    run: u64,
+    workflow: String,
+    status: String,
+    outputs: std::collections::BTreeMap<String, Value>,
+    failed_xforms: Vec<FailedInvocation>,
+}
+
+fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     let store = open_db(args)?;
     let df = load_workflow(args)?;
     let mut inputs: Vec<(String, Value)> = Vec::new();
@@ -237,12 +256,43 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         inputs.push((name.to_string(), value));
     }
     let registry = BehaviorRegistry::new().with_builtins();
-    let out = Engine::new(registry).execute(&df, inputs, &store).map_err(|e| e.to_string())?;
-    println!("{}: {} run recorded", out.run_id, df.name);
-    for (port, value) in &out.outputs {
-        println!("  {port} = {value}");
+    let mut engine = Engine::new(registry);
+    if let Some(attempts) = args.get_parsed::<u32>("max-attempts")? {
+        if attempts == 0 {
+            return Err("--max-attempts must be at least 1".into());
+        }
+        engine = engine.with_retry(RetryPolicy::attempts(attempts));
     }
-    Ok(())
+    if args.has_flag("fail-fast") {
+        engine = engine.fail_fast();
+    }
+    let out = engine.execute(&df, inputs, &store).map_err(|e| e.to_string())?;
+    let failed = out.failed_xforms();
+    let status = if failed.is_empty() { "completed" } else { "partial-failure" };
+    if args.has_flag("json") {
+        let report = RunReport {
+            run: out.run_id.0,
+            workflow: df.name.to_string(),
+            status: status.to_string(),
+            outputs: out.outputs.iter().map(|(p, v)| (p.to_string(), v.clone())).collect(),
+            failed_xforms: failed.to_vec(),
+        };
+        println!("{}", json::render(&report)?);
+    } else {
+        println!("{}: {} run recorded ({status})", out.run_id, df.name);
+        for (port, value) in &out.outputs {
+            println!("  {port} = {value}");
+        }
+        for f in failed {
+            eprintln!(
+                "  FAILED {}{} after {} attempt(s): {}",
+                f.processor, f.index, f.attempts, f.message
+            );
+        }
+    }
+    // Exit 0 on a completed run, 3 on a partial failure — distinguishable
+    // from usage/IO errors (1) in scripts.
+    Ok(if failed.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(3) })
 }
 
 fn cmd_runs(args: &Args) -> Result<(), String> {
@@ -627,7 +677,7 @@ fn cmd_trace_dot(args: &Args) -> Result<(), String> {
     let (nodes, edges) = graph.size();
     eprintln!("provenance graph of run:{run}: {nodes} nodes, {edges} edges");
     if args.has_flag("json") {
-        println!("{}", graph.to_json());
+        println!("{}", graph.to_json().map_err(|e| e.to_string())?);
     } else {
         print!("{}", graph.to_dot(RunId(run)));
     }

@@ -192,6 +192,80 @@ fn run_command_executes_workflow_json_with_builtins() {
 }
 
 #[test]
+fn run_partial_failure_exits_3_and_reports_failures_in_json() {
+    let db = TempDb::new("partial");
+    // `string_upper` fails on the Int element: element 1 of the iteration
+    // becomes an error token while its sibling completes.
+    let mut b = prov_dataflow::DataflowBuilder::new("upper");
+    b.input("xs", prov_dataflow::PortType::list(prov_dataflow::BaseType::String));
+    b.processor_with_behavior("U", "string_upper")
+        .in_port("x", prov_dataflow::PortType::atom(prov_dataflow::BaseType::String))
+        .out_port("y", prov_dataflow::PortType::atom(prov_dataflow::BaseType::String));
+    b.arc_from_input("xs", "U", "x").unwrap();
+    b.output("ys", prov_dataflow::PortType::list(prov_dataflow::BaseType::String));
+    b.arc_to_output("U", "y", "ys").unwrap();
+    let df = b.build().unwrap();
+    let wf_path = format!("{}.authored.json", db.arg());
+    std::fs::write(&wf_path, serde_json::to_string(&df).unwrap()).unwrap();
+    let mixed = r#"xs={"List":[{"Atom":{"Str":"ab"}},{"Atom":{"Int":3}}]}"#;
+
+    let out = tprov(&[
+        "run",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &wf_path,
+        "--input",
+        mixed,
+        "--max-attempts",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "partial failure must exit 3: {}", stderr(&out));
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(report.get("status").unwrap().as_str(), Some("partial-failure"));
+    assert_eq!(report.get("workflow").unwrap().as_str(), Some("upper"));
+    let failed = report.get("failed_xforms").unwrap().as_array().unwrap();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].get("processor").unwrap().as_str(), Some("U"));
+    let attempts = format!("{:?}", failed[0].get("attempts").unwrap());
+    assert!(attempts.contains('2'), "--max-attempts carried into the report: {attempts}");
+    // The sibling element still made it to the output.
+    let ys = format!("{:?}", report.get("outputs").unwrap().get("ys").unwrap());
+    assert!(ys.contains("AB"), "{ys}");
+
+    // Human mode: failure summary on stderr, same exit code 3.
+    let out = tprov(&["run", "--db", db.arg(), "--workflow", &wf_path, "--input", mixed]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(stderr(&out).contains("FAILED U"), "{}", stderr(&out));
+    assert!(stdout(&out).contains("partial-failure"));
+
+    // --fail-fast restores abort-on-first-error: the run dies with a
+    // behavior error (generic exit 1), not a partial trace.
+    let out =
+        tprov(&["run", "--db", db.arg(), "--workflow", &wf_path, "--input", mixed, "--fail-fast"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("U"), "{}", stderr(&out));
+
+    // A clean input exits 0 with status "completed".
+    let out = tprov(&[
+        "run",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &wf_path,
+        "--input",
+        r#"xs={"List":[{"Atom":{"Str":"ab"}}]}"#,
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(report.get("status").unwrap().as_str(), Some("completed"));
+    assert!(report.get("failed_xforms").unwrap().as_array().unwrap().is_empty());
+    let _ = std::fs::remove_file(&wf_path);
+}
+
+#[test]
 fn lineage_uses_db_registered_workflow_when_flag_omitted() {
     let db = TempDb::new("registry");
     assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());

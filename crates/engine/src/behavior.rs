@@ -158,6 +158,29 @@ pub mod builtin {
     pub fn constant(value: Value) -> Arc<dyn Behavior> {
         Arc::new(FnBehavior(move |_: &[Value]| Ok(vec![value.clone()])))
     }
+
+    /// A deterministic flake: wraps `inner` so that the first `fail_first`
+    /// invocations fail with "transient flake", after which it delegates.
+    /// The counter is global across inputs — intended for retry tests,
+    /// where the injected flake count must show up exactly in
+    /// `engine.retries`.
+    pub fn flaky(fail_first: u32, inner: Arc<dyn Behavior>) -> Arc<dyn Behavior> {
+        let remaining = std::sync::atomic::AtomicU32::new(fail_first);
+        Arc::new(FnBehavior(move |inputs: &[Value]| {
+            let prev = remaining
+                .fetch_update(
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                    |n| n.checked_sub(1),
+                )
+                .unwrap_or(0);
+            if prev > 0 {
+                Err("transient flake".to_string())
+            } else {
+                inner.invoke(inputs)
+            }
+        }))
+    }
 }
 
 #[cfg(test)]

@@ -11,15 +11,17 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use prov_dataflow::{
     ArcSrc, Dataflow, DepthInfo, IterationStrategy, ProcessorKind, ProjectionLayout,
 };
-use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
+use prov_model::{Atom, Index, PortRef, ProcessorName, RunId, Value};
 use prov_obs::{Counter, Histogram, Obs, SpanGuard};
 
-use crate::behavior::BehaviorRegistry;
+use crate::behavior::{Behavior, BehaviorRegistry};
 use crate::events::{PortBinding, TraceEvent, TraceGranularity, TraceSink, XferEvent, XformEvent};
 use crate::iteration::{assemble_nested, iteration_tuples};
+use crate::retry::{Clock, RetryPolicy, SystemClock};
 use crate::{EngineError, Result};
 
 /// The engine's own counters, behind `engine.*` names in the registry the
@@ -35,6 +37,13 @@ struct EngineMetrics {
     batches: Counter,
     /// Events per non-empty batch.
     batch_size: Histogram,
+    /// Retried invocation attempts (attempts beyond each tuple's first).
+    retries: Counter,
+    /// Elementary invocations that exhausted their retry policy and
+    /// produced an error token.
+    failed_invocations: Counter,
+    /// Per-attempt behavior latency in clock microseconds.
+    attempt_micros: Histogram,
 }
 
 impl EngineMetrics {
@@ -44,6 +53,9 @@ impl EngineMetrics {
             invocations: obs.metrics.counter("engine.invocations"),
             batches: obs.metrics.counter("engine.batches"),
             batch_size: obs.metrics.histogram("engine.batch_size"),
+            retries: obs.metrics.counter("engine.retries"),
+            failed_invocations: obs.metrics.counter("engine.failed_invocations"),
+            attempt_micros: obs.metrics.histogram("engine.attempt_micros"),
         }
     }
 }
@@ -89,23 +101,76 @@ pub struct Engine {
     granularity: TraceGranularity,
     mode: ExecutionMode,
     preflight: bool,
+    fail_fast: bool,
+    default_retry: RetryPolicy,
+    retry_overrides: HashMap<ProcessorName, RetryPolicy>,
+    clock: Arc<dyn Clock>,
     obs: Obs,
     metrics: EngineMetrics,
 }
 
-/// The result of one run: its trace id and the workflow's output values.
+/// One elementary invocation that exhausted its retry policy.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FailedInvocation {
+    /// The qualified name of the failing processor (`outer/inner` style for
+    /// nested scopes).
+    pub processor: ProcessorName,
+    /// The absolute iteration index `q` of the failed tuple — the index its
+    /// error-token outputs carry in the trace.
+    pub index: Index,
+    /// The behavior's error message from the final attempt.
+    pub message: String,
+    /// Total attempts made (1 when no retry policy applied).
+    pub attempts: u32,
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub enum RunStatus {
+    /// Every elementary invocation succeeded.
+    #[default]
+    Completed,
+    /// At least one invocation exhausted its retries; its outputs are error
+    /// tokens in the trace, and sibling iterations completed normally.
+    PartialFailure {
+        /// The failed invocations, in the order they were observed.
+        failed_xforms: Vec<FailedInvocation>,
+    },
+}
+
+impl RunStatus {
+    /// Whether the run completed without failed invocations.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunStatus::Completed)
+    }
+}
+
+/// The result of one run: its trace id, the workflow's output values, and
+/// how the run ended.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// The run (trace) id assigned by the sink.
     pub run_id: RunId,
-    /// Output port values, in workflow-output declaration order.
+    /// Output port values, in workflow-output declaration order. Under
+    /// [`RunStatus::PartialFailure`], outputs downstream of a failure carry
+    /// error tokens in the failed elements' positions.
     pub outputs: Vec<(Arc<str>, Value)>,
+    /// Whether every invocation succeeded or some produced error tokens.
+    pub status: RunStatus,
 }
 
 impl RunOutcome {
     /// The value of the named workflow output.
     pub fn output(&self, name: &str) -> Option<&Value> {
         self.outputs.iter().find(|(n, _)| &**n == name).map(|(_, v)| v)
+    }
+
+    /// The failed invocations, empty when the run completed.
+    pub fn failed_xforms(&self) -> &[FailedInvocation] {
+        match &self.status {
+            RunStatus::Completed => &[],
+            RunStatus::PartialFailure { failed_xforms } => failed_xforms,
+        }
     }
 }
 
@@ -120,6 +185,10 @@ impl Engine {
             granularity: TraceGranularity::Fine,
             mode: ExecutionMode::Sequential,
             preflight: true,
+            fail_fast: false,
+            default_retry: RetryPolicy::none(),
+            retry_overrides: HashMap::new(),
+            clock: Arc::new(SystemClock),
             obs,
             metrics,
         }
@@ -144,6 +213,39 @@ impl Engine {
     /// Selects the scheduling mode.
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Restores the pre-error-token semantics: the first behavior failure
+    /// (after its retries are exhausted) aborts the whole run with
+    /// [`EngineError::Behavior`] instead of flowing on as an error token.
+    pub fn fail_fast(mut self) -> Self {
+        self.fail_fast = true;
+        self
+    }
+
+    /// Sets the retry policy applied to every task processor that has no
+    /// per-processor override. The default is [`RetryPolicy::none`].
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.default_retry = policy;
+        self
+    }
+
+    /// Sets a retry policy for one processor (by its unqualified name, as
+    /// declared in the dataflow), overriding the default policy.
+    pub fn with_retry_for(
+        mut self,
+        processor: impl Into<ProcessorName>,
+        policy: RetryPolicy,
+    ) -> Self {
+        self.retry_overrides.insert(processor.into(), policy);
+        self
+    }
+
+    /// Replaces the clock used for retry backoff and deadlines (a
+    /// [`crate::VirtualClock`] makes retry timing deterministic in tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -182,10 +284,25 @@ impl Engine {
         let input_map: HashMap<Arc<str>, Value> =
             inputs.into_iter().map(|(k, v)| (Arc::from(k.as_str()), v)).collect();
         let offsets = ScopeOffsets::top_level();
-        let outputs =
-            self.execute_scoped(df, df.name.clone(), "", input_map, &offsets, sink, run_id)?;
+        let failures: Mutex<Vec<FailedInvocation>> = Mutex::new(Vec::new());
+        let outputs = self.execute_scoped(
+            df,
+            df.name.clone(),
+            "",
+            input_map,
+            &offsets,
+            sink,
+            run_id,
+            &failures,
+        )?;
         sink.finish_run(run_id);
-        Ok(RunOutcome { run_id, outputs })
+        let failed_xforms = failures.into_inner();
+        let status = if failed_xforms.is_empty() {
+            RunStatus::Completed
+        } else {
+            RunStatus::PartialFailure { failed_xforms }
+        };
+        Ok(RunOutcome { run_id, outputs, status })
     }
 
     /// Executes one (possibly nested) dataflow.
@@ -211,6 +328,7 @@ impl Engine {
         offsets: &ScopeOffsets,
         sink: &dyn TraceSink,
         run_id: RunId,
+        failures: &Mutex<Vec<FailedInvocation>>,
     ) -> Result<Vec<(Arc<str>, Value)>> {
         // Assumption 2 (§3.1): workflow inputs carry values of declared type.
         for port in &df.inputs {
@@ -237,6 +355,7 @@ impl Engine {
                         &out_values,
                         sink,
                         run_id,
+                        failures,
                     )?;
                     for (port, value) in produced {
                         out_values.insert((pname.clone(), port), value);
@@ -262,7 +381,7 @@ impl Engine {
                                         pname.clone(),
                                         self.process_one(
                                             df, depths_ref, pname, scope_ref, prefix, inputs_ref,
-                                            offsets, out_ref, sink, run_id,
+                                            offsets, out_ref, sink, run_id, failures,
                                         ),
                                     )
                                 })
@@ -327,6 +446,7 @@ impl Engine {
         out_values: &HashMap<(ProcessorName, Arc<str>), Value>,
         sink: &dyn TraceSink,
         run_id: RunId,
+        failures: &Mutex<Vec<FailedInvocation>>,
     ) -> Result<Vec<(Arc<str>, Value)>> {
         {
             let p = df.processor_required(pname)?;
@@ -411,10 +531,57 @@ impl Engine {
                             .registry
                             .get(behavior)
                             .ok_or_else(|| EngineError::UnknownBehavior(behavior.clone()))?;
-                        b.invoke(&elements).map_err(|message| EngineError::Behavior {
-                            processor: pname.to_string(),
-                            message,
-                        })?
+                        if let Some(tok) = elements.iter().find_map(|v| v.first_error()) {
+                            // Short-circuit: an input element carries an
+                            // error token, so this elementary invocation
+                            // propagates it to every output (at declared
+                            // depth) without calling the behavior. Origin
+                            // and attempt count survive propagation, so a
+                            // token at the workflow output still names the
+                            // invocation that raised it. The xform event is
+                            // still recorded: lineage traverses the
+                            // propagation chain back to the origin.
+                            p.outputs
+                                .iter()
+                                .map(|port| {
+                                    Value::Atom(Atom::Error(Box::new(tok.clone())))
+                                        .wrap(port.declared.depth)
+                                })
+                                .collect()
+                        } else {
+                            match self.invoke_with_retry(pname, b.as_ref(), &elements) {
+                                Ok(results) => results,
+                                Err((message, _attempts)) if self.fail_fast => {
+                                    return Err(EngineError::Behavior {
+                                        processor: pname.to_string(),
+                                        message,
+                                    });
+                                }
+                                Err((message, attempts)) => {
+                                    // Taverna-style isolation: the failed
+                                    // tuple yields error tokens at declared
+                                    // depth; sibling iterations proceed.
+                                    self.metrics.failed_invocations.inc();
+                                    failures.lock().push(FailedInvocation {
+                                        processor: qualified.clone(),
+                                        index: offsets.global.concat(&tuple.output_index),
+                                        message: message.clone(),
+                                        attempts,
+                                    });
+                                    p.outputs
+                                        .iter()
+                                        .map(|port| {
+                                            Value::error(
+                                                message.as_str(),
+                                                qualified.as_str(),
+                                                attempts,
+                                            )
+                                            .wrap(port.declared.depth)
+                                        })
+                                        .collect()
+                                }
+                            }
+                        }
                     }
                     ProcessorKind::Nested { dataflow } => {
                         record_event = false;
@@ -450,6 +617,7 @@ impl Engine {
                             &inner_offsets,
                             sink,
                             run_id,
+                            failures,
                         )?
                         .into_iter()
                         .map(|(_, v)| v)
@@ -503,6 +671,37 @@ impl Engine {
                 .zip(per_output)
                 .map(|(port, pairs)| (port.name.clone(), assemble_from(pairs, layout)))
                 .collect())
+        }
+    }
+
+    /// Invokes a behavior under the processor's retry policy. Returns the
+    /// behavior's outputs, or `(final message, total attempts)` once the
+    /// policy gives up. All timing goes through the engine's [`Clock`].
+    fn invoke_with_retry(
+        &self,
+        pname: &ProcessorName,
+        behavior: &dyn Behavior,
+        elements: &[Value],
+    ) -> std::result::Result<Vec<Value>, (String, u32)> {
+        let policy = self.retry_overrides.get(pname).unwrap_or(&self.default_retry);
+        let start = self.clock.now_micros();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let t0 = self.clock.now_micros();
+            let result = behavior.invoke(elements);
+            self.metrics.attempt_micros.record(self.clock.now_micros().saturating_sub(t0));
+            match result {
+                Ok(values) => return Ok(values),
+                Err(message) => {
+                    let elapsed = self.clock.now_micros().saturating_sub(start);
+                    if !policy.should_retry(attempt, &message, elapsed) {
+                        return Err((message, attempt));
+                    }
+                    self.metrics.retries.inc();
+                    self.clock.sleep_micros(policy.backoff.delay_micros(attempt));
+                }
+            }
         }
     }
 
@@ -1079,8 +1278,8 @@ mod tests {
         assert_eq!(norm(&seq_sink, seq.run_id), norm(&par_sink, par.run_id));
     }
 
-    #[test]
-    fn parallel_mode_surfaces_behavior_errors() {
+    /// `in:atom → B(boom) → out` with an always-failing behavior.
+    fn boom_chain() -> (BehaviorRegistry, Dataflow) {
         let mut r = registry();
         r.register_fn("boom", |_| Err("kaput".into()));
         let mut b = DataflowBuilder::new("wf");
@@ -1091,13 +1290,212 @@ mod tests {
         b.arc_from_input("in", "B", "x").unwrap();
         b.output("out", PortType::atom(BaseType::String));
         b.arc_to_output("B", "y", "out").unwrap();
-        let df = b.build().unwrap();
-        let err = Engine::new(r).with_mode(ExecutionMode::Parallel).execute(
+        (r, b.build().unwrap())
+    }
+
+    #[test]
+    fn parallel_fail_fast_surfaces_behavior_errors() {
+        let (r, df) = boom_chain();
+        let err = Engine::new(r).fail_fast().with_mode(ExecutionMode::Parallel).execute(
             &df,
             vec![("in".into(), Value::str("x"))],
             &VecSink::new(),
         );
         assert!(matches!(err, Err(EngineError::Behavior { .. })));
+    }
+
+    #[test]
+    fn default_semantics_turn_failures_into_error_tokens() {
+        let (r, df) = boom_chain();
+        let sink = VecSink::new();
+        let run = Engine::new(r).execute(&df, vec![("in".into(), Value::str("x"))], &sink).unwrap();
+        assert!(!run.status.is_completed());
+        let failed = run.failed_xforms();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].processor, ProcessorName::from("B"));
+        assert_eq!(failed[0].message, "kaput");
+        assert_eq!(failed[0].attempts, 1);
+        let tok = run.output("out").unwrap().first_error().unwrap();
+        assert_eq!(&*tok.origin, "B");
+        assert_eq!(&*tok.message, "kaput");
+        // The failed invocation is still on the trace.
+        assert_eq!(sink.xforms_of(run.run_id).len(), 1);
+    }
+
+    #[test]
+    fn failed_element_isolates_and_siblings_complete() {
+        // One element of the implicit iteration fails; its siblings'
+        // outputs are unaffected and the failed position carries the token.
+        let mut r = registry();
+        r.register_fn("excl_but_b", |inputs: &[Value]| {
+            let s = builtin::expect_str(&inputs[0])?;
+            if s == "b" {
+                Err("element b is cursed".to_string())
+            } else {
+                Ok(vec![Value::str(&format!("{s}!"))])
+            }
+        });
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        b.processor_with_behavior("E", "excl_but_b")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "E", "x").unwrap();
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("E", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let sink = VecSink::new();
+        let run = Engine::new(r)
+            .execute(&df, vec![("in".into(), Value::from(vec!["a", "b", "c"]))], &sink)
+            .unwrap();
+        let out = run.output("out").unwrap();
+        assert_eq!(out.at(&Index::single(0)), Some(&Value::str("a!")));
+        assert_eq!(out.at(&Index::single(2)), Some(&Value::str("c!")));
+        let tok = out.at(&Index::single(1)).unwrap().first_error().unwrap();
+        assert_eq!(&*tok.origin, "E");
+        assert_eq!(run.failed_xforms().len(), 1);
+        assert_eq!(run.failed_xforms()[0].index, Index::single(1));
+        // All three elementary invocations recorded, including the failed one.
+        assert_eq!(sink.xforms_of(run.run_id).len(), 3);
+    }
+
+    #[test]
+    fn downstream_processors_short_circuit_on_error_inputs() {
+        // E fails on "b"; downstream D must not see the error element.
+        let invoked = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let seen = invoked.clone();
+        let mut r = registry();
+        r.register_fn("fail_b", |inputs: &[Value]| {
+            let s = builtin::expect_str(&inputs[0])?;
+            if s == "b" {
+                Err("bad b".to_string())
+            } else {
+                Ok(vec![inputs[0].clone()])
+            }
+        });
+        r.register_fn("count_upper", move |inputs: &[Value]| {
+            seen.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let s = builtin::expect_str(&inputs[0])?;
+            Ok(vec![Value::str(&s.to_uppercase())])
+        });
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::list(BaseType::String));
+        b.processor_with_behavior("E", "fail_b")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.processor_with_behavior("D", "count_upper")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "E", "x").unwrap();
+        b.arc("E", "y", "D", "x").unwrap();
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("D", "y", "out").unwrap();
+        let df = b.build().unwrap();
+        let sink = VecSink::new();
+        let run = Engine::new(r)
+            .execute(&df, vec![("in".into(), Value::from(vec!["a", "b", "c"]))], &sink)
+            .unwrap();
+        // D's behavior ran only for the two healthy elements.
+        assert_eq!(invoked.load(std::sync::atomic::Ordering::SeqCst), 2);
+        let out = run.output("out").unwrap();
+        assert_eq!(out.at(&Index::single(0)), Some(&Value::str("A")));
+        assert_eq!(out.at(&Index::single(2)), Some(&Value::str("C")));
+        // The propagated token still names E as its origin.
+        let tok = out.at(&Index::single(1)).unwrap().first_error().unwrap();
+        assert_eq!(&*tok.origin, "E");
+        // Only E's invocation counts as failed; D propagated.
+        assert_eq!(run.failed_xforms().len(), 1);
+        assert_eq!(run.failed_xforms()[0].processor, ProcessorName::from("E"));
+        // D's propagating invocation is still on the trace (3 for E + 3 for D).
+        assert_eq!(sink.xforms_of(run.run_id).len(), 6);
+    }
+
+    #[test]
+    fn retry_policy_recovers_flaky_behaviors_deterministically() {
+        let mut r = registry();
+        r.register("flaky2", builtin::flaky(2, builtin::tagger("!")));
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::String));
+        b.processor_with_behavior("F", "flaky2")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "F", "x").unwrap();
+        b.output("out", PortType::atom(BaseType::String));
+        b.arc_to_output("F", "y", "out").unwrap();
+        let df = b.build().unwrap();
+
+        let clock = Arc::new(crate::retry::VirtualClock::new());
+        let obs = Obs::enabled();
+        let run = Engine::new(r)
+            .with_obs(obs.clone())
+            .with_clock(clock.clone())
+            .with_retry(crate::retry::RetryPolicy::attempts(3).with_backoff(
+                crate::retry::Backoff::Exponential { base_micros: 100, max_micros: 1_000 },
+            ))
+            .execute(&df, vec![("in".into(), Value::str("x"))], &VecSink::new())
+            .unwrap();
+        assert!(run.status.is_completed());
+        assert_eq!(run.output("out"), Some(&Value::str("x!")));
+        // Two injected flakes → exactly two retries, with deterministic
+        // exponential backoff observed on the virtual clock.
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("engine.retries"), 2);
+        assert_eq!(snap.counter("engine.failed_invocations"), 0);
+        assert_eq!(clock.sleeps(), vec![100, 200]);
+    }
+
+    #[test]
+    fn exhausted_retries_record_attempt_count_in_token_and_outcome() {
+        let mut r = registry();
+        r.register("flaky9", builtin::flaky(9, builtin::tagger("!")));
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::String));
+        b.processor_with_behavior("F", "flaky9")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("in", "F", "x").unwrap();
+        b.output("out", PortType::atom(BaseType::String));
+        b.arc_to_output("F", "y", "out").unwrap();
+        let df = b.build().unwrap();
+
+        let obs = Obs::enabled();
+        let run = Engine::new(r)
+            .with_obs(obs.clone())
+            .with_clock(Arc::new(crate::retry::VirtualClock::new()))
+            .with_retry_for("F", crate::retry::RetryPolicy::attempts(3))
+            .execute(&df, vec![("in".into(), Value::str("x"))], &VecSink::new())
+            .unwrap();
+        assert_eq!(run.failed_xforms().len(), 1);
+        assert_eq!(run.failed_xforms()[0].attempts, 3);
+        let tok = run.output("out").unwrap().first_error().unwrap();
+        assert_eq!(tok.attempts, 3);
+        let snap = obs.metrics.snapshot();
+        assert_eq!(snap.counter("engine.retries"), 2);
+        assert_eq!(snap.counter("engine.failed_invocations"), 1);
+        assert_eq!(snap.histograms.get("engine.attempt_micros").map(|h| h.count), Some(3));
+    }
+
+    #[test]
+    fn error_outputs_are_wrapped_to_declared_depth() {
+        // A failing processor with a list(string) output: the token is
+        // emitted as a depth-1 singleton so downstream depth checks hold.
+        let mut r = registry();
+        r.register_fn("boomlist", |_| Err("no list today".into()));
+        let mut b = DataflowBuilder::new("wf");
+        b.input("in", PortType::atom(BaseType::String));
+        b.processor_with_behavior("L", "boomlist")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("ys", PortType::list(BaseType::String));
+        b.arc_from_input("in", "L", "x").unwrap();
+        b.output("out", PortType::list(BaseType::String));
+        b.arc_to_output("L", "ys", "out").unwrap();
+        let df = b.build().unwrap();
+        let run = Engine::new(r)
+            .execute(&df, vec![("in".into(), Value::str("g"))], &VecSink::new())
+            .unwrap();
+        let out = run.output("out").unwrap();
+        assert_eq!(out.depth().unwrap(), 1);
+        assert!(out.contains_error());
     }
 
     #[test]

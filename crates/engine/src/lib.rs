@@ -28,6 +28,7 @@ mod error;
 mod events;
 mod exec;
 mod iteration;
+mod retry;
 
 pub use behavior::{builtin, Behavior, BehaviorRegistry, FnBehavior};
 pub use error::EngineError;
@@ -35,8 +36,9 @@ pub use events::{
     NullSink, PortBinding, ReportingSink, RunReport, TraceEvent, TraceGranularity, TraceSink,
     VecSink, XferEvent, XformEvent,
 };
-pub use exec::{Engine, ExecutionMode, RunOutcome};
+pub use exec::{Engine, ExecutionMode, FailedInvocation, RunOutcome, RunStatus};
 pub use iteration::{assemble_nested, iteration_tuples, IterationTuple};
+pub use retry::{Backoff, Clock, RetryOn, RetryPolicy, SystemClock, VirtualClock};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;

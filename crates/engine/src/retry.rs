@@ -1,0 +1,252 @@
+//! Retry policies for elementary invocations.
+//!
+//! A behavior invocation that fails is retried according to a
+//! [`RetryPolicy`]: up to `max_attempts` tries, separated by a
+//! deterministic [`Backoff`] delay, bounded by an optional wall-clock
+//! `deadline`, and filtered by a [`RetryOn`] predicate over the error
+//! message (so permanent errors don't burn attempts). Time comes from an
+//! injectable [`Clock`], which keeps retry behaviour — including backoff
+//! arithmetic and deadline expiry — fully deterministic under test via
+//! [`VirtualClock`].
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A deterministic backoff schedule: the delay before retry `n` (the delay
+/// after the `n`-th failed attempt, 1-based) is a pure function of `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Backoff {
+    /// No delay between attempts.
+    None,
+    /// The same delay before every retry.
+    Fixed {
+        /// Delay in microseconds.
+        micros: u64,
+    },
+    /// `base · 2^(n-1)`, capped at `max`.
+    Exponential {
+        /// Delay before the first retry, in microseconds.
+        base_micros: u64,
+        /// Upper bound on any single delay, in microseconds.
+        max_micros: u64,
+    },
+}
+
+impl Backoff {
+    /// The delay before the retry following failed attempt `attempt`
+    /// (1-based), in microseconds.
+    pub fn delay_micros(&self, attempt: u32) -> u64 {
+        match self {
+            Backoff::None => 0,
+            Backoff::Fixed { micros } => *micros,
+            Backoff::Exponential { base_micros, max_micros } => {
+                let shift = attempt.saturating_sub(1).min(63);
+                base_micros.saturating_mul(1u64 << shift).min(*max_micros)
+            }
+        }
+    }
+}
+
+/// Which failures are worth retrying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryOn {
+    /// Retry every failure (the default).
+    Any,
+    /// Retry only failures whose message contains the given substring;
+    /// anything else fails on the first attempt.
+    MessageContains(Arc<str>),
+}
+
+impl RetryOn {
+    /// Whether a failure with this message should be retried.
+    pub fn matches(&self, message: &str) -> bool {
+        match self {
+            RetryOn::Any => true,
+            RetryOn::MessageContains(needle) => message.contains(&**needle),
+        }
+    }
+}
+
+/// A per-processor retry policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total invocation attempts (≥ 1); `1` means no retries.
+    pub max_attempts: u32,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
+    /// Optional budget in microseconds, measured from the first attempt's
+    /// start on the engine's [`Clock`]; once exceeded, no further retries
+    /// are made even if attempts remain.
+    pub deadline_micros: Option<u64>,
+    /// Predicate selecting retryable failures.
+    pub retry_on: RetryOn,
+}
+
+impl RetryPolicy {
+    /// The default policy: one attempt, no retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            backoff: Backoff::None,
+            deadline_micros: None,
+            retry_on: RetryOn::Any,
+        }
+    }
+
+    /// A policy with `max_attempts` total attempts and no delay.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy { max_attempts: max_attempts.max(1), ..RetryPolicy::none() }
+    }
+
+    /// Sets the backoff schedule.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the deadline budget in microseconds.
+    pub fn with_deadline_micros(mut self, micros: u64) -> Self {
+        self.deadline_micros = Some(micros);
+        self
+    }
+
+    /// Sets the retry predicate.
+    pub fn with_retry_on(mut self, retry_on: RetryOn) -> Self {
+        self.retry_on = retry_on;
+        self
+    }
+
+    /// Whether another attempt is allowed after failed attempt `attempt`
+    /// (1-based) with the given message, `elapsed_micros` into the
+    /// invocation.
+    pub fn should_retry(&self, attempt: u32, message: &str, elapsed_micros: u64) -> bool {
+        attempt < self.max_attempts
+            && self.retry_on.matches(message)
+            && self.deadline_micros.is_none_or(|d| elapsed_micros < d)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// An injectable time source for retry scheduling.
+///
+/// The engine only ever observes time through its clock, so tests can swap
+/// in a [`VirtualClock`] and assert exact backoff/deadline behaviour
+/// without sleeping.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Monotonic-enough microseconds since an arbitrary epoch.
+    fn now_micros(&self) -> u64;
+    /// Blocks (or pretends to) for the given number of microseconds.
+    fn sleep_micros(&self, micros: u64);
+}
+
+/// The real wall clock: `SystemTime` plus `thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0)
+    }
+
+    fn sleep_micros(&self, micros: u64) {
+        if micros > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        }
+    }
+}
+
+/// A deterministic clock for tests: `sleep` advances a counter instead of
+/// blocking, and every slept duration is recorded.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: parking_lot::Mutex<u64>,
+    slept: parking_lot::Mutex<Vec<u64>>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at time 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+
+    /// Every `sleep_micros` duration observed, in order.
+    pub fn sleeps(&self) -> Vec<u64> {
+        self.slept.lock().clone()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_micros(&self) -> u64 {
+        *self.now.lock()
+    }
+
+    fn sleep_micros(&self, micros: u64) {
+        *self.now.lock() += micros;
+        self.slept.lock().push(micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_backoff_doubles_and_caps() {
+        let b = Backoff::Exponential { base_micros: 100, max_micros: 450 };
+        assert_eq!(b.delay_micros(1), 100);
+        assert_eq!(b.delay_micros(2), 200);
+        assert_eq!(b.delay_micros(3), 400);
+        assert_eq!(b.delay_micros(4), 450);
+        assert_eq!(b.delay_micros(64), 450); // shift clamp, no overflow
+    }
+
+    #[test]
+    fn fixed_and_none_backoff() {
+        assert_eq!(Backoff::Fixed { micros: 7 }.delay_micros(5), 7);
+        assert_eq!(Backoff::None.delay_micros(1), 0);
+    }
+
+    #[test]
+    fn policy_counts_attempts() {
+        let p = RetryPolicy::attempts(3);
+        assert!(p.should_retry(1, "x", 0));
+        assert!(p.should_retry(2, "x", 0));
+        assert!(!p.should_retry(3, "x", 0));
+    }
+
+    #[test]
+    fn policy_respects_retry_on_filter() {
+        let p =
+            RetryPolicy::attempts(5).with_retry_on(RetryOn::MessageContains(Arc::from("timeout")));
+        assert!(p.should_retry(1, "connection timeout", 0));
+        assert!(!p.should_retry(1, "no such gene", 0));
+    }
+
+    #[test]
+    fn policy_respects_deadline() {
+        let p = RetryPolicy::attempts(10).with_deadline_micros(1_000);
+        assert!(p.should_retry(1, "x", 999));
+        assert!(!p.should_retry(1, "x", 1_000));
+    }
+
+    #[test]
+    fn attempts_floor_is_one() {
+        assert_eq!(RetryPolicy::attempts(0).max_attempts, 1);
+    }
+
+    #[test]
+    fn virtual_clock_advances_on_sleep() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.sleep_micros(100);
+        c.sleep_micros(200);
+        assert_eq!(c.now_micros(), 300);
+        assert_eq!(c.sleeps(), vec![100, 200]);
+    }
+}

@@ -56,11 +56,47 @@ impl fmt::Display for F64 {
     }
 }
 
+/// A Taverna-style error token: the value a failed elementary invocation
+/// produces in place of real data.
+///
+/// Error tokens are first-class trace data — they flow through the remaining
+/// iterations of an implicit-iteration sweep instead of aborting the run, and
+/// downstream processors propagate them without invoking their behavior. The
+/// token carries enough context for a lineage query to answer "which element
+/// caused this error and after how many attempts".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ErrorToken {
+    /// The behavior's error message (for the originating token) or the
+    /// originating token's message (for a propagated token).
+    pub message: Arc<str>,
+    /// The processor whose invocation originally failed. Propagation
+    /// preserves the origin, so a token found at the workflow output still
+    /// names the processor that raised it.
+    pub origin: Arc<str>,
+    /// How many invocation attempts were made before giving up (≥ 1 for an
+    /// originating token; propagated tokens copy the origin's count).
+    pub attempts: u32,
+}
+
+impl ErrorToken {
+    /// Builds a token for a failure at `origin` after `attempts` tries.
+    pub fn new(message: impl Into<Arc<str>>, origin: impl Into<Arc<str>>, attempts: u32) -> Self {
+        ErrorToken { message: message.into(), origin: origin.into(), attempts }
+    }
+}
+
+impl fmt::Display for ErrorToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error({}@{}: {})", self.origin, self.attempts, self.message)
+    }
+}
+
 /// An atomic workflow value: the leaves of nested collections.
 ///
 /// The paper's set `S` of basic types is left open; these variants cover the
 /// data flowing through Taverna-style bioinformatics workflows (strings such
-/// as gene and pathway identifiers, numbers, flags, raw payloads).
+/// as gene and pathway identifiers, numbers, flags, raw payloads), plus the
+/// [`ErrorToken`] a failed invocation leaves behind.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Atom {
     /// A UTF-8 string. `Arc<str>` keeps clones cheap: the same identifiers
@@ -74,6 +110,9 @@ pub enum Atom {
     Bool(bool),
     /// An opaque binary payload (e.g. an image produced by a processor).
     Bytes(bytes::Bytes),
+    /// An error token standing in for data a failed invocation never
+    /// produced. Boxed to keep `Atom` small for the common variants.
+    Error(Box<ErrorToken>),
 }
 
 impl Atom {
@@ -109,6 +148,19 @@ impl Atom {
         }
     }
 
+    /// Returns the error token if this atom is an [`Atom::Error`].
+    pub fn as_error(&self) -> Option<&ErrorToken> {
+        match self {
+            Atom::Error(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether this atom is an error token.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Atom::Error(_))
+    }
+
     /// A short lowercase name for the atom's base type, matching
     /// [`crate::BaseType`] rendering.
     pub fn type_name(&self) -> &'static str {
@@ -118,6 +170,7 @@ impl Atom {
             Atom::Float(_) => "float",
             Atom::Bool(_) => "bool",
             Atom::Bytes(_) => "bytes",
+            Atom::Error(_) => "error",
         }
     }
 }
@@ -130,6 +183,7 @@ impl fmt::Display for Atom {
             Atom::Float(v) => write!(f, "{v}"),
             Atom::Bool(b) => write!(f, "{b}"),
             Atom::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Atom::Error(t) => write!(f, "{t}"),
         }
     }
 }
@@ -231,6 +285,18 @@ mod tests {
         assert_eq!(Atom::from(1.0f64).type_name(), "float");
         assert_eq!(Atom::from(false).type_name(), "bool");
         assert_eq!(Atom::Bytes(bytes::Bytes::new()).type_name(), "bytes");
+        assert_eq!(Atom::Error(Box::new(ErrorToken::new("m", "P", 1))).type_name(), "error");
+    }
+
+    #[test]
+    fn error_token_accessor_and_display() {
+        let tok = ErrorToken::new("timed out", "BlastJob", 3);
+        let a = Atom::Error(Box::new(tok.clone()));
+        assert!(a.is_error());
+        assert_eq!(a.as_error(), Some(&tok));
+        assert_eq!(a.as_str(), None);
+        assert!(!Atom::from("x").is_error());
+        assert_eq!(a.to_string(), "error(BlastJob@3: timed out)");
     }
 
     #[test]
@@ -241,6 +307,7 @@ mod tests {
             Atom::from(1.25f64),
             Atom::from(true),
             Atom::Bytes(bytes::Bytes::from_static(&[1, 2, 3])),
+            Atom::Error(Box::new(ErrorToken::new("no such gene", "Lookup", 2))),
         ];
         for a in atoms {
             let json = serde_json::to_string(&a).unwrap();

@@ -33,7 +33,7 @@ mod index;
 mod types;
 mod value;
 
-pub use atom::{Atom, F64};
+pub use atom::{Atom, ErrorToken, F64};
 pub use binding::{Binding, PortRef};
 pub use error::ModelError;
 pub use ids::{ProcessorName, RunId, ValueId};

@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{Atom, Index, ModelError, Result};
+use crate::{Atom, ErrorToken, Index, ModelError, Result};
 
 /// A workflow value: an atom or an arbitrarily nested list.
 ///
@@ -51,6 +51,31 @@ impl Value {
     /// An empty list.
     pub fn empty_list() -> Self {
         Value::List(Vec::new())
+    }
+
+    /// Builds an error-token atom value (see [`ErrorToken`]).
+    pub fn error(
+        message: impl Into<std::sync::Arc<str>>,
+        origin: impl Into<std::sync::Arc<str>>,
+        attempts: u32,
+    ) -> Self {
+        Value::Atom(Atom::Error(Box::new(ErrorToken::new(message, origin, attempts))))
+    }
+
+    /// The first error token in the value (lexicographic index order), if
+    /// any. Downstream processors use this to short-circuit: an invocation
+    /// whose inputs contain an error propagates it instead of running.
+    pub fn first_error(&self) -> Option<&ErrorToken> {
+        match self {
+            Value::Atom(Atom::Error(t)) => Some(t),
+            Value::Atom(_) => None,
+            Value::List(items) => items.iter().find_map(Value::first_error),
+        }
+    }
+
+    /// Whether any leaf of the value is an error token.
+    pub fn contains_error(&self) -> bool {
+        self.first_error().is_some()
     }
 
     /// Whether this value is an atom.
@@ -442,6 +467,28 @@ mod tests {
             Value::from(vec![vec!["a"], vec!["b", "c"]]).to_string(),
             "[[\"a\"], [\"b\", \"c\"]]"
         );
+    }
+
+    #[test]
+    fn first_error_finds_earliest_leaf_token() {
+        let ok = Value::from(vec!["a", "b"]);
+        assert!(!ok.contains_error());
+        assert_eq!(ok.first_error(), None);
+        let v = Value::List(vec![
+            Value::from(vec!["a"]),
+            Value::List(vec![Value::error("bad", "P", 2), Value::error("later", "Q", 1)]),
+        ]);
+        assert!(v.contains_error());
+        let tok = v.first_error().unwrap();
+        assert_eq!(&*tok.origin, "P");
+        assert_eq!(tok.attempts, 2);
+    }
+
+    #[test]
+    fn error_value_wraps_to_declared_depth() {
+        let v = Value::error("boom", "P", 1).wrap(2);
+        assert_eq!(v.depth().unwrap(), 2);
+        assert!(v.contains_error());
     }
 
     #[test]

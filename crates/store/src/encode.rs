@@ -231,6 +231,15 @@ fn enc_atom(out: &mut String, atom: &Atom) {
             }
             out.push('}');
         }
+        Atom::Error(tok) => {
+            out.push_str("{\"Error\":{\"message\":");
+            enc_str(out, &tok.message);
+            out.push_str(",\"origin\":");
+            enc_str(out, &tok.origin);
+            out.push_str(",\"attempts\":");
+            enc_u64(out, u64::from(tok.attempts));
+            out.push_str("}}");
+        }
     }
 }
 
@@ -370,6 +379,8 @@ mod tests {
             Atom::Bool(false),
             Atom::Bytes(bytes::Bytes::from_static(&[0, 127, 255])),
             Atom::Bytes(bytes::Bytes::new()),
+            Atom::Error(Box::new(prov_model::ErrorToken::new("quote\"and\nnewline", "P/Q", 3))),
+            Atom::Error(Box::new(prov_model::ErrorToken::new("", "", 0))),
         ];
         for atom in atoms {
             let event = XferEvent { value: Value::Atom(atom), ..xfer() };

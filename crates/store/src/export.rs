@@ -147,9 +147,8 @@ impl ProvenanceGraph {
     }
 
     /// Serialises the graph to JSON.
-    #[allow(clippy::expect_used)] // plain-data struct; serialisation is infallible
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("graph serialises")
+    pub fn to_json(&self) -> crate::Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| crate::StoreError::Serialize(e.to_string()))
     }
 
     /// `(nodes, edges)` counts.
@@ -229,7 +228,7 @@ mod tests {
         assert!(dot.contains("digraph \"run:0\""));
         assert!(dot.contains("cluster_"));
         assert!(dot.contains("style=dashed")); // the xfer edge
-        let json = g.to_json();
+        let json = g.to_json().unwrap();
         assert!(json.contains("\"kind\": \"xform\""));
         // JSON parses back as generic value.
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();

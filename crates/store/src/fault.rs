@@ -1,0 +1,198 @@
+//! Deterministic fault injection for crash-torture tests.
+//!
+//! [`FaultFile`] wraps a real file behind the [`WalFile`] abstraction and
+//! injects failures from a [`FaultPlan`]:
+//!
+//! * **crash at a byte offset** — the write that would carry the file past
+//!   `fail_after_bytes` persists only the prefix that fits and then fails,
+//!   leaving exactly the torn tail a power cut mid-`write` leaves;
+//! * **fsync failure** — the `fail_on_sync`-th [`WalFile::sync_data`] call
+//!   fails without touching the file.
+//!
+//! Either fault *trips* the file: every subsequent write, flush and sync
+//! fails too, modelling a process that never comes back after the crash.
+//! The store's poisoning discipline (see [`crate::TraceStore::durability`])
+//! turns the first trip into a shut-down writer, so "crash then reopen"
+//! is: build a store with [`crate::TraceStore::open_with_fault`], ingest
+//! until the plan fires, drop the store, reopen with
+//! [`crate::TraceStore::open`] and observe recovery of the durable prefix.
+//!
+//! Everything here is deterministic — the plan is data, not randomness —
+//! so a proptest can sweep crash offsets and a CI job can replay a fixed
+//! seed byte-for-byte.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use crate::wal::WalFile;
+
+/// What faults to inject, and when. The default plan injects nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Total bytes allowed through this handle. The write crossing the
+    /// limit persists only the prefix that fits, then fails and trips the
+    /// file (a torn write at an exact, chosen offset).
+    pub fail_after_bytes: Option<u64>,
+    /// Which [`WalFile::sync_data`] call fails (1-based). The failing sync
+    /// trips the file.
+    pub fail_on_sync: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that tears the file at byte `offset` (counted from the first
+    /// byte written through the handle).
+    pub fn crash_at(offset: u64) -> Self {
+        FaultPlan { fail_after_bytes: Some(offset), fail_on_sync: None }
+    }
+
+    /// A plan whose `n`-th fsync (1-based) fails.
+    pub fn fail_sync(n: u64) -> Self {
+        FaultPlan { fail_after_bytes: None, fail_on_sync: Some(n) }
+    }
+}
+
+/// A [`WalFile`] that executes a [`FaultPlan`] over a real file.
+#[derive(Debug)]
+pub struct FaultFile {
+    file: File,
+    plan: FaultPlan,
+    /// Bytes written through this handle (the plan's offsets are relative
+    /// to handle creation, not to the start of the file).
+    written: u64,
+    /// Syncs attempted through this handle.
+    syncs: u64,
+    /// Set once a fault fires; everything fails afterwards.
+    tripped: bool,
+}
+
+impl FaultFile {
+    /// Opens `path` for appending (creating it if needed) under `plan`.
+    pub fn append_to(path: &Path, plan: FaultPlan) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FaultFile { file, plan, written: 0, syncs: 0, tripped: false })
+    }
+
+    /// Whether a fault has fired on this handle.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// The error every injected fault surfaces as.
+    fn injected() -> std::io::Error {
+        std::io::Error::other("injected fault")
+    }
+}
+
+impl Write for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if self.tripped {
+            return Err(Self::injected());
+        }
+        if let Some(limit) = self.plan.fail_after_bytes {
+            let room = limit.saturating_sub(self.written);
+            if (buf.len() as u64) > room {
+                // Torn write: persist the prefix that fits — flushed so the
+                // bytes are really on disk, as after a crash — then fail.
+                self.file.write_all(&buf[..room as usize])?;
+                self.file.flush()?;
+                self.written += room;
+                self.tripped = true;
+                return Err(Self::injected());
+            }
+        }
+        let n = self.file.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        if self.tripped {
+            return Err(Self::injected());
+        }
+        self.file.flush()
+    }
+}
+
+impl WalFile for FaultFile {
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        if self.tripped {
+            return Err(Self::injected());
+        }
+        self.syncs += 1;
+        if self.plan.fail_on_sync == Some(self.syncs) {
+            self.tripped = true;
+            return Err(Self::injected());
+        }
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("prov-store-fault-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn no_plan_passes_writes_through() {
+        let path = tmp("passthrough");
+        let mut f = FaultFile::append_to(&path, FaultPlan::default()).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        assert!(!f.tripped());
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn crash_at_persists_exactly_the_prefix() {
+        let path = tmp("torn");
+        let mut f = FaultFile::append_to(&path, FaultPlan::crash_at(7)).unwrap();
+        f.write_all(b"abcd").unwrap(); // 4 bytes: fits
+        let err = f.write_all(b"efgh").unwrap_err(); // would reach 8 > 7
+        assert_eq!(err.to_string(), "injected fault");
+        assert!(f.tripped());
+        // Exactly 7 bytes landed: the full first write plus a torn prefix.
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcdefg");
+        // Everything afterwards fails.
+        assert!(f.write(b"x").is_err());
+        assert!(f.flush().is_err());
+        assert!(f.sync_data().is_err());
+    }
+
+    #[test]
+    fn crash_at_zero_blocks_every_byte() {
+        let path = tmp("atzero");
+        let mut f = FaultFile::append_to(&path, FaultPlan::crash_at(0)).unwrap();
+        assert!(f.write_all(b"a").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+    }
+
+    #[test]
+    fn crash_on_exact_boundary_keeps_whole_write() {
+        let path = tmp("boundary");
+        let mut f = FaultFile::append_to(&path, FaultPlan::crash_at(4)).unwrap();
+        f.write_all(b"abcd").unwrap(); // exactly the limit: allowed
+        assert!(!f.tripped());
+        assert!(f.write_all(b"e").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn nth_sync_fails_and_trips() {
+        let path = tmp("sync");
+        let mut f = FaultFile::append_to(&path, FaultPlan::fail_sync(2)).unwrap();
+        f.write_all(b"a").unwrap();
+        f.sync_data().unwrap(); // sync 1: fine
+        f.write_all(b"b").unwrap();
+        assert!(f.sync_data().is_err()); // sync 2: injected
+        assert!(f.tripped());
+        assert!(f.write(b"c").is_err());
+    }
+}

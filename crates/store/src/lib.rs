@@ -32,6 +32,7 @@
 mod crc;
 mod encode;
 mod export;
+pub mod fault;
 mod indexes;
 mod rows;
 mod stats;
@@ -42,10 +43,13 @@ mod wal;
 
 pub use crc::crc32;
 pub use export::{GraphEdge, GraphNode, ProvenanceGraph};
+pub use fault::{FaultFile, FaultPlan};
 pub use rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
 pub use stats::QueryStats;
 pub use store::{RunInfo, StoreError, TraceStore};
-pub use wal::{LogRecord, WalError, WalMetrics, WalReader, WalWriter};
+pub use wal::{
+    LogRecord, TailState, WalError, WalFile, WalMetrics, WalReader, WalRecovery, WalWriter,
+};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, StoreError>;

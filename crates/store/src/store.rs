@@ -25,7 +25,7 @@ use crate::rows::{
 use crate::stats::QueryStats;
 use crate::symbols::{IndexKey, Sym, SymbolTable};
 use crate::values::ValueTable;
-use crate::wal::{LogRecord, WalError, WalMetrics, WalReader, WalWriter};
+use crate::wal::{LogRecord, TailState, WalError, WalMetrics, WalReader, WalWriter};
 
 /// Store-level errors.
 #[derive(Debug)]
@@ -37,6 +37,15 @@ pub enum StoreError {
     /// A referenced value id does not exist (dangling reference — indicates
     /// corruption).
     DanglingValue(ValueId),
+    /// A WAL append or sync failed earlier; the writer was shut down to
+    /// avoid writing an inconsistent tail, and everything recorded since is
+    /// memory-only. Carries the original failure message.
+    WalPoisoned {
+        /// The first durability failure observed.
+        message: String,
+    },
+    /// A record could not be serialised for export.
+    Serialize(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -45,6 +54,10 @@ impl std::fmt::Display for StoreError {
             StoreError::Wal(e) => write!(f, "{e}"),
             StoreError::UnknownRun(r) => write!(f, "unknown run {r}"),
             StoreError::DanglingValue(v) => write!(f, "dangling value reference {v}"),
+            StoreError::WalPoisoned { message } => {
+                write!(f, "wal writer shut down after durability failure: {message}")
+            }
+            StoreError::Serialize(e) => write!(f, "serialisation failed: {e}"),
         }
     }
 }
@@ -137,6 +150,12 @@ pub struct TraceStore {
     path: Option<PathBuf>,
     stats: QueryStats,
     wal_metrics: WalMetrics,
+    /// First durability failure, if any; set when the WAL writer is shut
+    /// down mid-session (see [`StoreError::WalPoisoned`]).
+    wal_failure: Mutex<Option<String>>,
+    /// What recovery found past the clean prefix at open time (`None` for
+    /// in-memory stores, which never recover).
+    recovered_tail: Option<TailState>,
 }
 
 impl std::fmt::Debug for TraceStore {
@@ -162,32 +181,111 @@ impl TraceStore {
             path: None,
             stats: QueryStats::new(),
             wal_metrics: WalMetrics::new(),
+            wal_failure: Mutex::new(None),
+            recovered_tail: None,
         }
     }
 
     /// Opens (or creates) a durable store backed by a WAL at `path`,
     /// replaying any existing log. A torn or corrupt tail is truncated
-    /// away, exactly once, before appending resumes.
+    /// away, exactly once, before appending resumes; the recovery is
+    /// surfaced through [`TraceStore::recovered_tail`] and the
+    /// `wal.torn_tails` / `wal.corrupt_frames` counters.
     pub fn open(path: impl AsRef<Path>) -> crate::Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let (records, clean_len) = WalReader::read_all(&path)?;
+        let recovery = WalReader::read_all(&path)?;
         let store = TraceStore {
             inner: RwLock::new(Inner::default()),
             wal: Mutex::new(None),
             path: Some(path.clone()),
             stats: QueryStats::new(),
             wal_metrics: WalMetrics::new(),
+            wal_failure: Mutex::new(None),
+            recovered_tail: Some(recovery.tail),
         };
+        match recovery.tail {
+            TailState::Clean => {}
+            TailState::TornTail { .. } => store.wal_metrics.torn_tails.inc(),
+            TailState::CorruptFrame { .. } => store.wal_metrics.corrupt_frames.inc(),
+        }
         {
             let mut inner = store.inner.write();
-            for record in records {
+            for record in recovery.records {
                 inner.apply(record);
             }
         }
         *store.wal.lock() = Some(
-            WalWriter::open_truncated(&path, clean_len)?.with_metrics(store.wal_metrics.clone()),
+            WalWriter::open_truncated(&path, recovery.clean_len)?
+                .with_metrics(store.wal_metrics.clone()),
         );
         Ok(store)
+    }
+
+    /// Like [`TraceStore::open`], but every subsequent WAL write goes
+    /// through a fault-injecting [`crate::fault::FaultFile`] driven by
+    /// `plan`. Recovery of the existing log is performed normally — the
+    /// plan governs only new appends. Crash-torture harness: ingest until
+    /// the plan fires (the writer poisons itself; see
+    /// [`TraceStore::durability`]), drop the store, reopen with
+    /// [`TraceStore::open`] and assert the durable prefix came back.
+    pub fn open_with_fault(
+        path: impl AsRef<Path>,
+        plan: crate::fault::FaultPlan,
+    ) -> crate::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let recovery = WalReader::read_all(&path)?;
+        let store = TraceStore {
+            inner: RwLock::new(Inner::default()),
+            wal: Mutex::new(None),
+            path: Some(path.clone()),
+            stats: QueryStats::new(),
+            wal_metrics: WalMetrics::new(),
+            wal_failure: Mutex::new(None),
+            recovered_tail: Some(recovery.tail),
+        };
+        match recovery.tail {
+            TailState::Clean => {}
+            TailState::TornTail { .. } => store.wal_metrics.torn_tails.inc(),
+            TailState::CorruptFrame { .. } => store.wal_metrics.corrupt_frames.inc(),
+        }
+        {
+            let mut inner = store.inner.write();
+            for record in recovery.records {
+                inner.apply(record);
+            }
+        }
+        // Truncate any damaged tail exactly as `open` does, then append
+        // through the fault layer.
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(&path)
+            .map_err(WalError::from)?;
+        file.set_len(recovery.clean_len).map_err(WalError::from)?;
+        drop(file);
+        let backend = crate::fault::FaultFile::append_to(&path, plan).map_err(WalError::from)?;
+        *store.wal.lock() =
+            Some(WalWriter::over(Box::new(backend)).with_metrics(store.wal_metrics.clone()));
+        Ok(store)
+    }
+
+    /// What WAL recovery found past the clean prefix when this store was
+    /// opened: `None` for in-memory stores, `Some(TailState::Clean)` for an
+    /// undamaged log, and a torn/corrupt tail state (with the damage
+    /// offset) when a crash was repaired.
+    pub fn recovered_tail(&self) -> Option<TailState> {
+        self.recovered_tail
+    }
+
+    /// Errors if a WAL append or sync has failed since the store was
+    /// opened (in which case the writer was shut down and recording is
+    /// memory-only). Call after a run to confirm its trace is durable.
+    pub fn durability(&self) -> crate::Result<()> {
+        match self.wal_failure.lock().clone() {
+            None => Ok(()),
+            Some(message) => Err(StoreError::WalPoisoned { message }),
+        }
     }
 
     /// Rewrites the WAL from current state (checkpoint compaction): the log
@@ -222,21 +320,42 @@ impl TraceStore {
         Ok(())
     }
 
-    // Durability failures must not silently drop provenance, and the
-    // `TraceSink` recording methods cannot return errors — panicking is the
-    // only honest response.
-    #[allow(clippy::expect_used)]
+    // Durability failures must not pass silently, but the `TraceSink`
+    // recording methods cannot return errors and panicking would take down
+    // the engine mid-run. Instead the writer is *poisoned*: the first
+    // failure shuts it down (no further appends can land past an
+    // inconsistent tail), the message is retained, and
+    // [`TraceStore::durability`] reports it as a typed `StoreError`.
     fn log(&self, record: &LogRecord) {
-        if let Some(w) = self.wal.lock().as_mut() {
-            w.append(record).expect("wal append failed");
+        let mut guard = self.wal.lock();
+        if let Some(w) = guard.as_mut() {
+            if let Err(e) = w.append(record) {
+                Self::poison(&mut guard, &self.wal_failure, e);
+            }
         }
     }
 
     /// Group commit: one WAL frame for a whole event batch.
-    #[allow(clippy::expect_used)]
     fn log_batch(&self, run: RunId, events: &[TraceEvent]) {
-        if let Some(w) = self.wal.lock().as_mut() {
-            w.append_batch(run, events).expect("wal append failed");
+        let mut guard = self.wal.lock();
+        if let Some(w) = guard.as_mut() {
+            if let Err(e) = w.append_batch(run, events) {
+                Self::poison(&mut guard, &self.wal_failure, e);
+            }
+        }
+    }
+
+    /// Shuts the writer down after a durability failure, retaining the
+    /// first failure message for [`TraceStore::durability`].
+    fn poison(
+        guard: &mut parking_lot::MutexGuard<'_, Option<WalWriter>>,
+        failure: &Mutex<Option<String>>,
+        err: WalError,
+    ) {
+        **guard = None;
+        let mut f = failure.lock();
+        if f.is_none() {
+            *f = Some(err.to_string());
         }
     }
 
@@ -598,8 +717,18 @@ impl TraceStore {
         let record = LogRecord::Workflow { name: name.clone(), json };
         self.log(&record);
         self.inner.write().apply(record);
-        if let Some(w) = self.wal.lock().as_mut() {
-            let _ = w.sync();
+        self.sync_or_poison();
+    }
+
+    /// Syncs the WAL, poisoning the writer on failure (see
+    /// [`TraceStore::durability`]). A silent `let _ = sync()` would report
+    /// a trace as recorded that never reached the disk.
+    fn sync_or_poison(&self) {
+        let mut guard = self.wal.lock();
+        if let Some(w) = guard.as_mut() {
+            if let Err(e) = w.sync() {
+                Self::poison(&mut guard, &self.wal_failure, e);
+            }
         }
     }
 
@@ -897,13 +1026,12 @@ impl TraceSink for TraceStore {
         }
     }
 
-    #[allow(clippy::expect_used)] // durability failure must not pass silently
     fn finish_run(&self, run: RunId) {
         self.inner.write().apply(LogRecord::FinishRun { run });
         self.log(&LogRecord::FinishRun { run });
-        if let Some(w) = self.wal.lock().as_mut() {
-            w.sync().expect("wal sync failed");
-        }
+        // Durability failure poisons the writer instead of panicking;
+        // `durability()` surfaces it as a typed error.
+        self.sync_or_poison();
     }
 }
 

@@ -49,6 +49,11 @@ pub struct WalMetrics {
     pub syncs: Counter,
     /// fsync latency in microseconds.
     pub sync_micros: Histogram,
+    /// Torn tails truncated during recovery (expected crash shape).
+    pub torn_tails: Counter,
+    /// Complete frames that failed their checksum or decode during
+    /// recovery (unexpected damage; replay stops before them).
+    pub corrupt_frames: Counter,
 }
 
 impl Default for WalMetrics {
@@ -66,6 +71,8 @@ impl WalMetrics {
             group_commits: Counter::standalone(),
             syncs: Counter::standalone(),
             sync_micros: Histogram::standalone(),
+            torn_tails: Counter::standalone(),
+            corrupt_frames: Counter::standalone(),
         }
     }
 
@@ -77,6 +84,8 @@ impl WalMetrics {
         registry.adopt_counter("wal.group_commits", &self.group_commits);
         registry.adopt_counter("wal.syncs", &self.syncs);
         registry.adopt_histogram("wal.sync_micros", &self.sync_micros);
+        registry.adopt_counter("wal.torn_tails", &self.torn_tails);
+        registry.adopt_counter("wal.corrupt_frames", &self.corrupt_frames);
     }
 }
 
@@ -168,10 +177,25 @@ impl From<std::io::Error> for WalError {
     }
 }
 
+/// The file abstraction the WAL writer appends through: a real [`File`]
+/// in production, a fault-injecting wrapper ([`crate::fault::FaultFile`])
+/// in crash-torture tests. `sync_data` takes `&mut self` so wrappers can
+/// count and fail syncs.
+pub trait WalFile: Write + Send + std::fmt::Debug {
+    /// Flushes written data to stable storage (fsync).
+    fn sync_data(&mut self) -> std::io::Result<()>;
+}
+
+impl WalFile for File {
+    fn sync_data(&mut self) -> std::io::Result<()> {
+        File::sync_data(self)
+    }
+}
+
 /// Appends framed records to a log file.
 #[derive(Debug)]
 pub struct WalWriter {
-    out: BufWriter<File>,
+    out: BufWriter<Box<dyn WalFile>>,
     metrics: WalMetrics,
 }
 
@@ -179,7 +203,7 @@ impl WalWriter {
     /// Opens (creating if needed) the log for appending.
     pub fn open(path: &Path) -> Result<Self, WalError> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(WalWriter { out: BufWriter::new(file), metrics: WalMetrics::new() })
+        Ok(WalWriter::over(Box::new(file)))
     }
 
     /// Opens the log for appending after truncating it to `len` bytes —
@@ -192,7 +216,13 @@ impl WalWriter {
         file.set_len(len)?;
         let mut file = OpenOptions::new().append(true).open(path)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(WalWriter { out: BufWriter::new(file), metrics: WalMetrics::new() })
+        Ok(WalWriter::over(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary backend — the entry point of the fault-injection
+    /// harness ([`crate::fault`]).
+    pub fn over(backend: Box<dyn WalFile>) -> Self {
+        WalWriter { out: BufWriter::new(backend), metrics: WalMetrics::new() }
     }
 
     /// Replaces this writer's metrics with a shared instance, so totals
@@ -235,56 +265,120 @@ impl WalWriter {
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.out.flush()?;
         let start = std::time::Instant::now();
-        self.out.get_ref().sync_data()?;
+        self.out.get_mut().sync_data()?;
         self.metrics.syncs.inc();
         self.metrics.sync_micros.record(start.elapsed().as_micros() as u64);
         Ok(())
     }
 }
 
+/// How the log's tail looked at recovery time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// The file ended exactly on a frame boundary — nothing to repair.
+    Clean,
+    /// The final frame was incomplete: the expected shape of a crash
+    /// mid-append. `offset` is the first byte of the torn frame (equal to
+    /// the clean length); truncating there loses nothing durable.
+    TornTail {
+        /// Offset of the first byte of the torn frame.
+        offset: u64,
+    },
+    /// A complete frame failed its checksum or did not decode. Unlike a
+    /// torn tail this is *not* a clean truncation — bytes after the clean
+    /// prefix were damaged in place. Replay still stops at `offset`, but
+    /// the store surfaces the distinction (`wal.corrupt_frames`).
+    CorruptFrame {
+        /// Offset of the first byte of the damaged frame.
+        offset: u64,
+    },
+}
+
+impl TailState {
+    /// Whether recovery found any damage (torn or corrupt).
+    pub fn is_clean(&self) -> bool {
+        matches!(self, TailState::Clean)
+    }
+}
+
+/// The result of replaying a log: the clean records, the length of the
+/// clean prefix they occupy, and what the tail beyond it looked like.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// Every record of the clean prefix, in append order.
+    pub records: Vec<LogRecord>,
+    /// Bytes of clean frames; the safe truncation point for
+    /// [`WalWriter::open_truncated`].
+    pub clean_len: u64,
+    /// State of the bytes past the clean prefix.
+    pub tail: TailState,
+}
+
+/// Frames longer than this are treated as corrupt rather than allocated:
+/// a length field this large can only come from damaged bytes.
+const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
 /// Reads framed records back.
 #[derive(Debug)]
 pub struct WalReader;
 
 impl WalReader {
-    /// Replays every clean record in the log. Returns the records and the
-    /// number of clean bytes consumed; a torn or corrupt tail stops the
-    /// replay without erroring (that is the expected crash shape), but the
-    /// returned `clean_len` will be shorter than the file.
-    pub fn read_all(path: &Path) -> Result<(Vec<LogRecord>, u64), WalError> {
+    /// Replays every clean record in the log. A torn or corrupt tail stops
+    /// the replay without erroring (crashes are the expected shape of a
+    /// WAL's end) and is reported in [`WalRecovery::tail`] with the damage
+    /// offset; a genuine mid-read I/O failure — the disk erroring, not the
+    /// file merely ending — is returned as [`WalError::Io`].
+    pub fn read_all(path: &Path) -> Result<WalRecovery, WalError> {
         let file = match File::open(path) {
             Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(WalRecovery {
+                    records: Vec::new(),
+                    clean_len: 0,
+                    tail: TailState::Clean,
+                })
+            }
             Err(e) => return Err(e.into()),
         };
         let mut reader = BufReader::new(file);
         let mut records = Vec::new();
         let mut clean_len = 0u64;
         let mut header = [0u8; 8];
-        loop {
+        let tail = loop {
             match read_exact_or_eof(&mut reader, &mut header) {
-                ReadOutcome::Eof => break,
-                ReadOutcome::Partial | ReadOutcome::Err => break,
+                ReadOutcome::Eof => break TailState::Clean,
+                ReadOutcome::Partial => break TailState::TornTail { offset: clean_len },
+                ReadOutcome::Err(e) => return Err(e.into()),
                 ReadOutcome::Full => {}
             }
             let mut buf = &header[..];
             let len = buf.get_u32_le() as usize;
             let crc = buf.get_u32_le();
+            if len > MAX_FRAME_LEN {
+                break TailState::CorruptFrame { offset: clean_len };
+            }
             let mut payload = vec![0u8; len];
             match read_exact_or_eof(&mut reader, &mut payload) {
                 ReadOutcome::Full => {}
-                _ => break, // torn frame
+                ReadOutcome::Err(e) => return Err(e.into()),
+                // The header was complete but the payload ends early: a
+                // frame torn by a crash mid-append.
+                ReadOutcome::Eof | ReadOutcome::Partial => {
+                    break TailState::TornTail { offset: clean_len };
+                }
             }
             if crate::crc32(&payload) != crc {
-                break; // corrupt frame
+                break TailState::CorruptFrame { offset: clean_len };
             }
             match serde_json::from_slice::<LogRecord>(&payload) {
                 Ok(r) => records.push(r),
-                Err(_) => break,
+                // Checksum held but the payload doesn't decode — the frame
+                // was written damaged, not torn.
+                Err(_) => break TailState::CorruptFrame { offset: clean_len },
             }
             clean_len += 8 + len as u64;
-        }
-        Ok((records, clean_len))
+        };
+        Ok(WalRecovery { records, clean_len, tail })
     }
 }
 
@@ -292,7 +386,7 @@ enum ReadOutcome {
     Full,
     Partial,
     Eof,
-    Err,
+    Err(std::io::Error),
 }
 
 fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> ReadOutcome {
@@ -302,7 +396,7 @@ fn read_exact_or_eof(reader: &mut impl Read, buf: &mut [u8]) -> ReadOutcome {
             Ok(0) => return if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial },
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return ReadOutcome::Err,
+            Err(e) => return ReadOutcome::Err(e),
         }
     }
     ReadOutcome::Full
@@ -346,9 +440,10 @@ mod tests {
             w.append(&r).unwrap();
         }
         w.sync().unwrap();
-        let (records, clean) = WalReader::read_all(&path).unwrap();
-        assert_eq!(records, sample_records());
-        assert_eq!(clean, std::fs::metadata(&path).unwrap().len());
+        let rec = WalReader::read_all(&path).unwrap();
+        assert_eq!(rec.records, sample_records());
+        assert_eq!(rec.clean_len, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(rec.tail, TailState::Clean);
     }
 
     #[test]
@@ -375,7 +470,7 @@ mod tests {
         // variant: append the owned record and compare the two frames.
         w.append(&LogRecord::Batch { run: RunId(3), events: events.clone() }).unwrap();
         w.sync().unwrap();
-        let (records, _) = WalReader::read_all(&path).unwrap();
+        let records = WalReader::read_all(&path).unwrap().records;
         assert_eq!(records.len(), 2);
         assert_eq!(records[0], records[1]);
         assert_eq!(records[0], LogRecord::Batch { run: RunId(3), events });
@@ -407,13 +502,14 @@ mod tests {
     #[test]
     fn missing_file_reads_empty() {
         let path = tmp("missing");
-        let (records, clean) = WalReader::read_all(&path).unwrap();
-        assert!(records.is_empty());
-        assert_eq!(clean, 0);
+        let rec = WalReader::read_all(&path).unwrap();
+        assert!(rec.records.is_empty());
+        assert_eq!(rec.clean_len, 0);
+        assert_eq!(rec.tail, TailState::Clean);
     }
 
     #[test]
-    fn torn_tail_is_dropped() {
+    fn torn_tail_is_dropped_and_reported_with_offset() {
         let path = tmp("torn");
         let mut w = WalWriter::open(&path).unwrap();
         for r in sample_records() {
@@ -424,9 +520,9 @@ mod tests {
         // Chop the last 3 bytes: the final frame is torn.
         let f = OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len(full - 3).unwrap();
-        let (records, clean) = WalReader::read_all(&path).unwrap();
-        assert_eq!(records.len(), sample_records().len() - 1);
-        assert!(clean < full - 3 || records.len() == 2);
+        let rec = WalReader::read_all(&path).unwrap();
+        assert_eq!(rec.records.len(), sample_records().len() - 1);
+        assert_eq!(rec.tail, TailState::TornTail { offset: rec.clean_len });
     }
 
     #[test]
@@ -443,9 +539,28 @@ mod tests {
         let second_payload_at = 8 + first_len + 8;
         bytes[second_payload_at + 2] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let (records, clean) = WalReader::read_all(&path).unwrap();
-        assert_eq!(records.len(), 1);
-        assert_eq!(clean, (8 + first_len) as u64);
+        let rec = WalReader::read_all(&path).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.clean_len, (8 + first_len) as u64);
+        // Checksum damage is distinguished from clean truncation.
+        assert_eq!(rec.tail, TailState::CorruptFrame { offset: (8 + first_len) as u64 });
+    }
+
+    #[test]
+    fn absurd_length_field_is_corrupt_not_an_allocation() {
+        let path = tmp("hugelen");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&LogRecord::FinishRun { run: RunId(1) }).unwrap();
+        w.sync().unwrap();
+        let clean = std::fs::metadata(&path).unwrap().len();
+        // Append a frame header claiming a ~4 GiB payload.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        f.write_all(&0u32.to_le_bytes()).unwrap();
+        f.write_all(b"garbage").unwrap();
+        let rec = WalReader::read_all(&path).unwrap();
+        assert_eq!(rec.records.len(), 1);
+        assert_eq!(rec.tail, TailState::CorruptFrame { offset: clean });
     }
 
     #[test]
@@ -459,13 +574,15 @@ mod tests {
         // Corrupt the tail, recover, truncate, append a fresh record.
         let full = std::fs::metadata(&path).unwrap().len();
         OpenOptions::new().write(true).open(&path).unwrap().set_len(full - 1).unwrap();
-        let (records, clean) = WalReader::read_all(&path).unwrap();
-        assert_eq!(records.len(), 2);
-        let mut w = WalWriter::open_truncated(&path, clean).unwrap();
+        let rec = WalReader::read_all(&path).unwrap();
+        assert_eq!(rec.records.len(), 2);
+        assert!(!rec.tail.is_clean());
+        let mut w = WalWriter::open_truncated(&path, rec.clean_len).unwrap();
         w.append(&LogRecord::FinishRun { run: RunId(9) }).unwrap();
         w.sync().unwrap();
-        let (records, _) = WalReader::read_all(&path).unwrap();
-        assert_eq!(records.len(), 3);
-        assert_eq!(records[2], LogRecord::FinishRun { run: RunId(9) });
+        let rec = WalReader::read_all(&path).unwrap();
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[2], LogRecord::FinishRun { run: RunId(9) });
+        assert_eq!(rec.tail, TailState::Clean);
     }
 }
