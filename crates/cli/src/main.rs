@@ -6,7 +6,7 @@
 //! tprov gk       --db t.wal [--lists 3] [--genes 2] [--seed 7] [--runs 1]
 //! tprov pd       --db t.wal [--terms p53,tumor] [--pad 20]
 //! tprov run      --db t.wal --workflow wf.json --input name=<json> …
-//!                [--max-attempts N] [--fail-fast] [--json]
+//!                [--max-attempts N] [--fail-fast] [--json] [--resume RUN]
 //! tprov runs     --db t.wal
 //! tprov lineage  --db t.wal --workflow wf.json --target P:Y
 //!                [--index 1,2] [--focus A,B] [--run 0 | --all-runs]
@@ -22,6 +22,13 @@
 //! JSON whose behaviours are all in the builtin registry; it exits 0 when
 //! the run completed and 3 when it finished with error tokens (partial
 //! failure), so scripts can tell the two apart from plain usage errors.
+//! `run --resume RUN` re-executes only the invocations a crashed run is
+//! missing, keeping the original run id.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -101,8 +108,9 @@ fn print_usage() {
          \x20 gk       --db FILE [--lists N] [--genes N] [--seed N] [--runs N]\n\
          \x20 pd       --db FILE [--terms a,b] [--pad N]\n\
          \x20 run      --db FILE --workflow WF.json --input name=<json> ...\n\
-         \x20          [--max-attempts N] [--fail-fast] [--json]\n\
+         \x20          [--max-attempts N] [--fail-fast] [--json] [--resume RUN]\n\
          \x20          exit 0 = completed, 3 = partial failure (error tokens)\n\
+         \x20          --resume re-executes only what crashed run RUN is missing\n\
          \x20 runs     --db FILE                           list stored runs\n\
          \x20 lineage  --db FILE --workflow WF.json --target P:Y [--index 1,2]\n\
          \x20          [--focus A,B] [--run N | --all-runs] [--algo indexproj|ni]\n\
@@ -233,7 +241,8 @@ fn cmd_pd(args: &Args) -> Result<(), String> {
 }
 
 /// What `tprov run --json` prints: enough to script against partial runs
-/// without parsing human output.
+/// without parsing human output. The key set is part of the CLI contract
+/// (locked by a golden test); `resumed_from` is `null` for fresh runs.
 #[derive(serde::Serialize)]
 struct RunReport {
     run: u64,
@@ -241,6 +250,7 @@ struct RunReport {
     status: String,
     outputs: std::collections::BTreeMap<String, Value>,
     failed_xforms: Vec<FailedInvocation>,
+    resumed_from: Option<u64>,
 }
 
 fn cmd_run(args: &Args) -> Result<ExitCode, String> {
@@ -266,7 +276,14 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     if args.has_flag("fail-fast") {
         engine = engine.fail_fast();
     }
-    let out = engine.execute(&df, inputs, &store).map_err(|e| e.to_string())?;
+    // `--resume RUN` picks the crashed run back up: settled invocations
+    // are reloaded from the durable trace, only the missing ones execute,
+    // and the original run id is kept.
+    let resumed_from: Option<u64> = args.get_parsed("resume")?;
+    let out = match resumed_from {
+        Some(run) => engine.resume(&df, inputs, &store, RunId(run)).map_err(|e| e.to_string())?,
+        None => engine.execute(&df, inputs, &store).map_err(|e| e.to_string())?,
+    };
     let failed = out.failed_xforms();
     let status = if failed.is_empty() { "completed" } else { "partial-failure" };
     if args.has_flag("json") {
@@ -276,10 +293,12 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
             status: status.to_string(),
             outputs: out.outputs.iter().map(|(p, v)| (p.to_string(), v.clone())).collect(),
             failed_xforms: failed.to_vec(),
+            resumed_from,
         };
         println!("{}", json::render(&report)?);
     } else {
-        println!("{}: {} run recorded ({status})", out.run_id, df.name);
+        let how = if resumed_from.is_some() { "resumed" } else { "recorded" };
+        println!("{}: {} run {how} ({status})", out.run_id, df.name);
         for (port, value) in &out.outputs {
             println!("  {port} = {value}");
         }

@@ -440,6 +440,124 @@ fn lint_clean_workflow_exits_zero() {
     assert!(stdout(&out).contains("0 error(s)") || stdout(&out).contains("no diagnostics"));
 }
 
+/// The `upper` workflow used by the run/resume tests: `string_upper`
+/// mapped over a list input.
+fn upper_workflow_json() -> String {
+    let mut b = prov_dataflow::DataflowBuilder::new("upper");
+    b.input("xs", prov_dataflow::PortType::list(prov_dataflow::BaseType::String));
+    b.processor_with_behavior("U", "string_upper")
+        .in_port("x", prov_dataflow::PortType::atom(prov_dataflow::BaseType::String))
+        .out_port("y", prov_dataflow::PortType::atom(prov_dataflow::BaseType::String));
+    b.arc_from_input("xs", "U", "x").unwrap();
+    b.output("ys", prov_dataflow::PortType::list(prov_dataflow::BaseType::String));
+    b.arc_to_output("U", "y", "ys").unwrap();
+    serde_json::to_string(&b.build().unwrap()).unwrap()
+}
+
+/// Golden test for the `run --json` schema: scripts depend on this exact
+/// key set, so growing it is fine only through deliberate review here.
+#[test]
+fn run_json_schema_is_locked() {
+    let db = TempDb::new("schema");
+    let wf_path = format!("{}.authored.json", db.arg());
+    std::fs::write(&wf_path, upper_workflow_json()).unwrap();
+
+    let out = tprov(&[
+        "run",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &wf_path,
+        "--input",
+        r#"xs={"List":[{"Atom":{"Str":"ab"}}]}"#,
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    let serde_json::Value::Object(fields) = &report else {
+        panic!("run --json must print an object, got {report:?}")
+    };
+    let mut keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+    keys.sort_unstable();
+    assert_eq!(keys, ["failed_xforms", "outputs", "resumed_from", "run", "status", "workflow"]);
+    assert!(
+        matches!(report["run"], serde_json::Value::Int(0) | serde_json::Value::Uint(0)),
+        "{:?}",
+        report["run"]
+    );
+    assert_eq!(report["workflow"].as_str(), Some("upper"));
+    assert_eq!(report["status"].as_str(), Some("completed"));
+    assert_eq!(report["resumed_from"], serde_json::Value::Null, "fresh runs carry null");
+    let _ = std::fs::remove_file(&wf_path);
+}
+
+#[test]
+fn run_resume_replays_settled_state_and_keeps_exit_codes() {
+    let db = TempDb::new("resume");
+    let wf_path = format!("{}.authored.json", db.arg());
+    std::fs::write(&wf_path, upper_workflow_json()).unwrap();
+    let mixed = r#"xs={"List":[{"Atom":{"Str":"ab"}},{"Atom":{"Int":3}}]}"#;
+
+    // A partial-failure run (the Int element fails)...
+    let out = tprov(&[
+        "run",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &wf_path,
+        "--input",
+        mixed,
+        "--max-attempts",
+        "2",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    let fresh: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+
+    // ...resumed: every invocation is already settled in the trace, so the
+    // report is identical (outputs, failures, attempts) except for
+    // `resumed_from`, and the exit code is still 3.
+    let out = tprov(&[
+        "run",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &wf_path,
+        "--input",
+        mixed,
+        "--resume",
+        "0",
+        "--json",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    let resumed: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert!(
+        matches!(resumed["resumed_from"], serde_json::Value::Int(0) | serde_json::Value::Uint(0)),
+        "{:?}",
+        resumed["resumed_from"]
+    );
+    assert_eq!(resumed["run"], fresh["run"], "resume keeps the original run id");
+    assert_eq!(resumed["outputs"], fresh["outputs"]);
+    assert_eq!(resumed["status"], fresh["status"]);
+    assert_eq!(resumed["failed_xforms"], fresh["failed_xforms"]);
+
+    // Resuming a run the store has never seen is a plain usage error.
+    let out = tprov(&[
+        "run",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &wf_path,
+        "--input",
+        mixed,
+        "--resume",
+        "99",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot resume"), "{}", stderr(&out));
+    let _ = std::fs::remove_file(&wf_path);
+}
+
 #[test]
 fn missing_required_flags_error_cleanly() {
     let out = tprov(&["lineage", "--db", "/nonexistent/nope.wal"]);

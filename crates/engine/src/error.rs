@@ -62,6 +62,12 @@ pub enum EngineError {
         /// Rendered error-level diagnostics, one per entry.
         errors: Vec<String>,
     },
+    /// A crashed run could not be resumed — the run is missing from the
+    /// trace, or was recorded under a different workflow.
+    Resume {
+        /// Why the resume was refused.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -92,6 +98,7 @@ impl fmt::Display for EngineError {
             EngineError::Preflight { errors } => {
                 write!(f, "pre-flight analysis rejected the workflow: {}", errors.join("; "))
             }
+            EngineError::Resume { message } => write!(f, "cannot resume: {message}"),
         }
     }
 }

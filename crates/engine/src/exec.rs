@@ -21,8 +21,27 @@ use prov_obs::{Counter, Histogram, Obs, SpanGuard};
 use crate::behavior::{Behavior, BehaviorRegistry};
 use crate::events::{PortBinding, TraceEvent, TraceGranularity, TraceSink, XferEvent, XformEvent};
 use crate::iteration::{assemble_nested, iteration_tuples};
-use crate::retry::{Clock, RetryPolicy, SystemClock};
+use crate::resume::ResumeSource;
+use crate::retry::{invocation_salt, Clock, RetryPolicy, SystemClock};
 use crate::{EngineError, Result};
+
+/// Resume state threaded through the executor: the durable trace to check
+/// invocations against, and the run being resumed. `None` everywhere for a
+/// fresh run.
+#[derive(Clone, Copy)]
+struct ResumeCtx<'a> {
+    source: &'a dyn ResumeSource,
+    run: RunId,
+}
+
+/// Pushes an xfer event unless an identical one is already durable in the
+/// resumed trace — re-emitting would duplicate rows and skew lineage
+/// answers against the uninterrupted run.
+fn push_xfer(resume: Option<ResumeCtx<'_>>, batch: &mut Vec<TraceEvent>, event: XferEvent) {
+    if resume.is_none_or(|ctx| !ctx.source.has_xfer(ctx.run, &event)) {
+        batch.push(TraceEvent::Xfer(event));
+    }
+}
 
 /// The engine's own counters, behind `engine.*` names in the registry the
 /// engine was built with ([`Engine::with_obs`]). Disabled-obs engines hold
@@ -270,6 +289,47 @@ impl Engine {
         inputs: Vec<(String, Value)>,
         sink: &dyn TraceSink,
     ) -> Result<RunOutcome> {
+        self.run_internal(df, inputs, sink, None)
+    }
+
+    /// Resumes a crashed run: re-walks `df` under the existing `run_id`,
+    /// reusing the outputs of every invocation whose trace records are
+    /// durable in `source` (see [`ResumeSource::settled_outputs`]) and
+    /// re-executing only the rest. The caller must pass the same workflow
+    /// and inputs as the original run — behaviours are assumed
+    /// deterministic, which is also what makes the reuse sound. The
+    /// returned outcome (outputs, status, failure accounting) is identical
+    /// to what the uninterrupted run would have produced.
+    pub fn resume<S: ResumeSource>(
+        &self,
+        df: &Dataflow,
+        inputs: Vec<(String, Value)>,
+        source: &S,
+        run_id: RunId,
+    ) -> Result<RunOutcome> {
+        let Some(recorded) = source.run_workflow(run_id) else {
+            return Err(EngineError::Resume {
+                message: format!("run {run_id} is not in the trace store"),
+            });
+        };
+        if recorded != df.name {
+            return Err(EngineError::Resume {
+                message: format!(
+                    "run {run_id} was recorded for workflow {recorded:?}, not {:?}",
+                    df.name
+                ),
+            });
+        }
+        self.run_internal(df, inputs, source, Some(ResumeCtx { source, run: run_id }))
+    }
+
+    fn run_internal(
+        &self,
+        df: &Dataflow,
+        inputs: Vec<(String, Value)>,
+        sink: &dyn TraceSink,
+        resume: Option<ResumeCtx<'_>>,
+    ) -> Result<RunOutcome> {
         if self.preflight {
             let errors: Vec<String> = prov_dataflow::analyze(df)
                 .into_iter()
@@ -280,7 +340,10 @@ impl Engine {
                 return Err(EngineError::Preflight { errors });
             }
         }
-        let run_id = sink.begin_run(&df.name);
+        let run_id = match resume {
+            Some(ctx) => ctx.run,
+            None => sink.begin_run(&df.name),
+        };
         let input_map: HashMap<Arc<str>, Value> =
             inputs.into_iter().map(|(k, v)| (Arc::from(k.as_str()), v)).collect();
         let offsets = ScopeOffsets::top_level();
@@ -294,7 +357,10 @@ impl Engine {
             sink,
             run_id,
             &failures,
+            resume,
         )?;
+        // Idempotent on resume: a duplicate FinishRun replay just re-marks
+        // the run finished.
         sink.finish_run(run_id);
         let failed_xforms = failures.into_inner();
         let status = if failed_xforms.is_empty() {
@@ -329,6 +395,7 @@ impl Engine {
         sink: &dyn TraceSink,
         run_id: RunId,
         failures: &Mutex<Vec<FailedInvocation>>,
+        resume: Option<ResumeCtx<'_>>,
     ) -> Result<Vec<(Arc<str>, Value)>> {
         // Assumption 2 (§3.1): workflow inputs carry values of declared type.
         for port in &df.inputs {
@@ -356,6 +423,7 @@ impl Engine {
                         sink,
                         run_id,
                         failures,
+                        resume,
                     )?;
                     for (port, value) in produced {
                         out_values.insert((pname.clone(), port), value);
@@ -381,7 +449,7 @@ impl Engine {
                                         pname.clone(),
                                         self.process_one(
                                             df, depths_ref, pname, scope_ref, prefix, inputs_ref,
-                                            offsets, out_ref, sink, run_id, failures,
+                                            offsets, out_ref, sink, run_id, failures, resume,
                                         ),
                                     )
                                 })
@@ -422,6 +490,7 @@ impl Engine {
                 PortRef { processor: scope_name.clone(), port: port.name.clone() },
                 offsets.global.clone(),
                 &v,
+                resume,
             );
             outputs.push((port.name.clone(), v));
         }
@@ -447,6 +516,7 @@ impl Engine {
         sink: &dyn TraceSink,
         run_id: RunId,
         failures: &Mutex<Vec<FailedInvocation>>,
+        resume: Option<ResumeCtx<'_>>,
     ) -> Result<Vec<(Arc<str>, Value)>> {
         {
             let p = df.processor_required(pname)?;
@@ -488,6 +558,7 @@ impl Engine {
                             PortRef { processor: qualified.clone(), port: port.name.clone() },
                             offsets.global.clone(),
                             &v,
+                            resume,
                         );
                         v
                     }
@@ -522,8 +593,13 @@ impl Engine {
             // xform is recorded for it).
             let mut per_output: Vec<Vec<(Index, Value)>> =
                 vec![Vec::with_capacity(tuples.len()); p.outputs.len()];
+            let out_port_names: Vec<Arc<str>> =
+                p.outputs.iter().map(|port| port.name.clone()).collect();
             for (invocation, tuple) in tuples.into_iter().enumerate() {
                 let elements: Vec<Value> = tuple.inputs.iter().map(|(_, v)| v.clone()).collect();
+                // The absolute iteration index `q` of this elementary
+                // invocation — what its trace events carry.
+                let q_abs = offsets.global.concat(&tuple.output_index);
                 let mut record_event = true;
                 let results = match &p.kind {
                     ProcessorKind::Task { behavior } => {
@@ -531,7 +607,33 @@ impl Engine {
                             .registry
                             .get(behavior)
                             .ok_or_else(|| EngineError::UnknownBehavior(behavior.clone()))?;
-                        if let Some(tok) = elements.iter().find_map(|v| v.first_error()) {
+                        let settled = resume.and_then(|ctx| {
+                            ctx.source.settled_outputs(ctx.run, &qualified, &q_abs, &out_port_names)
+                        });
+                        if let Some(values) = settled {
+                            // The invocation's records survived the crash:
+                            // reuse its recorded outputs and skip both the
+                            // behaviour and the xform event. Failure
+                            // accounting is rebuilt from error tokens this
+                            // invocation *originated*; a propagated foreign
+                            // token adds no entry, exactly as in a fresh
+                            // run.
+                            record_event = false;
+                            if let Some(tok) = values
+                                .iter()
+                                .find_map(|v| v.first_error())
+                                .filter(|t| &*t.origin == qualified.as_str())
+                            {
+                                self.metrics.failed_invocations.inc();
+                                failures.lock().push(FailedInvocation {
+                                    processor: qualified.clone(),
+                                    index: q_abs.clone(),
+                                    message: tok.message.to_string(),
+                                    attempts: tok.attempts,
+                                });
+                            }
+                            values
+                        } else if let Some(tok) = elements.iter().find_map(|v| v.first_error()) {
                             // Short-circuit: an input element carries an
                             // error token, so this elementary invocation
                             // propagates it to every output (at declared
@@ -549,7 +651,8 @@ impl Engine {
                                 })
                                 .collect()
                         } else {
-                            match self.invoke_with_retry(pname, b.as_ref(), &elements) {
+                            let salt = invocation_salt(qualified.as_str(), &q_abs);
+                            match self.invoke_with_retry(pname, b.as_ref(), &elements, salt) {
                                 Ok(results) => results,
                                 Err((message, _attempts)) if self.fail_fast => {
                                     return Err(EngineError::Behavior {
@@ -564,7 +667,7 @@ impl Engine {
                                     self.metrics.failed_invocations.inc();
                                     failures.lock().push(FailedInvocation {
                                         processor: qualified.clone(),
-                                        index: offsets.global.concat(&tuple.output_index),
+                                        index: q_abs.clone(),
                                         message: message.clone(),
                                         attempts,
                                     });
@@ -607,7 +710,7 @@ impl Engine {
                                     (port.name.clone(), offsets.global.concat(idx))
                                 })
                                 .collect(),
-                            global: offsets.global.concat(&tuple.output_index),
+                            global: q_abs.clone(),
                         };
                         self.execute_scoped(
                             dataflow,
@@ -618,6 +721,7 @@ impl Engine {
                             sink,
                             run_id,
                             failures,
+                            resume,
                         )?
                         .into_iter()
                         .map(|(_, v)| v)
@@ -637,7 +741,7 @@ impl Engine {
                     check_depth(value, port.declared.depth, &format!("{pname}:{}", port.name))?;
                     out_bindings.push(PortBinding {
                         port: port.name.clone(),
-                        index: offsets.global.concat(&tuple.output_index),
+                        index: q_abs.clone(),
                         value: value.clone(),
                     });
                 }
@@ -682,6 +786,7 @@ impl Engine {
         pname: &ProcessorName,
         behavior: &dyn Behavior,
         elements: &[Value],
+        salt: u64,
     ) -> std::result::Result<Vec<Value>, (String, u32)> {
         let policy = self.retry_overrides.get(pname).unwrap_or(&self.default_retry);
         let start = self.clock.now_micros();
@@ -699,7 +804,7 @@ impl Engine {
                         return Err((message, attempt));
                     }
                     self.metrics.retries.inc();
-                    self.clock.sleep_micros(policy.backoff.delay_micros(attempt));
+                    self.clock.sleep_micros(policy.delay_micros(attempt, salt));
                 }
             }
         }
@@ -749,7 +854,9 @@ impl Engine {
     /// Emits the xfer events for a value crossing an arc, at the configured
     /// granularity, into the caller's event batch. `src_offset`/`dst_offset`
     /// translate element-relative indices to absolute ones at nested-scope
-    /// boundaries.
+    /// boundaries. On resume, transfers already durable in the trace are
+    /// suppressed so the resumed trace has no duplicate rows.
+    #[allow(clippy::too_many_arguments)]
     fn emit_xfer(
         &self,
         batch: &mut Vec<TraceEvent>,
@@ -758,36 +865,49 @@ impl Engine {
         dst: PortRef,
         dst_offset: Index,
         value: &Value,
+        resume: Option<ResumeCtx<'_>>,
     ) {
         match self.granularity {
             TraceGranularity::Coarse => {
-                batch.push(TraceEvent::Xfer(XferEvent {
-                    src,
-                    src_index: src_offset,
-                    dst,
-                    dst_index: dst_offset,
-                    value: value.clone(),
-                }));
-            }
-            TraceGranularity::Fine => {
-                if value.is_atom() {
-                    batch.push(TraceEvent::Xfer(XferEvent {
+                push_xfer(
+                    resume,
+                    batch,
+                    XferEvent {
                         src,
                         src_index: src_offset,
                         dst,
                         dst_index: dst_offset,
                         value: value.clone(),
-                    }));
+                    },
+                );
+            }
+            TraceGranularity::Fine => {
+                if value.is_atom() {
+                    push_xfer(
+                        resume,
+                        batch,
+                        XferEvent {
+                            src,
+                            src_index: src_offset,
+                            dst,
+                            dst_index: dst_offset,
+                            value: value.clone(),
+                        },
+                    );
                     return;
                 }
                 for (index, atom) in value.leaves() {
-                    batch.push(TraceEvent::Xfer(XferEvent {
-                        src: src.clone(),
-                        src_index: src_offset.concat(&index),
-                        dst: dst.clone(),
-                        dst_index: dst_offset.concat(&index),
-                        value: Value::Atom(atom.clone()),
-                    }));
+                    push_xfer(
+                        resume,
+                        batch,
+                        XferEvent {
+                            src: src.clone(),
+                            src_index: src_offset.concat(&index),
+                            dst: dst.clone(),
+                            dst_index: dst_offset.concat(&index),
+                            value: Value::Atom(atom.clone()),
+                        },
+                    );
                 }
             }
         }

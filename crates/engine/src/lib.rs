@@ -28,6 +28,7 @@ mod error;
 mod events;
 mod exec;
 mod iteration;
+mod resume;
 mod retry;
 
 pub use behavior::{builtin, Behavior, BehaviorRegistry, FnBehavior};
@@ -38,7 +39,8 @@ pub use events::{
 };
 pub use exec::{Engine, ExecutionMode, FailedInvocation, RunOutcome, RunStatus};
 pub use iteration::{assemble_nested, iteration_tuples, IterationTuple};
-pub use retry::{Backoff, Clock, RetryOn, RetryPolicy, SystemClock, VirtualClock};
+pub use resume::ResumeSource;
+pub use retry::{invocation_salt, Backoff, Clock, RetryOn, RetryPolicy, SystemClock, VirtualClock};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,59 @@
+//! Resuming crashed runs from a durable trace.
+//!
+//! The provenance trace is a complete record of execution (§2.2–2.3), which
+//! makes it a *checkpoint*: every elementary invocation whose records
+//! survived a crash has already published its outputs into the trace, and a
+//! re-execution of the same deterministic workflow on the same inputs would
+//! reproduce them bit for bit. [`Engine::resume`](crate::Engine::resume)
+//! exploits this — it re-walks the dataflow under the original run id,
+//! reuses the outputs of every invocation the trace proves *settled*, and
+//! actually invokes only the work the crash swallowed.
+//!
+//! An invocation is **settled** iff its xform record is durable with an
+//! output binding at exactly its absolute iteration index for every output
+//! port — partial frames never decode (the WAL is CRC-framed and batches
+//! are atomic), so a record that reads back is a record that was written
+//! whole. Transfers are re-emitted individually unless an identical xfer
+//! row already exists, so a resumed trace converges on the uninterrupted
+//! one without duplicate records.
+
+use std::sync::Arc;
+
+use prov_model::{Index, ProcessorName, RunId, Value};
+
+use crate::events::{TraceSink, XferEvent};
+
+/// A durable trace that a crashed run can be resumed against.
+///
+/// The resume path both *reads* the trace (to find settled invocations and
+/// already-recorded transfers) and *writes* it (to record the re-executed
+/// remainder), hence the [`TraceSink`] supertrait. `prov-store`'s
+/// `TraceStore` is the canonical implementation.
+pub trait ResumeSource: TraceSink {
+    /// The workflow name `run` was recorded under, or `None` if the run is
+    /// unknown to the trace.
+    fn run_workflow(&self, run: RunId) -> Option<ProcessorName>;
+
+    /// Whether the run's finish record is durable (the crash happened after
+    /// all work completed; resuming is then a pure replay).
+    fn run_finished(&self, run: RunId) -> bool;
+
+    /// The recorded outputs of the elementary invocation of `processor` at
+    /// absolute iteration index `index`, in `ports` order — `Some` iff the
+    /// invocation is settled: a durable xform record carries an output
+    /// binding at exactly `index` for every requested port. Invocations of
+    /// zero-output processors can never prove themselves settled and always
+    /// re-execute (idempotence of their behaviours is assumed, as for any
+    /// re-run).
+    fn settled_outputs(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        index: &Index,
+        ports: &[Arc<str>],
+    ) -> Option<Vec<Value>>;
+
+    /// Whether an identical xfer record (same endpoints, same indices, same
+    /// value) is already durable in the trace.
+    fn has_xfer(&self, run: RunId, event: &XferEvent) -> bool;
+}

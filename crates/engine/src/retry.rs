@@ -81,6 +81,12 @@ pub struct RetryPolicy {
     pub deadline_micros: Option<u64>,
     /// Predicate selecting retryable failures.
     pub retry_on: RetryOn,
+    /// Seed for deterministic backoff jitter. `None` (the default) keeps
+    /// the raw [`Backoff`] schedule; with a seed, each delay is spread over
+    /// the half-to-full range of the base delay, keyed by the seed, the
+    /// per-invocation salt, and the attempt — so parallel iterations don't
+    /// retry in lock-step, yet every schedule replays identically.
+    pub jitter_seed: Option<u64>,
 }
 
 impl RetryPolicy {
@@ -91,6 +97,7 @@ impl RetryPolicy {
             backoff: Backoff::None,
             deadline_micros: None,
             retry_on: RetryOn::Any,
+            jitter_seed: None,
         }
     }
 
@@ -117,6 +124,28 @@ impl RetryPolicy {
         self
     }
 
+    /// Enables deterministic jitter under the given seed.
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// The delay before the retry following failed attempt `attempt`
+    /// (1-based), in microseconds — the [`Backoff`] schedule, spread over
+    /// `[base/2, base]` when jitter is enabled. `salt` identifies the
+    /// invocation (see [`invocation_salt`]): different invocations get
+    /// decorrelated schedules, the same invocation replays the same one.
+    pub fn delay_micros(&self, attempt: u32, salt: u64) -> u64 {
+        let base = self.backoff.delay_micros(attempt);
+        let Some(seed) = self.jitter_seed else { return base };
+        if base == 0 {
+            return 0;
+        }
+        let half = base / 2;
+        let span = base - half + 1;
+        half + splitmix64(seed ^ splitmix64(salt ^ u64::from(attempt))) % span
+    }
+
     /// Whether another attempt is allowed after failed attempt `attempt`
     /// (1-based) with the given message, `elapsed_micros` into the
     /// invocation.
@@ -131,6 +160,37 @@ impl Default for RetryPolicy {
     fn default() -> Self {
         RetryPolicy::none()
     }
+}
+
+/// SplitMix64: a tiny, high-quality bit mixer. Used to decorrelate jitter
+/// streams; statistical quality matters here only enough to avoid retry
+/// synchronisation, and determinism matters completely.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A stable per-invocation salt for [`RetryPolicy::delay_micros`]: FNV-1a
+/// over the qualified processor name and the absolute iteration index.
+/// Pure data — two runs of the same workflow produce identical salts, so
+/// jittered schedules replay bit-for-bit.
+pub fn invocation_salt(processor: &str, index: &prov_model::Index) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for b in processor.as_bytes() {
+        eat(*b);
+    }
+    for component in index.iter() {
+        for b in component.to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
 }
 
 /// An injectable time source for retry scheduling.
@@ -248,5 +308,60 @@ mod tests {
         c.sleep_micros(200);
         assert_eq!(c.now_micros(), 300);
         assert_eq!(c.sleeps(), vec![100, 200]);
+    }
+
+    fn schedule(p: &RetryPolicy, salt: u64) -> Vec<u64> {
+        (1..=4).map(|a| p.delay_micros(a, salt)).collect()
+    }
+
+    #[test]
+    fn no_jitter_seed_keeps_the_raw_schedule() {
+        let p = RetryPolicy::attempts(4)
+            .with_backoff(Backoff::Exponential { base_micros: 100, max_micros: 1_000 });
+        assert_eq!(schedule(&p, 0), vec![100, 200, 400, 800]);
+        assert_eq!(schedule(&p, 99), vec![100, 200, 400, 800]);
+    }
+
+    #[test]
+    fn jitter_stays_in_half_to_full_range_and_replays_identically() {
+        let p = RetryPolicy::attempts(4)
+            .with_backoff(Backoff::Exponential { base_micros: 100, max_micros: 1_000 })
+            .with_jitter(42);
+        for salt in [0u64, 1, 0xDEAD, u64::MAX] {
+            let s = schedule(&p, salt);
+            for (i, (d, base)) in s.iter().zip([100u64, 200, 400, 800]).enumerate() {
+                assert!(*d >= base / 2 && *d <= base, "attempt {}: {d} vs base {base}", i + 1);
+            }
+            // A fixed (seed, salt) replays the identical schedule.
+            assert_eq!(s, schedule(&p, salt));
+        }
+        // Zero base never jitters into a positive delay.
+        assert_eq!(RetryPolicy::attempts(2).with_jitter(42).delay_micros(1, 7), 0);
+    }
+
+    #[test]
+    fn jitter_schedules_differ_across_invocations() {
+        let p = RetryPolicy::attempts(4)
+            .with_backoff(Backoff::Exponential { base_micros: 1_000_000, max_micros: u64::MAX })
+            .with_jitter(42);
+        let a = schedule(&p, invocation_salt("wf/P", &prov_model::Index::single(0)));
+        let b = schedule(&p, invocation_salt("wf/P", &prov_model::Index::single(1)));
+        let c = schedule(&p, invocation_salt("wf/Q", &prov_model::Index::single(0)));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        // And across seeds for the same invocation.
+        let p2 = p.clone().with_jitter(43);
+        assert_ne!(a, schedule(&p2, invocation_salt("wf/P", &prov_model::Index::single(0))));
+    }
+
+    #[test]
+    fn invocation_salt_is_stable_data() {
+        let idx = prov_model::Index::from_slice(&[1, 2, 3]);
+        assert_eq!(invocation_salt("wf/P", &idx), invocation_salt("wf/P", &idx));
+        assert_ne!(
+            invocation_salt("wf/P", &idx),
+            invocation_salt("wf/P", &prov_model::Index::empty())
+        );
     }
 }

@@ -62,6 +62,11 @@ pub(crate) fn encode_record(record: &LogRecord) -> Vec<u8> {
             enc_str(&mut out, json);
             out.push_str("}}");
         }
+        LogRecord::Snapshot { generation } => {
+            out.push_str("{\"Snapshot\":{\"generation\":");
+            enc_u64(&mut out, *generation);
+            out.push_str("}}");
+        }
     }
     out.into_bytes()
 }
@@ -360,6 +365,8 @@ mod tests {
                 name: ProcessorName::from("wf"),
                 json: "{\"nested\":\"json\\n\"}".to_string(),
             },
+            LogRecord::Snapshot { generation: 0 },
+            LogRecord::Snapshot { generation: u64::MAX },
         ];
         for record in &records {
             assert_matches_tree(record);

@@ -35,6 +35,7 @@ mod export;
 pub mod fault;
 mod indexes;
 mod rows;
+mod snapshot;
 mod stats;
 mod store;
 mod symbols;
@@ -45,6 +46,7 @@ pub use crc::crc32;
 pub use export::{GraphEdge, GraphNode, ProvenanceGraph};
 pub use fault::{FaultFile, FaultPlan};
 pub use rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
+pub use snapshot::{CompactionPolicy, SnapshotMetrics};
 pub use stats::QueryStats;
 pub use store::{RunInfo, StoreError, TraceStore};
 pub use wal::{

@@ -17,11 +17,13 @@ use serde::{Deserialize, Serialize};
 use prov_engine::{TraceEvent, TraceSink, XferEvent, XformEvent};
 use prov_model::{Binding, Index, PortRef, ProcessorName, RunId, Value, ValueId};
 
+use crate::fault::FaultPlan;
 use crate::indexes::{CompositeIndex, SymKey};
 use crate::rows::{
     PortDirection, StoredBinding, XferRecord, XferRow, XformPortRecord, XformPortRow, XformRecord,
     XformRow,
 };
+use crate::snapshot::{self, CompactionPolicy, SnapshotMetrics};
 use crate::stats::QueryStats;
 use crate::symbols::{IndexKey, Sym, SymbolTable};
 use crate::values::ValueTable;
@@ -142,8 +144,22 @@ enum RowRef {
     Xfer(u64),
 }
 
+/// The pending (post-snapshot) WAL tail: what a crash right now would
+/// force recovery to replay. Drives the [`CompactionPolicy`] check.
+#[derive(Debug, Default, Clone, Copy)]
+struct TailUsage {
+    frames: u64,
+    bytes: u64,
+}
+
 /// The embedded relational trace store. Cheap to share (`Arc` inside); all
 /// methods take `&self`.
+///
+/// Lock order (where multiple locks are held): `wal` → `inner` →
+/// (`wal_tail` | `snapshot_gen` | `compaction`). Recording methods hold the
+/// `wal` lock across both the WAL append *and* the in-memory insert, so
+/// [`TraceStore::snapshot`] (which takes the same lock) can never truncate
+/// a frame whose effect the snapshot has not captured.
 pub struct TraceStore {
     inner: RwLock<Inner>,
     wal: Mutex<Option<WalWriter>>,
@@ -156,6 +172,17 @@ pub struct TraceStore {
     /// What recovery found past the clean prefix at open time (`None` for
     /// in-memory stores, which never recover).
     recovered_tail: Option<TailState>,
+    /// Snapshot lifecycle counters.
+    snap_metrics: SnapshotMetrics,
+    /// Frames/bytes appended since the last snapshot (or open).
+    wal_tail: Mutex<TailUsage>,
+    /// Automatic compaction policy, checked after every recording call.
+    compaction: Mutex<Option<CompactionPolicy>>,
+    /// Newest snapshot generation on disk; the next snapshot numbers above.
+    snapshot_gen: Mutex<u64>,
+    /// Fault-injection plan new WAL/snapshot writers are created under
+    /// (crash-torture only; budgets are per-handle).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for TraceStore {
@@ -183,6 +210,11 @@ impl TraceStore {
             wal_metrics: WalMetrics::new(),
             wal_failure: Mutex::new(None),
             recovered_tail: None,
+            snap_metrics: SnapshotMetrics::new(),
+            wal_tail: Mutex::new(TailUsage::default()),
+            compaction: Mutex::new(None),
+            snapshot_gen: Mutex::new(0),
+            fault_plan: None,
         }
     }
 
@@ -190,9 +222,27 @@ impl TraceStore {
     /// replaying any existing log. A torn or corrupt tail is truncated
     /// away, exactly once, before appending resumes; the recovery is
     /// surfaced through [`TraceStore::recovered_tail`] and the
-    /// `wal.torn_tails` / `wal.corrupt_frames` counters.
+    /// `wal.torn_tails` / `wal.corrupt_frames` counters. If the WAL opens
+    /// with a [`LogRecord::Snapshot`] marker, base state is loaded from the
+    /// corresponding snapshot file and only the WAL tail past the marker is
+    /// replayed — falling back a generation if the newest snapshot is torn.
     pub fn open(path: impl AsRef<Path>) -> crate::Result<Self> {
-        let path = path.as_ref().to_path_buf();
+        Self::open_inner(path.as_ref().to_path_buf(), None)
+    }
+
+    /// Like [`TraceStore::open`], but every subsequent WAL *and snapshot*
+    /// write goes through a fault-injecting [`crate::fault::FaultFile`]
+    /// driven by `plan` (budgets are per file handle). Recovery of the
+    /// existing log is performed normally — the plan governs only new
+    /// writes. Crash-torture harness: ingest until the plan fires (the
+    /// writer poisons itself; see [`TraceStore::durability`]), drop the
+    /// store, reopen with [`TraceStore::open`] and assert the durable
+    /// prefix came back.
+    pub fn open_with_fault(path: impl AsRef<Path>, plan: FaultPlan) -> crate::Result<Self> {
+        Self::open_inner(path.as_ref().to_path_buf(), Some(plan))
+    }
+
+    fn open_inner(path: PathBuf, plan: Option<FaultPlan>) -> crate::Result<Self> {
         let recovery = WalReader::read_all(&path)?;
         let store = TraceStore {
             inner: RwLock::new(Inner::default()),
@@ -202,72 +252,124 @@ impl TraceStore {
             wal_metrics: WalMetrics::new(),
             wal_failure: Mutex::new(None),
             recovered_tail: Some(recovery.tail),
+            snap_metrics: SnapshotMetrics::new(),
+            wal_tail: Mutex::new(TailUsage::default()),
+            compaction: Mutex::new(None),
+            snapshot_gen: Mutex::new(0),
+            fault_plan: plan,
         };
         match recovery.tail {
             TailState::Clean => {}
             TailState::TornTail { .. } => store.wal_metrics.torn_tails.inc(),
             TailState::CorruptFrame { .. } => store.wal_metrics.corrupt_frames.inc(),
         }
-        {
-            let mut inner = store.inner.write();
-            for record in recovery.records {
-                inner.apply(record);
+
+        let existing = snapshot::generations(&path);
+        let mut replayed = 0u64;
+        let mut rewrite_marker: Option<u64> = None;
+        match recovery.records.first() {
+            // The WAL opens with a snapshot marker: base state lives in a
+            // snapshot file; replay only the tail past the marker. If the
+            // marked generation is torn, fall back one generation at a time
+            // (each skip loses the records between the two snapshots —
+            // possible only under external corruption, since a generation's
+            // marker is appended only after its file is durable — so a
+            // degraded answer beats none).
+            Some(LogRecord::Snapshot { generation }) => {
+                let marked = *generation;
+                let mut inner = store.inner.write();
+                let mut candidate = Some(marked);
+                while let Some(generation) = candidate {
+                    if let Some(records) =
+                        snapshot::load(&snapshot::snapshot_path(&path, generation), generation)
+                    {
+                        for record in records {
+                            inner.apply(record);
+                        }
+                        break;
+                    }
+                    store.snap_metrics.fallbacks.inc();
+                    candidate = existing.iter().rev().find(|&&g| g < generation).copied();
+                }
+                for record in recovery.records.into_iter().skip(1) {
+                    inner.apply(record);
+                    replayed += 1;
+                }
+            }
+            // Records with no leading marker: a store that has never
+            // compacted, or whose WAL was rewritten whole by `checkpoint`,
+            // or a crash between a snapshot's rename and the WAL
+            // truncation. Any snapshot files are stale; a full replay is
+            // lossless.
+            Some(_) => {
+                let mut inner = store.inner.write();
+                for record in recovery.records {
+                    inner.apply(record);
+                    replayed += 1;
+                }
+            }
+            // Empty WAL. If snapshots exist, a compaction crashed between
+            // the WAL truncation and the marker append — load the newest
+            // valid generation and rewrite the marker below so the next
+            // recovery has its base again.
+            None => {
+                let mut inner = store.inner.write();
+                for &generation in existing.iter().rev() {
+                    if let Some(records) =
+                        snapshot::load(&snapshot::snapshot_path(&path, generation), generation)
+                    {
+                        for record in records {
+                            inner.apply(record);
+                        }
+                        rewrite_marker = Some(generation);
+                        break;
+                    }
+                    store.snap_metrics.fallbacks.inc();
+                }
             }
         }
-        *store.wal.lock() = Some(
-            WalWriter::open_truncated(&path, recovery.clean_len)?
-                .with_metrics(store.wal_metrics.clone()),
-        );
+        store.wal_metrics.recovery_replayed_frames.add(replayed);
+        *store.snapshot_gen.lock() = existing.last().copied().unwrap_or(0);
+
+        let mut writer = if rewrite_marker.is_some() {
+            Self::make_writer(&path, 0, plan, store.wal_metrics.clone())?
+        } else {
+            Self::make_writer(&path, recovery.clean_len, plan, store.wal_metrics.clone())?
+        };
+        if let Some(generation) = rewrite_marker {
+            writer.append(&LogRecord::Snapshot { generation })?;
+            writer.sync()?;
+        } else {
+            *store.wal_tail.lock() = TailUsage { frames: replayed, bytes: recovery.clean_len };
+        }
+        *store.wal.lock() = Some(writer);
         Ok(store)
     }
 
-    /// Like [`TraceStore::open`], but every subsequent WAL write goes
-    /// through a fault-injecting [`crate::fault::FaultFile`] driven by
-    /// `plan`. Recovery of the existing log is performed normally — the
-    /// plan governs only new appends. Crash-torture harness: ingest until
-    /// the plan fires (the writer poisons itself; see
-    /// [`TraceStore::durability`]), drop the store, reopen with
-    /// [`TraceStore::open`] and assert the durable prefix came back.
-    pub fn open_with_fault(
-        path: impl AsRef<Path>,
-        plan: crate::fault::FaultPlan,
-    ) -> crate::Result<Self> {
-        let path = path.as_ref().to_path_buf();
-        let recovery = WalReader::read_all(&path)?;
-        let store = TraceStore {
-            inner: RwLock::new(Inner::default()),
-            wal: Mutex::new(None),
-            path: Some(path.clone()),
-            stats: QueryStats::new(),
-            wal_metrics: WalMetrics::new(),
-            wal_failure: Mutex::new(None),
-            recovered_tail: Some(recovery.tail),
-        };
-        match recovery.tail {
-            TailState::Clean => {}
-            TailState::TornTail { .. } => store.wal_metrics.torn_tails.inc(),
-            TailState::CorruptFrame { .. } => store.wal_metrics.corrupt_frames.inc(),
-        }
-        {
-            let mut inner = store.inner.write();
-            for record in recovery.records {
-                inner.apply(record);
+    /// A WAL writer positioned after the `clean_len`-byte durable prefix —
+    /// through the fault layer when the store runs under a [`FaultPlan`].
+    fn make_writer(
+        path: &Path,
+        clean_len: u64,
+        plan: Option<FaultPlan>,
+        metrics: WalMetrics,
+    ) -> crate::Result<WalWriter> {
+        match plan {
+            None => Ok(WalWriter::open_truncated(path, clean_len)?.with_metrics(metrics)),
+            Some(plan) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .truncate(false)
+                    .write(true)
+                    .open(path)
+                    .map_err(WalError::from)?;
+                file.set_len(clean_len).map_err(WalError::from)?;
+                drop(file);
+                let backend =
+                    crate::fault::FaultFile::append_to(path, plan).map_err(WalError::from)?;
+                Ok(WalWriter::over(Box::new(backend)).with_metrics(metrics))
             }
         }
-        // Truncate any damaged tail exactly as `open` does, then append
-        // through the fault layer.
-        let file = std::fs::OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .write(true)
-            .open(&path)
-            .map_err(WalError::from)?;
-        file.set_len(recovery.clean_len).map_err(WalError::from)?;
-        drop(file);
-        let backend = crate::fault::FaultFile::append_to(&path, plan).map_err(WalError::from)?;
-        *store.wal.lock() =
-            Some(WalWriter::over(Box::new(backend)).with_metrics(store.wal_metrics.clone()));
-        Ok(store)
     }
 
     /// What WAL recovery found past the clean prefix when this store was
@@ -290,14 +392,129 @@ impl TraceStore {
 
     /// Rewrites the WAL from current state (checkpoint compaction): the log
     /// shrinks to exactly the live records, dropping any overwritten tail
-    /// garbage. A no-op for in-memory stores.
+    /// garbage. Unlike [`TraceStore::snapshot`], the result is a plain
+    /// marker-less WAL (recovery replays it in full). A no-op for in-memory
+    /// stores.
     pub fn checkpoint(&self) -> crate::Result<()> {
         let Some(path) = &self.path else { return Ok(()) };
+        let mut guard = self.wal.lock();
         let tmp = path.with_extension("wal.tmp");
+        let mut frames = 0u64;
         {
             let inner = self.inner.read();
             let _ = std::fs::remove_file(&tmp);
             let mut w = WalWriter::open(&tmp)?.with_metrics(self.wal_metrics.clone());
+            for (name, json) in &inner.workflows {
+                w.append(&LogRecord::Workflow { name: name.clone(), json: json.clone() })?;
+                frames += 1;
+            }
+            for info in inner.runs.values() {
+                w.append(&LogRecord::BeginRun { run: info.id, workflow: info.workflow.clone() })?;
+                frames += 1;
+            }
+            for row in inner.xforms.iter().filter(|r| !inner.dropped.contains(&r.run)) {
+                w.append(&LogRecord::Xform { run: row.run, event: inner.xform_to_event(row)? })?;
+                frames += 1;
+            }
+            for row in inner.xfers.iter().filter(|r| !inner.dropped.contains(&r.run)) {
+                w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row)? })?;
+                frames += 1;
+            }
+            for info in inner.runs.values().filter(|i| i.finished) {
+                w.append(&LogRecord::FinishRun { run: info.id })?;
+                frames += 1;
+            }
+            w.sync()?;
+        }
+        std::fs::rename(&tmp, path).map_err(WalError::from)?;
+        let bytes = std::fs::metadata(path).map_err(WalError::from)?.len();
+        *guard = Some(WalWriter::open(path)?.with_metrics(self.wal_metrics.clone()));
+        *self.wal_tail.lock() = TailUsage { frames, bytes };
+        Ok(())
+    }
+
+    /// Serialises the full store state to a numbered snapshot file
+    /// (temp-then-rename) and truncates the WAL down to a single
+    /// [`LogRecord::Snapshot`] marker frame, so the next recovery is *load
+    /// snapshot + replay bounded tail*. Keeps the previous generation as a
+    /// fallback and deletes anything older. A no-op for in-memory stores;
+    /// a failure poisons the writer (recording continues memory-only) as
+    /// well as being returned.
+    pub fn snapshot(&self) -> crate::Result<()> {
+        let Some(path) = self.path.clone() else { return Ok(()) };
+        let mut guard = self.wal.lock();
+        if guard.is_none() {
+            // Already poisoned: there is no consistent durable tail to
+            // compact into a snapshot.
+            drop(guard);
+            return self.durability();
+        }
+        let generation = *self.snapshot_gen.lock() + 1;
+        let tmp = snapshot::tmp_path(&path);
+        let size = match self.write_snapshot(&tmp, generation) {
+            Ok(size) => size,
+            Err(e) => {
+                Self::poison(&mut guard, &self.wal_failure, e.to_string());
+                return Err(e);
+            }
+        };
+        if let Err(e) = std::fs::rename(&tmp, snapshot::snapshot_path(&path, generation)) {
+            let e = StoreError::Wal(WalError::from(e));
+            Self::poison(&mut guard, &self.wal_failure, e.to_string());
+            return Err(e);
+        }
+        // Retire the old writer *before* truncating: its append-mode
+        // handle may still hold buffered frames, and dropping it later
+        // would flush them after the marker. Flushing into the
+        // about-to-be-truncated file is harmless — that state is in the
+        // snapshot.
+        drop(guard.take());
+        // Truncate the WAL and plant the marker. A crash between the
+        // rename above and the truncation leaves a marker-less WAL (full
+        // replay ignoring snapshots); between the truncation and the
+        // marker append, an empty WAL beside valid snapshots (recovery
+        // loads the newest and rewrites the marker). Both are lossless.
+        match Self::fresh_wal(&path, generation, self.fault_plan, self.wal_metrics.clone()) {
+            Ok(w) => *guard = Some(w),
+            Err(e) => {
+                Self::poison(&mut guard, &self.wal_failure, e.to_string());
+                return Err(e);
+            }
+        }
+        *self.wal_tail.lock() = TailUsage::default();
+        *self.snapshot_gen.lock() = generation;
+        self.wal_metrics.compactions.inc();
+        self.snap_metrics.snapshots.inc();
+        self.snap_metrics.snapshot_bytes.record(size);
+        drop(guard);
+        for old in snapshot::generations(&path) {
+            if old + 1 < generation {
+                let _ = std::fs::remove_file(snapshot::snapshot_path(&path, old));
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams current state into `tmp` in the WAL frame format, bracketed
+    /// by `Snapshot { generation }` markers. Snapshot bytes are not WAL
+    /// throughput, so the writer gets standalone metrics; under a
+    /// [`FaultPlan`] the write goes through a fresh fault handle (its
+    /// budget relative to the snapshot's first byte), which is what lets
+    /// torture sweeps crash mid-snapshot.
+    fn write_snapshot(&self, tmp: &Path, generation: u64) -> crate::Result<u64> {
+        let _ = std::fs::remove_file(tmp);
+        let mut w = match self.fault_plan {
+            None => WalWriter::open(tmp)?,
+            Some(plan) => {
+                let backend =
+                    crate::fault::FaultFile::append_to(tmp, plan).map_err(WalError::from)?;
+                WalWriter::over(Box::new(backend))
+            }
+        };
+        let marker = LogRecord::Snapshot { generation };
+        w.append(&marker)?;
+        {
+            let inner = self.inner.read();
             for (name, json) in &inner.workflows {
                 w.append(&LogRecord::Workflow { name: name.clone(), json: json.clone() })?;
             }
@@ -313,11 +530,59 @@ impl TraceStore {
             for info in inner.runs.values().filter(|i| i.finished) {
                 w.append(&LogRecord::FinishRun { run: info.id })?;
             }
-            w.sync()?;
         }
-        std::fs::rename(&tmp, path).map_err(WalError::from)?;
-        *self.wal.lock() = Some(WalWriter::open(path)?.with_metrics(self.wal_metrics.clone()));
-        Ok(())
+        w.append(&marker)?;
+        w.sync()?;
+        drop(w);
+        Ok(std::fs::metadata(tmp).map_err(WalError::from)?.len())
+    }
+
+    /// A truncated WAL holding exactly one synced `Snapshot` marker frame.
+    fn fresh_wal(
+        path: &Path,
+        generation: u64,
+        plan: Option<FaultPlan>,
+        metrics: WalMetrics,
+    ) -> crate::Result<WalWriter> {
+        let mut w = Self::make_writer(path, 0, plan, metrics)?;
+        w.append(&LogRecord::Snapshot { generation })?;
+        w.sync()?;
+        Ok(w)
+    }
+
+    /// Sets (or clears) the automatic compaction policy. With a policy in
+    /// place every recording call checks the pending WAL tail and
+    /// snapshots once a bound is crossed, so crash recovery replays at
+    /// most `max_frames` frames. Setting a policy runs an immediate check.
+    pub fn set_compaction_policy(&self, policy: Option<CompactionPolicy>) {
+        *self.compaction.lock() = policy;
+        if policy.is_some() {
+            self.maybe_compact();
+        }
+    }
+
+    /// The active automatic compaction policy, if any.
+    pub fn compaction_policy(&self) -> Option<CompactionPolicy> {
+        *self.compaction.lock()
+    }
+
+    /// Snapshot lifecycle metrics (counts, sizes, recovery fallbacks).
+    pub fn snapshot_metrics(&self) -> &SnapshotMetrics {
+        &self.snap_metrics
+    }
+
+    /// Snapshots if the pending WAL tail has crossed the configured
+    /// policy. Failures are not surfaced here — they have already poisoned
+    /// the writer, and [`TraceStore::durability`] reports them.
+    fn maybe_compact(&self) {
+        let Some(policy) = *self.compaction.lock() else { return };
+        let due = {
+            let tail = self.wal_tail.lock();
+            policy.due(tail.frames, tail.bytes)
+        };
+        if due {
+            let _ = self.snapshot();
+        }
     }
 
     // Durability failures must not pass silently, but the `TraceSink`
@@ -326,21 +591,40 @@ impl TraceStore {
     // failure shuts it down (no further appends can land past an
     // inconsistent tail), the message is retained, and
     // [`TraceStore::durability`] reports it as a typed `StoreError`.
-    fn log(&self, record: &LogRecord) {
-        let mut guard = self.wal.lock();
+    fn append_locked(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, Option<WalWriter>>,
+        record: &LogRecord,
+    ) {
         if let Some(w) = guard.as_mut() {
-            if let Err(e) = w.append(record) {
-                Self::poison(&mut guard, &self.wal_failure, e);
+            let before = self.wal_metrics.bytes_written.get();
+            match w.append(record) {
+                Ok(()) => {
+                    let mut tail = self.wal_tail.lock();
+                    tail.frames += 1;
+                    tail.bytes += self.wal_metrics.bytes_written.get() - before;
+                }
+                Err(e) => Self::poison(guard, &self.wal_failure, e.to_string()),
             }
         }
     }
 
     /// Group commit: one WAL frame for a whole event batch.
-    fn log_batch(&self, run: RunId, events: &[TraceEvent]) {
-        let mut guard = self.wal.lock();
+    fn append_batch_locked(
+        &self,
+        guard: &mut parking_lot::MutexGuard<'_, Option<WalWriter>>,
+        run: RunId,
+        events: &[TraceEvent],
+    ) {
         if let Some(w) = guard.as_mut() {
-            if let Err(e) = w.append_batch(run, events) {
-                Self::poison(&mut guard, &self.wal_failure, e);
+            let before = self.wal_metrics.bytes_written.get();
+            match w.append_batch(run, events) {
+                Ok(()) => {
+                    let mut tail = self.wal_tail.lock();
+                    tail.frames += 1;
+                    tail.bytes += self.wal_metrics.bytes_written.get() - before;
+                }
+                Err(e) => Self::poison(guard, &self.wal_failure, e.to_string()),
             }
         }
     }
@@ -350,12 +634,12 @@ impl TraceStore {
     fn poison(
         guard: &mut parking_lot::MutexGuard<'_, Option<WalWriter>>,
         failure: &Mutex<Option<String>>,
-        err: WalError,
+        message: String,
     ) {
         **guard = None;
         let mut f = failure.lock();
         if f.is_none() {
-            *f = Some(err.to_string());
+            *f = Some(message);
         }
     }
 
@@ -382,6 +666,7 @@ impl TraceStore {
     pub fn register_metrics(&self, registry: &prov_obs::Registry) {
         self.stats.register(registry);
         self.wal_metrics.register(registry);
+        self.snap_metrics.register(registry);
         self.record_gauges(registry);
     }
 
@@ -622,17 +907,23 @@ impl TraceStore {
     /// heap rows are tombstoned and reclaimed by the next
     /// [`TraceStore::checkpoint`]. Dropping an unknown run errors.
     pub fn drop_run(&self, run: RunId) -> crate::Result<()> {
+        let mut guard = self.wal.lock();
         {
             let inner = self.inner.read();
             if !inner.runs.contains_key(&run) {
                 return Err(StoreError::UnknownRun(run));
             }
         }
-        self.log(&LogRecord::DropRun { run });
+        let had_writer = guard.is_some();
+        self.append_locked(&mut guard, &LogRecord::DropRun { run });
         self.inner.write().apply(LogRecord::DropRun { run });
-        if let Some(w) = self.wal.lock().as_mut() {
-            w.sync().map_err(StoreError::Wal)?;
+        self.sync_locked(&mut guard);
+        if had_writer && guard.is_none() {
+            drop(guard);
+            return self.durability();
         }
+        drop(guard);
+        self.maybe_compact();
         Ok(())
     }
 
@@ -715,19 +1006,22 @@ impl TraceStore {
     /// store does not depend on the dataflow crate).
     pub fn register_workflow(&self, name: &ProcessorName, json: String) {
         let record = LogRecord::Workflow { name: name.clone(), json };
-        self.log(&record);
+        let mut guard = self.wal.lock();
+        self.append_locked(&mut guard, &record);
         self.inner.write().apply(record);
-        self.sync_or_poison();
+        self.sync_locked(&mut guard);
+        drop(guard);
+        self.maybe_compact();
     }
 
-    /// Syncs the WAL, poisoning the writer on failure (see
-    /// [`TraceStore::durability`]). A silent `let _ = sync()` would report
-    /// a trace as recorded that never reached the disk.
-    fn sync_or_poison(&self) {
-        let mut guard = self.wal.lock();
+    /// Syncs the WAL through an already-held guard, poisoning the writer
+    /// on failure (see [`TraceStore::durability`]). A silent
+    /// `let _ = sync()` would report a trace as recorded that never
+    /// reached the disk.
+    fn sync_locked(&self, guard: &mut parking_lot::MutexGuard<'_, Option<WalWriter>>) {
         if let Some(w) = guard.as_mut() {
             if let Err(e) = w.sync() {
-                Self::poison(&mut guard, &self.wal_failure, e);
+                Self::poison(guard, &self.wal_failure, e.to_string());
             }
         }
     }
@@ -859,6 +1153,8 @@ impl Inner {
             LogRecord::Workflow { name, json } => {
                 self.workflows.insert(name, json);
             }
+            // Markers delimit recovery phases; replay itself ignores them.
+            LogRecord::Snapshot { .. } => {}
         }
     }
 
@@ -990,24 +1286,39 @@ impl Inner {
     }
 }
 
+// Every method holds the `wal` lock across the append *and* the in-memory
+// insert (see the lock-order note on [`TraceStore`]), then checks the
+// compaction policy once the locks are released.
 impl TraceSink for TraceStore {
     fn begin_run(&self, workflow: &ProcessorName) -> RunId {
+        let mut guard = self.wal.lock();
         let mut inner = self.inner.write();
         let run = RunId(inner.next_run);
         inner.apply(LogRecord::BeginRun { run, workflow: clone_name(workflow) });
         drop(inner);
-        self.log(&LogRecord::BeginRun { run, workflow: clone_name(workflow) });
+        self.append_locked(
+            &mut guard,
+            &LogRecord::BeginRun { run, workflow: clone_name(workflow) },
+        );
+        drop(guard);
+        self.maybe_compact();
         run
     }
 
     fn record_xform(&self, run: RunId, event: XformEvent) {
-        self.log(&LogRecord::Xform { run, event: event.clone() });
+        let mut guard = self.wal.lock();
+        self.append_locked(&mut guard, &LogRecord::Xform { run, event: event.clone() });
         self.inner.write().insert_xform(run, &event);
+        drop(guard);
+        self.maybe_compact();
     }
 
     fn record_xfer(&self, run: RunId, event: XferEvent) {
-        self.log(&LogRecord::Xfer { run, event: event.clone() });
+        let mut guard = self.wal.lock();
+        self.append_locked(&mut guard, &LogRecord::Xfer { run, event: event.clone() });
         self.inner.write().insert_xfer(run, &event);
+        drop(guard);
+        self.maybe_compact();
     }
 
     fn record_batch(&self, run: RunId, events: Vec<TraceEvent>) {
@@ -1016,22 +1327,82 @@ impl TraceSink for TraceStore {
         }
         // One WAL frame, then one write-lock acquisition for the whole
         // batch — the group commit the per-event path can't amortise.
-        self.log_batch(run, &events);
-        let mut inner = self.inner.write();
-        for event in &events {
-            match event {
-                TraceEvent::Xform(e) => inner.insert_xform(run, e),
-                TraceEvent::Xfer(e) => inner.insert_xfer(run, e),
+        let mut guard = self.wal.lock();
+        self.append_batch_locked(&mut guard, run, &events);
+        {
+            let mut inner = self.inner.write();
+            for event in &events {
+                match event {
+                    TraceEvent::Xform(e) => inner.insert_xform(run, e),
+                    TraceEvent::Xfer(e) => inner.insert_xfer(run, e),
+                }
             }
         }
+        drop(guard);
+        self.maybe_compact();
     }
 
     fn finish_run(&self, run: RunId) {
+        let mut guard = self.wal.lock();
         self.inner.write().apply(LogRecord::FinishRun { run });
-        self.log(&LogRecord::FinishRun { run });
+        self.append_locked(&mut guard, &LogRecord::FinishRun { run });
         // Durability failure poisons the writer instead of panicking;
         // `durability()` surfaces it as a typed error.
-        self.sync_or_poison();
+        self.sync_locked(&mut guard);
+        drop(guard);
+        self.maybe_compact();
+    }
+}
+
+// The durable trace doubles as a run checkpoint: everything the resume
+// path needs is a point query against the existing composite indexes.
+impl prov_engine::ResumeSource for TraceStore {
+    fn run_workflow(&self, run: RunId) -> Option<ProcessorName> {
+        self.inner.read().runs.get(&run).map(|i| i.workflow.clone())
+    }
+
+    fn run_finished(&self, run: RunId) -> bool {
+        self.inner.read().runs.get(&run).map(|i| i.finished).unwrap_or(false)
+    }
+
+    fn settled_outputs(
+        &self,
+        run: RunId,
+        processor: &ProcessorName,
+        index: &Index,
+        ports: &[std::sync::Arc<str>],
+    ) -> Option<Vec<Value>> {
+        // Zero-output processors have nothing to prove settlement with and
+        // always re-execute.
+        let first = ports.first()?;
+        let candidates = self.xforms_producing(run, processor, first, index);
+        'cand: for rec in &candidates {
+            let mut out = Vec::with_capacity(ports.len());
+            for port in ports {
+                // An exact-index output binding must exist for every port;
+                // `xforms_producing` overlap-matches, so re-check equality.
+                let Some(p) = rec.ports.iter().find(|p| {
+                    p.direction == PortDirection::Out && *p.port == **port && p.index == *index
+                }) else {
+                    continue 'cand;
+                };
+                out.push(self.value(p.value)?);
+            }
+            return Some(out);
+        }
+        None
+    }
+
+    fn has_xfer(&self, run: RunId, event: &XferEvent) -> bool {
+        self.xfers_into(run, &event.dst.processor, &event.dst.port, &event.dst_index).iter().any(
+            |r| {
+                r.dst_index == event.dst_index
+                    && r.src_processor == event.src.processor
+                    && *r.src_port == *event.src.port
+                    && r.src_index == event.src_index
+                    && self.value(r.value).as_ref() == Some(&event.value)
+            },
+        )
     }
 }
 
@@ -1427,5 +1798,141 @@ mod tests {
         for info in s.runs() {
             assert_eq!(s.xforms_of_run(info.id).len(), 50);
         }
+    }
+
+    /// Like `tmp`, but also clears snapshot generations left by an earlier
+    /// process with the same pid.
+    fn tmp_snap(name: &str) -> std::path::PathBuf {
+        let path = tmp(name);
+        for g in crate::snapshot::generations(&path) {
+            let _ = std::fs::remove_file(crate::snapshot::snapshot_path(&path, g));
+        }
+        let _ = std::fs::remove_file(crate::snapshot::tmp_path(&path));
+        path
+    }
+
+    #[test]
+    fn snapshot_then_reopen_replays_only_the_tail() {
+        let path = tmp_snap("snap-zero");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            s.register_workflow(&"wf".into(), "{\"fake\":1}".to_string());
+            let r = s.begin_run(&"wf".into());
+            s.record_xform(r, xform("P", 0, &[0], &[0]));
+            s.record_xfer(r, xfer(("A", "y"), ("P", "x"), &[0], "v"));
+            s.finish_run(r);
+            s.snapshot().unwrap();
+            assert_eq!(s.snapshot_metrics().snapshots.get(), 1);
+            // More work lands in the post-snapshot tail.
+            s.record_xform(r, xform("P", 1, &[1], &[1]));
+        }
+        let s = TraceStore::open(&path).unwrap();
+        // Base from the snapshot, one tail frame replayed.
+        assert_eq!(s.wal_metrics().recovery_replayed_frames.get(), 1);
+        assert_eq!(s.trace_record_count(RunId(0)), 3);
+        assert!(s.runs()[0].finished);
+        assert_eq!(s.workflow_json(&"wf".into()).unwrap(), "{\"fake\":1}");
+        assert_eq!(s.xforms_producing(RunId(0), &"P".into(), "y", &Index::empty()).len(), 2);
+        // Run ids continue past the replayed space.
+        assert_eq!(s.begin_run(&"wf".into()), RunId(1));
+    }
+
+    #[test]
+    fn auto_compaction_bounds_recovery_replay() {
+        let path = tmp_snap("auto-compact");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            s.set_compaction_policy(Some(CompactionPolicy::frames(4)));
+            let r = s.begin_run(&"wf".into());
+            for i in 0..40 {
+                s.record_xfer(r, xfer(("A", "y"), ("B", "x"), &[i], "v"));
+            }
+            s.finish_run(r);
+            s.durability().unwrap();
+            assert!(s.wal_metrics().compactions.get() > 1);
+            assert_eq!(s.snapshot_metrics().snapshots.get(), s.wal_metrics().compactions.get());
+        }
+        let s = TraceStore::open(&path).unwrap();
+        // The pending tail at any crash point is bounded by the policy.
+        assert!(
+            s.wal_metrics().recovery_replayed_frames.get() <= 4,
+            "replayed {} frames",
+            s.wal_metrics().recovery_replayed_frames.get()
+        );
+        assert_eq!(s.trace_record_count(RunId(0)), 40);
+        assert!(s.runs()[0].finished);
+        // At most two generations are retained.
+        assert!(crate::snapshot::generations(&path).len() <= 2);
+    }
+
+    #[test]
+    fn torn_newest_snapshot_falls_back_a_generation() {
+        let path = tmp_snap("snap-fallback");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            let r = s.begin_run(&"wf".into());
+            s.record_xform(r, xform("P", 0, &[0], &[0]));
+            s.snapshot().unwrap(); // generation 1
+            s.record_xform(r, xform("P", 1, &[1], &[1]));
+            s.snapshot().unwrap(); // generation 2
+            s.finish_run(r);
+        }
+        // Corrupt generation 2 (external damage): flip a payload byte.
+        let snap2 = crate::snapshot::snapshot_path(&path, 2);
+        let mut bytes = std::fs::read(&snap2).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&snap2, bytes).unwrap();
+
+        let s = TraceStore::open(&path).unwrap();
+        assert_eq!(s.snapshot_metrics().fallbacks.get(), 1);
+        // Generation 1 state plus the replayed tail past the marker. The
+        // records between the two snapshots are lost to the corruption —
+        // the degraded-but-available contract.
+        assert_eq!(s.xforms_producing(RunId(0), &"P".into(), "y", &Index::single(0)).len(), 1);
+        assert!(s.runs()[0].finished);
+    }
+
+    #[test]
+    fn crash_between_truncation_and_marker_rewrites_the_marker() {
+        let path = tmp_snap("snap-marker-rewrite");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            let r = s.begin_run(&"wf".into());
+            s.record_xform(r, xform("P", 0, &[0], &[0]));
+            s.snapshot().unwrap();
+            s.finish_run(r);
+        }
+        // Simulate the crash: WAL truncated to nothing, snapshot intact.
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(0).unwrap();
+        {
+            let s = TraceStore::open(&path).unwrap();
+            assert_eq!(s.wal_metrics().recovery_replayed_frames.get(), 0);
+            assert_eq!(s.trace_record_count(RunId(0)), 1);
+            // The finish was in the truncated tail, so the run is unfinished.
+            assert!(!s.runs()[0].finished);
+        }
+        // The marker was rewritten: a second recovery still finds its base.
+        let s = TraceStore::open(&path).unwrap();
+        assert_eq!(s.trace_record_count(RunId(0)), 1);
+    }
+
+    #[test]
+    fn stale_snapshot_beside_marker_less_wal_is_ignored() {
+        let path = tmp_snap("snap-stale");
+        {
+            let s = TraceStore::open(&path).unwrap();
+            let r = s.begin_run(&"wf".into());
+            s.record_xform(r, xform("P", 0, &[0], &[0]));
+            s.snapshot().unwrap();
+            s.record_xform(r, xform("P", 1, &[1], &[1]));
+            // `checkpoint` rewrites the WAL whole, marker-less; the
+            // snapshot file on disk is now stale.
+            s.checkpoint().unwrap();
+            s.finish_run(r);
+        }
+        let s = TraceStore::open(&path).unwrap();
+        assert_eq!(s.trace_record_count(RunId(0)), 2);
+        assert!(s.runs()[0].finished);
     }
 }

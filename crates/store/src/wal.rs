@@ -54,6 +54,12 @@ pub struct WalMetrics {
     /// Complete frames that failed their checksum or decode during
     /// recovery (unexpected damage; replay stops before them).
     pub corrupt_frames: Counter,
+    /// WAL tail frames replayed at the most recent recovery — the cost a
+    /// crash actually paid. Bounded by `CompactionPolicy::max_frames` when
+    /// automatic compaction is enabled.
+    pub recovery_replayed_frames: Counter,
+    /// Snapshot-and-truncate compaction cycles completed.
+    pub compactions: Counter,
 }
 
 impl Default for WalMetrics {
@@ -73,6 +79,8 @@ impl WalMetrics {
             sync_micros: Histogram::standalone(),
             torn_tails: Counter::standalone(),
             corrupt_frames: Counter::standalone(),
+            recovery_replayed_frames: Counter::standalone(),
+            compactions: Counter::standalone(),
         }
     }
 
@@ -86,6 +94,8 @@ impl WalMetrics {
         registry.adopt_histogram("wal.sync_micros", &self.sync_micros);
         registry.adopt_counter("wal.torn_tails", &self.torn_tails);
         registry.adopt_counter("wal.corrupt_frames", &self.corrupt_frames);
+        registry.adopt_counter("wal.recovery_replayed_frames", &self.recovery_replayed_frames);
+        registry.adopt_counter("wal.compactions", &self.compactions);
     }
 }
 
@@ -142,6 +152,15 @@ pub enum LogRecord {
         name: ProcessorName,
         /// Serialised `Dataflow`.
         json: String,
+    },
+    /// A snapshot marker. As the *first* record of a WAL it means "state up
+    /// to here lives in snapshot file `generation`; replay only what
+    /// follows". Inside a snapshot file it brackets the content (header and
+    /// footer), so a frame-aligned truncation of the snapshot is detectable.
+    /// Replay treats it as a no-op.
+    Snapshot {
+        /// The snapshot generation this marker refers to.
+        generation: u64,
     },
 }
 

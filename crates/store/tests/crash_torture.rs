@@ -206,6 +206,65 @@ fn seeded_crash_offsets_recover_durable_prefix() {
     }
 }
 
+/// A zero-length WAL file (created but never written, e.g. a crash before
+/// the first append) is a *clean* empty log — not a torn or corrupt one.
+#[test]
+fn empty_wal_file_recovers_clean() {
+    let path = tmp("empty");
+    std::fs::write(&path, b"").unwrap();
+    let store = TraceStore::open(&path).unwrap();
+    assert_eq!(store.recovered_tail(), Some(TailState::Clean));
+    assert_eq!(store.wal_metrics().torn_tails.get(), 0);
+    assert_eq!(store.wal_metrics().corrupt_frames.get(), 0);
+    assert!(store.runs().is_empty());
+    // And the store works: the first run lands as usual.
+    let run = store.begin_run(&"wf".into());
+    store.finish_run(run);
+    store.durability().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A WAL holding only the snapshot-marker header frame (the state right
+/// after a compaction, before any new record) is clean, replays zero
+/// frames, and recovers the snapshotted state.
+#[test]
+fn marker_only_wal_recovers_clean() {
+    let path = tmp("marker-only");
+    {
+        let store = TraceStore::open(&path).unwrap();
+        let run = store.begin_run(&"wf".into());
+        store.record_batch(run, vec![ev(0), ev(1)]);
+        store.finish_run(run);
+        store.snapshot().unwrap(); // WAL is now exactly one marker frame
+        store.durability().unwrap();
+    }
+    let reopened = TraceStore::open(&path).unwrap();
+    assert_eq!(reopened.recovered_tail(), Some(TailState::Clean));
+    assert_eq!(reopened.wal_metrics().torn_tails.get(), 0);
+    assert_eq!(reopened.wal_metrics().corrupt_frames.get(), 0);
+    assert_eq!(reopened.wal_metrics().recovery_replayed_frames.get(), 0);
+    assert_eq!(reopened.trace_record_count(RunId(0)), 2);
+    assert!(reopened.runs()[0].finished);
+    let _ = std::fs::remove_file(format!("{}.snap.1", path.display()));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A WAL holding exactly one complete frame is a clean log of one record.
+#[test]
+fn exactly_one_frame_wal_recovers_clean() {
+    let path = tmp("one-frame");
+    {
+        let store = TraceStore::open(&path).unwrap();
+        store.begin_run(&"wf".into()); // one BeginRun frame, flushed on drop
+    }
+    let reopened = TraceStore::open(&path).unwrap();
+    assert_eq!(reopened.recovered_tail(), Some(TailState::Clean));
+    assert_eq!(reopened.wal_metrics().recovery_replayed_frames.get(), 1);
+    assert_eq!(reopened.runs().len(), 1);
+    assert!(!reopened.runs()[0].finished, "FinishRun was never recorded");
+    let _ = std::fs::remove_file(&path);
+}
+
 /// An injected fsync failure must surface as a typed durability error —
 /// never a panic — while the flushed bytes remain recoverable.
 #[test]
