@@ -12,6 +12,8 @@
 //!                [--index 1,2] [--focus A,B] [--run 0 | --all-runs]
 //!                [--algo indexproj|ni]
 //! tprov impact   --db t.wal --target wf:in [--index 0] [--focus wf] [--run 0]
+//! tprov explain  ['lin(<P:Y[1]>, {A})'] --db t.wal [--run 0] [--check]
+//!                [--without-index xform_in] [--tolerance 10] [--format json]
 //! tprov lint     --workflow wf.json [--format json] [--iteration-threshold 3]
 //! tprov dot      --workflow wf.json [--lint]
 //! ```
@@ -61,10 +63,11 @@ fn run(argv: Vec<String>) -> Result<ExitCode, String> {
         print_usage();
         return Ok(ExitCode::SUCCESS);
     };
-    // `profile` accepts its query as the first positional token
-    // (`tprov profile 'lin(...)' --db t.wal`); normalise before parsing.
+    // `profile` and `explain` accept their query as the first positional
+    // token (`tprov profile 'lin(...)' --db t.wal`); normalise before
+    // parsing.
     let mut rest: Vec<String> = rest.to_vec();
-    if cmd == "profile" {
+    if cmd == "profile" || cmd == "explain" {
         if let Some(first) = rest.first() {
             if !first.starts_with("--") {
                 rest.insert(0, "--query".to_string());
@@ -90,6 +93,7 @@ fn run(argv: Vec<String>) -> Result<ExitCode, String> {
         "find-value" => done(cmd_find_value(&args)),
         "metrics" => done(cmd_metrics(&args)),
         "profile" => done(cmd_profile(&args)),
+        "explain" => done(cmd_explain(&args)),
         "lint" => done(cmd_lint(&args)),
         "dot" => done(cmd_dot(&args)),
         "help" | "--help" | "-h" => {
@@ -124,6 +128,11 @@ fn print_usage() {
          \x20 profile  QUERY --db FILE [--algo ni|indexproj|both] [--run N | --all-runs]\n\
          \x20          [--workflow WF.json] [--chrome-trace OUT.json]\n\
          \x20          per-stage timings with the paper's t1/t2 split\n\
+         \x20 explain  [QUERY] --db FILE [--workflow WF.json] [--run N]\n\
+         \x20          [--without-index NAME] [--check] [--tolerance F] [--format json]\n\
+         \x20          static plan verification + cost prediction; without QUERY,\n\
+         \x20          explains an unfocused coarse query per workflow output;\n\
+         \x20          exit 1 on E1xx findings or a failed --check\n\
          \x20 lint     --workflow WF.json [--format json] [--iteration-threshold N]\n\
          \x20          static diagnostics (exit 1 on error-level findings)\n\
          \x20 dot      --workflow WF.json [--lint]         print spec as Graphviz\n\
@@ -593,6 +602,229 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// One step row of `explain --format json`. Field names are part of the
+/// CLI contract.
+#[derive(serde::Serialize)]
+struct ExplainStepReport {
+    step: usize,
+    index: String,
+    processor: String,
+    port: String,
+    probe: String,
+    probe_depth: usize,
+    expected_depth: usize,
+    class: String,
+    served: bool,
+    predicted_lookups: u64,
+    predicted_rows: u64,
+    slice_keys: u64,
+    slice_rows: u64,
+    slice_depth: usize,
+}
+
+/// One query's worth of `explain --format json` output.
+#[derive(serde::Serialize)]
+struct ExplainReport {
+    query: String,
+    servable: bool,
+    steps: Vec<ExplainStepReport>,
+    diagnostics: Vec<prov_dataflow::DiagnosticJson>,
+    predicted_lookups: u64,
+    predicted_rows: u64,
+    grounded: bool,
+    check: Option<prov_core::CostCheck>,
+}
+
+/// Static plan verification and cost prediction (`prov-verify`): compiles
+/// each query, checks every plan step against the store's index catalog,
+/// predicts per-step `index_lookups`/`rows_scanned` from table statistics,
+/// and — with `--check` — executes the plan and compares the prediction
+/// against the store's actual counters. Exit is nonzero on any `E1xx`
+/// finding or a failed check, so the command slots into CI as a gate.
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let store = open_db(args)?;
+    let df = resolve_workflow(args, &store)?;
+    let ip = IndexProj::new(&df);
+    let run = RunId(args.get_parsed("run")?.unwrap_or(0));
+    let tolerance: f64 = args.get_parsed("tolerance")?.unwrap_or(10.0);
+    let json_format = match args.get("format").unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => return Err(format!("unknown --format {other:?} (text|json)")),
+    };
+
+    // The store's own catalog, minus any indexes the user asks to model
+    // away (`--without-index xform_in` shows what losing an index costs).
+    let mut catalog = store.index_catalog();
+    for spec in args.get_all("without-index") {
+        for name in spec.split(',').filter(|s| !s.is_empty()) {
+            let id = prov_store::IndexId::parse(name).ok_or_else(|| {
+                format!("unknown index {name:?} (xform_out|xform_in|xfer_dst|xfer_src)")
+            })?;
+            catalog = catalog.without(id);
+        }
+    }
+
+    // With no query: one unfocused coarse query per workflow output — the
+    // shape the CI explain-gate sweeps over every example spec.
+    let queries: Vec<LineageQuery> = match args.get("query") {
+        Some(raw) => match prov_core::parse_query(raw).map_err(|e| e.to_string())? {
+            prov_core::ParsedQuery::Lineage(q) => vec![q],
+            prov_core::ParsedQuery::Impact(_) => {
+                return Err("explain supports lineage queries only (lin(<P:Y[i]>, {focus}))".into())
+            }
+        },
+        None => df
+            .outputs
+            .iter()
+            .map(|o| {
+                LineageQuery::unfocused(
+                    PortRef::new(df.name.as_str(), &o.name),
+                    Index::empty(),
+                    &df,
+                )
+            })
+            .collect(),
+    };
+
+    let obs = Obs::enabled();
+    let mut errors = 0usize;
+    let mut failed_checks = 0usize;
+    let mut reports: Vec<ExplainReport> = Vec::new();
+    for query in &queries {
+        let ex = ip
+            .explain_with(
+                query,
+                &catalog,
+                |step, id| Some(store.port_cardinality(id, run, &step.processor, &step.port)),
+                &obs,
+            )
+            .map_err(|e| e.to_string())?;
+        errors += ex.report.error_count();
+
+        let check = if args.has_flag("check") && ex.is_servable() {
+            let before = store.stats().snapshot();
+            ex.plan.execute(&store, run).map_err(|e| e.to_string())?;
+            let delta = store.stats().snapshot().since(before);
+            let chk = ex.cost.check(
+                delta.index_lookups,
+                delta.records_read + delta.rows_scanned,
+                tolerance,
+            );
+            // Predicted-vs-actual as obs gauges, next to the store.*
+            // counters, for anyone scraping the metrics registry.
+            obs.metrics.set_gauge("explain.predicted_lookups", chk.predicted_lookups);
+            obs.metrics.set_gauge("explain.actual_lookups", chk.actual_lookups);
+            obs.metrics.set_gauge("explain.predicted_rows", chk.predicted_rows);
+            obs.metrics.set_gauge("explain.actual_rows", chk.actual_rows);
+            if !chk.ok {
+                failed_checks += 1;
+            }
+            Some(chk)
+        } else {
+            None
+        };
+
+        if json_format {
+            reports.push(ExplainReport {
+                query: query.to_string(),
+                servable: ex.is_servable(),
+                steps: ex
+                    .plan
+                    .steps
+                    .iter()
+                    .zip(&ex.report.steps)
+                    .zip(&ex.cost.per_step)
+                    .enumerate()
+                    .map(|(i, ((step, v), cost))| {
+                        let card = ex.cardinalities[i].unwrap_or_default();
+                        ExplainStepReport {
+                            step: i,
+                            index: v.index_id.name().to_string(),
+                            processor: step.processor.to_string(),
+                            port: step.port.to_string(),
+                            probe: step.index.to_string(),
+                            probe_depth: step.index.len(),
+                            expected_depth: step.expected_depth,
+                            class: v.class.label().to_string(),
+                            served: v.served,
+                            predicted_lookups: cost.index_lookups,
+                            predicted_rows: cost.rows_scanned,
+                            slice_keys: card.keys,
+                            slice_rows: card.rows,
+                            slice_depth: card.max_depth,
+                        }
+                    })
+                    .collect(),
+                diagnostics: prov_dataflow::json_records(&ex.report.diagnostics),
+                predicted_lookups: ex.cost.index_lookups,
+                predicted_rows: ex.cost.rows_scanned,
+                grounded: ex.cost.grounded,
+                check,
+            });
+        } else {
+            println!("{query}");
+            println!(
+                "plan: {} step(s); catalog serves: {}",
+                ex.plan.steps.len(),
+                catalog.available().iter().map(|id| id.name()).collect::<Vec<_>>().join(", ")
+            );
+            for (i, ((step, v), cost)) in
+                ex.plan.steps.iter().zip(&ex.report.steps).zip(&ex.cost.per_step).enumerate()
+            {
+                let card = ex.cardinalities[i].unwrap_or_default();
+                println!(
+                    "  s{i}  {:<9} {}:{}{}  depth {}/{}  {:<13} lookups={} rows~{}  \
+                     (slice: {} keys, {} rows)",
+                    v.index_id.name(),
+                    step.processor,
+                    step.port,
+                    step.index,
+                    step.index.len(),
+                    step.expected_depth,
+                    v.class.label(),
+                    cost.index_lookups,
+                    cost.rows_scanned,
+                    card.keys,
+                    card.rows,
+                );
+            }
+            println!(
+                "predicted: {} index lookups, ~{} rows{}",
+                ex.cost.index_lookups,
+                ex.cost.rows_scanned,
+                if ex.cost.grounded { "" } else { " (ungrounded: no table statistics)" }
+            );
+            if !ex.report.diagnostics.is_empty() {
+                print!("{}", prov_dataflow::render_text(&ex.report.diagnostics));
+            }
+            if let Some(chk) = check {
+                println!(
+                    "check: predicted {} lookups / ~{} rows vs actual {} / {} \
+                     (tolerance {}x) — {}",
+                    chk.predicted_lookups,
+                    chk.predicted_rows,
+                    chk.actual_lookups,
+                    chk.actual_rows,
+                    chk.tolerance,
+                    if chk.ok { "ok" } else { "FAILED" }
+                );
+            }
+            println!();
+        }
+    }
+    if json_format {
+        println!("{}", json::render(&reports)?);
+    }
+    if errors > 0 {
+        Err(format!("explain: {errors} error-level finding(s)"))
+    } else if failed_checks > 0 {
+        Err(format!("explain: {failed_checks} failed cost check(s)"))
+    } else {
+        Ok(())
+    }
 }
 
 /// Runs the static diagnostics pass (`prov_dataflow::analyze`) over a

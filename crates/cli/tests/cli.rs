@@ -431,6 +431,61 @@ fn lint_reports_distinct_codes_and_exits_nonzero() {
 }
 
 #[test]
+fn explain_verifies_plans_and_checks_costs() {
+    let db = TempDb::new("explain");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "4", "--d", "3"]).status.success());
+
+    // A focused exact query: every step is a point probe, the runtime
+    // check agrees with the prediction, exit 0.
+    let out = tprov(&[
+        "explain",
+        "lin(<2TO1_FINAL:Y[1]>, {CHAIN_A_2, testbed})",
+        "--db",
+        db.arg(),
+        "--check",
+    ]);
+    assert!(out.status.success(), "{}{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("point-probe"), "{text}");
+    assert!(text.contains("check: predicted"), "{text}");
+    assert!(!text.contains("FAILED"), "{text}");
+
+    // Default mode (no query): unfocused coarse queries report W101
+    // full-scan steps — warnings, so the exit stays 0.
+    let out = tprov(&["explain", "--db", db.arg()]);
+    assert!(out.status.success(), "{}{}", stdout(&out), stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("full-scan"), "{text}");
+    assert!(text.contains("W101"), "{text}");
+
+    // Modelling away the xform_in index turns those steps into E101
+    // unservable findings and the exit nonzero — the CI gate behaviour.
+    let out = tprov(&["explain", "--db", db.arg(), "--without-index", "xform_in"]);
+    assert!(!out.status.success());
+    assert!(stdout(&out).contains("E101"), "{}", stdout(&out));
+    assert!(stderr(&out).contains("error-level finding"), "{}", stderr(&out));
+
+    // JSON output carries the contract fields, machine-readably.
+    let out = tprov(&["explain", "--db", db.arg(), "--format", "json", "--check"]);
+    assert!(out.status.success(), "{}{}", stdout(&out), stderr(&out));
+    let parsed: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    let report = &parsed.as_array().unwrap()[0];
+    assert_eq!(report["servable"], serde_json::Value::Bool(true));
+    let step = &report["steps"].as_array().unwrap()[0];
+    for key in ["index", "class", "expected_depth", "predicted_lookups", "predicted_rows"] {
+        assert!(step.get(key).is_some(), "missing {key} in {step:?}");
+    }
+    assert_eq!(report["check"]["ok"], serde_json::Value::Bool(true));
+    let codes: Vec<&str> = report["diagnostics"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|d| d["code"].as_str().unwrap())
+        .collect();
+    assert!(codes.contains(&"W101"), "{codes:?}");
+}
+
+#[test]
 fn lint_clean_workflow_exits_zero() {
     let db = TempDb::new("lintclean");
     // The genes2Kegg sidecar spec is a real, clean workflow.

@@ -18,6 +18,12 @@ pub enum CoreError {
         /// Rendered `P:Y` reference.
         target: String,
     },
+    /// The plan verifier found error-level problems (`E1xx`): the store
+    /// cannot execute the plan as compiled.
+    PlanRejected {
+        /// The error-level findings, in stable diagnostic order.
+        findings: Vec<prov_dataflow::Diagnostic>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +33,13 @@ impl fmt::Display for CoreError {
             CoreError::Store(e) => write!(f, "{e}"),
             CoreError::UnknownTarget { target } => {
                 write!(f, "query target {target} is not a port of this workflow")
+            }
+            CoreError::PlanRejected { findings } => {
+                write!(f, "plan rejected by the verifier: {} finding(s)", findings.len())?;
+                for d in findings {
+                    write!(f, "; {d}")?;
+                }
+                Ok(())
             }
         }
     }

@@ -55,6 +55,13 @@ pub struct PlanStep {
     pub port: std::sync::Arc<str>,
     /// The projected index `p_i` (absolute).
     pub index: Index,
+    /// Length of the element indexes the engine stores for this port under
+    /// fine-grained recording — the depth at which `index` would be a point
+    /// probe. A shorter `index` (coarse query) widens the lookup to a span
+    /// scan; a longer one clamps to ancestors. Derived purely from the
+    /// specification (Algorithm 1 depths plus scope offsets), so the plan
+    /// verifier can classify every step without touching the trace.
+    pub expected_depth: usize,
 }
 
 /// A compiled lineage query: the trace lookups it requires, plus the
@@ -176,6 +183,11 @@ impl<'a> IndexProj<'a> {
         IndexProj { df, depths: OnceLock::new() }
     }
 
+    /// The workflow specification this processor plans against.
+    pub fn dataflow(&self) -> &'a Dataflow {
+        self.df
+    }
+
     /// The (memoised) result of Algorithm 1 for the top-level workflow.
     fn depth_info(&self) -> Result<Arc<DepthInfo>> {
         if let Some(d) = self.depths.get() {
@@ -218,6 +230,7 @@ impl<'a> IndexProj<'a> {
             prefix: String::new(),
             scope_name: self.df.name.clone(),
             global: Index::empty(),
+            expected_global_len: 0,
             outer: None,
         };
 
@@ -307,6 +320,11 @@ struct Scope<'b> {
     /// in this scope (empty at top level; `G_outer · q` inside an
     /// invocation with iteration index `q`).
     global: Index,
+    /// Length the engine's global prefix has at *full* granularity: the
+    /// sum of the enclosing layouts' iteration totals. `global.len()` can
+    /// be shorter when the query index is coarse; stored rows always carry
+    /// the full-length prefix, so expected depths build on this.
+    expected_global_len: usize,
     /// Link to the enclosing scope, if any.
     outer: Option<Outer<'b>>,
 }
@@ -327,6 +345,10 @@ struct Outer<'b> {
     /// Per inner-input port: the absolute iteration fragment of the element
     /// this descent followed.
     fragments: HashMap<std::sync::Arc<str>, Index>,
+    /// Per inner-input port: the length the fragment has at full
+    /// granularity (outer `expected_global_len` plus the port's static
+    /// fragment length), regardless of how coarse the query index is.
+    expected_fragments: HashMap<std::sync::Arc<str>, usize>,
 }
 
 struct PlanBuilder<'q> {
@@ -408,6 +430,9 @@ impl PlanBuilder<'_> {
                             processor: qualified.clone(),
                             port: input.name.clone(),
                             index: pi.clone(),
+                            // The engine stores one xform-input row per
+                            // elementary invocation at global · fragment.
+                            expected_depth: scope.expected_global_len + len,
                         });
                     }
                     self.visit_input(scope, local, &input.name, &pi)?;
@@ -418,22 +443,27 @@ impl PlanBuilder<'_> {
                 let r = rel.project(layout.total, rel.len().saturating_sub(layout.total));
                 let inner_global = scope.global.concat(&qn);
                 // Absolute iteration fragments per inner input port.
-                let fragments: HashMap<std::sync::Arc<str>, Index> = p
-                    .inputs
-                    .iter()
-                    .enumerate()
-                    .map(|(pos, input)| {
-                        let (off, len) = layout.fragment_of(pos);
-                        (input.name.clone(), scope.global.concat(&qn.project(off, len)))
-                    })
-                    .collect();
+                let mut fragments: HashMap<std::sync::Arc<str>, Index> = HashMap::new();
+                let mut expected_fragments: HashMap<std::sync::Arc<str>, usize> = HashMap::new();
+                for (pos, input) in p.inputs.iter().enumerate() {
+                    let (off, len) = layout.fragment_of(pos);
+                    fragments
+                        .insert(input.name.clone(), scope.global.concat(&qn.project(off, len)));
+                    expected_fragments.insert(input.name.clone(), scope.expected_global_len + len);
+                }
                 let inner_scope = Scope {
                     df: dataflow.as_ref(),
                     depths: Arc::new(DepthInfo::compute(dataflow).map_err(CoreError::Dataflow)?),
                     prefix: format!("{}{}/", scope.prefix, local.as_str()),
                     scope_name: qualified.clone(),
                     global: inner_global.clone(),
-                    outer: Some(Outer { scope, nested_local: local.clone(), fragments }),
+                    expected_global_len: scope.expected_global_len + layout.total,
+                    outer: Some(Outer {
+                        scope,
+                        nested_local: local.clone(),
+                        fragments,
+                        expected_fragments,
+                    }),
                 };
                 self.visit_wf_output(&inner_scope, port, &inner_global.concat(&r))?;
             }
@@ -488,11 +518,19 @@ impl PlanBuilder<'_> {
             return Ok(());
         }
         if self.focus.contains(&scope.scope_name) {
+            // Fine-granularity xfer rows sit at offset · leaf, where the
+            // leaf index is as deep as the port's declared value.
+            let declared = scope.df.input(port).map(|p| p.declared.depth).unwrap_or(0);
+            let base = match &scope.outer {
+                Some(outer) => outer.expected_fragments.get(port).copied().unwrap_or(0),
+                None => 0,
+            };
             self.push_step(PlanStep {
                 kind: StepKind::XferSrc,
                 processor: scope.scope_name.clone(),
                 port: std::sync::Arc::from(port),
                 index: absolute.clone(),
+                expected_depth: base + declared,
             });
         }
         if let Some(outer) = &scope.outer {

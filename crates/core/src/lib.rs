@@ -30,6 +30,7 @@
 
 mod answer;
 mod audit;
+mod cost;
 mod diff;
 mod error;
 mod impact;
@@ -39,9 +40,11 @@ mod par;
 mod parse;
 mod plan_cache;
 mod query;
+mod verify;
 
 pub use answer::LineageAnswer;
 pub use audit::{audit_run, AuditReport, AuditViolation};
+pub use cost::{CostCheck, CostEstimate, CostModel, StepCost};
 pub use diff::{diff_lineage, diff_traces, LineageDiff, TraceDiff};
 pub use error::CoreError;
 pub use impact::{ImpactQuery, NaiveImpact};
@@ -50,6 +53,7 @@ pub use naive::NaiveLineage;
 pub use parse::{parse_lineage, parse_query, ParseError, ParsedQuery};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use query::{FocusSet, LineageQuery};
+pub use verify::{step_index_id, verify_plan, Explanation, PlanReport, StepClass, VerifiedStep};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

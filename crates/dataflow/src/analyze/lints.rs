@@ -1,12 +1,12 @@
 //! The individual lint passes, each over one (possibly nested) scope.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use prov_model::{BaseType, ProcessorName};
 
-use crate::graph::{ArcDst, ArcSrc, Dataflow, IterationStrategy};
-use crate::toposort::toposort;
+use crate::graph::{ArcDst, ArcSrc, Dataflow};
+use crate::shape::ShapeInfo;
 
 use super::{AnalyzeConfig, DiagCode, Diagnostic, Location, NodeRef};
 
@@ -242,39 +242,35 @@ fn check_shadowed_defaults(df: &Dataflow, scope: &str, out: &mut Vec<Diagnostic>
     }
 }
 
-/// E002 + W005 + I001: a *tolerant* re-run of Algorithm 1
-/// (`PROPAGATEDEPTHS`). Where [`crate::DepthInfo::compute`] aborts on a
-/// dot-strategy conflict, this version records an E002 and keeps
+/// E002 + W005 + I001: depth lints read off the *tolerant* shape lattice
+/// of [`ShapeInfo`]. Where [`crate::DepthInfo::compute`] aborts on a
+/// dot-strategy conflict, the shape pass records the conflict and keeps
 /// propagating with the widest fragment, so one defect does not mask
-/// diagnostics further downstream.
+/// diagnostics further downstream; this function just translates its facts
+/// into diagnostics.
 fn check_depth_mismatches(
     df: &Dataflow,
     scope: &str,
     config: &AnalyzeConfig,
     out: &mut Vec<Diagnostic>,
 ) {
-    // Depth propagation needs an evaluation order; a cyclic graph has
+    // Shape propagation needs an evaluation order; a cyclic graph has
     // already been rejected by `validate`, so just skip these lints there.
-    let Ok(topo) = toposort(df) else { return };
+    let Ok(shapes) = ShapeInfo::compute(df) else { return };
 
-    let mut out_depth: HashMap<(ProcessorName, Arc<str>), usize> = HashMap::new();
-    for pname in topo {
-        let Some(p) = df.processor(&pname) else { continue };
+    let describe = |ports: &[(Arc<str>, usize)]| {
+        ports.iter().map(|(n, d)| format!("{n} (δ=+{d})")).collect::<Vec<_>>().join(", ")
+    };
 
-        // Rule 1: actual depth of each input port.
-        let mut deltas: Vec<(Arc<str>, i64)> = Vec::with_capacity(p.inputs.len());
+    for pname in shapes.topo_order() {
+        let Some(p) = df.processor(pname) else { continue };
+
+        // Positive mismatches drive the implicit iteration (widest bound
+        // under upstream conflicts, as the tolerant pass always reported).
+        let mut positive: Vec<(Arc<str>, usize)> = Vec::new();
         for port in &p.inputs {
-            let declared = port.declared.depth;
-            let actual = match df.arc_into(&pname, &port.name).map(|a| &a.src) {
-                Some(ArcSrc::WorkflowInput { port: w }) => {
-                    df.input(w).map(|i| i.declared.depth).unwrap_or(declared)
-                }
-                Some(ArcSrc::Processor { processor, port: q }) => {
-                    out_depth.get(&(processor.clone(), q.clone())).copied().unwrap_or(declared)
-                }
-                None => declared, // bound to its default, which has the declared type
-            };
-            let delta = actual as i64 - declared as i64;
+            let Some(ps) = shapes.input_shape(pname, &port.name) else { continue };
+            let delta = ps.mismatch_hi();
             if delta < 0 {
                 out.push(diag(
                     scope,
@@ -284,8 +280,9 @@ fn check_depth_mismatches(
                     },
                     DiagCode::NegativeMismatch,
                     format!(
-                        "value of depth {actual} is wrapped up to the declared depth \
-                         {declared} (δ = {delta})"
+                        "value of depth {} is wrapped up to the declared depth \
+                         {} (δ = {delta})",
+                        ps.shape.depth.hi, ps.declared
                     ),
                     Some(
                         "singleton wrapping (§3.1) is usually intentional; widen the \
@@ -294,40 +291,29 @@ fn check_depth_mismatches(
                     ),
                 ));
             }
-            deltas.push((port.name.clone(), delta));
+            if delta > 0 {
+                positive.push((port.name.clone(), delta as usize));
+            }
         }
 
-        // Positive mismatches drive the implicit iteration.
-        let positive: Vec<(&Arc<str>, usize)> =
-            deltas.iter().filter(|(_, d)| *d > 0).map(|(n, d)| (n, *d as usize)).collect();
-        let describe = |ports: &[(&Arc<str>, usize)]| {
-            ports.iter().map(|(n, d)| format!("{n} (δ=+{d})")).collect::<Vec<_>>().join(", ")
-        };
+        if shapes.conflicts().iter().any(|c| &c.processor == pname) {
+            out.push(diag(
+                scope,
+                NodeRef::Processor(pname.to_string()),
+                DiagCode::DotUnequalMismatch,
+                format!(
+                    "dot iteration requires equal positive mismatches, found {}",
+                    describe(&positive)
+                ),
+                Some(
+                    "make the mismatched depths agree, or switch the processor \
+                     to cross iteration"
+                        .into(),
+                ),
+            ));
+        }
 
-        let total = match p.iteration {
-            IterationStrategy::Cross => positive.iter().map(|(_, d)| d).sum(),
-            IterationStrategy::Dot => {
-                let max = positive.iter().map(|(_, d)| *d).max().unwrap_or(0);
-                if positive.iter().any(|(_, d)| *d != max) {
-                    out.push(diag(
-                        scope,
-                        NodeRef::Processor(pname.to_string()),
-                        DiagCode::DotUnequalMismatch,
-                        format!(
-                            "dot iteration requires equal positive mismatches, found {}",
-                            describe(&positive)
-                        ),
-                        Some(
-                            "make the mismatched depths agree, or switch the processor \
-                             to cross iteration"
-                                .into(),
-                        ),
-                    ));
-                }
-                max
-            }
-        };
-
+        let total = shapes.iteration_total(pname).map(|t| t.hi).unwrap_or(0);
         if total > 0 && total >= config.iteration_depth_threshold {
             out.push(diag(
                 scope,
@@ -340,11 +326,6 @@ fn check_depth_mismatches(
                 ),
                 Some(format!("mismatched ports: {}", describe(&positive))),
             ));
-        }
-
-        // Rule 2: output depths gain the iteration depth.
-        for port in &p.outputs {
-            out_depth.insert((pname.clone(), port.name.clone()), port.declared.depth + total);
         }
     }
 }

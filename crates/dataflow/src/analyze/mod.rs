@@ -19,6 +19,20 @@
 //! | W005 | warning  | implicit iteration depth reaches the configured threshold |
 //! | I001 | info     | negative mismatch: the value will be singleton-wrapped |
 //!
+//! The `1xx` block belongs to the **plan verifier** (`prov-core`'s
+//! `tprov explain`), which checks a compiled `LineagePlan` against a
+//! store's `IndexCatalog` and reuses this crate's diagnostic machinery so
+//! every static finding — spec lint or plan finding — shares one code
+//! space, one severity model and one renderer:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | E101 | error    | a plan step references an index the store cannot serve |
+//! | E102 | error    | a plan step references a processor/port absent from the spec |
+//! | W101 | warning  | uncovered step: the probe uses no index components (full scan) |
+//! | W102 | warning  | span scan: the probe is shallower than the stored rows |
+//! | W103 | warning  | clamped probe: the probe is deeper than the stored rows |
+//!
 //! Unlike [`crate::DepthInfo::compute`], the depth propagation used here is
 //! *tolerant*: a dot-strategy conflict becomes an E002 diagnostic and the
 //! analysis keeps going with the widest fragment, so one defect does not
@@ -97,6 +111,23 @@ pub enum DiagCode {
     IterationExplosion,
     /// I001: negative depth mismatch; the value is singleton-wrapped.
     NegativeMismatch,
+    /// E101: a lineage-plan step references a composite index the store's
+    /// catalog cannot serve; the plan is unexecutable as compiled.
+    UnservableIndex,
+    /// E102: a lineage-plan step references a processor or port that does
+    /// not exist in the workflow specification — the plan was compiled
+    /// against a different spec.
+    PlanSpecMismatch,
+    /// W101: an uncovered plan step — the probe carries no index
+    /// components while the stored rows are deep, so execution reads every
+    /// row of the `(run, processor, port)` slice.
+    UncoveredStep,
+    /// W102: a plan step probing shallower than the stored rows; the point
+    /// lookup widens to a span scan over every stored descendant.
+    SpanScanStep,
+    /// W103: a plan step probing deeper than the stored rows; the residual
+    /// index components cannot be used and the probe clamps to ancestors.
+    ClampedProbe,
 }
 
 impl DiagCode {
@@ -112,6 +143,11 @@ impl DiagCode {
             DiagCode::ShadowedDefault => "W004",
             DiagCode::IterationExplosion => "W005",
             DiagCode::NegativeMismatch => "I001",
+            DiagCode::UnservableIndex => "E101",
+            DiagCode::PlanSpecMismatch => "E102",
+            DiagCode::UncoveredStep => "W101",
+            DiagCode::SpanScanStep => "W102",
+            DiagCode::ClampedProbe => "W103",
         }
     }
 
@@ -120,12 +156,17 @@ impl DiagCode {
         match self {
             DiagCode::ArcBaseTypeMismatch
             | DiagCode::DotUnequalMismatch
-            | DiagCode::UnboundInput => Severity::Error,
+            | DiagCode::UnboundInput
+            | DiagCode::UnservableIndex
+            | DiagCode::PlanSpecMismatch => Severity::Error,
             DiagCode::DeadProcessor
             | DiagCode::StarvedProcessor
             | DiagCode::UnusedWorkflowInput
             | DiagCode::ShadowedDefault
-            | DiagCode::IterationExplosion => Severity::Warning,
+            | DiagCode::IterationExplosion
+            | DiagCode::UncoveredStep
+            | DiagCode::SpanScanStep
+            | DiagCode::ClampedProbe => Severity::Warning,
             DiagCode::NegativeMismatch => Severity::Info,
         }
     }
@@ -247,14 +288,22 @@ pub fn analyze(df: &Dataflow) -> Vec<Diagnostic> {
 pub fn analyze_with(df: &Dataflow, config: &AnalyzeConfig) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     analyze_scope(df, df.name.to_string(), config, &mut out);
-    out.sort_by(|a, b| {
-        (a.severity().rank(), a.code.as_str(), a.location.to_string()).cmp(&(
+    sort_diagnostics(&mut out);
+    out
+}
+
+/// Sorts diagnostics into the stable report order: errors first, then by
+/// code, location and finally message — a total order, so reports are
+/// byte-identical across runs regardless of discovery order.
+pub fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (a.severity().rank(), a.code.as_str(), a.location.to_string(), &a.message).cmp(&(
             b.severity().rank(),
             b.code.as_str(),
             b.location.to_string(),
+            &b.message,
         ))
     });
-    out
 }
 
 /// Number of error-level diagnostics in a report.

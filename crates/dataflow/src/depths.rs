@@ -17,8 +17,8 @@ use serde::{Deserialize, Serialize};
 
 use prov_model::ProcessorName;
 
-use crate::graph::{ArcSrc, Dataflow, IterationStrategy};
-use crate::toposort::toposort;
+use crate::graph::{Dataflow, IterationStrategy};
+use crate::shape::{PortShape, ShapeInfo};
 use crate::{DataflowError, Result};
 
 /// Declared and propagated (actual) depth of one port.
@@ -93,114 +93,40 @@ pub struct DepthInfo {
 
 impl DepthInfo {
     /// Runs Algorithm 1 (`PROPAGATEDEPTHS`) on the dataflow.
+    ///
+    /// Since the shape lattice of [`ShapeInfo`] generalises this pass, the
+    /// exact form is now a projection of it: run the tolerant abstract
+    /// interpretation, reject the workflow if it recorded any dot-iteration
+    /// conflict (the one condition under which depths are ambiguous), and
+    /// collapse the point intervals — guaranteed exact in the absence of
+    /// conflicts — into plain depths.
     pub fn compute(df: &Dataflow) -> Result<Self> {
-        let topo = toposort(df)?;
-        let mut info = DepthInfo {
-            inputs: HashMap::new(),
-            outputs: HashMap::new(),
-            workflow_outputs: HashMap::new(),
-            layouts: HashMap::new(),
-            topo,
-        };
-
-        for pname in info.topo.clone() {
-            let p = df.processor_required(&pname)?;
-
-            // Rule 1: depth of each input port.
-            let mut port_depths = Vec::with_capacity(p.inputs.len());
-            for port in &p.inputs {
-                let declared = port.declared.depth;
-                let actual = match df.arc_into(&pname, &port.name) {
-                    Some(arc) => info.src_depth(df, &arc.src)?,
-                    // No incoming arc: bound to its default value, which is
-                    // of the declared type.
-                    None => declared,
-                };
-                let d = PortDepths { declared, actual };
-                info.inputs.insert((pname.clone(), port.name.clone()), d);
-                port_depths.push(d);
-            }
-
-            // Projection layout and total iteration depth for this node.
-            let layout = Self::layout(&pname, &port_depths, p.iteration)?;
-            let total = layout.total;
-            info.layouts.insert(pname.clone(), layout);
-
-            // Rule 2: depth of each output port = dd(Y) + Σ max(δ_s, 0).
-            for port in &p.outputs {
-                let declared = port.declared.depth;
-                let d = PortDepths { declared, actual: declared + total };
-                info.outputs.insert((pname.clone(), port.name.clone()), d);
-            }
+        let shapes = ShapeInfo::compute(df)?;
+        if let Some(c) = shapes.conflicts().first() {
+            return Err(DataflowError::DotMismatch {
+                processor: c.processor.to_string(),
+                lens: c.lens(),
+            });
         }
-
-        // Workflow outputs take the depth of whatever feeds them.
-        for out in &df.outputs {
-            let declared = out.declared.depth;
-            let actual = match df.arc_into_output(&out.name) {
-                Some(arc) => info.src_depth(df, &arc.src)?,
-                None => declared, // unreachable post-validation; kept total
-            };
-            info.workflow_outputs.insert(out.name.clone(), PortDepths { declared, actual });
-        }
-
-        Ok(info)
+        Ok(Self::from_shapes(&shapes))
     }
 
-    fn layout(
-        pname: &ProcessorName,
-        port_depths: &[PortDepths],
-        strategy: IterationStrategy,
-    ) -> Result<ProjectionLayout> {
-        match strategy {
-            IterationStrategy::Cross => {
-                let mut fragments = Vec::with_capacity(port_depths.len());
-                let mut offset = 0usize;
-                for d in port_depths {
-                    let len = d.fragment_len();
-                    fragments.push((offset, len));
-                    offset += len;
-                }
-                Ok(ProjectionLayout { fragments, total: offset, strategy })
-            }
-            IterationStrategy::Dot => {
-                // The zip combinator iterates mismatched ports in lockstep:
-                // they share ONE index fragment, so all positive mismatches
-                // must agree.
-                let lens: Vec<usize> =
-                    port_depths.iter().map(|d| d.fragment_len()).filter(|&len| len > 0).collect();
-                if lens.windows(2).any(|w| w[0] != w[1]) {
-                    return Err(DataflowError::DotMismatch { processor: pname.to_string(), lens });
-                }
-                let total = lens.first().copied().unwrap_or(0);
-                let fragments = port_depths
-                    .iter()
-                    .map(|d| if d.fragment_len() > 0 { (0, total) } else { (0, 0) })
-                    .collect();
-                Ok(ProjectionLayout { fragments, total, strategy })
-            }
+    /// Collapses a conflict-free shape analysis into exact depths.
+    fn from_shapes(shapes: &ShapeInfo) -> Self {
+        fn exact(ps: &PortShape) -> PortDepths {
+            // Without conflicts every interval is a point; `hi` == `lo`.
+            PortDepths { declared: ps.declared, actual: ps.shape.depth.hi }
         }
-    }
-
-    fn src_depth(&self, df: &Dataflow, src: &ArcSrc) -> Result<usize> {
-        match src {
-            ArcSrc::WorkflowInput { port } => {
-                // Assumption 2: top-level inputs carry values of the
-                // declared type.
-                let p = df.input(port).ok_or_else(|| DataflowError::UnknownPort {
-                    processor: df.name.to_string(),
-                    port: port.to_string(),
-                })?;
-                Ok(p.declared.depth)
-            }
-            ArcSrc::Processor { processor, port } => {
-                self.outputs.get(&(processor.clone(), port.clone())).map(|d| d.actual).ok_or_else(
-                    || DataflowError::UnknownPort {
-                        processor: processor.to_string(),
-                        port: port.to_string(),
-                    },
-                )
-            }
+        DepthInfo {
+            inputs: shapes.inputs.iter().map(|(k, v)| (k.clone(), exact(v))).collect(),
+            outputs: shapes.outputs.iter().map(|(k, v)| (k.clone(), exact(v))).collect(),
+            workflow_outputs: shapes
+                .workflow_outputs
+                .iter()
+                .map(|(k, v)| (k.clone(), exact(v)))
+                .collect(),
+            layouts: shapes.layouts.clone(),
+            topo: shapes.topo.clone(),
         }
     }
 

@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod analyze;
 mod builder;
@@ -28,13 +30,14 @@ mod depths;
 mod dot;
 mod error;
 mod graph;
+mod shape;
 mod toposort;
 mod validate;
 mod views;
 
 pub use analyze::{
-    analyze, analyze_with, error_count, json_records, render_json, render_text, AnalyzeConfig,
-    DiagCode, Diagnostic, DiagnosticJson, Location, NodeRef, Severity,
+    analyze, analyze_with, error_count, json_records, render_json, render_text, sort_diagnostics,
+    AnalyzeConfig, DiagCode, Diagnostic, DiagnosticJson, Location, NodeRef, Severity,
 };
 pub use builder::{DataflowBuilder, ProcessorBuilder};
 pub use depths::{DepthInfo, PortDepths, ProjectionLayout};
@@ -45,6 +48,7 @@ pub use graph::{
     ProcessorSpec,
 };
 pub use prov_model::{BaseType, Depth, PortType};
+pub use shape::{DepthRange, DotConflict, FanoutClass, PortShape, Shape, ShapeInfo};
 pub use toposort::toposort;
 pub use validate::validate;
 pub use views::CompositeView;

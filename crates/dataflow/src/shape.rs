@@ -1,0 +1,573 @@
+//! Abstract interpretation of collection shapes over the dataflow graph.
+//!
+//! This generalises Algorithm 1 (`PROPAGATEDEPTHS`, §3.1) from a single
+//! actual-depth integer per port into a small per-port **lattice**, the
+//! [`Shape`]:
+//!
+//! * a **depth interval** [`DepthRange`] — collapsed to a point on
+//!   well-formed workflows, widened to a proper interval when a
+//!   dot-iteration conflict (E002) makes the depth ambiguous, so one
+//!   defect no longer stops the analysis of everything downstream;
+//! * a **may-contain-error** bit — whether a value on the port can carry
+//!   error tokens (`Atom::Error`) at runtime: errors originate at task
+//!   invocations and propagate along arcs, so everything downstream of a
+//!   fallible processor is tainted while pure input-to-output paths are
+//!   provably clean;
+//! * a **fan-out class** [`FanoutClass`] — how many implicit-iteration
+//!   levels produced the value: `Iterated { degree: k }` means the
+//!   invocation count multiplies by one list length per level, the static
+//!   analogue of the paper's `d^l` trace-size growth (§4.2).
+//!
+//! The pass is *total*: it never fails on a validated graph, recording
+//! [`DotConflict`]s instead of aborting and continuing with the widest
+//! fragment. [`crate::DepthInfo`] — the exact form the engine and
+//! INDEXPROJ consume — is now a thin projection of this pass (see
+//! [`ShapeInfo::conflicts`]), and the advisory lints (E002/W005/I001) read
+//! their facts from here instead of re-propagating depths by hand.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use prov_model::ProcessorName;
+
+use crate::depths::ProjectionLayout;
+use crate::graph::{ArcSrc, Dataflow, IterationStrategy, ProcessorKind, ProcessorSpec};
+use crate::toposort::toposort;
+use crate::Result;
+
+/// An inclusive interval of possible nesting depths. On a conflict-free
+/// workflow every range is exact (`lo == hi`); dot-iteration conflicts
+/// widen the range downstream of the conflicting processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepthRange {
+    /// Smallest possible depth.
+    pub lo: usize,
+    /// Largest possible depth.
+    pub hi: usize,
+}
+
+impl DepthRange {
+    /// A point interval.
+    pub fn exact(d: usize) -> Self {
+        DepthRange { lo: d, hi: d }
+    }
+
+    /// An interval from explicit bounds (normalised so `lo <= hi`).
+    pub fn new(lo: usize, hi: usize) -> Self {
+        DepthRange { lo: lo.min(hi), hi: lo.max(hi) }
+    }
+
+    /// Whether the interval is a single point.
+    pub fn is_exact(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Lattice join: the interval hull.
+    pub fn join(self, other: DepthRange) -> Self {
+        DepthRange { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Shifts both bounds up by a constant (declared output depth).
+    pub fn shift(self, by: usize) -> Self {
+        DepthRange { lo: self.lo + by, hi: self.hi + by }
+    }
+}
+
+/// Interval addition (used when summing per-port iteration fragments).
+impl std::ops::Add for DepthRange {
+    type Output = DepthRange;
+
+    fn add(self, other: DepthRange) -> Self {
+        DepthRange { lo: self.lo + other.lo, hi: self.hi + other.hi }
+    }
+}
+
+impl fmt::Display for DepthRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}..{}", self.lo, self.hi)
+        }
+    }
+}
+
+/// How many implicit-iteration levels multiplied the invocation count that
+/// produced a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FanoutClass {
+    /// One invocation, no iteration (`degree == 0`).
+    Singleton,
+    /// `degree` nested iteration levels: the invocation count is a product
+    /// of `degree` list lengths (polynomial of that degree in the input
+    /// size).
+    Iterated {
+        /// Number of iteration levels.
+        degree: usize,
+    },
+}
+
+impl FanoutClass {
+    /// Builds the class from an iteration-level count.
+    pub fn from_degree(degree: usize) -> Self {
+        if degree == 0 {
+            FanoutClass::Singleton
+        } else {
+            FanoutClass::Iterated { degree }
+        }
+    }
+
+    /// The iteration-level count (0 for [`FanoutClass::Singleton`]).
+    pub fn degree(self) -> usize {
+        match self {
+            FanoutClass::Singleton => 0,
+            FanoutClass::Iterated { degree } => degree,
+        }
+    }
+}
+
+impl fmt::Display for FanoutClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FanoutClass::Singleton => f.write_str("singleton"),
+            FanoutClass::Iterated { degree } => write!(f, "iterated^{degree}"),
+        }
+    }
+}
+
+/// The abstract collection shape of one port: what the static analysis
+/// knows about every value that can flow through it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shape {
+    /// Possible actual nesting depths.
+    pub depth: DepthRange,
+    /// Whether the value may contain error tokens.
+    pub may_error: bool,
+    /// Iteration fan-out that produced the value.
+    pub fanout: FanoutClass,
+}
+
+impl Shape {
+    /// A precisely known, error-free, un-iterated shape (workflow inputs
+    /// and design-time defaults).
+    pub fn pristine(depth: usize) -> Self {
+        Shape { depth: DepthRange::exact(depth), may_error: false, fanout: FanoutClass::Singleton }
+    }
+
+    /// Lattice join (hull / or / max degree).
+    pub fn join(self, other: Shape) -> Self {
+        Shape {
+            depth: self.depth.join(other.depth),
+            may_error: self.may_error || other.may_error,
+            fanout: FanoutClass::from_degree(self.fanout.degree().max(other.fanout.degree())),
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "depth {} {} {}",
+            self.depth,
+            if self.may_error { "may-error" } else { "error-free" },
+            self.fanout
+        )
+    }
+}
+
+/// A port's declared depth together with the inferred shape of the values
+/// actually reaching it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortShape {
+    /// The declared depth `dd(X)`.
+    pub declared: usize,
+    /// The inferred shape.
+    pub shape: Shape,
+}
+
+impl PortShape {
+    /// The static mismatch interval `δ_s(X) = depth(X) − dd(X)` (each
+    /// bound may be negative: singleton wrapping).
+    pub fn mismatch_hi(&self) -> i64 {
+        self.shape.depth.hi as i64 - self.declared as i64
+    }
+
+    /// Lower bound of the mismatch.
+    pub fn mismatch_lo(&self) -> i64 {
+        self.shape.depth.lo as i64 - self.declared as i64
+    }
+
+    /// The interval of index components this port contributes to the
+    /// iteration index: `max(δ_s, 0)` on both bounds.
+    pub fn fragment_range(&self) -> DepthRange {
+        DepthRange {
+            lo: self.mismatch_lo().max(0) as usize,
+            hi: self.mismatch_hi().max(0) as usize,
+        }
+    }
+}
+
+/// A dot-iteration processor whose positive mismatches disagree — the
+/// tolerant record of what [`crate::DepthInfo::compute`] turns into
+/// [`crate::DataflowError::DotMismatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DotConflict {
+    /// The conflicting processor.
+    pub processor: ProcessorName,
+    /// The ports with positive mismatch and their fragment lengths, in
+    /// port order.
+    pub ports: Vec<(Arc<str>, usize)>,
+}
+
+impl DotConflict {
+    /// The conflicting fragment lengths, in port order.
+    pub fn lens(&self) -> Vec<usize> {
+        self.ports.iter().map(|(_, l)| *l).collect()
+    }
+}
+
+/// The result of the abstract shape interpretation over one dataflow.
+///
+/// Unlike the exact pass this is computed *tolerantly*: dot conflicts are
+/// recorded in [`ShapeInfo::conflicts`] and the analysis keeps going with
+/// the widest fragment, so one defect does not hide facts downstream.
+/// Fails only on graphs with no topological order (cycles), which
+/// [`crate::validate`] rejects anyway.
+#[derive(Debug, Clone)]
+pub struct ShapeInfo {
+    pub(crate) inputs: HashMap<(ProcessorName, Arc<str>), PortShape>,
+    pub(crate) outputs: HashMap<(ProcessorName, Arc<str>), PortShape>,
+    pub(crate) workflow_outputs: HashMap<Arc<str>, PortShape>,
+    pub(crate) layouts: HashMap<ProcessorName, ProjectionLayout>,
+    /// Per processor: the iteration-depth interval `Σ max(δ_s, 0)`.
+    pub(crate) totals: HashMap<ProcessorName, DepthRange>,
+    pub(crate) conflicts: Vec<DotConflict>,
+    pub(crate) topo: Vec<ProcessorName>,
+}
+
+impl ShapeInfo {
+    /// Runs the abstract interpretation (the lattice form of Algorithm 1).
+    pub fn compute(df: &Dataflow) -> Result<Self> {
+        let topo = toposort(df)?;
+        let mut info = ShapeInfo {
+            inputs: HashMap::new(),
+            outputs: HashMap::new(),
+            workflow_outputs: HashMap::new(),
+            layouts: HashMap::new(),
+            totals: HashMap::new(),
+            conflicts: Vec::new(),
+            topo,
+        };
+
+        for pname in info.topo.clone() {
+            let Some(p) = df.processor(&pname) else { continue };
+
+            // Rule 1 (lattice form): shape of each input port.
+            let mut port_shapes = Vec::with_capacity(p.inputs.len());
+            for port in &p.inputs {
+                let declared = port.declared.depth;
+                let shape = match df.arc_into(&pname, &port.name) {
+                    Some(arc) => info.src_shape(df, &arc.src, declared),
+                    // No incoming arc: bound to its design-time default,
+                    // which is of the declared type.
+                    None => Shape::pristine(declared),
+                };
+                let ps = PortShape { declared, shape };
+                info.inputs.insert((pname.clone(), port.name.clone()), ps);
+                port_shapes.push((port.name.clone(), ps));
+            }
+
+            // Projection layout (widest-fragment form) and iteration total.
+            let (layout, total) = Self::layout(&pname, &port_shapes, p, &mut info.conflicts);
+            info.layouts.insert(pname.clone(), layout);
+            info.totals.insert(pname.clone(), total);
+
+            // Rule 2 (lattice form): each output gains the iteration depth,
+            // taints with fallibility, and carries the fan-out class.
+            let may_error =
+                port_shapes.iter().any(|(_, ps)| ps.shape.may_error) || Self::is_fallible(&p.kind);
+            for port in &p.outputs {
+                let declared = port.declared.depth;
+                let shape = Shape {
+                    depth: total.shift(declared),
+                    may_error,
+                    fanout: FanoutClass::from_degree(total.hi),
+                };
+                info.outputs
+                    .insert((pname.clone(), port.name.clone()), PortShape { declared, shape });
+            }
+        }
+
+        // Workflow outputs take the shape of whatever feeds them.
+        for out in &df.outputs {
+            let declared = out.declared.depth;
+            let shape = match df.arc_into_output(&out.name) {
+                Some(arc) => info.src_shape(df, &arc.src, declared),
+                None => Shape::pristine(declared), // unreachable post-validation
+            };
+            info.workflow_outputs.insert(out.name.clone(), PortShape { declared, shape });
+        }
+
+        Ok(info)
+    }
+
+    /// Whether values computed by this processor kind can originate error
+    /// tokens: every task invocation may fail; a nested dataflow is
+    /// fallible iff it (recursively) contains a task.
+    fn is_fallible(kind: &ProcessorKind) -> bool {
+        match kind {
+            ProcessorKind::Task { .. } => true,
+            ProcessorKind::Nested { dataflow } => {
+                dataflow.processors.iter().any(|p| Self::is_fallible(&p.kind))
+            }
+        }
+    }
+
+    /// Computes the projection layout (fragments by the widest bound, as
+    /// the tolerant pass always did) plus the iteration-total interval,
+    /// recording a [`DotConflict`] instead of failing.
+    fn layout(
+        pname: &ProcessorName,
+        port_shapes: &[(Arc<str>, PortShape)],
+        p: &ProcessorSpec,
+        conflicts: &mut Vec<DotConflict>,
+    ) -> (ProjectionLayout, DepthRange) {
+        match p.iteration {
+            IterationStrategy::Cross => {
+                let mut fragments = Vec::with_capacity(port_shapes.len());
+                let mut offset = 0usize;
+                let mut total = DepthRange::exact(0);
+                for (_, ps) in port_shapes {
+                    let range = ps.fragment_range();
+                    fragments.push((offset, range.hi));
+                    offset += range.hi;
+                    total = total + range;
+                }
+                (ProjectionLayout { fragments, total: offset, strategy: p.iteration }, total)
+            }
+            IterationStrategy::Dot => {
+                // The zip combinator iterates mismatched ports in lockstep:
+                // they share ONE index fragment, so all positive fragment
+                // lengths must agree. On disagreement, record the conflict
+                // and continue with the widest fragment.
+                let positive: Vec<(Arc<str>, usize)> = port_shapes
+                    .iter()
+                    .filter(|(_, ps)| ps.fragment_range().hi > 0)
+                    .map(|(n, ps)| (n.clone(), ps.fragment_range().hi))
+                    .collect();
+                let lens: Vec<usize> = positive.iter().map(|(_, l)| *l).collect();
+                let widest = lens.iter().copied().max().unwrap_or(0);
+                let narrowest = lens.iter().copied().min().unwrap_or(0);
+                if lens.windows(2).any(|w| w[0] != w[1]) {
+                    conflicts.push(DotConflict { processor: pname.clone(), ports: positive });
+                }
+                let fragments = port_shapes
+                    .iter()
+                    .map(|(_, ps)| if ps.fragment_range().hi > 0 { (0, widest) } else { (0, 0) })
+                    .collect();
+                (
+                    ProjectionLayout { fragments, total: widest, strategy: p.iteration },
+                    DepthRange::new(narrowest, widest),
+                )
+            }
+        }
+    }
+
+    /// Shape delivered by an arc source. `fallback_depth` (the destination
+    /// port's declared depth) is used when the source port is unknown —
+    /// `validate` rejects such graphs, but the tolerant pass degrades to
+    /// "the port gets what it declared" instead of inventing a mismatch.
+    fn src_shape(&self, df: &Dataflow, src: &ArcSrc, fallback_depth: usize) -> Shape {
+        match src {
+            ArcSrc::WorkflowInput { port } => {
+                // Assumption 2: top-level inputs carry values of the
+                // declared type, and cannot contain error tokens.
+                Shape::pristine(df.input(port).map(|p| p.declared.depth).unwrap_or(fallback_depth))
+            }
+            ArcSrc::Processor { processor, port } => self
+                .outputs
+                .get(&(processor.clone(), port.clone()))
+                .map(|ps| ps.shape)
+                .unwrap_or_else(|| Shape::pristine(fallback_depth)),
+        }
+    }
+
+    /// Shape of a processor input port.
+    pub fn input_shape(&self, processor: &ProcessorName, port: &str) -> Option<PortShape> {
+        self.inputs.get(&(processor.clone(), Arc::from(port))).copied()
+    }
+
+    /// Shape of a processor output port.
+    pub fn output_shape(&self, processor: &ProcessorName, port: &str) -> Option<PortShape> {
+        self.outputs.get(&(processor.clone(), Arc::from(port))).copied()
+    }
+
+    /// Shape of a workflow output port.
+    pub fn workflow_output_shape(&self, port: &str) -> Option<PortShape> {
+        self.workflow_outputs.get(&Arc::from(port) as &Arc<str>).copied()
+    }
+
+    /// The projection layout of a processor (widest-fragment form under
+    /// conflicts; exact otherwise).
+    pub fn layout_of(&self, processor: &ProcessorName) -> Option<&ProjectionLayout> {
+        self.layouts.get(processor)
+    }
+
+    /// The iteration-depth interval `Σ max(δ_s, 0)` of a processor.
+    pub fn iteration_total(&self, processor: &ProcessorName) -> Option<DepthRange> {
+        self.totals.get(processor).copied()
+    }
+
+    /// The fan-out class of a processor (from the widest iteration total).
+    pub fn fanout_of(&self, processor: &ProcessorName) -> FanoutClass {
+        FanoutClass::from_degree(self.totals.get(processor).map(|t| t.hi).unwrap_or(0))
+    }
+
+    /// The recorded dot-iteration conflicts, in topological order.
+    pub fn conflicts(&self) -> &[DotConflict] {
+        &self.conflicts
+    }
+
+    /// Whether every depth in the analysis is exact (no conflicts).
+    pub fn is_exact(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// The topological order used.
+    pub fn topo_order(&self) -> &[ProcessorName] {
+        &self.topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseType, DataflowBuilder, PortType};
+
+    fn fig3() -> Dataflow {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("v", PortType::list(BaseType::String));
+        b.input("w", PortType::atom(BaseType::String));
+        b.input("c", PortType::list(BaseType::String));
+        b.processor("Q")
+            .in_port("X", PortType::atom(BaseType::String))
+            .out_port("Y", PortType::atom(BaseType::String));
+        b.processor("R")
+            .in_port("X", PortType::atom(BaseType::String))
+            .out_port("Y", PortType::list(BaseType::String));
+        b.processor("P")
+            .in_port("X1", PortType::atom(BaseType::String))
+            .in_port("X2", PortType::list(BaseType::String))
+            .in_port("X3", PortType::atom(BaseType::String))
+            .out_port("Y", PortType::atom(BaseType::String));
+        b.arc_from_input("v", "Q", "X").unwrap();
+        b.arc_from_input("w", "R", "X").unwrap();
+        b.arc_from_input("c", "P", "X2").unwrap();
+        b.arc("Q", "Y", "P", "X1").unwrap();
+        b.arc("R", "Y", "P", "X3").unwrap();
+        b.output("y", PortType::atom(BaseType::String));
+        b.arc_to_output("P", "Y", "y").unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_graphs_produce_point_intervals() {
+        let df = fig3();
+        let info = ShapeInfo::compute(&df).unwrap();
+        assert!(info.is_exact());
+        let py = info.output_shape(&"P".into(), "Y").unwrap();
+        assert_eq!(py.shape.depth, DepthRange::exact(2));
+        assert_eq!(py.shape.fanout, FanoutClass::Iterated { degree: 2 });
+        // Q iterates once over v.
+        assert_eq!(info.fanout_of(&"Q".into()), FanoutClass::Iterated { degree: 1 });
+        assert_eq!(info.iteration_total(&"P".into()), Some(DepthRange::exact(2)));
+    }
+
+    #[test]
+    fn error_taint_starts_at_tasks_and_propagates() {
+        let df = fig3();
+        let info = ShapeInfo::compute(&df).unwrap();
+        // Workflow inputs are pristine...
+        assert!(!info.input_shape(&"Q".into(), "X").unwrap().shape.may_error);
+        // ...but every task output may fail, and the taint propagates.
+        assert!(info.output_shape(&"Q".into(), "Y").unwrap().shape.may_error);
+        assert!(info.input_shape(&"P".into(), "X1").unwrap().shape.may_error);
+        assert!(info.workflow_output_shape("y").unwrap().shape.may_error);
+    }
+
+    #[test]
+    fn dot_conflict_widens_instead_of_failing() {
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::list(BaseType::Int));
+        b.input("b", PortType::nested(BaseType::Int, 2));
+        b.processor("zip")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .in_port("y", PortType::atom(BaseType::Int))
+            .out_port("z", PortType::atom(BaseType::Int))
+            .dot_iteration();
+        b.processor("after")
+            .in_port("x", PortType::atom(BaseType::Int))
+            .out_port("y", PortType::atom(BaseType::Int));
+        b.arc_from_input("a", "zip", "x").unwrap();
+        b.arc_from_input("b", "zip", "y").unwrap();
+        b.arc("zip", "z", "after", "x").unwrap();
+        b.output("o", PortType::list(BaseType::Int));
+        b.arc_to_output("after", "y", "o").unwrap();
+        let df = b.build().unwrap();
+        let info = ShapeInfo::compute(&df).unwrap();
+        assert_eq!(info.conflicts().len(), 1);
+        assert_eq!(info.conflicts()[0].processor.as_str(), "zip");
+        assert_eq!(info.conflicts()[0].lens(), vec![1, 2]);
+        // The conflict widens the downstream interval instead of killing
+        // the analysis: zip:z has depth 1..2 and `after` still has a shape.
+        let z = info.output_shape(&"zip".into(), "z").unwrap();
+        assert_eq!(z.shape.depth, DepthRange::new(1, 2));
+        let after_out = info.output_shape(&"after".into(), "y").unwrap();
+        assert!(!after_out.shape.depth.is_exact());
+        assert_eq!(after_out.shape.depth.hi, 2);
+    }
+
+    #[test]
+    fn lattice_ops_behave() {
+        let a = DepthRange::exact(1);
+        let b = DepthRange::new(2, 3);
+        assert_eq!(a.join(b), DepthRange::new(1, 3));
+        assert_eq!(a + b, DepthRange::new(3, 4));
+        assert_eq!(FanoutClass::from_degree(0), FanoutClass::Singleton);
+        let s = Shape::pristine(1).join(Shape {
+            depth: DepthRange::exact(3),
+            may_error: true,
+            fanout: FanoutClass::Iterated { degree: 2 },
+        });
+        assert_eq!(s.depth, DepthRange::new(1, 3));
+        assert!(s.may_error);
+        assert_eq!(s.fanout.degree(), 2);
+        assert_eq!(format!("{}", DepthRange::new(1, 3)), "1..3");
+        assert_eq!(format!("{}", DepthRange::exact(2)), "2");
+    }
+
+    #[test]
+    fn nested_fallibility_requires_an_inner_task() {
+        // A nested dataflow that only rewires its input contains no task,
+        // so its output stays error-free.
+        let mut inner = DataflowBuilder::new("sub");
+        inner.input("in", PortType::list(BaseType::Int));
+        inner.output("out", PortType::list(BaseType::Int));
+        inner.arc_input_to_output("in", "out").unwrap();
+        let inner = Arc::new(inner.build().unwrap());
+
+        let mut b = DataflowBuilder::new("wf");
+        b.input("a", PortType::list(BaseType::Int));
+        b.nested("S", inner);
+        b.arc_from_input("a", "S", "in").unwrap();
+        b.output("o", PortType::list(BaseType::Int));
+        b.arc_to_output("S", "out", "o").unwrap();
+        let df = b.build().unwrap();
+        let info = ShapeInfo::compute(&df).unwrap();
+        assert!(!info.output_shape(&"S".into(), "out").unwrap().shape.may_error);
+    }
+}

@@ -287,3 +287,90 @@ fn fig3_workflow_lints_clean() {
 
     assert_eq!(analyze(&df), Vec::new());
 }
+
+/// Golden test for the report order contract: `sort_diagnostics` is a
+/// total order over (severity rank, code, location, message), so the
+/// rendered report is byte-identical no matter what order lints discover
+/// their findings in. The fixture deliberately includes pairs that tie on
+/// every prefix of the sort key — same code at two locations, and two
+/// findings at the *same* code and location differing only in message —
+/// and feeds them in reversed and rotated orders.
+#[test]
+fn sorted_report_is_byte_identical_regardless_of_discovery_order() {
+    use prov_dataflow::{render_text, sort_diagnostics, DiagCode, Diagnostic, Location, NodeRef};
+
+    fn diag(code: DiagCode, scope: &str, node: NodeRef, message: &str) -> Diagnostic {
+        Diagnostic {
+            code,
+            location: Location { scope: scope.to_string(), node },
+            message: message.to_string(),
+            help: None,
+        }
+    }
+
+    let fixture = vec![
+        // Info sorts last even though "I" < "W" lexicographically on code
+        // alone — severity rank leads the key.
+        diag(
+            DiagCode::NegativeMismatch,
+            "wf",
+            NodeRef::InputPort { processor: "P".into(), port: "x".into() },
+            "value will be singleton-wrapped",
+        ),
+        // Two W101s at the same location, distinguished only by message:
+        // the message tie-break keeps even these stable.
+        diag(
+            DiagCode::UncoveredStep,
+            "wf",
+            NodeRef::InputPort { processor: "P".into(), port: "x".into() },
+            "probe b has no index components",
+        ),
+        diag(
+            DiagCode::UncoveredStep,
+            "wf",
+            NodeRef::InputPort { processor: "P".into(), port: "x".into() },
+            "probe a has no index components",
+        ),
+        // Same code, different scopes: location breaks the tie.
+        diag(DiagCode::DeadProcessor, "wf/sub", NodeRef::Processor("Q".into()), "dead"),
+        diag(DiagCode::DeadProcessor, "wf", NodeRef::Processor("Q".into()), "dead"),
+        // Errors lead the report; E101 sorts after E001.
+        diag(
+            DiagCode::UnservableIndex,
+            "wf",
+            NodeRef::InputPort { processor: "P".into(), port: "x".into() },
+            "xform_in cannot be served",
+        ),
+        diag(DiagCode::ArcBaseTypeMismatch, "wf", NodeRef::Arc("P.y -> Q.x".into()), "type clash"),
+    ];
+
+    let golden = [
+        ("E001", "wf :: P.y -> Q.x", "type clash"),
+        ("E101", "wf :: P:x", "xform_in cannot be served"),
+        ("W001", "wf :: Q", "dead"),
+        ("W001", "wf/sub :: Q", "dead"),
+        ("W101", "wf :: P:x", "probe a has no index components"),
+        ("W101", "wf :: P:x", "probe b has no index components"),
+        ("I001", "wf :: P:x", "value will be singleton-wrapped"),
+    ];
+
+    let mut sorted = fixture.clone();
+    sort_diagnostics(&mut sorted);
+    let got: Vec<(String, String, String)> = sorted
+        .iter()
+        .map(|d| (d.code.to_string(), d.location.to_string(), d.message.clone()))
+        .collect();
+    let want: Vec<(String, String, String)> =
+        golden.iter().map(|(c, l, m)| (c.to_string(), l.to_string(), m.to_string())).collect();
+    assert_eq!(got, want);
+
+    // Any discovery order renders to the same bytes.
+    let reference = render_text(&sorted);
+    for rotation in 0..fixture.len() {
+        let mut shuffled = fixture.clone();
+        shuffled.rotate_left(rotation);
+        shuffled.reverse();
+        sort_diagnostics(&mut shuffled);
+        assert_eq!(render_text(&shuffled), reference, "rotation {rotation}");
+    }
+}

@@ -23,6 +23,7 @@ use std::ops::Bound;
 
 use prov_model::RunId;
 
+use crate::catalog::PortCardinality;
 use crate::stats::QueryStats;
 use crate::symbols::{IndexKey, Sym};
 
@@ -189,6 +190,24 @@ impl CompositeIndex {
     /// Total number of keys (distinct composite keys) in the index.
     pub fn key_count(&self) -> usize {
         self.map.len()
+    }
+
+    /// Cardinality of one `(run, processor, port)` slice: distinct keys,
+    /// total rows, and the longest stored element index. The slice is
+    /// contiguous in key order, so this is one descent plus a bounded walk
+    /// — cheap enough for `explain`, and never on a query hot path.
+    pub fn port_stats(&self, run: RunId, processor: Sym, port: Sym) -> PortCardinality {
+        let start = SymKey { run, processor, port, index: IndexKey::empty() };
+        let mut out = PortCardinality::default();
+        for (k, rows) in self.map.range((Bound::Included(start), Bound::Unbounded)) {
+            if k.run != run || k.processor != processor || k.port != port {
+                break;
+            }
+            out.keys += 1;
+            out.rows += rows.len() as u64;
+            out.max_depth = out.max_depth.max(k.index.len());
+        }
+        out
     }
 
     /// Removes every key belonging to `run` (they are contiguous: the run

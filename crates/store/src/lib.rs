@@ -29,6 +29,7 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod catalog;
 mod crc;
 mod encode;
 mod export;
@@ -42,6 +43,7 @@ mod symbols;
 mod values;
 mod wal;
 
+pub use catalog::{IndexCatalog, IndexId, PortCardinality};
 pub use crc::crc32;
 pub use export::{GraphEdge, GraphNode, ProvenanceGraph};
 pub use fault::{FaultFile, FaultPlan};

@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 use prov_engine::{TraceEvent, TraceSink, XferEvent, XformEvent};
 use prov_model::{Binding, Index, PortRef, ProcessorName, RunId, Value, ValueId};
 
+use crate::catalog::{IndexCatalog, IndexId, PortCardinality};
 use crate::fault::FaultPlan;
 use crate::indexes::{CompositeIndex, SymKey};
 use crate::rows::{
@@ -688,6 +689,42 @@ impl TraceStore {
         registry.set_gauge("store.symbols", self.symbol_count() as u64);
         let (a, b, c, d) = self.index_key_counts();
         registry.set_gauge("store.index_keys", (a + b + c + d) as u64);
+    }
+
+    /// The catalog of composite indexes this store serves, with current
+    /// key counts — the physical-design side of the static plan contract.
+    /// All four indexes are always maintained; callers model degraded
+    /// stores with [`IndexCatalog::without`].
+    pub fn index_catalog(&self) -> IndexCatalog {
+        let inner = self.inner.read();
+        IndexCatalog::new([
+            inner.idx_xform_out.key_count() as u64,
+            inner.idx_xform_in.key_count() as u64,
+            inner.idx_xfer_dst.key_count() as u64,
+            inner.idx_xfer_src.key_count() as u64,
+        ])
+    }
+
+    /// Cardinality statistics of one `(run, processor, port)` slice of the
+    /// chosen index — what the static cost model uses to size its
+    /// predictions. Returns zeros for names the store has never seen.
+    pub fn port_cardinality(
+        &self,
+        id: IndexId,
+        run: RunId,
+        processor: &ProcessorName,
+        port: &str,
+    ) -> PortCardinality {
+        let inner = self.inner.read();
+        let p = inner.symbols.lookup(processor.as_str());
+        let x = inner.symbols.lookup(port);
+        let index = match id {
+            IndexId::XformOut => &inner.idx_xform_out,
+            IndexId::XformIn => &inner.idx_xform_in,
+            IndexId::XferDst => &inner.idx_xfer_dst,
+            IndexId::XferSrc => &inner.idx_xfer_src,
+        };
+        index.port_stats(run, p, x)
     }
 
     /// All stored runs, in id order.
@@ -1521,6 +1558,32 @@ mod tests {
         let bs = s.input_bindings(r, &"P".into(), "x", &Index::empty());
         assert_eq!(bs.len(), 1);
         assert!(bs[0].index.is_empty());
+    }
+
+    #[test]
+    fn index_catalog_reports_key_counts_and_port_cardinality() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xform(r, xform("P", 0, &[0], &[0]));
+        s.record_xform(r, xform("P", 1, &[1, 0], &[1, 0]));
+        s.record_xfer(r, xfer(("A", "y"), ("P", "x"), &[0], "v"));
+        let cat = s.index_catalog();
+        for id in IndexId::ALL {
+            assert!(cat.serves(id));
+        }
+        assert_eq!(cat.key_count(IndexId::XformIn), 2);
+        assert_eq!(cat.key_count(IndexId::XferSrc), 1);
+        assert!(!cat.without(IndexId::XformIn).serves(IndexId::XformIn));
+
+        let c = s.port_cardinality(IndexId::XformIn, r, &"P".into(), "x");
+        assert_eq!(c.keys, 2);
+        assert_eq!(c.rows, 2);
+        assert_eq!(c.max_depth, 2);
+        // Unknown names and other runs are zero, not errors.
+        let z = s.port_cardinality(IndexId::XformIn, r, &"nope".into(), "x");
+        assert_eq!(z, PortCardinality::default());
+        let z = s.port_cardinality(IndexId::XformIn, RunId(9), &"P".into(), "x");
+        assert_eq!(z.keys, 0);
     }
 
     #[test]

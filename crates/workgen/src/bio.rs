@@ -13,6 +13,11 @@
 //! *shape*, collection structure, and depth mismatches — because the
 //! services are black boxes to the provenance machinery (DESIGN.md §3).
 
+// The workloads here are built from literal specs and run on inputs the
+// module itself generates; a builder or engine failure is a bug in the
+// generator, so unwrap/expect is the intended failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

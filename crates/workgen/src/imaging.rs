@@ -14,6 +14,11 @@
 //!        (1→n)   (per tile) (per tile) └──────────→ tiles_out
 //! ```
 
+// The workloads here are built from literal specs and run on inputs the
+// module itself generates; a builder or engine failure is a bug in the
+// generator, so unwrap/expect is the intended failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
 use prov_engine::{BehaviorRegistry, Engine, RunOutcome, TraceSink};
 use prov_model::{Atom, Value};

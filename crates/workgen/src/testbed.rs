@@ -13,6 +13,11 @@
 //! the `ListSize` input port, exactly as in the paper. The canonical query
 //! of the evaluation is `lin(⟨2TO1_FINAL:Y[p]⟩, {LISTGEN_1})`.
 
+// The workloads here are built from literal specs and run on inputs the
+// module itself generates; a builder or engine failure is a bug in the
+// generator, so unwrap/expect is the intended failure mode.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use prov_core::LineageQuery;
 use prov_dataflow::{BaseType, Dataflow, DataflowBuilder, PortType};
 use prov_engine::{BehaviorRegistry, Engine, RunOutcome, TraceSink};

@@ -59,6 +59,11 @@
 //! assert_eq!(answer.bindings[0].value, Value::str("b"));
 //! ```
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub use prov_core as lineage;
 pub use prov_dataflow as dataflow;
 pub use prov_engine as engine;
