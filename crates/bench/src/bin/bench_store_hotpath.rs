@@ -390,12 +390,24 @@ struct QueryReport {
     plan_cache_misses: u64,
 }
 
+/// One cell of the multi-run scaling matrix: the shared plan executed
+/// over `runs` runs with the query worker pool pinned to `threads`.
+#[derive(Serialize)]
+struct ScalePoint {
+    runs: usize,
+    threads: usize,
+    parallel_ms: f64,
+    /// Relative to the same workload on a single worker (fully inline).
+    speedup: f64,
+}
+
 #[derive(Serialize)]
 struct MultiRunReport {
     runs: usize,
     sequential_ms: f64,
     parallel_ms: f64,
     speedup: f64,
+    scaling: Vec<ScalePoint>,
 }
 
 #[derive(Serialize)]
@@ -578,6 +590,46 @@ fn main() {
         plan.execute_multi(&multi_store, &runs).expect("par execute");
     });
 
+    // ---- Multi-run scaling matrix: runs × worker threads. ------------
+    // The store is ingested once with the largest run count; each cell
+    // re-executes the shared plan over the first `rc` runs with the
+    // worker pool pinned to `t` threads via `set_query_threads`. The
+    // per-run-count baseline is the same workload on a single worker
+    // (fully inline), so speedups isolate what the thread pool buys on
+    // this machine. Every execution pins per-run snapshots, so the
+    // matrix exercises the lock-free read path at every pool size.
+    let default_workers = prov_core::query_workers();
+    let run_counts: &[usize] = if quick { &[1, 4, 8] } else { &[1, 8, 32, 128] };
+    let max_runs = *run_counts.last().expect("run counts");
+    let mut all_runs = runs.clone();
+    while all_runs.len() < max_runs {
+        all_runs.push(testbed::run(&df, d, &multi_store).run_id);
+    }
+    let mut thread_counts = vec![1usize, 2, 4, default_workers];
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+    let mut scaling = Vec::new();
+    for &rc in run_counts {
+        let subset = &all_runs[..rc];
+        prov_core::set_query_threads(Some(1));
+        let t_base = best_of(reps, || {
+            plan.execute_multi(&multi_store, subset).expect("baseline execute");
+        });
+        for &t in &thread_counts {
+            prov_core::set_query_threads(Some(t));
+            let t_cell = best_of(reps, || {
+                plan.execute_multi(&multi_store, subset).expect("scaled execute");
+            });
+            scaling.push(ScalePoint {
+                runs: rc,
+                threads: t,
+                parallel_ms: ms(t_cell),
+                speedup: t_base.as_secs_f64() / t_cell.as_secs_f64().max(1e-12),
+            });
+        }
+    }
+    prov_core::set_query_threads(None);
+
     // ---- Metrics block: machine-independent work accounting. ---------
     let query_metrics = prov_bench::snapshot_store_metrics(&store);
     let wal_metrics = {
@@ -634,6 +686,7 @@ fn main() {
             sequential_ms: ms(t_seq),
             parallel_ms: ms(t_par),
             speedup: t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-12),
+            scaling,
         },
         metrics: ReportMetrics { query_store: query_metrics, durable_ingest: wal_metrics },
     };
@@ -675,6 +728,17 @@ fn main() {
         cell(format!("{:.2}x", report.multi_run.speedup)),
     ]);
     table.print();
+    let mut scale_table = Table::new(&["runs", "threads", "parallel (ms)", "speedup vs 1 thread"]);
+    for p in &report.multi_run.scaling {
+        scale_table.row(vec![
+            cell(p.runs.to_string()),
+            cell(p.threads.to_string()),
+            cell(format!("{:.3}", p.parallel_ms)),
+            cell(format!("{:.2}x", p.speedup)),
+        ]);
+    }
+    println!("\nmulti-run scaling ({} worker threads by default):", default_workers);
+    scale_table.print();
     println!(
         "\nfig9 query: ni {:.3} ms, indexproj cold {:.3} ms, warm {:.3} ms (cache {}h/{}m)",
         report.fig9_query.ni_ms,

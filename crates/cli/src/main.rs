@@ -482,6 +482,10 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     let store = open_db(args)?;
     let registry = Registry::new();
     store.register_metrics(&registry);
+    // The query worker pool size in effect (TPROV_QUERY_THREADS else the
+    // hardware default) — so operators can see what fan-out a deployment
+    // actually runs with.
+    registry.set_gauge("query.workers", prov_core::query_workers() as u64);
     let snapshot = registry.snapshot();
     match args.get("format").unwrap_or("text") {
         "text" => print!("{}", snapshot.render_text()),

@@ -17,7 +17,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use prov_model::{Binding, Index, PortRef, ProcessorName, RunId};
-use prov_store::TraceStore;
+use prov_store::{ReadView, TraceStore};
 
 use crate::{FocusSet, LineageAnswer, Result};
 
@@ -70,6 +70,13 @@ impl NaiveImpact {
         run: RunId,
         query: &ImpactQuery,
     ) -> Result<LineageAnswer> {
+        self.run_pinned(&store.pin(run), query)
+    }
+
+    /// Answers `query` against an already-pinned read snapshot; the whole
+    /// forward traversal is lock-free after the pin.
+    pub fn run_pinned(&self, view: &ReadView, query: &ImpactQuery) -> Result<LineageAnswer> {
+        let run = view.run();
         let mut visited: HashSet<(ProcessorName, Arc<str>, Index)> = HashSet::new();
         let mut stack =
             vec![(query.source.processor.clone(), query.source.port.clone(), query.index.clone())];
@@ -86,7 +93,7 @@ impl NaiveImpact {
             // Forward xform case: invocations that consumed this binding;
             // their outputs are impacted.
             trace_queries += 1;
-            let consumers = store.xforms_consuming(run, &processor, &port, &index);
+            let consumers = view.xforms_consuming(&processor, &port, &index);
             for rec in &consumers {
                 // Only invocations whose THIS-port input actually overlaps.
                 for output in rec.outputs() {
@@ -96,13 +103,13 @@ impl NaiveImpact {
 
             // Forward xfer case: transfers leaving this binding.
             trace_queries += 1;
-            let outgoing = store.xfers_from(run, &processor, &port, &index);
+            let outgoing = view.xfers_from(&processor, &port, &index);
             for rec in &outgoing {
                 if query.focus.contains(&rec.dst_processor) {
                     // Collect the impacted element at the destination when
                     // the destination is interesting and is a sink-style
                     // port (workflow outputs never feed an xform).
-                    bindings.push(store.resolve(&prov_store::StoredBinding {
+                    bindings.push(view.resolve(&prov_store::StoredBinding {
                         run,
                         processor: rec.dst_processor.clone(),
                         port: rec.dst_port.clone(),
@@ -121,7 +128,7 @@ impl NaiveImpact {
             if focused {
                 for rec in &consumers {
                     for output in rec.outputs() {
-                        bindings.push(store.resolve(&prov_store::StoredBinding {
+                        bindings.push(view.resolve(&prov_store::StoredBinding {
                             run,
                             processor: processor.clone(),
                             port: output.port.clone(),

@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use prov_dataflow::{ArcDst, ArcSrc, Dataflow, DepthInfo, ProcessorKind};
 use prov_model::{Binding, Index, ProcessorName, RunId};
 use prov_obs::Obs;
-use prov_store::TraceStore;
+use prov_store::{ReadView, TraceStore};
 
 use crate::{CoreError, FocusSet, LineageAnswer, LineageQuery, Result};
 
@@ -76,17 +76,14 @@ pub struct LineagePlan {
 
 impl LineagePlan {
     /// One step's resolved bindings — independent of every other step, so
-    /// steps can execute in any order or concurrently.
-    fn step_bindings(store: &TraceStore, run: RunId, step: &PlanStep) -> Result<Vec<Binding>> {
+    /// steps can execute in any order or concurrently. Reads only the
+    /// pinned view: no store lock is touched.
+    fn step_bindings(view: &ReadView, step: &PlanStep) -> Result<Vec<Binding>> {
         let stored = match step.kind {
-            StepKind::XformInput => {
-                store.input_bindings(run, &step.processor, &step.port, &step.index)
-            }
-            StepKind::XferSrc => {
-                store.xfer_src_bindings(run, &step.processor, &step.port, &step.index)
-            }
+            StepKind::XformInput => view.input_bindings(&step.processor, &step.port, &step.index),
+            StepKind::XferSrc => view.xfer_src_bindings(&step.processor, &step.port, &step.index),
         };
-        stored.iter().map(|b| store.resolve(b).map_err(CoreError::Store)).collect()
+        stored.iter().map(|b| view.resolve(b).map_err(CoreError::Store)).collect()
     }
 
     /// Executes the plan against one run (phase *s2*): one indexed trace
@@ -102,23 +99,36 @@ impl LineagePlan {
     /// `indexproj.step` span charging the paper's `t2` account, and answer
     /// assembly records an `indexproj.assemble` span charging `t1`.
     ///
-    /// Per-step `index_lookups`/`records_read` arguments are deltas of the
-    /// store's shared counters, so they are attached only when steps run
-    /// sequentially (small plans — the common focused-query case); under
-    /// the scoped-thread fan-out concurrent steps would interleave in the
-    /// shared counters, so fanned steps carry only their exact `rows`.
+    /// The run's trace is pinned once ([`TraceStore::pin`], one brief read
+    /// lock); every step then probes the immutable snapshot lock-free.
     pub fn execute_with(&self, store: &TraceStore, run: RunId, obs: &Obs) -> Result<LineageAnswer> {
-        let fanned = self.steps.len() >= crate::par::STEP_FANOUT_MIN;
+        self.execute_pinned(&store.pin(run), obs)
+    }
+
+    /// Executes the plan against an already-pinned read snapshot. The
+    /// answer is for the view's run *as of the pin*: events recorded after
+    /// [`TraceStore::pin`] returned are not visible, which makes answers
+    /// stable even while an engine is streaming into the same store.
+    pub fn execute_pinned(&self, view: &ReadView, obs: &Obs) -> Result<LineageAnswer> {
+        self.execute_view(view, obs, self.steps.len() >= crate::par::STEP_FANOUT_MIN)
+    }
+
+    /// Per-step `index_lookups`/`records_read` span arguments are deltas of
+    /// the store's shared counters, so they are attached only when steps
+    /// run sequentially within this call (the common focused-query case);
+    /// under scoped-thread fan-out concurrent steps would interleave in the
+    /// shared counters, so fanned steps carry only their exact `rows`.
+    fn execute_view(&self, view: &ReadView, obs: &Obs, fan_steps: bool) -> Result<LineageAnswer> {
         let profiling = obs.profiler.is_enabled();
         let timed_step = |step: &PlanStep| -> Result<Vec<Binding>> {
             if !profiling {
-                return Self::step_bindings(store, run, step);
+                return Self::step_bindings(view, step);
             }
-            let before = store.stats().snapshot();
+            let before = view.stats().snapshot();
             let mut span = obs.span("indexproj.step", "t2");
-            let out = Self::step_bindings(store, run, step);
-            if !fanned {
-                let delta = store.stats().snapshot().since(before);
+            let out = Self::step_bindings(view, step);
+            if !fan_steps {
+                let delta = view.stats().snapshot().since(before);
                 span.arg("index_lookups", delta.index_lookups);
                 span.arg("records_read", delta.records_read);
             }
@@ -127,7 +137,7 @@ impl LineagePlan {
             }
             out
         };
-        let per_step: Vec<Result<Vec<Binding>>> = if fanned {
+        let per_step: Vec<Result<Vec<Binding>>> = if fan_steps {
             crate::par::parallel_map(&self.steps, timed_step)
         } else {
             self.steps.iter().map(timed_step).collect()
@@ -139,7 +149,7 @@ impl LineagePlan {
         }
         assemble.arg("bindings", bindings.len() as u64);
         assemble.stop();
-        Ok(LineageAnswer::new(run, bindings, self.steps.len(), self.nodes_visited))
+        Ok(LineageAnswer::new(view.run(), bindings, self.steps.len(), self.nodes_visited))
     }
 
     /// Executes the plan against several runs, sharing the (already paid)
@@ -154,6 +164,12 @@ impl LineagePlan {
     /// [`LineagePlan::execute_multi`] with observability. The `Obs` handle
     /// is shared by every worker thread; spans land on one timeline with
     /// per-worker `tid`s, so aggregated totals equal the sequential run's.
+    ///
+    /// Each worker pins its run's snapshot up front and runs the plan's
+    /// steps *sequentially* against it: with one worker per run there is
+    /// nothing left to gain from nested step fan-out, and suppressing it
+    /// keeps the thread count bounded by the pool size instead of its
+    /// square. After the pin, a worker acquires **zero** locks.
     pub fn execute_multi_with(
         &self,
         store: &TraceStore,
@@ -161,7 +177,7 @@ impl LineagePlan {
         obs: &Obs,
     ) -> Result<Vec<LineageAnswer>> {
         if runs.len() >= crate::par::RUN_FANOUT_MIN {
-            crate::par::parallel_map(runs, |&r| self.execute_with(store, r, obs))
+            crate::par::parallel_map(runs, |&r| self.execute_view(&store.pin(r), obs, false))
                 .into_iter()
                 .collect()
         } else {

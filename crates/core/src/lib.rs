@@ -50,6 +50,7 @@ pub use error::CoreError;
 pub use impact::{ImpactQuery, NaiveImpact};
 pub use indexproj::{IndexProj, LineagePlan, PlanStep, StepKind};
 pub use naive::NaiveLineage;
+pub use par::{query_workers, set_query_threads, MAX_QUERY_THREADS};
 pub use parse::{parse_lineage, parse_query, ParseError, ParsedQuery};
 pub use plan_cache::{PlanCache, PlanCacheStats};
 pub use query::{FocusSet, LineageQuery};

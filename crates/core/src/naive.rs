@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use prov_model::{Binding, Index, ProcessorName, RunId};
 use prov_obs::Obs;
-use prov_store::TraceStore;
+use prov_store::{ReadView, TraceStore};
 
 use crate::{LineageAnswer, LineageQuery, Result};
 
@@ -57,6 +57,20 @@ impl NaiveLineage {
         query: &LineageQuery,
         obs: &Obs,
     ) -> Result<LineageAnswer> {
+        self.run_pinned(&store.pin(run), query, obs)
+    }
+
+    /// Answers `query` against an already-pinned read snapshot
+    /// ([`prov_store::TraceStore::pin`]). The whole traversal probes the
+    /// immutable view without acquiring any lock, and sees the run's trace
+    /// exactly as of the pin even while recording continues.
+    pub fn run_pinned(
+        &self,
+        view: &ReadView,
+        query: &LineageQuery,
+        obs: &Obs,
+    ) -> Result<LineageAnswer> {
+        let run = view.run();
         let mut traverse = obs.span("ni.traverse", "query");
         let mut visited: HashSet<(ProcessorName, Arc<str>, Index)> = HashSet::new();
         let mut stack: Vec<(ProcessorName, Arc<str>, Index, u64)> = vec![(
@@ -79,12 +93,12 @@ impl NaiveLineage {
 
             // xform case: the node as an invocation output.
             trace_queries += 1;
-            let producers = store.xforms_producing(run, &processor, &port, &index);
+            let producers = view.xforms_producing(&processor, &port, &index);
             let focused = query.focus.contains(&processor);
             for rec in &producers {
                 for input in rec.inputs() {
                     if focused {
-                        bindings.push(store.resolve(&prov_store::StoredBinding {
+                        bindings.push(view.resolve(&prov_store::StoredBinding {
                             run,
                             processor: processor.clone(),
                             port: input.port.clone(),
@@ -103,7 +117,7 @@ impl NaiveLineage {
 
             // xfer case: the node as an arc destination.
             trace_queries += 1;
-            let incoming = store.xfers_into(run, &processor, &port, &index);
+            let incoming = view.xfers_into(&processor, &port, &index);
             for rec in &incoming {
                 stack.push((
                     rec.src_processor.clone(),
@@ -125,15 +139,15 @@ impl NaiveLineage {
                 } else {
                     trace_queries += 1;
                     let scope_prefix = format!("{processor}/");
-                    store.xfers_from(run, &processor, &port, &index).iter().any(|r| {
+                    view.xfers_from(&processor, &port, &index).iter().any(|r| {
                         r.dst_processor.as_str().starts_with(&scope_prefix)
                             || r.dst_processor == processor
                     })
                 };
                 if is_source || is_scope_input {
                     trace_queries += 1;
-                    for b in store.xfer_src_bindings(run, &processor, &port, &index) {
-                        bindings.push(store.resolve(&b)?);
+                    for b in view.xfer_src_bindings(&processor, &port, &index) {
+                        bindings.push(view.resolve(&b)?);
                     }
                 }
             }
@@ -161,7 +175,8 @@ impl NaiveLineage {
     }
 
     /// [`NaiveLineage::run_multi`] with observability; the shared `Obs`
-    /// collects every worker's spans on one timeline.
+    /// collects every worker's spans on one timeline. Each worker pins its
+    /// run's snapshot once and traverses it lock-free.
     pub fn run_multi_with(
         &self,
         store: &TraceStore,
@@ -170,7 +185,7 @@ impl NaiveLineage {
         obs: &Obs,
     ) -> Result<Vec<LineageAnswer>> {
         if runs.len() >= crate::par::RUN_FANOUT_MIN {
-            crate::par::parallel_map(runs, |&r| self.run_with(store, r, query, obs))
+            crate::par::parallel_map(runs, |&r| self.run_pinned(&store.pin(r), query, obs))
                 .into_iter()
                 .collect()
         } else {

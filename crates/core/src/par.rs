@@ -14,10 +14,15 @@
 //! sequential loop below them. Answers stay bit-identical either way:
 //! results are reassembled in input order, and
 //! [`crate::LineageAnswer::new`] normalises binding order regardless.
+//!
+//! The worker pool size is the machine's available parallelism clamped to
+//! `2..=8` by default, overridable per process with the
+//! `TPROV_QUERY_THREADS` environment variable (validated; `1` disables
+//! fan-out entirely) and per call site with [`set_query_threads`] (used by
+//! benchmarks to sweep a scaling matrix).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::OnceLock;
 
 /// Minimum number of plan steps before [`crate::LineagePlan::execute`]
 /// fans lookups out across threads.
@@ -27,45 +32,142 @@ pub(crate) const STEP_FANOUT_MIN: usize = 16;
 /// concurrently.
 pub(crate) const RUN_FANOUT_MIN: usize = 4;
 
-/// Number of worker threads for `items` units of work: the machine's
-/// available parallelism, but at least 2 (so the concurrent path is
+/// Upper bound accepted for `TPROV_QUERY_THREADS` / [`set_query_threads`].
+/// Trace lookups are short; anything beyond this only adds scheduling
+/// noise, and a typo like `TPROV_QUERY_THREADS=8000` should be rejected
+/// rather than spawn thousands of threads.
+pub const MAX_QUERY_THREADS: usize = 256;
+
+/// Process-wide programmatic override of the worker pool size (`0` =
+/// unset). Takes precedence over the environment variable.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the query worker pool size for this process (benchmarks use
+/// this to sweep thread counts without re-exec'ing); `None` restores the
+/// default resolution (`TPROV_QUERY_THREADS`, else the hardware clamp).
+/// Values are clamped into `1..=MAX_QUERY_THREADS`.
+pub fn set_query_threads(n: Option<usize>) {
+    let v = n.map(|n| n.clamp(1, MAX_QUERY_THREADS)).unwrap_or(0);
+    THREAD_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Parses a `TPROV_QUERY_THREADS` value: an integer in
+/// `1..=`[`MAX_QUERY_THREADS`]. Anything else is invalid (and ignored with
+/// a warning rather than panicking a query path).
+fn parse_thread_cap(raw: &str) -> Option<usize> {
+    let n: usize = raw.trim().parse().ok()?;
+    (1..=MAX_QUERY_THREADS).contains(&n).then_some(n)
+}
+
+/// The validated `TPROV_QUERY_THREADS` setting, read and parsed once per
+/// process. Invalid values warn on stderr and fall back to the default.
+fn env_thread_cap() -> Option<usize> {
+    static CAP: OnceLock<Option<usize>> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        let raw = std::env::var("TPROV_QUERY_THREADS").ok()?;
+        let parsed = parse_thread_cap(&raw);
+        if parsed.is_none() {
+            eprintln!(
+                "warning: ignoring invalid TPROV_QUERY_THREADS={raw:?} \
+                 (expected an integer in 1..={MAX_QUERY_THREADS})"
+            );
+        }
+        parsed
+    })
+}
+
+/// The query worker pool size in effect: the [`set_query_threads`]
+/// override if set, else a valid `TPROV_QUERY_THREADS`, else the machine's
+/// available parallelism clamped to at least 2 (so the concurrent path is
 /// genuinely exercised even on single-core hosts) and at most 8 (trace
-/// lookups are short; more threads only add contention), never more than
-/// there are items.
-fn worker_count(items: usize) -> usize {
+/// lookups are short; more threads only add contention).
+pub fn query_workers() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    if let Some(n) = env_thread_cap() {
+        return n;
+    }
     let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    hw.clamp(2, 8).min(items.max(1))
+    hw.clamp(2, 8)
+}
+
+/// Number of worker threads for `items` units of work: [`query_workers`],
+/// never more than there are items.
+fn worker_count(items: usize) -> usize {
+    query_workers().min(items.max(1))
 }
 
 /// Applies `f` to every item on scoped worker threads and returns the
 /// results in input order. Work is distributed by an atomic cursor, so
 /// uneven item costs balance across workers.
+///
+/// Lock-freedom: the only shared mutable state is the atomic cursor. Each
+/// worker accumulates `(index, result)` pairs in its own thread-local
+/// vector, returned through its join handle; the scope thread then places
+/// every result into a pre-sized slot vector. No mutex is acquired
+/// anywhere on the hot loop (the previous implementation locked a shared
+/// `Mutex<Vec>` once per item, which serialised short lookups), and the
+/// cursor hands each index to exactly one worker, so every slot is written
+/// exactly once.
 pub(crate) fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
     let next = AtomicUsize::new(0);
-    let out: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
     std::thread::scope(|scope| {
-        for _ in 0..worker_count(items.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let r = f(item);
-                out.lock().push((i, r));
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                }
+                // A worker panic (e.g. a panicking closure under test)
+                // propagates instead of yielding a torn result vector.
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
         }
     });
-    let mut pairs = out.into_inner();
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    pairs.into_iter().map(|(_, r)| r).collect()
+    slots
+        .into_iter()
+        .map(|s| match s {
+            Some(r) => r,
+            None => unreachable!("atomic cursor hands every index to exactly one worker"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
+
+    /// Serialises tests that mutate the process-wide thread override (or
+    /// depend on its default), so parallel test threads don't race it.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn preserves_input_order() {
@@ -85,6 +187,7 @@ mod tests {
     fn actually_runs_on_multiple_threads() {
         use std::collections::HashSet;
         use std::thread::ThreadId;
+        let _guard = OVERRIDE_LOCK.lock();
         // With enough slow items, at least two workers must participate.
         let items: Vec<u32> = (0..64).collect();
         let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
@@ -96,10 +199,63 @@ mod tests {
     }
 
     #[test]
+    fn every_item_is_mapped_exactly_once() {
+        // The cursor + per-worker-chunk design must call `f` exactly once
+        // per item and fill every slot — no duplicates (a double fetch
+        // would double-count), no holes (a dropped chunk would panic the
+        // unreachable! in assembly).
+        let _guard = OVERRIDE_LOCK.lock();
+        let items: Vec<usize> = (0..257).collect();
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(&items, |&i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn thread_override_controls_worker_count() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_query_threads(Some(3));
+        assert_eq!(query_workers(), 3);
+        assert_eq!(worker_count(100), 3);
+        assert_eq!(worker_count(2), 2);
+        // 1 disables fan-out: parallel_map runs inline.
+        set_query_threads(Some(1));
+        let tid = std::thread::current().id();
+        let out = parallel_map(&[1u32, 2, 3], |&i| (i, std::thread::current().id()));
+        assert!(out.iter().all(|(_, t)| *t == tid), "expected inline execution");
+        // Out-of-range requests clamp instead of exploding.
+        set_query_threads(Some(0));
+        assert_eq!(query_workers(), 1);
+        set_query_threads(Some(MAX_QUERY_THREADS + 17));
+        assert_eq!(query_workers(), MAX_QUERY_THREADS);
+        set_query_threads(None);
+        assert!(query_workers() >= 2);
+    }
+
+    #[test]
     fn worker_count_is_clamped() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_query_threads(None);
         assert_eq!(worker_count(0), 1);
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(100) >= 2);
         assert!(worker_count(100) <= 8);
+    }
+
+    #[test]
+    fn env_values_parse_with_validation() {
+        assert_eq!(parse_thread_cap("4"), Some(4));
+        assert_eq!(parse_thread_cap(" 16 "), Some(16));
+        assert_eq!(parse_thread_cap("1"), Some(1));
+        assert_eq!(parse_thread_cap("256"), Some(256));
+        assert_eq!(parse_thread_cap("0"), None);
+        assert_eq!(parse_thread_cap("257"), None);
+        assert_eq!(parse_thread_cap("-2"), None);
+        assert_eq!(parse_thread_cap("eight"), None);
+        assert_eq!(parse_thread_cap(""), None);
     }
 }

@@ -24,7 +24,7 @@ use std::ops::Bound;
 use prov_model::RunId;
 
 use crate::catalog::PortCardinality;
-use crate::stats::QueryStats;
+use crate::stats::ProbeStats;
 use crate::symbols::{IndexKey, Sym};
 
 /// Composite key: `(run, processor, port, element index)`, fully interned.
@@ -45,7 +45,7 @@ pub struct SymKey {
 /// A secondary index mapping composite keys to row ids. Multiple rows may
 /// share one key (e.g. several invocations consuming the same whole-value
 /// input), hence the `Vec<u64>` payload.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct CompositeIndex {
     map: BTreeMap<SymKey, Vec<u64>>,
 }
@@ -67,7 +67,7 @@ impl CompositeIndex {
         processor: Sym,
         port: Sym,
         index: &IndexKey,
-        stats: &QueryStats,
+        stats: &mut ProbeStats,
     ) -> Vec<u64> {
         stats.count_index_lookup();
         let key = SymKey { run, processor, port, index: index.clone() };
@@ -86,7 +86,7 @@ impl CompositeIndex {
         processor: Sym,
         port: Sym,
         prefix: &IndexKey,
-        stats: &QueryStats,
+        stats: &mut ProbeStats,
     ) -> Vec<u64> {
         stats.count_index_lookup();
         let start = SymKey { run, processor, port, index: prefix.clone() };
@@ -115,7 +115,7 @@ impl CompositeIndex {
         processor: Sym,
         port: Sym,
         index: &IndexKey,
-        stats: &QueryStats,
+        stats: &mut ProbeStats,
     ) -> Vec<u64> {
         let mut out = Vec::new();
         self.ancestors_into(run, processor, port, index, stats, &mut out);
@@ -131,7 +131,7 @@ impl CompositeIndex {
         processor: Sym,
         port: Sym,
         index: &IndexKey,
-        stats: &QueryStats,
+        stats: &mut ProbeStats,
         out: &mut Vec<u64>,
     ) -> usize {
         let mut exact_len = 0;
@@ -163,7 +163,7 @@ impl CompositeIndex {
         processor: Sym,
         port: Sym,
         index: &IndexKey,
-        stats: &QueryStats,
+        stats: &mut ProbeStats,
     ) -> Vec<u64> {
         let mut out = Vec::new();
         let exact_len = self.ancestors_into(run, processor, port, index, stats, &mut out);
@@ -211,7 +211,10 @@ impl CompositeIndex {
     }
 
     /// Removes every key belonging to `run` (they are contiguous: the run
-    /// id is the leading key component).
+    /// id is the leading key component). With shard-per-run storage a
+    /// dropped run's indexes vanish with its shard; this stays as the
+    /// index's unit-tested removal primitive.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn remove_run(&mut self, run: RunId) {
         let keys: Vec<SymKey> = self
             .map
@@ -268,22 +271,25 @@ mod tests {
     #[test]
     fn exact_lookup_hits_only_its_key() {
         let ix = sample();
-        let stats = QueryStats::new();
-        assert_eq!(ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats), vec![2]);
-        assert_eq!(ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[9]), &stats), Vec::<u64>::new());
+        let mut stats = ProbeStats::new();
+        assert_eq!(ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &mut stats), vec![2]);
+        assert_eq!(
+            ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[9]), &mut stats),
+            Vec::<u64>::new()
+        );
         // A MISSING symbol probes and finds nothing.
-        assert!(ix.get_exact(RunId(0), Sym::MISSING, Sym(0), &ik(&[0]), &stats).is_empty());
+        assert!(ix.get_exact(RunId(0), Sym::MISSING, Sym(0), &ik(&[0]), &mut stats).is_empty());
     }
 
     #[test]
     fn prefix_scan_returns_contiguous_extensions() {
         let ix = sample();
-        let stats = QueryStats::new();
-        let mut rows = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats);
+        let mut stats = ProbeStats::new();
+        let mut rows = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[0]), &mut stats);
         rows.sort_unstable();
         assert_eq!(rows, vec![2, 3, 4]);
         // Empty prefix matches everything on that (run, proc, port).
-        let mut all = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[]), &stats);
+        let mut all = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[]), &mut stats);
         all.sort_unstable();
         assert_eq!(all, vec![1, 2, 3, 4, 5]);
     }
@@ -291,18 +297,18 @@ mod tests {
     #[test]
     fn prefix_scan_respects_run_processor_port_boundaries() {
         let ix = sample();
-        let stats = QueryStats::new();
-        let rows = ix.scan_prefix(RunId(0), Sym(1), Sym(0), &ik(&[]), &stats);
+        let mut stats = ProbeStats::new();
+        let rows = ix.scan_prefix(RunId(0), Sym(1), Sym(0), &ik(&[]), &mut stats);
         assert_eq!(rows, vec![7]);
-        let rows = ix.scan_prefix(RunId(1), Sym(0), Sym(0), &ik(&[]), &stats);
+        let rows = ix.scan_prefix(RunId(1), Sym(0), Sym(0), &ik(&[]), &mut stats);
         assert_eq!(rows, vec![8]);
     }
 
     #[test]
     fn ancestors_walk_the_prefix_chain() {
         let ix = sample();
-        let stats = QueryStats::new();
-        let mut rows = ix.get_ancestors(RunId(0), Sym(0), Sym(0), &ik(&[0, 1]), &stats);
+        let mut stats = ProbeStats::new();
+        let mut rows = ix.get_ancestors(RunId(0), Sym(0), Sym(0), &ik(&[0, 1]), &mut stats);
         rows.sort_unstable();
         assert_eq!(rows, vec![1, 2, 4]); // [], [0], [0,1]
     }
@@ -310,8 +316,8 @@ mod tests {
     #[test]
     fn overlapping_combines_both_directions_without_duplicates() {
         let ix = sample();
-        let stats = QueryStats::new();
-        let mut rows = ix.get_overlapping(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats);
+        let mut stats = ProbeStats::new();
+        let mut rows = ix.get_overlapping(RunId(0), Sym(0), Sym(0), &ik(&[0]), &mut stats);
         rows.sort_unstable();
         assert_eq!(rows, vec![1, 2, 3, 4]); // [], [0] (ancestors+exact), [0,0], [0,1]
     }
@@ -319,21 +325,20 @@ mod tests {
     #[test]
     fn stats_count_lookups_and_records() {
         let ix = sample();
-        let stats = QueryStats::new();
-        ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats);
-        ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[]), &stats);
-        let snap = stats.snapshot();
-        assert_eq!(snap.index_lookups, 2);
-        assert_eq!(snap.records_read, 1 + 5);
+        let mut stats = ProbeStats::new();
+        ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &mut stats);
+        ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[]), &mut stats);
+        assert_eq!(stats.index_lookups, 2);
+        assert_eq!(stats.records_read, 1 + 5);
     }
 
     #[test]
     fn remove_run_purges_only_that_run() {
         let mut ix = sample();
         ix.remove_run(RunId(0));
-        let stats = QueryStats::new();
-        assert!(ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &stats).is_empty());
-        assert_eq!(ix.get_exact(RunId(1), Sym(0), Sym(0), &ik(&[0]), &stats), vec![8]);
+        let mut stats = ProbeStats::new();
+        assert!(ix.get_exact(RunId(0), Sym(0), Sym(0), &ik(&[0]), &mut stats).is_empty());
+        assert_eq!(ix.get_exact(RunId(1), Sym(0), Sym(0), &ik(&[0]), &mut stats), vec![8]);
         assert_eq!(ix.key_count(), 1);
     }
 
@@ -345,8 +350,8 @@ mod tests {
         ix.insert(key(0, 0, 0, &[1]), 1);
         ix.insert(key(0, 0, 0, &[1, 0, 0, 0, 0, 0, 0, 0, 0]), 2); // spilled
         ix.insert(key(0, 0, 0, &[2]), 3);
-        let stats = QueryStats::new();
-        let mut rows = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[1]), &stats);
+        let mut stats = ProbeStats::new();
+        let mut rows = ix.scan_prefix(RunId(0), Sym(0), Sym(0), &ik(&[1]), &mut stats);
         rows.sort_unstable();
         assert_eq!(rows, vec![1, 2]);
     }

@@ -36,6 +36,7 @@ mod export;
 pub mod fault;
 mod indexes;
 mod rows;
+mod shard;
 mod snapshot;
 mod stats;
 mod store;
@@ -48,8 +49,9 @@ pub use crc::crc32;
 pub use export::{GraphEdge, GraphNode, ProvenanceGraph};
 pub use fault::{FaultFile, FaultPlan};
 pub use rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
+pub use shard::ReadView;
 pub use snapshot::{CompactionPolicy, SnapshotMetrics};
-pub use stats::QueryStats;
+pub use stats::{ProbeStats, QueryStats, StatsSnapshot};
 pub use store::{RunInfo, StoreError, TraceStore};
 pub use wal::{
     LogRecord, TailState, WalError, WalFile, WalMetrics, WalReader, WalRecovery, WalWriter,

@@ -16,12 +16,68 @@
 use prov_obs::{Counter, Registry};
 
 /// Monotone counters of store access work. Cheap to share (`&QueryStats`),
-/// safe to bump from multiple threads.
-#[derive(Debug)]
+/// safe to bump from multiple threads. Clones share the same atomic cells
+/// (see [`prov_obs::Counter`]), so a [`ReadView`](crate::ReadView) carrying
+/// a cloned handle still feeds the store-wide totals.
+#[derive(Debug, Clone)]
 pub struct QueryStats {
     index_lookups: Counter,
     records_read: Counter,
     rows_scanned: Counter,
+}
+
+/// Thread-local accumulator for one query's store-access work.
+///
+/// The shared [`QueryStats`] counters are relaxed atomics; bumping them on
+/// every index probe from several query workers means repeated RMWs on the
+/// same cache lines. Probe paths instead count into a plain-`u64`
+/// `ProbeStats` on the stack and [`flush_into`](ProbeStats::flush_into) the
+/// totals exactly once per store call — same final counter values (addition
+/// is associative), a fraction of the shared-line traffic.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Number of B-tree descents performed so far.
+    pub index_lookups: u64,
+    /// Number of rows materialised so far.
+    pub records_read: u64,
+    /// Number of heap rows examined by table-order access paths so far.
+    pub rows_scanned: u64,
+}
+
+impl ProbeStats {
+    /// Fresh zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one index descent.
+    pub fn count_index_lookup(&mut self) {
+        self.index_lookups += 1;
+    }
+
+    /// Counts `n` record reads.
+    pub fn count_records(&mut self, n: usize) {
+        self.records_read += n as u64;
+    }
+
+    /// Counts `n` heap rows examined by a table-order access path.
+    pub fn count_rows_scanned(&mut self, n: usize) {
+        self.rows_scanned += n as u64;
+    }
+
+    /// Adds the accumulated deltas to the shared counters in three atomic
+    /// adds (instead of one per probe).
+    pub fn flush_into(self, stats: &QueryStats) {
+        if self.index_lookups > 0 {
+            stats.index_lookups.add(self.index_lookups);
+        }
+        if self.records_read > 0 {
+            stats.records_read.add(self.records_read);
+        }
+        if self.rows_scanned > 0 {
+            stats.rows_scanned.add(self.rows_scanned);
+        }
+    }
 }
 
 impl Default for QueryStats {
@@ -152,6 +208,35 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.index_lookups, 4000);
         assert_eq!(snap.records_read, 8000);
+    }
+
+    #[test]
+    fn probe_stats_flush_matches_direct_counting() {
+        // The same sequence of probe events, counted directly vs batched
+        // through a ProbeStats, must land on identical totals.
+        let direct = QueryStats::new();
+        let batched = QueryStats::new();
+        let mut local = ProbeStats::new();
+        for i in 0..17usize {
+            direct.count_index_lookup();
+            direct.count_records(i);
+            direct.count_rows_scanned(i * 2);
+            local.count_index_lookup();
+            local.count_records(i);
+            local.count_rows_scanned(i * 2);
+        }
+        local.flush_into(&batched);
+        assert_eq!(direct.snapshot(), batched.snapshot());
+    }
+
+    #[test]
+    fn cloned_stats_share_the_same_cells() {
+        let s = QueryStats::new();
+        let view_handle = s.clone();
+        view_handle.count_index_lookup();
+        view_handle.count_records(2);
+        assert_eq!(s.snapshot().index_lookups, 1);
+        assert_eq!(s.snapshot().records_read, 2);
     }
 
     #[test]

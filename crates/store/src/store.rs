@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -19,14 +20,13 @@ use prov_model::{Binding, Index, PortRef, ProcessorName, RunId, Value, ValueId};
 
 use crate::catalog::{IndexCatalog, IndexId, PortCardinality};
 use crate::fault::FaultPlan;
-use crate::indexes::{CompositeIndex, SymKey};
 use crate::rows::{
-    PortDirection, StoredBinding, XferRecord, XferRow, XformPortRecord, XformPortRow, XformRecord,
-    XformRow,
+    PortDirection, StoredBinding, XferRecord, XferRow, XformPortRow, XformRecord, XformRow,
 };
+use crate::shard::{ReadView, RunShard};
 use crate::snapshot::{self, CompactionPolicy, SnapshotMetrics};
 use crate::stats::QueryStats;
-use crate::symbols::{IndexKey, Sym, SymbolTable};
+use crate::symbols::SymbolTable;
 use crate::values::ValueTable;
 use crate::wal::{LogRecord, TailState, WalError, WalMetrics, WalReader, WalWriter};
 
@@ -88,61 +88,29 @@ pub struct RunInfo {
     pub xfer_count: u64,
 }
 
-/// The contiguous row-id spans of one run in each heap (half-open). Runs
-/// recorded concurrently interleave, so a run owns a *list* of spans; a run
-/// recorded alone owns exactly one. `xforms_of_run` / `xfers_of_run` walk
-/// these instead of scanning the whole heap.
-#[derive(Debug, Default, Clone)]
-struct RowSpans {
-    xforms: Vec<(u64, u64)>,
-    xfers: Vec<(u64, u64)>,
-}
-
-impl RowSpans {
-    fn push(spans: &mut Vec<(u64, u64)>, id: u64) {
-        match spans.last_mut() {
-            Some(last) if last.1 == id => last.1 = id + 1,
-            _ => spans.push((id, id + 1)),
-        }
-    }
-}
-
 #[derive(Default)]
 struct Inner {
     runs: BTreeMap<RunId, RunInfo>,
-    /// Runs removed by `drop_run`: their heap rows are tombstoned until
-    /// the next checkpoint, their index entries are purged immediately.
-    dropped: std::collections::HashSet<RunId>,
     /// Registered workflow specifications, by name (serialised JSON; the
     /// store stays ignorant of the dataflow crate).
     workflows: BTreeMap<ProcessorName, String>,
-    /// Reverse value index: every (xform id | xfer id) whose binding
-    /// carries the value — the access path for *value-predicated* queries
-    /// (the paper's non-structural case, §1.1).
-    idx_by_value: HashMap<ValueId, Vec<RowRef>>,
     next_run: u64,
-    values: ValueTable,
+    /// Next global xform row id. Ids stay globally monotone across shards
+    /// (the public `XformRecord::id` contract); row *positions* inside a
+    /// shard are local to it.
+    next_xform_id: u64,
+    /// Next global xfer row id.
+    next_xfer_id: u64,
+    /// Content-addressed value table, shared by all shards. Behind an
+    /// `Arc` so a [`ReadView`] can pin it without copying; mutated via
+    /// `Arc::make_mut` (in place while unpinned, copy-on-write otherwise).
+    values: Arc<ValueTable>,
     /// Processor/port name interner; rows and index keys hold symbols.
-    symbols: SymbolTable,
-    /// Per-run row-id spans into the heaps.
-    spans: HashMap<RunId, RowSpans>,
-    xforms: Vec<XformRow>,
-    xfers: Vec<XferRow>,
-    /// (run, processor, output port, q) → xform ids.
-    idx_xform_out: CompositeIndex,
-    /// (run, processor, input port, p_i) → xform ids.
-    idx_xform_in: CompositeIndex,
-    /// (run, dst processor, dst port, p') → xfer ids.
-    idx_xfer_dst: CompositeIndex,
-    /// (run, src processor, src port, p) → xfer ids.
-    idx_xfer_src: CompositeIndex,
-}
-
-/// A reference into one of the two row heaps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RowRef {
-    Xform(u64),
-    Xfer(u64),
+    /// Shared and copy-on-write exactly like `values`.
+    symbols: Arc<SymbolTable>,
+    /// One shard per run: that run's row heaps, composite indexes, and
+    /// reverse value index, as one independently pinnable unit.
+    shards: HashMap<RunId, Arc<RunShard>>,
 }
 
 /// The pending (post-snapshot) WAL tail: what a crash right now would
@@ -191,8 +159,8 @@ impl std::fmt::Debug for TraceStore {
         let inner = self.inner.read();
         f.debug_struct("TraceStore")
             .field("runs", &inner.runs.len())
-            .field("xforms", &inner.xforms.len())
-            .field("xfers", &inner.xfers.len())
+            .field("xforms", &inner.xform_rows())
+            .field("xfers", &inner.xfer_rows())
             .field("values", &inner.values.len())
             .field("symbols", &inner.symbols.len())
             .field("durable", &self.path.is_some())
@@ -413,13 +381,22 @@ impl TraceStore {
                 w.append(&LogRecord::BeginRun { run: info.id, workflow: info.workflow.clone() })?;
                 frames += 1;
             }
-            for row in inner.xforms.iter().filter(|r| !inner.dropped.contains(&r.run)) {
-                w.append(&LogRecord::Xform { run: row.run, event: inner.xform_to_event(row)? })?;
-                frames += 1;
-            }
-            for row in inner.xfers.iter().filter(|r| !inner.dropped.contains(&r.run)) {
-                w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row)? })?;
-                frames += 1;
+            // Rows are written shard by shard in run-id order (dropped runs
+            // have no shard); replay rebuilds each shard with its
+            // insertion order intact.
+            for info in inner.runs.values() {
+                let Some(shard) = inner.shards.get(&info.id) else { continue };
+                for row in &shard.xforms {
+                    w.append(&LogRecord::Xform {
+                        run: row.run,
+                        event: inner.xform_to_event(row)?,
+                    })?;
+                    frames += 1;
+                }
+                for row in &shard.xfers {
+                    w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row)? })?;
+                    frames += 1;
+                }
             }
             for info in inner.runs.values().filter(|i| i.finished) {
                 w.append(&LogRecord::FinishRun { run: info.id })?;
@@ -522,11 +499,17 @@ impl TraceStore {
             for info in inner.runs.values() {
                 w.append(&LogRecord::BeginRun { run: info.id, workflow: info.workflow.clone() })?;
             }
-            for row in inner.xforms.iter().filter(|r| !inner.dropped.contains(&r.run)) {
-                w.append(&LogRecord::Xform { run: row.run, event: inner.xform_to_event(row)? })?;
-            }
-            for row in inner.xfers.iter().filter(|r| !inner.dropped.contains(&r.run)) {
-                w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row)? })?;
+            for info in inner.runs.values() {
+                let Some(shard) = inner.shards.get(&info.id) else { continue };
+                for row in &shard.xforms {
+                    w.append(&LogRecord::Xform {
+                        run: row.run,
+                        event: inner.xform_to_event(row)?,
+                    })?;
+                }
+                for row in &shard.xfers {
+                    w.append(&LogRecord::Xfer { run: row.run, event: inner.xfer_to_event(row)? })?;
+                }
             }
             for info in inner.runs.values().filter(|i| i.finished) {
                 w.append(&LogRecord::FinishRun { run: info.id })?;
@@ -680,7 +663,7 @@ impl TraceStore {
         }
         let (runs, xforms, xfers) = {
             let inner = self.inner.read();
-            (inner.runs.len(), inner.xforms.len(), inner.xfers.len())
+            (inner.runs.len(), inner.xform_rows(), inner.xfer_rows())
         };
         registry.set_gauge("store.runs", runs as u64);
         registry.set_gauge("store.xform_rows", xforms as u64);
@@ -696,13 +679,29 @@ impl TraceStore {
     /// All four indexes are always maintained; callers model degraded
     /// stores with [`IndexCatalog::without`].
     pub fn index_catalog(&self) -> IndexCatalog {
+        let (a, b, c, d) = self.index_key_counts();
+        IndexCatalog::new([a as u64, b as u64, c as u64, d as u64])
+    }
+
+    /// Pins an immutable, lock-free snapshot of one run's trace: one brief
+    /// read-lock acquisition to clone the run's shard `Arc` (and the shared
+    /// symbol/value tables), after which every probe on the returned
+    /// [`ReadView`] runs without touching any store lock. Recording that
+    /// happens after the pin copy-on-writes fresh shard state, so the view
+    /// keeps answering from the exact state it was pinned against.
+    ///
+    /// Unknown (or dropped) runs pin the shared empty shard: probes run —
+    /// and are accounted in the stats — exactly as against a populated
+    /// shard that happens to contain no matching rows.
+    pub fn pin(&self, run: RunId) -> ReadView {
         let inner = self.inner.read();
-        IndexCatalog::new([
-            inner.idx_xform_out.key_count() as u64,
-            inner.idx_xform_in.key_count() as u64,
-            inner.idx_xfer_dst.key_count() as u64,
-            inner.idx_xfer_src.key_count() as u64,
-        ])
+        ReadView::new(
+            run,
+            inner.shards.get(&run).cloned(),
+            Arc::clone(&inner.symbols),
+            Arc::clone(&inner.values),
+            self.stats.clone(),
+        )
     }
 
     /// Cardinality statistics of one `(run, processor, port)` slice of the
@@ -718,13 +717,10 @@ impl TraceStore {
         let inner = self.inner.read();
         let p = inner.symbols.lookup(processor.as_str());
         let x = inner.symbols.lookup(port);
-        let index = match id {
-            IndexId::XformOut => &inner.idx_xform_out,
-            IndexId::XformIn => &inner.idx_xform_in,
-            IndexId::XferDst => &inner.idx_xfer_dst,
-            IndexId::XferSrc => &inner.idx_xfer_src,
-        };
-        index.port_stats(run, p, x)
+        match inner.shards.get(&run) {
+            Some(shard) => shard.port_stats(id, run, p, x),
+            None => PortCardinality::default(),
+        }
     }
 
     /// All stored runs, in id order.
@@ -765,13 +761,7 @@ impl TraceStore {
         port: &str,
         index: &Index,
     ) -> Vec<XformRecord> {
-        let inner = self.inner.read();
-        let (p, x, key) = inner.probe(processor, port, index);
-        let ids = inner.idx_xform_out.get_overlapping(run, p, x, &key, &self.stats);
-        dedup_ids(ids)
-            .into_iter()
-            .map(|id| inner.xform_record(&inner.xforms[id as usize]))
-            .collect()
+        self.pin(run).xforms_producing(processor, port, index)
     }
 
     /// The xform events whose **input** binding on `processor:port`
@@ -784,13 +774,7 @@ impl TraceStore {
         port: &str,
         index: &Index,
     ) -> Vec<XformRecord> {
-        let inner = self.inner.read();
-        let (p, x, key) = inner.probe(processor, port, index);
-        let ids = inner.idx_xform_in.get_overlapping(run, p, x, &key, &self.stats);
-        dedup_ids(ids)
-            .into_iter()
-            .map(|id| inner.xform_record(&inner.xforms[id as usize]))
-            .collect()
+        self.pin(run).xforms_consuming(processor, port, index)
     }
 
     /// The xfer events whose **destination** binding on `processor:port`
@@ -802,10 +786,7 @@ impl TraceStore {
         port: &str,
         index: &Index,
     ) -> Vec<XferRecord> {
-        let inner = self.inner.read();
-        let (p, x, key) = inner.probe(processor, port, index);
-        let ids = inner.idx_xfer_dst.get_overlapping(run, p, x, &key, &self.stats);
-        dedup_ids(ids).into_iter().map(|id| inner.xfer_record(&inner.xfers[id as usize])).collect()
+        self.pin(run).xfers_into(processor, port, index)
     }
 
     /// The xfer events leaving `processor:port` at an index overlapping
@@ -817,10 +798,7 @@ impl TraceStore {
         port: &str,
         index: &Index,
     ) -> Vec<XferRecord> {
-        let inner = self.inner.read();
-        let (p, x, key) = inner.probe(processor, port, index);
-        let ids = inner.idx_xfer_src.get_overlapping(run, p, x, &key, &self.stats);
-        dedup_ids(ids).into_iter().map(|id| inner.xfer_record(&inner.xfers[id as usize])).collect()
+        self.pin(run).xfers_from(processor, port, index)
     }
 
     /// `Q(P, X_i, p_i)` of Algorithm 2: the stored **input** bindings of
@@ -837,32 +815,7 @@ impl TraceStore {
         port: &str,
         index: &Index,
     ) -> Vec<StoredBinding> {
-        let inner = self.inner.read();
-        let (p, x, key) = inner.probe(processor, port, index);
-        let ids = inner.idx_xform_in.get_overlapping(run, p, x, &key, &self.stats);
-        let mut out = Vec::new();
-        let mut seen: Vec<(u64, Index)> = Vec::new();
-        for id in dedup_ids(ids) {
-            let row = &inner.xforms[id as usize];
-            for pr in row.inputs().filter(|pr| pr.port == x) {
-                if !(pr.index.is_prefix_of(index) || index.is_prefix_of(&pr.index)) {
-                    continue;
-                }
-                let k = (pr.value.0, pr.index.clone());
-                if seen.contains(&k) {
-                    continue; // many invocations share whole-value inputs
-                }
-                seen.push(k);
-                out.push(StoredBinding {
-                    run,
-                    processor: processor.clone(),
-                    port: inner.symbols.resolve(pr.port),
-                    index: pr.index.clone(),
-                    value: pr.value,
-                });
-            }
-        }
-        out
+        self.pin(run).input_bindings(processor, port, index)
     }
 
     /// The stored **source-side** bindings of xfer rows leaving
@@ -877,67 +830,22 @@ impl TraceStore {
         port: &str,
         index: &Index,
     ) -> Vec<StoredBinding> {
-        let inner = self.inner.read();
-        let (p, x, key) = inner.probe(processor, port, index);
-        let ids = inner.idx_xfer_src.get_overlapping(run, p, x, &key, &self.stats);
-        let mut out: Vec<StoredBinding> = Vec::new();
-        for id in dedup_ids(ids) {
-            let row = &inner.xfers[id as usize];
-            if out.iter().any(|b| b.index == row.src_index && b.value == row.value) {
-                continue; // the same element fans out along several arcs
-            }
-            out.push(StoredBinding {
-                run,
-                processor: processor.clone(),
-                port: inner.symbols.resolve(row.src_port),
-                index: row.src_index.clone(),
-                value: row.value,
-            });
-        }
-        out
+        self.pin(run).xfer_src_bindings(processor, port, index)
     }
 
     /// All xform rows of one run, in insertion order — served from the
-    /// run's recorded row-id spans, so only that run's rows are touched (a
-    /// run interleaved with a much larger one no longer pays for its
-    /// neighbour). The rows physically examined are charged to the stats as
-    /// both records read and rows scanned.
+    /// run's own shard, so only that run's rows are touched (a run
+    /// co-resident with a much larger one never pays for its neighbour).
+    /// The rows physically examined are charged to the stats as both
+    /// records read and rows scanned.
     pub fn xforms_of_run(&self, run: RunId) -> Vec<XformRecord> {
-        let inner = self.inner.read();
-        if inner.dropped.contains(&run) {
-            return Vec::new();
-        }
-        let mut rows = Vec::new();
-        if let Some(spans) = inner.spans.get(&run) {
-            for &(start, end) in &spans.xforms {
-                for row in &inner.xforms[start as usize..end as usize] {
-                    rows.push(inner.xform_record(row));
-                }
-            }
-        }
-        self.stats.count_rows_scanned(rows.len());
-        self.stats.count_records(rows.len());
-        rows
+        self.pin(run).xforms_of_run()
     }
 
-    /// All xfer rows of one run, in insertion order (span walk; see
+    /// All xfer rows of one run, in insertion order (shard walk; see
     /// [`TraceStore::xforms_of_run`]).
     pub fn xfers_of_run(&self, run: RunId) -> Vec<XferRecord> {
-        let inner = self.inner.read();
-        if inner.dropped.contains(&run) {
-            return Vec::new();
-        }
-        let mut rows = Vec::new();
-        if let Some(spans) = inner.spans.get(&run) {
-            for &(start, end) in &spans.xfers {
-                for row in &inner.xfers[start as usize..end as usize] {
-                    rows.push(inner.xfer_record(row));
-                }
-            }
-        }
-        self.stats.count_rows_scanned(rows.len());
-        self.stats.count_records(rows.len());
-        rows
+        self.pin(run).xfers_of_run()
     }
 
     /// Drops a run: its metadata and index entries go immediately; its
@@ -981,60 +889,7 @@ impl TraceStore {
     /// still be answered using a standard graph traversal"). Combine with
     /// `NaiveLineage`/`NaiveImpact` from the returned bindings.
     pub fn bindings_with_value(&self, run: RunId, value: &Value) -> Vec<StoredBinding> {
-        let inner = self.inner.read();
-        let Some(&vid) = inner.values.lookup(value) else { return Vec::new() };
-        let Some(rows) = inner.idx_by_value.get(&vid) else { return Vec::new() };
-        self.stats.count_index_lookup();
-        let mut out: Vec<StoredBinding> = Vec::new();
-        let mut push = |b: StoredBinding| {
-            if !out.contains(&b) {
-                out.push(b);
-            }
-        };
-        for row in rows {
-            match row {
-                RowRef::Xform(id) => {
-                    let rec = &inner.xforms[*id as usize];
-                    if rec.run != run {
-                        continue;
-                    }
-                    self.stats.count_records(1);
-                    for p in &rec.ports {
-                        if p.value == vid {
-                            push(StoredBinding {
-                                run,
-                                processor: ProcessorName(inner.symbols.resolve(rec.processor)),
-                                port: inner.symbols.resolve(p.port),
-                                index: p.index.clone(),
-                                value: vid,
-                            });
-                        }
-                    }
-                }
-                RowRef::Xfer(id) => {
-                    let rec = &inner.xfers[*id as usize];
-                    if rec.run != run {
-                        continue;
-                    }
-                    self.stats.count_records(1);
-                    push(StoredBinding {
-                        run,
-                        processor: ProcessorName(inner.symbols.resolve(rec.src_processor)),
-                        port: inner.symbols.resolve(rec.src_port),
-                        index: rec.src_index.clone(),
-                        value: vid,
-                    });
-                    push(StoredBinding {
-                        run,
-                        processor: ProcessorName(inner.symbols.resolve(rec.dst_processor)),
-                        port: inner.symbols.resolve(rec.dst_port),
-                        index: rec.dst_index.clone(),
-                        value: vid,
-                    });
-                }
-            }
-        }
-        out
+        self.pin(run).bindings_with_value(value)
     }
 
     /// Registers (or overwrites) a workflow specification, making the
@@ -1094,64 +949,26 @@ impl TraceStore {
     /// index size tracks trace size).
     pub fn index_key_counts(&self) -> (usize, usize, usize, usize) {
         let inner = self.inner.read();
-        (
-            inner.idx_xform_out.key_count(),
-            inner.idx_xform_in.key_count(),
-            inner.idx_xfer_dst.key_count(),
-            inner.idx_xfer_src.key_count(),
-        )
+        inner.shards.values().fold((0, 0, 0, 0), |acc, s| {
+            (
+                acc.0 + s.idx_xform_out.key_count(),
+                acc.1 + s.idx_xform_in.key_count(),
+                acc.2 + s.idx_xfer_dst.key_count(),
+                acc.3 + s.idx_xfer_src.key_count(),
+            )
+        })
     }
-}
-
-/// Sorts and deduplicates row ids from multi-path index lookups.
-fn dedup_ids(mut ids: Vec<u64>) -> Vec<u64> {
-    ids.sort_unstable();
-    ids.dedup();
-    ids
 }
 
 impl Inner {
-    /// Translates an API-boundary `(processor, port, index)` triple into
-    /// interned probe keys. Unknown names map to [`Sym::MISSING`], which
-    /// probes the indexes and finds nothing — same answers, same stats, no
-    /// allocation.
-    fn probe(&self, processor: &ProcessorName, port: &str, index: &Index) -> (Sym, Sym, IndexKey) {
-        (self.symbols.lookup(processor.as_str()), self.symbols.lookup(port), IndexKey::from(index))
+    /// Total xform rows across all shards.
+    fn xform_rows(&self) -> usize {
+        self.shards.values().map(|s| s.xforms.len()).sum()
     }
 
-    /// Materialises a public record from an interned xform row.
-    fn xform_record(&self, row: &XformRow) -> XformRecord {
-        XformRecord {
-            id: row.id,
-            run: row.run,
-            processor: ProcessorName(self.symbols.resolve(row.processor)),
-            invocation: row.invocation,
-            ports: row
-                .ports
-                .iter()
-                .map(|p| XformPortRecord {
-                    direction: p.direction,
-                    port: self.symbols.resolve(p.port),
-                    index: p.index.clone(),
-                    value: p.value,
-                })
-                .collect(),
-        }
-    }
-
-    /// Materialises a public record from an interned xfer row.
-    fn xfer_record(&self, row: &XferRow) -> XferRecord {
-        XferRecord {
-            id: row.id,
-            run: row.run,
-            src_processor: ProcessorName(self.symbols.resolve(row.src_processor)),
-            src_port: self.symbols.resolve(row.src_port),
-            src_index: row.src_index.clone(),
-            dst_processor: ProcessorName(self.symbols.resolve(row.dst_processor)),
-            dst_port: self.symbols.resolve(row.dst_port),
-            dst_index: row.dst_index.clone(),
-            value: row.value,
-        }
+    /// Total xfer rows across all shards.
+    fn xfer_rows(&self) -> usize {
+        self.shards.values().map(|s| s.xfers.len()).sum()
     }
 
     fn apply(&mut self, record: LogRecord) {
@@ -1179,13 +996,11 @@ impl Inner {
                 }
             }
             LogRecord::DropRun { run } => {
+                // The run's rows, indexes, and value entries all live in
+                // its shard: removing it reclaims everything at once (a
+                // pinned view keeps its `Arc` alive until it drops).
                 self.runs.remove(&run);
-                self.dropped.insert(run);
-                self.spans.remove(&run);
-                self.idx_xform_out.remove_run(run);
-                self.idx_xform_in.remove_run(run);
-                self.idx_xfer_dst.remove_run(run);
-                self.idx_xfer_src.remove_run(run);
+                self.shards.remove(&run);
             }
             LogRecord::Workflow { name, json } => {
                 self.workflows.insert(name, json);
@@ -1195,88 +1010,32 @@ impl Inner {
         }
     }
 
-    fn index_value(&mut self, value: ValueId, row: RowRef) {
-        let rows = self.idx_by_value.entry(value).or_default();
-        if rows.last() != Some(&row) {
-            rows.push(row);
-        }
-    }
+    // The insert paths mutate the shared tables and the run's shard via
+    // `Arc::make_mut`: while no `ReadView` is pinned the refcount is one
+    // and every write is in place (no clone, no allocation beyond the row
+    // itself); a live pin makes exactly the first subsequent write clone
+    // the pinned structure, which is what gives views snapshot isolation.
+    // The three `make_mut` calls borrow disjoint fields, so they coexist.
 
     fn insert_xform(&mut self, run: RunId, event: &XformEvent) {
-        let id = self.xforms.len() as u64;
-        let processor = self.symbols.intern(&event.processor.0);
-        let mut ports = Vec::with_capacity(event.inputs.len() + event.outputs.len());
-        for b in &event.inputs {
-            let value = self.values.intern(&b.value);
-            self.index_value(value, RowRef::Xform(id));
-            let port = self.symbols.intern(&b.port);
-            let index = IndexKey::from(&b.index);
-            ports.push(XformPortRow {
-                direction: PortDirection::In,
-                port,
-                index: b.index.clone(),
-                value,
-            });
-            self.idx_xform_in.insert(SymKey { run, processor, port, index }, id);
-        }
-        for b in &event.outputs {
-            let value = self.values.intern(&b.value);
-            self.index_value(value, RowRef::Xform(id));
-            let port = self.symbols.intern(&b.port);
-            let index = IndexKey::from(&b.index);
-            ports.push(XformPortRow {
-                direction: PortDirection::Out,
-                port,
-                index: b.index.clone(),
-                value,
-            });
-            self.idx_xform_out.insert(SymKey { run, processor, port, index }, id);
-        }
-        self.xforms.push(XformRow { id, run, processor, invocation: event.invocation, ports });
-        RowSpans::push(&mut self.spans.entry(run).or_default().xforms, id);
+        let id = self.next_xform_id;
+        self.next_xform_id += 1;
+        let symbols = Arc::make_mut(&mut self.symbols);
+        let values = Arc::make_mut(&mut self.values);
+        let shard = Arc::make_mut(self.shards.entry(run).or_default());
+        shard.insert_xform(id, run, event, symbols, values);
         if let Some(info) = self.runs.get_mut(&run) {
             info.xform_count += 1;
         }
     }
 
     fn insert_xfer(&mut self, run: RunId, event: &XferEvent) {
-        let id = self.xfers.len() as u64;
-        let value = self.values.intern(&event.value);
-        self.index_value(value, RowRef::Xfer(id));
-        let src_processor = self.symbols.intern(&event.src.processor.0);
-        let src_port = self.symbols.intern(&event.src.port);
-        let dst_processor = self.symbols.intern(&event.dst.processor.0);
-        let dst_port = self.symbols.intern(&event.dst.port);
-        self.idx_xfer_dst.insert(
-            SymKey {
-                run,
-                processor: dst_processor,
-                port: dst_port,
-                index: IndexKey::from(&event.dst_index),
-            },
-            id,
-        );
-        self.idx_xfer_src.insert(
-            SymKey {
-                run,
-                processor: src_processor,
-                port: src_port,
-                index: IndexKey::from(&event.src_index),
-            },
-            id,
-        );
-        self.xfers.push(XferRow {
-            id,
-            run,
-            src_processor,
-            src_port,
-            src_index: event.src_index.clone(),
-            dst_processor,
-            dst_port,
-            dst_index: event.dst_index.clone(),
-            value,
-        });
-        RowSpans::push(&mut self.spans.entry(run).or_default().xfers, id);
+        let id = self.next_xfer_id;
+        self.next_xfer_id += 1;
+        let symbols = Arc::make_mut(&mut self.symbols);
+        let values = Arc::make_mut(&mut self.values);
+        let shard = Arc::make_mut(self.shards.entry(run).or_default());
+        shard.insert_xfer(id, run, event, symbols, values);
         if let Some(info) = self.runs.get_mut(&run) {
             info.xfer_count += 1;
         }
@@ -1837,6 +1596,82 @@ mod tests {
         let rows_b: Vec<u32> = s.xforms_of_run(b).iter().map(|r| r.invocation).collect();
         assert_eq!(rows_a, vec![0, 2, 4, 6, 8]);
         assert_eq!(rows_b, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn pinned_view_is_isolated_from_later_recording() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xform(r, xform("P", 0, &[0], &[0]));
+        let view = s.pin(r);
+        // Recording after the pin copy-on-writes new shard state…
+        s.record_xform(r, xform("P", 1, &[1], &[1]));
+        s.record_xfer(r, xfer(("P", "y"), ("Q", "x"), &[0], "v"));
+        // …so the view still answers from the pinned state…
+        assert_eq!(view.xforms_of_run().len(), 1);
+        assert_eq!(view.trace_record_count(), 1);
+        assert!(view.xforms_producing(&"P".into(), "y", &Index::single(1)).is_empty());
+        // …while the store (and a fresh pin) see everything.
+        assert_eq!(s.xforms_of_run(r).len(), 2);
+        assert_eq!(s.pin(r).trace_record_count(), 3);
+        assert_eq!(s.pin(r).xforms_producing(&"P".into(), "y", &Index::single(1)).len(), 1);
+    }
+
+    #[test]
+    fn pinned_view_matches_store_answers_and_counter_deltas() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        for i in 0..8 {
+            s.record_xform(r, xform("P", i, &[i], &[i]));
+            s.record_xfer(r, xfer(("P", "y"), ("Q", "x"), &[i], "v"));
+        }
+        let view = s.pin(r);
+        let q = Index::single(3);
+        let before = s.stats().snapshot();
+        let via_store = s.xforms_producing(r, &"P".into(), "y", &q);
+        let store_delta = s.stats().snapshot().since(before);
+        let before = s.stats().snapshot();
+        let via_view = view.xforms_producing(&"P".into(), "y", &q);
+        let view_delta = s.stats().snapshot().since(before);
+        assert_eq!(via_store, via_view);
+        // The view's ProbeStats batching lands on identical totals, and
+        // both feed the same shared counters.
+        assert_eq!(store_delta, view_delta);
+        assert!(view_delta.index_lookups > 0);
+    }
+
+    #[test]
+    fn unknown_run_view_probes_the_empty_shard_with_identical_accounting() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xform(r, xform("P", 0, &[0], &[0]));
+        let q = Index::from_slice(&[0, 1]);
+        // A probe of a run that exists but has no matching rows…
+        let other = s.begin_run(&"wf".into());
+        s.record_xform(other, xform("Q", 0, &[0], &[0]));
+        let before = s.stats().snapshot();
+        assert!(s.xforms_producing(other, &"P".into(), "y", &q).is_empty());
+        let known_delta = s.stats().snapshot().since(before);
+        // …and of a run that does not exist at all must cost the same
+        // index descents (|q| + 2 for the overlap lookup).
+        let before = s.stats().snapshot();
+        assert!(s.xforms_producing(RunId(99), &"P".into(), "y", &q).is_empty());
+        let unknown_delta = s.stats().snapshot().since(before);
+        assert_eq!(known_delta, unknown_delta);
+        assert_eq!(unknown_delta.index_lookups, q.len() as u64 + 2);
+    }
+
+    #[test]
+    fn dropped_run_stays_readable_through_a_pinned_view() {
+        let s = TraceStore::in_memory();
+        let r = s.begin_run(&"wf".into());
+        s.record_xform(r, xform("P", 0, &[0], &[0]));
+        let view = s.pin(r);
+        s.drop_run(r).unwrap();
+        // The store no longer answers; the pinned view holds the shard
+        // alive until it drops.
+        assert!(s.xforms_of_run(r).is_empty());
+        assert_eq!(view.xforms_of_run().len(), 1);
     }
 
     #[test]

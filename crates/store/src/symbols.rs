@@ -40,7 +40,7 @@ impl Sym {
 
 /// Bidirectional name ⇄ symbol table. Owned by the store's `Inner`, so it
 /// shares the store's write lock; reads only need `&self`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SymbolTable {
     by_name: HashMap<Arc<str>, Sym>,
     names: Vec<Arc<str>>,

@@ -6,7 +6,7 @@ use prov_model::{Value, ValueId};
 
 /// Interns values: identical collections (which recur along every arc of a
 /// trace) are stored once and referenced by [`ValueId`].
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ValueTable {
     by_value: HashMap<Value, ValueId>,
     by_id: Vec<Value>,

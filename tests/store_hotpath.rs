@@ -4,6 +4,9 @@
 //! must absorb repeated queries, and multi-run fan-out must answer
 //! exactly like a sequential sweep.
 
+use std::sync::Mutex;
+
+use proptest::prelude::*;
 use prov_engine::{TraceEvent, TraceSink, XferEvent, XformEvent};
 use prov_workgen::testbed;
 use taverna_prov::prelude::*;
@@ -127,5 +130,125 @@ fn multi_run_fanout_matches_sequential_execution() {
     assert_eq!(sequential.len(), fanned.len());
     for (s, f) in sequential.iter().zip(&fanned) {
         assert!(s.same_bindings(f), "parallel multi-run answer diverges");
+    }
+}
+
+/// Captures the engine's natural ingest batches so a test can replay them
+/// by hand (e.g. pause halfway to pin a mid-ingest snapshot).
+#[derive(Default)]
+struct BatchCapture {
+    next: Mutex<u64>,
+    batches: Mutex<Vec<Vec<TraceEvent>>>,
+}
+
+impl TraceSink for BatchCapture {
+    fn begin_run(&self, _workflow: &ProcessorName) -> RunId {
+        let mut next = self.next.lock().unwrap();
+        let id = RunId(*next);
+        *next += 1;
+        id
+    }
+    fn record_xform(&self, _run: RunId, event: XformEvent) {
+        self.batches.lock().unwrap().push(vec![TraceEvent::Xform(event)]);
+    }
+    fn record_xfer(&self, _run: RunId, event: XferEvent) {
+        self.batches.lock().unwrap().push(vec![TraceEvent::Xfer(event)]);
+    }
+    fn record_batch(&self, _run: RunId, events: Vec<TraceEvent>) {
+        self.batches.lock().unwrap().push(events);
+    }
+    fn finish_run(&self, _run: RunId) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The sharded store is observationally equivalent to the reference
+    /// (event-at-a-time) ingest across the testbed parameter space: both
+    /// algorithms return the same bindings and — because every probe
+    /// batches its [`prov_store::ProbeStats`] into the same counters a
+    /// monolithic store would charge — identical access-statistics deltas,
+    /// for focused and unfocused (step-fanning) queries alike.
+    #[test]
+    fn sharded_store_matches_reference_answers_and_stats(
+        l in 2usize..6, d in 2usize..5, a in 0u32..8, b in 0u32..8,
+    ) {
+        let df = testbed::generate(l);
+        let sharded_store = TraceStore::in_memory();
+        let sharded_run = testbed::run(&df, d, &sharded_store).run_id;
+        let reference_store = TraceStore::in_memory();
+        let reference_run = testbed::run(&df, d, &Unbatched(&reference_store)).run_id;
+
+        let idx = [a % d as u32, b % d as u32];
+        for q in [testbed::focused_query(&idx), testbed::unfocused_query(&df, &idx)] {
+            let before = sharded_store.stats().snapshot();
+            let ni_s = NaiveLineage::new().run(&sharded_store, sharded_run, &q).unwrap();
+            let ni_work_s = sharded_store.stats().snapshot().since(before);
+            let before = reference_store.stats().snapshot();
+            let ni_r = NaiveLineage::new().run(&reference_store, reference_run, &q).unwrap();
+            let ni_work_r = reference_store.stats().snapshot().since(before);
+            prop_assert!(ni_s.same_bindings(&ni_r), "NI answers diverge at {idx:?}");
+            prop_assert_eq!(ni_work_s, ni_work_r, "NI stats diverge at {:?}", idx);
+
+            let before = sharded_store.stats().snapshot();
+            let ip_s = IndexProj::new(&df).run(&sharded_store, sharded_run, &q).unwrap();
+            let ip_work_s = sharded_store.stats().snapshot().since(before);
+            let before = reference_store.stats().snapshot();
+            let ip_r = IndexProj::new(&df).run(&reference_store, reference_run, &q).unwrap();
+            let ip_work_r = reference_store.stats().snapshot().since(before);
+            prop_assert!(ip_s.same_bindings(&ip_r), "INDEXPROJ answers diverge at {idx:?}");
+            prop_assert!(ni_s.same_bindings(&ip_s), "NI and INDEXPROJ diverge at {idx:?}");
+            prop_assert_eq!(ip_work_s, ip_work_r, "INDEXPROJ stats diverge at {:?}", idx);
+        }
+    }
+
+    /// A `ReadView` pinned mid-ingest is a stable snapshot: recording the
+    /// rest of the run does not leak into it, and both algorithms answer
+    /// through it exactly as against a store that stopped ingesting at the
+    /// pin.
+    #[test]
+    fn pinned_view_is_a_stable_snapshot_during_later_ingest(
+        l in 2usize..6, d in 2usize..5,
+    ) {
+        let df = testbed::generate(l);
+        let capture = BatchCapture::default();
+        testbed::run(&df, d, &capture);
+        let batches = capture.batches.into_inner().unwrap();
+        let half = batches.len() / 2;
+
+        let store = TraceStore::in_memory();
+        let run = store.begin_run(&df.name);
+        for batch in &batches[..half] {
+            store.record_batch(run, batch.clone());
+        }
+        let view = store.pin(run);
+        let frozen = view.trace_record_count();
+        for batch in &batches[half..] {
+            store.record_batch(run, batch.clone());
+        }
+        prop_assert_eq!(view.trace_record_count(), frozen, "pinned view saw later ingest");
+        prop_assert!(store.trace_record_count(run) > frozen);
+
+        // A store that only ever ingested the first wave is the ground
+        // truth for what the pinned view must answer.
+        let reference = TraceStore::in_memory();
+        let ref_run = reference.begin_run(&df.name);
+        for batch in &batches[..half] {
+            reference.record_batch(ref_run, batch.clone());
+        }
+
+        let q = testbed::focused_query(&[0, d as u32 - 1]);
+        let plan = IndexProj::new(&df).plan(&q).unwrap();
+        let ip_view = plan.execute_pinned(&view, &Obs::disabled()).unwrap();
+        let ip_ref = plan.execute(&reference, ref_run).unwrap();
+        prop_assert!(ip_view.same_bindings(&ip_ref), "INDEXPROJ through pinned view diverged");
+
+        let ni_view = NaiveLineage::new().run_pinned(&view, &q, &Obs::disabled()).unwrap();
+        let ni_ref = NaiveLineage::new().run(&reference, ref_run, &q).unwrap();
+        prop_assert!(ni_view.same_bindings(&ni_ref), "NI through pinned view diverged");
+
+        // A fresh pin sees the complete run.
+        let full_view = store.pin(run);
+        prop_assert_eq!(full_view.trace_record_count(), store.trace_record_count(run));
     }
 }
