@@ -16,6 +16,8 @@
 //!                [--without-index xform_in] [--tolerance 10] [--format json]
 //! tprov lint     --workflow wf.json [--format json] [--iteration-threshold 3]
 //! tprov dot      --workflow wf.json [--lint]
+//! tprov tail     --db t.wal [--last 20] [--format json] [--follow]
+//! tprov slow     --db t.wal [--format json]
 //! ```
 //!
 //! Workflows executed through `tprov` have their specification saved next
@@ -35,15 +37,16 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use prov_core::{ImpactQuery, IndexProj, LineageQuery, NaiveImpact, NaiveLineage};
+use prov_core::{ImpactQuery, IndexProj, LineageQuery, NaiveImpact, NaiveLineage, PlanCache};
 use prov_dataflow::{to_dot, to_dot_with_diagnostics, AnalyzeConfig, Dataflow};
 use prov_engine::{BehaviorRegistry, Engine, FailedInvocation, RetryPolicy};
 use prov_model::{Index, PortRef, ProcessorName, RunId, Value};
-use prov_obs::{Obs, Registry};
+use prov_obs::{Journal, Obs, QueryCtx, Registry};
 use prov_store::TraceStore;
 use prov_workgen::{bio, testbed};
 
 mod args;
+mod journal_io;
 mod json;
 use args::Args;
 
@@ -92,6 +95,8 @@ fn run(argv: Vec<String>) -> Result<ExitCode, String> {
         "diff" => done(cmd_diff(&args)),
         "find-value" => done(cmd_find_value(&args)),
         "metrics" => done(cmd_metrics(&args)),
+        "tail" => done(cmd_tail(&args)),
+        "slow" => done(cmd_slow(&args)),
         "profile" => done(cmd_profile(&args)),
         "explain" => done(cmd_explain(&args)),
         "lint" => done(cmd_lint(&args)),
@@ -125,6 +130,11 @@ fn print_usage() {
          \x20 diff     --db FILE --a N --b N --target P:Y [--index ..] [--focus ..]\n\
          \x20 find-value --db FILE --value <json> [--run N] [--lineage] [--focus ..]\n\
          \x20 metrics  --db FILE [--format json]           store/WAL metric snapshot\n\
+         \x20 tail     --db FILE [--last N] [--format json] [--follow]\n\
+         \x20          dump (or follow) the last N journal events\n\
+         \x20 slow     --db FILE [--last N] [--format json]\n\
+         \x20          aggregate the slow-query log: top plan fingerprints by\n\
+         \x20          total time, with the cost-model misprediction rate\n\
          \x20 profile  QUERY --db FILE [--algo ni|indexproj|both] [--run N | --all-runs]\n\
          \x20          [--workflow WF.json] [--chrome-trace OUT.json]\n\
          \x20          per-stage timings with the paper's t1/t2 split\n\
@@ -274,8 +284,13 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
             .map_err(|e| format!("input {name}: invalid value JSON: {e}"))?;
         inputs.push((name.to_string(), value));
     }
+    // The run path journals too: ingest batches and retries from the
+    // engine, WAL syncs and snapshot writes from the store — all drained
+    // into `<db>.journal.jsonl` on exit for `tprov tail`.
+    let journal = Journal::from_env();
+    store.attach_journal(&journal);
     let registry = BehaviorRegistry::new().with_builtins();
-    let mut engine = Engine::new(registry);
+    let mut engine = Engine::new(registry).with_obs(Obs::disabled().with_journal(journal.clone()));
     if let Some(attempts) = args.get_parsed::<u32>("max-attempts")? {
         if attempts == 0 {
             return Err("--max-attempts must be at least 1".into());
@@ -318,6 +333,7 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
             );
         }
     }
+    journal_io::persist(args.required("db")?, &journal)?;
     // Exit 0 on a completed run, 3 on a partial failure — distinguishable
     // from usage/IO errors (1) in scripts.
     Ok(if failed.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(3) })
@@ -433,19 +449,42 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Hashes an impact query into the same fingerprint space as
+/// [`PlanCache::fingerprint`] uses for lineage queries.
+fn impact_fingerprint(query: &ImpactQuery) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    query.hash(&mut h);
+    h.finish()
+}
+
 /// Queries written in the paper's own notation, e.g.
 /// `tprov query --db t.wal --query 'lin(<2TO1_FINAL:Y[1,2]>, {LISTGEN_1})'`.
+///
+/// Every execution runs under a [`QueryCtx`]: the store's WAL/snapshot
+/// hooks and the query layer journal typed events (trace-id-stamped, so
+/// per-query attribution survives `TPROV_QUERY_THREADS` fan-out), and on
+/// exit the ring is drained into `<db>.journal.jsonl` /
+/// `<db>.slow.jsonl` for `tprov tail` / `tprov slow`. With INDEXPROJ the
+/// cost model's prediction is attached up front, so a finished query
+/// whose observed lookups/rows violate the prediction is flagged as
+/// cost-model drift in the slow log.
 fn cmd_query(args: &Args) -> Result<(), String> {
     let store = open_db(args)?;
     let raw = args.required("query")?;
     let runs = select_runs(args, &store)?;
+    let journal = Journal::from_env();
+    store.attach_journal(&journal);
+    let obs = Obs::disabled().with_journal(journal.clone());
+    let tolerance: f64 = args.get_parsed("tolerance")?.unwrap_or(10.0);
     match prov_core::parse_query(raw).map_err(|e| e.to_string())? {
         prov_core::ParsedQuery::Lineage(query) => {
             println!("{query}");
+            let ctx = QueryCtx::new(raw).with_fingerprint(PlanCache::fingerprint(&query));
             match args.get("algo").unwrap_or("ni") {
                 "ni" => {
                     for ans in NaiveLineage::new()
-                        .run_multi(&store, &runs, &query)
+                        .run_multi_ctx(&store, &runs, &query, &obs, &ctx)
                         .map_err(|e| e.to_string())?
                     {
                         print!("{ans}");
@@ -453,9 +492,36 @@ fn cmd_query(args: &Args) -> Result<(), String> {
                 }
                 "indexproj" => {
                     let df = resolve_workflow(args, &store)?;
-                    let plan = IndexProj::new(&df).plan(&query).map_err(|e| e.to_string())?;
-                    println!("plan: {} trace lookups", plan.steps.len());
-                    for ans in plan.execute_multi(&store, &runs).map_err(|e| e.to_string())? {
+                    let ip = IndexProj::new(&df);
+                    // Explain (rather than bare plan) so the cost model's
+                    // prediction rides along and drift is detectable.
+                    let ex = ip
+                        .explain_with(
+                            &query,
+                            &store.index_catalog(),
+                            |step, id| {
+                                Some(store.port_cardinality(
+                                    id,
+                                    runs[0],
+                                    &step.processor,
+                                    &step.port,
+                                ))
+                            },
+                            &Obs::disabled(),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    let ctx = ctx.with_prediction(
+                        ex.cost.index_lookups,
+                        ex.cost.rows_scanned,
+                        ex.cost.grounded,
+                        tolerance,
+                    );
+                    println!("plan: {} trace lookups", ex.plan.steps.len());
+                    for ans in ex
+                        .plan
+                        .execute_multi_ctx(&store, &runs, &obs, &ctx)
+                        .map_err(|e| e.to_string())?
+                    {
                         print!("{ans}");
                     }
                 }
@@ -464,13 +530,16 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         }
         prov_core::ParsedQuery::Impact(query) => {
             println!("{query}");
-            for ans in
-                NaiveImpact::new().run_multi(&store, &runs, &query).map_err(|e| e.to_string())?
-            {
+            let ctx = QueryCtx::new(raw).with_fingerprint(impact_fingerprint(&query));
+            let imp = NaiveImpact::new();
+            for &run in &runs {
+                let ans =
+                    imp.run_ctx(&store, run, &query, &obs, &ctx).map_err(|e| e.to_string())?;
                 print!("{ans}");
             }
         }
     }
+    journal_io::persist(args.required("db")?, &journal)?;
     Ok(())
 }
 
@@ -491,6 +560,180 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
         "text" => print!("{}", snapshot.render_text()),
         "json" => println!("{}", json::render(&snapshot)?),
         other => return Err(format!("unknown --format {other:?} (text|json)")),
+    }
+    Ok(())
+}
+
+/// Renders one persisted journal line for `tprov tail`'s text mode.
+fn render_journal_line(path: &str, line: &str) -> Result<String, String> {
+    let e: prov_obs::Stamped =
+        serde_json::from_str(line).map_err(|err| format!("{path}: bad journal line: {err}"))?;
+    let mut out = format!("#{:<6} {:>10} tid={} {}", e.seq, fmt_ns(e.ts_ns), e.tid, e.event.kind());
+    if let prov_obs::JournalEvent::QueryStarted { query, .. } = &e.event {
+        out.push_str(&format!(" {query:?}"));
+    }
+    for (k, v) in e.event.numeric_args() {
+        out.push_str(&format!(" {k}={v}"));
+    }
+    Ok(out)
+}
+
+/// Dumps — or, with `--follow`, keeps streaming — the tail of the
+/// journal sidecar (`<db>.journal.jsonl`) that query/run commands append
+/// on exit. `--format json` reprints the raw event lines (one JSON
+/// object per line, schema locked by a golden test); text mode renders
+/// `#seq timestamp tid kind k=v…`.
+fn cmd_tail(args: &Args) -> Result<(), String> {
+    let db = args.required("db")?;
+    let path = journal_io::journal_path(db);
+    let last: usize = args.get_parsed("last")?.unwrap_or(20);
+    let json_format = match args.get("format").unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => return Err(format!("unknown --format {other:?} (text|json)")),
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("no journal at {path} ({e}); run a query or a workflow first"))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    for line in &lines[lines.len().saturating_sub(last)..] {
+        if json_format {
+            println!("{line}");
+        } else {
+            println!("{}", render_journal_line(&path, line)?);
+        }
+    }
+    if !args.has_flag("follow") {
+        return Ok(());
+    }
+    // Follow mode: poll the file for growth and render each newly
+    // completed line. A trailing partial line (a writer mid-append) is
+    // carried until its newline lands.
+    use std::io::{Read as _, Seek as _};
+    let mut offset = text.len() as u64;
+    let mut carry = String::new();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let Ok(meta) = std::fs::metadata(&path) else { continue };
+        if meta.len() <= offset {
+            continue;
+        }
+        let mut f = std::fs::File::open(&path).map_err(|e| format!("{path}: {e}"))?;
+        f.seek(std::io::SeekFrom::Start(offset)).map_err(|e| format!("{path}: {e}"))?;
+        let mut fresh = String::new();
+        f.read_to_string(&mut fresh).map_err(|e| format!("{path}: {e}"))?;
+        offset += fresh.len() as u64;
+        carry.push_str(&fresh);
+        while let Some(nl) = carry.find('\n') {
+            let line: String = carry.drain(..=nl).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if json_format {
+                println!("{line}");
+            } else {
+                println!("{}", render_journal_line(&path, line)?);
+            }
+        }
+    }
+}
+
+/// One aggregated row of `tprov slow`: all slow-log entries sharing a
+/// plan fingerprint. Field names are part of the CLI contract.
+#[derive(serde::Serialize)]
+struct SlowAgg {
+    fingerprint: u64,
+    query: String,
+    count: u64,
+    slow_count: u64,
+    drift_count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// What `tprov slow --format json` prints.
+#[derive(serde::Serialize)]
+struct SlowReport {
+    entries: u64,
+    drift_entries: u64,
+    aggregates: Vec<SlowAgg>,
+}
+
+/// Aggregates the slow-query log (`<db>.slow.jsonl`): entries grouped by
+/// plan fingerprint, ranked by total time, with per-group drift counts —
+/// a drift-flagged group means the cost model's prediction was violated
+/// beyond tolerance (cost-model drift), not merely a slow query.
+fn cmd_slow(args: &Args) -> Result<(), String> {
+    let db = args.required("db")?;
+    let path = journal_io::slow_path(db);
+    let json_format = match args.get("format").unwrap_or("text") {
+        "text" => false,
+        "json" => true,
+        other => return Err(format!("unknown --format {other:?} (text|json)")),
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut records: Vec<journal_io::SlowRecord> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        records
+            .push(serde_json::from_str(line).map_err(|e| format!("{path}: bad slow line: {e}"))?);
+    }
+    if let Some(last) = args.get_parsed::<usize>("last")? {
+        let start = records.len().saturating_sub(last);
+        records.drain(..start);
+    }
+    let mut groups: std::collections::HashMap<u64, SlowAgg> = std::collections::HashMap::new();
+    let mut drift_entries = 0u64;
+    for r in &records {
+        drift_entries += u64::from(r.drift);
+        let g = groups.entry(r.fingerprint).or_insert_with(|| SlowAgg {
+            fingerprint: r.fingerprint,
+            query: r.query.clone(),
+            count: 0,
+            slow_count: 0,
+            drift_count: 0,
+            total_us: 0,
+            max_us: 0,
+        });
+        g.count += 1;
+        g.slow_count += u64::from(r.slow);
+        g.drift_count += u64::from(r.drift);
+        g.total_us += r.dur_us;
+        g.max_us = g.max_us.max(r.dur_us);
+    }
+    let mut aggregates: Vec<SlowAgg> = groups.into_values().collect();
+    aggregates.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.fingerprint.cmp(&b.fingerprint)));
+
+    if json_format {
+        let report = SlowReport { entries: records.len() as u64, drift_entries, aggregates };
+        println!("{}", json::render(&report)?);
+        return Ok(());
+    }
+    if records.is_empty() {
+        println!("slow-query log {path}: no entries");
+        return Ok(());
+    }
+    let rate = 100.0 * drift_entries as f64 / records.len() as f64;
+    println!(
+        "slow-query log {path}: {} entr{}, {} drift-flagged (misprediction rate {rate:.0}%)",
+        records.len(),
+        if records.len() == 1 { "y" } else { "ies" },
+        drift_entries,
+    );
+    println!(
+        "{:<16} {:>5} {:>5} {:>5} {:>10} {:>10}  query",
+        "fingerprint", "count", "slow", "drift", "total", "max"
+    );
+    for a in &aggregates {
+        println!(
+            "{:016x} {:>5} {:>5} {:>5} {:>10} {:>10}  {}",
+            a.fingerprint,
+            a.count,
+            a.slow_count,
+            a.drift_count,
+            fmt_ns(a.total_us * 1_000),
+            fmt_ns(a.max_us * 1_000),
+            a.query,
+        );
     }
     Ok(())
 }
@@ -525,14 +768,21 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
 
     let obs = Obs::enabled();
     store.register_metrics(&obs.metrics);
+    store.attach_journal(&obs.journal);
+    obs.journal.register_metrics(&obs.metrics);
     let before = obs.metrics.snapshot();
     println!("{query}");
+    let fingerprint = PlanCache::fingerprint(&query);
+    let tolerance: f64 = args.get_parsed("tolerance")?.unwrap_or(10.0);
 
     let mut ran_ni = false;
     let mut ran_ip = false;
     if algo != "indexproj" {
+        // Each algorithm gets its own trace id, so the journal separates
+        // NI's events from INDEXPROJ's in the same process.
+        let ctx = QueryCtx::new(raw).with_fingerprint(fingerprint);
         let answers = NaiveLineage::new()
-            .run_multi_with(&store, &runs, &query, &obs)
+            .run_multi_ctx(&store, &runs, &query, &obs, &ctx)
             .map_err(|e| e.to_string())?;
         let bindings: usize = answers.iter().map(|a| a.bindings.len()).sum();
         println!("NI: {} run(s), {bindings} lineage binding(s)", answers.len());
@@ -540,25 +790,55 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     }
     if algo != "ni" {
         let df = resolve_workflow(args, &store)?;
-        let answers = IndexProj::new(&df)
-            .run_multi_with(&store, &runs, &query, &obs)
+        let ex = IndexProj::new(&df)
+            .explain_with(
+                &query,
+                &store.index_catalog(),
+                |step, id| Some(store.port_cardinality(id, runs[0], &step.processor, &step.port)),
+                &obs,
+            )
             .map_err(|e| e.to_string())?;
+        let ctx = QueryCtx::new(raw).with_fingerprint(fingerprint).with_prediction(
+            ex.cost.index_lookups,
+            ex.cost.rows_scanned,
+            ex.cost.grounded,
+            tolerance,
+        );
+        let answers =
+            ex.plan.execute_multi_ctx(&store, &runs, &obs, &ctx).map_err(|e| e.to_string())?;
         let bindings: usize = answers.iter().map(|a| a.bindings.len()).sum();
         println!("INDEXPROJ: {} run(s), {bindings} lineage binding(s)", answers.len());
         ran_ip = true;
     }
 
+    // Per-stage table with midpoint-interpolated quantiles: span
+    // durations feed one standalone log2 histogram per (stage, cat).
     let aggs = obs.profiler.aggregate();
+    let mut hists: std::collections::HashMap<(String, &'static str), prov_obs::Histogram> =
+        std::collections::HashMap::new();
+    for span in obs.profiler.spans() {
+        hists
+            .entry((span.name.to_string(), span.cat))
+            .or_insert_with(prov_obs::Histogram::standalone)
+            .record(span.dur_ns);
+    }
     println!();
-    println!("{:<32} {:<7} {:>6} {:>10} {:>10}", "stage", "cat", "count", "total", "max");
+    println!(
+        "{:<32} {:<7} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "cat", "count", "total", "max", "p50", "p95", "p99"
+    );
     for a in &aggs {
+        let snap = hists.get(&(a.name.clone(), a.cat)).map(|h| h.snapshot()).unwrap_or_default();
         println!(
-            "{:<32} {:<7} {:>6} {:>10} {:>10}",
+            "{:<32} {:<7} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
             a.name,
             a.cat,
             a.count,
             fmt_ns(a.total_ns),
-            fmt_ns(a.max_ns)
+            fmt_ns(a.max_ns),
+            fmt_ns(snap.p50),
+            fmt_ns(snap.p95),
+            fmt_ns(snap.p99),
         );
     }
 
@@ -597,7 +877,10 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     }
 
     if let Some(path) = args.get("chrome-trace") {
-        let events = obs.profiler.chrome_trace_events();
+        // Spans plus journal instants (ph "i") on one timeline — the
+        // journal shares the profiler's origin, so timestamps line up.
+        let mut events = obs.profiler.chrome_trace_events();
+        events.extend(prov_obs::chrome_instant_events(&obs.journal.events()));
         std::fs::write(path, json::render(&events)?).map_err(|e| e.to_string())?;
         println!();
         println!(
@@ -605,6 +888,16 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
             events.len()
         );
     }
+
+    let journal_events = obs.journal.events().len();
+    let (persisted, slow) = journal_io::persist(args.required("db")?, &obs.journal)?;
+    println!();
+    println!(
+        "journal: {journal_events} event(s) ({} dropped), {persisted} persisted, \
+         {slow} slow/drift entr{} — see `tprov tail` / `tprov slow`",
+        obs.journal.dropped(),
+        if slow == 1 { "y" } else { "ies" },
+    );
     Ok(())
 }
 

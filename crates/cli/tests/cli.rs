@@ -8,6 +8,31 @@ fn tprov(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_tprov")).args(args).output().expect("tprov runs")
 }
 
+fn tprov_env(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tprov"))
+        .args(args)
+        .envs(envs.iter().map(|(k, v)| (k.to_string(), v.to_string())))
+        .output()
+        .expect("tprov runs")
+}
+
+/// Sorted field names of a JSON object (the vendored tree model stores
+/// objects as ordered pairs).
+fn sorted_keys(v: &serde_json::Value) -> Vec<String> {
+    let serde_json::Value::Object(fields) = v else { panic!("expected object, got {v:?}") };
+    let mut keys: Vec<String> = fields.iter().map(|(k, _)| k.clone()).collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn json_u64(v: &serde_json::Value) -> u64 {
+    match v {
+        serde_json::Value::Int(i) => u64::try_from(*i).unwrap(),
+        serde_json::Value::Uint(u) => *u,
+        other => panic!("expected unsigned number, got {other:?}"),
+    }
+}
+
 fn stdout(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
@@ -43,6 +68,9 @@ impl Drop for TempDb {
         let _ = std::fs::remove_file(&self.path);
         for wf in ["testbed", "genes2Kegg", "protein_discovery"] {
             let _ = std::fs::remove_file(self.sidecar(wf));
+        }
+        for ext in ["journal.jsonl", "slow.jsonl"] {
+            let _ = std::fs::remove_file(format!("{}.{ext}", self.arg()));
         }
     }
 }
@@ -610,6 +638,178 @@ fn run_resume_replays_settled_state_and_keeps_exit_codes() {
     ]);
     assert_eq!(out.status.code(), Some(1));
     assert!(stderr(&out).contains("cannot resume"), "{}", stderr(&out));
+    let _ = std::fs::remove_file(&wf_path);
+}
+
+/// Golden test for `tprov metrics --format json`: scrapers depend on the
+/// snapshot's top-level shape and the histogram summary fields (including
+/// the midpoint-interpolated quantiles), so growing either set is fine
+/// only through deliberate review here.
+#[test]
+fn metrics_json_schema_is_locked() {
+    let db = TempDb::new("metricsjson");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
+    let out = tprov(&["metrics", "--db", db.arg(), "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let snap: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(sorted_keys(&snap), ["counters", "gauges", "histograms"]);
+    // Histogram summaries carry the quantile contract fields.
+    let serde_json::Value::Object(hists) = &snap["histograms"] else {
+        panic!("histograms not an object")
+    };
+    let (name, hist) = hists.first().expect("at least one histogram");
+    assert_eq!(sorted_keys(hist), ["count", "max", "p50", "p95", "p99", "sum"], "histogram {name}");
+    // The text rendering surfaces the same quantiles.
+    let out = tprov(&["metrics", "--db", db.arg()]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("p95="), "{}", stdout(&out));
+}
+
+/// Golden test for the journal sidecar and `tprov tail --format json`:
+/// one `Stamped` JSON object per line with a locked envelope, and the
+/// `QueryFinished` payload carries the locked counter/prediction fields.
+#[test]
+fn journal_tail_and_slow_lock_schemas() {
+    let db = TempDb::new("journal");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
+    // Threshold 0: every query is slow, so the slow log gets an entry.
+    let out = tprov_env(
+        &[
+            "query",
+            "--db",
+            db.arg(),
+            "--query",
+            "lin(<2TO1_FINAL:Y[0,1]>, {LISTGEN_1})",
+            "--algo",
+            "indexproj",
+        ],
+        &[("TPROV_SLOW_QUERY_MS", "0")],
+    );
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let out = tprov(&["tail", "--db", db.arg(), "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    let mut kinds: Vec<String> = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let e: serde_json::Value = serde_json::from_str(line).unwrap();
+        assert_eq!(sorted_keys(&e), ["event", "seq", "tid", "ts_ns"], "envelope of {line}");
+        // Externally tagged enum: {"Kind": {fields…}}.
+        let serde_json::Value::Object(event) = &e["event"] else { panic!("{line}") };
+        let (kind, payload) = event.first().expect("tagged event");
+        let kind = kind.clone();
+        if kind == "QueryFinished" {
+            assert_eq!(
+                sorted_keys(payload),
+                [
+                    "bindings",
+                    "drift",
+                    "dur_ns",
+                    "fingerprint",
+                    "index_lookups",
+                    "predicted_lookups",
+                    "predicted_rows",
+                    "records_read",
+                    "rows_scanned",
+                    "run",
+                    "slow",
+                    "steps",
+                    "t1_ns",
+                    "t2_ns",
+                    "trace"
+                ]
+            );
+            assert_eq!(payload.get("slow"), Some(&serde_json::Value::Bool(true)), "{line}");
+        }
+        kinds.push(kind);
+    }
+    for expected in ["QueryStarted", "PlanStep", "QueryFinished"] {
+        assert!(kinds.iter().any(|k| k == expected), "missing {expected} in {kinds:?}");
+    }
+
+    // Text mode renders seq/kind and honours --last.
+    let out = tprov(&["tail", "--db", db.arg(), "--last", "1"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert_eq!(text.lines().count(), 1, "{text}");
+    assert!(text.contains("QueryFinished"), "{text}");
+
+    // The slow log got the threshold-0 entry and `slow` aggregates it.
+    let out = tprov(&["slow", "--db", db.arg(), "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let report: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(sorted_keys(&report), ["aggregates", "drift_entries", "entries"]);
+    let aggs = report["aggregates"].as_array().unwrap();
+    assert!(!aggs.is_empty());
+    assert_eq!(
+        sorted_keys(&aggs[0]),
+        ["count", "drift_count", "fingerprint", "max_us", "query", "slow_count", "total_us"]
+    );
+    assert_eq!(aggs[0]["query"].as_str(), Some("lin(<2TO1_FINAL:Y[0,1]>, {LISTGEN_1})"));
+}
+
+/// A deliberately skewed fan-out ([1 element] next to [40 elements])
+/// violates the cost model's uniform-branching assumption: the observed
+/// rows blow past the prediction, the finished query is drift-flagged
+/// into the slow log, and `tprov slow` reports the misprediction — the
+/// ISSUE's acceptance scenario.
+#[test]
+fn skewed_fanout_flags_cost_model_drift() {
+    let db = TempDb::new("drift");
+    let wf_path = format!("{}.skew.json", db.arg());
+    {
+        use prov_dataflow::{BaseType, DataflowBuilder, PortType};
+        let mut b = DataflowBuilder::new("skew");
+        b.input("xss", PortType::nested(BaseType::String, 2));
+        b.processor_with_behavior("U", "string_upper")
+            .in_port("x", PortType::atom(BaseType::String))
+            .out_port("y", PortType::atom(BaseType::String));
+        b.arc_from_input("xss", "U", "x").unwrap();
+        b.output("yss", PortType::nested(BaseType::String, 2));
+        b.arc_to_output("U", "y", "yss").unwrap();
+        std::fs::write(&wf_path, serde_json::to_string(&b.build().unwrap()).unwrap()).unwrap();
+    }
+    let atoms: Vec<String> = (0..40).map(|i| format!(r#"{{"Atom":{{"Str":"b{i}"}}}}"#)).collect();
+    let input = format!(
+        r#"xss={{"List":[{{"List":[{{"Atom":{{"Str":"a"}}}}]}},{{"List":[{}]}}]}}"#,
+        atoms.join(",")
+    );
+    let out = tprov(&["run", "--db", db.arg(), "--workflow", &wf_path, "--input", &input]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // Query down the skewed branch: the uniform model predicts ~sqrt(41)
+    // rows per level, the scan actually walks 40.
+    let out = tprov(&[
+        "query",
+        "--db",
+        db.arg(),
+        "--workflow",
+        &wf_path,
+        "--query",
+        "lin(<skew:yss[1]>, {skew})",
+        "--algo",
+        "indexproj",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("40 binding(s)"), "{}", stdout(&out));
+
+    let slow_log =
+        std::fs::read_to_string(format!("{}.slow.jsonl", db.arg())).expect("slow log written");
+    let entry: serde_json::Value = serde_json::from_str(slow_log.lines().next().unwrap()).unwrap();
+    assert_eq!(entry["drift"], serde_json::Value::Bool(true), "{entry:?}");
+    assert_eq!(entry["slow"], serde_json::Value::Bool(false), "drift alone logged {entry:?}");
+    assert!(json_u64(&entry["predicted_rows"]) < 40, "{entry:?}");
+
+    let out = tprov(&["slow", "--db", db.arg()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("1 drift-flagged"), "{text}");
+    assert!(text.contains("lin(<skew:yss[1]>, {skew})"), "{text}");
+
+    // The run phase journalled too: engine/store events in the sidecar.
+    let journal =
+        std::fs::read_to_string(format!("{}.journal.jsonl", db.arg())).expect("journal written");
+    assert!(journal.contains("IngestBatch"), "{journal}");
     let _ = std::fs::remove_file(&wf_path);
 }
 

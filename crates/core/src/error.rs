@@ -24,6 +24,13 @@ pub enum CoreError {
         /// The error-level findings, in stable diagnostic order.
         findings: Vec<prov_dataflow::Diagnostic>,
     },
+    /// A [`QueryCtx`](prov_obs::QueryCtx) deadline passed mid-execution;
+    /// the query was abandoned between steps. Work already performed is
+    /// still reflected in the store counters and journal.
+    DeadlineExceeded {
+        /// The query's source text.
+        query: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +47,9 @@ impl fmt::Display for CoreError {
                     write!(f, "; {d}")?;
                 }
                 Ok(())
+            }
+            CoreError::DeadlineExceeded { query } => {
+                write!(f, "query {query:?} abandoned: deadline exceeded")
             }
         }
     }

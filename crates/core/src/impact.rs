@@ -17,9 +17,10 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use prov_model::{Binding, Index, PortRef, ProcessorName, RunId};
+use prov_obs::{JournalEvent, Obs, QueryCtx};
 use prov_store::{ReadView, TraceStore};
 
-use crate::{FocusSet, LineageAnswer, Result};
+use crate::{CoreError, FocusSet, LineageAnswer, Result};
 
 /// A forward query: starting from element `index` of the value on
 /// `source`, collect the bindings at the interesting processors along
@@ -76,7 +77,37 @@ impl NaiveImpact {
     /// Answers `query` against an already-pinned read snapshot; the whole
     /// forward traversal is lock-free after the pin.
     pub fn run_pinned(&self, view: &ReadView, query: &ImpactQuery) -> Result<LineageAnswer> {
+        self.run_pinned_inner(view, query, &Obs::disabled(), None)
+    }
+
+    /// [`NaiveImpact::run`] under a [`QueryCtx`]: journals
+    /// `QueryStarted`/`QueryFinished` with the traversal's exact probe
+    /// totals and enforces the deadline between hops.
+    pub fn run_ctx(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &ImpactQuery,
+        obs: &Obs,
+        ctx: &QueryCtx,
+    ) -> Result<LineageAnswer> {
+        self.run_pinned_inner(&store.pin(run), query, obs, Some(ctx))
+    }
+
+    fn run_pinned_inner(
+        &self,
+        view: &ReadView,
+        query: &ImpactQuery,
+        obs: &Obs,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<LineageAnswer> {
+        let started = std::time::Instant::now();
         let run = view.run();
+        if let Some(c) = ctx {
+            obs.journal
+                .record(JournalEvent::QueryStarted { trace: c.trace, query: c.query.clone() });
+        }
+        let mut probe = view.probe_guard();
         let mut visited: HashSet<(ProcessorName, Arc<str>, Index)> = HashSet::new();
         let mut stack =
             vec![(query.source.processor.clone(), query.source.port.clone(), query.index.clone())];
@@ -87,13 +118,18 @@ impl NaiveImpact {
             if !visited.insert(node.clone()) {
                 continue;
             }
+            if let Some(c) = ctx {
+                if c.deadline_exceeded() {
+                    return Err(CoreError::DeadlineExceeded { query: c.query.clone() });
+                }
+            }
             let (processor, port, index) = node;
             let focused = query.focus.contains(&processor);
 
             // Forward xform case: invocations that consumed this binding;
             // their outputs are impacted.
             trace_queries += 1;
-            let consumers = view.xforms_consuming(&processor, &port, &index);
+            let consumers = view.xforms_consuming_stats(&processor, &port, &index, &mut probe);
             for rec in &consumers {
                 // Only invocations whose THIS-port input actually overlaps.
                 for output in rec.outputs() {
@@ -103,7 +139,7 @@ impl NaiveImpact {
 
             // Forward xfer case: transfers leaving this binding.
             trace_queries += 1;
-            let outgoing = view.xfers_from(&processor, &port, &index);
+            let outgoing = view.xfers_from_stats(&processor, &port, &index, &mut probe);
             for rec in &outgoing {
                 if query.focus.contains(&rec.dst_processor) {
                     // Collect the impacted element at the destination when
@@ -140,6 +176,30 @@ impl NaiveImpact {
             }
         }
 
+        if let Some(c) = ctx {
+            let dur = started.elapsed();
+            let totals = probe.so_far();
+            obs.journal.record(JournalEvent::QueryFinished {
+                trace: c.trace,
+                run: run.0,
+                fingerprint: c.fingerprint,
+                steps: trace_queries as u32,
+                bindings: bindings.len() as u64,
+                // The forward traversal interleaves graph bookkeeping and
+                // trace access; all time is charged to t2 (trace work
+                // dominates, as in the NI baseline).
+                t1_ns: 0,
+                t2_ns: dur.as_nanos() as u64,
+                dur_ns: dur.as_nanos() as u64,
+                index_lookups: totals.index_lookups,
+                records_read: totals.records_read,
+                rows_scanned: totals.rows_scanned,
+                predicted_lookups: c.predicted_lookups,
+                predicted_rows: c.predicted_rows,
+                drift: false,
+                slow: c.is_slow(dur),
+            });
+        }
         Ok(LineageAnswer::new(run, bindings, trace_queries, visited.len()))
     }
 

@@ -28,10 +28,10 @@ use serde::{Deserialize, Serialize};
 
 use prov_dataflow::{ArcDst, ArcSrc, Dataflow, DepthInfo, ProcessorKind};
 use prov_model::{Binding, Index, ProcessorName, RunId};
-use prov_obs::Obs;
-use prov_store::{ReadView, TraceStore};
+use prov_obs::{JournalEvent, Obs, QueryCtx};
+use prov_store::{ProbeStats, ReadView, TraceStore};
 
-use crate::{CoreError, FocusSet, LineageAnswer, LineageQuery, Result};
+use crate::{CoreError, CostEstimate, FocusSet, LineageAnswer, LineageQuery, Result};
 
 /// What a plan step reads from the trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -77,11 +77,22 @@ pub struct LineagePlan {
 impl LineagePlan {
     /// One step's resolved bindings — independent of every other step, so
     /// steps can execute in any order or concurrently. Reads only the
-    /// pinned view: no store lock is touched.
-    fn step_bindings(view: &ReadView, step: &PlanStep) -> Result<Vec<Binding>> {
+    /// pinned view: no store lock is touched. Probe work accumulates into
+    /// `probe` (the caller owns the flush into the shared counters), so
+    /// each step's exact cost is attributable even when steps run
+    /// concurrently on worker threads.
+    fn step_bindings(
+        view: &ReadView,
+        step: &PlanStep,
+        probe: &mut ProbeStats,
+    ) -> Result<Vec<Binding>> {
         let stored = match step.kind {
-            StepKind::XformInput => view.input_bindings(&step.processor, &step.port, &step.index),
-            StepKind::XferSrc => view.xfer_src_bindings(&step.processor, &step.port, &step.index),
+            StepKind::XformInput => {
+                view.input_bindings_stats(&step.processor, &step.port, &step.index, probe)
+            }
+            StepKind::XferSrc => {
+                view.xfer_src_bindings_stats(&step.processor, &step.port, &step.index, probe)
+            }
         };
         stored.iter().map(|b| view.resolve(b).map_err(CoreError::Store)).collect()
     }
@@ -105,50 +116,160 @@ impl LineagePlan {
         self.execute_pinned(&store.pin(run), obs)
     }
 
+    /// [`LineagePlan::execute_with`] under a [`QueryCtx`]: journal events
+    /// (`QueryStarted`/`PlanStep`/`QueryFinished`) are stamped with the
+    /// context's trace id, the deadline is enforced between steps, and the
+    /// attached cost prediction (if any) is drift-checked on completion.
+    pub fn execute_ctx(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        obs: &Obs,
+        ctx: &QueryCtx,
+    ) -> Result<LineageAnswer> {
+        self.execute_pinned_ctx(&store.pin(run), obs, ctx)
+    }
+
     /// Executes the plan against an already-pinned read snapshot. The
     /// answer is for the view's run *as of the pin*: events recorded after
     /// [`TraceStore::pin`] returned are not visible, which makes answers
     /// stable even while an engine is streaming into the same store.
     pub fn execute_pinned(&self, view: &ReadView, obs: &Obs) -> Result<LineageAnswer> {
-        self.execute_view(view, obs, self.steps.len() >= crate::par::STEP_FANOUT_MIN)
+        self.execute_view(view, obs, self.steps.len() >= crate::par::STEP_FANOUT_MIN, None)
     }
 
-    /// Per-step `index_lookups`/`records_read` span arguments are deltas of
-    /// the store's shared counters, so they are attached only when steps
-    /// run sequentially within this call (the common focused-query case);
-    /// under scoped-thread fan-out concurrent steps would interleave in the
-    /// shared counters, so fanned steps carry only their exact `rows`.
-    fn execute_view(&self, view: &ReadView, obs: &Obs, fan_steps: bool) -> Result<LineageAnswer> {
+    /// [`LineagePlan::execute_pinned`] under a [`QueryCtx`].
+    pub fn execute_pinned_ctx(
+        &self,
+        view: &ReadView,
+        obs: &Obs,
+        ctx: &QueryCtx,
+    ) -> Result<LineageAnswer> {
+        self.execute_view(view, obs, self.steps.len() >= crate::par::STEP_FANOUT_MIN, Some(ctx))
+    }
+
+    /// Each step counts its probe work into a step-local [`ProbeStats`]
+    /// (flushed into the shared counters exactly once, on drop — early
+    /// returns and panics included), so span arguments and `PlanStep`
+    /// journal events carry the step's *exact* cost even when steps fan
+    /// out across worker threads under `TPROV_QUERY_THREADS`.
+    fn execute_view(
+        &self,
+        view: &ReadView,
+        obs: &Obs,
+        fan_steps: bool,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<LineageAnswer> {
+        use std::time::Instant;
         let profiling = obs.profiler.is_enabled();
-        let timed_step = |step: &PlanStep| -> Result<Vec<Binding>> {
-            if !profiling {
-                return Self::step_bindings(view, step);
+        let observing = profiling || ctx.is_some();
+        let started = Instant::now();
+        let run_u64 = view.run().0;
+        if let Some(c) = ctx {
+            obs.journal
+                .record(JournalEvent::QueryStarted { trace: c.trace, query: c.query.clone() });
+        }
+        // (bindings, step-local probe counters, step duration).
+        type StepOut = (Vec<Binding>, ProbeStats, u64);
+        let timed_step = |&(idx, step): &(usize, &PlanStep)| -> Result<StepOut> {
+            if let Some(c) = ctx {
+                if c.deadline_exceeded() {
+                    return Err(CoreError::DeadlineExceeded { query: c.query.clone() });
+                }
             }
-            let before = view.stats().snapshot();
+            if !observing {
+                let mut guard = view.probe_guard();
+                let out = Self::step_bindings(view, step, &mut guard)?;
+                return Ok((out, ProbeStats::new(), 0));
+            }
+            let before = Instant::now();
             let mut span = obs.span("indexproj.step", "t2");
-            let out = Self::step_bindings(view, step);
-            if !fan_steps {
-                let delta = view.stats().snapshot().since(before);
-                span.arg("index_lookups", delta.index_lookups);
-                span.arg("records_read", delta.records_read);
+            let local = {
+                let mut guard = view.probe_guard();
+                let out = Self::step_bindings(view, step, &mut guard);
+                (out, guard.so_far())
+                // guard drops here: the step's counters reach the shared
+                // totals even when `out` is an error.
+            };
+            let (out, local) = local;
+            let dur_ns = before.elapsed().as_nanos() as u64;
+            span.arg("index_lookups", local.index_lookups);
+            span.arg("records_read", local.records_read);
+            span.arg("rows_scanned", local.rows_scanned);
+            let rows = out.as_ref().map_or(0, |r| r.len() as u64);
+            if out.is_ok() {
+                span.arg("rows", rows);
             }
-            if let Ok(rows) = &out {
-                span.arg("rows", rows.len() as u64);
+            if let Some(c) = ctx {
+                obs.journal.record(JournalEvent::PlanStep {
+                    trace: c.trace,
+                    run: run_u64,
+                    step: idx as u32,
+                    index_lookups: local.index_lookups,
+                    records_read: local.records_read,
+                    rows_scanned: local.rows_scanned,
+                    rows,
+                    dur_ns,
+                });
             }
-            out
+            out.map(|b| (b, local, dur_ns))
         };
-        let per_step: Vec<Result<Vec<Binding>>> = if fan_steps {
-            crate::par::parallel_map(&self.steps, timed_step)
+        let indexed: Vec<(usize, &PlanStep)> = self.steps.iter().enumerate().collect();
+        let per_step: Vec<Result<StepOut>> = if fan_steps {
+            crate::par::parallel_map(&indexed, timed_step)
         } else {
-            self.steps.iter().map(timed_step).collect()
+            indexed.iter().map(timed_step).collect()
         };
         let mut assemble = obs.span("indexproj.assemble", "t1");
         let mut bindings: Vec<Binding> = Vec::new();
+        let mut totals = ProbeStats::new();
+        let mut t2_ns = 0u64;
         for step_result in per_step {
-            bindings.extend(step_result?);
+            let (step_bindings, local, dur_ns) = step_result?;
+            totals.index_lookups += local.index_lookups;
+            totals.records_read += local.records_read;
+            totals.rows_scanned += local.rows_scanned;
+            t2_ns += dur_ns;
+            bindings.extend(step_bindings);
         }
         assemble.arg("bindings", bindings.len() as u64);
         assemble.stop();
+        if let Some(c) = ctx {
+            let dur = started.elapsed();
+            let dur_ns = dur.as_nanos() as u64;
+            let actual_rows = totals.records_read + totals.rows_scanned;
+            let drift = match (c.predicted_lookups, c.predicted_rows) {
+                (Some(lookups), Some(rows)) => {
+                    let est = CostEstimate {
+                        per_step: vec![],
+                        index_lookups: lookups,
+                        rows_scanned: rows,
+                        grounded: c.rows_grounded,
+                    };
+                    !est.check(totals.index_lookups, actual_rows, c.tolerance).ok
+                }
+                _ => false,
+            };
+            obs.journal.record(JournalEvent::QueryFinished {
+                trace: c.trace,
+                run: run_u64,
+                fingerprint: c.fingerprint,
+                steps: self.steps.len() as u32,
+                bindings: bindings.len() as u64,
+                // Under fan-out t2 sums worker time, which can exceed the
+                // wall clock; t1 is the remainder when there is one.
+                t1_ns: dur_ns.saturating_sub(t2_ns),
+                t2_ns,
+                dur_ns,
+                index_lookups: totals.index_lookups,
+                records_read: totals.records_read,
+                rows_scanned: totals.rows_scanned,
+                predicted_lookups: c.predicted_lookups,
+                predicted_rows: c.predicted_rows,
+                drift,
+                slow: c.is_slow(dur),
+            });
+        }
         Ok(LineageAnswer::new(view.run(), bindings, self.steps.len(), self.nodes_visited))
     }
 
@@ -176,12 +297,39 @@ impl LineagePlan {
         runs: &[RunId],
         obs: &Obs,
     ) -> Result<Vec<LineageAnswer>> {
+        self.execute_multi_inner(store, runs, obs, None)
+    }
+
+    /// [`LineagePlan::execute_multi_with`] under a [`QueryCtx`]: every
+    /// run's execution shares the context's trace id and emits its own
+    /// `QueryFinished` (carrying the run id), so a multi-run sweep
+    /// reassembles into per-run totals from the journal alone.
+    pub fn execute_multi_ctx(
+        &self,
+        store: &TraceStore,
+        runs: &[RunId],
+        obs: &Obs,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<LineageAnswer>> {
+        self.execute_multi_inner(store, runs, obs, Some(ctx))
+    }
+
+    fn execute_multi_inner(
+        &self,
+        store: &TraceStore,
+        runs: &[RunId],
+        obs: &Obs,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<Vec<LineageAnswer>> {
         if runs.len() >= crate::par::RUN_FANOUT_MIN {
-            crate::par::parallel_map(runs, |&r| self.execute_view(&store.pin(r), obs, false))
+            crate::par::parallel_map(runs, |&r| self.execute_view(&store.pin(r), obs, false, ctx))
                 .into_iter()
                 .collect()
         } else {
-            runs.iter().map(|&r| self.execute_with(store, r, obs)).collect()
+            // Few runs: keep the per-run step fan-out decision of the
+            // single-run path.
+            let fan = self.steps.len() >= crate::par::STEP_FANOUT_MIN;
+            runs.iter().map(|&r| self.execute_view(&store.pin(r), obs, fan, ctx)).collect()
         }
     }
 }
@@ -320,6 +468,20 @@ impl<'a> IndexProj<'a> {
         obs: &Obs,
     ) -> Result<Vec<LineageAnswer>> {
         self.plan_with(query, obs)?.execute_multi_with(store, runs, obs)
+    }
+
+    /// Plans and executes under a [`QueryCtx`] (trace-id stamping,
+    /// deadline enforcement, drift check — see
+    /// [`LineagePlan::execute_ctx`]).
+    pub fn run_ctx(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &LineageQuery,
+        obs: &Obs,
+        ctx: &QueryCtx,
+    ) -> Result<LineageAnswer> {
+        self.plan_with(query, obs)?.execute_ctx(store, run, obs, ctx)
     }
 }
 

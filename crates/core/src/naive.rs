@@ -18,10 +18,10 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use prov_model::{Binding, Index, ProcessorName, RunId};
-use prov_obs::Obs;
+use prov_obs::{JournalEvent, Obs, QueryCtx};
 use prov_store::{ReadView, TraceStore};
 
-use crate::{LineageAnswer, LineageQuery, Result};
+use crate::{CoreError, LineageAnswer, LineageQuery, Result};
 
 /// The naïve lineage query processor.
 #[derive(Debug, Default, Clone, Copy)]
@@ -70,7 +70,43 @@ impl NaiveLineage {
         query: &LineageQuery,
         obs: &Obs,
     ) -> Result<LineageAnswer> {
+        self.run_pinned_inner(view, query, obs, None)
+    }
+
+    /// [`NaiveLineage::run_with`] under a [`QueryCtx`]: the traversal's
+    /// trace accesses accumulate into query-local counters (journalled as
+    /// one `QueryFinished` with exact totals — per-hop events would swamp
+    /// the ring on deep graphs), and the deadline is enforced between
+    /// hops.
+    pub fn run_ctx(
+        &self,
+        store: &TraceStore,
+        run: RunId,
+        query: &LineageQuery,
+        obs: &Obs,
+        ctx: &QueryCtx,
+    ) -> Result<LineageAnswer> {
+        self.run_pinned_inner(&store.pin(run), query, obs, Some(ctx))
+    }
+
+    fn run_pinned_inner(
+        &self,
+        view: &ReadView,
+        query: &LineageQuery,
+        obs: &Obs,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<LineageAnswer> {
+        let started = std::time::Instant::now();
         let run = view.run();
+        if let Some(c) = ctx {
+            obs.journal
+                .record(JournalEvent::QueryStarted { trace: c.trace, query: c.query.clone() });
+        }
+        // One guard spans the whole traversal: exactly one flush into the
+        // shared counters, even if a hop errors out (or the deadline
+        // fires) partway through.
+        let mut probe = view.probe_guard();
+        let mut t2_ns = 0u64;
         let mut traverse = obs.span("ni.traverse", "query");
         let mut visited: HashSet<(ProcessorName, Arc<str>, Index)> = HashSet::new();
         let mut stack: Vec<(ProcessorName, Arc<str>, Index, u64)> = vec![(
@@ -87,13 +123,19 @@ impl NaiveLineage {
             if !visited.insert((processor.clone(), port.clone(), index.clone())) {
                 continue;
             }
+            if let Some(c) = ctx {
+                if c.deadline_exceeded() {
+                    return Err(CoreError::DeadlineExceeded { query: c.query.clone() });
+                }
+            }
+            let hop_start = ctx.map(|_| std::time::Instant::now());
             max_depth = max_depth.max(depth);
             let mut hop = obs.span("ni.hop", "t2");
             hop.arg("depth", depth);
 
             // xform case: the node as an invocation output.
             trace_queries += 1;
-            let producers = view.xforms_producing(&processor, &port, &index);
+            let producers = view.xforms_producing_stats(&processor, &port, &index, &mut probe);
             let focused = query.focus.contains(&processor);
             for rec in &producers {
                 for input in rec.inputs() {
@@ -117,7 +159,7 @@ impl NaiveLineage {
 
             // xfer case: the node as an arc destination.
             trace_queries += 1;
-            let incoming = view.xfers_into(&processor, &port, &index);
+            let incoming = view.xfers_into_stats(&processor, &port, &index, &mut probe);
             for rec in &incoming {
                 stack.push((
                     rec.src_processor.clone(),
@@ -139,24 +181,62 @@ impl NaiveLineage {
                 } else {
                     trace_queries += 1;
                     let scope_prefix = format!("{processor}/");
-                    view.xfers_from(&processor, &port, &index).iter().any(|r| {
+                    view.xfers_from_stats(&processor, &port, &index, &mut probe).iter().any(|r| {
                         r.dst_processor.as_str().starts_with(&scope_prefix)
                             || r.dst_processor == processor
                     })
                 };
                 if is_source || is_scope_input {
                     trace_queries += 1;
-                    for b in view.xfer_src_bindings(&processor, &port, &index) {
+                    for b in view.xfer_src_bindings_stats(&processor, &port, &index, &mut probe) {
                         bindings.push(view.resolve(&b)?);
                     }
                 }
             }
             hop.stop();
+            if let Some(t) = hop_start {
+                t2_ns += t.elapsed().as_nanos() as u64;
+            }
         }
 
         traverse.arg("nodes", visited.len() as u64);
         traverse.arg("max_depth", max_depth);
         traverse.stop();
+        if let Some(c) = ctx {
+            let dur = started.elapsed();
+            let dur_ns = dur.as_nanos() as u64;
+            let totals = probe.so_far();
+            let actual_rows = totals.records_read + totals.rows_scanned;
+            let drift = match (c.predicted_lookups, c.predicted_rows) {
+                (Some(lookups), Some(rows)) => {
+                    let est = crate::CostEstimate {
+                        per_step: vec![],
+                        index_lookups: lookups,
+                        rows_scanned: rows,
+                        grounded: c.rows_grounded,
+                    };
+                    !est.check(totals.index_lookups, actual_rows, c.tolerance).ok
+                }
+                _ => false,
+            };
+            obs.journal.record(JournalEvent::QueryFinished {
+                trace: c.trace,
+                run: run.0,
+                fingerprint: c.fingerprint,
+                steps: trace_queries as u32,
+                bindings: bindings.len() as u64,
+                t1_ns: dur_ns.saturating_sub(t2_ns),
+                t2_ns,
+                dur_ns,
+                index_lookups: totals.index_lookups,
+                records_read: totals.records_read,
+                rows_scanned: totals.rows_scanned,
+                predicted_lookups: c.predicted_lookups,
+                predicted_rows: c.predicted_rows,
+                drift,
+                slow: c.is_slow(dur),
+            });
+        }
         Ok(LineageAnswer::new(run, bindings, trace_queries, visited.len()))
     }
 
@@ -190,6 +270,31 @@ impl NaiveLineage {
                 .collect()
         } else {
             runs.iter().map(|&r| self.run_with(store, r, query, obs)).collect()
+        }
+    }
+
+    /// [`NaiveLineage::run_multi_with`] under a [`QueryCtx`]: every run's
+    /// traversal journals its own `QueryStarted`/`QueryFinished` pair
+    /// under the shared trace id, so per-query totals reassemble even
+    /// when runs fan out across threads.
+    pub fn run_multi_ctx(
+        &self,
+        store: &TraceStore,
+        runs: &[RunId],
+        query: &LineageQuery,
+        obs: &Obs,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<LineageAnswer>> {
+        if runs.len() >= crate::par::RUN_FANOUT_MIN {
+            crate::par::parallel_map(runs, |&r| {
+                self.run_pinned_inner(&store.pin(r), query, obs, Some(ctx))
+            })
+            .into_iter()
+            .collect()
+        } else {
+            runs.iter()
+                .map(|&r| self.run_pinned_inner(&store.pin(r), query, obs, Some(ctx)))
+                .collect()
         }
     }
 }

@@ -37,6 +37,10 @@ pub struct PlanCache<'a> {
     buckets: Mutex<HashMap<u64, Bucket>>,
     hits: Counter,
     misses: Counter,
+    /// Optional event journal; every compile (cache miss) is recorded as
+    /// a `PlanCacheMiss` with the query's fingerprint. Disabled by
+    /// default (one branch per miss).
+    journal: prov_obs::Journal,
 }
 
 /// Point-in-time hit/miss counters of a [`PlanCache`].
@@ -56,7 +60,15 @@ impl<'a> PlanCache<'a> {
             buckets: Mutex::new(HashMap::new()),
             hits: Counter::standalone(),
             misses: Counter::standalone(),
+            journal: prov_obs::Journal::disabled(),
         }
+    }
+
+    /// Attaches an event journal: cache misses (plan compiles) are
+    /// recorded as `PlanCacheMiss` events keyed by query fingerprint.
+    pub fn with_journal(mut self, journal: &prov_obs::Journal) -> Self {
+        self.journal = journal.clone();
+        self
     }
 
     /// Adopts the hit/miss counters into `registry` as `plan_cache.hits`
@@ -66,9 +78,11 @@ impl<'a> PlanCache<'a> {
         registry.adopt_counter("plan_cache.misses", &self.misses);
     }
 
-    /// The query's bucket key: one hash over the whole query, computed
-    /// once per lookup.
-    fn query_hash(query: &LineageQuery) -> u64 {
+    /// The query's stable fingerprint: one hash over the whole query
+    /// (target, index and focus set). Doubles as the cache bucket key and
+    /// as the plan fingerprint in journal events and the slow-query log,
+    /// so `tprov slow` aggregates line up with `PlanCacheMiss` events.
+    pub fn fingerprint(query: &LineageQuery) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         query.hash(&mut h);
         h.finish()
@@ -76,7 +90,7 @@ impl<'a> PlanCache<'a> {
 
     /// The plan for `query`, compiled at most once.
     pub fn plan(&self, query: &LineageQuery) -> Result<Arc<LineagePlan>> {
-        let key = Self::query_hash(query);
+        let key = Self::fingerprint(query);
         if let Some(bucket) = self.buckets.lock().get(&key) {
             if let Some((_, p)) = bucket.iter().find(|(q, _)| q == query) {
                 self.hits.inc();
@@ -96,6 +110,7 @@ impl<'a> PlanCache<'a> {
         }
         bucket.push((query.clone(), Arc::clone(&plan)));
         self.misses.inc();
+        self.journal.record(prov_obs::JournalEvent::PlanCacheMiss { fingerprint: key });
         Ok(plan)
     }
 

@@ -63,6 +63,9 @@ struct EngineMetrics {
     failed_invocations: Counter,
     /// Per-attempt behavior latency in clock microseconds.
     attempt_micros: Histogram,
+    /// Event-journal handle (shares the `Obs` journal); ingest batches and
+    /// retries are recorded as journal events. Disabled: one branch each.
+    journal: prov_obs::Journal,
 }
 
 impl EngineMetrics {
@@ -75,6 +78,7 @@ impl EngineMetrics {
             retries: obs.metrics.counter("engine.retries"),
             failed_invocations: obs.metrics.counter("engine.failed_invocations"),
             attempt_micros: obs.metrics.histogram("engine.attempt_micros"),
+            journal: obs.journal.clone(),
         }
     }
 }
@@ -92,6 +96,10 @@ fn flush_batch(
     if !batch.is_empty() {
         metrics.batches.inc();
         metrics.batch_size.record(batch.len() as u64);
+        metrics.journal.record(prov_obs::JournalEvent::IngestBatch {
+            run: run_id.0,
+            records: batch.len() as u64,
+        });
         sink.record_batch(run_id, std::mem::take(batch));
     }
 }
@@ -804,6 +812,10 @@ impl Engine {
                         return Err((message, attempt));
                     }
                     self.metrics.retries.inc();
+                    self.metrics.journal.record(prov_obs::JournalEvent::Retry {
+                        processor: pname.to_string(),
+                        attempt: u64::from(attempt),
+                    });
                     self.clock.sleep_micros(policy.delay_micros(attempt, salt));
                 }
             }

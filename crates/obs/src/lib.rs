@@ -22,32 +22,57 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+mod journal;
 mod metrics;
 mod profiler;
 
+pub use journal::{
+    chrome_instant_events, slow_threshold_from_env, Journal, JournalEvent, QueryCtx, Stamped,
+    TraceId, DEFAULT_JOURNAL_CAP, JOURNAL_CAP_ENV, SLOW_QUERY_ENV,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use profiler::{ChromeEvent, Profiler, SpanAgg, SpanGuard, SpanRecord};
 
-/// A metrics registry and a profiler, bundled for threading through
-/// query/engine entry points as one handle.
+/// A metrics registry, a profiler, and an event journal, bundled for
+/// threading through query/engine entry points as one handle.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// The metrics registry.
     pub metrics: Registry,
     /// The span profiler.
     pub profiler: Profiler,
+    /// The structured event journal.
+    pub journal: Journal,
 }
 
 impl Obs {
-    /// Enabled metrics and profiling.
+    /// Enabled metrics, profiling, and journal. The journal shares the
+    /// profiler's time origin, so journal instants and profiler spans
+    /// line up on one Chrome-trace timeline.
     pub fn enabled() -> Self {
-        Obs { metrics: Registry::new(), profiler: Profiler::new() }
+        let origin = std::time::Instant::now();
+        Obs {
+            metrics: Registry::new(),
+            profiler: Profiler::with_origin(origin),
+            journal: Journal::with_origin(DEFAULT_JOURNAL_CAP, origin),
+        }
     }
 
-    /// No-op observability; construction is free (two `None`s) and every
-    /// instrumented operation is a single branch.
+    /// No-op observability; construction is free (three `None`s) and
+    /// every instrumented operation is a single branch.
     pub fn disabled() -> Self {
-        Obs { metrics: Registry::disabled(), profiler: Profiler::disabled() }
+        Obs {
+            metrics: Registry::disabled(),
+            profiler: Profiler::disabled(),
+            journal: Journal::disabled(),
+        }
+    }
+
+    /// Replaces the journal (e.g. with a shared env-sized ring) while
+    /// keeping the other sides as they are.
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
     }
 
     /// Shorthand for [`Profiler::span`].
@@ -69,16 +94,20 @@ mod tests {
         let obs = Obs::disabled();
         obs.span("x", "t1").stop();
         obs.metrics.counter("c").inc();
+        obs.journal.record(JournalEvent::WalSync { frames: 1, bytes: 1 });
         assert!(obs.profiler.spans().is_empty());
         assert!(obs.metrics.snapshot().is_empty());
+        assert!(obs.journal.drain().is_empty());
     }
 
     #[test]
-    fn enabled_obs_records_both_sides() {
+    fn enabled_obs_records_all_sides() {
         let obs = Obs::enabled();
         obs.span("x", "t1").stop();
         obs.metrics.counter("c").inc();
+        obs.journal.record(JournalEvent::WalSync { frames: 1, bytes: 1 });
         assert_eq!(obs.profiler.spans().len(), 1);
         assert_eq!(obs.metrics.snapshot().counter("c"), 1);
+        assert_eq!(obs.journal.drain().len(), 1);
     }
 }

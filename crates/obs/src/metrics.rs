@@ -40,6 +40,24 @@ fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        bucket_upper(i - 1) + 1
+    }
+}
+
+/// Midpoint of bucket `i`: the quantile estimate reported for a rank
+/// landing in that bucket. Bounds the relative error to the bucket's
+/// half-width (~±33% of the true value) instead of the upper bound's
+/// systematic ≤2× overestimate.
+fn bucket_midpoint(i: usize) -> u64 {
+    let lo = bucket_lower(i);
+    lo + (bucket_upper(i) - lo) / 2
+}
+
 /// A monotonically increasing event counter.
 ///
 /// Cloning shares the underlying cell; a clone handed to another thread
@@ -163,10 +181,10 @@ impl HistogramCell {
             for (i, c) in counts.iter().enumerate() {
                 seen += c;
                 if seen >= rank {
-                    return bucket_upper(i);
+                    return bucket_midpoint(i);
                 }
             }
-            bucket_upper(BUCKETS - 1)
+            bucket_midpoint(BUCKETS - 1)
         };
         HistogramSnapshot {
             count,
@@ -183,7 +201,9 @@ impl HistogramCell {
 ///
 /// Buckets are powers of two, so recording is branch-free arithmetic on
 /// relaxed atomics; quantiles reported by [`HistogramSnapshot`] are the
-/// upper bound of the bucket containing the rank (≤ 2× overestimate).
+/// midpoint of the bucket containing the rank (midpoint-of-bucket
+/// interpolation, bounded relative error instead of a systematic
+/// overestimate).
 #[derive(Debug, Clone, Default)]
 pub struct Histogram {
     cell: Option<Arc<HistogramCell>>,
@@ -216,6 +236,11 @@ impl Histogram {
     /// Whether this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.cell.is_some()
+    }
+
+    /// A point-in-time summary (empty when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.as_ref().map(|c| c.snapshot()).unwrap_or_default()
     }
 }
 
@@ -353,7 +378,8 @@ impl Registry {
 }
 
 /// Summary of one histogram at snapshot time. Quantiles are log2-bucket
-/// upper bounds, not exact order statistics.
+/// midpoints (midpoint-of-bucket interpolation), not exact order
+/// statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
 pub struct HistogramSnapshot {
     /// Number of observations.
@@ -499,8 +525,74 @@ mod tests {
         assert_eq!(hs.count, 6);
         assert_eq!(hs.sum, 1106);
         assert_eq!(hs.max, 1000);
-        assert!(hs.p50 >= 2, "median bucket upper bound covers 2..3");
-        assert!(hs.p99 >= 1000 && hs.p99 < 2048);
+        assert_eq!(hs.p50, 2, "median rank lands in bucket [2,3], midpoint 2");
+        assert_eq!(hs.p99, 767, "p99 rank lands in bucket [512,1023], midpoint 767");
+        assert!(hs.p99 >= 512 && hs.p99 <= 1023, "estimate stays inside 1000's bucket");
+    }
+
+    #[test]
+    fn quantile_estimates_pin_against_exact_values() {
+        // Constant distribution: every quantile's true value is 100;
+        // the estimator must answer 100's bucket midpoint, [64,127] -> 95.
+        let h = Histogram::standalone();
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        let r = Registry::new();
+        r.adopt_histogram("const", &h);
+        let hs = r.snapshot().histograms["const"];
+        for (est, exact) in [(hs.p50, 100u64), (hs.p95, 100), (hs.p99, 100)] {
+            assert_eq!(est, 95);
+            let err = (est as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.34, "midpoint error {err:.3} exceeds half-bucket bound");
+        }
+
+        // Uniform 1..=1024: exact p50 = 512, p95 = 973, p99 = 1014.
+        let h = Histogram::standalone();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let r = Registry::new();
+        r.adopt_histogram("uniform", &h);
+        let hs = r.snapshot().histograms["uniform"];
+        // Rank 512 = value 512, the first value of bucket [512,1023],
+        // whose midpoint is 767.
+        assert_eq!(hs.p50, 767);
+        assert_eq!(hs.p95, 767, "973 sits in [512,1023] too");
+        assert_eq!(hs.p99, 767);
+        for (est, exact) in [(hs.p50, 512u64), (hs.p95, 973), (hs.p99, 1014)] {
+            let ratio = est as f64 / exact as f64;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "estimate {est} vs exact {exact}: ratio {ratio:.3} outside log2 bucket bound"
+            );
+        }
+
+        // Two-point mass: 90% fast (8), 10% slow (1000). p50 estimates
+        // from bucket [8,15] -> 11, p95/p99 from [512,1023] -> 767.
+        let h = Histogram::standalone();
+        for i in 0..100u64 {
+            h.record(if i < 90 { 8 } else { 1000 });
+        }
+        let r = Registry::new();
+        r.adopt_histogram("bimodal", &h);
+        let hs = r.snapshot().histograms["bimodal"];
+        assert_eq!(hs.p50, 11);
+        assert_eq!(hs.p95, 767);
+        assert_eq!(hs.p99, 767);
+        assert_eq!(hs.max, 1000, "max stays exact");
+    }
+
+    #[test]
+    fn bucket_midpoint_sits_inside_its_bucket() {
+        assert_eq!(bucket_midpoint(0), 0);
+        assert_eq!(bucket_midpoint(1), 1);
+        assert_eq!(bucket_midpoint(2), 2, "bucket [2,3]");
+        assert_eq!(bucket_midpoint(7), 95, "bucket [64,127]");
+        for i in 0..BUCKETS {
+            let m = bucket_midpoint(i);
+            assert!(m >= bucket_lower(i) && m <= bucket_upper(i), "bucket {i}: {m}");
+        }
     }
 
     #[test]

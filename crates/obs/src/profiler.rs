@@ -62,9 +62,15 @@ pub struct Profiler {
 impl Profiler {
     /// An enabled profiler with its origin at the current instant.
     pub fn new() -> Self {
+        Profiler::with_origin(Instant::now())
+    }
+
+    /// An enabled profiler whose timestamps are offsets from `origin` —
+    /// lets other recorders (the event journal) share one timeline.
+    pub fn with_origin(origin: Instant) -> Self {
         Profiler {
             inner: Some(Arc::new(ProfilerInner {
-                origin: Instant::now(),
+                origin,
                 spans: Mutex::new(Vec::new()),
                 tids: Mutex::new(HashMap::new()),
             })),
@@ -148,6 +154,7 @@ impl Profiler {
                 dur: s.dur_ns as f64 / 1000.0,
                 pid: 1,
                 tid: s.tid,
+                s: None,
                 args: s.args.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
             })
             .collect()
@@ -169,23 +176,26 @@ pub struct SpanAgg {
     pub max_ns: u64,
 }
 
-/// One Chrome trace-event (the "complete event" `ph: "X"` flavour).
+/// One Chrome trace-event: a "complete event" (`ph: "X"`) from the
+/// profiler, or an "instant event" (`ph: "i"`) from the journal.
 #[derive(Debug, Clone, Serialize)]
 pub struct ChromeEvent {
     /// Event name shown in the timeline.
     pub name: String,
     /// Comma-separated categories.
     pub cat: String,
-    /// Event phase; always `"X"` (complete event with duration).
+    /// Event phase: `"X"` (complete, with duration) or `"i"` (instant).
     pub ph: &'static str,
     /// Start timestamp in microseconds from the profiler origin.
     pub ts: f64,
-    /// Duration in microseconds.
+    /// Duration in microseconds (0 for instant events).
     pub dur: f64,
     /// Process id (constant 1; the profiler is in-process).
     pub pid: u64,
     /// Dense thread id assigned in first-seen order.
     pub tid: u64,
+    /// Instant-event scope (`"g"` = global); `null` on complete events.
+    pub s: Option<&'static str>,
     /// Numeric span arguments.
     pub args: HashMap<String, u64>,
 }

@@ -51,7 +51,7 @@ pub use fault::{FaultFile, FaultPlan};
 pub use rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
 pub use shard::ReadView;
 pub use snapshot::{CompactionPolicy, SnapshotMetrics};
-pub use stats::{ProbeStats, QueryStats, StatsSnapshot};
+pub use stats::{ProbeGuard, ProbeStats, QueryStats, StatsSnapshot};
 pub use store::{RunInfo, StoreError, TraceStore};
 pub use wal::{
     LogRecord, TailState, WalError, WalFile, WalMetrics, WalReader, WalRecovery, WalWriter,

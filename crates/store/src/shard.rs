@@ -18,7 +18,11 @@
 //! Stats discipline: each `ReadView` method counts its index/record work
 //! into a stack-local [`ProbeStats`] and flushes the totals into the shared
 //! [`QueryStats`] atomics exactly once per call, instead of one atomic RMW
-//! per probe.
+//! per probe. Flushing rides a [`ProbeGuard`] so early returns and panics
+//! still account the work already done. The `*_stats` probe variants
+//! instead count into a **caller-owned** accumulator (and flush nothing):
+//! the query layer uses them to attribute exact per-step costs to
+//! individual queries even when plan steps fan out across worker threads.
 
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
@@ -31,7 +35,7 @@ use crate::rows::{
     PortDirection, StoredBinding, XferRecord, XferRow, XformPortRecord, XformPortRow, XformRecord,
     XformRow,
 };
-use crate::stats::{ProbeStats, QueryStats};
+use crate::stats::{ProbeGuard, ProbeStats, QueryStats};
 use crate::store::StoreError;
 use crate::symbols::{IndexKey, Sym, SymbolTable};
 use crate::values::ValueTable;
@@ -273,6 +277,12 @@ impl ReadView {
         }
     }
 
+    /// A drop-flushed accumulator bound to this view's shared counters,
+    /// for callers composing several `*_stats` probes into one flush.
+    pub fn probe_guard(&self) -> ProbeGuard<'_> {
+        self.stats.probe_guard()
+    }
+
     /// The xform events whose **output** binding on `processor:port`
     /// overlaps `index` (see `TraceStore::xforms_producing`).
     pub fn xforms_producing(
@@ -281,10 +291,21 @@ impl ReadView {
         port: &str,
         index: &Index,
     ) -> Vec<XformRecord> {
-        let mut probe = ProbeStats::new();
+        let mut guard = self.probe_guard();
+        self.xforms_producing_stats(processor, port, index, &mut guard)
+    }
+
+    /// [`ReadView::xforms_producing`], counting into a caller-owned
+    /// accumulator instead of flushing to the shared counters.
+    pub fn xforms_producing_stats(
+        &self,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        probe: &mut ProbeStats,
+    ) -> Vec<XformRecord> {
         let (p, x, key) = self.probe(processor, port, index);
-        let ids = self.shard.idx_xform_out.get_overlapping(self.run, p, x, &key, &mut probe);
-        probe.flush_into(&self.stats);
+        let ids = self.shard.idx_xform_out.get_overlapping(self.run, p, x, &key, probe);
         dedup_ids(ids)
             .into_iter()
             .map(|pos| self.xform_record(&self.shard.xforms[pos as usize]))
@@ -300,10 +321,21 @@ impl ReadView {
         port: &str,
         index: &Index,
     ) -> Vec<XformRecord> {
-        let mut probe = ProbeStats::new();
+        let mut guard = self.probe_guard();
+        self.xforms_consuming_stats(processor, port, index, &mut guard)
+    }
+
+    /// [`ReadView::xforms_consuming`] counting into a caller-owned
+    /// accumulator.
+    pub fn xforms_consuming_stats(
+        &self,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        probe: &mut ProbeStats,
+    ) -> Vec<XformRecord> {
         let (p, x, key) = self.probe(processor, port, index);
-        let ids = self.shard.idx_xform_in.get_overlapping(self.run, p, x, &key, &mut probe);
-        probe.flush_into(&self.stats);
+        let ids = self.shard.idx_xform_in.get_overlapping(self.run, p, x, &key, probe);
         dedup_ids(ids)
             .into_iter()
             .map(|pos| self.xform_record(&self.shard.xforms[pos as usize]))
@@ -318,10 +350,20 @@ impl ReadView {
         port: &str,
         index: &Index,
     ) -> Vec<XferRecord> {
-        let mut probe = ProbeStats::new();
+        let mut guard = self.probe_guard();
+        self.xfers_into_stats(processor, port, index, &mut guard)
+    }
+
+    /// [`ReadView::xfers_into`] counting into a caller-owned accumulator.
+    pub fn xfers_into_stats(
+        &self,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        probe: &mut ProbeStats,
+    ) -> Vec<XferRecord> {
         let (p, x, key) = self.probe(processor, port, index);
-        let ids = self.shard.idx_xfer_dst.get_overlapping(self.run, p, x, &key, &mut probe);
-        probe.flush_into(&self.stats);
+        let ids = self.shard.idx_xfer_dst.get_overlapping(self.run, p, x, &key, probe);
         dedup_ids(ids)
             .into_iter()
             .map(|pos| self.xfer_record(&self.shard.xfers[pos as usize]))
@@ -336,10 +378,20 @@ impl ReadView {
         port: &str,
         index: &Index,
     ) -> Vec<XferRecord> {
-        let mut probe = ProbeStats::new();
+        let mut guard = self.probe_guard();
+        self.xfers_from_stats(processor, port, index, &mut guard)
+    }
+
+    /// [`ReadView::xfers_from`] counting into a caller-owned accumulator.
+    pub fn xfers_from_stats(
+        &self,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        probe: &mut ProbeStats,
+    ) -> Vec<XferRecord> {
         let (p, x, key) = self.probe(processor, port, index);
-        let ids = self.shard.idx_xfer_src.get_overlapping(self.run, p, x, &key, &mut probe);
-        probe.flush_into(&self.stats);
+        let ids = self.shard.idx_xfer_src.get_overlapping(self.run, p, x, &key, probe);
         dedup_ids(ids)
             .into_iter()
             .map(|pos| self.xfer_record(&self.shard.xfers[pos as usize]))
@@ -355,10 +407,21 @@ impl ReadView {
         port: &str,
         index: &Index,
     ) -> Vec<StoredBinding> {
-        let mut probe = ProbeStats::new();
+        let mut guard = self.probe_guard();
+        self.input_bindings_stats(processor, port, index, &mut guard)
+    }
+
+    /// [`ReadView::input_bindings`] counting into a caller-owned
+    /// accumulator.
+    pub fn input_bindings_stats(
+        &self,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        probe: &mut ProbeStats,
+    ) -> Vec<StoredBinding> {
         let (p, x, key) = self.probe(processor, port, index);
-        let ids = self.shard.idx_xform_in.get_overlapping(self.run, p, x, &key, &mut probe);
-        probe.flush_into(&self.stats);
+        let ids = self.shard.idx_xform_in.get_overlapping(self.run, p, x, &key, probe);
         let mut out = Vec::new();
         let mut seen: Vec<(u64, Index)> = Vec::new();
         for pos in dedup_ids(ids) {
@@ -393,10 +456,21 @@ impl ReadView {
         port: &str,
         index: &Index,
     ) -> Vec<StoredBinding> {
-        let mut probe = ProbeStats::new();
+        let mut guard = self.probe_guard();
+        self.xfer_src_bindings_stats(processor, port, index, &mut guard)
+    }
+
+    /// [`ReadView::xfer_src_bindings`] counting into a caller-owned
+    /// accumulator.
+    pub fn xfer_src_bindings_stats(
+        &self,
+        processor: &ProcessorName,
+        port: &str,
+        index: &Index,
+        probe: &mut ProbeStats,
+    ) -> Vec<StoredBinding> {
         let (p, x, key) = self.probe(processor, port, index);
-        let ids = self.shard.idx_xfer_src.get_overlapping(self.run, p, x, &key, &mut probe);
-        probe.flush_into(&self.stats);
+        let ids = self.shard.idx_xfer_src.get_overlapping(self.run, p, x, &key, probe);
         let mut out: Vec<StoredBinding> = Vec::new();
         for pos in dedup_ids(ids) {
             let row = &self.shard.xfers[pos as usize];
@@ -418,24 +492,22 @@ impl ReadView {
     /// exactly this run's rows contiguously, so only those rows are
     /// touched; they are charged as both records read and rows scanned.
     pub fn xforms_of_run(&self) -> Vec<XformRecord> {
+        let mut probe = self.probe_guard();
         let rows: Vec<XformRecord> =
             self.shard.xforms.iter().map(|row| self.xform_record(row)).collect();
-        let mut probe = ProbeStats::new();
         probe.count_rows_scanned(rows.len());
         probe.count_records(rows.len());
-        probe.flush_into(&self.stats);
         rows
     }
 
     /// All xfer rows of the run, in insertion order (see
     /// [`ReadView::xforms_of_run`]).
     pub fn xfers_of_run(&self) -> Vec<XferRecord> {
+        let mut probe = self.probe_guard();
         let rows: Vec<XferRecord> =
             self.shard.xfers.iter().map(|row| self.xfer_record(row)).collect();
-        let mut probe = ProbeStats::new();
         probe.count_rows_scanned(rows.len());
         probe.count_records(rows.len());
-        probe.flush_into(&self.stats);
         rows
     }
 
@@ -444,7 +516,7 @@ impl ReadView {
     pub fn bindings_with_value(&self, value: &Value) -> Vec<StoredBinding> {
         let Some(&vid) = self.values.lookup(value) else { return Vec::new() };
         let Some(rows) = self.shard.idx_by_value.get(&vid) else { return Vec::new() };
-        let mut probe = ProbeStats::new();
+        let mut probe = self.probe_guard();
         probe.count_index_lookup();
         let mut out: Vec<StoredBinding> = Vec::new();
         let mut push = |b: StoredBinding| {
@@ -489,7 +561,6 @@ impl ReadView {
                 }
             }
         }
-        probe.flush_into(&self.stats);
         out
     }
 

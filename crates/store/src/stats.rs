@@ -86,6 +86,55 @@ impl Default for QueryStats {
     }
 }
 
+/// A [`ProbeStats`] accumulator that flushes into shared [`QueryStats`]
+/// when dropped — including on early returns, `?` propagation, and
+/// panics — so work already performed is never lost from the counters.
+///
+/// Derefs to [`ProbeStats`], so probe code counts through it unchanged.
+#[derive(Debug)]
+pub struct ProbeGuard<'a> {
+    stats: &'a QueryStats,
+    probe: ProbeStats,
+}
+
+impl<'a> ProbeGuard<'a> {
+    /// A zeroed accumulator bound to `stats`.
+    pub fn new(stats: &'a QueryStats) -> Self {
+        ProbeGuard { stats, probe: ProbeStats::new() }
+    }
+
+    /// The deltas accumulated so far (they still flush on drop).
+    pub fn so_far(&self) -> ProbeStats {
+        self.probe
+    }
+}
+
+impl std::ops::Deref for ProbeGuard<'_> {
+    type Target = ProbeStats;
+    fn deref(&self) -> &ProbeStats {
+        &self.probe
+    }
+}
+
+impl std::ops::DerefMut for ProbeGuard<'_> {
+    fn deref_mut(&mut self) -> &mut ProbeStats {
+        &mut self.probe
+    }
+}
+
+impl Drop for ProbeGuard<'_> {
+    fn drop(&mut self) {
+        self.probe.flush_into(self.stats);
+    }
+}
+
+impl QueryStats {
+    /// A drop-flushed accumulator bound to these counters.
+    pub fn probe_guard(&self) -> ProbeGuard<'_> {
+        ProbeGuard::new(self)
+    }
+}
+
 /// A point-in-time copy of the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
@@ -227,6 +276,39 @@ mod tests {
         }
         local.flush_into(&batched);
         assert_eq!(direct.snapshot(), batched.snapshot());
+    }
+
+    #[test]
+    fn probe_guard_flushes_on_early_return() {
+        let stats = QueryStats::new();
+        let probe_that_errs = || -> Result<(), String> {
+            let mut probe = stats.probe_guard();
+            probe.count_index_lookup();
+            probe.count_rows_scanned(5);
+            Err("index corrupt".to_string())?;
+            probe.count_records(99); // never reached
+            Ok(())
+        };
+        assert!(probe_that_errs().is_err());
+        let snap = stats.snapshot();
+        assert_eq!(snap.index_lookups, 1, "lookup before the Err is counted");
+        assert_eq!(snap.rows_scanned, 5, "rows scanned before the Err are counted");
+        assert_eq!(snap.records_read, 0);
+    }
+
+    #[test]
+    fn probe_guard_flushes_on_panic() {
+        let stats = QueryStats::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut probe = stats.probe_guard();
+            probe.count_index_lookup();
+            probe.count_records(3);
+            panic!("probe blew up mid-flight");
+        }));
+        assert!(result.is_err());
+        let snap = stats.snapshot();
+        assert_eq!(snap.index_lookups, 1);
+        assert_eq!(snap.records_read, 3);
     }
 
     #[test]

@@ -152,6 +152,9 @@ pub struct TraceStore {
     /// Fault-injection plan new WAL/snapshot writers are created under
     /// (crash-torture only; budgets are per-handle).
     fault_plan: Option<FaultPlan>,
+    /// Optional event journal; WAL syncs and snapshot writes are recorded
+    /// into it once attached (see [`TraceStore::attach_journal`]).
+    journal: std::sync::OnceLock<prov_obs::Journal>,
 }
 
 impl std::fmt::Debug for TraceStore {
@@ -184,6 +187,7 @@ impl TraceStore {
             compaction: Mutex::new(None),
             snapshot_gen: Mutex::new(0),
             fault_plan: None,
+            journal: std::sync::OnceLock::new(),
         }
     }
 
@@ -226,6 +230,7 @@ impl TraceStore {
             compaction: Mutex::new(None),
             snapshot_gen: Mutex::new(0),
             fault_plan: plan,
+            journal: std::sync::OnceLock::new(),
         };
         match recovery.tail {
             TailState::Clean => {}
@@ -464,6 +469,9 @@ impl TraceStore {
         self.wal_metrics.compactions.inc();
         self.snap_metrics.snapshots.inc();
         self.snap_metrics.snapshot_bytes.record(size);
+        if let Some(j) = self.journal() {
+            j.record(prov_obs::JournalEvent::SnapshotWrite { generation, bytes: size });
+        }
         drop(guard);
         for old in snapshot::generations(&path) {
             if old + 1 < generation {
@@ -652,6 +660,19 @@ impl TraceStore {
         self.wal_metrics.register(registry);
         self.snap_metrics.register(registry);
         self.record_gauges(registry);
+    }
+
+    /// Attaches an event journal: subsequent WAL syncs and snapshot writes
+    /// emit [`prov_obs::JournalEvent`]s into it. Set-once (`OnceLock`);
+    /// later calls are ignored so the first attached handle stays
+    /// authoritative. A disabled journal handle costs one branch per
+    /// durability event.
+    pub fn attach_journal(&self, journal: &prov_obs::Journal) {
+        let _ = self.journal.set(journal.clone());
+    }
+
+    fn journal(&self) -> Option<&prov_obs::Journal> {
+        self.journal.get()
     }
 
     /// Sets point-in-time size gauges (`store.runs`, `store.xform_rows`,
@@ -914,6 +935,14 @@ impl TraceStore {
         if let Some(w) = guard.as_mut() {
             if let Err(e) = w.sync() {
                 Self::poison(guard, &self.wal_failure, e.to_string());
+            } else if let Some(j) = self.journal() {
+                // Frames/bytes appended since the last snapshot (the tail
+                // this sync made durable).
+                let tail = self.wal_tail.lock();
+                j.record(prov_obs::JournalEvent::WalSync {
+                    frames: tail.frames,
+                    bytes: tail.bytes,
+                });
             }
         }
     }
