@@ -18,6 +18,10 @@
 //! tprov dot      --workflow wf.json [--lint]
 //! tprov tail     --db t.wal [--last 20] [--format json] [--follow]
 //! tprov slow     --db t.wal [--format json]
+//! tprov wal verify t.wal
+//! tprov replicate serve  --db t.wal [--listen 127.0.0.1:7070]
+//! tprov replicate follow --db replica.wal --from HOST:PORT [--serve ADDR] [--once]
+//! tprov query    --replica HOST:PORT --query 'lin(...)' [--max-lag N]
 //! ```
 //!
 //! Workflows executed through `tprov` have their specification saved next
@@ -77,6 +81,11 @@ fn run(argv: Vec<String>) -> Result<ExitCode, String> {
             }
         }
     }
+    // `wal` and `replicate` carry a verb as their first token
+    // (`tprov wal verify t.wal`); dispatch before flag parsing.
+    if cmd == "wal" || cmd == "replicate" {
+        return run_verbed(cmd, &rest);
+    }
     let args = Args::parse(&rest)?;
     // Only `run` distinguishes exit codes beyond success/failure (0
     // completed, 3 partial failure); everything else maps Ok to 0.
@@ -109,6 +118,170 @@ fn run(argv: Vec<String>) -> Result<ExitCode, String> {
     }
 }
 
+/// Dispatches the two-level commands: `wal verify`, `replicate serve`,
+/// `replicate follow`.
+fn run_verbed(cmd: &str, rest: &[String]) -> Result<ExitCode, String> {
+    let Some((verb, vrest)) = rest.split_first() else {
+        return Err(format!("usage: tprov {cmd} <verb> ...; try `tprov help`"));
+    };
+    let mut vrest: Vec<String> = vrest.to_vec();
+    // `wal verify <db>` takes the database as a positional token.
+    if cmd == "wal" && verb == "verify" {
+        if let Some(first) = vrest.first() {
+            if !first.starts_with("--") {
+                vrest.insert(0, "--db".to_string());
+            }
+        }
+    }
+    let args = Args::parse(&vrest)?;
+    match (cmd, verb.as_str()) {
+        ("wal", "verify") => cmd_wal_verify(&args),
+        ("replicate", "serve") => cmd_repl_serve(&args),
+        ("replicate", "follow") => cmd_repl_follow(&args),
+        _ => Err(format!("unknown command `{cmd} {verb}`; try `tprov help`")),
+    }
+}
+
+/// `tprov wal verify <db>`: offline CRC + frame sweep over the WAL and
+/// every snapshot file beside it. Exit 0 when the store is undamaged
+/// (a torn tail counts as undamaged — recovery truncates it), 1 when any
+/// frame or snapshot is corrupt.
+fn cmd_wal_verify(args: &Args) -> Result<ExitCode, String> {
+    let db = args.required("db")?;
+    let report =
+        prov_repl::verify_store(std::path::Path::new(db)).map_err(|e| format!("{db}: {e}"))?;
+    let tail = match report.tail {
+        prov_store::TailState::Clean => "clean".to_string(),
+        prov_store::TailState::TornTail { offset } => format!("torn tail at byte {offset}"),
+        prov_store::TailState::CorruptFrame { offset } => {
+            format!("CORRUPT frame at byte {offset}")
+        }
+    };
+    println!(
+        "{db}: {} frames / {} bytes verified, tail {tail}",
+        report.wal_frames, report.wal_bytes
+    );
+    if report.generation > 0 {
+        let backed = if report.marker_backed == Some(true) { "valid" } else { "MISSING/INVALID" };
+        println!(
+            "  leads with snapshot marker generation {} ({backed} snapshot)",
+            report.generation
+        );
+    }
+    for s in &report.snapshots {
+        let verdict = if s.valid { "valid" } else { "INVALID" };
+        println!("  snapshot {} (generation {}): {verdict}", s.path.display(), s.generation);
+    }
+    if report.healthy() {
+        println!("ok");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("CORRUPTION DETECTED");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// `tprov replicate serve --db F [--listen ADDR] [--for-ms N]`: stream
+/// this database's durable WAL to followers. The bound address is written
+/// to `<db>.repl.addr` so scripts can use `--listen 127.0.0.1:0`.
+fn cmd_repl_serve(args: &Args) -> Result<ExitCode, String> {
+    let db = args.required("db")?;
+    let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+    let store = Arc::new(TraceStore::open(db).map_err(|e| format!("cannot open {db}: {e}"))?);
+    let journal = Journal::from_env();
+    store.attach_journal(&journal);
+    let mut server = prov_repl::ReplServer::spawn(
+        Arc::clone(&store),
+        listen,
+        journal.clone(),
+        prov_repl::PrimaryConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let addr_file = format!("{db}.repl.addr");
+    std::fs::write(&addr_file, server.addr().to_string())
+        .map_err(|e| format!("{addr_file}: {e}"))?;
+    println!("serving WAL of {db} on {} (address in {addr_file})", server.addr());
+    let ms: u64 = args.get_parsed("for-ms")?.unwrap_or(u64::MAX);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    server.shutdown();
+    let _ = std::fs::remove_file(&addr_file);
+    journal_io::persist(db, &journal)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `tprov replicate follow --db LOCAL --from ADDR [--serve ADDR]
+/// [--once] [--timeout-ms N]`: replay a primary's WAL into a local
+/// replica, optionally serving read-only queries. With `--once`, exits 0
+/// as soon as the replica is caught up (1 on timeout) — the scriptable
+/// "seed a replica" form.
+fn cmd_repl_follow(args: &Args) -> Result<ExitCode, String> {
+    let db = args.required("db")?;
+    let from = args.required("from")?;
+    let journal = Journal::from_env();
+    let follower = prov_repl::Follower::open(db, journal.clone()).map_err(|e| e.to_string())?;
+    let handle = follower.start(from, prov_repl::FollowerConfig::default());
+    let qserver = match args.get("serve") {
+        Some(listen) => {
+            let s = follower.serve_queries(listen).map_err(|e| e.to_string())?;
+            let addr_file = format!("{db}.replica.addr");
+            std::fs::write(&addr_file, s.addr().to_string())
+                .map_err(|e| format!("{addr_file}: {e}"))?;
+            println!("replica query endpoint on {} (address in {addr_file})", s.addr());
+            Some((s, addr_file))
+        }
+        None => None,
+    };
+    let caught_up = if args.has_flag("once") {
+        let timeout: u64 = args.get_parsed("timeout-ms")?.unwrap_or(60_000);
+        follower.wait_caught_up(std::time::Duration::from_millis(timeout))
+    } else {
+        let ms: u64 = args.get_parsed("for-ms")?.unwrap_or(u64::MAX);
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        true
+    };
+    follower.stop();
+    let _ = handle.join();
+    if let Some((server, addr_file)) = qserver {
+        drop(server);
+        let _ = std::fs::remove_file(&addr_file);
+    }
+    let s = follower.status();
+    println!(
+        "caught_up={caught_up} generation={} frames={} lag_frames={} bootstraps={} resyncs={}",
+        s.generation, s.frames, s.lag_frames, s.bootstraps, s.resyncs
+    );
+    journal_io::persist(db, &journal)?;
+    Ok(if caught_up { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+/// Routes `tprov query --replica ADDR` to a replica's query endpoint.
+/// `--max-lag N` bounds acceptable staleness in frames; a replica beyond
+/// the bound refuses with a typed error (nonzero exit).
+fn query_via_replica(args: &Args, addr: &str) -> Result<(), String> {
+    let req = prov_repl::QueryRequest {
+        query: args.required("query")?.to_string(),
+        run: args.get_parsed("run")?.unwrap_or(0),
+        all_runs: args.has_flag("all-runs"),
+        algo: args.get("algo").unwrap_or("ni").to_string(),
+        wf: args.get("wf").map(str::to_string),
+        max_lag_frames: args.get_parsed("max-lag")?,
+    };
+    match prov_repl::query_replica(addr, &req) {
+        Ok(resp) => {
+            for ans in &resp.answers {
+                print!("{ans}");
+            }
+            println!(
+                "replica: generation {} offset {} lag {} frames / {} bytes",
+                resp.generation, resp.offset, resp.lag_frames, resp.lag_bytes
+            );
+            Ok(())
+        }
+        Err(e @ prov_repl::ReplError::ReplicaStale { .. }) => Err(e.to_string()),
+        Err(e) => Err(format!("replica {addr}: {e}")),
+    }
+}
+
 fn print_usage() {
     println!(
         "tprov — workflow provenance capture and lineage querying\n\n\
@@ -126,6 +299,8 @@ fn print_usage() {
          \x20 impact   --db FILE --target P:X [--index 0] [--focus wf] [--run N]\n\
          \x20 query    --db FILE --query 'lin(<P:Y[1,2]>, {{A}})' [--algo ni|indexproj]\n\
          \x20          [--workflow WF.json] [--run N | --all-runs]\n\
+         \x20          [--replica HOST:PORT [--max-lag N]]  query a read replica;\n\
+         \x20          a replica beyond the staleness bound refuses (exit 1)\n\
          \x20 audit    --db FILE --workflow WF.json [--run N | --all-runs]\n\
          \x20 diff     --db FILE --a N --b N --target P:Y [--index ..] [--focus ..]\n\
          \x20 find-value --db FILE --value <json> [--run N] [--lineage] [--focus ..]\n\
@@ -146,7 +321,14 @@ fn print_usage() {
          \x20 lint     --workflow WF.json [--format json] [--iteration-threshold N]\n\
          \x20          static diagnostics (exit 1 on error-level findings)\n\
          \x20 dot      --workflow WF.json [--lint]         print spec as Graphviz\n\
-         \x20 trace-dot --db FILE [--run N] [--json]       print a run's provenance graph\n\n\
+         \x20 trace-dot --db FILE [--run N] [--json]       print a run's provenance graph\n\
+         \x20 wal verify DB                                offline CRC + frame sweep of\n\
+         \x20          the WAL and snapshots (exit 1 on corruption)\n\
+         \x20 replicate serve  --db FILE [--listen ADDR] [--for-ms N]\n\
+         \x20          stream the WAL to followers (address in <db>.repl.addr)\n\
+         \x20 replicate follow --db LOCAL --from ADDR [--serve ADDR] [--once]\n\
+         \x20          [--timeout-ms N]  replay a primary into a local replica;\n\
+         \x20          --serve answers read-only queries, --once exits when caught up\n\n\
          queries use the db-registered workflow spec when --workflow is omitted"
     );
 }
@@ -470,6 +652,9 @@ fn impact_fingerprint(query: &ImpactQuery) -> u64 {
 /// whose observed lookups/rows violate the prediction is flagged as
 /// cost-model drift in the slow log.
 fn cmd_query(args: &Args) -> Result<(), String> {
+    if let Some(addr) = args.get("replica") {
+        return query_via_replica(args, addr);
+    }
     let store = open_db(args)?;
     let raw = args.required("query")?;
     let runs = select_runs(args, &store)?;
@@ -555,6 +740,19 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
     // hardware default) — so operators can see what fan-out a deployment
     // actually runs with.
     registry.set_gauge("query.workers", prov_core::query_workers() as u64);
+    // When this database is a replica, `tprov replicate follow` maintains
+    // a `<db>.repl.json` sidecar (written atomically on every status
+    // change); surface its lag as gauges so one `metrics` call covers
+    // both the store and its replication health.
+    let sidecar = prov_repl::status_path(std::path::Path::new(args.required("db")?));
+    if let Ok(text) = std::fs::read_to_string(&sidecar) {
+        let s: prov_repl::ReplStatus = serde_json::from_str(&text)
+            .map_err(|e| format!("{}: bad replication sidecar: {e}", sidecar.display()))?;
+        registry.set_gauge("repl.lag_frames", s.lag_frames);
+        registry.set_gauge("repl.lag_bytes", s.lag_bytes);
+        registry.set_gauge("repl.generation", s.generation);
+        registry.set_gauge("repl.connected", u64::from(s.connected));
+    }
     let snapshot = registry.snapshot();
     match args.get("format").unwrap_or("text") {
         "text" => print!("{}", snapshot.render_text()),

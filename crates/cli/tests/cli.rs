@@ -66,11 +66,18 @@ impl TempDb {
 impl Drop for TempDb {
     fn drop(&mut self) {
         let _ = std::fs::remove_file(&self.path);
-        for wf in ["testbed", "genes2Kegg", "protein_discovery"] {
-            let _ = std::fs::remove_file(self.sidecar(wf));
-        }
-        for ext in ["journal.jsonl", "slow.jsonl"] {
-            let _ = std::fs::remove_file(format!("{}.{ext}", self.arg()));
+        // Every sidecar hangs off the db file name (`<db>.<suffix>`):
+        // workflow specs, journal/slow logs, snapshots, replication state.
+        if let (Some(dir), Some(name)) =
+            (self.path.parent(), self.path.file_name().and_then(|n| n.to_str()))
+        {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    if entry.file_name().to_string_lossy().starts_with(&format!("{name}.")) {
+                        let _ = std::fs::remove_file(entry.path());
+                    }
+                }
+            }
         }
     }
 }
@@ -659,10 +666,199 @@ fn metrics_json_schema_is_locked() {
     };
     let (name, hist) = hists.first().expect("at least one histogram");
     assert_eq!(sorted_keys(hist), ["count", "max", "p50", "p95", "p99", "sum"], "histogram {name}");
+    // Recovery's verdict on the WAL tail is part of the gauge contract:
+    // scrapers alert on a nonzero recovered_tail_state.
+    let gauges = sorted_keys(&snap["gauges"]);
+    for required in ["wal.recovered_tail_state", "wal.recovered_tail_offset"] {
+        assert!(gauges.iter().any(|g| g == required), "missing gauge {required} in {gauges:?}");
+    }
+    assert_eq!(json_u64(&snap["gauges"]["wal.recovered_tail_state"]), 0, "clean db");
     // The text rendering surfaces the same quantiles.
     let out = tprov(&["metrics", "--db", db.arg()]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("p95="), "{}", stdout(&out));
+}
+
+/// `tprov wal verify`: a healthy store verifies with exit 0, a torn tail
+/// (interrupted final write) is still healthy, and a corrupt frame in the
+/// middle of the log exits 1 naming the damaged byte offset.
+#[test]
+fn wal_verify_distinguishes_torn_from_corrupt() {
+    let db = TempDb::new("walverify");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
+
+    let out = tprov(&["wal", "verify", db.arg()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("ok"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("tail clean"), "{}", stdout(&out));
+
+    // A torn tail: chop a few bytes off the end (a crashed writer).
+    let intact = std::fs::read(&db.path).unwrap();
+    std::fs::write(&db.path, &intact[..intact.len() - 5]).unwrap();
+    let out = tprov(&["wal", "verify", db.arg()]);
+    assert!(out.status.success(), "torn tail is not corruption: {}", stdout(&out));
+    assert!(stdout(&out).contains("torn tail"), "{}", stdout(&out));
+
+    // A corrupt frame: flip a byte inside the first frame's payload
+    // (frames are `len | crc | payload`, so byte 10 is payload), the CRC
+    // catches it and everything after the damage is unreachable.
+    let mut bytes = intact.clone();
+    bytes[10] ^= 0xFF;
+    std::fs::write(&db.path, &bytes).unwrap();
+    let out = tprov(&["wal", "verify", db.arg()]);
+    assert!(!out.status.success(), "corruption must fail verification");
+    assert!(stdout(&out).contains("CORRUPT"), "{}", stdout(&out));
+
+    std::fs::write(&db.path, &intact).unwrap();
+}
+
+/// Kills a spawned `tprov` child on drop so a failed assertion cannot
+/// leak a background server process.
+struct ChildGuard(std::process::Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Polls an address sidecar written by `replicate serve`/`follow --serve`.
+fn wait_addr(path: &str) -> String {
+    for _ in 0..200 {
+        if let Ok(addr) = std::fs::read_to_string(path) {
+            if !addr.trim().is_empty() {
+                return addr.trim().to_string();
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    panic!("no address appeared at {path}");
+}
+
+/// End-to-end replication through the CLI: `replicate serve` a primary,
+/// `replicate follow --once` a replica to byte-identical convergence,
+/// surface the lag gauges via `metrics`, answer a bounded-staleness query
+/// through `--replica`, and get the typed refusal from a replica that has
+/// never reached its primary.
+#[test]
+fn replicate_serve_follow_query_and_stale_refusal() {
+    let db = TempDb::new("replsrv");
+    let replica = TempDb::new("replsrv-replica");
+    assert!(tprov(&["testbed", "--db", db.arg(), "--l", "3", "--d", "2"]).status.success());
+
+    let server = ChildGuard(
+        std::process::Command::new(env!("CARGO_BIN_EXE_tprov"))
+            .args(["replicate", "serve", "--db", db.arg(), "--listen", "127.0.0.1:0"])
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .expect("serve spawns"),
+    );
+    let addr = wait_addr(&format!("{}.repl.addr", db.arg()));
+
+    // Seed the replica to caught-up and stop (exit 0 = converged).
+    let out = tprov(&[
+        "replicate",
+        "follow",
+        "--db",
+        replica.arg(),
+        "--from",
+        &addr,
+        "--once",
+        "--timeout-ms",
+        "30000",
+    ]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("caught_up=true"), "{}", stdout(&out));
+    assert_eq!(
+        std::fs::read(&replica.path).unwrap(),
+        std::fs::read(&db.path).unwrap(),
+        "replica WAL must be byte-identical to the primary's"
+    );
+
+    // The replication sidecar feeds `tprov metrics` lag gauges.
+    let out = tprov(&["metrics", "--db", replica.arg(), "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let snap: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    assert_eq!(json_u64(&snap["gauges"]["repl.lag_frames"]), 0);
+    assert_eq!(json_u64(&snap["gauges"]["repl.lag_bytes"]), 0);
+
+    // A live replica answers `query --replica` within a zero lag bound,
+    // rendering exactly like a local query against the same bytes.
+    let qreplica = TempDb::new("replsrv-live");
+    let live = ChildGuard(
+        std::process::Command::new(env!("CARGO_BIN_EXE_tprov"))
+            .args([
+                "replicate",
+                "follow",
+                "--db",
+                qreplica.arg(),
+                "--from",
+                &addr,
+                "--serve",
+                "127.0.0.1:0",
+            ])
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .expect("follow spawns"),
+    );
+    let qaddr = wait_addr(&format!("{}.replica.addr", qreplica.arg()));
+    let query = "lin(<2TO1_FINAL:Y[0,1]>, {LISTGEN_1})";
+    let out = retry_query(&["query", "--replica", &qaddr, "--query", query, "--max-lag", "0"]);
+    assert!(out.status.success(), "{}\n{}", stdout(&out), stderr(&out));
+    assert!(stdout(&out).contains("lag 0 frames"), "{}", stdout(&out));
+    let answer_lines = |s: &str| {
+        s.lines()
+            .filter(|l| l.contains("binding(s):") || l.starts_with("  "))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let local = tprov(&["query", "--db", db.arg(), "--query", query, "--algo", "ni"]);
+    assert!(local.status.success(), "{}", stderr(&local));
+    let local_answers = answer_lines(&stdout(&local));
+    assert!(!local_answers.is_empty(), "{}", stdout(&local));
+    assert_eq!(answer_lines(&stdout(&out)), local_answers, "replica rendering diverged");
+    drop(live);
+    drop(server);
+
+    // A replica that has never reached any primary has unknown lag: any
+    // bounded query is refused with the typed staleness error (exit 1).
+    let lonely = TempDb::new("replsrv-lonely");
+    let lonely_guard = ChildGuard(
+        std::process::Command::new(env!("CARGO_BIN_EXE_tprov"))
+            .args([
+                "replicate",
+                "follow",
+                "--db",
+                lonely.arg(),
+                "--from",
+                "127.0.0.1:9",
+                "--serve",
+                "127.0.0.1:0",
+            ])
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .expect("follow spawns"),
+    );
+    let lonely_addr = wait_addr(&format!("{}.replica.addr", lonely.arg()));
+    let out = tprov(&["query", "--replica", &lonely_addr, "--query", query, "--max-lag", "10"]);
+    assert!(!out.status.success(), "stale replica must refuse: {}", stdout(&out));
+    assert!(stderr(&out).contains("stale"), "{}", stderr(&out));
+    drop(lonely_guard);
+}
+
+/// Retries a replica query while the freshly spawned follower finishes
+/// catching up (a zero lag bound refuses until it has).
+fn retry_query(args: &[&str]) -> Output {
+    let mut out = tprov(args);
+    for _ in 0..100 {
+        if out.status.success() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        out = tprov(args);
+    }
+    out
 }
 
 /// Golden test for the journal sidecar and `tprov tail --format json`:

@@ -265,6 +265,26 @@ pub enum JournalEvent {
         /// Fingerprint of the missed query.
         fingerprint: u64,
     },
+    /// A replication primary shipped a chunk of WAL frames to a follower.
+    ReplFrameShipped {
+        /// Frames in the shipped chunk.
+        frames: u64,
+        /// Bytes in the shipped chunk (headers included).
+        bytes: u64,
+        /// WAL offset just past the chunk — the follower's new position.
+        offset: u64,
+    },
+    /// A follower abandoned its local state (divergence, corruption, or a
+    /// generation change on the primary) and re-bootstrapped.
+    FollowerResync {
+        /// WAL generation the follower resynced onto.
+        generation: u64,
+        /// WAL offset the follower resumed streaming from.
+        offset: u64,
+        /// Why the resync happened (e.g. `"generation-changed"`,
+        /// `"corrupt-frame"`, `"diverged"`).
+        reason: String,
+    },
 }
 
 impl JournalEvent {
@@ -279,6 +299,8 @@ impl JournalEvent {
             JournalEvent::SnapshotWrite { .. } => "SnapshotWrite",
             JournalEvent::Retry { .. } => "Retry",
             JournalEvent::PlanCacheMiss { .. } => "PlanCacheMiss",
+            JournalEvent::ReplFrameShipped { .. } => "ReplFrameShipped",
+            JournalEvent::FollowerResync { .. } => "FollowerResync",
         }
     }
 
@@ -353,6 +375,12 @@ impl JournalEvent {
             }
             JournalEvent::Retry { attempt, .. } => vec![("attempt", *attempt)],
             JournalEvent::PlanCacheMiss { fingerprint } => vec![("fingerprint", *fingerprint)],
+            JournalEvent::ReplFrameShipped { frames, bytes, offset } => {
+                vec![("frames", *frames), ("bytes", *bytes), ("offset", *offset)]
+            }
+            JournalEvent::FollowerResync { generation, offset, .. } => {
+                vec![("generation", *generation), ("offset", *offset)]
+            }
         }
     }
 }

@@ -1,0 +1,280 @@
+//! Wire protocol for WAL shipping and replica queries.
+//!
+//! Every message is `tag (1 byte) | len (u32 LE) | payload[len]`. Control
+//! messages carry JSON payloads; [`TAG_FRAMES`] carries a raw chunk of WAL
+//! frame bytes exactly as they appear in the primary's log (the follower
+//! re-frames the payloads, producing a byte-identical local log), and a
+//! [`TAG_BOOTSTRAP`] header is followed by that many *raw* snapshot-file
+//! bytes outside any message framing.
+//!
+//! The handshake is deliberately content-addressed rather than
+//! position-trusting: the follower's [`Hello`] carries a CRC-32 of its
+//! entire local durable WAL prefix, and the primary streams its own first
+//! `offset` bytes through [`prov_store::Crc32`] to verify the follower's
+//! log really is a byte prefix of its own. Generation numbers alone cannot
+//! be trusted (a checkpoint epoch can collide with a snapshot generation
+//! after a restart); bytes cannot lie.
+
+use std::io::{self, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use prov_store::ReplPosition;
+
+/// Follower → primary: identify the local log and ask for a plan.
+pub const TAG_HELLO: u8 = 0x01;
+/// Primary → follower: a snapshot file follows (raw bytes after the header).
+pub const TAG_BOOTSTRAP: u8 = 0x02;
+/// Primary → follower: frames will stream from the given offset.
+pub const TAG_STREAM_FROM: u8 = 0x03;
+/// Primary → follower: a raw chunk of whole WAL frames.
+pub const TAG_FRAMES: u8 = 0x04;
+/// Primary → follower: current durable position (lag accounting).
+pub const TAG_HEARTBEAT: u8 = 0x05;
+/// Primary → follower: the WAL lineage changed; re-handshake.
+pub const TAG_RESYNC: u8 = 0x06;
+/// Client → replica: execute a lineage/impact query.
+pub const TAG_QUERY: u8 = 0x11;
+/// Replica → client: rendered answers plus the replica's position.
+pub const TAG_QUERY_OK: u8 = 0x12;
+/// Replica → client: typed refusal (staleness bound, parse failure, ...).
+pub const TAG_QUERY_ERR: u8 = 0x13;
+
+/// Upper bound on a single framed message; a control message is tiny and a
+/// frames chunk is a few tens of KiB, so anything near this is corruption.
+pub const MAX_MESSAGE_LEN: u32 = 64 * 1024 * 1024;
+
+/// The follower's opening offer: "my log is `offset` durable bytes /
+/// `frames` frames whose CRC-32 is `prefix_crc`; lineage I last knew was
+/// `generation`". `force_bootstrap` asks for a full re-seed regardless.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hello {
+    /// WAL lineage the follower last synced to (advisory; the CRC decides).
+    pub generation: u64,
+    /// Durable length of the follower's local WAL in bytes.
+    pub offset: u64,
+    /// Durable frame count of the follower's local WAL.
+    pub frames: u64,
+    /// CRC-32 of the follower's first `offset` WAL bytes.
+    pub prefix_crc: u32,
+    /// Demand a snapshot bootstrap even if the prefix would match.
+    pub force_bootstrap: bool,
+}
+
+/// Announces the raw snapshot bytes that follow a [`TAG_BOOTSTRAP`] header.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BootstrapHeader {
+    /// Snapshot generation being shipped (the follower installs it as
+    /// `<db>.snap.<generation>`).
+    pub generation: u64,
+    /// Exact byte length of the snapshot file.
+    pub len: u64,
+}
+
+/// The primary's go-ahead: frames stream from `offset` of lineage
+/// `generation`. Offset zero on a non-empty follower means "wipe and
+/// replay from scratch".
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StreamFrom {
+    /// WAL lineage being streamed.
+    pub generation: u64,
+    /// Byte offset the first shipped frame starts at.
+    pub offset: u64,
+}
+
+/// Why the primary broke the stream and asked for a new handshake.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Resync {
+    /// The primary's current lineage.
+    pub generation: u64,
+    /// Human-oriented cause ("generation changed", ...).
+    pub reason: String,
+}
+
+/// A query shipped to a read replica.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// Query text, `lin(...)` or `impact(...)` (see `prov_core::parse_query`).
+    pub query: String,
+    /// Run (trace) id to query when `all_runs` is false.
+    pub run: u64,
+    /// Query every run the replica knows.
+    pub all_runs: bool,
+    /// `"ni"` or `"indexproj"`.
+    pub algo: String,
+    /// Workflow name for `indexproj` when the replica registers several.
+    pub wf: Option<String>,
+    /// Refuse to answer if the replica lags the primary by more than this
+    /// many frames (`None`: answer at any staleness).
+    pub max_lag_frames: Option<u64>,
+}
+
+/// A replica's successful answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Rendered [`prov_core::LineageAnswer`]s, one per queried run.
+    pub answers: Vec<String>,
+    /// Frames the replica lagged the primary by at answer time.
+    pub lag_frames: u64,
+    /// Bytes the replica lagged the primary by at answer time.
+    pub lag_bytes: u64,
+    /// Lineage the replica was on.
+    pub generation: u64,
+    /// The replica's durable WAL offset.
+    pub offset: u64,
+}
+
+/// A replica's typed refusal. `code` is machine-matchable:
+/// `"replica_stale"` for a staleness-bound violation, `"query_failed"` for
+/// parse/execution errors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryError {
+    /// Machine-matchable error class.
+    pub code: String,
+    /// Human-oriented detail.
+    pub message: String,
+    /// The replica's lag when it refused (staleness refusals).
+    pub lag_frames: Option<u64>,
+    /// The bound the request imposed (staleness refusals).
+    pub max_lag: Option<u64>,
+}
+
+/// Re-exported so both ends speak the same position type.
+pub type Position = ReplPosition;
+
+/// Writes one framed message.
+pub fn write_msg<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "message too large"))?;
+    if len > MAX_MESSAGE_LEN {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "message too large"));
+    }
+    w.write_all(&[tag])?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Serializes `value` as JSON and writes it as one framed message.
+pub fn write_json<W: Write, T: Serialize>(w: &mut W, tag: u8, value: &T) -> io::Result<()> {
+    let payload = serde_json::to_vec(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    write_msg(w, tag, &payload)
+}
+
+/// Reads until `buf` is full, retrying reads that time out (so a read
+/// timeout set for liveness checks cannot tear a message mid-body). A
+/// clean EOF mid-buffer is an `UnexpectedEof` error.
+fn read_exact_retry<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-message"))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one framed message. Returns `Ok(None)` on a clean EOF *at a
+/// message boundary* (the peer hung up). A timeout while waiting for the
+/// tag byte surfaces as `WouldBlock`/`TimedOut` so callers can poll a stop
+/// flag; once the tag byte has arrived the rest is read to completion.
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut tag = [0u8; 1];
+    loop {
+        match r.read(&mut tag) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let mut len = [0u8; 4];
+    read_exact_retry(r, &mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_MESSAGE_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("message of {len} bytes exceeds protocol limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_retry(r, &mut payload)?;
+    Ok(Some((tag[0], payload)))
+}
+
+/// Reads exactly `len` raw (unframed) bytes — the bootstrap body.
+pub fn read_raw<R: Read + ?Sized>(r: &mut R, len: u64) -> io::Result<Vec<u8>> {
+    let mut buf = vec![
+        0u8;
+        usize::try_from(len).map_err(|_| io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bootstrap too large for this platform"
+        ))?
+    ];
+    read_exact_retry(r, &mut buf)?;
+    Ok(buf)
+}
+
+/// Decodes a JSON control payload.
+pub fn decode<T: Deserialize>(payload: &[u8]) -> io::Result<T> {
+    serde_json::from_slice(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_control_and_raw_messages() {
+        let mut wire = Vec::new();
+        let hello = Hello {
+            generation: 3,
+            offset: 128,
+            frames: 7,
+            prefix_crc: 0xDEAD_BEEF,
+            force_bootstrap: false,
+        };
+        write_json(&mut wire, TAG_HELLO, &hello).unwrap();
+        write_msg(&mut wire, TAG_FRAMES, b"rawbytes").unwrap();
+
+        let mut r = wire.as_slice();
+        let (tag, payload) = read_msg(&mut r).unwrap().unwrap();
+        assert_eq!(tag, TAG_HELLO);
+        let back: Hello = decode(&payload).unwrap();
+        assert_eq!(back.offset, 128);
+        assert_eq!(back.prefix_crc, 0xDEAD_BEEF);
+
+        let (tag, payload) = read_msg(&mut r).unwrap().unwrap();
+        assert_eq!(tag, TAG_FRAMES);
+        assert_eq!(payload, b"rawbytes");
+
+        assert!(read_msg(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_not_allocated() {
+        let mut wire = vec![TAG_FRAMES];
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_msg(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_message_is_an_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_msg(&mut wire, TAG_FRAMES, b"full payload").unwrap();
+        wire.truncate(wire.len() - 3);
+        let err = read_msg(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}

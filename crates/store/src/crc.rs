@@ -37,9 +37,8 @@ const TABLES: [[u32; 256]; 8] = {
     tables
 };
 
-/// Computes the CRC-32 of `data`.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
+/// Advances a raw (pre-inverted) CRC state over `data`.
+fn advance(mut crc: u32, data: &[u8]) -> u32 {
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
         // First word absorbs the running CRC; second word is independent.
@@ -56,7 +55,44 @@ pub fn crc32(data: &[u8]) -> u32 {
     for &b in chunks.remainder() {
         crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
-    !crc
+    crc
+}
+
+/// Computes the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    !advance(!0u32, data)
+}
+
+/// Incremental CRC-32: feeding chunks through [`Crc32::update`] yields the
+/// same value as one [`crc32`] call over their concatenation. Used where
+/// the input is streamed and never held whole — e.g. the replication
+/// handshake's divergence check over a multi-MB WAL prefix.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh accumulator (equal to the CRC of the empty string until fed).
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
+    }
+
+    /// Folds `data` into the running checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        self.state = advance(self.state, data);
+    }
+
+    /// The checksum of everything fed so far (non-destructive).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +142,18 @@ mod tests {
     #[test]
     fn is_order_sensitive() {
         assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_at_every_split() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(300).collect();
+        let whole = crc32(&data);
+        for split in 0..data.len() {
+            let mut inc = Crc32::new();
+            inc.update(&data[..split]);
+            inc.update(&data[split..]);
+            assert_eq!(inc.finish(), whole, "split {split}");
+        }
+        assert_eq!(Crc32::new().finish(), crc32(b""));
     }
 }

@@ -7,7 +7,14 @@
 //!   `fail_after_bytes` persists only the prefix that fits and then fails,
 //!   leaving exactly the torn tail a power cut mid-`write` leaves;
 //! * **fsync failure** — the `fail_on_sync`-th [`WalFile::sync_data`] call
-//!   fails without touching the file.
+//!   fails without touching the file;
+//! * **read failure** — the `fail_on_read`-th [`std::io::Read::read`] call
+//!   fails and trips the handle, modelling a follower or recovery scan dying
+//!   mid-ingest;
+//! * **short read** — reads return bytes only up to `short_read_at` (counted
+//!   from handle creation) and then a clean EOF, modelling a truncated
+//!   snapshot transfer or a peer that vanished mid-stream. A short read does
+//!   *not* trip the handle: the stream just ends early.
 //!
 //! Either fault *trips* the file: every subsequent write, flush and sync
 //! fails too, modelling a process that never comes back after the crash.
@@ -22,7 +29,7 @@
 //! seed byte-for-byte.
 
 use std::fs::{File, OpenOptions};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::Path;
 
 use crate::wal::WalFile;
@@ -37,19 +44,67 @@ pub struct FaultPlan {
     /// Which [`WalFile::sync_data`] call fails (1-based). The failing sync
     /// trips the file.
     pub fail_on_sync: Option<u64>,
+    /// Which [`Read::read`] call fails (1-based). The failing read trips
+    /// the handle.
+    pub fail_on_read: Option<u64>,
+    /// Total bytes readable through this handle. Reads return data only up
+    /// to this offset (counted from handle creation) and then report EOF —
+    /// a truncated stream, not an error, so the handle does not trip.
+    pub short_read_at: Option<u64>,
 }
 
 impl FaultPlan {
     /// A plan that tears the file at byte `offset` (counted from the first
     /// byte written through the handle).
     pub fn crash_at(offset: u64) -> Self {
-        FaultPlan { fail_after_bytes: Some(offset), fail_on_sync: None }
+        FaultPlan { fail_after_bytes: Some(offset), ..FaultPlan::default() }
     }
 
     /// A plan whose `n`-th fsync (1-based) fails.
     pub fn fail_sync(n: u64) -> Self {
-        FaultPlan { fail_after_bytes: None, fail_on_sync: Some(n) }
+        FaultPlan { fail_on_sync: Some(n), ..FaultPlan::default() }
     }
+
+    /// A plan whose `n`-th read (1-based) fails.
+    pub fn fail_read(n: u64) -> Self {
+        FaultPlan { fail_on_read: Some(n), ..FaultPlan::default() }
+    }
+
+    /// A plan that cuts the readable stream off at byte `offset` (counted
+    /// from handle creation): everything before it reads normally, then EOF.
+    pub fn short_read(offset: u64) -> Self {
+        FaultPlan { short_read_at: Some(offset), ..FaultPlan::default() }
+    }
+}
+
+/// Shared read-side fault logic for [`FaultFile`] and [`FaultReader`].
+fn faulted_read<R: Read>(
+    inner: &mut R,
+    plan: &FaultPlan,
+    reads: &mut u64,
+    read_bytes: &mut u64,
+    tripped: &mut bool,
+    buf: &mut [u8],
+) -> std::io::Result<usize> {
+    if *tripped {
+        return Err(FaultFile::injected());
+    }
+    *reads += 1;
+    if plan.fail_on_read == Some(*reads) {
+        *tripped = true;
+        return Err(FaultFile::injected());
+    }
+    let mut limit = buf.len();
+    if let Some(cap) = plan.short_read_at {
+        let room = cap.saturating_sub(*read_bytes);
+        if room == 0 {
+            return Ok(0); // clean EOF at the chosen offset
+        }
+        limit = limit.min(room as usize);
+    }
+    let n = inner.read(&mut buf[..limit])?;
+    *read_bytes += n as u64;
+    Ok(n)
 }
 
 /// A [`WalFile`] that executes a [`FaultPlan`] over a real file.
@@ -62,6 +117,12 @@ pub struct FaultFile {
     written: u64,
     /// Syncs attempted through this handle.
     syncs: u64,
+    /// Reads attempted through this handle (the plan's `fail_on_read` is
+    /// 1-based against this count).
+    reads: u64,
+    /// Bytes read through this handle (the plan's `short_read_at` offset is
+    /// relative to handle creation).
+    read_bytes: u64,
     /// Set once a fault fires; everything fails afterwards.
     tripped: bool,
 }
@@ -70,7 +131,14 @@ impl FaultFile {
     /// Opens `path` for appending (creating it if needed) under `plan`.
     pub fn append_to(path: &Path, plan: FaultPlan) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(FaultFile { file, plan, written: 0, syncs: 0, tripped: false })
+        Ok(FaultFile { file, plan, written: 0, syncs: 0, reads: 0, read_bytes: 0, tripped: false })
+    }
+
+    /// Opens `path` read-only under `plan`, for fault-injecting recovery
+    /// scans and replication bootstrap reads.
+    pub fn read_from(path: &Path, plan: FaultPlan) -> std::io::Result<Self> {
+        let file = File::open(path)?;
+        Ok(FaultFile { file, plan, written: 0, syncs: 0, reads: 0, read_bytes: 0, tripped: false })
     }
 
     /// Whether a fault has fired on this handle.
@@ -111,6 +179,43 @@ impl Write for FaultFile {
             return Err(Self::injected());
         }
         self.file.flush()
+    }
+}
+
+impl Read for FaultFile {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let FaultFile { file, plan, reads, read_bytes, tripped, .. } = self;
+        faulted_read(file, plan, reads, read_bytes, tripped, buf)
+    }
+}
+
+/// A [`Read`] adapter that executes the read side of a [`FaultPlan`] over
+/// any inner reader — sockets in replication tests, not just files.
+#[derive(Debug)]
+pub struct FaultReader<R> {
+    inner: R,
+    plan: FaultPlan,
+    reads: u64,
+    read_bytes: u64,
+    tripped: bool,
+}
+
+impl<R: Read> FaultReader<R> {
+    /// Wraps `inner` under `plan` (only the read-side fields apply).
+    pub fn new(inner: R, plan: FaultPlan) -> Self {
+        FaultReader { inner, plan, reads: 0, read_bytes: 0, tripped: false }
+    }
+
+    /// Whether a read fault has fired on this handle.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+}
+
+impl<R: Read> Read for FaultReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let FaultReader { inner, plan, reads, read_bytes, tripped } = self;
+        faulted_read(inner, plan, reads, read_bytes, tripped, buf)
     }
 }
 
@@ -182,6 +287,48 @@ mod tests {
         assert!(!f.tripped());
         assert!(f.write_all(b"e").is_err());
         assert_eq!(std::fs::read(&path).unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn nth_read_fails_and_trips() {
+        let path = tmp("readfail");
+        std::fs::write(&path, b"abcdefgh").unwrap();
+        let mut f = FaultFile::read_from(&path, FaultPlan::fail_read(2)).unwrap();
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read(&mut buf).unwrap(), 4); // read 1: fine
+        assert_eq!(&buf, b"abcd");
+        let err = f.read(&mut buf).unwrap_err(); // read 2: injected
+        assert_eq!(err.to_string(), "injected fault");
+        assert!(f.tripped());
+        assert!(f.read(&mut buf).is_err()); // stays tripped
+    }
+
+    #[test]
+    fn short_read_cuts_the_stream_at_an_exact_offset() {
+        let path = tmp("shortread");
+        std::fs::write(&path, b"abcdefgh").unwrap();
+        let mut f = FaultFile::read_from(&path, FaultPlan::short_read(5)).unwrap();
+        let mut out = Vec::new();
+        f.read_to_end(&mut out).unwrap();
+        // Exactly 5 bytes then EOF, and the handle is not tripped.
+        assert_eq!(out, b"abcde");
+        assert!(!f.tripped());
+        let mut buf = [0u8; 4];
+        assert_eq!(f.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn fault_reader_wraps_any_stream() {
+        let data = b"0123456789".to_vec();
+        let mut r = FaultReader::new(&data[..], FaultPlan::short_read(3));
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"012");
+
+        let mut r = FaultReader::new(&data[..], FaultPlan::fail_read(1));
+        let mut buf = [0u8; 4];
+        assert!(r.read(&mut buf).is_err());
+        assert!(r.tripped());
     }
 
     #[test]

@@ -45,16 +45,17 @@ mod values;
 mod wal;
 
 pub use catalog::{IndexCatalog, IndexId, PortCardinality};
-pub use crc::crc32;
+pub use crc::{crc32, Crc32};
 pub use export::{GraphEdge, GraphNode, ProvenanceGraph};
-pub use fault::{FaultFile, FaultPlan};
+pub use fault::{FaultFile, FaultPlan, FaultReader};
 pub use rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
 pub use shard::ReadView;
 pub use snapshot::{CompactionPolicy, SnapshotMetrics};
 pub use stats::{ProbeGuard, ProbeStats, QueryStats, StatsSnapshot};
-pub use store::{RunInfo, StoreError, TraceStore};
+pub use store::{ReplPosition, RunInfo, StoreError, TraceStore};
 pub use wal::{
-    LogRecord, TailState, WalError, WalFile, WalMetrics, WalReader, WalRecovery, WalWriter,
+    LogRecord, TailState, WalCursor, WalError, WalFile, WalMetrics, WalReader, WalRecovery,
+    WalWriter,
 };
 
 /// Convenience result alias.

@@ -121,6 +121,27 @@ struct TailUsage {
     bytes: u64,
 }
 
+/// The durable replication position of a store: which WAL lineage it is on
+/// and how much of it has been fsynced. This is what a primary advertises
+/// to followers and what a follower offers back in its handshake.
+///
+/// `generation` names the WAL lineage: the leading snapshot-marker
+/// generation when the log was compacted, `0` for a marker-less log, and a
+/// fresh epoch after [`TraceStore::checkpoint`] rewrites the log in place.
+/// Two stores on the same generation with the same `durable_len` hold
+/// byte-identical logs; a generation change means the log was rewritten
+/// and byte offsets are no longer comparable (followers re-bootstrap).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplPosition {
+    /// The WAL lineage (see type docs).
+    pub generation: u64,
+    /// Bytes of the current WAL known durable (fsynced).
+    pub durable_len: u64,
+    /// Frames of the current WAL known durable, including any leading
+    /// snapshot marker.
+    pub durable_frames: u64,
+}
+
 /// The embedded relational trace store. Cheap to share (`Arc` inside); all
 /// methods take `&self`.
 ///
@@ -149,6 +170,13 @@ pub struct TraceStore {
     compaction: Mutex<Option<CompactionPolicy>>,
     /// Newest snapshot generation on disk; the next snapshot numbers above.
     snapshot_gen: Mutex<u64>,
+    /// Frames appended to the current WAL since its first byte (including
+    /// any leading snapshot marker) — the frame-count twin of the WAL's
+    /// byte length, advertised to replicas.
+    wal_frames: Mutex<u64>,
+    /// The durable replication position (updated at open, sync, snapshot
+    /// and checkpoint; see [`ReplPosition`]).
+    repl_pos: Mutex<ReplPosition>,
     /// Fault-injection plan new WAL/snapshot writers are created under
     /// (crash-torture only; budgets are per-handle).
     fault_plan: Option<FaultPlan>,
@@ -186,6 +214,8 @@ impl TraceStore {
             wal_tail: Mutex::new(TailUsage::default()),
             compaction: Mutex::new(None),
             snapshot_gen: Mutex::new(0),
+            wal_frames: Mutex::new(0),
+            repl_pos: Mutex::new(ReplPosition::default()),
             fault_plan: None,
             journal: std::sync::OnceLock::new(),
         }
@@ -229,6 +259,8 @@ impl TraceStore {
             wal_tail: Mutex::new(TailUsage::default()),
             compaction: Mutex::new(None),
             snapshot_gen: Mutex::new(0),
+            wal_frames: Mutex::new(0),
+            repl_pos: Mutex::new(ReplPosition::default()),
             fault_plan: plan,
             journal: std::sync::OnceLock::new(),
         };
@@ -239,6 +271,11 @@ impl TraceStore {
         }
 
         let existing = snapshot::generations(&path);
+        let total_frames = recovery.records.len() as u64;
+        let marked_gen = match recovery.records.first() {
+            Some(LogRecord::Snapshot { generation }) => Some(*generation),
+            _ => None,
+        };
         let mut replayed = 0u64;
         let mut rewrite_marker: Option<u64> = None;
         match recovery.records.first() {
@@ -317,6 +354,14 @@ impl TraceStore {
             *store.wal_tail.lock() = TailUsage { frames: replayed, bytes: recovery.clean_len };
         }
         *store.wal.lock() = Some(writer);
+        // The replication position the reopened store advertises: the WAL
+        // lineage (leading marker generation, or 0 for a marker-less log)
+        // and its durable extent. A rewritten marker is the whole log.
+        let frames = if rewrite_marker.is_some() { 1 } else { total_frames };
+        let generation = rewrite_marker.or(marked_gen).unwrap_or(0);
+        let durable_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        *store.wal_frames.lock() = frames;
+        *store.repl_pos.lock() = ReplPosition { generation, durable_len, durable_frames: frames };
         Ok(store)
     }
 
@@ -362,6 +407,75 @@ impl TraceStore {
             None => Ok(()),
             Some(message) => Err(StoreError::WalPoisoned { message }),
         }
+    }
+
+    /// The WAL file backing this store, if durable.
+    pub fn wal_path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// The durable replication position: WAL lineage plus fsynced extent.
+    /// A primary advertises this to followers; a follower offers it back
+    /// in its handshake. All zeros for in-memory stores.
+    pub fn repl_position(&self) -> ReplPosition {
+        *self.repl_pos.lock()
+    }
+
+    /// The on-disk snapshot file of `generation` beside the WAL at `path`
+    /// (`<wal>.snap.<generation>`) — where replication bootstrap finds the
+    /// base-state bytes to ship.
+    pub fn snapshot_file_for(path: &Path, generation: u64) -> PathBuf {
+        snapshot::snapshot_path(path, generation)
+    }
+
+    /// Paths of every snapshot generation currently beside the WAL at
+    /// `path`, oldest first.
+    pub fn snapshot_files(path: &Path) -> Vec<PathBuf> {
+        snapshot::generations(path).into_iter().map(|g| snapshot::snapshot_path(path, g)).collect()
+    }
+
+    /// Applies one replicated WAL payload (the bytes inside a frame the
+    /// primary shipped): decodes it, re-appends the *same* payload bytes to
+    /// the local WAL — the resulting frame is byte-identical to the
+    /// primary's, keeping the follower's log a byte-for-byte prefix of the
+    /// primary's — and applies it in memory. Frames are buffered; call
+    /// [`TraceStore::sync_wal`] to advance the durable position. A payload
+    /// that does not decode, or a local durability failure, is an error
+    /// (the follower treats either as grounds for re-sync).
+    pub fn apply_replicated(&self, payload: &[u8]) -> crate::Result<()> {
+        let record: LogRecord = serde_json::from_slice(payload)
+            .map_err(|e| StoreError::Serialize(format!("replicated frame: {e}")))?;
+        let mut guard = self.wal.lock();
+        if self.path.is_some() {
+            let Some(w) = guard.as_mut() else {
+                drop(guard);
+                self.durability()?;
+                return Err(StoreError::WalPoisoned { message: "writer closed".into() });
+            };
+            let before = self.wal_metrics.bytes_written.get();
+            if let Err(e) = w.append_payload(payload) {
+                Self::poison(&mut guard, &self.wal_failure, e.to_string());
+                drop(guard);
+                return self.durability();
+            }
+            let mut tail = self.wal_tail.lock();
+            tail.frames += 1;
+            tail.bytes += self.wal_metrics.bytes_written.get() - before;
+            drop(tail);
+            *self.wal_frames.lock() += 1;
+        }
+        self.inner.write().apply(record);
+        Ok(())
+    }
+
+    /// Fsyncs the WAL (advancing the durable replication position) and
+    /// surfaces any durability failure as a typed error — the follower's
+    /// per-chunk commit point.
+    pub fn sync_wal(&self) -> crate::Result<()> {
+        let mut guard = self.wal.lock();
+        self.sync_locked(&mut guard);
+        drop(guard);
+        self.durability()
     }
 
     /// Rewrites the WAL from current state (checkpoint compaction): the log
@@ -413,6 +527,17 @@ impl TraceStore {
         let bytes = std::fs::metadata(path).map_err(WalError::from)?.len();
         *guard = Some(WalWriter::open(path)?.with_metrics(self.wal_metrics.clone()));
         *self.wal_tail.lock() = TailUsage { frames, bytes };
+        // The log was rewritten in place: old byte offsets are meaningless.
+        // Move to a fresh generation (numbered past any snapshot) so
+        // followers notice the lineage change and re-bootstrap.
+        let generation = {
+            let mut gen = self.snapshot_gen.lock();
+            *gen += 1;
+            *gen
+        };
+        *self.wal_frames.lock() = frames;
+        *self.repl_pos.lock() =
+            ReplPosition { generation, durable_len: bytes, durable_frames: frames };
         Ok(())
     }
 
@@ -466,6 +591,10 @@ impl TraceStore {
         }
         *self.wal_tail.lock() = TailUsage::default();
         *self.snapshot_gen.lock() = generation;
+        // The WAL is now exactly one synced marker frame on a new lineage.
+        *self.wal_frames.lock() = 1;
+        let durable_len = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        *self.repl_pos.lock() = ReplPosition { generation, durable_len, durable_frames: 1 };
         self.wal_metrics.compactions.inc();
         self.snap_metrics.snapshots.inc();
         self.snap_metrics.snapshot_bytes.record(size);
@@ -595,6 +724,8 @@ impl TraceStore {
                     let mut tail = self.wal_tail.lock();
                     tail.frames += 1;
                     tail.bytes += self.wal_metrics.bytes_written.get() - before;
+                    drop(tail);
+                    *self.wal_frames.lock() += 1;
                 }
                 Err(e) => Self::poison(guard, &self.wal_failure, e.to_string()),
             }
@@ -615,6 +746,8 @@ impl TraceStore {
                     let mut tail = self.wal_tail.lock();
                     tail.frames += 1;
                     tail.bytes += self.wal_metrics.bytes_written.get() - before;
+                    drop(tail);
+                    *self.wal_frames.lock() += 1;
                 }
                 Err(e) => Self::poison(guard, &self.wal_failure, e.to_string()),
             }
@@ -660,6 +793,18 @@ impl TraceStore {
         self.wal_metrics.register(registry);
         self.snap_metrics.register(registry);
         self.record_gauges(registry);
+        // What recovery found at open time, as gauges: state 0 = clean,
+        // 1 = torn tail, 2 = corrupt frame; offset = first damaged byte
+        // (0 when clean). Only durable stores recover.
+        if let Some(tail) = self.recovered_tail {
+            let (state, offset) = match tail {
+                TailState::Clean => (0, 0),
+                TailState::TornTail { offset } => (1, offset),
+                TailState::CorruptFrame { offset } => (2, offset),
+            };
+            registry.set_gauge("wal.recovered_tail_state", state);
+            registry.set_gauge("wal.recovered_tail_offset", offset);
+        }
     }
 
     /// Attaches an event journal: subsequent WAL syncs and snapshot writes
@@ -935,14 +1080,25 @@ impl TraceStore {
         if let Some(w) = guard.as_mut() {
             if let Err(e) = w.sync() {
                 Self::poison(guard, &self.wal_failure, e.to_string());
-            } else if let Some(j) = self.journal() {
-                // Frames/bytes appended since the last snapshot (the tail
-                // this sync made durable).
-                let tail = self.wal_tail.lock();
-                j.record(prov_obs::JournalEvent::WalSync {
-                    frames: tail.frames,
-                    bytes: tail.bytes,
-                });
+            } else {
+                // Everything appended so far is now durable: advance the
+                // position replicas are allowed to read up to.
+                if let Some(path) = &self.path {
+                    if let Ok(meta) = std::fs::metadata(path) {
+                        let mut pos = self.repl_pos.lock();
+                        pos.durable_len = meta.len();
+                        pos.durable_frames = *self.wal_frames.lock();
+                    }
+                }
+                if let Some(j) = self.journal() {
+                    // Frames/bytes appended since the last snapshot (the
+                    // tail this sync made durable).
+                    let tail = self.wal_tail.lock();
+                    j.record(prov_obs::JournalEvent::WalSync {
+                        frames: tail.frames,
+                        bytes: tail.bytes,
+                    });
+                }
             }
         }
     }

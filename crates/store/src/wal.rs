@@ -269,7 +269,11 @@ impl WalWriter {
         self.append_payload(&payload)
     }
 
-    fn append_payload(&mut self, payload: &[u8]) -> Result<(), WalError> {
+    /// Appends an already-encoded payload — the replication apply path,
+    /// where the follower re-frames the exact payload bytes the primary
+    /// shipped (len and CRC are functions of the payload, so the resulting
+    /// frame is byte-identical to the primary's).
+    pub(crate) fn append_payload(&mut self, payload: &[u8]) -> Result<(), WalError> {
         let mut frame = BytesMut::with_capacity(8 + payload.len());
         frame.put_u32_le(payload.len() as u32);
         frame.put_u32_le(crate::crc32(payload));
@@ -337,67 +341,197 @@ pub struct WalRecovery {
 /// a length field this large can only come from damaged bytes.
 const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
 
+/// A streaming, CRC-checking frame reader over a WAL (or snapshot) byte
+/// stream. Holds exactly **one** frame in memory at a time in a reusable
+/// buffer — recovery scans and replication shipping never buffer the whole
+/// log, no matter how large it grew.
+///
+/// The cursor is generic over any [`Read`] source: a `BufReader<File>` for
+/// on-disk scans ([`WalCursor::open_at`]), a byte slice or socket for
+/// replication, a fault-injected reader in torture tests. `offset()` tracks
+/// the clean frame boundary consumed so far (seeded by the start offset),
+/// and [`WalCursor::tail`] reports how iteration ended — the same
+/// [`TailState`] taxonomy recovery uses.
+#[derive(Debug)]
+pub struct WalCursor<R> {
+    reader: R,
+    /// Reusable frame buffer: 8-byte header followed by the payload of the
+    /// most recent clean frame.
+    buf: Vec<u8>,
+    offset: u64,
+    tail: TailState,
+    done: bool,
+    /// High-water mark of the frame buffer's capacity — what the scan
+    /// actually held in memory (regression-tested to stay one-frame-sized).
+    peak_buf: usize,
+}
+
+impl WalCursor<BufReader<File>> {
+    /// Opens a cursor over the file at `path`, starting at byte 0.
+    pub fn open(path: &Path) -> Result<Self, WalError> {
+        Self::open_at(path, 0)
+    }
+
+    /// Opens a cursor over the file at `path`, starting at `offset` —
+    /// which must be a frame boundary (a clean length previously reported
+    /// by recovery or by another cursor).
+    pub fn open_at(path: &Path, offset: u64) -> Result<Self, WalError> {
+        let mut file = File::open(path)?;
+        if offset > 0 {
+            file.seek(SeekFrom::Start(offset))?;
+        }
+        Ok(Self::over_at(BufReader::new(file), offset))
+    }
+}
+
+impl<R: Read> WalCursor<R> {
+    /// Wraps an arbitrary byte source, counting offsets from 0.
+    pub fn over(reader: R) -> Self {
+        Self::over_at(reader, 0)
+    }
+
+    /// Wraps an arbitrary byte source whose first byte sits at `offset` of
+    /// the logical log (for shipped tails that start mid-file).
+    pub fn over_at(reader: R, offset: u64) -> Self {
+        WalCursor {
+            reader,
+            buf: Vec::new(),
+            offset,
+            tail: TailState::Clean,
+            done: false,
+            peak_buf: 0,
+        }
+    }
+
+    /// Offset just past the last clean frame consumed — the safe
+    /// truncation/resume point so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// How the scan ended (meaningful once iteration returns `None`):
+    /// [`TailState::Clean`] at a frame-aligned EOF, otherwise the damage
+    /// kind and offset.
+    pub fn tail(&self) -> TailState {
+        self.tail
+    }
+
+    /// Largest buffer the cursor has held, in bytes — one frame plus
+    /// amortised growth, never the whole file.
+    pub fn peak_buf_bytes(&self) -> usize {
+        self.peak_buf
+    }
+
+    /// Payload bytes of the most recent clean frame (empty before the
+    /// first [`WalCursor::next_frame`]).
+    pub fn payload(&self) -> &[u8] {
+        self.buf.get(8..).unwrap_or(&[])
+    }
+
+    /// Reads the next frame, verifying its checksum, and returns the whole
+    /// frame (header + payload) — the exact bytes to ship to a replica.
+    /// Returns `Ok(None)` when the stream ends, cleanly or not; consult
+    /// [`WalCursor::tail`] to distinguish. A genuine mid-read I/O failure
+    /// is returned as [`WalError::Io`].
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WalError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut header = [0u8; 8];
+        match read_exact_or_eof(&mut self.reader, &mut header) {
+            ReadOutcome::Eof => {
+                self.done = true;
+                return Ok(None);
+            }
+            ReadOutcome::Partial => {
+                self.done = true;
+                self.tail = TailState::TornTail { offset: self.offset };
+                return Ok(None);
+            }
+            ReadOutcome::Err(e) => return Err(e.into()),
+            ReadOutcome::Full => {}
+        }
+        let mut hb = &header[..];
+        let len = hb.get_u32_le() as usize;
+        let crc = hb.get_u32_le();
+        if len > MAX_FRAME_LEN {
+            self.done = true;
+            self.tail = TailState::CorruptFrame { offset: self.offset };
+            return Ok(None);
+        }
+        self.buf.clear();
+        self.buf.extend_from_slice(&header);
+        self.buf.resize(8 + len, 0);
+        match read_exact_or_eof(&mut self.reader, &mut self.buf[8..]) {
+            ReadOutcome::Full => {}
+            ReadOutcome::Err(e) => return Err(e.into()),
+            // The header was complete but the payload ends early: a frame
+            // torn by a crash mid-append (or a stream cut mid-ship).
+            ReadOutcome::Eof | ReadOutcome::Partial => {
+                self.done = true;
+                self.tail = TailState::TornTail { offset: self.offset };
+                return Ok(None);
+            }
+        }
+        if crate::crc32(&self.buf[8..]) != crc {
+            self.done = true;
+            self.tail = TailState::CorruptFrame { offset: self.offset };
+            return Ok(None);
+        }
+        self.peak_buf = self.peak_buf.max(self.buf.capacity());
+        self.offset += self.buf.len() as u64;
+        Ok(Some(&self.buf))
+    }
+
+    /// Reads and decodes the next clean record. A frame whose checksum
+    /// holds but whose payload doesn't decode counts as corrupt: the scan
+    /// stops *before* it (its bytes are excluded from `offset()`), exactly
+    /// like recovery.
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>, WalError> {
+        if self.next_frame()?.is_none() {
+            return Ok(None);
+        }
+        match serde_json::from_slice::<LogRecord>(&self.buf[8..]) {
+            Ok(r) => Ok(Some(r)),
+            Err(_) => {
+                // Roll the clean boundary back to before the bad frame.
+                self.offset -= self.buf.len() as u64;
+                self.tail = TailState::CorruptFrame { offset: self.offset };
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+}
+
 /// Reads framed records back.
 #[derive(Debug)]
 pub struct WalReader;
 
 impl WalReader {
-    /// Replays every clean record in the log. A torn or corrupt tail stops
-    /// the replay without erroring (crashes are the expected shape of a
-    /// WAL's end) and is reported in [`WalRecovery::tail`] with the damage
+    /// Replays every clean record in the log, streaming one frame at a
+    /// time through a [`WalCursor`]. A torn or corrupt tail stops the
+    /// replay without erroring (crashes are the expected shape of a WAL's
+    /// end) and is reported in [`WalRecovery::tail`] with the damage
     /// offset; a genuine mid-read I/O failure — the disk erroring, not the
     /// file merely ending — is returned as [`WalError::Io`].
     pub fn read_all(path: &Path) -> Result<WalRecovery, WalError> {
-        let file = match File::open(path) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+        let mut cursor = match WalCursor::open(path) {
+            Ok(c) => c,
+            Err(WalError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(WalRecovery {
                     records: Vec::new(),
                     clean_len: 0,
                     tail: TailState::Clean,
                 })
             }
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(e),
         };
-        let mut reader = BufReader::new(file);
         let mut records = Vec::new();
-        let mut clean_len = 0u64;
-        let mut header = [0u8; 8];
-        let tail = loop {
-            match read_exact_or_eof(&mut reader, &mut header) {
-                ReadOutcome::Eof => break TailState::Clean,
-                ReadOutcome::Partial => break TailState::TornTail { offset: clean_len },
-                ReadOutcome::Err(e) => return Err(e.into()),
-                ReadOutcome::Full => {}
-            }
-            let mut buf = &header[..];
-            let len = buf.get_u32_le() as usize;
-            let crc = buf.get_u32_le();
-            if len > MAX_FRAME_LEN {
-                break TailState::CorruptFrame { offset: clean_len };
-            }
-            let mut payload = vec![0u8; len];
-            match read_exact_or_eof(&mut reader, &mut payload) {
-                ReadOutcome::Full => {}
-                ReadOutcome::Err(e) => return Err(e.into()),
-                // The header was complete but the payload ends early: a
-                // frame torn by a crash mid-append.
-                ReadOutcome::Eof | ReadOutcome::Partial => {
-                    break TailState::TornTail { offset: clean_len };
-                }
-            }
-            if crate::crc32(&payload) != crc {
-                break TailState::CorruptFrame { offset: clean_len };
-            }
-            match serde_json::from_slice::<LogRecord>(&payload) {
-                Ok(r) => records.push(r),
-                // Checksum held but the payload doesn't decode — the frame
-                // was written damaged, not torn.
-                Err(_) => break TailState::CorruptFrame { offset: clean_len },
-            }
-            clean_len += 8 + len as u64;
-        };
-        Ok(WalRecovery { records, clean_len, tail })
+        while let Some(r) = cursor.next_record()? {
+            records.push(r);
+        }
+        Ok(WalRecovery { records, clean_len: cursor.offset(), tail: cursor.tail() })
     }
 }
 
@@ -603,5 +737,119 @@ mod tests {
         assert_eq!(rec.records.len(), 3);
         assert_eq!(rec.records[2], LogRecord::FinishRun { run: RunId(9) });
         assert_eq!(rec.tail, TailState::Clean);
+    }
+
+    #[test]
+    fn cursor_streams_frames_with_exact_offsets() {
+        let path = tmp("cursor");
+        let mut w = WalWriter::open(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        let total = std::fs::metadata(&path).unwrap().len();
+
+        // Full sweep: frames are the exact on-disk bytes, offsets add up.
+        let disk = std::fs::read(&path).unwrap();
+        let mut cursor = WalCursor::open(&path).unwrap();
+        let mut at = 0u64;
+        let mut frames = 0;
+        loop {
+            let before = at;
+            let frame = match cursor.next_frame().unwrap() {
+                None => break,
+                Some(frame) => frame.to_vec(),
+            };
+            assert_eq!(frame, &disk[before as usize..cursor.offset() as usize]);
+            at = cursor.offset();
+            frames += 1;
+        }
+        assert_eq!(frames, sample_records().len());
+        assert_eq!(cursor.offset(), total);
+        assert_eq!(cursor.tail(), TailState::Clean);
+
+        // Resume mid-log: a cursor opened at a frame boundary sees exactly
+        // the remaining records.
+        let first_len = 8 + u32::from_le_bytes(disk[0..4].try_into().unwrap()) as u64;
+        let mut cursor = WalCursor::open_at(&path, first_len).unwrap();
+        let mut rest = Vec::new();
+        while let Some(r) = cursor.next_record().unwrap() {
+            rest.push(r);
+        }
+        assert_eq!(rest, sample_records()[1..]);
+        assert_eq!(cursor.offset(), total);
+    }
+
+    #[test]
+    fn cursor_reports_torn_and_corrupt_tails_like_recovery() {
+        let path = tmp("cursor-tails");
+        let mut w = WalWriter::open(&path).unwrap();
+        for r in sample_records() {
+            w.append(&r).unwrap();
+        }
+        w.sync().unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(full - 3).unwrap();
+
+        let mut cursor = WalCursor::open(&path).unwrap();
+        let mut n = 0;
+        while cursor.next_record().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, sample_records().len() - 1);
+        assert_eq!(cursor.tail(), TailState::TornTail { offset: cursor.offset() });
+        // Once stopped, the cursor stays stopped.
+        assert!(cursor.next_frame().unwrap().is_none());
+
+        // A cursor over a shipped chunk (plain byte slice) detects a
+        // flipped payload byte exactly like the on-disk scan.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        bytes[8 + first_len + 8 + 2] ^= 0xFF;
+        let mut cursor = WalCursor::over(&bytes[..]);
+        assert!(cursor.next_frame().unwrap().is_some());
+        assert!(cursor.next_frame().unwrap().is_none());
+        assert_eq!(cursor.tail(), TailState::CorruptFrame { offset: (8 + first_len) as u64 });
+    }
+
+    #[test]
+    fn recovery_of_a_multi_mb_wal_holds_only_one_frame_in_memory() {
+        let path = tmp("one-frame");
+        let mut w = WalWriter::open(&path).unwrap();
+        // ~3 MiB of small frames: a few hundred bytes each.
+        let value = "x".repeat(256);
+        let mut written = 0u64;
+        let mut i = 0u64;
+        while written < 3 * 1024 * 1024 {
+            w.append(&LogRecord::Workflow {
+                name: ProcessorName::from(format!("wf{i}")),
+                json: value.clone(),
+            })
+            .unwrap();
+            i += 1;
+            written = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            if i.is_multiple_of(512) {
+                w.sync().unwrap();
+            }
+        }
+        w.sync().unwrap();
+        let total = std::fs::metadata(&path).unwrap().len();
+        assert!(total >= 3 * 1024 * 1024);
+
+        let mut cursor = WalCursor::open(&path).unwrap();
+        let mut frames = 0u64;
+        while cursor.next_record().unwrap().is_some() {
+            frames += 1;
+        }
+        assert_eq!(frames, i);
+        assert_eq!(cursor.offset(), total);
+        // The scan's buffer high-water mark is one (small) frame, not the
+        // multi-MB file: recovery streams instead of buffering.
+        assert!(
+            cursor.peak_buf_bytes() < 16 * 1024,
+            "peak buffer {} bytes should be one frame, file is {} bytes",
+            cursor.peak_buf_bytes(),
+            total
+        );
     }
 }

@@ -15,7 +15,10 @@
 //! * [`lineage`] — the paper's contribution: Def. 1 lineage queries, the
 //!   naïve baseline **NI**, and the **INDEXPROJ** algorithm (Alg. 2) that
 //!   traverses the spec graph instead of the provenance graph;
-//! * [`workgen`] — the synthetic testbed of §4.1 plus the GK/PD workflows.
+//! * [`workgen`] — the synthetic testbed of §4.1 plus the GK/PD workflows;
+//! * [`repl`] — WAL-shipping replication: a primary streams its durable
+//!   log to follower stores that replay continuously and serve read-only
+//!   lineage queries under an explicit staleness bound.
 //!
 //! ## Quickstart
 //!
@@ -69,6 +72,7 @@ pub use prov_dataflow as dataflow;
 pub use prov_engine as engine;
 pub use prov_model as model;
 pub use prov_obs as obs;
+pub use prov_repl as repl;
 pub use prov_store as store;
 pub use prov_workgen as workgen;
 
