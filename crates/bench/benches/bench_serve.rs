@@ -1,0 +1,109 @@
+//! Serve-path round-trips: end-to-end ingest throughput through the
+//! daemon's wire protocol swept over concurrent writer counts (the
+//! group-commit applier should make writers roughly additive until the
+//! fsync path saturates), and query round-trip latency against a served
+//! store for both algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use prov_obs::Obs;
+use prov_serve::protocol::ServeQuery;
+use prov_serve::{ProvServer, RemoteSink, ServeClient, ServeConfig};
+use prov_store::SharedStore;
+use prov_workgen::testbed;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("prov-serve-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}-{}.wal", std::process::id()));
+    cleanup(&path);
+    path
+}
+
+fn cleanup(path: &std::path::PathBuf) {
+    let _ = std::fs::remove_file(path);
+    if let (Some(dir), Some(name)) = (path.parent(), path.file_name().and_then(|n| n.to_str())) {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().starts_with(&format!("{name}.")) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
+fn daemon(tag: &str) -> (ProvServer, String, std::path::PathBuf) {
+    let path = tmp(tag);
+    let store = SharedStore::open(&path).unwrap();
+    let server =
+        ProvServer::start(store, Obs::disabled(), ServeConfig::default(), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr, path)
+}
+
+/// One iteration = `writers` clients each streaming a full testbed run
+/// (connect, register, batch, ack, finish) into one shared daemon.
+fn bench_ingest_writers(c: &mut Criterion) {
+    let df = testbed::generate(3);
+    let wf_json = serde_json::to_string(&df).unwrap();
+    let mut group = c.benchmark_group("serve_ingest");
+    group.sample_size(10);
+    for writers in [1usize, 2, 4, 8] {
+        let (server, addr, path) = daemon(&format!("ingest-{writers}"));
+        group.bench_with_input(BenchmarkId::new("writers", writers), &writers, |b, &w| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..w)
+                    .map(|_| {
+                        let (addr, wf, df) = (addr.clone(), wf_json.clone(), df.clone());
+                        std::thread::spawn(move || {
+                            let sink = RemoteSink::connect(&addr, Some(wf)).unwrap();
+                            testbed::run(&df, 3, &sink);
+                            assert!(sink.error().is_none(), "{:?}", sink.error());
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+        });
+        server.shutdown();
+        cleanup(&path);
+    }
+    group.finish();
+}
+
+/// Query round-trip (request → daemon-side execution → rendered answers
+/// back) against a daemon holding one served run.
+fn bench_query_roundtrip(c: &mut Criterion) {
+    let df = testbed::generate(3);
+    let wf_json = serde_json::to_string(&df).unwrap();
+    let (server, addr, path) = daemon("query");
+    let sink = RemoteSink::connect(&addr, Some(wf_json)).unwrap();
+    testbed::run(&df, 3, &sink);
+    assert!(sink.error().is_none(), "{:?}", sink.error());
+    drop(sink);
+
+    let mut group = c.benchmark_group("serve_query");
+    for algo in ["ni", "indexproj"] {
+        let mut client = ServeClient::connect(&addr).unwrap();
+        let req = ServeQuery {
+            query: "lin(<2TO1_FINAL:Y[0,1]>, {LISTGEN_1})".into(),
+            run: 0,
+            all_runs: false,
+            algo: algo.to_string(),
+            wf: None,
+            deadline_ms: None,
+        };
+        group.bench_with_input(BenchmarkId::new("roundtrip", algo), &algo, |b, _| {
+            b.iter(|| client.query(&req).unwrap());
+        });
+    }
+    group.finish();
+    server.shutdown();
+    cleanup(&path);
+}
+
+criterion_group!(benches, bench_ingest_writers, bench_query_roundtrip);
+criterion_main!(benches);

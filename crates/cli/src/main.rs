@@ -22,6 +22,9 @@
 //! tprov replicate serve  --db t.wal [--listen 127.0.0.1:7070]
 //! tprov replicate follow --db replica.wal --from HOST:PORT [--serve ADDR] [--once]
 //! tprov query    --replica HOST:PORT --query 'lin(...)' [--max-lag N]
+//! tprov serve    t.wal [--addr 127.0.0.1:7071] [--max-conns N] [--for-ms N]
+//! tprov run      --server HOST:PORT --workflow wf.json --input name=<json> …
+//! tprov query    --server HOST:PORT --query 'lin(...)' [--deadline-ms N]
 //! ```
 //!
 //! Workflows executed through `tprov` have their specification saved next
@@ -86,6 +89,14 @@ fn run(argv: Vec<String>) -> Result<ExitCode, String> {
     if cmd == "wal" || cmd == "replicate" {
         return run_verbed(cmd, &rest);
     }
+    // `serve <db>` takes the database as a positional token.
+    if cmd == "serve" {
+        if let Some(first) = rest.first() {
+            if !first.starts_with("--") {
+                rest.insert(0, "--db".to_string());
+            }
+        }
+    }
     let args = Args::parse(&rest)?;
     // Only `run` distinguishes exit codes beyond success/failure (0
     // completed, 3 partial failure); everything else maps Ok to 0.
@@ -95,6 +106,7 @@ fn run(argv: Vec<String>) -> Result<ExitCode, String> {
         "gk" => done(cmd_gk(&args)),
         "pd" => done(cmd_pd(&args)),
         "run" => cmd_run(&args),
+        "serve" => cmd_serve(&args),
         "runs" => done(cmd_runs(&args)),
         "lineage" => done(cmd_lineage(&args)),
         "impact" => done(cmd_impact(&args)),
@@ -282,6 +294,105 @@ fn query_via_replica(args: &Args, addr: &str) -> Result<(), String> {
     }
 }
 
+/// `tprov serve <db> [--addr ADDR] [--max-conns N] [--queue-depth N]
+/// [--deadline-ms N] [--idle-ms N] [--drain-ms N] [--for-ms N]`: run the
+/// provenance daemon — concurrent ingest streams and lineage queries over
+/// one shared store. The bound address is written to `<db>.serve.addr`
+/// so scripts can use `--addr 127.0.0.1:0`; on SIGTERM/ctrl-c (or after
+/// `--for-ms`) the daemon drains, fsyncs, snapshots, and exits 0,
+/// leaving its `serve.*` counters in a `<db>.serve.json` sidecar that
+/// `tprov metrics` folds back in.
+fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
+    let db = args.required("db")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0");
+    let store = prov_store::SharedStore::open(db).map_err(|e| format!("cannot open {db}: {e}"))?;
+    let journal = Journal::from_env();
+    store.attach_journal(&journal);
+    // Metrics on, profiler off: a long-running daemon accumulating
+    // unbounded spans would leak; counters and gauges are fixed-size.
+    let obs = Obs {
+        metrics: Registry::new(),
+        profiler: prov_obs::Profiler::disabled(),
+        journal: journal.clone(),
+    };
+    let registry = obs.metrics.clone();
+    let mut cfg = prov_serve::ServeConfig::default();
+    if let Some(n) = args.get_parsed("max-conns")? {
+        cfg.max_connections = n;
+    }
+    if let Some(n) = args.get_parsed("queue-depth")? {
+        cfg.queue_depth = n;
+    }
+    if let Some(ms) = args.get_parsed("deadline-ms")? {
+        cfg.default_deadline_ms = Some(ms);
+    }
+    if let Some(ms) = args.get_parsed("idle-ms")? {
+        cfg.idle_timeout_ms = ms;
+    }
+    if let Some(ms) = args.get_parsed("drain-ms")? {
+        cfg.drain_deadline_ms = ms;
+    }
+    let server =
+        prov_serve::ProvServer::start(store, obs, cfg, addr).map_err(|e| format!("{addr}: {e}"))?;
+    let addr_file = format!("{db}.serve.addr");
+    std::fs::write(&addr_file, server.local_addr().to_string())
+        .map_err(|e| format!("{addr_file}: {e}"))?;
+    println!("serving {db} on {} (address in {addr_file})", server.local_addr());
+    prov_serve::signal::install();
+    let ms: u64 = args.get_parsed("for-ms")?.unwrap_or(u64::MAX);
+    let budget = std::time::Duration::from_millis(ms);
+    let started = std::time::Instant::now();
+    // A remote SHUTDOWN request flips the server into draining on its
+    // own; the wait loop notices and falls through to the same exit path
+    // as a signal.
+    while !prov_serve::signal::triggered() && !server.draining() && started.elapsed() < budget {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    let report = server.shutdown();
+    // Persist the serve.* metric family so `tprov metrics` on this
+    // database reports the daemon's last run (atomic tmp+rename, like the
+    // replication sidecar).
+    let snap = registry.snapshot();
+    let serve_metrics: std::collections::BTreeMap<&String, &u64> = snap
+        .counters
+        .iter()
+        .chain(snap.gauges.iter())
+        .filter(|(k, _)| k.starts_with("serve."))
+        .collect();
+    let sidecar = format!("{db}.serve.json");
+    let tmp = format!("{sidecar}.tmp");
+    std::fs::write(&tmp, json::render(&serve_metrics)?).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, &sidecar).map_err(|e| format!("{sidecar}: {e}"))?;
+    let _ = std::fs::remove_file(&addr_file);
+    journal_io::persist(db, &journal)?;
+    println!(
+        "drained: forced={} active_at_exit={} (metrics in {sidecar})",
+        report.forced, report.active_at_exit
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Routes `tprov query --server ADDR` to a provenance daemon. The daemon
+/// answers with the same rendering as a local query; `--deadline-ms N`
+/// bounds execution server-side — a query past it aborts between plan
+/// steps with a typed timeout (nonzero exit).
+fn query_via_server(args: &Args, addr: &str) -> Result<(), String> {
+    let req = prov_serve::protocol::ServeQuery {
+        query: args.required("query")?.to_string(),
+        run: args.get_parsed("run")?.unwrap_or(0),
+        all_runs: args.has_flag("all-runs"),
+        algo: args.get("algo").unwrap_or("ni").to_string(),
+        wf: args.get("wf").map(str::to_string),
+        deadline_ms: args.get_parsed("deadline-ms")?,
+    };
+    let mut client =
+        prov_serve::ServeClient::connect(addr).map_err(|e| format!("server {addr}: {e}"))?;
+    for ans in client.query(&req).map_err(|e| format!("server {addr}: {e}"))? {
+        print!("{ans}");
+    }
+    Ok(())
+}
+
 fn print_usage() {
     println!(
         "tprov — workflow provenance capture and lineage querying\n\n\
@@ -328,7 +439,13 @@ fn print_usage() {
          \x20          stream the WAL to followers (address in <db>.repl.addr)\n\
          \x20 replicate follow --db LOCAL --from ADDR [--serve ADDR] [--once]\n\
          \x20          [--timeout-ms N]  replay a primary into a local replica;\n\
-         \x20          --serve answers read-only queries, --once exits when caught up\n\n\
+         \x20          --serve answers read-only queries, --once exits when caught up\n\
+         \x20 serve    DB [--addr ADDR] [--max-conns N] [--queue-depth N]\n\
+         \x20          [--deadline-ms N] [--idle-ms N] [--drain-ms N] [--for-ms N]\n\
+         \x20          provenance daemon: concurrent ingest + queries on one store\n\
+         \x20          (address in <db>.serve.addr; SIGTERM drains and exits 0);\n\
+         \x20          `run --server ADDR` streams a run's trace to it, and\n\
+         \x20          `query --server ADDR [--deadline-ms N]` queries it\n\n\
          queries use the db-registered workflow spec when --workflow is omitted"
     );
 }
@@ -454,9 +571,7 @@ struct RunReport {
     resumed_from: Option<u64>,
 }
 
-fn cmd_run(args: &Args) -> Result<ExitCode, String> {
-    let store = open_db(args)?;
-    let df = load_workflow(args)?;
+fn parse_inputs(args: &Args) -> Result<Vec<(String, Value)>, String> {
     let mut inputs: Vec<(String, Value)> = Vec::new();
     for spec in args.get_all("input") {
         let (name, json) = spec
@@ -466,13 +581,24 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
             .map_err(|e| format!("input {name}: invalid value JSON: {e}"))?;
         inputs.push((name.to_string(), value));
     }
-    // The run path journals too: ingest batches and retries from the
-    // engine, WAL syncs and snapshot writes from the store — all drained
-    // into `<db>.journal.jsonl` on exit for `tprov tail`.
-    let journal = Journal::from_env();
-    store.attach_journal(&journal);
+    Ok(inputs)
+}
+
+/// `tprov run --server ADDR`: execute the workflow locally but stream
+/// its trace to a provenance daemon over the ingest protocol instead of
+/// writing a local store — every acked batch is durable server-side
+/// before this command exits.
+fn run_via_server(args: &Args, addr: &str) -> Result<ExitCode, String> {
+    if args.get("resume").is_some() {
+        return Err("--resume needs the local store; it cannot combine with --server".into());
+    }
+    let df = load_workflow(args)?;
+    let inputs = parse_inputs(args)?;
+    let wf_json = serde_json::to_string(&df).map_err(|e| e.to_string())?;
+    let sink = prov_serve::RemoteSink::connect(addr, Some(wf_json))
+        .map_err(|e| format!("server {addr}: {e}"))?;
     let registry = BehaviorRegistry::new().with_builtins();
-    let mut engine = Engine::new(registry).with_obs(Obs::disabled().with_journal(journal.clone()));
+    let mut engine = Engine::new(registry);
     if let Some(attempts) = args.get_parsed::<u32>("max-attempts")? {
         if attempts == 0 {
             return Err("--max-attempts must be at least 1".into());
@@ -482,14 +608,28 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     if args.has_flag("fail-fast") {
         engine = engine.fail_fast();
     }
-    // `--resume RUN` picks the crashed run back up: settled invocations
-    // are reloaded from the durable trace, only the missing ones execute,
-    // and the original run id is kept.
-    let resumed_from: Option<u64> = args.get_parsed("resume")?;
-    let out = match resumed_from {
-        Some(run) => engine.resume(&df, inputs, &store, RunId(run)).map_err(|e| e.to_string())?,
-        None => engine.execute(&df, inputs, &store).map_err(|e| e.to_string())?,
-    };
+    let out = engine.execute(&df, inputs, &sink).map_err(|e| e.to_string())?;
+    // The engine swallows sink troubles (a trace sink must not fail a
+    // run); surface a latched ingest error as this command's failure so
+    // scripts never mistake an unacked trace for a durable one.
+    if let Some(e) = sink.error() {
+        return Err(format!("server {addr}: ingest failed: {e}"));
+    }
+    let code = report_run(args, &df, &out, None)?;
+    if !args.has_flag("json") {
+        println!("  {} durable frames acked by {addr}", sink.durable_frames());
+    }
+    Ok(code)
+}
+
+/// Prints the run report (text or `--json`) and maps the outcome to the
+/// exit code contract: 0 completed, 3 partial failure.
+fn report_run(
+    args: &Args,
+    df: &Dataflow,
+    out: &prov_engine::RunOutcome,
+    resumed_from: Option<u64>,
+) -> Result<ExitCode, String> {
     let failed = out.failed_xforms();
     let status = if failed.is_empty() { "completed" } else { "partial-failure" };
     if args.has_flag("json") {
@@ -515,10 +655,45 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
             );
         }
     }
-    journal_io::persist(args.required("db")?, &journal)?;
     // Exit 0 on a completed run, 3 on a partial failure — distinguishable
     // from usage/IO errors (1) in scripts.
     Ok(if failed.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(3) })
+}
+
+fn cmd_run(args: &Args) -> Result<ExitCode, String> {
+    if let Some(addr) = args.get("server") {
+        return run_via_server(args, addr);
+    }
+    let store = open_db(args)?;
+    let df = load_workflow(args)?;
+    let inputs = parse_inputs(args)?;
+    // The run path journals too: ingest batches and retries from the
+    // engine, WAL syncs and snapshot writes from the store — all drained
+    // into `<db>.journal.jsonl` on exit for `tprov tail`.
+    let journal = Journal::from_env();
+    store.attach_journal(&journal);
+    let registry = BehaviorRegistry::new().with_builtins();
+    let mut engine = Engine::new(registry).with_obs(Obs::disabled().with_journal(journal.clone()));
+    if let Some(attempts) = args.get_parsed::<u32>("max-attempts")? {
+        if attempts == 0 {
+            return Err("--max-attempts must be at least 1".into());
+        }
+        engine = engine.with_retry(RetryPolicy::attempts(attempts));
+    }
+    if args.has_flag("fail-fast") {
+        engine = engine.fail_fast();
+    }
+    // `--resume RUN` picks the crashed run back up: settled invocations
+    // are reloaded from the durable trace, only the missing ones execute,
+    // and the original run id is kept.
+    let resumed_from: Option<u64> = args.get_parsed("resume")?;
+    let out = match resumed_from {
+        Some(run) => engine.resume(&df, inputs, &store, RunId(run)).map_err(|e| e.to_string())?,
+        None => engine.execute(&df, inputs, &store).map_err(|e| e.to_string())?,
+    };
+    let code = report_run(args, &df, &out, resumed_from)?;
+    journal_io::persist(args.required("db")?, &journal)?;
+    Ok(code)
 }
 
 fn cmd_runs(args: &Args) -> Result<(), String> {
@@ -655,6 +830,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     if let Some(addr) = args.get("replica") {
         return query_via_replica(args, addr);
     }
+    if let Some(addr) = args.get("server") {
+        return query_via_server(args, addr);
+    }
     let store = open_db(args)?;
     let raw = args.required("query")?;
     let runs = select_runs(args, &store)?;
@@ -752,6 +930,18 @@ fn cmd_metrics(args: &Args) -> Result<(), String> {
         registry.set_gauge("repl.lag_bytes", s.lag_bytes);
         registry.set_gauge("repl.generation", s.generation);
         registry.set_gauge("repl.connected", u64::from(s.connected));
+    }
+    // When a daemon last served this database, `tprov serve` left its
+    // `serve.*` counter family in a `<db>.serve.json` sidecar at
+    // shutdown; fold it in so one `metrics` call covers the store, its
+    // replication health, and its serve surface.
+    let serve_sidecar = format!("{}.serve.json", args.required("db")?);
+    if let Ok(text) = std::fs::read_to_string(&serve_sidecar) {
+        let m: std::collections::BTreeMap<String, u64> = serde_json::from_str(&text)
+            .map_err(|e| format!("{serve_sidecar}: bad serve sidecar: {e}"))?;
+        for (k, v) in &m {
+            registry.set_gauge(k, *v);
+        }
     }
     let snapshot = registry.snapshot();
     match args.get("format").unwrap_or("text") {

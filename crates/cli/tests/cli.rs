@@ -677,6 +677,36 @@ fn metrics_json_schema_is_locked() {
     let out = tprov(&["metrics", "--db", db.arg()]);
     assert!(out.status.success());
     assert!(stdout(&out).contains("p95="), "{}", stdout(&out));
+
+    // A `<db>.serve.json` sidecar (written by `tprov serve` at shutdown)
+    // folds the daemon's serve.* family into the same snapshot; the
+    // family's member names are part of the scrape contract.
+    let serve_sidecar = format!("{}.serve.json", db.arg());
+    std::fs::write(
+        &serve_sidecar,
+        r#"{"serve.active_conns":0,"serve.backpressure_waits":3,"serve.conns_accepted":7,
+            "serve.conns_refused":1,"serve.draining":1,"serve.ingest_batches":40,
+            "serve.queries":5,"serve.request_timeouts":2}"#,
+    )
+    .unwrap();
+    let out = tprov(&["metrics", "--db", db.arg(), "--format", "json"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let snap: serde_json::Value = serde_json::from_str(&stdout(&out)).unwrap();
+    let gauges = sorted_keys(&snap["gauges"]);
+    for required in [
+        "serve.active_conns",
+        "serve.backpressure_waits",
+        "serve.conns_accepted",
+        "serve.conns_refused",
+        "serve.draining",
+        "serve.ingest_batches",
+        "serve.queries",
+        "serve.request_timeouts",
+    ] {
+        assert!(gauges.iter().any(|g| g == required), "missing gauge {required} in {gauges:?}");
+    }
+    assert_eq!(json_u64(&snap["gauges"]["serve.conns_accepted"]), 7);
+    let _ = std::fs::remove_file(&serve_sidecar);
 }
 
 /// `tprov wal verify`: a healthy store verifies with exit 0, a torn tail
@@ -1016,4 +1046,119 @@ fn missing_required_flags_error_cleanly() {
     let out = tprov(&["testbed"]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("--db"));
+}
+
+/// Authors the builtin `upper` workflow next to `db` and returns the
+/// JSON path (string_upper is in the builtin behaviour registry, so the
+/// CLI can execute it anywhere).
+fn author_upper_workflow(db: &TempDb) -> String {
+    let mut b = prov_dataflow::DataflowBuilder::new("upper");
+    b.input("xs", prov_dataflow::PortType::list(prov_dataflow::BaseType::String));
+    b.processor_with_behavior("U", "string_upper")
+        .in_port("x", prov_dataflow::PortType::atom(prov_dataflow::BaseType::String))
+        .out_port("y", prov_dataflow::PortType::atom(prov_dataflow::BaseType::String));
+    b.arc_from_input("xs", "U", "x").unwrap();
+    b.output("ys", prov_dataflow::PortType::list(prov_dataflow::BaseType::String));
+    b.arc_to_output("U", "y", "ys").unwrap();
+    let df = b.build().unwrap();
+    let wf_path = format!("{}.authored.json", db.arg());
+    std::fs::write(&wf_path, serde_json::to_string(&df).unwrap()).unwrap();
+    wf_path
+}
+
+/// End-to-end serve path through the CLI: start a `tprov serve` daemon,
+/// stream a run into it with `run --server`, query it with `query
+/// --server` (both algorithms answering identically to the same run
+/// executed locally), hit the typed server-side deadline, then SIGTERM
+/// the daemon and check the drained store and the metrics sidecar.
+#[test]
+fn serve_run_query_roundtrip_matches_local_and_drains_on_sigterm() {
+    let local = TempDb::new("servelocal");
+    let srv = TempDb::new("servedaemon");
+    let wf_path = author_upper_workflow(&local);
+    let input = r#"xs={"List":[{"Atom":{"Str":"ab"}},{"Atom":{"Str":"cd"}}]}"#;
+
+    // The same workflow executed locally is the answer oracle.
+    let out = tprov(&["run", "--db", local.arg(), "--workflow", &wf_path, "--input", input]);
+    assert!(out.status.success(), "{}", stderr(&out));
+
+    let mut daemon = ChildGuard(
+        std::process::Command::new(env!("CARGO_BIN_EXE_tprov"))
+            .args(["serve", srv.arg(), "--addr", "127.0.0.1:0"])
+            .stdout(std::process::Stdio::null())
+            .spawn()
+            .expect("serve spawns"),
+    );
+    let addr = wait_addr(&format!("{}.serve.addr", srv.arg()));
+
+    // Stream the run to the daemon; every batch must come back acked.
+    let out = tprov(&["run", "--server", &addr, "--workflow", &wf_path, "--input", input]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("durable frames acked"), "{}", stdout(&out));
+
+    // Served answers are byte-identical to local ones for both
+    // algorithms (the daemon plans INDEXPROJ against the spec the
+    // ingest stream registered).
+    for algo in ["ni", "indexproj"] {
+        let query = "lin(<U:y[1]>)";
+        let remote = tprov(&["query", "--server", &addr, "--query", query, "--algo", algo]);
+        assert!(remote.status.success(), "{algo}: {}", stderr(&remote));
+        let local_out = tprov(&[
+            "query",
+            "--db",
+            local.arg(),
+            "--workflow",
+            &wf_path,
+            "--query",
+            query,
+            "--algo",
+            algo,
+        ]);
+        assert!(local_out.status.success(), "{algo}: {}", stderr(&local_out));
+        // Local output leads with the parsed-query echo (and a plan
+        // line for INDEXPROJ); everything after is the answers.
+        let local_answers: String = stdout(&local_out)
+            .lines()
+            .filter(|l| !l.starts_with("lin(") && !l.starts_with("plan:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stdout(&remote), local_answers, "{algo} answers must match local");
+        assert!(stdout(&remote).contains("binding"), "{algo}: {}", stdout(&remote));
+    }
+
+    // An already-expired deadline gets the typed server-side timeout.
+    let out =
+        tprov(&["query", "--server", &addr, "--query", "lin(<U:y[1]>)", "--deadline-ms", "0"]);
+    assert!(!out.status.success(), "expired deadline must fail");
+    assert!(stderr(&out).contains("timeout"), "{}", stderr(&out));
+
+    // SIGTERM: the daemon drains, fsyncs, snapshots, and exits 0.
+    let pid = daemon.0.id().to_string();
+    assert!(std::process::Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("kill runs")
+        .success());
+    let mut code = None;
+    for _ in 0..200 {
+        if let Ok(Some(status)) = daemon.0.try_wait() {
+            code = status.code();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    assert_eq!(code, Some(0), "daemon must exit 0 on SIGTERM");
+
+    // The drained store reopens clean with the streamed run finished.
+    let out = tprov(&["runs", "--db", srv.arg()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("workflow=upper"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("finished"), "{}", stdout(&out));
+
+    // The serve.* family landed in the sidecar and `metrics` folds it in.
+    let out = tprov(&["metrics", "--db", srv.arg()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("serve.conns_accepted"), "{}", stdout(&out));
+
+    let _ = std::fs::remove_file(&wf_path);
 }

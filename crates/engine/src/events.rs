@@ -147,6 +147,29 @@ pub trait TraceSink: Send + Sync {
     fn finish_run(&self, run: RunId);
 }
 
+/// Shared-ownership forwarding: an `Arc<impl TraceSink>` is itself a
+/// sink, so a store shared between a daemon's sessions and a local engine
+/// can be passed wherever a sink is expected without re-borrowing
+/// gymnastics. `record_batch` forwards as a batch (the whole point of the
+/// shared store's group-commit ingest).
+impl<T: TraceSink + ?Sized> TraceSink for Arc<T> {
+    fn begin_run(&self, workflow: &ProcessorName) -> RunId {
+        (**self).begin_run(workflow)
+    }
+    fn record_xform(&self, run: RunId, event: XformEvent) {
+        (**self).record_xform(run, event)
+    }
+    fn record_xfer(&self, run: RunId, event: XferEvent) {
+        (**self).record_xfer(run, event)
+    }
+    fn record_batch(&self, run: RunId, events: Vec<TraceEvent>) {
+        (**self).record_batch(run, events)
+    }
+    fn finish_run(&self, run: RunId) {
+        (**self).finish_run(run)
+    }
+}
+
 /// A sink that discards everything (for measuring pure execution cost).
 #[derive(Debug, Default)]
 pub struct NullSink {

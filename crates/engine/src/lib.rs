@@ -40,7 +40,9 @@ pub use events::{
 pub use exec::{Engine, ExecutionMode, FailedInvocation, RunOutcome, RunStatus};
 pub use iteration::{assemble_nested, iteration_tuples, IterationTuple};
 pub use resume::ResumeSource;
-pub use retry::{invocation_salt, Backoff, Clock, RetryOn, RetryPolicy, SystemClock, VirtualClock};
+pub use retry::{
+    invocation_salt, Backoff, Clock, ClockSource, RetryOn, RetryPolicy, SystemClock, VirtualClock,
+};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, EngineError>;

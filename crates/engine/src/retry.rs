@@ -252,6 +252,19 @@ impl Clock for VirtualClock {
     }
 }
 
+/// Adapter exposing any [`Clock`] as a [`prov_obs::TimeSource`], so a
+/// service can hand the query layer per-request deadlines driven by the
+/// same injectable clock that schedules its retries — a `VirtualClock`
+/// then expires a served request deterministically under test.
+#[derive(Debug, Clone)]
+pub struct ClockSource(pub Arc<dyn Clock>);
+
+impl prov_obs::TimeSource for ClockSource {
+    fn now_micros(&self) -> u64 {
+        self.0.now_micros()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,19 @@ impl std::fmt::Display for TraceId {
     }
 }
 
+/// A monotonic time source for clock-driven deadline checks.
+///
+/// The query layer must not read the wall clock directly when a service
+/// wants deterministic timeouts: the serve daemon adapts the engine's
+/// injectable `Clock` (system or virtual) to this trait, so a
+/// `VirtualClock` can force a deadline to pass mid-query without
+/// sleeping. Kept deliberately minimal — one method — because `prov-obs`
+/// sits below the engine in the dependency order.
+pub trait TimeSource: Send + Sync + std::fmt::Debug {
+    /// Microseconds since an arbitrary fixed origin.
+    fn now_micros(&self) -> u64;
+}
+
 /// Per-query execution context threaded through the query layer: the
 /// trace id that stamps journal events, an optional deadline, the
 /// slow-query threshold, and the static cost prediction (if any) that
@@ -83,6 +96,10 @@ pub struct QueryCtx {
     /// Abandon execution once this instant passes (checked between plan
     /// steps / traversal hops).
     pub deadline: Option<Instant>,
+    /// Clock-driven deadline: abandon execution once the [`TimeSource`]
+    /// reads past the stored microsecond instant. Set by services whose
+    /// timeouts must follow an injectable clock rather than `Instant`.
+    pub deadline_at: Option<(Arc<dyn TimeSource>, u64)>,
     /// Queries at least this slow are flagged in `QueryFinished`.
     pub slow_threshold: Option<Duration>,
     /// Predicted index lookups from the static cost model.
@@ -106,6 +123,7 @@ impl QueryCtx {
             query: query.into(),
             fingerprint: 0,
             deadline: None,
+            deadline_at: None,
             slow_threshold: slow_threshold_from_env(),
             predicted_lookups: None,
             predicted_rows: None,
@@ -123,6 +141,15 @@ impl QueryCtx {
     /// Sets a deadline `budget` from now.
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(Instant::now() + budget);
+        self
+    }
+
+    /// Sets a clock-driven deadline: execution is abandoned between plan
+    /// steps once `clock` reads past `deadline_micros`. Unlike
+    /// [`QueryCtx::with_deadline`], the check follows the injected time
+    /// source, so a virtual clock can expire a request deterministically.
+    pub fn with_clock_deadline(mut self, clock: Arc<dyn TimeSource>, deadline_micros: u64) -> Self {
+        self.deadline_at = Some((clock, deadline_micros));
         self
     }
 
@@ -148,9 +175,11 @@ impl QueryCtx {
         self
     }
 
-    /// Whether the deadline (if any) has passed.
+    /// Whether the deadline (if any) has passed — the `Instant` deadline
+    /// and the clock-driven one are both honoured.
     pub fn deadline_exceeded(&self) -> bool {
         self.deadline.is_some_and(|d| Instant::now() > d)
+            || self.deadline_at.as_ref().is_some_and(|(clock, d)| clock.now_micros() > *d)
     }
 
     /// Whether a query of duration `dur` counts as slow.
@@ -285,6 +314,35 @@ pub enum JournalEvent {
         /// `"corrupt-frame"`, `"diverged"`).
         reason: String,
     },
+    /// The serve daemon admitted a client connection.
+    ConnAccepted {
+        /// Connections active after the admit (this one included).
+        active: u64,
+    },
+    /// The serve daemon shed a connection at its admission limit — the
+    /// client received a typed `busy` refusal rather than queueing.
+    ConnRefused {
+        /// Connections active at refusal time.
+        active: u64,
+        /// The admission limit in force.
+        limit: u64,
+    },
+    /// A served request ran past its deadline and was abandoned between
+    /// plan steps; the client received a typed `timeout` error.
+    RequestTimeout {
+        /// Trace id of the abandoned query.
+        trace: TraceId,
+        /// The request's source text.
+        query: String,
+        /// The deadline budget that was exceeded, in microseconds.
+        deadline_micros: u64,
+    },
+    /// Graceful shutdown began: the daemon stopped accepting, and live
+    /// sessions entered the drain state machine.
+    DrainStarted {
+        /// Sessions still in flight when the drain began.
+        active: u64,
+    },
 }
 
 impl JournalEvent {
@@ -301,6 +359,10 @@ impl JournalEvent {
             JournalEvent::PlanCacheMiss { .. } => "PlanCacheMiss",
             JournalEvent::ReplFrameShipped { .. } => "ReplFrameShipped",
             JournalEvent::FollowerResync { .. } => "FollowerResync",
+            JournalEvent::ConnAccepted { .. } => "ConnAccepted",
+            JournalEvent::ConnRefused { .. } => "ConnRefused",
+            JournalEvent::RequestTimeout { .. } => "RequestTimeout",
+            JournalEvent::DrainStarted { .. } => "DrainStarted",
         }
     }
 
@@ -309,7 +371,8 @@ impl JournalEvent {
         match self {
             JournalEvent::QueryStarted { trace, .. }
             | JournalEvent::PlanStep { trace, .. }
-            | JournalEvent::QueryFinished { trace, .. } => Some(*trace),
+            | JournalEvent::QueryFinished { trace, .. }
+            | JournalEvent::RequestTimeout { trace, .. } => Some(*trace),
             _ => None,
         }
     }
@@ -381,6 +444,14 @@ impl JournalEvent {
             JournalEvent::FollowerResync { generation, offset, .. } => {
                 vec![("generation", *generation), ("offset", *offset)]
             }
+            JournalEvent::ConnAccepted { active } => vec![("active", *active)],
+            JournalEvent::ConnRefused { active, limit } => {
+                vec![("active", *active), ("limit", *limit)]
+            }
+            JournalEvent::RequestTimeout { trace, deadline_micros, .. } => {
+                vec![("trace", trace.0), ("deadline_micros", *deadline_micros)]
+            }
+            JournalEvent::DrainStarted { active } => vec![("active", *active)],
         }
     }
 }
@@ -690,5 +761,45 @@ mod tests {
         let past = QueryCtx::new("q").with_deadline(Duration::from_nanos(0));
         std::thread::sleep(Duration::from_millis(1));
         assert!(past.deadline_exceeded());
+    }
+
+    #[test]
+    fn clock_driven_deadline_follows_the_injected_source() {
+        #[derive(Debug)]
+        struct Fake(std::sync::atomic::AtomicU64);
+        impl TimeSource for Fake {
+            fn now_micros(&self) -> u64 {
+                self.0.load(Ordering::Relaxed)
+            }
+        }
+        let clock = Arc::new(Fake(AtomicU64::new(100)));
+        let ctx = QueryCtx::new("lin(x)")
+            .with_clock_deadline(Arc::clone(&clock) as Arc<dyn TimeSource>, 500);
+        assert!(!ctx.deadline_exceeded());
+        clock.0.store(501, Ordering::Relaxed);
+        assert!(ctx.deadline_exceeded(), "deadline expires when the source advances");
+    }
+
+    #[test]
+    fn serve_events_have_kinds_and_numeric_args() {
+        let events = [
+            JournalEvent::ConnAccepted { active: 3 },
+            JournalEvent::ConnRefused { active: 8, limit: 8 },
+            JournalEvent::RequestTimeout {
+                trace: TraceId(7),
+                query: "lin(x)".into(),
+                deadline_micros: 1_000,
+            },
+            JournalEvent::DrainStarted { active: 2 },
+        ];
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, ["ConnAccepted", "ConnRefused", "RequestTimeout", "DrainStarted"]);
+        for e in &events {
+            assert!(!e.numeric_args().is_empty(), "{} carries numeric args", e.kind());
+            let text = serde_json::to_string(e).unwrap();
+            let back: JournalEvent = serde_json::from_str(&text).unwrap();
+            assert_eq!(e, &back);
+        }
+        assert_eq!(events[2].trace(), Some(TraceId(7)));
     }
 }

@@ -28,7 +28,7 @@ mod profiler;
 
 pub use journal::{
     chrome_instant_events, slow_threshold_from_env, Journal, JournalEvent, QueryCtx, Stamped,
-    TraceId, DEFAULT_JOURNAL_CAP, JOURNAL_CAP_ENV, SLOW_QUERY_ENV,
+    TimeSource, TraceId, DEFAULT_JOURNAL_CAP, JOURNAL_CAP_ENV, SLOW_QUERY_ENV,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use profiler::{ChromeEvent, Profiler, SpanAgg, SpanGuard, SpanRecord};

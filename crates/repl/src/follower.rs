@@ -61,6 +61,14 @@ pub struct FollowerConfig {
     /// way of tearing the stream mid-frame or mid-bootstrap. Later
     /// sessions run clean, so the follower is expected to heal.
     pub read_fault: Option<FaultPlan>,
+    /// Heartbeat/idle window in milliseconds: a session that receives *no*
+    /// frame of any kind (heartbeat, WAL chunk, resync...) for this long
+    /// is declared stalled — the follower marks itself disconnected with
+    /// unknown lag (so bounded queries refuse) and re-enters the
+    /// reconnect backoff. `0` disables stall detection. Measured on
+    /// [`FollowerConfig::clock`], so a `VirtualClock` drives it
+    /// deterministically under test.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for FollowerConfig {
@@ -71,6 +79,7 @@ impl Default for FollowerConfig {
                 .with_jitter(0x0F01_10E5),
             clock: Arc::new(SystemClock),
             read_fault: None,
+            idle_timeout_ms: 10_000,
         }
     }
 }
@@ -112,7 +121,8 @@ pub struct ReplStatus {
 enum SessionEnd {
     /// [`Follower::stop`] was called.
     Stopped,
-    /// Socket error / peer hung up: reconnect with backoff.
+    /// Socket error / peer hung up — or the primary stalled past the
+    /// heartbeat window: reconnect with backoff.
     Disconnected,
     /// Local log proven divergent: reconnect immediately, demanding a
     /// bootstrap.
@@ -228,7 +238,7 @@ impl Follower {
         while !self.stopped() {
             if let Ok(stream) = TcpStream::connect(primary) {
                 attempt = 0;
-                let end = self.session(stream, &mut force_bootstrap, fault.take());
+                let end = self.session(stream, &mut force_bootstrap, fault.take(), config);
                 *self.current.lock() = None;
                 self.with_status(|s| s.connected = false);
                 match end {
@@ -254,9 +264,16 @@ impl Follower {
     }
 
     /// One connected session: hello, then apply whatever the primary sends
-    /// until the socket dies, a resync bounces us back to hello, or local
-    /// divergence demands a bootstrap.
-    fn session(&self, stream: TcpStream, force: &mut bool, fault: Option<FaultPlan>) -> SessionEnd {
+    /// until the socket dies, a resync bounces us back to hello, local
+    /// divergence demands a bootstrap, or the primary stalls past the
+    /// heartbeat window.
+    fn session(
+        &self,
+        stream: TcpStream,
+        force: &mut bool,
+        fault: Option<FaultPlan>,
+        config: &FollowerConfig,
+    ) -> SessionEnd {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
         *self.current.lock() = stream.try_clone().ok();
@@ -265,6 +282,8 @@ impl Follower {
             Some(plan) => Box::new(FaultReader::new(stream, plan)),
             None => Box::new(stream),
         };
+        let idle_micros = config.idle_timeout_ms.saturating_mul(1000);
+        let mut last_heard = config.clock.now_micros();
 
         'handshake: loop {
             if self.stopped() {
@@ -285,10 +304,24 @@ impl Follower {
                         if e.kind() == io::ErrorKind::WouldBlock
                             || e.kind() == io::ErrorKind::TimedOut =>
                     {
-                        continue
+                        // Stall detection: a primary that accepted us but
+                        // has gone silent (wedged, partitioned) must not
+                        // leave this replica claiming liveness — mark lag
+                        // unknown and retry the connection under backoff.
+                        if idle_micros > 0
+                            && config.clock.now_micros().saturating_sub(last_heard) > idle_micros
+                        {
+                            self.with_status(|s| {
+                                s.connected = false;
+                                s.heard_from_primary = false;
+                            });
+                            return SessionEnd::Disconnected;
+                        }
+                        continue;
                     }
                     Err(_) => return SessionEnd::Disconnected,
                 };
+                last_heard = config.clock.now_micros();
                 match tag {
                     protocol::TAG_STREAM_FROM => {
                         let Ok(sf) = protocol::decode::<StreamFrom>(&payload) else {
@@ -470,13 +503,21 @@ impl Follower {
     }
 
     /// Mutates the status under its lock, recomputes lag, persists the
-    /// sidecar.
+    /// sidecar. Lag is only meaningful once a heartbeat has been heard —
+    /// before that (and again after a stall resets `heard_from_primary`)
+    /// it is reported as the unknown sentinel `u64::MAX`, matching the
+    /// staleness gate's treatment of bounded queries.
     fn with_status(&self, f: impl FnOnce(&mut ReplStatus)) {
         {
             let mut s = self.status.lock();
             f(&mut s);
-            s.lag_frames = s.primary_frames.saturating_sub(s.frames);
-            s.lag_bytes = s.primary_offset.saturating_sub(s.offset);
+            if s.heard_from_primary {
+                s.lag_frames = s.primary_frames.saturating_sub(s.frames);
+                s.lag_bytes = s.primary_offset.saturating_sub(s.offset);
+            } else {
+                s.lag_frames = u64::MAX;
+                s.lag_bytes = u64::MAX;
+            }
         }
         self.write_sidecar();
     }
@@ -760,5 +801,63 @@ mod tests {
     #[test]
     fn zero_lag_satisfies_a_zero_bound() {
         assert!(staleness_check(&status(true, 0), Some(0)).is_none());
+    }
+
+    #[test]
+    fn a_stalled_primary_trips_the_heartbeat_window() {
+        use prov_engine::VirtualClock;
+        use std::sync::atomic::AtomicBool;
+
+        // A "primary" that accepts connections and then goes silent —
+        // never a STREAM_FROM, never a heartbeat.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop_hold = Arc::new(AtomicBool::new(false));
+        let hold_flag = Arc::clone(&stop_hold);
+        let hold = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while !hold_flag.load(Ordering::Relaxed) {
+                if let Ok((s, _)) = listener.accept() {
+                    held.push(s);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+
+        let db = std::env::temp_dir().join(format!("stalled_primary_{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&db);
+        let follower = Follower::open(&db, Journal::disabled()).unwrap();
+        let clock = Arc::new(VirtualClock::new());
+        let config = FollowerConfig {
+            idle_timeout_ms: 50,
+            clock: clock.clone(),
+            ..FollowerConfig::default()
+        };
+        let handle = follower.start(&addr, config);
+
+        // Wait for the session to establish (hello written, reader idle).
+        std::thread::sleep(Duration::from_millis(100));
+        // Advance the injected clock past the heartbeat window: the next
+        // poll tick must declare the primary stalled.
+        clock.sleep_micros(60 * 1000);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let s = follower.status();
+            if s.reconnects >= 1 {
+                assert!(!s.heard_from_primary, "stall must reset heard_from_primary");
+                assert_eq!(s.lag_frames, u64::MAX, "stalled lag is the unknown sentinel");
+                break;
+            }
+            assert!(Instant::now() < deadline, "stall was never detected: {s:?}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        follower.stop();
+        let _ = handle.join();
+        stop_hold.store(true, Ordering::Relaxed);
+        let _ = hold.join();
+        let _ = std::fs::remove_file(&db);
+        let _ = std::fs::remove_file(status_path(&db));
     }
 }

@@ -1,9 +1,13 @@
 //! Wire protocol for WAL shipping and replica queries.
 //!
-//! Every message is `tag (1 byte) | len (u32 LE) | payload[len]`. Control
-//! messages carry JSON payloads; [`TAG_FRAMES`] carries a raw chunk of WAL
-//! frame bytes exactly as they appear in the primary's log (the follower
-//! re-frames the payloads, producing a byte-identical local log), and a
+//! The *framing* — `tag (1 byte) | len (u32 LE) | payload[len]`, the
+//! inbound length guards, and the timeout-safe readers — lives in the
+//! shared [`prov_wire`] codec, re-exported here verbatim so replication
+//! and the serve daemon speak one dialect. This module keeps the
+//! replication-specific message vocabulary: control messages carry JSON
+//! payloads; [`TAG_FRAMES`] carries a raw chunk of WAL frame bytes
+//! exactly as they appear in the primary's log (the follower re-frames
+//! the payloads, producing a byte-identical local log), and a
 //! [`TAG_BOOTSTRAP`] header is followed by that many *raw* snapshot-file
 //! bytes outside any message framing.
 //!
@@ -15,11 +19,14 @@
 //! be trusted (a checkpoint epoch can collide with a snapshot generation
 //! after a restart); bytes cannot lie.
 
-use std::io::{self, Read, Write};
-
 use serde::{Deserialize, Serialize};
 
 use prov_store::ReplPosition;
+
+pub use prov_wire::{
+    decode, frame_too_large, read_exact_retry, read_msg, read_raw, write_json, write_msg,
+    FrameTooLarge, MAX_FRAME_LEN, MAX_RAW_LEN,
+};
 
 /// Follower → primary: identify the local log and ask for a plan.
 pub const TAG_HELLO: u8 = 0x01;
@@ -40,9 +47,9 @@ pub const TAG_QUERY_OK: u8 = 0x12;
 /// Replica → client: typed refusal (staleness bound, parse failure, ...).
 pub const TAG_QUERY_ERR: u8 = 0x13;
 
-/// Upper bound on a single framed message; a control message is tiny and a
-/// frames chunk is a few tens of KiB, so anything near this is corruption.
-pub const MAX_MESSAGE_LEN: u32 = 64 * 1024 * 1024;
+/// Historical name for the shared frame bound, kept for callers that
+/// predate the codec extraction into `prov-wire`.
+pub const MAX_MESSAGE_LEN: u32 = MAX_FRAME_LEN;
 
 /// The follower's opening offer: "my log is `offset` durable bytes /
 /// `frames` frames whose CRC-32 is `prefix_crc`; lineage I last knew was
@@ -142,97 +149,10 @@ pub struct QueryError {
 /// Re-exported so both ends speak the same position type.
 pub type Position = ReplPosition;
 
-/// Writes one framed message.
-pub fn write_msg<W: Write>(w: &mut W, tag: u8, payload: &[u8]) -> io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "message too large"))?;
-    if len > MAX_MESSAGE_LEN {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "message too large"));
-    }
-    w.write_all(&[tag])?;
-    w.write_all(&len.to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Serializes `value` as JSON and writes it as one framed message.
-pub fn write_json<W: Write, T: Serialize>(w: &mut W, tag: u8, value: &T) -> io::Result<()> {
-    let payload = serde_json::to_vec(value)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-    write_msg(w, tag, &payload)
-}
-
-/// Reads until `buf` is full, retrying reads that time out (so a read
-/// timeout set for liveness checks cannot tear a message mid-body). A
-/// clean EOF mid-buffer is an `UnexpectedEof` error.
-fn read_exact_retry<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-message"))
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
-            }
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
-}
-
-/// Reads one framed message. Returns `Ok(None)` on a clean EOF *at a
-/// message boundary* (the peer hung up). A timeout while waiting for the
-/// tag byte surfaces as `WouldBlock`/`TimedOut` so callers can poll a stop
-/// flag; once the tag byte has arrived the rest is read to completion.
-pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<(u8, Vec<u8>)>> {
-    let mut tag = [0u8; 1];
-    loop {
-        match r.read(&mut tag) {
-            Ok(0) => return Ok(None),
-            Ok(_) => break,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    let mut len = [0u8; 4];
-    read_exact_retry(r, &mut len)?;
-    let len = u32::from_le_bytes(len);
-    if len > MAX_MESSAGE_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("message of {len} bytes exceeds protocol limit"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_retry(r, &mut payload)?;
-    Ok(Some((tag[0], payload)))
-}
-
-/// Reads exactly `len` raw (unframed) bytes — the bootstrap body.
-pub fn read_raw<R: Read + ?Sized>(r: &mut R, len: u64) -> io::Result<Vec<u8>> {
-    let mut buf = vec![
-        0u8;
-        usize::try_from(len).map_err(|_| io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bootstrap too large for this platform"
-        ))?
-    ];
-    read_exact_retry(r, &mut buf)?;
-    Ok(buf)
-}
-
-/// Decodes a JSON control payload.
-pub fn decode<T: Deserialize>(payload: &[u8]) -> io::Result<T> {
-    serde_json::from_slice(payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io;
 
     #[test]
     fn round_trips_control_and_raw_messages() {
@@ -267,6 +187,19 @@ mod tests {
         wire.extend_from_slice(&u32::MAX.to_le_bytes());
         let err = read_msg(&mut wire.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Regression: through the shared codec the refusal is typed, so a
+        // follower fed a forged length can tell "hostile prefix" apart
+        // from ordinary decode noise.
+        let typed = frame_too_large(&err).expect("typed FrameTooLarge through repl path");
+        assert_eq!(typed.max, u64::from(MAX_MESSAGE_LEN));
+    }
+
+    #[test]
+    fn oversized_bootstrap_header_is_rejected_not_allocated() {
+        // A malicious primary announcing a 2^63-byte snapshot must get a
+        // typed refusal from the raw-body reader the bootstrap path uses.
+        let err = read_raw(&mut io::empty(), 1u64 << 63).unwrap_err();
+        assert!(frame_too_large(&err).is_some());
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Minimal async-signal-safe SIGTERM/SIGINT latch, with no libc
+//! dependency: the handler does exactly one relaxed atomic store, and the
+//! serve loop polls [`triggered`] between accept ticks to begin its
+//! drain. On non-Unix targets both calls are no-ops.
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe by construction.
+        TRIGGERED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGTERM/SIGINT latch (idempotent).
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal(2)` with a handler that performs a single
+        // atomic store is async-signal-safe; the symbol signature matches
+        // the C prototype (sighandler_t is pointer-sized on all supported
+        // Unixes).
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    /// Whether a termination signal has arrived since [`install`].
+    pub fn triggered() -> bool {
+        TRIGGERED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op on non-Unix targets.
+    pub fn install() {}
+    /// Always `false` on non-Unix targets.
+    pub fn triggered() -> bool {
+        false
+    }
+}
+
+/// Installs the SIGTERM/SIGINT latch (idempotent).
+pub use imp::install;
+/// Whether a termination signal has arrived since [`install`].
+pub use imp::triggered;

@@ -37,6 +37,7 @@ pub mod fault;
 mod indexes;
 mod rows;
 mod shard;
+mod shared;
 mod snapshot;
 mod stats;
 mod store;
@@ -50,6 +51,7 @@ pub use export::{GraphEdge, GraphNode, ProvenanceGraph};
 pub use fault::{FaultFile, FaultPlan, FaultReader};
 pub use rows::{PortDirection, StoredBinding, XferRecord, XformPortRecord, XformRecord};
 pub use shard::ReadView;
+pub use shared::SharedStore;
 pub use snapshot::{CompactionPolicy, SnapshotMetrics};
 pub use stats::{ProbeGuard, ProbeStats, QueryStats, StatsSnapshot};
 pub use store::{ReplPosition, RunInfo, StoreError, TraceStore};
